@@ -1,0 +1,153 @@
+/**
+ * @file
+ * P1-P3 — google-benchmark micro-benchmarks of the substrates
+ * themselves (not paper artefacts): simulator throughput, HCA cost,
+ * OLS/stepwise cost. Useful for keeping the experiment pipeline
+ * fast enough to run interactively.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "g5/simulator.hh"
+#include "hwsim/platform.hh"
+#include "mlstat/hca.hh"
+#include "mlstat/ols.hh"
+#include "mlstat/stepwise.hh"
+#include "uarch/system.hh"
+#include "util/random.hh"
+#include "workload/workload.hh"
+
+using namespace gemstone;
+
+namespace {
+
+/** Simulator throughput: instructions per second through a cluster. */
+void
+BM_SimulatorThroughput(benchmark::State &state)
+{
+    const workload::Workload &work =
+        workload::Suite::byName("mi-crc32");
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        uarch::ClusterConfig config = hwsim::trueBigConfig();
+        config.memBytes = work.memBytes;
+        uarch::ClusterModel cluster(config);
+        work.prepareMemory(cluster.memory());
+        uarch::RunResult run =
+            cluster.run(work.program, work.numThreads, 1.0);
+        insts += run.instructions;
+        benchmark::DoNotOptimize(run.cycles);
+    }
+    state.counters["inst/s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorThroughput)->Unit(benchmark::kMillisecond);
+
+/** Full platform measurement (retime + PMU + power sensor). */
+void
+BM_PlatformMeasure(benchmark::State &state)
+{
+    hwsim::OdroidXu3Platform board;
+    const workload::Workload &work =
+        workload::Suite::byName("mi-dijkstra");
+    // Warm the run cache; steady-state measurements are retimes.
+    board.measure(work, hwsim::CpuCluster::BigA15, 1000.0, 1);
+    for (auto _ : state) {
+        hwsim::HwMeasurement m =
+            board.measure(work, hwsim::CpuCluster::BigA15, 1400.0, 5);
+        benchmark::DoNotOptimize(m.powerWatts);
+    }
+}
+BENCHMARK(BM_PlatformMeasure)->Unit(benchmark::kMicrosecond);
+
+/** g5 stat-dump generation cost. */
+void
+BM_G5StatDump(benchmark::State &state)
+{
+    g5::G5Simulation sim(1);
+    const workload::Workload &work =
+        workload::Suite::byName("mi-dijkstra");
+    sim.run(work, g5::G5Model::Ex5Big, 1000.0);
+    for (auto _ : state) {
+        g5::G5Stats stats =
+            sim.run(work, g5::G5Model::Ex5Big, 1400.0);
+        benchmark::DoNotOptimize(stats.stats.size());
+    }
+}
+BENCHMARK(BM_G5StatDump)->Unit(benchmark::kMicrosecond);
+
+/** Agglomerative HCA over n feature vectors. */
+void
+BM_Hca(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    Rng rng(42);
+    std::vector<std::vector<double>> features(
+        n, std::vector<double>(32));
+    for (auto &row : features)
+        for (double &x : row)
+            x = rng.gaussian();
+    for (auto _ : state) {
+        auto result = mlstat::agglomerate(
+            mlstat::euclideanDistances(features, true),
+            mlstat::Linkage::Average);
+        benchmark::DoNotOptimize(result.merges.size());
+    }
+}
+BENCHMARK(BM_Hca)->Arg(45)->Arg(90)->Unit(benchmark::kMillisecond);
+
+/** OLS with inference on n observations, k predictors. */
+void
+BM_Ols(benchmark::State &state)
+{
+    const std::size_t n = 256;
+    const std::size_t k = static_cast<std::size_t>(state.range(0));
+    Rng rng(7);
+    std::vector<std::vector<double>> predictors(
+        k, std::vector<double>(n));
+    std::vector<double> response(n);
+    for (auto &column : predictors)
+        for (double &x : column)
+            x = rng.gaussian();
+    for (std::size_t i = 0; i < n; ++i)
+        response[i] = predictors[0][i] * 2.0 + rng.gaussian();
+    for (auto _ : state) {
+        auto fit = mlstat::fitOls(predictors, response, true);
+        benchmark::DoNotOptimize(fit.r2);
+    }
+}
+BENCHMARK(BM_Ols)->Arg(4)->Arg(8)->Arg(16)->Unit(
+    benchmark::kMicrosecond);
+
+/** Forward-stepwise selection over a large candidate pool. */
+void
+BM_Stepwise(benchmark::State &state)
+{
+    const std::size_t n = 45;
+    const std::size_t pool = 120;
+    Rng rng(11);
+    std::vector<mlstat::Candidate> candidates(pool);
+    std::vector<double> response(n);
+    for (std::size_t c = 0; c < pool; ++c) {
+        candidates[c].name = "cand" + std::to_string(c);
+        candidates[c].values.resize(n);
+        for (double &x : candidates[c].values)
+            x = rng.gaussian();
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        response[i] = candidates[3].values[i] -
+            0.5 * candidates[10].values[i] + 0.1 * rng.gaussian();
+    }
+    for (auto _ : state) {
+        mlstat::StepwiseConfig config;
+        config.maxTerms = 7;
+        auto result =
+            mlstat::stepwiseForward(candidates, response, config);
+        benchmark::DoNotOptimize(result.selected.size());
+    }
+}
+BENCHMARK(BM_Stepwise)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

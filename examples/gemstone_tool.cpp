@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The GemStone command-line tool: the automated flow of Fig. 1.
+ *
+ * Runs hardware characterisation, g5 simulation, collation, the
+ * Section IV error analyses, power modelling and the Section VI
+ * evaluations for one cluster, and writes the full artefact set
+ * (report + CSV datasets) to a directory.
+ *
+ * Usage:
+ *   gemstone_tool [--cluster a15|a7] [--g5-version 1|2]
+ *                 [--freq MHZ] [--no-power] [--out DIR]
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "gemstone/report.hh"
+#include "util/logging.hh"
+
+using namespace gemstone;
+
+namespace {
+
+void
+usage()
+{
+    std::cout <<
+        "usage: gemstone_tool [options]\n"
+        "  --cluster a15|a7   cluster to validate (default a15)\n"
+        "  --g5-version 1|2   simulator release under test "
+        "(default 1)\n"
+        "  --freq MHZ         analysis frequency (default 1000)\n"
+        "  --no-power         skip power modelling and Fig. 7/8\n"
+        "  --no-csv           write only the text report\n"
+        "  --out DIR          output directory "
+        "(default gemstone-report)\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    core::RunnerConfig runner_config;
+    core::ReportConfig report_config;
+    std::string out_dir = "gemstone-report";
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--cluster") {
+            std::string value = next();
+            if (value == "a15") {
+                report_config.cluster = hwsim::CpuCluster::BigA15;
+            } else if (value == "a7") {
+                report_config.cluster = hwsim::CpuCluster::LittleA7;
+            } else {
+                fatal("unknown cluster '", value, "'");
+            }
+        } else if (arg == "--g5-version") {
+            runner_config.g5Version = std::stoi(next());
+        } else if (arg == "--freq") {
+            report_config.analysisFreqMhz = std::stod(next());
+        } else if (arg == "--no-power") {
+            report_config.includePower = false;
+        } else if (arg == "--no-csv") {
+            report_config.writeCsv = false;
+        } else if (arg == "--out") {
+            out_dir = next();
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            fatal("unknown option '", arg, "'");
+        }
+    }
+
+    core::ExperimentRunner runner(runner_config);
+    core::Report report =
+        core::generateReport(runner, report_config);
+
+    report.writeText(std::cout);
+
+    std::size_t files = core::writeReportFiles(report, out_dir);
+    std::cout << "\nwrote " << files << " artefact files to "
+              << out_dir << "/\n";
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Quickstart: validate a simulator model against the reference
+ * platform for a single workload.
+ *
+ * This is the smallest end-to-end use of the GemStone libraries:
+ *  1. pick a workload from the suite,
+ *  2. measure it on the reference ("hardware") platform,
+ *  3. simulate it with the g5 `ex5_big` model (both versions),
+ *  4. compare execution time and a few key events.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart [workload-name]
+ */
+
+#include <iostream>
+
+#include "g5/simulator.hh"
+#include "hwsim/platform.hh"
+#include "mlstat/descriptive.hh"
+#include "util/strutil.hh"
+#include "util/table.hh"
+#include "workload/workload.hh"
+
+using namespace gemstone;
+
+int
+main(int argc, char **argv)
+{
+    std::string name = argc > 1 ? argv[1] : "mi-dijkstra";
+    const workload::Workload &work = workload::Suite::byName(name);
+
+    std::cout << "GemStone quickstart: workload '" << work.name
+              << "' (suite " << work.suite << ", "
+              << work.numThreads << " thread(s), "
+              << work.program.size() << " static instructions)\n";
+
+    // 1. Reference hardware measurement at 1 GHz on the big cluster.
+    hwsim::OdroidXu3Platform board;
+    hwsim::HwMeasurement hw = board.measure(
+        work, hwsim::CpuCluster::BigA15, 1000.0);
+
+    // 2. g5 simulations, paper version and fixed version.
+    g5::G5Simulation sim_v1(1);
+    g5::G5Simulation sim_v2(2);
+    g5::G5Stats g5_v1 = sim_v1.run(work, g5::G5Model::Ex5Big, 1000.0);
+    g5::G5Stats g5_v2 = sim_v2.run(work, g5::G5Model::Ex5Big, 1000.0);
+
+    // 3. Compare.
+    auto mpe = [&](double sim_seconds) {
+        return mlstat::percentError(hw.execSeconds, sim_seconds);
+    };
+
+    printBanner(std::cout, "Execution time");
+    TextTable t({"platform", "exec time (ms)", "MPE vs HW"});
+    t.addRow({"HW (Cortex-A15 @1GHz)",
+              formatDouble(hw.execSeconds * 1e3, 3), "-"});
+    t.addRow({"g5 ex5_big v1", formatDouble(g5_v1.simSeconds * 1e3, 3),
+              formatPercent(mpe(g5_v1.simSeconds))});
+    t.addRow({"g5 ex5_big v2", formatDouble(g5_v2.simSeconds * 1e3, 3),
+              formatPercent(mpe(g5_v2.simSeconds))});
+    t.print(std::cout);
+
+    printBanner(std::cout, "Key events (HW PMCs vs g5 statistics)");
+    TextTable ev({"event", "HW", "g5 v1", "g5/HW"});
+    auto row = [&](const std::string &label, double hw_value,
+                   double g5_value) {
+        ev.addRow({label, formatDouble(hw_value, 0),
+                   formatDouble(g5_value, 0),
+                   hw_value > 0 ? formatRatio(g5_value / hw_value)
+                                : "-"});
+    };
+    row("instructions (0x08)", hw.pmcValue(0x08),
+        g5_v1.value("system.cpu.committedInsts"));
+    row("branch mispredicts (0x10)", hw.pmcValue(0x10),
+        g5_v1.value("system.cpu.commit.branchMispredicts"));
+    row("L1 ITLB refills (0x02)", hw.pmcValue(0x02),
+        g5_v1.value("system.cpu.itb.misses"));
+    row("L1D writebacks (0x15)", hw.pmcValue(0x15),
+        g5_v1.value("system.cpu.dcache.writebacks::total"));
+    row("L1I accesses (0x14)", hw.pmcValue(0x14),
+        g5_v1.value("system.cpu.icache.overall_accesses::total"));
+    ev.print(std::cout);
+
+    double hw_acc = 1.0 - hw.pmcValue(0x10) /
+        std::max(1.0, hw.pmcValue(0x12));
+    double g5_acc = 1.0 -
+        g5_v1.value("system.cpu.commit.branchMispredicts") /
+        std::max(1.0, g5_v1.value("system.cpu.branchPred.lookups"));
+    std::cout << "\nBranch prediction accuracy: HW "
+              << formatPercent(hw_acc) << ", g5 v1 "
+              << formatPercent(g5_acc) << "\n";
+    std::cout << "Measured power: " << formatDouble(hw.powerWatts, 3)
+              << " W at " << hw.voltage << " V, "
+              << formatDouble(hw.temperatureC, 1) << " C\n";
+    return 0;
+}

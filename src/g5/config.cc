@@ -1,0 +1,207 @@
+/**
+ * @file
+ * ex5 model configurations.
+ */
+
+#include "g5/config.hh"
+
+#include "hwsim/platform.hh"
+#include "util/logging.hh"
+
+namespace gemstone::g5 {
+
+std::string
+modelTag(G5Model model)
+{
+    return model == G5Model::Ex5Little ? "ex5_LITTLE" : "ex5_big";
+}
+
+namespace {
+
+uarch::ClusterConfig
+ex5BigConfig(int version)
+{
+    // Start from the intended target (the model *tries* to be a
+    // Cortex-A15) and apply the documented specification errors.
+    uarch::ClusterConfig cluster = hwsim::trueBigConfig();
+    cluster.name = "ex5_big";
+    uarch::CoreConfig &core = cluster.core;
+    core.name = "ex5_big";
+
+    // Branch predictor: the model's own predictor, with the
+    // speculative-history bug in version 1 (fixed in version 2).
+    core.bpKind = uarch::BpKind::Gshare;
+    core.gshareConfig.tableEntries = 1024;
+    core.gshareConfig.historyBits = 10;
+    core.gshareConfig.btbEntries = 512;
+    core.gshareConfig.rasEntries = 16;
+    core.gshareConfig.noisyInitFraction = 0.40;
+    core.gshareConfig.version = version;
+
+    // TLB specification errors (Section IV-F).
+    core.itlb.entries = 64;          // hardware has 32
+    core.unifiedL2Tlb = false;       // hardware has one shared L2 TLB
+    core.l2TlbInstr.name = "ex5_big.itb_walker_cache";
+    core.l2TlbInstr.entries = 128;   // 1 KiB at 8 B/entry
+    core.l2TlbInstr.assoc = 8;
+    core.l2TlbInstr.latency = 4.0;   // hardware: 2 cycles
+    core.l2TlbData.name = "ex5_big.dtb_walker_cache";
+    core.l2TlbData.entries = 128;
+    core.l2TlbData.assoc = 8;
+    core.l2TlbData.latency = 4.0;
+
+    // Classic-cache behaviour: always write-allocate (no streaming),
+    // and the fetch stage looks the I-cache up per instruction.
+    core.l1d.writeStreaming = false;
+    core.fetchGroupInsts = 1;  // I-cache lookup per instruction
+    core.osItlbFlushPeriod = 0;  // no OS interference in the model
+
+    // The model speculates deeper past a misprediction and hides
+    // more memory latency than the silicon (optimistic MLP).
+    core.wrongPathFetchLines = 4;
+    core.wrongPathLoads = 2;
+    core.memStallFactor = 0.28;
+    core.issueWidth = 3.2;
+
+    // Synchronisation is modelled too cheap (Section IV-B: positive
+    // error correlation with barrier/exclusive events).
+    core.barrierCost = 6.0;
+    core.isbCost = 4.0;
+    core.exclusiveCost = 2.0;
+    core.strexFailCost = 3.0;
+    core.snoopCost = 10.0;
+
+    // Over-aggressive L2 prefetcher.
+    cluster.l2.prefetchDegree = 4;
+
+    // Simplistic DRAM model with too-low latency (Fig. 4, [11]).
+    cluster.dram.rowHitNs = 14.0;
+    cluster.dram.rowMissNs = 32.0;
+    return cluster;
+}
+
+uarch::ClusterConfig
+ex5LittleConfig(int version)
+{
+    (void)version;  // the LITTLE model is unchanged between versions
+    uarch::ClusterConfig cluster = hwsim::trueLittleConfig();
+    cluster.name = "ex5_LITTLE";
+    uarch::CoreConfig &core = cluster.core;
+    core.name = "ex5_LITTLE";
+
+    // Optimistic pipeline model: the minor-style CPU dual-issues more
+    // often and hides more dependent latency than the real A7,
+    // biasing the model toward underestimating execution time.
+    core.issueWidth = 1.7;
+    core.depStallFactor = 0.55;
+
+    // A fixed (version-2 semantics) but under-sized predictor: the
+    // in-order model is much closer to its hardware than the big one.
+    core.bpKind = uarch::BpKind::Gshare;
+    core.gshareConfig.tableEntries = 512;
+    core.gshareConfig.historyBits = 8;
+    core.gshareConfig.btbEntries = 256;
+    core.gshareConfig.rasEntries = 8;
+    core.gshareConfig.version = 2;
+
+    // TLBs: over-sized L1s and split 4-way L2 TLBs at 2 cycles.
+    core.itlb.entries = 32;    // hardware micro-TLB has 10
+    core.dtlb.entries = 32;
+    core.unifiedL2Tlb = false;
+    core.l2TlbInstr.name = "ex5_LITTLE.itb_walker_cache";
+    core.l2TlbInstr.entries = 128;
+    core.l2TlbInstr.assoc = 4;
+    core.l2TlbInstr.latency = 2.0;
+    core.l2TlbData.name = "ex5_LITTLE.dtb_walker_cache";
+    core.l2TlbData.entries = 128;
+    core.l2TlbData.assoc = 4;
+    core.l2TlbData.latency = 2.0;
+
+    core.l1d.writeStreaming = false;
+    core.fetchGroupInsts = 1;  // I-cache lookup per instruction
+    core.osItlbFlushPeriod = 0;  // no OS interference in the model
+
+    // Sync costs too cheap here as well.
+    core.barrierCost = 6.0;
+    core.isbCost = 4.0;
+    core.exclusiveCost = 2.0;
+    core.strexFailCost = 3.0;
+    core.snoopCost = 8.0;
+
+    // L2 latency too high (Fig. 4 finding for the A7 model).
+    cluster.l2.hitLatency = 20.0;
+
+    // DRAM latency too low.
+    cluster.dram.rowHitNs = 15.0;
+    cluster.dram.rowMissNs = 34.0;
+    return cluster;
+}
+
+} // namespace
+
+uarch::ClusterConfig
+ex5Config(G5Model model, int version)
+{
+    fatal_if(version != 1 && version != 2,
+             "g5 version must be 1 or 2, got ", version);
+    return model == G5Model::Ex5Big ? ex5BigConfig(version)
+                                    : ex5LittleConfig(version);
+}
+
+Ex5Fixes
+Ex5Fixes::all()
+{
+    Ex5Fixes fixes;
+    fixes.fixBranchPredictor = true;
+    fixes.fixItlbSize = true;
+    fixes.fixL2Tlb = true;
+    fixes.fixDramLatency = true;
+    fixes.fixSyncCosts = true;
+    fixes.fixWriteStreaming = true;
+    fixes.fixPrefetcher = true;
+    fixes.fixL2Latency = true;
+    return fixes;
+}
+
+uarch::ClusterConfig
+ex5ConfigWithFixes(G5Model model, const Ex5Fixes &fixes)
+{
+    uarch::ClusterConfig config = ex5Config(model, 1);
+    uarch::ClusterConfig truth = model == G5Model::Ex5Big
+        ? hwsim::trueBigConfig()
+        : hwsim::trueLittleConfig();
+    uarch::CoreConfig &core = config.core;
+    const uarch::CoreConfig &true_core = truth.core;
+
+    if (fixes.fixBranchPredictor)
+        core.gshareConfig.version = 2;
+    if (fixes.fixItlbSize)
+        core.itlb.entries = true_core.itlb.entries;
+    if (fixes.fixL2Tlb) {
+        core.unifiedL2Tlb = true;
+        core.l2TlbUnified = true_core.l2TlbUnified;
+        core.l2TlbUnified.name = config.name + ".l2tlb";
+    }
+    if (fixes.fixDramLatency)
+        config.dram = truth.dram;
+    if (fixes.fixSyncCosts) {
+        core.barrierCost = true_core.barrierCost;
+        core.isbCost = true_core.isbCost;
+        core.exclusiveCost = true_core.exclusiveCost;
+        core.strexFailCost = true_core.strexFailCost;
+        core.snoopCost = true_core.snoopCost;
+    }
+    if (fixes.fixWriteStreaming) {
+        core.l1d.writeStreaming = true;
+        core.l1d.streamingThreshold =
+            true_core.l1d.streamingThreshold;
+    }
+    if (fixes.fixPrefetcher)
+        config.l2.prefetchDegree = truth.l2.prefetchDegree;
+    if (fixes.fixL2Latency)
+        config.l2.hitLatency = truth.l2.hitLatency;
+    return config;
+}
+
+} // namespace gemstone::g5
+

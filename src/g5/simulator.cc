@@ -1,0 +1,79 @@
+/**
+ * @file
+ * g5 simulator facade implementation.
+ */
+
+#include "g5/simulator.hh"
+
+#include "util/logging.hh"
+
+namespace gemstone::g5 {
+
+double
+G5Stats::value(const std::string &name) const
+{
+    auto it = stats.find(name);
+    return it == stats.end() ? 0.0 : it->second;
+}
+
+double
+G5Stats::rate(const std::string &name) const
+{
+    return simSeconds > 0.0 ? value(name) / simSeconds : 0.0;
+}
+
+G5Simulation::G5Simulation(int version) : simVersion(version)
+{
+    fatal_if(version != 1 && version != 2,
+             "g5 version must be 1 or 2, got ", version);
+}
+
+void
+G5Simulation::clearCache()
+{
+    runCache.clear();
+}
+
+const uarch::RunResult &
+G5Simulation::baseRun(const workload::Workload &work, G5Model model)
+{
+    std::string key = modelTag(model) + ":" + work.name;
+    auto it = runCache.find(key);
+    if (it != runCache.end())
+        return it->second;
+
+    uarch::ClusterConfig config = ex5Config(model, simVersion);
+    config.memBytes = std::max<std::uint64_t>(work.memBytes, 64 * 1024);
+
+    uarch::ClusterModel cluster(config);
+    work.prepareMemory(cluster.memory());
+    uarch::RunResult run =
+        cluster.run(work.program, work.numThreads, 1.0);
+    auto [pos, inserted] = runCache.emplace(key, std::move(run));
+    (void)inserted;
+    return pos->second;
+}
+
+G5Stats
+G5Simulation::run(const workload::Workload &work, G5Model model,
+                  double freq_mhz)
+{
+    fatal_if(freq_mhz <= 0.0, "frequency must be positive");
+
+    const uarch::RunResult &base = baseRun(work, model);
+    uarch::RunResult retimed =
+        uarch::retimeRun(base, freq_mhz / 1000.0);
+
+    G5Stats out;
+    out.workload = work.name;
+    out.model = model;
+    out.version = simVersion;
+    out.freqMhz = freq_mhz;
+    out.simSeconds = retimed.seconds;
+    out.raw = retimed.aggregate;
+    out.stats =
+        buildStatDump(retimed.aggregate, retimed.seconds, model);
+    return out;
+}
+
+} // namespace gemstone::g5

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * gem5-style statistic mapping.
+ */
+
+#include "g5/statmap.hh"
+
+#include <iomanip>
+#include <sstream>
+
+namespace gemstone::g5 {
+
+std::map<std::string, double>
+buildStatDump(const uarch::EventCounts &e, double seconds,
+              G5Model model)
+{
+    std::map<std::string, double> s;
+    const std::string cpu = "system.cpu.";
+    const bool big = model == G5Model::Ex5Big;
+
+    auto d = [](std::uint64_t v) { return static_cast<double>(v); };
+    auto ratio = [](double num, double den) {
+        return den > 0.0 ? num / den : 0.0;
+    };
+
+    // --- Top level ---
+    s["sim_seconds"] = seconds;
+    s["sim_ticks"] = seconds * 1e12;
+    s["sim_insts"] = d(e.instructions);
+    s["sim_ops"] = d(e.instSpec);
+    s["system.clk_domain.clock"] = 1.0;
+
+    // --- CPU core ---
+    s[cpu + "numCycles"] = e.cycles;
+    s[cpu + "committedInsts"] = d(e.instructions);
+    s[cpu + "committedOps"] = d(e.instructions);
+    s[cpu + "ipc"] = e.ipc();
+    s[cpu + "cpi"] = ratio(e.cycles, d(e.instructions));
+    s[cpu + "idleCycles"] =
+        e.stallCyclesMem + e.stallCyclesFrontend + e.stallCyclesSync;
+
+    // --- Fetch ---
+    s[cpu + "fetch.Branches"] = d(e.branches);
+    s[cpu + "fetch.predictedBranches"] = d(e.predictedTaken);
+    s[cpu + "fetch.Cycles"] = e.cycles - e.stallCyclesFrontend;
+    s[cpu + "fetch.IcacheStallCycles"] = e.stallCyclesFrontend;
+    s[cpu + "fetch.TlbCycles"] =
+        d(e.l2ItlbAccesses) * (big ? 4.0 : 2.0);
+    s[cpu + "fetch.fetchedInsts"] =
+        d(e.instructions + e.wrongPathInsts);
+    s[cpu + "fetch.SquashCycles"] =
+        d(e.branchMispredicts) * 2.0;
+    s[cpu + "fetch.PendingTrapStallCycles"] =
+        d(e.itlbWalks) * 1.5;
+    s[cpu + "fetch.rateDist::mean"] =
+        ratio(d(e.instructions + e.wrongPathInsts), e.cycles);
+
+    // --- Decode / rename (coarse) ---
+    s[cpu + "decode.DecodedInsts"] =
+        d(e.instructions + e.wrongPathInsts);
+    s[cpu + "rename.RenamedInsts"] =
+        d(e.instructions + e.wrongPathInsts);
+    s[cpu + "rename.squashedInsts"] = d(e.wrongPathInsts);
+
+    // --- IEW (issue/execute/writeback) ---
+    s[cpu + "iew.iewExecutedInsts"] = d(e.instSpec);
+    s[cpu + "iew.exec_branches"] =
+        d(e.branches + e.branchMispredicts);
+    s[cpu + "iew.exec_nop"] = d(e.nopOps);
+    s[cpu + "iew.exec_refs"] =
+        d(e.loadOps + e.storeOps + e.wrongPathLoads);
+    s[cpu + "iew.exec_loads"] = d(e.loadOps + e.wrongPathLoads);
+    s[cpu + "iew.exec_stores"] = d(e.storeOps);
+    s[cpu + "iew.branchMispredicts"] = d(e.branchMispredicts);
+    s[cpu + "iew.predictedTakenIncorrect"] =
+        d(e.predictedTakenIncorrect);
+    s[cpu + "iew.predictedNotTakenIncorrect"] =
+        d(e.condIncorrect > e.predictedTakenIncorrect
+              ? e.condIncorrect - e.predictedTakenIncorrect
+              : 0);
+    s[cpu + "iew.memOrderViolationEvents"] =
+        d(e.strexFails) * 0.5;
+    s[cpu + "iew.lsq.forwLoads"] = d(e.loadOps) * 0.08;
+
+    // --- Commit ---
+    s[cpu + "commit.committedInsts"] = d(e.instructions);
+    s[cpu + "commit.branchMispredicts"] = d(e.branchMispredicts);
+    s[cpu + "commit.branches"] = d(e.branches);
+    s[cpu + "commit.loads"] = d(e.loadOps);
+    s[cpu + "commit.refs"] = d(e.loadOps + e.storeOps);
+    s[cpu + "commit.membars"] = d(e.barriers + e.isbs);
+    s[cpu + "commit.int_insts"] =
+        d(e.intAluOps + e.intMulOps + e.intDivOps);
+    // Counting quirk: scalar VFP is misclassified as SIMD, so the FP
+    // commit class is empty and SIMD carries both (Section V).
+    s[cpu + "commit.fp_insts"] = 0.0;
+    s[cpu + "commit.simd_insts"] = d(e.fpOps + e.simdOps);
+    s[cpu + "commit.commitNonSpecStalls"] =
+        d(e.ldrexOps + e.strexOps + e.barriers);
+    s[cpu + "commit.commitSquashedInsts"] = d(e.wrongPathInsts);
+
+    // --- Functional units (same quirk) ---
+    s[cpu + "iq.FU_type_0::IntAlu"] = d(e.intAluOps);
+    s[cpu + "iq.FU_type_0::IntMult"] = d(e.intMulOps);
+    s[cpu + "iq.FU_type_0::IntDiv"] = d(e.intDivOps);
+    s[cpu + "iq.FU_type_0::FloatAdd"] = 0.0;
+    s[cpu + "iq.FU_type_0::FloatDiv"] = 0.0;
+    s[cpu + "iq.FU_type_0::SimdFloatAdd"] = d(e.fpOps + e.simdOps);
+    s[cpu + "iq.FU_type_0::MemRead"] =
+        d(e.loadOps + e.wrongPathLoads);
+    s[cpu + "iq.FU_type_0::MemWrite"] = d(e.storeOps);
+    s[cpu + "iq.fullRegistersEvents"] = e.stallCyclesExec * 0.1;
+
+    // --- Branch predictor ---
+    const std::string bp = cpu + "branchPred.";
+    s[bp + "lookups"] = d(e.branches);
+    s[bp + "condPredicted"] = d(e.condBranches);
+    s[bp + "condIncorrect"] = d(e.condIncorrect);
+    s[bp + "BTBLookups"] = d(e.branches);
+    s[bp + "BTBHits"] = d(e.btbHits);
+    s[bp + "BTBHitPct"] =
+        ratio(d(e.btbHits), d(e.branches)) * 100.0;
+    s[bp + "usedRAS"] = d(e.usedRas);
+    s[bp + "RASInCorrect"] = d(e.rasIncorrect);
+    s[bp + "indirectLookups"] =
+        d(e.indirectBranches + e.returnBranches);
+    s[bp + "indirectMisses"] = d(e.indirectMispredicts);
+    s[bp + "indirectHits"] =
+        d(e.indirectBranches + e.returnBranches >=
+                  e.indirectMispredicts
+              ? e.indirectBranches + e.returnBranches -
+                  e.indirectMispredicts
+              : 0);
+
+    // --- L1 instruction cache ---
+    const std::string ic = cpu + "icache.";
+    s[ic + "overall_accesses::total"] = d(e.l1iAccesses);
+    s[ic + "overall_hits::total"] = d(e.l1iAccesses - e.l1iMisses);
+    s[ic + "overall_misses::total"] = d(e.l1iMisses);
+    s[ic + "overall_miss_rate::total"] =
+        ratio(d(e.l1iMisses), d(e.l1iAccesses));
+    s[ic + "ReadReq_accesses::total"] = d(e.l1iAccesses);
+    s[ic + "ReadReq_misses::total"] = d(e.l1iMisses);
+    s[ic + "demand_misses::total"] = d(e.l1iMisses);
+    s[ic + "overall_mshr_misses::total"] = d(e.l1iMisses);
+    s[ic + "replacements"] =
+        d(e.l1iMisses > 512 ? e.l1iMisses - 512 : 0);
+
+    // --- L1 data cache ---
+    const std::string dc = cpu + "dcache.";
+    s[dc + "overall_accesses::total"] = d(e.l1dAccesses);
+    s[dc + "overall_hits::total"] = d(e.l1dAccesses - e.l1dMisses);
+    s[dc + "overall_misses::total"] = d(e.l1dMisses);
+    s[dc + "overall_miss_rate::total"] =
+        ratio(d(e.l1dMisses), d(e.l1dAccesses));
+    s[dc + "ReadReq_accesses::total"] = d(e.l1dReadAccesses);
+    s[dc + "ReadReq_misses::total"] = d(e.l1dReadMisses);
+    s[dc + "WriteReq_accesses::total"] = d(e.l1dWriteAccesses);
+    s[dc + "WriteReq_misses::total"] = d(e.l1dWriteMisses);
+    s[dc + "writebacks::total"] = d(e.l1dWritebacks);
+    s[dc + "overall_mshr_misses::total"] = d(e.l1dMisses);
+    s[dc + "overall_mshr_uncacheable_latency::total"] =
+        e.stallCyclesMem * 0.05;
+    s[dc + "demand_miss_latency::total"] =
+        e.stallCyclesMem;
+    s[dc + "replacements"] =
+        d(e.l1dMisses > 512 ? e.l1dMisses - 512 : 0);
+
+    // --- Instruction TLB + walker cache (the split L2 ITLB) ---
+    const std::string itb = cpu + "itb.";
+    s[itb + "accesses"] = d(e.itlbAccesses);
+    s[itb + "misses"] = d(e.itlbMisses);
+    s[itb + "hits"] = d(e.itlbAccesses - e.itlbMisses);
+    s[itb + "walks"] = d(e.itlbWalks);
+    const std::string itbwc = cpu + "itb_walker_cache.";
+    s[itbwc + "overall_accesses::total"] = d(e.l2ItlbAccesses);
+    s[itbwc + "overall_hits::total"] =
+        d(e.l2ItlbAccesses - e.l2ItlbMisses);
+    s[itbwc + "overall_misses::total"] = d(e.l2ItlbMisses);
+    s[itbwc + "overall_miss_rate::total"] =
+        ratio(d(e.l2ItlbMisses), d(e.l2ItlbAccesses));
+    s[itbwc + "ReadReq_accesses::total"] = d(e.l2ItlbAccesses);
+    s[itbwc + "tags.data_accesses"] = d(e.l2ItlbAccesses) * 8.0;
+
+    // --- Data TLB + walker cache ---
+    const std::string dtb = cpu + "dtb.";
+    s[dtb + "accesses"] = d(e.dtlbAccesses);
+    s[dtb + "misses"] = d(e.dtlbMisses);
+    s[dtb + "hits"] = d(e.dtlbAccesses - e.dtlbMisses);
+    s[dtb + "walks"] = d(e.dtlbWalks);
+    s[dtb + "prefetch_faults"] = d(e.wrongPathLoads) * 0.12;
+    const std::string dtbwc = cpu + "dtb_walker_cache.";
+    s[dtbwc + "overall_accesses::total"] = d(e.l2DtlbAccesses);
+    s[dtbwc + "overall_hits::total"] =
+        d(e.l2DtlbAccesses - e.l2DtlbMisses);
+    s[dtbwc + "overall_misses::total"] = d(e.l2DtlbMisses);
+    s[dtbwc + "ReadReq_accesses::total"] = d(e.l2DtlbAccesses);
+
+    // --- Shared L2 ---
+    const std::string l2 = "system.l2.";
+    s[l2 + "overall_accesses::total"] = d(e.l2Accesses);
+    s[l2 + "overall_hits::total"] = d(e.l2Accesses - e.l2Misses);
+    s[l2 + "overall_misses::total"] = d(e.l2Misses);
+    s[l2 + "overall_miss_rate::total"] =
+        ratio(d(e.l2Misses), d(e.l2Accesses));
+    s[l2 + "writebacks::total"] = d(e.l2Writebacks);
+    s[l2 + "prefetcher.num_hwpf_issued"] = d(e.l2Prefetches);
+    s[l2 + "prefetcher.pfSpanPage"] = d(e.l2Prefetches) * 0.05;
+    s[l2 + "overall_prefetch_hits"] = d(e.l2PrefetchHits);
+    s[l2 + "ReadExReq_accesses::total"] = d(e.l1dWriteMisses);
+    s[l2 + "ReadExReq_hits::total"] =
+        d(e.l1dWriteMisses) * 0.8;
+    s[l2 + "ReadExReq_misses::total"] =
+        d(e.l1dWriteMisses) * 0.2;
+    s[l2 + "ReadReq_accesses::total"] =
+        d(e.l2Accesses > e.l1dWriteMisses
+              ? e.l2Accesses - e.l1dWriteMisses
+              : 0);
+    s[l2 + "demand_miss_latency::total"] = e.dramStallNs * 1e3;
+    s[l2 + "snoops"] = d(e.snoops);
+
+    // --- Memory controller ---
+    const std::string mem = "system.mem_ctrls.";
+    s[mem + "num_reads::total"] = d(e.dramReads);
+    s[mem + "num_writes::total"] = d(e.dramWrites);
+    s[mem + "bytes_read::total"] = d(e.dramReads) * 64.0;
+    s[mem + "bytes_written::total"] = d(e.dramWrites) * 64.0;
+    s[mem + "bw_total::total"] =
+        ratio(d(e.dramReads + e.dramWrites) * 64.0, seconds);
+    s[mem + "avgRdQLen"] = ratio(d(e.dramReads), e.cycles) * 40.0;
+
+    // --- Misc op classes (spec-executed) ---
+    s[cpu + "op_class_0::IntAlu"] = d(e.intAluOps);
+    s[cpu + "op_class_0::IntMult"] = d(e.intMulOps);
+    s[cpu + "op_class_0::IntDiv"] = d(e.intDivOps);
+    s[cpu + "op_class_0::SimdFloatArith"] = d(e.fpOps + e.simdOps);
+    s[cpu + "op_class_0::MemRead"] = d(e.loadOps);
+    s[cpu + "op_class_0::MemWrite"] = d(e.storeOps);
+    s[cpu + "num_mem_refs"] = d(e.loadOps + e.storeOps);
+    s[cpu + "num_load_insts"] = d(e.loadOps);
+    s[cpu + "num_store_insts"] = d(e.storeOps);
+    s[cpu + "num_ldrex"] = d(e.ldrexOps);
+    s[cpu + "num_strex"] = d(e.strexOps);
+    s[cpu + "num_strex_fail"] = d(e.strexFails);
+    s[cpu + "num_membar"] = d(e.barriers);
+    s[cpu + "num_isb"] = d(e.isbs);
+    s[cpu + "num_unaligned"] = d(e.unalignedAccesses);
+
+    return s;
+}
+
+std::string
+renderStatsText(const std::map<std::string, double> &stats)
+{
+    std::ostringstream os;
+    os << "---------- Begin Simulation Statistics ----------\n";
+    for (const auto &[name, value] : stats) {
+        os << std::left << std::setw(52) << name << " "
+           << std::setprecision(12) << value << "\n";
+    }
+    os << "---------- End Simulation Statistics   ----------\n";
+    return os.str();
+}
+
+} // namespace gemstone::g5

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * gem5-style statistic dump for the g5 simulator.
+ *
+ * Builds the hierarchical statistics tree (system.cpu.fetch.*,
+ * system.cpu.branchPred.*, system.cpu.itb_walker_cache.*, system.l2.*
+ * and so on) from a run's event record, reproducing both the naming
+ * scheme of a real gem5 stats.txt and the g5 model's *counting
+ * quirks* — most notably the misclassification of scalar VFP
+ * operations as SIMD, which the paper calls out in Section V.
+ */
+
+#ifndef GEMSTONE_G5_STATMAP_HH
+#define GEMSTONE_G5_STATMAP_HH
+
+#include <map>
+#include <string>
+
+#include "g5/config.hh"
+#include "uarch/events.hh"
+
+namespace gemstone::g5 {
+
+/**
+ * Produce the full named statistics map for one run.
+ *
+ * @param events aggregate event record of the run
+ * @param seconds simulated seconds
+ * @param model which CPU model produced the run
+ */
+std::map<std::string, double> buildStatDump(
+    const uarch::EventCounts &events, double seconds, G5Model model);
+
+/**
+ * Write a gem5-style stats.txt rendering of a dump.
+ */
+std::string renderStatsText(
+    const std::map<std::string, double> &stats);
+
+} // namespace gemstone::g5
+
+#endif // GEMSTONE_G5_STATMAP_HH

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * The error-identification analyses of Section IV.
+ *
+ *  - Workload clustering (HCA on HW PMC rates) with per-cluster
+ *    execution-time MPE (Fig. 3).
+ *  - Correlation of each HW PMC rate with the MPE, with PMC events
+ *    themselves clustered by HCA (Fig. 5 / Section IV-B).
+ *  - The same analysis over g5 statistics (Section IV-C).
+ *  - Forward-stepwise regression of the model error on HW PMC events
+ *    or g5 statistics (Section IV-D).
+ *  - Direct event comparison of matched events, per workload cluster
+ *    (Fig. 6 / Section IV-E) and an event-quality audit (rate/total
+ *    MAPE per event, Section V).
+ */
+
+#ifndef GEMSTONE_GEMSTONE_ANALYSIS_HH
+#define GEMSTONE_GEMSTONE_ANALYSIS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gemstone/dataset.hh"
+#include "mlstat/hca.hh"
+#include "mlstat/stepwise.hh"
+
+namespace gemstone::core {
+
+// ---------------------------------------------------------------------
+// Workload clustering (Fig. 3)
+// ---------------------------------------------------------------------
+
+/** One workload's entry in the clustering. */
+struct ClusteredWorkload
+{
+    std::string name;
+    std::size_t cluster = 0;  //!< 1-based label, left-to-right
+    double mpe = 0.0;         //!< execution-time MPE at the frequency
+};
+
+/** Result of the Fig. 3 analysis. */
+struct WorkloadClustering
+{
+    double freqMhz = 0.0;
+    /** Workloads in dendrogram order. */
+    std::vector<ClusteredWorkload> workloads;
+    /** Mean MPE per cluster label. */
+    std::map<std::size_t, double> clusterMeanMpe;
+    /** Workload count per cluster label. */
+    std::map<std::size_t, std::size_t> clusterSizes;
+    mlstat::HcaResult hca;
+
+    /** Label of the cluster containing a workload (0 if unknown). */
+    std::size_t clusterOf(const std::string &workload) const;
+};
+
+/**
+ * Cluster the validation workloads by their HW PMC rate vectors
+ * (z-scored, Euclidean, average linkage) and attach execution-time
+ * MPEs at the given frequency.
+ */
+WorkloadClustering clusterWorkloads(const ValidationDataset &dataset,
+                                    double freq_mhz,
+                                    std::size_t cluster_count = 16);
+
+// ---------------------------------------------------------------------
+// Event correlation (Fig. 5 and Section IV-C)
+// ---------------------------------------------------------------------
+
+/** One event's correlation entry. */
+struct EventCorrelation
+{
+    std::string name;         //!< "0x12" or a g5 statistic name
+    double correlation = 0.0; //!< Pearson r against the MPE
+    std::size_t cluster = 0;  //!< HCA cluster of the event
+};
+
+/** Result of an event-correlation analysis. */
+struct CorrelationAnalysis
+{
+    double freqMhz = 0.0;
+    std::vector<EventCorrelation> events;  //!< sorted by correlation
+
+    /** Events of one cluster. */
+    std::vector<const EventCorrelation *> inCluster(
+        std::size_t cluster) const;
+
+    /** Mean correlation per cluster, most negative first. */
+    std::vector<std::pair<std::size_t, double>>
+    clustersByMeanCorrelation() const;
+};
+
+/**
+ * Correlate every HW PMC rate with the execution-time MPE and cluster
+ * the PMC events by cross-correlation (Fig. 5).
+ */
+CorrelationAnalysis correlatePmcEvents(
+    const ValidationDataset &dataset, double freq_mhz,
+    std::size_t event_cluster_count = 30);
+
+/**
+ * The Section IV-C analysis: correlate g5 statistic rates with the
+ * MPE, keep |r| >= min_abs_correlation, and cluster the survivors.
+ */
+CorrelationAnalysis correlateG5Events(
+    const ValidationDataset &dataset, double freq_mhz,
+    double min_abs_correlation = 0.3,
+    std::size_t event_cluster_count = 12);
+
+// ---------------------------------------------------------------------
+// Stepwise regression (Section IV-D)
+// ---------------------------------------------------------------------
+
+/** Result of the error-regression analysis. */
+struct ErrorRegression
+{
+    mlstat::StepwiseResult stepwise;
+    std::vector<std::string> selectedNames;
+    double r2 = 0.0;
+    double adjustedR2 = 0.0;
+};
+
+/**
+ * Regress the execution-time error (t_hw - t_g5, in seconds) on HW
+ * PMC events. Both totals and rates are candidates, as in the paper.
+ */
+ErrorRegression regressErrorOnPmcs(const ValidationDataset &dataset,
+                                   double freq_mhz,
+                                   std::size_t max_terms = 7);
+
+/** The same regression over g5 statistics. */
+ErrorRegression regressErrorOnG5Stats(
+    const ValidationDataset &dataset, double freq_mhz,
+    std::size_t max_terms = 8);
+
+// ---------------------------------------------------------------------
+// Event comparison (Fig. 6, Section IV-E) and quality audit
+// ---------------------------------------------------------------------
+
+/** One matched event's comparison row. */
+struct EventComparisonRow
+{
+    std::string key;        //!< e.g. "0x10"
+    std::string label;      //!< mnemonic
+    double meanRatio = 0.0; //!< mean(g5/HW) excluding outlier cluster
+    std::map<std::size_t, double> clusterRatio; //!< per Fig.3 cluster
+    double rateMape = 0.0;  //!< event-rate MAPE (g5 vs HW)
+    double totalMape = 0.0; //!< event-total MAPE
+    double totalMpe = 0.0;  //!< signed event-total MPE
+};
+
+/**
+ * Compare matched g5 events with their HW PMC equivalents per
+ * workload cluster (Fig. 6). @p exclude_cluster drops the
+ * pathological cluster from the mean, as the paper's Fig. 6 does.
+ */
+std::vector<EventComparisonRow> compareEvents(
+    const ValidationDataset &dataset, double freq_mhz,
+    const WorkloadClustering &clustering,
+    std::size_t exclude_cluster);
+
+/** Branch-predictor accuracy summary (Section IV-E). */
+struct BpAccuracySummary
+{
+    double hwMean = 0.0;
+    double g5Mean = 0.0;
+    double hwBest = 0.0;
+    double g5Worst = 1.0;
+    std::string g5WorstWorkload;
+    double g5WorstHwAccuracy = 0.0;
+    double g5WorstMpe = 0.0;
+};
+
+/** Compute the BP accuracy summary at a frequency. */
+BpAccuracySummary summariseBpAccuracy(const ValidationDataset &dataset,
+                                      double freq_mhz);
+
+} // namespace gemstone::core
+
+#endif // GEMSTONE_GEMSTONE_ANALYSIS_HH

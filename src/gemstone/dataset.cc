@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Dataset helpers.
+ */
+
+#include "gemstone/dataset.hh"
+
+#include <cmath>
+
+#include "mlstat/descriptive.hh"
+
+namespace gemstone::core {
+
+double
+ValidationRecord::execMpe() const
+{
+    return mlstat::percentError(hw.execSeconds, g5.simSeconds);
+}
+
+double
+ValidationRecord::execApe() const
+{
+    return std::fabs(execMpe());
+}
+
+std::vector<const ValidationRecord *>
+ValidationDataset::atFrequency(double freq_mhz) const
+{
+    std::vector<const ValidationRecord *> out;
+    for (const ValidationRecord &r : records) {
+        if (r.freqMhz == freq_mhz)
+            out.push_back(&r);
+    }
+    return out;
+}
+
+const ValidationRecord *
+ValidationDataset::find(const std::string &workload,
+                        double freq_mhz) const
+{
+    for (const ValidationRecord &r : records) {
+        if (r.freqMhz == freq_mhz && r.work &&
+            r.work->name == workload) {
+            return &r;
+        }
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+ValidationDataset::workloadNames() const
+{
+    std::vector<std::string> names;
+    for (const ValidationRecord &r : records) {
+        if (!r.work)
+            continue;
+        bool seen = false;
+        for (const std::string &name : names) {
+            if (name == r.work->name) {
+                seen = true;
+                break;
+            }
+        }
+        if (!seen)
+            names.push_back(r.work->name);
+    }
+    return names;
+}
+
+namespace {
+
+double
+aggregate(const std::vector<ValidationRecord> &records, bool absolute,
+          double freq_filter,
+          const std::string &suite_filter = std::string())
+{
+    std::vector<double> errors;
+    for (const ValidationRecord &r : records) {
+        if (freq_filter > 0.0 && r.freqMhz != freq_filter)
+            continue;
+        if (!suite_filter.empty() &&
+            (!r.work || r.work->suite != suite_filter)) {
+            continue;
+        }
+        errors.push_back(absolute ? r.execApe() : r.execMpe());
+    }
+    return mlstat::mean(errors);
+}
+
+} // namespace
+
+double
+ValidationDataset::execMape() const
+{
+    return aggregate(records, true, 0.0);
+}
+
+double
+ValidationDataset::execMpe() const
+{
+    return aggregate(records, false, 0.0);
+}
+
+double
+ValidationDataset::execMapeAt(double freq_mhz) const
+{
+    return aggregate(records, true, freq_mhz);
+}
+
+double
+ValidationDataset::execMpeAt(double freq_mhz) const
+{
+    return aggregate(records, false, freq_mhz);
+}
+
+double
+ValidationDataset::execMapeSuite(const std::string &suite) const
+{
+    return aggregate(records, true, 0.0, suite);
+}
+
+double
+ValidationDataset::execMpeSuite(const std::string &suite) const
+{
+    return aggregate(records, false, 0.0, suite);
+}
+
+} // namespace gemstone::core

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Collated experiment datasets (box "f" of Fig. 1).
+ */
+
+#ifndef GEMSTONE_GEMSTONE_DATASET_HH
+#define GEMSTONE_GEMSTONE_DATASET_HH
+
+#include <string>
+#include <vector>
+
+#include "g5/simulator.hh"
+#include "hwsim/platform.hh"
+#include "workload/workload.hh"
+
+namespace gemstone::core {
+
+/**
+ * One collated (workload, cluster, frequency) record: the hardware
+ * measurement side by side with the g5 simulation.
+ */
+struct ValidationRecord
+{
+    const workload::Workload *work = nullptr;
+    hwsim::CpuCluster cluster = hwsim::CpuCluster::BigA15;
+    double freqMhz = 0.0;
+    hwsim::HwMeasurement hw;
+    g5::G5Stats g5;
+
+    /**
+     * Execution-time Mean Percentage Error contribution:
+     * (t_hw - t_g5) / t_hw. Negative means the model overestimates
+     * the execution time (the paper's sign convention).
+     */
+    double execMpe() const;
+
+    /** Absolute percentage error of the execution time. */
+    double execApe() const;
+};
+
+/**
+ * The full validation dataset for one cluster (Experiments 1 + 2).
+ */
+struct ValidationDataset
+{
+    hwsim::CpuCluster cluster = hwsim::CpuCluster::BigA15;
+    int g5Version = 1;
+    std::vector<double> freqsMhz;
+    std::vector<ValidationRecord> records;
+
+    /** Records at one frequency, in workload order. */
+    std::vector<const ValidationRecord *> atFrequency(
+        double freq_mhz) const;
+
+    /** Record for a workload at a frequency; nullptr when absent. */
+    const ValidationRecord *find(const std::string &workload,
+                                 double freq_mhz) const;
+
+    /** Distinct workload names, in first-seen order. */
+    std::vector<std::string> workloadNames() const;
+
+    /** MAPE of execution time across all records. */
+    double execMape() const;
+
+    /** MPE of execution time across all records. */
+    double execMpe() const;
+
+    /** MAPE restricted to one frequency. */
+    double execMapeAt(double freq_mhz) const;
+
+    /** MPE restricted to one frequency. */
+    double execMpeAt(double freq_mhz) const;
+
+    /** MAPE restricted to one suite (e.g. "parsec"). */
+    double execMapeSuite(const std::string &suite) const;
+
+    /** MPE restricted to one suite. */
+    double execMpeSuite(const std::string &suite) const;
+};
+
+} // namespace gemstone::core
+
+#endif // GEMSTONE_GEMSTONE_DATASET_HH

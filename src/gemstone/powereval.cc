@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Power/energy and DVFS-scaling evaluation implementation.
+ */
+
+#include "gemstone/powereval.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mlstat/descriptive.hh"
+#include "util/logging.hh"
+
+namespace gemstone::core {
+
+PowerEnergyEvaluation
+evaluatePowerEnergy(const ValidationDataset &dataset, double freq_mhz,
+                    const powmon::PowerModel &model,
+                    const WorkloadClustering &clustering)
+{
+    auto records = dataset.atFrequency(freq_mhz);
+    fatal_if(records.empty(), "no records at ", freq_mhz, " MHz");
+
+    PowerEnergyEvaluation out;
+    out.freqMhz = freq_mhz;
+    out.componentLabels.push_back("intercept");
+    for (const powmon::EventSpec &spec : model.events)
+        out.componentLabels.push_back(spec.key);
+
+    std::vector<double> hw_power;
+    std::vector<double> g5_power;
+    std::vector<double> hw_energy;
+    std::vector<double> g5_energy;
+
+    for (const ValidationRecord *r : records) {
+        PowerEnergyRecord rec;
+        rec.workload = r->work->name;
+        rec.cluster = clustering.clusterOf(rec.workload);
+        rec.hwPower = model.estimateHw(r->hw);
+        rec.g5Power = model.estimateG5(r->g5);
+        rec.hwEnergy = rec.hwPower * r->hw.execSeconds;
+        rec.g5Energy = rec.g5Power * r->g5.simSeconds;
+        rec.hwBreakdown = model.breakdownHw(r->hw);
+        rec.g5Breakdown = model.breakdownG5(r->g5);
+
+        hw_power.push_back(rec.hwPower);
+        g5_power.push_back(rec.g5Power);
+        hw_energy.push_back(rec.hwEnergy);
+        g5_energy.push_back(rec.g5Energy);
+        out.perWorkload.push_back(std::move(rec));
+    }
+
+    out.powerMpe = mlstat::meanPercentError(hw_power, g5_power);
+    out.powerMape = mlstat::meanAbsPercentError(hw_power, g5_power);
+    out.energyMpe = mlstat::meanPercentError(hw_energy, g5_energy);
+    out.energyMape =
+        mlstat::meanAbsPercentError(hw_energy, g5_energy);
+
+    // Per-cluster aggregates.
+    std::map<std::size_t, std::vector<const PowerEnergyRecord *>>
+        grouped;
+    for (const PowerEnergyRecord &rec : out.perWorkload)
+        grouped[rec.cluster].push_back(&rec);
+
+    for (const auto &[label, recs] : grouped) {
+        ClusterPowerEnergy agg;
+        agg.cluster = label;
+        agg.workloadCount = recs.size();
+        std::vector<double> hp, gp, he, ge;
+        agg.hwBreakdown.assign(out.componentLabels.size(), 0.0);
+        agg.g5Breakdown.assign(out.componentLabels.size(), 0.0);
+        for (const PowerEnergyRecord *rec : recs) {
+            hp.push_back(rec->hwPower);
+            gp.push_back(rec->g5Power);
+            he.push_back(rec->hwEnergy);
+            ge.push_back(rec->g5Energy);
+            for (std::size_t c = 0; c < agg.hwBreakdown.size(); ++c) {
+                agg.hwBreakdown[c] += rec->hwBreakdown[c];
+                agg.g5Breakdown[c] += rec->g5Breakdown[c];
+            }
+        }
+        for (std::size_t c = 0; c < agg.hwBreakdown.size(); ++c) {
+            agg.hwBreakdown[c] /= double(recs.size());
+            agg.g5Breakdown[c] /= double(recs.size());
+        }
+        agg.powerMape = mlstat::meanAbsPercentError(hp, gp);
+        agg.energyMape = mlstat::meanAbsPercentError(he, ge);
+        out.perCluster.push_back(std::move(agg));
+    }
+    return out;
+}
+
+std::vector<std::pair<std::string, double>>
+DvfsScaling::speedups() const
+{
+    std::vector<std::pair<std::string, double>> out;
+    for (const ScalingSeries &s : series) {
+        if (s.performance.empty())
+            continue;
+        out.emplace_back(s.label, s.performance.back());
+    }
+    return out;
+}
+
+namespace {
+
+/**
+ * Mean performance/power/energy of a workload subset at each
+ * frequency, normalised to the first.
+ */
+ScalingSeries
+buildSeries(const ValidationDataset &dataset,
+            const powmon::PowerModel &model,
+            const std::vector<std::string> &workloads, bool use_g5,
+            const std::string &label)
+{
+    ScalingSeries series;
+    series.label = label;
+    series.freqsMhz = dataset.freqsMhz;
+
+    std::vector<double> perf;
+    std::vector<double> power;
+    std::vector<double> energy;
+    for (double freq : dataset.freqsMhz) {
+        std::vector<double> p, w, e;
+        for (const std::string &name : workloads) {
+            const ValidationRecord *r = dataset.find(name, freq);
+            if (!r)
+                continue;
+            double seconds =
+                use_g5 ? r->g5.simSeconds : r->hw.execSeconds;
+            double watts = use_g5 ? model.estimateG5(r->g5)
+                                  : model.estimateHw(r->hw);
+            p.push_back(1.0 / seconds);
+            w.push_back(watts);
+            e.push_back(watts * seconds);
+        }
+        perf.push_back(mlstat::mean(p));
+        power.push_back(mlstat::mean(w));
+        energy.push_back(mlstat::mean(e));
+    }
+
+    double p0 = perf.empty() || perf.front() == 0 ? 1.0 : perf.front();
+    double w0 =
+        power.empty() || power.front() == 0 ? 1.0 : power.front();
+    double e0 =
+        energy.empty() || energy.front() == 0 ? 1.0 : energy.front();
+    for (std::size_t i = 0; i < perf.size(); ++i) {
+        series.performance.push_back(perf[i] / p0);
+        series.power.push_back(power[i] / w0);
+        series.energy.push_back(energy[i] / e0);
+    }
+    return series;
+}
+
+std::vector<std::string>
+workloadsOfCluster(const WorkloadClustering &clustering,
+                   std::size_t cluster)
+{
+    std::vector<std::string> names;
+    for (const ClusteredWorkload &w : clustering.workloads) {
+        if (cluster == 0 || w.cluster == cluster)
+            names.push_back(w.name);
+    }
+    return names;
+}
+
+} // namespace
+
+DvfsScaling
+computeDvfsScaling(const ValidationDataset &dataset,
+                   const powmon::PowerModel &model,
+                   const WorkloadClustering &clustering,
+                   const std::vector<std::size_t> &selected_clusters)
+{
+    DvfsScaling out;
+    std::vector<std::string> all =
+        workloadsOfCluster(clustering, 0);
+    out.series.push_back(
+        buildSeries(dataset, model, all, false, "HW mean"));
+    out.series.push_back(
+        buildSeries(dataset, model, all, true, "g5 mean"));
+    for (std::size_t cluster : selected_clusters) {
+        std::vector<std::string> subset =
+            workloadsOfCluster(clustering, cluster);
+        if (subset.empty())
+            continue;
+        std::string tag = "cluster " + std::to_string(cluster);
+        out.series.push_back(buildSeries(dataset, model, subset,
+                                         false, "HW " + tag));
+        out.series.push_back(
+            buildSeries(dataset, model, subset, true, "g5 " + tag));
+    }
+    return out;
+}
+
+namespace {
+
+/** Per-cluster ratio of a quantity between two frequencies. */
+void
+summarise(const std::map<std::size_t, double> &per_cluster,
+          double &mean, double &min_value, double &max_value,
+          std::size_t &min_cluster, std::size_t &max_cluster)
+{
+    std::vector<double> values;
+    min_value = 1e300;
+    max_value = -1e300;
+    for (const auto &[cluster, value] : per_cluster) {
+        values.push_back(value);
+        if (value < min_value) {
+            min_value = value;
+            min_cluster = cluster;
+        }
+        if (value > max_value) {
+            max_value = value;
+            max_cluster = cluster;
+        }
+    }
+    mean = mlstat::mean(values);
+}
+
+} // namespace
+
+SpeedupSummary
+summariseSpeedup(const ValidationDataset &dataset,
+                 const WorkloadClustering &clustering, double low_mhz,
+                 double high_mhz)
+{
+    std::map<std::size_t, std::vector<double>> hw_ratios;
+    std::map<std::size_t, std::vector<double>> g5_ratios;
+    for (const std::string &name : dataset.workloadNames()) {
+        const ValidationRecord *low = dataset.find(name, low_mhz);
+        const ValidationRecord *high = dataset.find(name, high_mhz);
+        if (!low || !high)
+            continue;
+        std::size_t cluster = clustering.clusterOf(name);
+        hw_ratios[cluster].push_back(low->hw.execSeconds /
+                                     high->hw.execSeconds);
+        g5_ratios[cluster].push_back(low->g5.simSeconds /
+                                     high->g5.simSeconds);
+    }
+
+    std::map<std::size_t, double> hw_mean;
+    std::map<std::size_t, double> g5_mean;
+    for (const auto &[cluster, values] : hw_ratios)
+        hw_mean[cluster] = mlstat::mean(values);
+    for (const auto &[cluster, values] : g5_ratios)
+        g5_mean[cluster] = mlstat::mean(values);
+
+    SpeedupSummary out;
+    summarise(hw_mean, out.hwMean, out.hwMin, out.hwMax,
+              out.hwMinCluster, out.hwMaxCluster);
+    summarise(g5_mean, out.g5Mean, out.g5Min, out.g5Max,
+              out.g5MinCluster, out.g5MaxCluster);
+    return out;
+}
+
+SpeedupSummary
+summariseEnergyGrowth(const ValidationDataset &dataset,
+                      const powmon::PowerModel &model,
+                      const WorkloadClustering &clustering,
+                      double low_mhz, double high_mhz)
+{
+    std::map<std::size_t, std::vector<double>> hw_ratios;
+    std::map<std::size_t, std::vector<double>> g5_ratios;
+    for (const std::string &name : dataset.workloadNames()) {
+        const ValidationRecord *low = dataset.find(name, low_mhz);
+        const ValidationRecord *high = dataset.find(name, high_mhz);
+        if (!low || !high)
+            continue;
+        std::size_t cluster = clustering.clusterOf(name);
+        double hw_low =
+            model.estimateHw(low->hw) * low->hw.execSeconds;
+        double hw_high =
+            model.estimateHw(high->hw) * high->hw.execSeconds;
+        double g5_low =
+            model.estimateG5(low->g5) * low->g5.simSeconds;
+        double g5_high =
+            model.estimateG5(high->g5) * high->g5.simSeconds;
+        if (hw_low > 0)
+            hw_ratios[cluster].push_back(hw_high / hw_low);
+        if (g5_low > 0)
+            g5_ratios[cluster].push_back(g5_high / g5_low);
+    }
+
+    std::map<std::size_t, double> hw_mean;
+    std::map<std::size_t, double> g5_mean;
+    for (const auto &[cluster, values] : hw_ratios)
+        hw_mean[cluster] = mlstat::mean(values);
+    for (const auto &[cluster, values] : g5_ratios)
+        g5_mean[cluster] = mlstat::mean(values);
+
+    SpeedupSummary out;
+    summarise(hw_mean, out.hwMean, out.hwMin, out.hwMax,
+              out.hwMinCluster, out.hwMaxCluster);
+    summarise(g5_mean, out.g5Mean, out.g5Min, out.g5Max,
+              out.g5MinCluster, out.g5MaxCluster);
+    return out;
+}
+
+} // namespace gemstone::core

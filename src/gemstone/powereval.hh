@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Power, energy and DVFS-scaling evaluation (Section VI).
+ */
+
+#ifndef GEMSTONE_GEMSTONE_POWEREVAL_HH
+#define GEMSTONE_GEMSTONE_POWEREVAL_HH
+
+#include "gemstone/analysis.hh"
+#include "gemstone/dataset.hh"
+#include "powmon/model.hh"
+
+namespace gemstone::core {
+
+/** One workload's power/energy comparison. */
+struct PowerEnergyRecord
+{
+    std::string workload;
+    std::size_t cluster = 0;       //!< Fig. 3 cluster label
+    double hwPower = 0.0;          //!< model applied to HW PMCs
+    double g5Power = 0.0;          //!< model applied to g5 stats
+    double hwEnergy = 0.0;
+    double g5Energy = 0.0;
+    std::vector<double> hwBreakdown;  //!< per-component watts
+    std::vector<double> g5Breakdown;
+};
+
+/** Per-cluster aggregate of Fig. 7. */
+struct ClusterPowerEnergy
+{
+    std::size_t cluster = 0;
+    std::size_t workloadCount = 0;
+    double powerMape = 0.0;
+    double energyMape = 0.0;
+    std::vector<double> hwBreakdown;  //!< mean per-component watts
+    std::vector<double> g5Breakdown;
+};
+
+/** The full Fig. 7 evaluation. */
+struct PowerEnergyEvaluation
+{
+    double freqMhz = 0.0;
+    std::vector<std::string> componentLabels; //!< intercept + events
+    std::vector<PowerEnergyRecord> perWorkload;
+    std::vector<ClusterPowerEnergy> perCluster;
+    double powerMpe = 0.0;
+    double powerMape = 0.0;
+    double energyMpe = 0.0;
+    double energyMape = 0.0;
+};
+
+/**
+ * Apply one power model to both sides of a validation dataset at a
+ * frequency (the Fig. 2 tool feeding Fig. 7): power from HW PMC
+ * rates vs power from g5 statistic rates, and the corresponding
+ * energies using each side's own execution time.
+ */
+PowerEnergyEvaluation evaluatePowerEnergy(
+    const ValidationDataset &dataset, double freq_mhz,
+    const powmon::PowerModel &model,
+    const WorkloadClustering &clustering);
+
+// ---------------------------------------------------------------------
+// DVFS scaling (Fig. 8)
+// ---------------------------------------------------------------------
+
+/** Scaling of one quantity across frequencies, normalised to f0. */
+struct ScalingSeries
+{
+    std::string label;                //!< "HW" / "g5", cluster tag
+    std::vector<double> freqsMhz;
+    std::vector<double> performance;  //!< 1/t, normalised
+    std::vector<double> power;        //!< normalised
+    std::vector<double> energy;       //!< normalised
+};
+
+/** The Fig. 8 dataset. */
+struct DvfsScaling
+{
+    std::vector<ScalingSeries> series;  //!< mean + selected clusters
+
+    /** Speedup of the top frequency vs the bottom, per series. */
+    std::vector<std::pair<std::string, double>> speedups() const;
+};
+
+/**
+ * Compute performance/power/energy scaling across a cluster's DVFS
+ * points, normalised to the lowest frequency, for the workload mean
+ * and for the selected Fig. 3 clusters.
+ */
+DvfsScaling computeDvfsScaling(
+    const ValidationDataset &dataset,
+    const powmon::PowerModel &model,
+    const WorkloadClustering &clustering,
+    const std::vector<std::size_t> &selected_clusters);
+
+/** Min/mean/max speedup between two frequencies for HW and g5. */
+struct SpeedupSummary
+{
+    double hwMean = 0.0;
+    double hwMin = 0.0;
+    double hwMax = 0.0;
+    double g5Mean = 0.0;
+    double g5Min = 0.0;
+    double g5Max = 0.0;
+    std::size_t hwMinCluster = 0;
+    std::size_t hwMaxCluster = 0;
+    std::size_t g5MinCluster = 0;
+    std::size_t g5MaxCluster = 0;
+};
+
+/**
+ * Per-cluster speedups between two frequencies (the paper's A15
+ * 600 -> 1800 MHz comparison: HW 2.7x [2.1-3.2], model 2.9x
+ * [2.8-3.0]).
+ */
+SpeedupSummary summariseSpeedup(const ValidationDataset &dataset,
+                                const WorkloadClustering &clustering,
+                                double low_mhz, double high_mhz);
+
+/** The same style of summary for energy growth between two OPPs. */
+SpeedupSummary summariseEnergyGrowth(
+    const ValidationDataset &dataset,
+    const powmon::PowerModel &model,
+    const WorkloadClustering &clustering, double low_mhz,
+    double high_mhz);
+
+} // namespace gemstone::core
+
+#endif // GEMSTONE_GEMSTONE_POWEREVAL_HH

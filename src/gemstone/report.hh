@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Report generation: runs the full GemStone flow for one cluster and
+ * writes every artefact (tables and CSV datasets) to a directory,
+ * the way the released tool produced its tables and graphs.
+ */
+
+#ifndef GEMSTONE_GEMSTONE_REPORT_HH
+#define GEMSTONE_GEMSTONE_REPORT_HH
+
+#include <ostream>
+#include <string>
+
+#include "gemstone/analysis.hh"
+#include "gemstone/powereval.hh"
+#include "gemstone/runner.hh"
+
+namespace gemstone::core {
+
+/** What to include in a generated report. */
+struct ReportConfig
+{
+    hwsim::CpuCluster cluster = hwsim::CpuCluster::BigA15;
+    /** Frequency for the single-frequency analyses (Figs. 3-7). */
+    double analysisFreqMhz = 1000.0;
+    /** Clusters to cut the workload HCA into. */
+    std::size_t workloadClusters = 16;
+    /** Run the power-model flow (Experiments 3/4 + Fig. 7). */
+    bool includePower = true;
+    /** Run the full DVFS sweep (Fig. 8). */
+    bool includeDvfs = true;
+    /** Also write CSV datasets next to the text report. */
+    bool writeCsv = true;
+};
+
+/**
+ * The complete set of analysis results for one cluster.
+ */
+struct Report
+{
+    ReportConfig config;
+    ValidationDataset validation;
+    WorkloadClustering clustering;
+    CorrelationAnalysis pmcCorrelation;
+    CorrelationAnalysis g5Correlation;
+    ErrorRegression pmcRegression;
+    ErrorRegression g5Regression;
+    std::vector<EventComparisonRow> eventComparison;
+    BpAccuracySummary bpSummary;
+    powmon::PowerModel powerModel;
+    PowerEnergyEvaluation powerEnergy;
+    DvfsScaling dvfsScaling;
+    bool hasPower = false;
+    bool hasDvfs = false;
+
+    /** Render the whole report as text tables. */
+    void writeText(std::ostream &os) const;
+};
+
+/**
+ * Run the full flow (Experiments 1-4 + Section IV/V/VI analyses).
+ */
+Report generateReport(ExperimentRunner &runner,
+                      const ReportConfig &config);
+
+/**
+ * Write a report and its CSV datasets into a directory (created if
+ * missing). Returns the number of files written.
+ */
+std::size_t writeReportFiles(const Report &report,
+                             const std::string &directory);
+
+} // namespace gemstone::core
+
+#endif // GEMSTONE_GEMSTONE_REPORT_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * ExperimentRunner implementation.
+ */
+
+#include "gemstone/runner.hh"
+
+#include "util/logging.hh"
+
+namespace gemstone::core {
+
+ExperimentRunner::ExperimentRunner(const RunnerConfig &config)
+    : runnerConfig(config),
+      board(std::make_unique<hwsim::OdroidXu3Platform>(
+          config.seed, config.boardVariation)),
+      sim(std::make_unique<g5::G5Simulation>(config.g5Version))
+{
+}
+
+const std::vector<double> &
+ExperimentRunner::frequenciesFor(hwsim::CpuCluster cluster)
+{
+    // Section III: 200/600/1000/1400 MHz on the A7 and
+    // 600/1000/1400/1800 MHz on the A15 (2 GHz throttles).
+    static const std::vector<double> little = {200.0, 600.0, 1000.0,
+                                               1400.0};
+    static const std::vector<double> big = {600.0, 1000.0, 1400.0,
+                                            1800.0};
+    return cluster == hwsim::CpuCluster::LittleA7 ? little : big;
+}
+
+g5::G5Model
+ExperimentRunner::modelFor(hwsim::CpuCluster cluster)
+{
+    return cluster == hwsim::CpuCluster::LittleA7
+        ? g5::G5Model::Ex5Little
+        : g5::G5Model::Ex5Big;
+}
+
+ValidationDataset
+ExperimentRunner::runValidation(hwsim::CpuCluster cluster)
+{
+    return runValidation(cluster, frequenciesFor(cluster));
+}
+
+ValidationDataset
+ExperimentRunner::runValidation(hwsim::CpuCluster cluster,
+                                const std::vector<double> &freqs_mhz)
+{
+    ValidationDataset dataset;
+    dataset.cluster = cluster;
+    dataset.g5Version = runnerConfig.g5Version;
+    dataset.freqsMhz = freqs_mhz;
+
+    g5::G5Model model = modelFor(cluster);
+    for (const workload::Workload *work :
+         workload::Suite::validationSet()) {
+        for (double freq : freqs_mhz) {
+            ValidationRecord record;
+            record.work = work;
+            record.cluster = cluster;
+            record.freqMhz = freq;
+            record.hw = board->measure(*work, cluster, freq,
+                                       runnerConfig.repeats);
+            record.g5 = sim->run(*work, model, freq);
+            dataset.records.push_back(std::move(record));
+        }
+    }
+    return dataset;
+}
+
+std::vector<powmon::PowerObservation>
+ExperimentRunner::runPowerCharacterisation(hwsim::CpuCluster cluster)
+{
+    std::vector<powmon::PowerObservation> observations;
+    for (const workload::Workload &work : workload::Suite::all()) {
+        for (double freq : frequenciesFor(cluster)) {
+            powmon::PowerObservation obs;
+            obs.measurement = board->measure(work, cluster, freq,
+                                             runnerConfig.repeats);
+            observations.push_back(std::move(obs));
+        }
+    }
+    return observations;
+}
+
+} // namespace gemstone::core

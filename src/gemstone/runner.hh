@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The GemStone experiment runner: automates Experiments 1-4 of
+ * Fig. 1 (hardware characterisation, g5 simulation, power/PMC
+ * collection and collation).
+ */
+
+#ifndef GEMSTONE_GEMSTONE_RUNNER_HH
+#define GEMSTONE_GEMSTONE_RUNNER_HH
+
+#include <memory>
+
+#include "gemstone/dataset.hh"
+#include "powmon/model.hh"
+
+namespace gemstone::core {
+
+/** Runner configuration. */
+struct RunnerConfig
+{
+    /** g5 simulator release under evaluation (1 = paper, 2 = fix). */
+    int g5Version = 1;
+    /** Timing repeats per hardware measurement. */
+    unsigned repeats = 5;
+    /** Master seed for all stochastic observation noise. */
+    std::uint64_t seed = 0x0d401dULL;
+    /**
+     * Board-to-board spread of the hidden power coefficients; keep 0
+     * for the reference board, non-zero to emulate another physical
+     * unit (Section V's published-coefficient scenario).
+     */
+    double boardVariation = 0.0;
+};
+
+/**
+ * Orchestrates the platform and the simulator, producing collated
+ * datasets for the analyses. One instance caches its simulation runs,
+ * so iterating analyses is cheap.
+ */
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(const RunnerConfig &config = {});
+
+    /** The paper's DVFS points for a cluster. */
+    static const std::vector<double> &frequenciesFor(
+        hwsim::CpuCluster cluster);
+
+    /** The g5 model corresponding to a hardware cluster. */
+    static g5::G5Model modelFor(hwsim::CpuCluster cluster);
+
+    /**
+     * Experiments 1 + 2 + collation: run the 45-workload validation
+     * set on the hardware platform and the g5 model across the
+     * cluster's DVFS points.
+     */
+    ValidationDataset runValidation(hwsim::CpuCluster cluster);
+
+    /** Validation limited to chosen frequencies (faster). */
+    ValidationDataset runValidation(
+        hwsim::CpuCluster cluster,
+        const std::vector<double> &freqs_mhz);
+
+    /**
+     * Experiments 3 + 4: power characterisation of all 65 workloads
+     * across every DVFS point of a cluster.
+     */
+    std::vector<powmon::PowerObservation> runPowerCharacterisation(
+        hwsim::CpuCluster cluster);
+
+    hwsim::OdroidXu3Platform &platform() { return *board; }
+    g5::G5Simulation &simulator() { return *sim; }
+    const RunnerConfig &config() const { return runnerConfig; }
+
+  private:
+    RunnerConfig runnerConfig;
+    std::unique_ptr<hwsim::OdroidXu3Platform> board;
+    std::unique_ptr<g5::G5Simulation> sim;
+};
+
+} // namespace gemstone::core
+
+#endif // GEMSTONE_GEMSTONE_RUNNER_HH

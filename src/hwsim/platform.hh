@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The reference hardware platform: an ODROID-XU3-class big.LITTLE
+ * board model.
+ *
+ * This is the "HW" side of the paper's methodology. It executes
+ * workloads on micro-architecture models configured with the *true*
+ * Cortex-A7 / Cortex-A15 parameters, exposes a multiplexed ARMv7 PMU,
+ * per-cluster power sensors with realistic noise, DVFS operating
+ * points with a voltage table, run-to-run timing variation (the paper
+ * takes the median of five runs), and thermal throttling at the top
+ * A15 frequency.
+ */
+
+#ifndef GEMSTONE_HWSIM_PLATFORM_HH
+#define GEMSTONE_HWSIM_PLATFORM_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hwsim/pmu.hh"
+#include "hwsim/power.hh"
+#include "uarch/system.hh"
+#include "workload/workload.hh"
+
+namespace gemstone::hwsim {
+
+/** Which CPU cluster of the big.LITTLE SoC. */
+enum class CpuCluster { LittleA7, BigA15 };
+
+/** Short tag ("a7" / "a15"). */
+std::string clusterTag(CpuCluster cluster);
+
+/** One DVFS operating point. */
+struct OppPoint
+{
+    double freqMhz;
+    double voltage;
+};
+
+/** The true micro-architecture of the Cortex-A15 cluster. */
+uarch::ClusterConfig trueBigConfig();
+
+/** The true micro-architecture of the Cortex-A7 cluster. */
+uarch::ClusterConfig trueLittleConfig();
+
+/** One measured observation of a workload on the platform. */
+struct HwMeasurement
+{
+    std::string workload;
+    CpuCluster cluster = CpuCluster::BigA15;
+    double freqMhz = 0.0;
+    double voltage = 0.0;
+
+    /** Median execution time of the repeats (seconds). */
+    double execSeconds = 0.0;
+    /** The individual timing observations. */
+    std::vector<double> repeatSeconds;
+    /** PMC counts captured across multiplexed runs (id -> count). */
+    std::map<int, double> pmc;
+    /** Measured (noisy) mean power in watts. */
+    double powerWatts = 0.0;
+    /** Die temperature during the run (C). */
+    double temperatureC = 0.0;
+    /** True if the thermal limit forced a lower frequency. */
+    bool throttled = false;
+
+    /**
+     * Ground-truth event record — available because the platform is
+     * simulated; used only by tests, never by the GemStone analyses.
+     */
+    uarch::EventCounts groundTruth;
+
+    /** PMC count by id; 0 when not captured. */
+    double pmcValue(int id) const;
+
+    /** PMC rate per second. */
+    double pmcRate(int id) const;
+};
+
+/**
+ * The board. One instance owns a deterministic noise stream and a
+ * run cache (runs are frequency-retimed rather than re-simulated, as
+ * all architectural event counts are DVFS-invariant).
+ */
+class OdroidXu3Platform
+{
+  public:
+    /**
+     * @param seed master seed for every stochastic observation
+     * @param board_variation relative board-to-board spread of the
+     *        hidden power coefficients (silicon, sensors, regulators
+     *        and ambient conditions differ between physical boards —
+     *        the reason the paper saw 5.6% with published
+     *        coefficients but 2.8% after re-tuning). 0 = the
+     *        reference board.
+     */
+    explicit OdroidXu3Platform(std::uint64_t seed = 0x0d401dULL,
+                               double board_variation = 0.0);
+
+    /** Operating points of a cluster (the paper's tested set). */
+    static const std::vector<OppPoint> &oppTable(CpuCluster cluster);
+
+    /** Voltage for a frequency; fatal() for an unknown OPP. */
+    static double voltageFor(CpuCluster cluster, double freq_mhz);
+
+    /**
+     * Run a workload and measure it: @p repeats timing observations
+     * (median reported), all PMU events via multiplexed capture, and
+     * a power-sensor reading over an >= 30 s effective window.
+     */
+    HwMeasurement measure(const workload::Workload &work,
+                          CpuCluster cluster, double freq_mhz,
+                          unsigned repeats = 5);
+
+    /**
+     * Measure only the events requested (fewer instrumented runs).
+     */
+    HwMeasurement measureEvents(const workload::Workload &work,
+                                CpuCluster cluster, double freq_mhz,
+                                const std::vector<int> &event_ids,
+                                unsigned repeats = 5);
+
+    /** The sensor and thermal models (exposed for tests). */
+    const PowerSensor &sensor() const { return powerSensor; }
+    const ThermalModel &thermal() const { return thermalModel; }
+
+    /** Ground-truth power function (tests only). */
+    const GroundTruthPower &groundTruthPower(CpuCluster cluster) const;
+
+    /** Clear the run cache (frees workload memory). */
+    void clearCache();
+
+  private:
+    /** Cached base-frequency run for (workload, cluster). */
+    const uarch::RunResult &baseRun(const workload::Workload &work,
+                                    CpuCluster cluster);
+
+    Rng masterRng;
+    PmuSampler pmuSampler;
+    PowerSensor powerSensor;
+    ThermalModel thermalModel;
+    GroundTruthPower bigPower;
+    GroundTruthPower littlePower;
+    std::map<std::string, uarch::RunResult> runCache;
+};
+
+} // namespace gemstone::hwsim
+
+#endif // GEMSTONE_HWSIM_PLATFORM_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Ground-truth power, sensor and thermal model implementations.
+ */
+
+#include "hwsim/power.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace gemstone::hwsim {
+
+PowerCoefficients
+bigCoefficients()
+{
+    return PowerCoefficients{};  // defaults are A15-class
+}
+
+PowerCoefficients
+littleCoefficients()
+{
+    PowerCoefficients c;
+    c.staticBase = 0.025;
+    c.staticPerDegree = 0.0012;
+    c.clockTreePerGhz = 0.030;
+    c.energyCycle = 0.028;
+    c.energyInst = 0.018;
+    c.energyIntMul = 0.025;
+    c.energyIntDiv = 0.10;
+    c.energyFp = 0.055;
+    c.energySimd = 0.07;
+    c.energyL1dAccess = 0.027;
+    c.energyL1dMiss = 0.14;
+    c.energyL1iAccess = 0.016;
+    c.energyL2Access = 0.18;
+    c.energyDram = 3.50;  // DRAM energy is shared, not core-scaled
+    c.energyMispredict = 0.10;
+    c.energyTlbWalk = 0.16;
+    c.energyExclusive = 0.04;
+    c.energyBarrier = 0.05;
+    c.energySnoop = 0.15;
+    c.energyUnaligned = 0.02;
+    return c;
+}
+
+GroundTruthPower::GroundTruthPower(
+    const PowerCoefficients &coefficients)
+    : coeffs(coefficients)
+{
+}
+
+double
+GroundTruthPower::meanPower(const uarch::EventCounts &events,
+                            double seconds, double voltage,
+                            double freq_ghz,
+                            double temperature) const
+{
+    panic_if(seconds <= 0.0, "meanPower needs a positive duration");
+
+    // Static leakage: quadratic in V, linear-ish in temperature.
+    double static_w = coeffs.staticBase * voltage * voltage *
+        (1.0 + coeffs.staticPerDegree * (temperature - 25.0));
+
+    // Idle clock tree: proportional to f V^2 regardless of activity.
+    double clock_w =
+        coeffs.clockTreePerGhz * freq_ghz * voltage * voltage;
+
+    // Dynamic energy: sum of per-event energies, scaled by V^2.
+    const uarch::EventCounts &e = events;
+    double nj = 0.0;
+    nj += coeffs.energyCycle * e.cycles;
+    nj += coeffs.energyInst * double(e.instSpec);
+    nj += coeffs.energyIntMul * double(e.intMulOps);
+    nj += coeffs.energyIntDiv * double(e.intDivOps);
+    nj += coeffs.energyFp * double(e.fpOps);
+    nj += coeffs.energySimd * double(e.simdOps);
+    nj += coeffs.energyL1dAccess * double(e.l1dAccesses);
+    nj += coeffs.energyL1dMiss * double(e.l1dMisses);
+    nj += coeffs.energyL1iAccess * double(e.l1iAccesses);
+    nj += coeffs.energyL2Access * double(e.l2Accesses);
+    nj += coeffs.energyDram * double(e.dramReads + e.dramWrites);
+    nj += coeffs.energyMispredict * double(e.branchMispredicts);
+    nj += coeffs.energyTlbWalk * double(e.itlbWalks + e.dtlbWalks);
+    nj += coeffs.energyExclusive * double(e.ldrexOps + e.strexOps);
+    nj += coeffs.energyBarrier * double(e.barriers + e.isbs);
+    nj += coeffs.energySnoop * double(e.snoops);
+    nj += coeffs.energyUnaligned * double(e.unalignedAccesses);
+
+    double dynamic_w = nj * 1e-9 / seconds * voltage * voltage;
+    return static_w + clock_w + dynamic_w;
+}
+
+PowerSensor::PowerSensor(double sample_hz, double reading_sigma)
+    : sampleHz(sample_hz), readingSigma(reading_sigma)
+{
+    fatal_if(sample_hz <= 0.0, "sensor rate must be positive");
+}
+
+double
+PowerSensor::measure(double true_power, double duration_seconds,
+                     Rng &rng) const
+{
+    // The sensor internally averages; what we observe is the mean of
+    // n noisy samples taken over the run.
+    double n = std::max(1.0, duration_seconds * sampleHz);
+    double sigma = readingSigma / std::sqrt(n);
+    double reading = true_power * (1.0 + rng.gaussian(0.0, sigma));
+    return reading > 0.0 ? reading : 0.0;
+}
+
+ThermalModel::ThermalModel(double ambient_c, double c_per_watt,
+                           double trip_c)
+    : ambientC(ambient_c), cPerWatt(c_per_watt), tripC(trip_c)
+{
+}
+
+double
+ThermalModel::steadyTemperature(double power_watts) const
+{
+    return ambientC + cPerWatt * power_watts;
+}
+
+bool
+ThermalModel::throttles(double temperature_c) const
+{
+    return temperature_c > tripC;
+}
+
+} // namespace gemstone::hwsim

@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Functional executor implementation.
+ */
+
+#include "isa/executor.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace gemstone::isa {
+
+void
+CpuState::reset(unsigned thread_id)
+{
+    pc = 0;
+    halted = false;
+    std::memset(intRegs, 0, sizeof(intRegs));
+    std::memset(fpRegs, 0, sizeof(fpRegs));
+    intRegs[threadIdReg] = static_cast<std::int64_t>(thread_id);
+}
+
+namespace {
+
+double
+bitsToDouble(std::int64_t bits)
+{
+    double value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+}
+
+} // namespace
+
+StepResult
+step(CpuState &state, const Program &program, ExecContext &context)
+{
+    panic_if(state.halted, "stepping a halted thread");
+    panic_if(state.pc >= program.size(), "pc ", state.pc,
+             " out of range in ", program.name);
+    panic_if(!context.memory || !context.monitor,
+             "exec context missing memory or monitor");
+
+    const Inst &inst = program.fetch(state.pc);
+    Memory &mem = *context.memory;
+    ExclusiveMonitor &monitor = *context.monitor;
+
+    StepResult result;
+    result.op = inst.op;
+    result.cls = opClassOf(inst.op);
+    result.pcBefore = state.pc;
+
+    auto &r = state.intRegs;
+    auto &f = state.fpRegs;
+
+    std::uint32_t next_pc = state.pc + 1;
+
+    switch (inst.op) {
+      case Opcode::Add:
+        r[inst.rd] = r[inst.rn] + r[inst.rm];
+        break;
+      case Opcode::Sub:
+        r[inst.rd] = r[inst.rn] - r[inst.rm];
+        break;
+      case Opcode::And:
+        r[inst.rd] = r[inst.rn] & r[inst.rm];
+        break;
+      case Opcode::Orr:
+        r[inst.rd] = r[inst.rn] | r[inst.rm];
+        break;
+      case Opcode::Eor:
+        r[inst.rd] = r[inst.rn] ^ r[inst.rm];
+        break;
+      case Opcode::Lsl:
+        r[inst.rd] = static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(r[inst.rn])
+            << (inst.imm & 63));
+        break;
+      case Opcode::Lsr:
+        r[inst.rd] = static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(r[inst.rn]) >> (inst.imm & 63));
+        break;
+      case Opcode::Asr:
+        r[inst.rd] = r[inst.rn] >> (inst.imm & 63);
+        break;
+      case Opcode::Mov:
+        r[inst.rd] = r[inst.rn];
+        break;
+      case Opcode::Movi:
+        r[inst.rd] = inst.imm;
+        break;
+      case Opcode::Addi:
+        r[inst.rd] = r[inst.rn] + inst.imm;
+        break;
+      case Opcode::Subi:
+        r[inst.rd] = r[inst.rn] - inst.imm;
+        break;
+      case Opcode::Cmplt:
+        r[inst.rd] = r[inst.rn] < r[inst.rm] ? 1 : 0;
+        break;
+      case Opcode::Cmpeq:
+        r[inst.rd] = r[inst.rn] == r[inst.rm] ? 1 : 0;
+        break;
+
+      case Opcode::Mul:
+        r[inst.rd] = r[inst.rn] * r[inst.rm];
+        break;
+      case Opcode::Div:
+        // Division by zero yields zero (trapping would complicate the
+        // workload kernels for no modelling benefit).
+        r[inst.rd] = r[inst.rm] == 0 ? 0 : r[inst.rn] / r[inst.rm];
+        break;
+
+      case Opcode::Fadd:
+        f[inst.rd] = f[inst.rn] + f[inst.rm];
+        break;
+      case Opcode::Fsub:
+        f[inst.rd] = f[inst.rn] - f[inst.rm];
+        break;
+      case Opcode::Fmul:
+        f[inst.rd] = f[inst.rn] * f[inst.rm];
+        break;
+      case Opcode::Fdiv:
+        f[inst.rd] = f[inst.rm] == 0.0 ? 0.0 : f[inst.rn] / f[inst.rm];
+        break;
+      case Opcode::Fsqrt:
+        f[inst.rd] = f[inst.rn] <= 0.0 ? 0.0 : std::sqrt(f[inst.rn]);
+        break;
+      case Opcode::Fmov:
+        f[inst.rd] = f[inst.rn];
+        break;
+      case Opcode::Fmovi:
+        f[inst.rd] = bitsToDouble(inst.imm);
+        break;
+      case Opcode::Fcvt:
+        f[inst.rd] = static_cast<double>(r[inst.rn]);
+        break;
+      case Opcode::Ficvt:
+        r[inst.rd] = static_cast<std::int64_t>(f[inst.rn]);
+        break;
+
+      case Opcode::Vadd:
+        // Modelled as a packed pair of FP adds on adjacent registers.
+        f[inst.rd] = f[inst.rn] + f[inst.rm];
+        f[(inst.rd + 1) % numFpRegs] =
+            f[(inst.rn + 1) % numFpRegs] + f[(inst.rm + 1) % numFpRegs];
+        break;
+      case Opcode::Vmul:
+        f[inst.rd] = f[inst.rn] * f[inst.rm];
+        f[(inst.rd + 1) % numFpRegs] =
+            f[(inst.rn + 1) % numFpRegs] * f[(inst.rm + 1) % numFpRegs];
+        break;
+
+      case Opcode::Ldr: {
+        std::uint64_t addr = mem.mask(
+            static_cast<std::uint64_t>(r[inst.rn] + inst.imm));
+        r[inst.rd] =
+            static_cast<std::int64_t>(mem.read(addr, 8));
+        result.isMem = true;
+        result.memAddr = addr;
+        result.memSize = 8;
+        result.unaligned = (addr & 7) != 0;
+        break;
+      }
+      case Opcode::Str: {
+        std::uint64_t addr = mem.mask(
+            static_cast<std::uint64_t>(r[inst.rn] + inst.imm));
+        mem.write(addr, static_cast<std::uint64_t>(r[inst.rd]), 8);
+        monitor.observeStore(context.threadId, addr);
+        result.isMem = true;
+        result.isStore = true;
+        result.memAddr = addr;
+        result.memSize = 8;
+        result.unaligned = (addr & 7) != 0;
+        break;
+      }
+      case Opcode::Ldrb: {
+        std::uint64_t addr = mem.mask(
+            static_cast<std::uint64_t>(r[inst.rn] + inst.imm));
+        r[inst.rd] = static_cast<std::int64_t>(mem.read(addr, 1));
+        result.isMem = true;
+        result.memAddr = addr;
+        result.memSize = 1;
+        break;
+      }
+      case Opcode::Fldr: {
+        std::uint64_t addr = mem.mask(
+            static_cast<std::uint64_t>(r[inst.rn] + inst.imm));
+        std::uint64_t bits = mem.read(addr, 8);
+        std::memcpy(&f[inst.rd], &bits, sizeof(double));
+        result.isMem = true;
+        result.memAddr = addr;
+        result.memSize = 8;
+        result.unaligned = (addr & 7) != 0;
+        break;
+      }
+      case Opcode::Fstr: {
+        std::uint64_t addr = mem.mask(
+            static_cast<std::uint64_t>(r[inst.rn] + inst.imm));
+        std::uint64_t bits;
+        std::memcpy(&bits, &f[inst.rd], sizeof(double));
+        mem.write(addr, bits, 8);
+        monitor.observeStore(context.threadId, addr);
+        result.isMem = true;
+        result.isStore = true;
+        result.memAddr = addr;
+        result.memSize = 8;
+        result.unaligned = (addr & 7) != 0;
+        break;
+      }
+      case Opcode::Strb: {
+        std::uint64_t addr = mem.mask(
+            static_cast<std::uint64_t>(r[inst.rn] + inst.imm));
+        mem.write(addr, static_cast<std::uint64_t>(r[inst.rd]), 1);
+        monitor.observeStore(context.threadId, addr);
+        result.isMem = true;
+        result.isStore = true;
+        result.memAddr = addr;
+        result.memSize = 1;
+        break;
+      }
+
+      case Opcode::B:
+        result.isBranch = true;
+        result.taken = true;
+        next_pc = inst.target;
+        break;
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge: {
+        result.isBranch = true;
+        result.isCond = true;
+        bool taken = false;
+        switch (inst.op) {
+          case Opcode::Beq:
+            taken = r[inst.rn] == 0;
+            break;
+          case Opcode::Bne:
+            taken = r[inst.rn] != 0;
+            break;
+          case Opcode::Blt:
+            taken = r[inst.rn] < 0;
+            break;
+          case Opcode::Bge:
+            taken = r[inst.rn] >= 0;
+            break;
+          default:
+            break;
+        }
+        result.taken = taken;
+        if (taken)
+            next_pc = inst.target;
+        break;
+      }
+      case Opcode::Bl:
+        result.isBranch = true;
+        result.isCall = true;
+        result.taken = true;
+        r[linkReg] = static_cast<std::int64_t>(state.pc + 1);
+        next_pc = inst.target;
+        break;
+      case Opcode::Ret:
+        result.isBranch = true;
+        result.isReturn = true;
+        result.isIndirect = true;
+        result.taken = true;
+        next_pc = static_cast<std::uint32_t>(
+            static_cast<std::uint64_t>(r[inst.rn]) % program.size());
+        break;
+      case Opcode::Bidx:
+        result.isBranch = true;
+        result.isIndirect = true;
+        result.taken = true;
+        next_pc = static_cast<std::uint32_t>(
+            static_cast<std::uint64_t>(r[inst.rn]) % program.size());
+        break;
+
+      case Opcode::Ldrex: {
+        std::uint64_t addr = mem.mask(
+            static_cast<std::uint64_t>(r[inst.rn]));
+        r[inst.rd] = static_cast<std::int64_t>(mem.read(addr, 8));
+        monitor.setReservation(context.threadId, addr);
+        result.isMem = true;
+        result.isExclusive = true;
+        result.memAddr = addr;
+        result.memSize = 8;
+        break;
+      }
+      case Opcode::Strex: {
+        std::uint64_t addr = mem.mask(
+            static_cast<std::uint64_t>(r[inst.rn]));
+        bool ok = monitor.tryStore(context.threadId, addr);
+        if (ok)
+            mem.write(addr, static_cast<std::uint64_t>(r[inst.rm]), 8);
+        r[inst.rd] = ok ? 0 : 1;
+        result.isMem = true;
+        result.isStore = ok;
+        result.isExclusive = true;
+        result.exclusiveFailed = !ok;
+        result.memAddr = addr;
+        result.memSize = 8;
+        break;
+      }
+      case Opcode::Dmb:
+      case Opcode::Isb:
+        result.isBarrier = true;
+        break;
+
+      case Opcode::Nop:
+        break;
+      case Opcode::Halt:
+        state.halted = true;
+        result.halted = true;
+        break;
+    }
+
+    result.branchTarget = next_pc;
+    if (!state.halted)
+        state.pc = next_pc;
+    result.pcAfter = state.pc;
+    return result;
+}
+
+std::uint64_t
+runToHalt(CpuState &state, const Program &program, ExecContext &context,
+          std::uint64_t max_steps)
+{
+    std::uint64_t count = 0;
+    while (!state.halted) {
+        step(state, program, context);
+        ++count;
+        panic_if(count > max_steps, "program ", program.name,
+                 " exceeded ", max_steps, " steps");
+    }
+    return count;
+}
+
+} // namespace gemstone::isa

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Functional execution of the workload ISA.
+ *
+ * One shared executor guarantees that the reference platform and the
+ * g5 model compute identical architectural results: the platforms
+ * differ only in *timing* and *event accounting*, never in semantics.
+ */
+
+#ifndef GEMSTONE_ISA_EXECUTOR_HH
+#define GEMSTONE_ISA_EXECUTOR_HH
+
+#include <cstdint>
+
+#include "isa/inst.hh"
+#include "isa/memory.hh"
+#include "isa/program.hh"
+
+namespace gemstone::isa {
+
+/** Architectural state of one hardware thread. */
+struct CpuState
+{
+    std::uint32_t pc = 0;
+    bool halted = false;
+    std::int64_t intRegs[numIntRegs] = {};
+    double fpRegs[numFpRegs] = {};
+
+    /** Reset to the entry point with a given thread id. */
+    void reset(unsigned thread_id);
+};
+
+/**
+ * Micro-architecture-relevant facts about one executed instruction,
+ * consumed by the timing models.
+ */
+struct StepResult
+{
+    Opcode op = Opcode::Nop;
+    OpClass cls = OpClass::Nop;
+
+    bool isMem = false;
+    bool isStore = false;
+    bool unaligned = false;       //!< data address not size-aligned
+    std::uint64_t memAddr = 0;    //!< masked data address
+    unsigned memSize = 0;
+
+    bool isBranch = false;
+    bool isCond = false;
+    bool isCall = false;
+    bool isReturn = false;
+    bool isIndirect = false;
+    bool taken = false;
+    std::uint32_t branchTarget = 0; //!< resolved next pc if taken
+
+    bool isBarrier = false;        //!< DMB/ISB
+    bool isExclusive = false;      //!< LDREX/STREX
+    bool exclusiveFailed = false;  //!< STREX that lost its reservation
+
+    bool halted = false;
+    std::uint32_t pcBefore = 0;
+    std::uint32_t pcAfter = 0;
+};
+
+/** Shared resources the executor needs beyond CPU state. */
+struct ExecContext
+{
+    Memory *memory = nullptr;
+    ExclusiveMonitor *monitor = nullptr;
+    unsigned threadId = 0;
+};
+
+/**
+ * Execute the instruction at state.pc and advance the state.
+ * The program must not be empty; executing a halted state is an error.
+ */
+StepResult step(CpuState &state, const Program &program,
+                ExecContext &context);
+
+/**
+ * Convenience driver: run a single-threaded program to completion.
+ * @param max_steps abort (panic) if exceeded, to catch infinite loops
+ * @return dynamic instruction count
+ */
+std::uint64_t runToHalt(CpuState &state, const Program &program,
+                        ExecContext &context,
+                        std::uint64_t max_steps = 1ULL << 32);
+
+} // namespace gemstone::isa
+
+#endif // GEMSTONE_ISA_EXECUTOR_HH

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Opcode classification and disassembly.
+ */
+
+#include "isa/inst.hh"
+
+#include <sstream>
+
+namespace gemstone::isa {
+
+OpClass
+opClassOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::And:
+      case Opcode::Orr:
+      case Opcode::Eor:
+      case Opcode::Lsl:
+      case Opcode::Lsr:
+      case Opcode::Asr:
+      case Opcode::Mov:
+      case Opcode::Movi:
+      case Opcode::Addi:
+      case Opcode::Subi:
+      case Opcode::Cmplt:
+      case Opcode::Cmpeq:
+        return OpClass::IntAlu;
+      case Opcode::Mul:
+        return OpClass::IntMul;
+      case Opcode::Div:
+        return OpClass::IntDiv;
+      case Opcode::Fadd:
+      case Opcode::Fsub:
+      case Opcode::Fmul:
+      case Opcode::Fmov:
+      case Opcode::Fmovi:
+      case Opcode::Fcvt:
+      case Opcode::Ficvt:
+        return OpClass::FpAlu;
+      case Opcode::Fdiv:
+      case Opcode::Fsqrt:
+        return OpClass::FpDiv;
+      case Opcode::Vadd:
+      case Opcode::Vmul:
+        return OpClass::SimdAlu;
+      case Opcode::Ldr:
+      case Opcode::Ldrb:
+      case Opcode::Fldr:
+      case Opcode::Ldrex:
+        return op == Opcode::Ldrex ? OpClass::Sync : OpClass::Load;
+      case Opcode::Str:
+      case Opcode::Strb:
+      case Opcode::Fstr:
+        return OpClass::Store;
+      case Opcode::Strex:
+      case Opcode::Dmb:
+      case Opcode::Isb:
+        return OpClass::Sync;
+      case Opcode::B:
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Bl:
+      case Opcode::Ret:
+      case Opcode::Bidx:
+        return OpClass::Branch;
+      case Opcode::Nop:
+        return OpClass::Nop;
+      case Opcode::Halt:
+        return OpClass::Halt;
+    }
+    return OpClass::Nop;
+}
+
+bool
+isMemOp(Opcode op)
+{
+    switch (op) {
+      case Opcode::Ldr:
+      case Opcode::Str:
+      case Opcode::Ldrb:
+      case Opcode::Strb:
+      case Opcode::Fldr:
+      case Opcode::Fstr:
+      case Opcode::Ldrex:
+      case Opcode::Strex:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isBranchOp(Opcode op)
+{
+    return opClassOf(op) == OpClass::Branch;
+}
+
+bool
+isCondBranch(Opcode op)
+{
+    switch (op) {
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isIndirectBranch(Opcode op)
+{
+    return op == Opcode::Ret || op == Opcode::Bidx;
+}
+
+std::string
+mnemonic(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::And: return "and";
+      case Opcode::Orr: return "orr";
+      case Opcode::Eor: return "eor";
+      case Opcode::Lsl: return "lsl";
+      case Opcode::Lsr: return "lsr";
+      case Opcode::Asr: return "asr";
+      case Opcode::Mov: return "mov";
+      case Opcode::Movi: return "movi";
+      case Opcode::Addi: return "addi";
+      case Opcode::Subi: return "subi";
+      case Opcode::Cmplt: return "cmplt";
+      case Opcode::Cmpeq: return "cmpeq";
+      case Opcode::Mul: return "mul";
+      case Opcode::Div: return "div";
+      case Opcode::Fadd: return "fadd";
+      case Opcode::Fsub: return "fsub";
+      case Opcode::Fmul: return "fmul";
+      case Opcode::Fdiv: return "fdiv";
+      case Opcode::Fsqrt: return "fsqrt";
+      case Opcode::Fmov: return "fmov";
+      case Opcode::Fmovi: return "fmovi";
+      case Opcode::Fcvt: return "fcvt";
+      case Opcode::Ficvt: return "ficvt";
+      case Opcode::Vadd: return "vadd";
+      case Opcode::Vmul: return "vmul";
+      case Opcode::Ldr: return "ldr";
+      case Opcode::Str: return "str";
+      case Opcode::Ldrb: return "ldrb";
+      case Opcode::Strb: return "strb";
+      case Opcode::Fldr: return "fldr";
+      case Opcode::Fstr: return "fstr";
+      case Opcode::B: return "b";
+      case Opcode::Beq: return "beq";
+      case Opcode::Bne: return "bne";
+      case Opcode::Blt: return "blt";
+      case Opcode::Bge: return "bge";
+      case Opcode::Bl: return "bl";
+      case Opcode::Ret: return "ret";
+      case Opcode::Bidx: return "bidx";
+      case Opcode::Ldrex: return "ldrex";
+      case Opcode::Strex: return "strex";
+      case Opcode::Dmb: return "dmb";
+      case Opcode::Isb: return "isb";
+      case Opcode::Nop: return "nop";
+      case Opcode::Halt: return "halt";
+    }
+    return "?";
+}
+
+std::string
+disassemble(const Inst &inst)
+{
+    std::ostringstream os;
+    os << mnemonic(inst.op) << " rd=" << int(inst.rd)
+       << " rn=" << int(inst.rn) << " rm=" << int(inst.rm)
+       << " imm=" << inst.imm << " tgt=" << inst.target;
+    return os.str();
+}
+
+} // namespace gemstone::isa

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Instruction definitions for the workload ISA.
+ *
+ * A small ARMv7-flavoured register machine: 16 integer registers, 16
+ * FP registers, a flat byte-addressable memory, conditional and
+ * indirect branches, calls/returns, exclusive (LDREX/STREX) accesses
+ * and memory barriers. Both the reference platform simulator and the
+ * g5 simulator execute this ISA *functionally identically* — they
+ * differ only in timing and event accounting, exactly like a model and
+ * the hardware it models.
+ */
+
+#ifndef GEMSTONE_ISA_INST_HH
+#define GEMSTONE_ISA_INST_HH
+
+#include <cstdint>
+#include <string>
+
+namespace gemstone::isa {
+
+/** Number of integer registers. */
+constexpr unsigned numIntRegs = 16;
+/** Number of floating-point registers. */
+constexpr unsigned numFpRegs = 16;
+/** Link register index (holds return addresses like ARM r14). */
+constexpr unsigned linkReg = 14;
+/** Thread-id register, set before a workload starts (SPMD style). */
+constexpr unsigned threadIdReg = 15;
+
+/**
+ * Broad instruction classes, used by the timing models to choose
+ * latencies and by the PMU event mapping.
+ */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,     //!< add/sub/logic/shift/moves
+    IntMul,     //!< integer multiply
+    IntDiv,     //!< integer divide (long latency)
+    FpAlu,      //!< scalar FP add/sub/mul
+    FpDiv,      //!< FP divide / sqrt (long latency)
+    SimdAlu,    //!< packed SIMD arithmetic
+    Load,       //!< memory read
+    Store,      //!< memory write
+    Branch,     //!< any control-flow transfer
+    Sync,       //!< LDREX/STREX/DMB/ISB
+    Nop,        //!< no-operation
+    Halt,       //!< terminate the thread
+};
+
+/** Concrete opcodes. */
+enum class Opcode : std::uint8_t
+{
+    // Integer ALU.
+    Add, Sub, And, Orr, Eor, Lsl, Lsr, Asr, Mov, Movi, Addi, Subi,
+    Cmplt, Cmpeq,
+    // Integer multiply / divide.
+    Mul, Div,
+    // Scalar floating point.
+    Fadd, Fsub, Fmul, Fdiv, Fsqrt, Fmov, Fmovi, Fcvt, Ficvt,
+    // SIMD (counted separately by the PMU).
+    Vadd, Vmul,
+    // Memory. Byte variants exercise unaligned-access behaviour;
+    // Fldr/Fstr move raw double bit patterns to/from FP registers.
+    Ldr, Str, Ldrb, Strb, Fldr, Fstr,
+    // Control flow.
+    B, Beq, Bne, Blt, Bge, Bl, Ret, Bidx,
+    // Synchronisation.
+    Ldrex, Strex, Dmb, Isb,
+    // Misc.
+    Nop, Halt,
+};
+
+/**
+ * One decoded instruction. Branch targets are instruction indices
+ * (the program is its own address space with 4-byte granularity).
+ */
+struct Inst
+{
+    Opcode op = Opcode::Nop;
+    std::uint8_t rd = 0;    //!< destination register
+    std::uint8_t rn = 0;    //!< first source
+    std::uint8_t rm = 0;    //!< second source
+    std::int64_t imm = 0;   //!< immediate / displacement
+    std::uint32_t target = 0; //!< branch target (instruction index)
+};
+
+/** Classify an opcode into its OpClass. */
+OpClass opClassOf(Opcode op);
+
+/** True if the opcode reads or writes memory. */
+bool isMemOp(Opcode op);
+
+/** True if the opcode is any kind of branch. */
+bool isBranchOp(Opcode op);
+
+/** True for conditional branches only. */
+bool isCondBranch(Opcode op);
+
+/** True for indirect branches (target from a register: Ret, Bidx). */
+bool isIndirectBranch(Opcode op);
+
+/** Mnemonic text for disassembly and debugging. */
+std::string mnemonic(Opcode op);
+
+/** Render one instruction as text. */
+std::string disassemble(const Inst &inst);
+
+} // namespace gemstone::isa
+
+#endif // GEMSTONE_ISA_INST_HH

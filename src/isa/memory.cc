@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Memory and exclusive-monitor implementation.
+ */
+
+#include "isa/memory.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace gemstone::isa {
+
+Memory::Memory(std::uint64_t size_bytes)
+{
+    panic_if(size_bytes == 0, "memory size must be non-zero");
+    std::uint64_t rounded = std::bit_ceil(size_bytes);
+    bytes.assign(rounded, 0);
+    addrMask = rounded - 1;
+}
+
+std::uint64_t
+Memory::read(std::uint64_t addr, unsigned size)
+{
+    panic_if(size != 1 && size != 8, "unsupported access size ", size);
+    std::uint64_t value = 0;
+    for (unsigned i = 0; i < size; ++i)
+        value |= static_cast<std::uint64_t>(bytes[mask(addr + i)])
+            << (8 * i);
+    return value;
+}
+
+void
+Memory::write(std::uint64_t addr, std::uint64_t value, unsigned size)
+{
+    panic_if(size != 1 && size != 8, "unsupported access size ", size);
+    for (unsigned i = 0; i < size; ++i)
+        bytes[mask(addr + i)] =
+            static_cast<std::uint8_t>(value >> (8 * i));
+}
+
+void
+Memory::clear()
+{
+    std::fill(bytes.begin(), bytes.end(), 0);
+}
+
+void
+ExclusiveMonitor::reset()
+{
+    for (auto &slot : slots)
+        slot.valid = false;
+}
+
+void
+ExclusiveMonitor::setReservation(unsigned thread_id, std::uint64_t addr)
+{
+    panic_if(thread_id >= maxThreads, "thread id out of range");
+    slots[thread_id] = {true, addr};
+}
+
+bool
+ExclusiveMonitor::tryStore(unsigned thread_id, std::uint64_t addr)
+{
+    panic_if(thread_id >= maxThreads, "thread id out of range");
+    Reservation &slot = slots[thread_id];
+    if (!slot.valid || slot.addr != addr)
+        return false;
+    slot.valid = false;
+    // A successful exclusive store also invalidates everyone else's
+    // reservation on the same address.
+    observeStore(thread_id, addr);
+    return true;
+}
+
+void
+ExclusiveMonitor::observeStore(unsigned thread_id, std::uint64_t addr)
+{
+    // A plain store clears every reservation on that address,
+    // including the storing thread's own (matching the common ARM
+    // implementation choice).
+    (void)thread_id;
+    for (auto &slot : slots) {
+        if (slot.valid && slot.addr == addr)
+            slot.valid = false;
+    }
+}
+
+bool
+ExclusiveMonitor::holds(unsigned thread_id) const
+{
+    panic_if(thread_id >= maxThreads, "thread id out of range");
+    return slots[thread_id].valid;
+}
+
+} // namespace gemstone::isa

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Flat data memory and the exclusive-access monitor.
+ */
+
+#ifndef GEMSTONE_ISA_MEMORY_HH
+#define GEMSTONE_ISA_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace gemstone::isa {
+
+/**
+ * Byte-addressable data memory shared by all threads of a workload.
+ *
+ * Addresses wrap modulo the (power-of-two) size, so workload kernels
+ * can use unbounded strides without bounds bookkeeping — the wrap is
+ * part of the workload semantics on both platforms.
+ */
+class Memory
+{
+  public:
+    /** Allocate zeroed memory; size is rounded up to a power of two. */
+    explicit Memory(std::uint64_t size_bytes);
+
+    std::uint64_t size() const { return bytes.size(); }
+
+    /** Mask an address into range. */
+    std::uint64_t mask(std::uint64_t addr) const
+    {
+        return addr & addrMask;
+    }
+
+    /** Read an unsigned little-endian value of 1 or 8 bytes. */
+    std::uint64_t read(std::uint64_t addr, unsigned size);
+
+    /** Write a little-endian value of 1 or 8 bytes. */
+    void write(std::uint64_t addr, std::uint64_t value, unsigned size);
+
+    /** Convenience 64-bit accessors. */
+    std::uint64_t read64(std::uint64_t addr) { return read(addr, 8); }
+    void write64(std::uint64_t addr, std::uint64_t value)
+    {
+        write(addr, value, 8);
+    }
+
+    /** Zero the whole memory. */
+    void clear();
+
+  private:
+    std::vector<std::uint8_t> bytes;
+    std::uint64_t addrMask = 0;
+};
+
+/**
+ * Global exclusive monitor for LDREX/STREX, one reservation per
+ * hardware thread. A store by any thread to a reserved address clears
+ * other threads' reservations, giving the usual lock-free CAS loop
+ * semantics the multithreaded workloads rely on.
+ */
+class ExclusiveMonitor
+{
+  public:
+    /** Reset all reservations (e.g. between benchmark runs). */
+    void reset();
+
+    /** Record a reservation for a thread. */
+    void setReservation(unsigned thread_id, std::uint64_t addr);
+
+    /**
+     * Attempt the exclusive store.
+     * @return true (and consume the reservation) if still valid.
+     */
+    bool tryStore(unsigned thread_id, std::uint64_t addr);
+
+    /** Invalidate other threads' reservations on a plain store. */
+    void observeStore(unsigned thread_id, std::uint64_t addr);
+
+    /** True if the thread currently holds a valid reservation. */
+    bool holds(unsigned thread_id) const;
+
+  private:
+    static constexpr unsigned maxThreads = 8;
+    struct Reservation
+    {
+        bool valid = false;
+        std::uint64_t addr = 0;
+    };
+    Reservation slots[maxThreads];
+};
+
+} // namespace gemstone::isa
+
+#endif // GEMSTONE_ISA_MEMORY_HH

@@ -1,0 +1,411 @@
+/**
+ * @file
+ * Program and ProgramBuilder implementation.
+ */
+
+#include "isa/program.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace gemstone::isa {
+
+std::map<OpClass, double>
+Program::staticMix() const
+{
+    std::map<OpClass, double> mix;
+    if (code.empty())
+        return mix;
+    for (const Inst &inst : code)
+        mix[opClassOf(inst.op)] += 1.0;
+    for (auto &[cls, count] : mix)
+        count /= static_cast<double>(code.size());
+    return mix;
+}
+
+ProgramBuilder::ProgramBuilder(std::string program_name)
+{
+    program.name = std::move(program_name);
+}
+
+ProgramBuilder &
+ProgramBuilder::emit(Inst inst)
+{
+    panic_if(built, "builder already finalised");
+    program.code.push_back(inst);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::emitBranch(Opcode op, unsigned rn,
+                           const std::string &target)
+{
+    Inst inst;
+    inst.op = op;
+    inst.rn = static_cast<std::uint8_t>(rn);
+    auto it = labels.find(target);
+    if (it != labels.end()) {
+        inst.target = it->second;
+    } else {
+        fixups.emplace_back(
+            static_cast<std::uint32_t>(program.code.size()), target);
+    }
+    return emit(inst);
+}
+
+ProgramBuilder &
+ProgramBuilder::label(const std::string &name)
+{
+    panic_if(labels.count(name), "duplicate label '", name, "'");
+    labels[name] = static_cast<std::uint32_t>(program.code.size());
+    return *this;
+}
+
+std::uint32_t
+ProgramBuilder::here() const
+{
+    return static_cast<std::uint32_t>(program.code.size());
+}
+
+namespace {
+
+Inst
+threeReg(Opcode op, unsigned rd, unsigned rn, unsigned rm)
+{
+    Inst inst;
+    inst.op = op;
+    inst.rd = static_cast<std::uint8_t>(rd);
+    inst.rn = static_cast<std::uint8_t>(rn);
+    inst.rm = static_cast<std::uint8_t>(rm);
+    return inst;
+}
+
+Inst
+immInst(Opcode op, unsigned rd, unsigned rn, std::int64_t imm)
+{
+    Inst inst;
+    inst.op = op;
+    inst.rd = static_cast<std::uint8_t>(rd);
+    inst.rn = static_cast<std::uint8_t>(rn);
+    inst.imm = imm;
+    return inst;
+}
+
+} // namespace
+
+ProgramBuilder &
+ProgramBuilder::add(unsigned rd, unsigned rn, unsigned rm)
+{
+    return emit(threeReg(Opcode::Add, rd, rn, rm));
+}
+
+ProgramBuilder &
+ProgramBuilder::sub(unsigned rd, unsigned rn, unsigned rm)
+{
+    return emit(threeReg(Opcode::Sub, rd, rn, rm));
+}
+
+ProgramBuilder &
+ProgramBuilder::andr(unsigned rd, unsigned rn, unsigned rm)
+{
+    return emit(threeReg(Opcode::And, rd, rn, rm));
+}
+
+ProgramBuilder &
+ProgramBuilder::orr(unsigned rd, unsigned rn, unsigned rm)
+{
+    return emit(threeReg(Opcode::Orr, rd, rn, rm));
+}
+
+ProgramBuilder &
+ProgramBuilder::eor(unsigned rd, unsigned rn, unsigned rm)
+{
+    return emit(threeReg(Opcode::Eor, rd, rn, rm));
+}
+
+ProgramBuilder &
+ProgramBuilder::lsl(unsigned rd, unsigned rn, unsigned shift)
+{
+    return emit(immInst(Opcode::Lsl, rd, rn, shift));
+}
+
+ProgramBuilder &
+ProgramBuilder::lsr(unsigned rd, unsigned rn, unsigned shift)
+{
+    return emit(immInst(Opcode::Lsr, rd, rn, shift));
+}
+
+ProgramBuilder &
+ProgramBuilder::asr(unsigned rd, unsigned rn, unsigned shift)
+{
+    return emit(immInst(Opcode::Asr, rd, rn, shift));
+}
+
+ProgramBuilder &
+ProgramBuilder::mov(unsigned rd, unsigned rn)
+{
+    return emit(threeReg(Opcode::Mov, rd, rn, 0));
+}
+
+ProgramBuilder &
+ProgramBuilder::movi(unsigned rd, std::int64_t imm)
+{
+    return emit(immInst(Opcode::Movi, rd, 0, imm));
+}
+
+ProgramBuilder &
+ProgramBuilder::addi(unsigned rd, unsigned rn, std::int64_t imm)
+{
+    return emit(immInst(Opcode::Addi, rd, rn, imm));
+}
+
+ProgramBuilder &
+ProgramBuilder::subi(unsigned rd, unsigned rn, std::int64_t imm)
+{
+    return emit(immInst(Opcode::Subi, rd, rn, imm));
+}
+
+ProgramBuilder &
+ProgramBuilder::cmplt(unsigned rd, unsigned rn, unsigned rm)
+{
+    return emit(threeReg(Opcode::Cmplt, rd, rn, rm));
+}
+
+ProgramBuilder &
+ProgramBuilder::cmpeq(unsigned rd, unsigned rn, unsigned rm)
+{
+    return emit(threeReg(Opcode::Cmpeq, rd, rn, rm));
+}
+
+ProgramBuilder &
+ProgramBuilder::mul(unsigned rd, unsigned rn, unsigned rm)
+{
+    return emit(threeReg(Opcode::Mul, rd, rn, rm));
+}
+
+ProgramBuilder &
+ProgramBuilder::divr(unsigned rd, unsigned rn, unsigned rm)
+{
+    return emit(threeReg(Opcode::Div, rd, rn, rm));
+}
+
+ProgramBuilder &
+ProgramBuilder::fadd(unsigned rd, unsigned rn, unsigned rm)
+{
+    return emit(threeReg(Opcode::Fadd, rd, rn, rm));
+}
+
+ProgramBuilder &
+ProgramBuilder::fsub(unsigned rd, unsigned rn, unsigned rm)
+{
+    return emit(threeReg(Opcode::Fsub, rd, rn, rm));
+}
+
+ProgramBuilder &
+ProgramBuilder::fmul(unsigned rd, unsigned rn, unsigned rm)
+{
+    return emit(threeReg(Opcode::Fmul, rd, rn, rm));
+}
+
+ProgramBuilder &
+ProgramBuilder::fdiv(unsigned rd, unsigned rn, unsigned rm)
+{
+    return emit(threeReg(Opcode::Fdiv, rd, rn, rm));
+}
+
+ProgramBuilder &
+ProgramBuilder::fsqrt(unsigned rd, unsigned rn)
+{
+    return emit(threeReg(Opcode::Fsqrt, rd, rn, 0));
+}
+
+ProgramBuilder &
+ProgramBuilder::fmov(unsigned rd, unsigned rn)
+{
+    return emit(threeReg(Opcode::Fmov, rd, rn, 0));
+}
+
+ProgramBuilder &
+ProgramBuilder::fmovi(unsigned rd, double value)
+{
+    std::int64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    return emit(immInst(Opcode::Fmovi, rd, 0, bits));
+}
+
+ProgramBuilder &
+ProgramBuilder::fcvt(unsigned fd, unsigned rn)
+{
+    return emit(threeReg(Opcode::Fcvt, fd, rn, 0));
+}
+
+ProgramBuilder &
+ProgramBuilder::ficvt(unsigned rd, unsigned fn)
+{
+    return emit(threeReg(Opcode::Ficvt, rd, fn, 0));
+}
+
+ProgramBuilder &
+ProgramBuilder::vadd(unsigned rd, unsigned rn, unsigned rm)
+{
+    return emit(threeReg(Opcode::Vadd, rd, rn, rm));
+}
+
+ProgramBuilder &
+ProgramBuilder::vmul(unsigned rd, unsigned rn, unsigned rm)
+{
+    return emit(threeReg(Opcode::Vmul, rd, rn, rm));
+}
+
+ProgramBuilder &
+ProgramBuilder::ldr(unsigned rd, unsigned rn, std::int64_t disp)
+{
+    return emit(immInst(Opcode::Ldr, rd, rn, disp));
+}
+
+ProgramBuilder &
+ProgramBuilder::str(unsigned rd, unsigned rn, std::int64_t disp)
+{
+    return emit(immInst(Opcode::Str, rd, rn, disp));
+}
+
+ProgramBuilder &
+ProgramBuilder::ldrb(unsigned rd, unsigned rn, std::int64_t disp)
+{
+    return emit(immInst(Opcode::Ldrb, rd, rn, disp));
+}
+
+ProgramBuilder &
+ProgramBuilder::strb(unsigned rd, unsigned rn, std::int64_t disp)
+{
+    return emit(immInst(Opcode::Strb, rd, rn, disp));
+}
+
+ProgramBuilder &
+ProgramBuilder::fldr(unsigned fd, unsigned rn, std::int64_t disp)
+{
+    return emit(immInst(Opcode::Fldr, fd, rn, disp));
+}
+
+ProgramBuilder &
+ProgramBuilder::fstr(unsigned fd, unsigned rn, std::int64_t disp)
+{
+    return emit(immInst(Opcode::Fstr, fd, rn, disp));
+}
+
+ProgramBuilder &
+ProgramBuilder::b(const std::string &target)
+{
+    return emitBranch(Opcode::B, 0, target);
+}
+
+ProgramBuilder &
+ProgramBuilder::beq(unsigned rn, const std::string &target)
+{
+    return emitBranch(Opcode::Beq, rn, target);
+}
+
+ProgramBuilder &
+ProgramBuilder::bne(unsigned rn, const std::string &target)
+{
+    return emitBranch(Opcode::Bne, rn, target);
+}
+
+ProgramBuilder &
+ProgramBuilder::blt(unsigned rn, const std::string &target)
+{
+    return emitBranch(Opcode::Blt, rn, target);
+}
+
+ProgramBuilder &
+ProgramBuilder::bge(unsigned rn, const std::string &target)
+{
+    return emitBranch(Opcode::Bge, rn, target);
+}
+
+ProgramBuilder &
+ProgramBuilder::bl(const std::string &target)
+{
+    return emitBranch(Opcode::Bl, 0, target);
+}
+
+ProgramBuilder &
+ProgramBuilder::ret()
+{
+    Inst inst;
+    inst.op = Opcode::Ret;
+    inst.rn = linkReg;
+    return emit(inst);
+}
+
+ProgramBuilder &
+ProgramBuilder::bidx(unsigned rn)
+{
+    Inst inst;
+    inst.op = Opcode::Bidx;
+    inst.rn = static_cast<std::uint8_t>(rn);
+    return emit(inst);
+}
+
+ProgramBuilder &
+ProgramBuilder::ldrex(unsigned rd, unsigned rn)
+{
+    return emit(threeReg(Opcode::Ldrex, rd, rn, 0));
+}
+
+ProgramBuilder &
+ProgramBuilder::strex(unsigned rd, unsigned rm, unsigned rn)
+{
+    return emit(threeReg(Opcode::Strex, rd, rn, rm));
+}
+
+ProgramBuilder &
+ProgramBuilder::dmb()
+{
+    Inst inst;
+    inst.op = Opcode::Dmb;
+    return emit(inst);
+}
+
+ProgramBuilder &
+ProgramBuilder::isb()
+{
+    Inst inst;
+    inst.op = Opcode::Isb;
+    return emit(inst);
+}
+
+ProgramBuilder &
+ProgramBuilder::nop()
+{
+    Inst inst;
+    inst.op = Opcode::Nop;
+    return emit(inst);
+}
+
+ProgramBuilder &
+ProgramBuilder::halt()
+{
+    Inst inst;
+    inst.op = Opcode::Halt;
+    return emit(inst);
+}
+
+Program
+ProgramBuilder::build()
+{
+    panic_if(built, "builder already finalised");
+    for (const auto &[index, name] : fixups) {
+        auto it = labels.find(name);
+        panic_if(it == labels.end(), "undefined label '", name,
+                 "' in program ", program.name);
+        program.code[index].target = it->second;
+    }
+    panic_if(program.code.empty(), "empty program ", program.name);
+    built = true;
+    return std::move(program);
+}
+
+} // namespace gemstone::isa

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Program container and the ProgramBuilder fluent assembler.
+ */
+
+#ifndef GEMSTONE_ISA_PROGRAM_HH
+#define GEMSTONE_ISA_PROGRAM_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/inst.hh"
+
+namespace gemstone::isa {
+
+/**
+ * An assembled program: a linear instruction sequence with branch
+ * targets already resolved to instruction indices.
+ */
+class Program
+{
+  public:
+    /** Name used in reports and artefact files. */
+    std::string name;
+
+    /** Instruction storage; the entry point is index 0. */
+    std::vector<Inst> code;
+
+    std::size_t size() const { return code.size(); }
+
+    const Inst &fetch(std::uint32_t pc) const { return code[pc]; }
+
+    /** Static mix (fraction per OpClass) for characterisation. */
+    std::map<OpClass, double> staticMix() const;
+};
+
+/**
+ * Fluent assembler with named labels and forward references.
+ *
+ * @code
+ * ProgramBuilder b("loop-demo");
+ * b.movi(1, 100);
+ * b.label("loop");
+ * b.subi(1, 1, 1);
+ * b.bne(1, "loop");
+ * b.halt();
+ * Program p = b.build();
+ * @endcode
+ */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::string program_name);
+
+    /** Bind a label to the next emitted instruction. */
+    ProgramBuilder &label(const std::string &name);
+
+    // Integer ALU.
+    ProgramBuilder &add(unsigned rd, unsigned rn, unsigned rm);
+    ProgramBuilder &sub(unsigned rd, unsigned rn, unsigned rm);
+    ProgramBuilder &andr(unsigned rd, unsigned rn, unsigned rm);
+    ProgramBuilder &orr(unsigned rd, unsigned rn, unsigned rm);
+    ProgramBuilder &eor(unsigned rd, unsigned rn, unsigned rm);
+    ProgramBuilder &lsl(unsigned rd, unsigned rn, unsigned shift);
+    ProgramBuilder &lsr(unsigned rd, unsigned rn, unsigned shift);
+    ProgramBuilder &asr(unsigned rd, unsigned rn, unsigned shift);
+    ProgramBuilder &mov(unsigned rd, unsigned rn);
+    ProgramBuilder &movi(unsigned rd, std::int64_t imm);
+    ProgramBuilder &addi(unsigned rd, unsigned rn, std::int64_t imm);
+    ProgramBuilder &subi(unsigned rd, unsigned rn, std::int64_t imm);
+    ProgramBuilder &cmplt(unsigned rd, unsigned rn, unsigned rm);
+    ProgramBuilder &cmpeq(unsigned rd, unsigned rn, unsigned rm);
+
+    // Multiply / divide.
+    ProgramBuilder &mul(unsigned rd, unsigned rn, unsigned rm);
+    ProgramBuilder &divr(unsigned rd, unsigned rn, unsigned rm);
+
+    // Floating point.
+    ProgramBuilder &fadd(unsigned rd, unsigned rn, unsigned rm);
+    ProgramBuilder &fsub(unsigned rd, unsigned rn, unsigned rm);
+    ProgramBuilder &fmul(unsigned rd, unsigned rn, unsigned rm);
+    ProgramBuilder &fdiv(unsigned rd, unsigned rn, unsigned rm);
+    ProgramBuilder &fsqrt(unsigned rd, unsigned rn);
+    ProgramBuilder &fmov(unsigned rd, unsigned rn);
+    ProgramBuilder &fmovi(unsigned rd, double value);
+    ProgramBuilder &fcvt(unsigned fd, unsigned rn);
+    ProgramBuilder &ficvt(unsigned rd, unsigned fn);
+
+    // SIMD.
+    ProgramBuilder &vadd(unsigned rd, unsigned rn, unsigned rm);
+    ProgramBuilder &vmul(unsigned rd, unsigned rn, unsigned rm);
+
+    // Memory.
+    ProgramBuilder &ldr(unsigned rd, unsigned rn, std::int64_t disp = 0);
+    ProgramBuilder &str(unsigned rd, unsigned rn, std::int64_t disp = 0);
+    ProgramBuilder &ldrb(unsigned rd, unsigned rn,
+                         std::int64_t disp = 0);
+    ProgramBuilder &strb(unsigned rd, unsigned rn,
+                         std::int64_t disp = 0);
+    ProgramBuilder &fldr(unsigned fd, unsigned rn,
+                         std::int64_t disp = 0);
+    ProgramBuilder &fstr(unsigned fd, unsigned rn,
+                         std::int64_t disp = 0);
+
+    // Control flow.
+    ProgramBuilder &b(const std::string &target);
+    ProgramBuilder &beq(unsigned rn, const std::string &target);
+    ProgramBuilder &bne(unsigned rn, const std::string &target);
+    ProgramBuilder &blt(unsigned rn, const std::string &target);
+    ProgramBuilder &bge(unsigned rn, const std::string &target);
+    ProgramBuilder &bl(const std::string &target);
+    ProgramBuilder &ret();
+    ProgramBuilder &bidx(unsigned rn);
+
+    // Synchronisation.
+    ProgramBuilder &ldrex(unsigned rd, unsigned rn);
+    ProgramBuilder &strex(unsigned rd, unsigned rm, unsigned rn);
+    ProgramBuilder &dmb();
+    ProgramBuilder &isb();
+
+    // Misc.
+    ProgramBuilder &nop();
+    ProgramBuilder &halt();
+
+    /** Current instruction index (next emitted instruction). */
+    std::uint32_t here() const;
+
+    /** Resolve labels and return the finished program. */
+    Program build();
+
+  private:
+    ProgramBuilder &emit(Inst inst);
+    ProgramBuilder &emitBranch(Opcode op, unsigned rn,
+                               const std::string &target);
+
+    Program program;
+    std::map<std::string, std::uint32_t> labels;
+    /** (instruction index, label) pairs awaiting resolution. */
+    std::vector<std::pair<std::uint32_t, std::string>> fixups;
+    bool built = false;
+};
+
+} // namespace gemstone::isa
+
+#endif // GEMSTONE_ISA_PROGRAM_HH

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Dense matrix implementation.
+ */
+
+#include "linalg/matrix.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace gemstone::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : numRows(rows), numCols(cols), data(rows * cols, 0.0)
+{
+}
+
+Matrix
+Matrix::fromRows(const std::vector<std::vector<double>> &rows)
+{
+    panic_if(rows.empty(), "fromRows needs at least one row");
+    Matrix m(rows.size(), rows.front().size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        panic_if(rows[r].size() != m.numCols,
+                 "ragged row in Matrix::fromRows");
+        for (std::size_t c = 0; c < m.numCols; ++c)
+            m.at(r, c) = rows[r][c];
+    }
+    return m;
+}
+
+Matrix
+Matrix::identity(std::size_t order)
+{
+    Matrix m(order, order);
+    for (std::size_t i = 0; i < order; ++i)
+        m.at(i, i) = 1.0;
+    return m;
+}
+
+double &
+Matrix::at(std::size_t r, std::size_t c)
+{
+    panic_if(r >= numRows || c >= numCols, "matrix index out of range");
+    return data[r * numCols + c];
+}
+
+double
+Matrix::at(std::size_t r, std::size_t c) const
+{
+    panic_if(r >= numRows || c >= numCols, "matrix index out of range");
+    return data[r * numCols + c];
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix t(numCols, numRows);
+    for (std::size_t r = 0; r < numRows; ++r)
+        for (std::size_t c = 0; c < numCols; ++c)
+            t.at(c, r) = at(r, c);
+    return t;
+}
+
+Matrix
+Matrix::multiply(const Matrix &other) const
+{
+    panic_if(numCols != other.numRows, "matrix product shape mismatch");
+    Matrix out(numRows, other.numCols);
+    for (std::size_t r = 0; r < numRows; ++r) {
+        for (std::size_t k = 0; k < numCols; ++k) {
+            double lhs = at(r, k);
+            if (lhs == 0.0)
+                continue;
+            for (std::size_t c = 0; c < other.numCols; ++c)
+                out.at(r, c) += lhs * other.at(k, c);
+        }
+    }
+    return out;
+}
+
+std::vector<double>
+Matrix::multiply(const std::vector<double> &vec) const
+{
+    panic_if(vec.size() != numCols, "matrix-vector shape mismatch");
+    std::vector<double> out(numRows, 0.0);
+    for (std::size_t r = 0; r < numRows; ++r) {
+        double sum = 0.0;
+        for (std::size_t c = 0; c < numCols; ++c)
+            sum += at(r, c) * vec[c];
+        out[r] = sum;
+    }
+    return out;
+}
+
+Matrix
+Matrix::gram() const
+{
+    Matrix out(numCols, numCols);
+    for (std::size_t r = 0; r < numRows; ++r) {
+        for (std::size_t i = 0; i < numCols; ++i) {
+            double lhs = at(r, i);
+            if (lhs == 0.0)
+                continue;
+            for (std::size_t j = i; j < numCols; ++j)
+                out.at(i, j) += lhs * at(r, j);
+        }
+    }
+    for (std::size_t i = 0; i < numCols; ++i)
+        for (std::size_t j = 0; j < i; ++j)
+            out.at(i, j) = out.at(j, i);
+    return out;
+}
+
+std::vector<double>
+Matrix::transposeMultiply(const std::vector<double> &vec) const
+{
+    panic_if(vec.size() != numRows, "transposeMultiply shape mismatch");
+    std::vector<double> out(numCols, 0.0);
+    for (std::size_t r = 0; r < numRows; ++r) {
+        double scale = vec[r];
+        if (scale == 0.0)
+            continue;
+        for (std::size_t c = 0; c < numCols; ++c)
+            out[c] += at(r, c) * scale;
+    }
+    return out;
+}
+
+std::vector<double>
+Matrix::column(std::size_t c) const
+{
+    panic_if(c >= numCols, "column index out of range");
+    std::vector<double> out(numRows);
+    for (std::size_t r = 0; r < numRows; ++r)
+        out[r] = at(r, c);
+    return out;
+}
+
+void
+Matrix::setColumn(std::size_t c, const std::vector<double> &values)
+{
+    panic_if(c >= numCols || values.size() != numRows,
+             "setColumn shape mismatch");
+    for (std::size_t r = 0; r < numRows; ++r)
+        at(r, c) = values[r];
+}
+
+bool
+choleskyFactor(const Matrix &a, Matrix &l)
+{
+    panic_if(a.rows() != a.cols(), "cholesky requires a square matrix");
+    const std::size_t n = a.rows();
+    l = Matrix(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            double sum = a.at(i, j);
+            for (std::size_t k = 0; k < j; ++k)
+                sum -= l.at(i, k) * l.at(j, k);
+            if (i == j) {
+                if (sum <= 0.0 || !std::isfinite(sum))
+                    return false;
+                l.at(i, i) = std::sqrt(sum);
+            } else {
+                l.at(i, j) = sum / l.at(j, j);
+            }
+        }
+    }
+    return true;
+}
+
+std::vector<double>
+choleskySolve(const Matrix &l, const std::vector<double> &b)
+{
+    const std::size_t n = l.rows();
+    panic_if(b.size() != n, "choleskySolve shape mismatch");
+
+    // Forward substitution: L y = b.
+    std::vector<double> y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double sum = b[i];
+        for (std::size_t k = 0; k < i; ++k)
+            sum -= l.at(i, k) * y[k];
+        y[i] = sum / l.at(i, i);
+    }
+
+    // Back substitution: L^T x = y.
+    std::vector<double> x(n);
+    for (std::size_t ii = n; ii-- > 0;) {
+        double sum = y[ii];
+        for (std::size_t k = ii + 1; k < n; ++k)
+            sum -= l.at(k, ii) * x[k];
+        x[ii] = sum / l.at(ii, ii);
+    }
+    return x;
+}
+
+bool
+invertSpd(const Matrix &a, Matrix &inverse)
+{
+    Matrix l;
+    if (!choleskyFactor(a, l))
+        return false;
+    const std::size_t n = a.rows();
+    inverse = Matrix(n, n);
+    std::vector<double> unit(n, 0.0);
+    for (std::size_t c = 0; c < n; ++c) {
+        unit[c] = 1.0;
+        std::vector<double> col = choleskySolve(l, unit);
+        inverse.setColumn(c, col);
+        unit[c] = 0.0;
+    }
+    return true;
+}
+
+bool
+leastSquaresQr(const Matrix &x, const std::vector<double> &y,
+               std::vector<double> &beta)
+{
+    const std::size_t n = x.rows();
+    const std::size_t p = x.cols();
+    panic_if(y.size() != n, "leastSquaresQr shape mismatch");
+    if (n < p)
+        return false;
+
+    // Working copies; r is reduced in place by Householder reflectors
+    // which are applied to rhs as they are generated.
+    Matrix r = x;
+    std::vector<double> rhs = y;
+
+    for (std::size_t k = 0; k < p; ++k) {
+        // Compute the norm of the k-th column below the diagonal.
+        double norm = 0.0;
+        for (std::size_t i = k; i < n; ++i)
+            norm += r.at(i, k) * r.at(i, k);
+        norm = std::sqrt(norm);
+        if (norm < 1e-12)
+            return false;
+
+        double alpha = r.at(k, k) > 0 ? -norm : norm;
+        // Householder vector v (stored temporarily).
+        std::vector<double> v(n - k, 0.0);
+        v[0] = r.at(k, k) - alpha;
+        for (std::size_t i = k + 1; i < n; ++i)
+            v[i - k] = r.at(i, k);
+        double vnorm2 = 0.0;
+        for (double value : v)
+            vnorm2 += value * value;
+        if (vnorm2 < 1e-24)
+            return false;
+
+        // Apply reflector to the remaining columns of r.
+        for (std::size_t c = k; c < p; ++c) {
+            double proj = 0.0;
+            for (std::size_t i = k; i < n; ++i)
+                proj += v[i - k] * r.at(i, c);
+            proj = 2.0 * proj / vnorm2;
+            for (std::size_t i = k; i < n; ++i)
+                r.at(i, c) -= proj * v[i - k];
+        }
+        // Apply reflector to the right-hand side.
+        double proj = 0.0;
+        for (std::size_t i = k; i < n; ++i)
+            proj += v[i - k] * rhs[i];
+        proj = 2.0 * proj / vnorm2;
+        for (std::size_t i = k; i < n; ++i)
+            rhs[i] -= proj * v[i - k];
+    }
+
+    // Back substitution on the upper-triangular system R beta = rhs.
+    beta.assign(p, 0.0);
+    for (std::size_t ii = p; ii-- > 0;) {
+        double sum = rhs[ii];
+        for (std::size_t c = ii + 1; c < p; ++c)
+            sum -= r.at(ii, c) * beta[c];
+        double diag = r.at(ii, ii);
+        if (std::fabs(diag) < 1e-12)
+            return false;
+        beta[ii] = sum / diag;
+    }
+    return true;
+}
+
+double
+dot(const std::vector<double> &a, const std::vector<double> &b)
+{
+    panic_if(a.size() != b.size(), "dot shape mismatch");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        sum += a[i] * b[i];
+    return sum;
+}
+
+} // namespace gemstone::linalg

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Minimal dense linear algebra for the statistics toolkit.
+ *
+ * Only the pieces needed by ordinary least squares and the clustering
+ * code are implemented: a row-major dense matrix, matrix products,
+ * Cholesky factorisation of SPD matrices, SPD inversion, and a
+ * Householder QR least-squares solver.
+ */
+
+#ifndef GEMSTONE_LINALG_MATRIX_HH
+#define GEMSTONE_LINALG_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace gemstone::linalg {
+
+/**
+ * Row-major dense matrix of doubles.
+ */
+class Matrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    Matrix() = default;
+
+    /** Zero-initialised rows x cols matrix. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    /** Build from nested initialiser data (rows of equal width). */
+    static Matrix fromRows(
+        const std::vector<std::vector<double>> &rows);
+
+    /** Identity matrix of the given order. */
+    static Matrix identity(std::size_t order);
+
+    std::size_t rows() const { return numRows; }
+    std::size_t cols() const { return numCols; }
+
+    /** Element access. */
+    double &at(std::size_t r, std::size_t c);
+    double at(std::size_t r, std::size_t c) const;
+
+    double &operator()(std::size_t r, std::size_t c) { return at(r, c); }
+    double operator()(std::size_t r, std::size_t c) const
+    {
+        return at(r, c);
+    }
+
+    /** Transposed copy. */
+    Matrix transposed() const;
+
+    /** Matrix product this * other. */
+    Matrix multiply(const Matrix &other) const;
+
+    /** Matrix-vector product. */
+    std::vector<double> multiply(const std::vector<double> &vec) const;
+
+    /** this^T * this (Gram matrix), computed without forming T. */
+    Matrix gram() const;
+
+    /** this^T * vec. */
+    std::vector<double> transposeMultiply(
+        const std::vector<double> &vec) const;
+
+    /** Extract one column as a vector. */
+    std::vector<double> column(std::size_t c) const;
+
+    /** Overwrite one column from a vector. */
+    void setColumn(std::size_t c, const std::vector<double> &values);
+
+  private:
+    std::size_t numRows = 0;
+    std::size_t numCols = 0;
+    std::vector<double> data;
+};
+
+/**
+ * Cholesky factor L of an SPD matrix (A = L L^T).
+ * @return false if the matrix is not positive definite.
+ */
+bool choleskyFactor(const Matrix &a, Matrix &l);
+
+/** Solve A x = b via a precomputed Cholesky factor L. */
+std::vector<double> choleskySolve(const Matrix &l,
+                                  const std::vector<double> &b);
+
+/**
+ * Invert an SPD matrix via Cholesky.
+ * @return false if not positive definite.
+ */
+bool invertSpd(const Matrix &a, Matrix &inverse);
+
+/**
+ * Least-squares solve min ||X beta - y|| via Householder QR.
+ *
+ * @param x design matrix (n x p, n >= p)
+ * @param y response (length n)
+ * @param beta output coefficients (length p)
+ * @return false if X is numerically rank deficient.
+ */
+bool leastSquaresQr(const Matrix &x, const std::vector<double> &y,
+                    std::vector<double> &beta);
+
+/** Dot product. */
+double dot(const std::vector<double> &a, const std::vector<double> &b);
+
+} // namespace gemstone::linalg
+
+#endif // GEMSTONE_LINALG_MATRIX_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Pearson correlation implementation.
+ */
+
+#include "mlstat/correlation.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace gemstone::mlstat {
+
+double
+pearson(const std::vector<double> &x, const std::vector<double> &y)
+{
+    panic_if(x.size() != y.size(), "pearson shape mismatch");
+    const std::size_t n = x.size();
+    if (n < 2)
+        return 0.0;
+
+    double mean_x = 0.0;
+    double mean_y = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        mean_x += x[i];
+        mean_y += y[i];
+    }
+    mean_x /= static_cast<double>(n);
+    mean_y /= static_cast<double>(n);
+
+    double sxy = 0.0;
+    double sxx = 0.0;
+    double syy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        double dx = x[i] - mean_x;
+        double dy = y[i] - mean_y;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx < 1e-24 || syy < 1e-24)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+linalg::Matrix
+correlationMatrix(const std::vector<std::vector<double>> &series)
+{
+    const std::size_t k = series.size();
+    linalg::Matrix r(k, k);
+    for (std::size_t i = 0; i < k; ++i) {
+        r.at(i, i) = 1.0;
+        for (std::size_t j = i + 1; j < k; ++j) {
+            double rho = pearson(series[i], series[j]);
+            r.at(i, j) = rho;
+            r.at(j, i) = rho;
+        }
+    }
+    return r;
+}
+
+std::vector<double>
+correlateAgainst(const std::vector<std::vector<double>> &series,
+                 const std::vector<double> &target)
+{
+    std::vector<double> out;
+    out.reserve(series.size());
+    for (const auto &s : series)
+        out.push_back(pearson(s, target));
+    return out;
+}
+
+} // namespace gemstone::mlstat

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Pearson correlation helpers used by the error analyses (§IV-B/C).
+ */
+
+#ifndef GEMSTONE_MLSTAT_CORRELATION_HH
+#define GEMSTONE_MLSTAT_CORRELATION_HH
+
+#include <vector>
+
+#include "linalg/matrix.hh"
+
+namespace gemstone::mlstat {
+
+/**
+ * Pearson correlation coefficient.
+ * Returns 0 when either input is (numerically) constant.
+ */
+double pearson(const std::vector<double> &x,
+               const std::vector<double> &y);
+
+/**
+ * Full correlation matrix of a set of series (each inner vector is one
+ * variable sampled at the same observations).
+ */
+linalg::Matrix correlationMatrix(
+    const std::vector<std::vector<double>> &series);
+
+/**
+ * Correlate each series against a single target (e.g. each PMC rate
+ * against the execution-time MPE, as in Fig. 5).
+ */
+std::vector<double> correlateAgainst(
+    const std::vector<std::vector<double>> &series,
+    const std::vector<double> &target);
+
+} // namespace gemstone::mlstat
+
+#endif // GEMSTONE_MLSTAT_CORRELATION_HH

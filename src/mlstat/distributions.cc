@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Distribution function implementations.
+ */
+
+#include "mlstat/distributions.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace gemstone::mlstat {
+
+namespace {
+
+/**
+ * Continued-fraction evaluation for the incomplete beta function
+ * (Lentz's method).
+ */
+double
+betaContinuedFraction(double a, double b, double x)
+{
+    constexpr int max_iterations = 300;
+    constexpr double epsilon = 3.0e-14;
+    constexpr double tiny = 1.0e-300;
+
+    double qab = a + b;
+    double qap = a + 1.0;
+    double qam = a - 1.0;
+    double c = 1.0;
+    double d = 1.0 - qab * x / qap;
+    if (std::fabs(d) < tiny)
+        d = tiny;
+    d = 1.0 / d;
+    double h = d;
+
+    for (int m = 1; m <= max_iterations; ++m) {
+        double m2 = 2.0 * m;
+        double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < tiny)
+            d = tiny;
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < tiny)
+            c = tiny;
+        d = 1.0 / d;
+        h *= d * c;
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < tiny)
+            d = tiny;
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < tiny)
+            c = tiny;
+        d = 1.0 / d;
+        double delta = d * c;
+        h *= delta;
+        if (std::fabs(delta - 1.0) < epsilon)
+            break;
+    }
+    return h;
+}
+
+} // namespace
+
+double
+incompleteBeta(double a, double b, double x)
+{
+    panic_if(a <= 0.0 || b <= 0.0, "incompleteBeta shape must be > 0");
+    if (x <= 0.0)
+        return 0.0;
+    if (x >= 1.0)
+        return 1.0;
+
+    double log_beta = std::lgamma(a + b) - std::lgamma(a) -
+        std::lgamma(b) + a * std::log(x) + b * std::log(1.0 - x);
+    double front = std::exp(log_beta);
+
+    // Use the symmetry relation to keep the continued fraction in its
+    // rapidly converging region.
+    if (x < (a + 1.0) / (a + b + 2.0))
+        return front * betaContinuedFraction(a, b, x) / a;
+    return 1.0 - front * betaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double
+studentTCdf(double t, double df)
+{
+    panic_if(df <= 0.0, "studentTCdf df must be > 0");
+    double x = df / (df + t * t);
+    double tail = 0.5 * incompleteBeta(0.5 * df, 0.5, x);
+    return t >= 0.0 ? 1.0 - tail : tail;
+}
+
+double
+twoSidedPValue(double t, double df)
+{
+    double x = df / (df + t * t);
+    return incompleteBeta(0.5 * df, 0.5, x);
+}
+
+double
+normalCdf(double z)
+{
+    return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+} // namespace gemstone::mlstat

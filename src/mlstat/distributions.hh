@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Probability distribution functions for regression inference.
+ *
+ * Only what OLS inference needs: the regularised incomplete beta
+ * function, Student-t CDF, and two-sided t-test p-values. Implemented
+ * with Lentz's continued-fraction algorithm, matching the classic
+ * Numerical-Recipes formulation.
+ */
+
+#ifndef GEMSTONE_MLSTAT_DISTRIBUTIONS_HH
+#define GEMSTONE_MLSTAT_DISTRIBUTIONS_HH
+
+namespace gemstone::mlstat {
+
+/**
+ * Regularised incomplete beta function I_x(a, b).
+ * @param a first shape parameter (> 0)
+ * @param b second shape parameter (> 0)
+ * @param x evaluation point in [0, 1]
+ */
+double incompleteBeta(double a, double b, double x);
+
+/** Student-t cumulative distribution with df degrees of freedom. */
+double studentTCdf(double t, double df);
+
+/** Two-sided p-value for a t statistic with df degrees of freedom. */
+double twoSidedPValue(double t, double df);
+
+/** Standard normal CDF (used by noise-model tests). */
+double normalCdf(double z);
+
+} // namespace gemstone::mlstat
+
+#endif // GEMSTONE_MLSTAT_DISTRIBUTIONS_HH

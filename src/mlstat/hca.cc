@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Agglomerative clustering implementation (Lance-Williams updates).
+ */
+
+#include "mlstat/hca.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "mlstat/correlation.hh"
+#include "mlstat/descriptive.hh"
+#include "util/logging.hh"
+
+namespace gemstone::mlstat {
+
+linalg::Matrix
+euclideanDistances(const std::vector<std::vector<double>> &features,
+                   bool zscore_columns)
+{
+    const std::size_t n = features.size();
+    panic_if(n == 0, "euclideanDistances needs at least one row");
+    const std::size_t d = features.front().size();
+    for (const auto &row : features)
+        panic_if(row.size() != d, "ragged feature matrix");
+
+    // Optionally z-score each column so no single event dominates.
+    std::vector<std::vector<double>> normalised = features;
+    if (zscore_columns) {
+        for (std::size_t c = 0; c < d; ++c) {
+            std::vector<double> column(n);
+            for (std::size_t r = 0; r < n; ++r)
+                column[r] = features[r][c];
+            std::vector<double> z = zscore(column);
+            for (std::size_t r = 0; r < n; ++r)
+                normalised[r][c] = z[r];
+        }
+    }
+
+    linalg::Matrix dist(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            double sum = 0.0;
+            for (std::size_t c = 0; c < d; ++c) {
+                double diff = normalised[i][c] - normalised[j][c];
+                sum += diff * diff;
+            }
+            double value = std::sqrt(sum);
+            dist.at(i, j) = value;
+            dist.at(j, i) = value;
+        }
+    }
+    return dist;
+}
+
+linalg::Matrix
+correlationDistances(const std::vector<std::vector<double>> &series)
+{
+    const std::size_t n = series.size();
+    linalg::Matrix dist(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            double rho = pearson(series[i], series[j]);
+            double value = 1.0 - std::fabs(rho);
+            dist.at(i, j) = value;
+            dist.at(j, i) = value;
+        }
+    }
+    return dist;
+}
+
+HcaResult
+agglomerate(const linalg::Matrix &distances, Linkage linkage)
+{
+    panic_if(distances.rows() != distances.cols(),
+             "distance matrix must be square");
+    const std::size_t n = distances.rows();
+    panic_if(n == 0, "cannot cluster zero items");
+
+    HcaResult result;
+    result.leafCount = n;
+    if (n == 1)
+        return result;
+
+    // Active cluster list: node id and current size. Distances between
+    // active clusters are kept in a map keyed by (min id, max id).
+    struct Active
+    {
+        std::size_t node;
+        std::size_t size;
+    };
+    std::vector<Active> active;
+    active.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        active.push_back({i, 1});
+
+    std::map<std::pair<std::size_t, std::size_t>, double> pair_dist;
+    auto key = [](std::size_t a, std::size_t b) {
+        return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+    };
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i + 1; j < n; ++j)
+            pair_dist[key(i, j)] = distances.at(i, j);
+
+    std::size_t next_node = n;
+    while (active.size() > 1) {
+        // Find the closest active pair.
+        double best = std::numeric_limits<double>::infinity();
+        std::size_t bi = 0;
+        std::size_t bj = 1;
+        for (std::size_t i = 0; i < active.size(); ++i) {
+            for (std::size_t j = i + 1; j < active.size(); ++j) {
+                double d =
+                    pair_dist[key(active[i].node, active[j].node)];
+                if (d < best) {
+                    best = d;
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+
+        Active left = active[bi];
+        Active right = active[bj];
+        std::size_t merged_size = left.size + right.size;
+        result.merges.push_back(
+            {left.node, right.node, best, merged_size});
+
+        // Lance-Williams distance updates to every other cluster.
+        for (std::size_t i = 0; i < active.size(); ++i) {
+            if (i == bi || i == bj)
+                continue;
+            std::size_t other = active[i].node;
+            double d_left = pair_dist[key(left.node, other)];
+            double d_right = pair_dist[key(right.node, other)];
+            double updated = 0.0;
+            switch (linkage) {
+              case Linkage::Single:
+                updated = std::min(d_left, d_right);
+                break;
+              case Linkage::Complete:
+                updated = std::max(d_left, d_right);
+                break;
+              case Linkage::Average:
+                updated = (d_left * static_cast<double>(left.size) +
+                           d_right * static_cast<double>(right.size)) /
+                    static_cast<double>(merged_size);
+                break;
+            }
+            pair_dist[key(next_node, other)] = updated;
+        }
+
+        // Replace the two merged entries with the new node.
+        active.erase(active.begin() + static_cast<long>(bj));
+        active[bi] = {next_node, merged_size};
+        ++next_node;
+    }
+
+    return result;
+}
+
+namespace {
+
+/** Recursively collect leaves under a node id. */
+void
+collectLeaves(const HcaResult &hca, std::size_t node,
+              std::vector<std::size_t> &out)
+{
+    if (node < hca.leafCount) {
+        out.push_back(node);
+        return;
+    }
+    const MergeStep &merge = hca.merges[node - hca.leafCount];
+    collectLeaves(hca, merge.left, out);
+    collectLeaves(hca, merge.right, out);
+}
+
+} // namespace
+
+std::vector<std::size_t>
+HcaResult::leafOrder() const
+{
+    std::vector<std::size_t> order;
+    order.reserve(leafCount);
+    if (merges.empty()) {
+        for (std::size_t i = 0; i < leafCount; ++i)
+            order.push_back(i);
+        return order;
+    }
+    collectLeaves(*this, leafCount + merges.size() - 1, order);
+    return order;
+}
+
+std::vector<std::size_t>
+HcaResult::cutToClusters(std::size_t cluster_count) const
+{
+    panic_if(cluster_count == 0, "cannot cut to zero clusters");
+    cluster_count = std::min(cluster_count, leafCount);
+
+    // Undo the last (cluster_count - 1) merges: the roots remaining
+    // after applying the first n - cluster_count merges are clusters.
+    std::size_t applied =
+        leafCount >= cluster_count ? leafCount - cluster_count : 0;
+
+    std::vector<std::size_t> roots;
+    std::vector<bool> consumed(leafCount + merges.size(), false);
+    for (std::size_t m = 0; m < applied; ++m) {
+        consumed[merges[m].left] = true;
+        consumed[merges[m].right] = true;
+    }
+    for (std::size_t node = 0; node < leafCount + applied; ++node) {
+        if (!consumed[node])
+            roots.push_back(node);
+    }
+
+    std::vector<std::size_t> labels(leafCount, 0);
+    std::size_t next_label = 1;
+
+    // Label roots in dendrogram leaf-order so cluster numbers read
+    // left-to-right in figures.
+    std::vector<std::size_t> order = leafOrder();
+    std::vector<std::size_t> leaf_root(leafCount, SIZE_MAX);
+    for (std::size_t root : roots) {
+        std::vector<std::size_t> leaves;
+        collectLeaves(*this, root, leaves);
+        for (std::size_t leaf : leaves)
+            leaf_root[leaf] = root;
+    }
+    std::map<std::size_t, std::size_t> root_label;
+    for (std::size_t leaf : order) {
+        std::size_t root = leaf_root[leaf];
+        auto it = root_label.find(root);
+        if (it == root_label.end())
+            root_label[root] = next_label++;
+    }
+    for (std::size_t leaf = 0; leaf < leafCount; ++leaf)
+        labels[leaf] = root_label[leaf_root[leaf]];
+    return labels;
+}
+
+std::vector<std::size_t>
+HcaResult::cutAtHeight(double height) const
+{
+    std::size_t below = 0;
+    for (const auto &merge : merges) {
+        if (merge.height <= height)
+            ++below;
+    }
+    return cutToClusters(leafCount - below);
+}
+
+} // namespace gemstone::mlstat

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Agglomerative Hierarchical Cluster Analysis (HCA).
+ *
+ * The paper uses HCA twice: to group *workloads* with similar PMC
+ * behaviour (Fig. 3) and to group *events* that correlate with each
+ * other across workloads (Fig. 5, §IV-C). Both uses are covered here:
+ * Euclidean distance on z-scored feature vectors for workloads, and
+ * correlation distance (1 - |r|) for events.
+ */
+
+#ifndef GEMSTONE_MLSTAT_HCA_HH
+#define GEMSTONE_MLSTAT_HCA_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hh"
+
+namespace gemstone::mlstat {
+
+/** Linkage criterion for merging clusters. */
+enum class Linkage { Single, Complete, Average };
+
+/** One merge step in the dendrogram. */
+struct MergeStep
+{
+    std::size_t left;    //!< merged node id (leaf ids < n)
+    std::size_t right;   //!< merged node id
+    double height;       //!< linkage distance at the merge
+    std::size_t size;    //!< total leaves under the new node
+};
+
+/** Result of a clustering run. */
+struct HcaResult
+{
+    std::size_t leafCount = 0;
+    std::vector<MergeStep> merges;       //!< n-1 merges, heights rising
+
+    /** Leaf order after dendrogram traversal (for plotting). */
+    std::vector<std::size_t> leafOrder() const;
+
+    /**
+     * Flat cluster labels produced by cutting the dendrogram so that
+     * exactly @p cluster_count clusters remain. Labels are renumbered
+     * 1..k in leaf-order of first appearance (matching the paper's
+     * figure labelling style).
+     */
+    std::vector<std::size_t> cutToClusters(
+        std::size_t cluster_count) const;
+
+    /** Flat labels from cutting at a distance threshold. */
+    std::vector<std::size_t> cutAtHeight(double height) const;
+};
+
+/** Pairwise Euclidean distances between z-scored feature rows. */
+linalg::Matrix euclideanDistances(
+    const std::vector<std::vector<double>> &features,
+    bool zscore_columns = true);
+
+/**
+ * Correlation distances 1 - |pearson| between series.
+ * Used for event clustering where the sign of the relationship does
+ * not matter, only its strength.
+ */
+linalg::Matrix correlationDistances(
+    const std::vector<std::vector<double>> &series);
+
+/** Run agglomerative clustering over a symmetric distance matrix. */
+HcaResult agglomerate(const linalg::Matrix &distances,
+                      Linkage linkage = Linkage::Average);
+
+} // namespace gemstone::mlstat
+
+#endif // GEMSTONE_MLSTAT_HCA_HH

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * OLS implementation.
+ */
+
+#include "mlstat/ols.hh"
+
+#include <cmath>
+
+#include "mlstat/descriptive.hh"
+#include "mlstat/distributions.hh"
+#include "util/logging.hh"
+
+namespace gemstone::mlstat {
+
+double
+OlsResult::predict(const std::vector<double> &predictors) const
+{
+    std::size_t expected = beta.size() - (hasIntercept ? 1 : 0);
+    panic_if(predictors.size() != expected,
+             "predict expects ", expected, " predictors, got ",
+             predictors.size());
+    double sum = hasIntercept ? beta[0] : 0.0;
+    std::size_t offset = hasIntercept ? 1 : 0;
+    for (std::size_t i = 0; i < predictors.size(); ++i)
+        sum += beta[offset + i] * predictors[i];
+    return sum;
+}
+
+OlsResult
+fitOls(const std::vector<std::vector<double>> &predictors,
+       const std::vector<double> &response, bool with_intercept)
+{
+    OlsResult result;
+    result.hasIntercept = with_intercept;
+
+    const std::size_t n = response.size();
+    const std::size_t k = predictors.size();
+    const std::size_t p = k + (with_intercept ? 1 : 0);
+    if (n < p + 1 || p == 0)
+        return result;
+
+    linalg::Matrix x(n, p);
+    std::size_t offset = 0;
+    if (with_intercept) {
+        for (std::size_t r = 0; r < n; ++r)
+            x.at(r, 0) = 1.0;
+        offset = 1;
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+        panic_if(predictors[c].size() != n, "predictor length mismatch");
+        for (std::size_t r = 0; r < n; ++r)
+            x.at(r, offset + c) = predictors[c][r];
+    }
+
+    if (!linalg::leastSquaresQr(x, response, result.beta))
+        return result;
+
+    result.fitted = x.multiply(result.beta);
+    result.residuals.resize(n);
+    double rss = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+        result.residuals[r] = response[r] - result.fitted[r];
+        rss += result.residuals[r] * result.residuals[r];
+    }
+
+    double mean_y = mean(response);
+    double tss = 0.0;
+    for (double y : response)
+        tss += (y - mean_y) * (y - mean_y);
+
+    result.dof = static_cast<double>(n - p);
+    result.r2 = tss > 1e-24 ? 1.0 - rss / tss : 1.0;
+    if (n > p + 1 && tss > 1e-24) {
+        result.adjustedR2 = 1.0 -
+            (rss / result.dof) /
+            (tss / static_cast<double>(n - 1));
+    } else {
+        result.adjustedR2 = result.r2;
+    }
+    result.ser = result.dof > 0 ? std::sqrt(rss / result.dof) : 0.0;
+
+    // Coefficient covariance: sigma^2 (X'X)^-1.
+    linalg::Matrix gram = x.gram();
+    linalg::Matrix gram_inv;
+    if (linalg::invertSpd(gram, gram_inv)) {
+        double sigma2 = result.ser * result.ser;
+        result.stdErrors.resize(p);
+        result.tStats.resize(p);
+        result.pValues.resize(p);
+        for (std::size_t c = 0; c < p; ++c) {
+            double var = sigma2 * gram_inv.at(c, c);
+            result.stdErrors[c] = var > 0 ? std::sqrt(var) : 0.0;
+            if (result.stdErrors[c] > 1e-300) {
+                result.tStats[c] = result.beta[c] / result.stdErrors[c];
+                result.pValues[c] =
+                    twoSidedPValue(result.tStats[c], result.dof);
+            } else {
+                result.tStats[c] = 0.0;
+                result.pValues[c] = 1.0;
+            }
+        }
+    }
+
+    result.ok = true;
+    return result;
+}
+
+std::vector<double>
+varianceInflation(const std::vector<std::vector<double>> &predictors)
+{
+    const std::size_t k = predictors.size();
+    std::vector<double> vif(k, 1.0);
+    if (k < 2)
+        return vif;
+
+    for (std::size_t target = 0; target < k; ++target) {
+        std::vector<std::vector<double>> others;
+        others.reserve(k - 1);
+        for (std::size_t c = 0; c < k; ++c) {
+            if (c != target)
+                others.push_back(predictors[c]);
+        }
+        OlsResult fit = fitOls(others, predictors[target], true);
+        if (!fit.ok)
+            continue;
+        double denom = 1.0 - fit.r2;
+        vif[target] = denom > 1e-9 ? 1.0 / denom : 1e9;
+    }
+    return vif;
+}
+
+} // namespace gemstone::mlstat

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Ordinary least squares with full inference output.
+ *
+ * The paper's power-model quality metrics (§V) are all produced here:
+ * R², adjusted R², standard error of regression (SER), per-coefficient
+ * t statistics and p-values, and Variance Inflation Factors (VIF).
+ */
+
+#ifndef GEMSTONE_MLSTAT_OLS_HH
+#define GEMSTONE_MLSTAT_OLS_HH
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hh"
+
+namespace gemstone::mlstat {
+
+/**
+ * Result of an OLS fit. Index 0 is the intercept when the model was
+ * fitted with one; predictor k is at index k (+1 with intercept).
+ */
+struct OlsResult
+{
+    bool ok = false;                //!< fit succeeded
+    std::vector<double> beta;       //!< coefficients
+    std::vector<double> stdErrors;  //!< coefficient standard errors
+    std::vector<double> tStats;     //!< t statistics
+    std::vector<double> pValues;    //!< two-sided p-values
+    std::vector<double> residuals;  //!< y - X beta
+    std::vector<double> fitted;     //!< X beta
+    double r2 = 0.0;                //!< coefficient of determination
+    double adjustedR2 = 0.0;        //!< adjusted for predictor count
+    double ser = 0.0;               //!< standard error of regression
+    double dof = 0.0;               //!< residual degrees of freedom
+    bool hasIntercept = false;      //!< intercept column was prepended
+
+    /** Predict the response for one predictor row. */
+    double predict(const std::vector<double> &predictors) const;
+};
+
+/**
+ * Fit y ~ X (+ intercept).
+ *
+ * @param predictors design matrix columns, one vector per predictor
+ * @param response response values
+ * @param with_intercept prepend a constant column
+ */
+OlsResult fitOls(const std::vector<std::vector<double>> &predictors,
+                 const std::vector<double> &response,
+                 bool with_intercept = true);
+
+/**
+ * Variance inflation factor for each predictor (regress each on all
+ * others, VIF = 1/(1-R²)). Values near 1 mean low inter-correlation;
+ * the paper reports a mean VIF of 6 for the A15 power model.
+ */
+std::vector<double> varianceInflation(
+    const std::vector<std::vector<double>> &predictors);
+
+} // namespace gemstone::mlstat
+
+#endif // GEMSTONE_MLSTAT_OLS_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Forward stepwise selection implementation.
+ */
+
+#include "mlstat/stepwise.hh"
+
+#include <cmath>
+
+#include "mlstat/correlation.hh"
+#include "util/logging.hh"
+
+namespace gemstone::mlstat {
+
+StepwiseResult
+stepwiseForward(const std::vector<Candidate> &candidates,
+                const std::vector<double> &response,
+                const StepwiseConfig &config)
+{
+    StepwiseResult result;
+    std::vector<bool> used(candidates.size(), false);
+
+    // Pre-mark excluded and degenerate candidates.
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (config.excluded.count(candidates[i].name))
+            used[i] = true;
+        else if (candidates[i].values.size() != response.size())
+            used[i] = true;
+    }
+
+    double best_r2 = 0.0;
+
+    while (result.selected.size() < config.maxTerms) {
+        std::size_t best_index = SIZE_MAX;
+        double best_gain_r2 = best_r2;
+        OlsResult best_fit;
+
+        for (std::size_t i = 0; i < candidates.size(); ++i) {
+            if (used[i])
+                continue;
+
+            // Skip candidates nearly collinear with a selected one —
+            // they cannot add information and destabilise the fit.
+            bool collinear = false;
+            for (std::size_t sel : result.selected) {
+                double rho = pearson(candidates[i].values,
+                                     candidates[sel].values);
+                if (std::fabs(rho) > config.maxAbsInterCorrelation) {
+                    collinear = true;
+                    break;
+                }
+            }
+            if (collinear)
+                continue;
+
+            std::vector<std::vector<double>> design;
+            design.reserve(result.selected.size() + 1);
+            for (std::size_t sel : result.selected)
+                design.push_back(candidates[sel].values);
+            design.push_back(candidates[i].values);
+
+            OlsResult fit = fitOls(design, response, true);
+            if (!fit.ok)
+                continue;
+            if (fit.r2 > best_gain_r2 + config.minR2Gain) {
+                best_gain_r2 = fit.r2;
+                best_index = i;
+                best_fit = fit;
+            }
+        }
+
+        if (best_index == SIZE_MAX)
+            break;
+
+        // Apply the paper's stop rule: reject the addition if any term
+        // of the would-be model is no longer significant.
+        bool significant = true;
+        for (std::size_t c = 1; c < best_fit.pValues.size(); ++c) {
+            if (best_fit.pValues[c] > config.pValueStop) {
+                significant = false;
+                break;
+            }
+        }
+        if (!significant)
+            break;
+
+        used[best_index] = true;
+        result.selected.push_back(best_index);
+        result.names.push_back(candidates[best_index].name);
+        result.fit = best_fit;
+        result.r2Trajectory.push_back(best_fit.r2);
+        best_r2 = best_gain_r2;
+    }
+
+    return result;
+}
+
+} // namespace gemstone::mlstat

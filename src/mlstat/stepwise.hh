@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Forward-selection stepwise regression (§IV-D and §V).
+ *
+ * The paper's error-attribution step regresses the gem5 error on
+ * hardware PMC events using forward selection that maximises R² and
+ * stops when any coefficient's p-value rises above 0.05. The same
+ * machinery, with an exclusion list ("PMC selection restraints") and
+ * an inter-correlation cap, drives Powmon event selection.
+ */
+
+#ifndef GEMSTONE_MLSTAT_STEPWISE_HH
+#define GEMSTONE_MLSTAT_STEPWISE_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "mlstat/ols.hh"
+
+namespace gemstone::mlstat {
+
+/** A named candidate predictor series. */
+struct Candidate
+{
+    std::string name;           //!< event name (e.g. "0x11 rate")
+    std::vector<double> values; //!< one value per observation
+};
+
+/** Configuration of the stepwise search. */
+struct StepwiseConfig
+{
+    /** Stop adding once any term's p-value exceeds this. */
+    double pValueStop = 0.05;
+    /** Hard cap on the number of selected terms. */
+    std::size_t maxTerms = 12;
+    /** Skip candidates correlated above this with a selected one. */
+    double maxAbsInterCorrelation = 0.995;
+    /** Minimum R² improvement required to accept a term. */
+    double minR2Gain = 1e-4;
+    /** Candidate names that must not be selected. */
+    std::set<std::string> excluded;
+};
+
+/** Outcome of the stepwise search. */
+struct StepwiseResult
+{
+    std::vector<std::size_t> selected;  //!< candidate indices, in order
+    std::vector<std::string> names;     //!< names of selected terms
+    OlsResult fit;                      //!< final model fit
+    std::vector<double> r2Trajectory;   //!< R² after each addition
+};
+
+/**
+ * Run forward selection of candidates against a response.
+ *
+ * At each step the candidate that maximises R² of the refitted model
+ * is chosen; the step is rejected (and the search ends) if any term of
+ * the new model has p > pValueStop, as in the paper.
+ */
+StepwiseResult stepwiseForward(const std::vector<Candidate> &candidates,
+                               const std::vector<double> &response,
+                               const StepwiseConfig &config = {});
+
+} // namespace gemstone::mlstat
+
+#endif // GEMSTONE_MLSTAT_STEPWISE_HH

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Event specification implementations and the PMC-to-g5 mapping.
+ */
+
+#include "powmon/eventspec.hh"
+
+#include "hwsim/pmu.hh"
+#include "util/logging.hh"
+
+namespace gemstone::powmon {
+
+double
+EventSpec::hwCount(const hwsim::HwMeasurement &m) const
+{
+    double total = 0.0;
+    for (int id : addIds)
+        total += m.pmcValue(id);
+    for (int id : subIds)
+        total -= m.pmcValue(id);
+    return total;
+}
+
+double
+EventSpec::hwRate(const hwsim::HwMeasurement &m) const
+{
+    return m.execSeconds > 0.0 ? hwCount(m) / m.execSeconds : 0.0;
+}
+
+double
+EventSpec::g5Count(const g5::G5Stats &s) const
+{
+    double total = 0.0;
+    for (const std::string &name : addStats)
+        total += s.value(name);
+    for (const std::string &name : subStats)
+        total -= s.value(name);
+    return total;
+}
+
+double
+EventSpec::g5Rate(const g5::G5Stats &s) const
+{
+    return s.simSeconds > 0.0 ? g5Count(s) / s.simSeconds : 0.0;
+}
+
+namespace {
+
+/** g5 statistic names equivalent to one PMC id. */
+std::vector<std::string>
+g5StatsForPmc(int id)
+{
+    const std::string cpu = "system.cpu.";
+    switch (id) {
+      case 0x01:
+        return {cpu + "icache.overall_misses::total"};
+      case 0x02:
+        return {cpu + "itb.misses"};
+      case 0x03:
+        return {cpu + "dcache.overall_misses::total"};
+      case 0x04:
+        return {cpu + "dcache.overall_accesses::total"};
+      case 0x05:
+        return {cpu + "dtb.misses"};
+      case 0x06:
+        return {cpu + "commit.loads"};
+      case 0x07:
+        return {cpu + "num_store_insts"};
+      case 0x08:
+        return {cpu + "commit.committedInsts"};
+      case 0x0C:
+        return {cpu + "commit.branches"};
+      case 0x0F:
+        return {cpu + "num_unaligned"};
+      case 0x10:
+        return {cpu + "commit.branchMispredicts"};
+      case 0x11:
+        return {cpu + "numCycles"};
+      case 0x12:
+        return {cpu + "branchPred.lookups"};
+      case 0x13:
+        return {cpu + "dcache.overall_accesses::total"};
+      case 0x14:
+        return {cpu + "icache.overall_accesses::total"};
+      case 0x15:
+        return {cpu + "dcache.writebacks::total"};
+      case 0x16:
+        return {"system.l2.overall_accesses::total"};
+      case 0x17:
+        return {"system.l2.overall_misses::total"};
+      case 0x18:
+        return {"system.l2.writebacks::total"};
+      case 0x19:
+        return {"system.mem_ctrls.num_reads::total",
+                "system.mem_ctrls.num_writes::total"};
+      case 0x1B:
+        return {"sim_ops"};
+      case 0x40:
+        return {cpu + "dcache.ReadReq_accesses::total"};
+      case 0x41:
+        return {cpu + "dcache.WriteReq_accesses::total"};
+      case 0x42:
+        return {cpu + "dcache.ReadReq_misses::total"};
+      case 0x43:
+        return {cpu + "dcache.WriteReq_misses::total"};
+      case 0x66:
+        return {cpu + "num_load_insts"};
+      case 0x67:
+        return {cpu + "num_store_insts"};
+      case 0x6C:
+        return {cpu + "num_ldrex"};
+      case 0x6D:
+        return {cpu + "num_strex"};
+      case 0x70:
+        return {cpu + "iew.exec_loads"};
+      case 0x71:
+        return {cpu + "iew.exec_stores"};
+      case 0x73:
+        return {cpu + "commit.int_insts"};
+      case 0x74:
+        // The g5 SIMD class also swallows scalar FP (quirk).
+        return {cpu + "commit.simd_insts"};
+      case 0x75:
+        // Broken equivalent: g5 misclassifies VFP as SIMD, so the
+        // natural FP statistic is always zero.
+        return {cpu + "commit.fp_insts"};
+      case 0x76:
+        return {cpu + "iew.exec_branches"};
+      case 0x78:
+        return {cpu + "fetch.Branches"};
+      case 0x79:
+        return {cpu + "branchPred.usedRAS"};
+      case 0x7A:
+        return {cpu + "branchPred.indirectLookups"};
+      case 0x7C:
+        return {cpu + "num_isb"};
+      case 0x7D:
+      case 0x7E:
+        return {cpu + "num_membar"};
+      default:
+        return {};
+    }
+}
+
+} // namespace
+
+EventSpec
+EventSpecTable::forPmc(int id)
+{
+    const hwsim::PmcEvent *event = hwsim::PmuEventTable::find(id);
+    fatal_if(!event, "unknown PMC event ", id);
+    EventSpec spec;
+    spec.key = hwsim::pmcIdString(id);
+    spec.addIds = {id};
+    spec.addStats = g5StatsForPmc(id);
+    return spec;
+}
+
+bool
+EventSpecTable::hasG5Equivalent(int id)
+{
+    return !g5StatsForPmc(id).empty();
+}
+
+const std::vector<int> &
+EventSpecTable::knownBadForG5()
+{
+    // Excluded after the event-quality audit (Section V): 0x15 (L1D
+    // write-backs, rate and total MPE over 1000% in the model), 0x43
+    // (write refills, ~10x), 0x75 (VFP misclassified as SIMD),
+    // 0x0F/0x6A (unaligned accesses not modelled), 0x14
+    // (per-instruction I-cache access counting), 0x02 (the model
+    // misses the OS's ITLB interference entirely), and 0x10 (the
+    // mispredict storms of the buggy predictor).
+    static const std::vector<int> bad = {0x15, 0x43, 0x75, 0x0F,
+                                         0x14, 0x02, 0x10};
+    return bad;
+}
+
+EventSpec
+EventSpecTable::difference(int add_id, int sub_id)
+{
+    EventSpec add = forPmc(add_id);
+    EventSpec sub = forPmc(sub_id);
+    EventSpec spec;
+    spec.key = hwsim::pmcIdString(add_id) + "-" +
+        hwsim::pmcIdString(sub_id);
+    spec.addIds = add.addIds;
+    spec.subIds = sub.addIds;
+    spec.addStats = add.addStats;
+    spec.subStats = sub.addStats;
+    return spec;
+}
+
+} // namespace gemstone::powmon

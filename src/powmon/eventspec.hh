@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Power-model event specifications: the bridge between hardware PMC
+ * events and their g5 statistic equivalents.
+ *
+ * The paper's power models are built on hardware PMC rates but must
+ * run on gem5 output, so every model input needs a *matched* gem5
+ * expression (box "l" of Fig. 1). Composites are supported because
+ * the A15 model uses "0x1B minus 0x73" as one input to reduce
+ * multicollinearity. Some equivalents are deliberately imperfect —
+ * 0x75 (VFP_SPEC) maps to a statistic that the g5 model leaves empty
+ * because it misclassifies scalar FP as SIMD (Section V) — which is
+ * exactly why the paper's selection step needed a restriction list.
+ */
+
+#ifndef GEMSTONE_POWMON_EVENTSPEC_HH
+#define GEMSTONE_POWMON_EVENTSPEC_HH
+
+#include <string>
+#include <vector>
+
+#include "g5/simulator.hh"
+#include "hwsim/platform.hh"
+
+namespace gemstone::powmon {
+
+/**
+ * One model input: a (possibly composite) PMC event with its g5
+ * equivalent.
+ */
+struct EventSpec
+{
+    /** Display key, e.g. "0x11" or "0x1B-0x73". */
+    std::string key;
+    /** PMC ids added. */
+    std::vector<int> addIds;
+    /** PMC ids subtracted (composites). */
+    std::vector<int> subIds;
+    /** g5 statistic names added. */
+    std::vector<std::string> addStats;
+    /** g5 statistic names subtracted. */
+    std::vector<std::string> subStats;
+
+    /** Total count from a hardware measurement. */
+    double hwCount(const hwsim::HwMeasurement &m) const;
+
+    /** Rate (per second) from a hardware measurement. */
+    double hwRate(const hwsim::HwMeasurement &m) const;
+
+    /** Total count from a g5 run. */
+    double g5Count(const g5::G5Stats &s) const;
+
+    /** Rate (per second) from a g5 run. */
+    double g5Rate(const g5::G5Stats &s) const;
+};
+
+/**
+ * The registry of PMC events with known g5 equivalents, used both by
+ * the selection restriction list and by the application tool.
+ */
+class EventSpecTable
+{
+  public:
+    /** Spec for a single PMC id; fatal() if no equivalent is known. */
+    static EventSpec forPmc(int id);
+
+    /** True if the PMC id has a usable g5 equivalent. */
+    static bool hasG5Equivalent(int id);
+
+    /**
+     * PMC ids whose g5 equivalents are known to be *broken* — events
+     * the paper excluded from the pool after finding errors (e.g.
+     * 0x15 with an MPE over 1000%, 0x75 misclassified as SIMD).
+     */
+    static const std::vector<int> &knownBadForG5();
+
+    /** Composite "a minus b" spec. */
+    static EventSpec difference(int add_id, int sub_id);
+};
+
+} // namespace gemstone::powmon
+
+#endif // GEMSTONE_POWMON_EVENTSPEC_HH

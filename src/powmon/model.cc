@@ -1,0 +1,229 @@
+/**
+ * @file
+ * PowerModel implementation.
+ */
+
+#include "powmon/model.hh"
+
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace gemstone::powmon {
+
+const FrequencyModel &
+PowerModel::frequencyModel(double freq_mhz) const
+{
+    for (const FrequencyModel &fm : perFrequency) {
+        if (fm.freqMhz == freq_mhz)
+            return fm;
+    }
+    fatal("power model '", clusterName, "' has no fit at ", freq_mhz,
+          " MHz");
+}
+
+double
+PowerModel::estimateFromRates(const std::vector<double> &rates,
+                              double freq_mhz) const
+{
+    return frequencyModel(freq_mhz).fit.predict(rates);
+}
+
+std::vector<double>
+PowerModel::hwRates(const hwsim::HwMeasurement &m) const
+{
+    std::vector<double> rates;
+    rates.reserve(events.size());
+    for (const EventSpec &spec : events)
+        rates.push_back(spec.hwRate(m));
+    return rates;
+}
+
+std::vector<double>
+PowerModel::g5Rates(const g5::G5Stats &s) const
+{
+    std::vector<double> rates;
+    rates.reserve(events.size());
+    for (const EventSpec &spec : events)
+        rates.push_back(spec.g5Rate(s));
+    return rates;
+}
+
+double
+PowerModel::estimateHw(const hwsim::HwMeasurement &m) const
+{
+    return estimateFromRates(hwRates(m), m.freqMhz);
+}
+
+double
+PowerModel::estimateG5(const g5::G5Stats &s) const
+{
+    return estimateFromRates(g5Rates(s), s.freqMhz);
+}
+
+std::vector<double>
+PowerModel::breakdownFromRates(const std::vector<double> &rates,
+                               double freq_mhz) const
+{
+    const FrequencyModel &fm = frequencyModel(freq_mhz);
+    panic_if(rates.size() + 1 != fm.fit.beta.size(),
+             "rate vector does not match the model");
+    std::vector<double> parts;
+    parts.reserve(rates.size() + 1);
+    parts.push_back(fm.fit.beta[0]);
+    for (std::size_t i = 0; i < rates.size(); ++i)
+        parts.push_back(fm.fit.beta[i + 1] * rates[i]);
+    return parts;
+}
+
+std::vector<double>
+PowerModel::breakdownHw(const hwsim::HwMeasurement &m) const
+{
+    return breakdownFromRates(hwRates(m), m.freqMhz);
+}
+
+std::vector<double>
+PowerModel::breakdownG5(const g5::G5Stats &s) const
+{
+    return breakdownFromRates(g5Rates(s), s.freqMhz);
+}
+
+std::string
+PowerModel::runtimeEquations() const
+{
+    std::ostringstream os;
+    os << "# " << clusterName
+       << " run-time power model (rates in events/second)\n";
+    for (const FrequencyModel &fm : perFrequency) {
+        os << "power_" << clusterName << "_"
+           << static_cast<int>(fm.freqMhz) << "mhz (V="
+           << formatDouble(fm.voltage, 4) << ") = "
+           << formatDouble(fm.fit.beta[0], 6);
+        for (std::size_t i = 0; i < events.size(); ++i) {
+            double beta = fm.fit.beta[i + 1];
+            os << (beta >= 0 ? " + " : " - ");
+            // Scientific-style small coefficients: rates are large.
+            std::ostringstream coeff;
+            coeff.precision(6);
+            coeff << std::scientific << std::fabs(beta);
+            os << coeff.str() << " * rate(" << events[i].key << ")";
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+namespace {
+
+/** Join PMC ids / stat names with '+'. */
+template <typename T>
+std::string
+joinPlus(const std::vector<T> &items)
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i > 0)
+            os << '+';
+        os << items[i];
+    }
+    return os.str();
+}
+
+std::vector<int>
+parseIds(const std::string &field)
+{
+    std::vector<int> ids;
+    if (field.empty())
+        return ids;
+    for (const std::string &token : split(field, '+'))
+        ids.push_back(std::stoi(token, nullptr, 0));
+    return ids;
+}
+
+std::vector<std::string>
+parseNames(const std::string &field)
+{
+    if (field.empty())
+        return {};
+    return split(field, '+');
+}
+
+} // namespace
+
+std::string
+PowerModel::serialize() const
+{
+    std::ostringstream os;
+    os << "powmon-model 1\n";
+    os << "cluster " << clusterName << "\n";
+    for (const EventSpec &spec : events) {
+        os << "event " << spec.key << "|" << joinPlus(spec.addIds)
+           << "|" << joinPlus(spec.subIds) << "|"
+           << joinPlus(spec.addStats) << "|"
+           << joinPlus(spec.subStats) << "\n";
+    }
+    os << std::setprecision(17);
+    for (const FrequencyModel &fm : perFrequency) {
+        os << "fit " << fm.freqMhz << " " << fm.voltage;
+        for (double beta : fm.fit.beta)
+            os << " " << beta;
+        os << "\n";
+    }
+    return os.str();
+}
+
+PowerModel
+PowerModel::deserialize(const std::string &text)
+{
+    PowerModel model;
+    bool saw_header = false;
+    for (const std::string &raw_line : split(text, '\n')) {
+        std::string line = trim(raw_line);
+        if (line.empty())
+            continue;
+        if (!saw_header) {
+            fatal_if(!startsWith(line, "powmon-model "),
+                     "not a powmon model file");
+            saw_header = true;
+            continue;
+        }
+        if (startsWith(line, "cluster ")) {
+            model.clusterName = line.substr(8);
+        } else if (startsWith(line, "event ")) {
+            std::vector<std::string> fields =
+                split(line.substr(6), '|');
+            fatal_if(fields.size() != 5,
+                     "malformed event line: ", line);
+            EventSpec spec;
+            spec.key = fields[0];
+            spec.addIds = parseIds(fields[1]);
+            spec.subIds = parseIds(fields[2]);
+            spec.addStats = parseNames(fields[3]);
+            spec.subStats = parseNames(fields[4]);
+            model.events.push_back(std::move(spec));
+        } else if (startsWith(line, "fit ")) {
+            std::istringstream is(line.substr(4));
+            FrequencyModel fm;
+            is >> fm.freqMhz >> fm.voltage;
+            double beta;
+            while (is >> beta)
+                fm.fit.beta.push_back(beta);
+            fatal_if(fm.fit.beta.size() != model.events.size() + 1,
+                     "fit arity mismatch in: ", line);
+            fm.fit.ok = true;
+            fm.fit.hasIntercept = true;
+            model.perFrequency.push_back(std::move(fm));
+        } else {
+            fatal("unrecognised model line: ", line);
+        }
+    }
+    fatal_if(!saw_header || model.events.empty() ||
+                 model.perFrequency.empty(),
+             "incomplete powmon model file");
+    return model;
+}
+
+} // namespace gemstone::powmon
+

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Empirical PMC-based power models (Section V).
+ *
+ * A PowerModel is a set of per-DVFS-point linear models over event
+ * *rates* (events per second), as produced by the Powmon flow of [8]:
+ * P = beta0 + sum_i beta_i * rate_i, one fit per (cluster, frequency)
+ * with the voltage implied by the OPP. The same model can be applied
+ * to hardware PMC data or to g5 statistics (Fig. 2), and can emit its
+ * equations in a form suitable for run-time evaluation inside the
+ * simulator.
+ */
+
+#ifndef GEMSTONE_POWMON_MODEL_HH
+#define GEMSTONE_POWMON_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "mlstat/ols.hh"
+#include "powmon/eventspec.hh"
+
+namespace gemstone::powmon {
+
+/** One observation used to build or validate a model. */
+struct PowerObservation
+{
+    hwsim::HwMeasurement measurement;
+
+    double power() const { return measurement.powerWatts; }
+    double freqMhz() const { return measurement.freqMhz; }
+    const std::string &workload() const
+    {
+        return measurement.workload;
+    }
+};
+
+/** The per-frequency linear model. */
+struct FrequencyModel
+{
+    double freqMhz = 0.0;
+    double voltage = 0.0;
+    mlstat::OlsResult fit;
+};
+
+/** Aggregate model-quality statistics (the paper's Section V set). */
+struct PowerModelQuality
+{
+    double mape = 0.0;
+    double mpe = 0.0;
+    double ser = 0.0;          //!< standard error of regression (W)
+    double adjustedR2 = 0.0;
+    double meanVif = 0.0;
+    double maxAbsError = 0.0;  //!< worst single-observation APE
+    std::string worstObservation;
+    std::size_t observations = 0;
+};
+
+/**
+ * A complete cluster power model.
+ */
+class PowerModel
+{
+  public:
+    std::string clusterName;          //!< "Cortex-A15" etc.
+    std::vector<EventSpec> events;    //!< model inputs
+    std::vector<FrequencyModel> perFrequency;
+
+    /** The frequency model for an OPP; fatal() when missing. */
+    const FrequencyModel &frequencyModel(double freq_mhz) const;
+
+    /** Estimate power from explicit event rates. */
+    double estimateFromRates(const std::vector<double> &rates,
+                             double freq_mhz) const;
+
+    /** Estimate power from a hardware measurement. */
+    double estimateHw(const hwsim::HwMeasurement &m) const;
+
+    /** Estimate power from g5 statistics. */
+    double estimateG5(const g5::G5Stats &s) const;
+
+    /**
+     * Per-component power breakdown (intercept first, then one entry
+     * per event) — the stacked bars of Fig. 7.
+     */
+    std::vector<double> breakdownFromRates(
+        const std::vector<double> &rates, double freq_mhz) const;
+
+    std::vector<double> breakdownHw(
+        const hwsim::HwMeasurement &m) const;
+
+    std::vector<double> breakdownG5(const g5::G5Stats &s) const;
+
+    /** Event rates for a hardware measurement, in model order. */
+    std::vector<double> hwRates(const hwsim::HwMeasurement &m) const;
+
+    /** Event rates for a g5 run, in model order. */
+    std::vector<double> g5Rates(const g5::G5Stats &s) const;
+
+    /**
+     * Render the per-frequency equations as text, suitable for
+     * pasting into a simulator's run-time power object.
+     */
+    std::string runtimeEquations() const;
+
+    /**
+     * Serialise the model (events, per-frequency coefficients and
+     * voltages) to a line-oriented text format, so models can be
+     * released and reused without rebuilding — the paper publishes
+     * its models this way.
+     */
+    std::string serialize() const;
+
+    /**
+     * Parse a model previously produced by serialize().
+     * fatal()s on malformed input.
+     */
+    static PowerModel deserialize(const std::string &text);
+};
+
+} // namespace gemstone::powmon
+
+#endif // GEMSTONE_POWMON_MODEL_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Statistics framework implementation.
+ */
+
+#include "stats/stats.hh"
+
+#include <cmath>
+#include <iomanip>
+
+#include "util/logging.hh"
+
+namespace gemstone::stats {
+
+Scalar::Scalar(Group &group, const std::string &name,
+               const std::string &desc)
+    : statName(group.qualify(name)), statDesc(desc)
+{
+    group.registerScalar(this);
+}
+
+Formula::Formula(Group &group, const std::string &name,
+                 const std::string &desc, Evaluator evaluator)
+    : statName(group.qualify(name)), statDesc(desc),
+      eval(std::move(evaluator))
+{
+    group.registerFormula(this);
+}
+
+Group::Group(Group &parent, const std::string &name)
+{
+    panic_if(name.empty(), "group name must not be empty");
+    pathPrefix = parent.pathPrefix.empty()
+        ? name
+        : parent.pathPrefix + "." + name;
+    parent.registerChild(this);
+}
+
+std::string
+Group::qualify(const std::string &leaf) const
+{
+    return pathPrefix.empty() ? leaf : pathPrefix + "." + leaf;
+}
+
+void
+Group::registerScalar(Scalar *stat)
+{
+    scalars.push_back(stat);
+}
+
+void
+Group::registerFormula(Formula *stat)
+{
+    formulas.push_back(stat);
+}
+
+void
+Group::registerChild(Group *child)
+{
+    children.push_back(child);
+}
+
+void
+Group::collect(std::map<std::string, double> &out) const
+{
+    for (const Scalar *stat : scalars)
+        out[stat->name()] = stat->value();
+    for (const Formula *stat : formulas) {
+        double value = stat->value();
+        out[stat->name()] = std::isfinite(value) ? value : 0.0;
+    }
+    for (const Group *child : children)
+        child->collect(out);
+}
+
+std::map<std::string, double>
+Group::dump() const
+{
+    std::map<std::string, double> out;
+    collect(out);
+    return out;
+}
+
+void
+Group::resetAll()
+{
+    for (Scalar *stat : scalars)
+        stat->reset();
+    for (Group *child : children)
+        child->resetAll();
+}
+
+void
+Group::describe(
+    std::vector<std::pair<std::string, std::string>> &out) const
+{
+    for (const Scalar *stat : scalars)
+        out.emplace_back(stat->name(), stat->desc());
+    for (const Formula *stat : formulas)
+        out.emplace_back(stat->name(), stat->desc());
+    for (const Group *child : children)
+        child->describe(out);
+}
+
+void
+Group::writeText(std::ostream &os) const
+{
+    std::map<std::string, double> values = dump();
+    std::vector<std::pair<std::string, std::string>> descriptions;
+    describe(descriptions);
+    std::map<std::string, std::string> desc_by_name(
+        descriptions.begin(), descriptions.end());
+
+    os << "---------- Begin Simulation Statistics ----------\n";
+    for (const auto &[name, value] : values) {
+        os << std::left << std::setw(48) << name << " "
+           << std::setw(16) << std::setprecision(12) << value;
+        auto it = desc_by_name.find(name);
+        if (it != desc_by_name.end() && !it->second.empty())
+            os << " # " << it->second;
+        os << "\n";
+    }
+    os << "---------- End Simulation Statistics   ----------\n";
+}
+
+} // namespace gemstone::stats

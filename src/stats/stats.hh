@@ -1,0 +1,168 @@
+/**
+ * @file
+ * A small gem5-style statistics framework.
+ *
+ * Simulated components own Scalar/Formula members that register
+ * themselves with a Group tree at construction. A dump walks the tree
+ * and produces dotted, hierarchically named values — the same shape as
+ * a gem5 stats.txt — which the GemStone analyses consume. The g5
+ * simulator emits hundreds of statistics this way, mirroring the
+ * "thousands of statistics" of the real simulator.
+ */
+
+#ifndef GEMSTONE_STATS_STATS_HH
+#define GEMSTONE_STATS_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gemstone::stats {
+
+class Group;
+
+/**
+ * A named scalar statistic (a counter or accumulated value).
+ *
+ * Incrementing is a plain double addition; the framework cost is paid
+ * only at registration and dump time, as in gem5.
+ */
+class Scalar
+{
+  public:
+    /**
+     * Register a scalar under a group.
+     * @param group owning group (must outlive this stat)
+     * @param name leaf name, e.g. "condIncorrect"
+     * @param desc human-readable description
+     */
+    Scalar(Group &group, const std::string &name,
+           const std::string &desc);
+
+    Scalar(const Scalar &) = delete;
+    Scalar &operator=(const Scalar &) = delete;
+
+    /** Increment by n. */
+    void inc(double n = 1.0) { accumulated += n; }
+
+    Scalar &operator++()
+    {
+        accumulated += 1.0;
+        return *this;
+    }
+
+    Scalar &operator+=(double n)
+    {
+        accumulated += n;
+        return *this;
+    }
+
+    /** Overwrite the value (for sampled stats). */
+    void set(double v) { accumulated = v; }
+
+    /** Current value. */
+    double value() const { return accumulated; }
+
+    /** Reset to zero. */
+    void reset() { accumulated = 0.0; }
+
+    const std::string &name() const { return statName; }
+    const std::string &desc() const { return statDesc; }
+
+  private:
+    std::string statName;
+    std::string statDesc;
+    double accumulated = 0.0;
+};
+
+/**
+ * A derived statistic evaluated lazily at dump time, like a gem5
+ * Formula (e.g. miss rate = misses / accesses).
+ */
+class Formula
+{
+  public:
+    using Evaluator = std::function<double()>;
+
+    /** Register a formula under a group. */
+    Formula(Group &group, const std::string &name,
+            const std::string &desc, Evaluator evaluator);
+
+    Formula(const Formula &) = delete;
+    Formula &operator=(const Formula &) = delete;
+
+    /** Evaluate now. */
+    double value() const { return eval ? eval() : 0.0; }
+
+    const std::string &name() const { return statName; }
+    const std::string &desc() const { return statDesc; }
+
+  private:
+    std::string statName;
+    std::string statDesc;
+    Evaluator eval;
+};
+
+/**
+ * A node in the statistic name hierarchy, e.g. "system.cpu.icache".
+ */
+class Group
+{
+  public:
+    /** Root group (empty prefix). */
+    Group() = default;
+
+    /**
+     * Child group.
+     * @param parent enclosing group
+     * @param name path component added to the prefix
+     */
+    Group(Group &parent, const std::string &name);
+
+    Group(const Group &) = delete;
+    Group &operator=(const Group &) = delete;
+
+    /** Fully qualified dotted prefix ("" for the root). */
+    const std::string &prefix() const { return pathPrefix; }
+
+    /** Qualify a leaf name with this group's prefix. */
+    std::string qualify(const std::string &leaf) const;
+
+    /** Called by Scalar's constructor. */
+    void registerScalar(Scalar *stat);
+
+    /** Called by Formula's constructor. */
+    void registerFormula(Formula *stat);
+
+    /** Called by the child Group constructor. */
+    void registerChild(Group *child);
+
+    /**
+     * Collect every statistic under this group into a flat map of
+     * dotted name to value.
+     */
+    std::map<std::string, double> dump() const;
+
+    /** Reset all scalars under this group. */
+    void resetAll();
+
+    /** Write a gem5-style stats.txt block. */
+    void writeText(std::ostream &os) const;
+
+  private:
+    void collect(std::map<std::string, double> &out) const;
+    void describe(
+        std::vector<std::pair<std::string, std::string>> &out) const;
+
+    std::string pathPrefix;
+    std::vector<Scalar *> scalars;
+    std::vector<Formula *> formulas;
+    std::vector<Group *> children;
+};
+
+} // namespace gemstone::stats
+
+#endif // GEMSTONE_STATS_STATS_HH

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Branch prediction models.
+ *
+ * Two predictors are provided:
+ *
+ *  - TournamentBp: a well-behaved local/global tournament predictor
+ *    with BTB, return-address stack and a simple indirect-target
+ *    table. This is the *reference hardware* predictor (the paper
+ *    measures a ~96% mean prediction accuracy on the Cortex-A15).
+ *
+ *  - GshareBp: the predictor of the g5 `ex5_big` model. Version 1
+ *    carries the speculative-history corruption bug the paper's
+ *    methodology uncovers (history is advanced with the *predicted*
+ *    outcome at fetch but never repaired after a misprediction, so a
+ *    single misprediction poisons subsequent index computations and
+ *    mispredict "storms" develop on pattern-sensitive workloads —
+ *    mean accuracy drops to ~65%, with pathological workloads below
+ *    1%). Version 2 repairs the history on update, which is the bug
+ *    fix that moved the paper's execution-time MPE from -51% to +10%.
+ */
+
+#ifndef GEMSTONE_UARCH_BRANCH_HH
+#define GEMSTONE_UARCH_BRANCH_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gemstone::uarch {
+
+/** Static/dynamic facts about a branch instruction. */
+struct BranchInfo
+{
+    bool isCond = false;
+    bool isCall = false;
+    bool isReturn = false;
+    bool isIndirect = false;
+};
+
+/** A prediction for one branch. */
+struct BranchPrediction
+{
+    bool taken = false;
+    std::uint32_t target = 0;
+    bool usedRas = false;
+    bool fromBtb = false;
+};
+
+/** Event counts shared by all predictor implementations. */
+struct BranchStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t condLookups = 0;
+    std::uint64_t condIncorrect = 0;          //!< direction mispredicts
+    std::uint64_t targetIncorrect = 0;        //!< target mispredicts
+    std::uint64_t mispredicts = 0;            //!< either kind
+    std::uint64_t predictedTaken = 0;
+    std::uint64_t predictedTakenIncorrect = 0;
+    std::uint64_t btbLookups = 0;
+    std::uint64_t btbHits = 0;
+    std::uint64_t usedRas = 0;
+    std::uint64_t rasIncorrect = 0;
+    std::uint64_t indirectLookups = 0;
+    std::uint64_t indirectMispredicts = 0;
+
+    void reset() { *this = BranchStats(); }
+
+    /** 1 - mispredicts/lookups (0 when no lookups). */
+    double accuracy() const;
+};
+
+/** Abstract predictor interface used by the core timing models. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /** Predict direction and target for the branch at pc. */
+    virtual BranchPrediction predict(std::uint32_t pc,
+                                     const BranchInfo &info) = 0;
+
+    /**
+     * Commit-time update with the architectural outcome.
+     * @param prediction the value returned by predict() for this
+     *        branch, so implementations can detect mispredictions
+     */
+    virtual void update(std::uint32_t pc, const BranchInfo &info,
+                        bool taken, std::uint32_t target,
+                        const BranchPrediction &prediction) = 0;
+
+    /** Reset tables between runs. */
+    virtual void reset() = 0;
+
+    const BranchStats &stats() const { return bpStats; }
+
+    /**
+     * Record prediction vs outcome in the stats. Called by the core
+     * model after update().
+     */
+    void recordOutcome(const BranchInfo &info, bool taken,
+                       std::uint32_t target,
+                       const BranchPrediction &prediction);
+
+  protected:
+    BranchStats bpStats;
+};
+
+/** Geometry of the tournament predictor. */
+struct TournamentBpConfig
+{
+    std::uint32_t localEntries = 2048;
+    std::uint32_t globalEntries = 8192;
+    std::uint32_t chooserEntries = 8192;
+    std::uint32_t historyBits = 12;
+    std::uint32_t btbEntries = 2048;
+    std::uint32_t rasEntries = 48;
+    std::uint32_t indirectEntries = 512;
+};
+
+/**
+ * Local/global tournament predictor with BTB + RAS + indirect table.
+ */
+class TournamentBp : public BranchPredictor
+{
+  public:
+    explicit TournamentBp(const TournamentBpConfig &config = {});
+
+    BranchPrediction predict(std::uint32_t pc,
+                             const BranchInfo &info) override;
+    void update(std::uint32_t pc, const BranchInfo &info, bool taken,
+                std::uint32_t target,
+                const BranchPrediction &prediction) override;
+    void reset() override;
+
+  private:
+    struct BtbEntry
+    {
+        bool valid = false;
+        std::uint32_t tag = 0;
+        std::uint32_t target = 0;
+    };
+
+    TournamentBpConfig cfg;
+    std::vector<std::uint8_t> localTable;    //!< 2-bit counters
+    std::vector<std::uint8_t> globalTable;   //!< 2-bit counters
+    std::vector<std::uint8_t> chooserTable;  //!< 2-bit counters
+    std::vector<std::uint16_t> localHistory;
+    std::vector<BtbEntry> btb;
+    std::vector<std::uint32_t> ras;
+    std::vector<BtbEntry> indirectTable;
+    std::uint32_t rasTop = 0;
+    std::uint32_t rasDepth = 0;
+    std::uint64_t globalHistory = 0;
+};
+
+/** Geometry of the g5 gshare predictor. */
+struct GshareBpConfig
+{
+    std::uint32_t tableEntries = 4096;
+    std::uint32_t historyBits = 12;
+    std::uint32_t btbEntries = 1024;
+    std::uint32_t rasEntries = 16;
+    /**
+     * Version selector: 1 = history-corruption bug present (the model
+     * the paper evaluated), 2 = fixed (the later gem5 version).
+     */
+    int version = 1;
+    /**
+     * Fraction of direction counters initialised weakly not-taken
+     * (hashed by index); the rest start weakly taken. Governs how
+     * destructive a v1 history-corruption storm is on
+     * taken-dominated code.
+     */
+    double noisyInitFraction = 0.35;
+    /**
+     * Conditional branches between forced speculative-history
+     * resynchronisations. Even the buggy version gets its history
+     * repaired when the pipeline fully drains (context switches,
+     * timer interrupts), so a storm cannot outlive this window
+     * unless the workload's own mispredictions keep re-igniting it —
+     * which is exactly what separates the pattern-periodic workloads
+     * (permanent storms) from plain loop code (rare, bounded storms).
+     */
+    std::uint64_t drainResyncPeriod = 0;  // off: storms persist
+};
+
+/**
+ * Gshare predictor with a speculative global history register.
+ * See the file comment for the v1 bug semantics.
+ */
+class GshareBp : public BranchPredictor
+{
+  public:
+    explicit GshareBp(const GshareBpConfig &config = {});
+
+    BranchPrediction predict(std::uint32_t pc,
+                             const BranchInfo &info) override;
+    void update(std::uint32_t pc, const BranchInfo &info, bool taken,
+                std::uint32_t target,
+                const BranchPrediction &prediction) override;
+    void reset() override;
+
+    int version() const { return cfg.version; }
+
+  private:
+    struct BtbEntry
+    {
+        bool valid = false;
+        std::uint32_t tag = 0;
+        std::uint32_t target = 0;
+    };
+
+    GshareBpConfig cfg;
+    std::vector<std::uint8_t> table;  //!< 2-bit counters
+    std::vector<BtbEntry> btb;
+    std::vector<std::uint32_t> ras;
+    std::uint32_t rasTop = 0;
+    std::uint32_t rasDepth = 0;
+    /** Speculative history, advanced at predict time. */
+    std::uint64_t specHistory = 0;
+    /** Architectural history, advanced at update time. */
+    std::uint64_t commitHistory = 0;
+    /** Conditional updates since the last pipeline drain. */
+    std::uint64_t condUpdatesSinceDrain = 0;
+};
+
+} // namespace gemstone::uarch
+
+#endif // GEMSTONE_UARCH_BRANCH_HH

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement, write-back /
+ * write-allocate policy and an optional next-N-line prefetcher.
+ *
+ * The model is tag-only: data values live in isa::Memory (functional
+ * correctness is the executor's job); the cache tracks presence,
+ * dirtiness and recency to produce hit/miss/writeback *events* and
+ * latencies, which is all the methodology needs.
+ */
+
+#ifndef GEMSTONE_UARCH_CACHE_HH
+#define GEMSTONE_UARCH_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gemstone::uarch {
+
+/** Configuration of one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    std::uint32_t sizeBytes = 32 * 1024;
+    std::uint32_t assoc = 4;
+    std::uint32_t lineBytes = 64;
+    /** Hit latency in cycles. */
+    double hitLatency = 2.0;
+    /** Number of sequential next lines prefetched on a miss. */
+    std::uint32_t prefetchDegree = 0;
+    /** Miss-status-holding registers (reported in stats). */
+    std::uint32_t mshrs = 6;
+    /**
+     * Write-streaming detection (the real Cortex-A15 L1D): store
+     * misses that form a sequential stream bypass allocation and are
+     * written around to the next level. The g5 classic cache always
+     * write-allocates, which is one of the event divergences the
+     * paper's Fig. 6 exposes (0x43 and 0x15 over-counting).
+     */
+    bool writeStreaming = false;
+    /** Consecutive-line store misses needed to enter streaming. */
+    std::uint32_t streamingThreshold = 2;
+};
+
+/** Event counts accumulated by one cache instance. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t readAccesses = 0;
+    std::uint64_t writeAccesses = 0;
+    std::uint64_t readMisses = 0;
+    std::uint64_t writeMisses = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t prefetchesIssued = 0;
+    std::uint64_t prefetchHits = 0;   //!< demand hits on prefetched lines
+    std::uint64_t invalidations = 0;  //!< snoop invalidations
+    std::uint64_t streamingStores = 0; //!< write-around store misses
+
+    void reset() { *this = CacheStats(); }
+};
+
+/** Result of a single cache lookup. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    /**
+     * Latency contribution of this level and below, in *core cycles*
+     * (cache latencies scale with the core clock).
+     */
+    double latency = 0.0;
+    /**
+     * DRAM latency contribution in *nanoseconds* (wall-clock fixed).
+     * The core model converts this to cycles at the current
+     * frequency; keeping the units separate is what makes DVFS
+     * scaling workload-dependent.
+     */
+    double dramNs = 0.0;
+    /** A dirty line was evicted by the fill. */
+    bool causedWriteback = false;
+};
+
+/**
+ * Interface for anything that can service a cache fill (next level
+ * cache or DRAM).
+ */
+class MemLevel
+{
+  public:
+    virtual ~MemLevel() = default;
+
+    /**
+     * Access this level.
+     * @param addr physical byte address
+     * @param write true for stores / writebacks
+     * @param prefetch true when issued by a prefetcher
+     */
+    virtual CacheAccessResult access(std::uint64_t addr, bool write,
+                                     bool prefetch) = 0;
+};
+
+/**
+ * One cache level. Chains to a parent MemLevel for misses.
+ */
+class Cache : public MemLevel
+{
+  public:
+    /**
+     * @param config geometry and latency
+     * @param parent next level (not owned; may be nullptr for tests,
+     *        in which case misses cost only the hit latency)
+     */
+    Cache(const CacheConfig &config, MemLevel *parent);
+
+    CacheAccessResult access(std::uint64_t addr, bool write,
+                             bool prefetch) override;
+
+    /** Probe without updating LRU or filling (used by snooping). */
+    bool probe(std::uint64_t addr) const;
+
+    /**
+     * Invalidate a line if present (coherence). Dirty data is counted
+     * as a writeback.
+     * @return true if the line was present
+     */
+    bool invalidate(std::uint64_t addr);
+
+    /** Drop all lines (between workload runs). */
+    void flush();
+
+    const CacheStats &stats() const { return cacheStats; }
+    CacheStats &stats() { return cacheStats; }
+    const CacheConfig &config() const { return cacheConfig; }
+
+    std::uint32_t numSets() const { return setCount; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        bool wasPrefetched = false;
+        std::uint64_t tag = 0;
+        std::uint64_t lruStamp = 0;
+    };
+
+    std::uint64_t lineAddr(std::uint64_t addr) const
+    {
+        return addr / cacheConfig.lineBytes;
+    }
+
+    /** Fill a line, possibly evicting; returns true on dirty evict. */
+    bool fill(std::uint64_t line_address, bool dirty, bool prefetched);
+
+    Line *findLine(std::uint64_t line_address);
+    const Line *findLine(std::uint64_t line_address) const;
+
+    CacheConfig cacheConfig;
+    MemLevel *parentLevel;
+    CacheStats cacheStats;
+    std::uint32_t setCount;
+    std::vector<Line> lines;   //!< setCount x assoc, row-major
+    std::uint64_t lruCounter = 0;
+    /** Write-streaming detector state. */
+    std::uint64_t lastStoreMissLine = ~0ULL;
+    std::uint32_t storeStreak = 0;
+};
+
+/**
+ * Terminal memory level with a fixed latency (used for unit tests and
+ * as a simple backing store).
+ */
+class FixedLatencyMemory : public MemLevel
+{
+  public:
+    explicit FixedLatencyMemory(double latency_cycles)
+        : latency(latency_cycles)
+    {
+    }
+
+    CacheAccessResult access(std::uint64_t, bool, bool) override
+    {
+        ++accessCount;
+        return {true, latency, false};
+    }
+
+    std::uint64_t accesses() const { return accessCount; }
+
+  private:
+    double latency;
+    std::uint64_t accessCount = 0;
+};
+
+} // namespace gemstone::uarch
+
+#endif // GEMSTONE_UARCH_CACHE_HH

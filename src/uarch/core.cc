@@ -1,0 +1,431 @@
+/**
+ * @file
+ * Core timing model implementation.
+ */
+
+#include "uarch/core.hh"
+
+#include "uarch/system.hh"
+#include "util/logging.hh"
+
+namespace gemstone::uarch {
+
+namespace {
+
+/** Instruction-side address space offset (keeps I and D apart). */
+constexpr std::uint64_t codeBase = 1ULL << 30;
+
+} // namespace
+
+CoreModel::CoreModel(const CoreConfig &config, ClusterModel &cluster,
+                     unsigned core_id)
+    : coreConfig(config), cluster(cluster), coreId(core_id),
+      l1i(config.l1i, &cluster.l2()), l1d(config.l1d, &cluster.l2())
+{
+    if (config.bpKind == BpKind::Tournament)
+        bp = std::make_unique<TournamentBp>(config.tournamentConfig);
+    else
+        bp = std::make_unique<GshareBp>(config.gshareConfig);
+
+    if (config.unifiedL2Tlb) {
+        ownL2Tlb = std::make_unique<Tlb>(config.l2TlbUnified);
+        itlb = std::make_unique<TlbHierarchy>(
+            config.itlb, ownL2Tlb.get(), config.pageWalkLatency);
+        dtlb = std::make_unique<TlbHierarchy>(
+            config.dtlb, ownL2Tlb.get(), config.pageWalkLatency);
+    } else {
+        ownL2TlbInstr = std::make_unique<Tlb>(config.l2TlbInstr);
+        ownL2TlbData = std::make_unique<Tlb>(config.l2TlbData);
+        itlb = std::make_unique<TlbHierarchy>(
+            config.itlb, ownL2TlbInstr.get(), config.pageWalkLatency);
+        dtlb = std::make_unique<TlbHierarchy>(
+            config.dtlb, ownL2TlbData.get(), config.pageWalkLatency);
+    }
+}
+
+void
+CoreModel::beginProgram(const isa::Program *prog)
+{
+    panic_if(!prog, "beginProgram with null program");
+    program = prog;
+    cpuState.reset(coreId);
+    coreCycles = 0.0;
+    lastFetchLine = ~0ULL;
+    lastDataAddr = 0;
+    fetchSlotsLeft = 0;
+    ev = EventCounts();
+}
+
+double
+CoreModel::chargeFetch(std::uint64_t fetch_addr, bool wrong_path)
+{
+    const std::uint32_t insts_per_line =
+        coreConfig.l1i.lineBytes / coreConfig.instBytes;
+    std::uint64_t line = fetch_addr / coreConfig.l1i.lineBytes;
+
+    // A new I-cache/ITLB access happens when the fetch group is
+    // exhausted or the stream moves to a new line (including branch
+    // redirects, which reset the group).
+    bool new_line = line != lastFetchLine;
+    bool access_icache =
+        wrong_path || new_line || fetchSlotsLeft == 0;
+    if (!wrong_path) {
+        lastFetchLine = line;
+        if (access_icache)
+            fetchSlotsLeft = coreConfig.fetchGroupInsts;
+        if (fetchSlotsLeft > 0)
+            --fetchSlotsLeft;
+    }
+    if (!access_icache)
+        return 0.0;
+
+    double lat = 0.0;
+    ++ev.itlbAccesses;
+    bool itlb_hit = itlb->translate(fetch_addr, lat);
+    if (!itlb_hit) {
+        ++ev.itlbMisses;
+        ++ev.l2ItlbAccesses;
+    }
+
+    if (wrong_path) {
+        // Wrong-path fetch pollutes the I-side structures; the fill
+        // is issued like a prefetch (the demand counters of the
+        // lower levels never see it because the redirect aborts it),
+        // but an in-flight speculative translation delays the
+        // redirect.
+        l1i.access(fetch_addr, false, true);
+        ev.wrongPathInsts += std::max(1u, insts_per_line / 4);
+        return lat * coreConfig.wrongPathTlbPenalty;
+    }
+
+    CacheAccessResult icache = l1i.access(fetch_addr, false, false);
+    double dram_ns = 0.0;
+    if (!icache.hit) {
+        lat += icache.latency;
+        dram_ns = icache.dramNs;
+    }
+
+    ev.dramStallNs += dram_ns;
+    double dram_cycles = dram_ns * cluster.frequencyGhz();
+    ev.stallCyclesFrontend += lat + dram_cycles;
+    coreCycles += lat + dram_cycles;
+    return 0.0;
+}
+
+double
+CoreModel::dataAccess(std::uint64_t addr, bool write, bool unaligned)
+{
+    double lat = 0.0;
+    ++ev.dtlbAccesses;
+    bool dtlb_hit = dtlb->translate(addr, lat);
+    if (!dtlb_hit) {
+        ++ev.dtlbMisses;
+        ++ev.l2DtlbAccesses;
+    }
+
+    CacheAccessResult result = l1d.access(addr, write, false);
+    if (!result.hit) {
+        lat += (result.latency - coreConfig.l1d.hitLatency) *
+            coreConfig.memStallFactor;
+        double charged_ns = result.dramNs * coreConfig.memStallFactor;
+        ev.dramStallNs += charged_ns;
+        lat += charged_ns * cluster.frequencyGhz();
+    }
+
+    if (unaligned &&
+        (addr % coreConfig.l1d.lineBytes) + 8 >
+            coreConfig.l1d.lineBytes) {
+        // The access straddles a line: a second beat is needed.
+        CacheAccessResult cross = l1d.access(addr + 8, write, false);
+        if (!cross.hit) {
+            lat += (cross.latency - coreConfig.l1d.hitLatency) *
+                coreConfig.memStallFactor;
+            double charged_ns = cross.dramNs * coreConfig.memStallFactor;
+            ev.dramStallNs += charged_ns;
+            lat += charged_ns * cluster.frequencyGhz();
+        }
+    }
+
+    if (write)
+        lat += cluster.storeSnoop(addr, coreId);
+
+    lastDataAddr = addr;
+    return lat;
+}
+
+std::uint64_t
+CoreModel::runQuantum(std::uint64_t max_insts)
+{
+    panic_if(!program, "runQuantum without a program");
+    std::uint64_t executed = 0;
+    while (executed < max_insts && !cpuState.halted) {
+        executeOne();
+        ++executed;
+    }
+    return executed;
+}
+
+void
+CoreModel::executeOne()
+{
+
+    std::uint32_t pc = cpuState.pc;
+    chargeFetch(codeBase +
+                    static_cast<std::uint64_t>(pc) *
+                        coreConfig.instBytes,
+                false);
+
+    const isa::Inst &inst = program->fetch(pc);
+    isa::OpClass cls = isa::opClassOf(inst.op);
+
+    // Branch prediction happens at fetch.
+    BranchInfo binfo;
+    BranchPrediction prediction;
+    bool is_branch = isa::isBranchOp(inst.op);
+    if (is_branch) {
+        binfo.isCond = isa::isCondBranch(inst.op);
+        binfo.isCall = inst.op == isa::Opcode::Bl;
+        binfo.isReturn = inst.op == isa::Opcode::Ret;
+        binfo.isIndirect = isa::isIndirectBranch(inst.op);
+        prediction = bp->predict(pc, binfo);
+    }
+
+    // Functional execution.
+    isa::ExecContext context{&cluster.memory(), &cluster.monitor(),
+                             coreId};
+    isa::StepResult sr = isa::step(cpuState, *program, context);
+
+    // Commit accounting.
+    ++ev.instructions;
+    ++ev.instSpec;
+
+    // OS interference: periodic timer ticks evict the ITLB contents
+    // (kernel and interrupt-handler pages push user pages out).
+    if (coreConfig.osItlbFlushPeriod > 0 &&
+        ev.instructions % coreConfig.osItlbFlushPeriod == 0) {
+        itlb->l1().flush();
+    }
+
+    double extra_latency = 0.0;  // beyond one issue slot
+    bool reads_rn = false;
+    bool reads_rm = false;
+
+    switch (cls) {
+      case isa::OpClass::IntAlu:
+        ++ev.intAluOps;
+        extra_latency = coreConfig.latIntAlu - 1.0;
+        reads_rn = inst.op != isa::Opcode::Movi;
+        reads_rm = true;
+        break;
+      case isa::OpClass::IntMul:
+        ++ev.intMulOps;
+        extra_latency = coreConfig.latIntMul - 1.0;
+        reads_rn = reads_rm = true;
+        break;
+      case isa::OpClass::IntDiv:
+        ++ev.intDivOps;
+        extra_latency = coreConfig.latIntDiv - 1.0;
+        reads_rn = reads_rm = true;
+        break;
+      case isa::OpClass::FpAlu:
+        ++ev.fpOps;
+        extra_latency = coreConfig.latFpAlu - 1.0;
+        break;
+      case isa::OpClass::FpDiv:
+        ++ev.fpOps;
+        extra_latency = coreConfig.latFpDiv - 1.0;
+        break;
+      case isa::OpClass::SimdAlu:
+        ++ev.simdOps;
+        extra_latency = coreConfig.latSimd - 1.0;
+        break;
+      case isa::OpClass::Load:
+        ++ev.loadOps;
+        extra_latency = coreConfig.latLoadToUse - 1.0;
+        break;
+      case isa::OpClass::Store:
+        ++ev.storeOps;
+        break;
+      case isa::OpClass::Branch:
+        break;
+      case isa::OpClass::Sync:
+        break;
+      case isa::OpClass::Nop:
+        ++ev.nopOps;
+        break;
+      case isa::OpClass::Halt:
+        break;
+    }
+    (void)reads_rn;
+    (void)reads_rm;
+
+    // Issue slot.
+    coreCycles += 1.0 / coreConfig.issueWidth;
+
+    // Exposed operation latency via the dependency-stall factor.
+    if (extra_latency > 0.0) {
+        double stall = extra_latency * coreConfig.depStallFactor;
+        coreCycles += stall;
+        ev.stallCyclesExec += stall;
+    }
+
+    // Data side.
+    if (sr.isMem) {
+        if (sr.unaligned)
+            ++ev.unalignedAccesses;
+        double mem_stall =
+            dataAccess(sr.memAddr, sr.isStore, sr.unaligned);
+        coreCycles += mem_stall;
+        ev.stallCyclesMem += mem_stall;
+    }
+
+    // Synchronisation.
+    if (sr.isExclusive) {
+        double sync = coreConfig.exclusiveCost;
+        if (inst.op == isa::Opcode::Ldrex) {
+            ++ev.ldrexOps;
+        } else {
+            ++ev.strexOps;
+            if (sr.exclusiveFailed) {
+                ++ev.strexFails;
+                sync += coreConfig.strexFailCost;
+            }
+        }
+        coreCycles += sync;
+        ev.stallCyclesSync += sync;
+    } else if (sr.isBarrier) {
+        double sync = inst.op == isa::Opcode::Dmb
+            ? coreConfig.barrierCost
+            : coreConfig.isbCost;
+        if (inst.op == isa::Opcode::Dmb)
+            ++ev.barriers;
+        else
+            ++ev.isbs;
+        coreCycles += sync;
+        ev.stallCyclesSync += sync;
+    }
+
+    // Control flow resolution.
+    if (is_branch) {
+        ++ev.branches;
+        if (binfo.isCond)
+            ++ev.condBranches;
+        else if (binfo.isCall)
+            ++ev.callBranches;
+        else if (binfo.isReturn)
+            ++ev.returnBranches;
+        else if (binfo.isIndirect)
+            ++ev.indirectBranches;
+        else
+            ++ev.immedBranches;
+
+        bp->update(pc, binfo, sr.taken, sr.branchTarget, prediction);
+        bp->recordOutcome(binfo, sr.taken, sr.branchTarget, prediction);
+
+        // A taken branch redirects fetch: the next instruction starts
+        // a new fetch group.
+        if (sr.taken)
+            fetchSlotsLeft = 0;
+
+        bool direction_wrong =
+            binfo.isCond && prediction.taken != sr.taken;
+        bool target_wrong = sr.taken &&
+            (!prediction.taken || prediction.target != sr.branchTarget);
+        bool mispredicted = direction_wrong || target_wrong;
+
+        if (mispredicted) {
+            ++ev.branchMispredicts;
+            coreCycles += coreConfig.frontendDepth;
+            ev.stallCyclesBranch += coreConfig.frontendDepth;
+
+            // Wrong-path side effects: the front end runs ahead on
+            // the wrong path until the branch resolves, polluting the
+            // I-side; an OoO core may also issue wrong-path loads.
+            // Stale BTB entries point anywhere in the code image, so
+            // the wrong-path stream starts at a pseudo-random page of
+            // the text segment.
+            std::uint64_t image_bytes =
+                std::uint64_t(coreConfig.wrongPathCodePages) * 4096;
+            std::uint64_t wrong_base = codeBase +
+                ((std::uint64_t(pc) * 2654435761u +
+                  std::uint64_t(prediction.target) * 40503u +
+                  ev.branchMispredicts * 2246822519u) %
+                 image_bytes);
+            double redirect_delay = 0.0;
+            for (std::uint32_t i = 0;
+                 i < coreConfig.wrongPathFetchLines; ++i) {
+                std::uint64_t wp = wrong_base +
+                    std::uint64_t(i) * coreConfig.l1i.lineBytes;
+                redirect_delay += chargeFetch(wp, true);
+            }
+            coreCycles += redirect_delay;
+            ev.stallCyclesBranch += redirect_delay;
+            for (std::uint32_t i = 0; i < coreConfig.wrongPathLoads;
+                 ++i) {
+                // Wrong-path loads walk ahead of the last data
+                // access, translating through the DTLB (polluting it)
+                // before probing the L1D.
+                std::uint64_t wp_addr = lastDataAddr +
+                    (i + 1) * (4096 + coreConfig.l1d.lineBytes);
+                double ignored = 0.0;
+                ++ev.dtlbAccesses;
+                if (!dtlb->translate(wp_addr, ignored)) {
+                    ++ev.dtlbMisses;
+                    ++ev.l2DtlbAccesses;
+                }
+                l1d.access(wp_addr, false, false);
+                ++ev.wrongPathLoads;
+            }
+        }
+    }
+
+    ev.wrongPathInsts += 0;  // accumulated inside chargeFetch
+}
+
+EventCounts
+CoreModel::collectEvents() const
+{
+    EventCounts out = ev;
+    out.cycles = coreCycles;
+
+    // L1I.
+    const CacheStats &icache = l1i.stats();
+    out.l1iAccesses = icache.accesses;
+    out.l1iMisses = icache.misses;
+
+    // L1D.
+    const CacheStats &dcache = l1d.stats();
+    out.l1dAccesses = dcache.accesses;
+    out.l1dReadAccesses = dcache.readAccesses;
+    out.l1dWriteAccesses = dcache.writeAccesses;
+    out.l1dMisses = dcache.misses;
+    out.l1dReadMisses = dcache.readMisses;
+    out.l1dWriteMisses = dcache.writeMisses;
+    out.l1dWritebacks = dcache.writebacks;
+    out.l1dStreamingStores = dcache.streamingStores;
+
+    // TLB hierarchies. L1 accesses/misses were counted inline so that
+    // wrong-path pollution is included (matching both real PMUs and
+    // gem5). The L2 TLB component stats come from the shared objects.
+    if (ownL2Tlb) {
+        out.l2ItlbMisses = 0;  // unified: split not observable
+        out.l2DtlbMisses = 0;
+        out.itlbWalks = itlb->walks();
+        out.dtlbWalks = dtlb->walks();
+        // For the unified L2 TLB, misses are walks.
+        out.l2ItlbMisses = itlb->walks();
+        out.l2DtlbMisses = dtlb->walks();
+    } else {
+        out.l2ItlbMisses = ownL2TlbInstr->stats().misses;
+        out.l2DtlbMisses = ownL2TlbData->stats().misses;
+        out.itlbWalks = itlb->walks();
+        out.dtlbWalks = dtlb->walks();
+    }
+
+    // Speculative instruction stream estimate.
+    out.instSpec = out.instructions + out.wrongPathInsts;
+
+    return out;
+}
+
+} // namespace gemstone::uarch

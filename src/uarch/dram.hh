@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Simple DRAM timing model with an open-row policy.
+ *
+ * Latencies are specified in nanoseconds and converted to core cycles
+ * using the current core frequency. This is what makes DVFS scaling
+ * workload-dependent (Fig. 8): at high core frequency a fixed-ns DRAM
+ * access costs more core cycles, so memory-bound workloads speed up
+ * sub-linearly while compute-bound ones scale almost linearly.
+ */
+
+#ifndef GEMSTONE_UARCH_DRAM_HH
+#define GEMSTONE_UARCH_DRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "uarch/cache.hh"
+
+namespace gemstone::uarch {
+
+/** DRAM geometry and timing. */
+struct DramConfig
+{
+    /** Row-buffer hit latency (CAS) in nanoseconds. */
+    double rowHitNs = 35.0;
+    /** Row-buffer miss latency (pre+act+CAS) in nanoseconds. */
+    double rowMissNs = 80.0;
+    /** Open-row granularity. */
+    std::uint32_t rowBytes = 2048;
+    /** Number of banks (power of two). */
+    std::uint32_t banks = 8;
+};
+
+/** Event counts for the DRAM channel. */
+struct DramStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowMisses = 0;
+
+    void reset() { *this = DramStats(); }
+};
+
+/**
+ * DRAM channel; terminal MemLevel of every cache hierarchy.
+ */
+class Dram : public MemLevel
+{
+  public:
+    explicit Dram(const DramConfig &config);
+
+    CacheAccessResult access(std::uint64_t addr, bool write,
+                             bool prefetch) override;
+
+    /** Close all row buffers (between runs). */
+    void flush();
+
+    const DramStats &stats() const { return dramStats; }
+    const DramConfig &config() const { return dramConfig; }
+
+  private:
+    DramConfig dramConfig;
+    DramStats dramStats;
+    std::vector<std::int64_t> openRows;  //!< -1 = closed
+};
+
+} // namespace gemstone::uarch
+
+#endif // GEMSTONE_UARCH_DRAM_HH

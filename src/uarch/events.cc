@@ -1,0 +1,171 @@
+/**
+ * @file
+ * EventCounts implementation.
+ */
+
+#include "uarch/events.hh"
+
+namespace gemstone::uarch {
+
+void
+EventCounts::merge(const EventCounts &other)
+{
+    cycles = std::max(cycles, other.cycles);
+    seconds = std::max(seconds, other.seconds);
+
+    instructions += other.instructions;
+    instSpec += other.instSpec;
+    intAluOps += other.intAluOps;
+    intMulOps += other.intMulOps;
+    intDivOps += other.intDivOps;
+    fpOps += other.fpOps;
+    simdOps += other.simdOps;
+    loadOps += other.loadOps;
+    storeOps += other.storeOps;
+    nopOps += other.nopOps;
+    unalignedAccesses += other.unalignedAccesses;
+
+    branches += other.branches;
+    condBranches += other.condBranches;
+    immedBranches += other.immedBranches;
+    returnBranches += other.returnBranches;
+    indirectBranches += other.indirectBranches;
+    callBranches += other.callBranches;
+    branchMispredicts += other.branchMispredicts;
+    condIncorrect += other.condIncorrect;
+    predictedTaken += other.predictedTaken;
+    predictedTakenIncorrect += other.predictedTakenIncorrect;
+    btbHits += other.btbHits;
+    usedRas += other.usedRas;
+    rasIncorrect += other.rasIncorrect;
+    indirectMispredicts += other.indirectMispredicts;
+    wrongPathInsts += other.wrongPathInsts;
+    wrongPathLoads += other.wrongPathLoads;
+
+    ldrexOps += other.ldrexOps;
+    strexOps += other.strexOps;
+    strexFails += other.strexFails;
+    barriers += other.barriers;
+    isbs += other.isbs;
+
+    l1iAccesses += other.l1iAccesses;
+    l1iMisses += other.l1iMisses;
+    itlbAccesses += other.itlbAccesses;
+    itlbMisses += other.itlbMisses;
+    l2ItlbAccesses += other.l2ItlbAccesses;
+    l2ItlbMisses += other.l2ItlbMisses;
+    itlbWalks += other.itlbWalks;
+
+    l1dAccesses += other.l1dAccesses;
+    l1dReadAccesses += other.l1dReadAccesses;
+    l1dWriteAccesses += other.l1dWriteAccesses;
+    l1dMisses += other.l1dMisses;
+    l1dReadMisses += other.l1dReadMisses;
+    l1dWriteMisses += other.l1dWriteMisses;
+    l1dWritebacks += other.l1dWritebacks;
+    l1dStreamingStores += other.l1dStreamingStores;
+    dtlbAccesses += other.dtlbAccesses;
+    dtlbMisses += other.dtlbMisses;
+    l2DtlbAccesses += other.l2DtlbAccesses;
+    l2DtlbMisses += other.l2DtlbMisses;
+    dtlbWalks += other.dtlbWalks;
+
+    l2Accesses += other.l2Accesses;
+    l2Misses += other.l2Misses;
+    l2Writebacks += other.l2Writebacks;
+    l2Prefetches += other.l2Prefetches;
+    l2PrefetchHits += other.l2PrefetchHits;
+
+    busAccesses += other.busAccesses;
+    dramReads += other.dramReads;
+    dramWrites += other.dramWrites;
+    snoops += other.snoops;
+
+    dramStallNs += other.dramStallNs;
+    stallCyclesFrontend += other.stallCyclesFrontend;
+    stallCyclesBranch += other.stallCyclesBranch;
+    stallCyclesMem += other.stallCyclesMem;
+    stallCyclesSync += other.stallCyclesSync;
+    stallCyclesExec += other.stallCyclesExec;
+}
+
+std::map<std::string, double>
+EventCounts::toMap() const
+{
+    std::map<std::string, double> m;
+    m["cycles"] = cycles;
+    m["seconds"] = seconds;
+    m["instructions"] = static_cast<double>(instructions);
+    m["instSpec"] = static_cast<double>(instSpec);
+    m["intAluOps"] = static_cast<double>(intAluOps);
+    m["intMulOps"] = static_cast<double>(intMulOps);
+    m["intDivOps"] = static_cast<double>(intDivOps);
+    m["fpOps"] = static_cast<double>(fpOps);
+    m["simdOps"] = static_cast<double>(simdOps);
+    m["loadOps"] = static_cast<double>(loadOps);
+    m["storeOps"] = static_cast<double>(storeOps);
+    m["nopOps"] = static_cast<double>(nopOps);
+    m["unalignedAccesses"] = static_cast<double>(unalignedAccesses);
+    m["branches"] = static_cast<double>(branches);
+    m["condBranches"] = static_cast<double>(condBranches);
+    m["immedBranches"] = static_cast<double>(immedBranches);
+    m["returnBranches"] = static_cast<double>(returnBranches);
+    m["indirectBranches"] = static_cast<double>(indirectBranches);
+    m["callBranches"] = static_cast<double>(callBranches);
+    m["branchMispredicts"] = static_cast<double>(branchMispredicts);
+    m["condIncorrect"] = static_cast<double>(condIncorrect);
+    m["predictedTaken"] = static_cast<double>(predictedTaken);
+    m["predictedTakenIncorrect"] =
+        static_cast<double>(predictedTakenIncorrect);
+    m["btbHits"] = static_cast<double>(btbHits);
+    m["usedRas"] = static_cast<double>(usedRas);
+    m["rasIncorrect"] = static_cast<double>(rasIncorrect);
+    m["indirectMispredicts"] =
+        static_cast<double>(indirectMispredicts);
+    m["wrongPathInsts"] = static_cast<double>(wrongPathInsts);
+    m["wrongPathLoads"] = static_cast<double>(wrongPathLoads);
+    m["ldrexOps"] = static_cast<double>(ldrexOps);
+    m["strexOps"] = static_cast<double>(strexOps);
+    m["strexFails"] = static_cast<double>(strexFails);
+    m["barriers"] = static_cast<double>(barriers);
+    m["isbs"] = static_cast<double>(isbs);
+    m["l1iAccesses"] = static_cast<double>(l1iAccesses);
+    m["l1iMisses"] = static_cast<double>(l1iMisses);
+    m["itlbAccesses"] = static_cast<double>(itlbAccesses);
+    m["itlbMisses"] = static_cast<double>(itlbMisses);
+    m["l2ItlbAccesses"] = static_cast<double>(l2ItlbAccesses);
+    m["l2ItlbMisses"] = static_cast<double>(l2ItlbMisses);
+    m["itlbWalks"] = static_cast<double>(itlbWalks);
+    m["l1dAccesses"] = static_cast<double>(l1dAccesses);
+    m["l1dReadAccesses"] = static_cast<double>(l1dReadAccesses);
+    m["l1dWriteAccesses"] = static_cast<double>(l1dWriteAccesses);
+    m["l1dMisses"] = static_cast<double>(l1dMisses);
+    m["l1dReadMisses"] = static_cast<double>(l1dReadMisses);
+    m["l1dWriteMisses"] = static_cast<double>(l1dWriteMisses);
+    m["l1dWritebacks"] = static_cast<double>(l1dWritebacks);
+    m["l1dStreamingStores"] =
+        static_cast<double>(l1dStreamingStores);
+    m["dtlbAccesses"] = static_cast<double>(dtlbAccesses);
+    m["dtlbMisses"] = static_cast<double>(dtlbMisses);
+    m["l2DtlbAccesses"] = static_cast<double>(l2DtlbAccesses);
+    m["l2DtlbMisses"] = static_cast<double>(l2DtlbMisses);
+    m["dtlbWalks"] = static_cast<double>(dtlbWalks);
+    m["l2Accesses"] = static_cast<double>(l2Accesses);
+    m["l2Misses"] = static_cast<double>(l2Misses);
+    m["l2Writebacks"] = static_cast<double>(l2Writebacks);
+    m["l2Prefetches"] = static_cast<double>(l2Prefetches);
+    m["l2PrefetchHits"] = static_cast<double>(l2PrefetchHits);
+    m["busAccesses"] = static_cast<double>(busAccesses);
+    m["dramReads"] = static_cast<double>(dramReads);
+    m["dramWrites"] = static_cast<double>(dramWrites);
+    m["snoops"] = static_cast<double>(snoops);
+    m["dramStallNs"] = dramStallNs;
+    m["stallCyclesFrontend"] = stallCyclesFrontend;
+    m["stallCyclesBranch"] = stallCyclesBranch;
+    m["stallCyclesMem"] = stallCyclesMem;
+    m["stallCyclesSync"] = stallCyclesSync;
+    m["stallCyclesExec"] = stallCyclesExec;
+    return m;
+}
+
+} // namespace gemstone::uarch

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * ClusterModel implementation.
+ */
+
+#include "uarch/system.hh"
+
+#include "util/logging.hh"
+
+namespace gemstone::uarch {
+
+ClusterModel::ClusterModel(const ClusterConfig &config)
+    : clusterConfig(config), dataMemory(config.memBytes),
+      dramModel(config.dram), sharedL2(config.l2, &dramModel)
+{
+    fatal_if(config.numCores == 0, "cluster needs at least one core");
+    snoopCostCycles = config.core.snoopCost;
+    for (unsigned i = 0; i < config.numCores; ++i) {
+        coreModels.push_back(
+            std::make_unique<CoreModel>(config.core, *this, i));
+    }
+}
+
+ClusterModel::~ClusterModel() = default;
+
+double
+ClusterModel::storeSnoop(std::uint64_t addr, unsigned storing_core)
+{
+    double extra = 0.0;
+    for (unsigned i = 0; i < coreModels.size(); ++i) {
+        if (i == storing_core)
+            continue;
+        if (coreModels[i]->probeL1d(addr)) {
+            coreModels[i]->snoopInvalidate(addr);
+            ++snoopCount;
+            extra += snoopCostCycles;
+        }
+    }
+    return extra;
+}
+
+std::uint64_t
+ClusterModel::busAccesses() const
+{
+    const CacheStats &l2_stats = sharedL2.stats();
+    return l2_stats.misses + l2_stats.writebacks;
+}
+
+RunResult
+ClusterModel::run(const isa::Program &program, unsigned num_threads,
+                  double freq_ghz)
+{
+    fatal_if(num_threads == 0 || num_threads > coreModels.size(),
+             "thread count ", num_threads, " out of range for ",
+             coreModels.size(), " cores");
+    fatal_if(freq_ghz <= 0.0, "frequency must be positive");
+
+    currentFreqGhz = freq_ghz;
+    exclusiveMonitor.reset();
+
+    for (unsigned t = 0; t < num_threads; ++t)
+        coreModels[t]->beginProgram(&program);
+
+    // Round-robin instruction-quantum scheduling. The interleaving is
+    // deterministic and platform-independent, so architectural event
+    // counts match between the reference platform and the model.
+    constexpr std::uint64_t max_total_insts = 4ULL << 30;
+    std::uint64_t total = 0;
+    bool any_running = true;
+    while (any_running) {
+        any_running = false;
+        for (unsigned t = 0; t < num_threads; ++t) {
+            if (coreModels[t]->halted())
+                continue;
+            total +=
+                coreModels[t]->runQuantum(clusterConfig.quantum);
+            if (!coreModels[t]->halted())
+                any_running = true;
+            panic_if(total > max_total_insts,
+                     "workload ", program.name,
+                     " exceeded the instruction budget (deadlock?)");
+        }
+    }
+
+    RunResult result;
+    result.frequencyGhz = freq_ghz;
+    for (unsigned t = 0; t < num_threads; ++t) {
+        EventCounts core_events = coreModels[t]->collectEvents();
+        result.perCore.push_back(core_events);
+        result.aggregate.merge(core_events);
+        result.instructions += core_events.instructions;
+        result.cycles = std::max(result.cycles, core_events.cycles);
+    }
+
+    // Attach shared-resource events to the aggregate record.
+    const CacheStats &l2_stats = sharedL2.stats();
+    result.aggregate.l2Accesses = l2_stats.accesses;
+    result.aggregate.l2Misses = l2_stats.misses;
+    result.aggregate.l2Writebacks = l2_stats.writebacks;
+    result.aggregate.l2Prefetches = l2_stats.prefetchesIssued;
+    result.aggregate.l2PrefetchHits = l2_stats.prefetchHits;
+    result.aggregate.snoops = snoopCount;
+    result.aggregate.busAccesses = busAccesses();
+    const DramStats &dram_stats = dramModel.stats();
+    result.aggregate.dramReads = dram_stats.reads;
+    result.aggregate.dramWrites = dram_stats.writes;
+
+    result.aggregate.cycles = result.cycles;
+    result.seconds = result.cycles / (freq_ghz * 1e9);
+    result.aggregate.seconds = result.seconds;
+    return result;
+}
+
+double
+retimeCycles(const EventCounts &events, double f1_ghz, double f2_ghz)
+{
+    return events.cycles + events.dramStallNs * (f2_ghz - f1_ghz);
+}
+
+RunResult
+retimeRun(const RunResult &run, double f2_ghz)
+{
+    RunResult out = run;
+    out.frequencyGhz = f2_ghz;
+    out.cycles = 0.0;
+    double total_stall_shift = 0.0;
+    for (EventCounts &core : out.perCore) {
+        double retimed =
+            retimeCycles(core, run.frequencyGhz, f2_ghz);
+        total_stall_shift += retimed - core.cycles;
+        core.cycles = retimed;
+        out.cycles = std::max(out.cycles, retimed);
+        core.seconds = retimed / (f2_ghz * 1e9);
+    }
+    out.seconds = out.cycles / (f2_ghz * 1e9);
+    out.aggregate.cycles = out.cycles;
+    out.aggregate.seconds = out.seconds;
+    // Keep the stall decomposition roughly consistent.
+    out.aggregate.stallCyclesMem += total_stall_shift;
+    return out;
+}
+
+} // namespace gemstone::uarch

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * TLB implementation.
+ */
+
+#include "uarch/tlb.hh"
+
+#include "util/logging.hh"
+
+namespace gemstone::uarch {
+
+Tlb::Tlb(const TlbConfig &config) : tlbConfig(config)
+{
+    fatal_if(config.entries == 0, "tlb ", config.name,
+             ": entry count must be non-zero");
+    ways = config.assoc == 0 ? config.entries : config.assoc;
+    fatal_if(config.entries % ways != 0, "tlb ", config.name,
+             ": entries not divisible by associativity");
+    setCount = config.entries / ways;
+    fatal_if((setCount & (setCount - 1)) != 0, "tlb ", config.name,
+             ": set count must be a power of 2");
+    entries.assign(config.entries, Entry());
+}
+
+Tlb::Entry *
+Tlb::find(std::uint64_t vpn)
+{
+    std::uint32_t set = static_cast<std::uint32_t>(vpn) & (setCount - 1);
+    Entry *base = &entries[static_cast<std::size_t>(set) * ways];
+    for (std::uint32_t way = 0; way < ways; ++way) {
+        if (base[way].valid && base[way].vpn == vpn)
+            return &base[way];
+    }
+    return nullptr;
+}
+
+void
+Tlb::fill(std::uint64_t vpn)
+{
+    std::uint32_t set = static_cast<std::uint32_t>(vpn) & (setCount - 1);
+    Entry *base = &entries[static_cast<std::size_t>(set) * ways];
+    Entry *victim = nullptr;
+    for (std::uint32_t way = 0; way < ways; ++way) {
+        if (!base[way].valid) {
+            victim = &base[way];
+            break;
+        }
+        if (!victim || base[way].lruStamp < victim->lruStamp)
+            victim = &base[way];
+    }
+    if (victim->valid)
+        ++tlbStats.evictions;
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->lruStamp = ++lruCounter;
+}
+
+bool
+Tlb::lookup(std::uint64_t addr)
+{
+    ++tlbStats.accesses;
+    std::uint64_t vpn = pageOf(addr);
+    Entry *entry = find(vpn);
+    if (entry) {
+        ++tlbStats.hits;
+        entry->lruStamp = ++lruCounter;
+        return true;
+    }
+    ++tlbStats.misses;
+    fill(vpn);
+    return false;
+}
+
+bool
+Tlb::probe(std::uint64_t addr) const
+{
+    return const_cast<Tlb *>(this)->find(pageOf(addr)) != nullptr;
+}
+
+void
+Tlb::flush()
+{
+    for (Entry &entry : entries)
+        entry.valid = false;
+    lruCounter = 0;
+}
+
+TlbHierarchy::TlbHierarchy(const TlbConfig &l1_config, Tlb *l2,
+                           double walk_latency)
+    : l1Tlb(l1_config), l2Tlb(l2), walkLatency(walk_latency)
+{
+}
+
+bool
+TlbHierarchy::translate(std::uint64_t addr, double &latency_out)
+{
+    if (l1Tlb.lookup(addr))
+        return true;
+
+    if (l2Tlb) {
+        bool l2_hit = l2Tlb->lookup(addr);
+        latency_out += l2Tlb->config().latency;
+        if (l2_hit)
+            return false;
+    }
+    ++walkCount;
+    latency_out += walkLatency;
+    return false;
+}
+
+void
+TlbHierarchy::flush()
+{
+    l1Tlb.flush();
+    // The shared L2 is flushed by its owner.
+}
+
+} // namespace gemstone::uarch

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * TLB hierarchy model.
+ *
+ * The paper's headline specification error lives here: the hardware
+ * Cortex-A15 has a 32-entry L1 ITLB and a *shared* 512-entry 4-way
+ * L2 TLB with a short access latency, while the gem5 ex5_big model had
+ * a 64-entry L1 ITLB and two *split* 8-way L2 TLB caches with a
+ * 4-cycle latency. Both shapes are expressible with this component.
+ */
+
+#ifndef GEMSTONE_UARCH_TLB_HH
+#define GEMSTONE_UARCH_TLB_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gemstone::uarch {
+
+/** Configuration of one TLB level. */
+struct TlbConfig
+{
+    std::string name = "tlb";
+    std::uint32_t entries = 32;
+    /** 0 means fully associative. */
+    std::uint32_t assoc = 0;
+    std::uint32_t pageBytes = 4096;
+    /** Lookup latency charged on an L1 miss that hits this level. */
+    double latency = 2.0;
+};
+
+/** Event counts for one TLB. */
+struct TlbStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t evictions = 0;
+
+    void reset() { *this = TlbStats(); }
+};
+
+/**
+ * One TLB level (LRU, set-associative or fully associative).
+ */
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbConfig &config);
+
+    /**
+     * Look up a virtual address.
+     * @return true on hit; on miss the translation is filled.
+     */
+    bool lookup(std::uint64_t addr);
+
+    /** Probe without filling or touching LRU. */
+    bool probe(std::uint64_t addr) const;
+
+    /** Drop all entries. */
+    void flush();
+
+    const TlbStats &stats() const { return tlbStats; }
+    const TlbConfig &config() const { return tlbConfig; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        std::uint64_t vpn = 0;
+        std::uint64_t lruStamp = 0;
+    };
+
+    std::uint64_t pageOf(std::uint64_t addr) const
+    {
+        return addr / tlbConfig.pageBytes;
+    }
+
+    Entry *find(std::uint64_t vpn);
+    void fill(std::uint64_t vpn);
+
+    TlbConfig tlbConfig;
+    TlbStats tlbStats;
+    std::uint32_t setCount;
+    std::uint32_t ways;
+    std::vector<Entry> entries;
+    std::uint64_t lruCounter = 0;
+};
+
+/**
+ * A two-level TLB hierarchy for one access stream (instruction or
+ * data), optionally sharing its second level with another hierarchy
+ * (the unified L2 TLB of the real Cortex-A15).
+ */
+class TlbHierarchy
+{
+  public:
+    /**
+     * @param l1_config first-level TLB geometry
+     * @param l2 second-level TLB (not owned; shared when unified;
+     *        nullptr for a single-level hierarchy)
+     * @param walk_latency page-table walk cost on an L2 miss
+     */
+    TlbHierarchy(const TlbConfig &l1_config, Tlb *l2,
+                 double walk_latency);
+
+    /**
+     * Translate an address.
+     * @param latency_out incremented with the translation cost beyond
+     *        the (free) L1 hit path
+     * @return true if the L1 hit
+     */
+    bool translate(std::uint64_t addr, double &latency_out);
+
+    Tlb &l1() { return l1Tlb; }
+    const Tlb &l1() const { return l1Tlb; }
+    Tlb *l2() { return l2Tlb; }
+
+    std::uint64_t walks() const { return walkCount; }
+
+    void flush();
+
+  private:
+    Tlb l1Tlb;
+    Tlb *l2Tlb;
+    double walkLatency;
+    std::uint64_t walkCount = 0;
+};
+
+} // namespace gemstone::uarch
+
+#endif // GEMSTONE_UARCH_TLB_HH

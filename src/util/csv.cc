@@ -1,0 +1,84 @@
+/**
+ * @file
+ * CsvWriter implementation.
+ */
+
+#include "util/csv.hh"
+
+#include <fstream>
+
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace gemstone {
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : headerCells(std::move(header))
+{
+}
+
+void
+CsvWriter::addRow(const std::vector<std::string> &cells)
+{
+    panic_if(cells.size() != headerCells.size(),
+             "csv row width mismatch: ", cells.size(), " vs ",
+             headerCells.size());
+    rows.push_back(cells);
+}
+
+void
+CsvWriter::addNumericRow(const std::string &key,
+                         const std::vector<double> &values)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size() + 1);
+    cells.push_back(key);
+    for (double v : values)
+        cells.push_back(formatDouble(v, 9));
+    addRow(cells);
+}
+
+std::string
+CsvWriter::quote(const std::string &field)
+{
+    bool needs_quotes = field.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quotes)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out.push_back(c);
+    }
+    out += "\"";
+    return out;
+}
+
+void
+CsvWriter::write(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i > 0)
+                os << ',';
+            os << quote(cells[i]);
+        }
+        os << '\n';
+    };
+    emit(headerCells);
+    for (const auto &row : rows)
+        emit(row);
+}
+
+bool
+CsvWriter::writeFile(const std::string &path) const
+{
+    std::ofstream file(path);
+    if (!file)
+        return false;
+    write(file);
+    return static_cast<bool>(file);
+}
+
+} // namespace gemstone

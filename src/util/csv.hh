@@ -1,0 +1,51 @@
+/**
+ * @file
+ * CSV emission for experiment artefacts.
+ *
+ * GemStone writes every collated dataset to CSV so results can be
+ * inspected or post-processed outside the tool, mirroring the
+ * artefact layout of the original release.
+ */
+
+#ifndef GEMSTONE_UTIL_CSV_HH
+#define GEMSTONE_UTIL_CSV_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gemstone {
+
+/**
+ * Row-oriented CSV writer with RFC-4180 quoting.
+ */
+class CsvWriter
+{
+  public:
+    /** Construct with a header row. */
+    explicit CsvWriter(std::vector<std::string> header);
+
+    /** Append a row of string cells. */
+    void addRow(const std::vector<std::string> &cells);
+
+    /** Append a row of numeric cells. */
+    void addNumericRow(const std::string &key,
+                       const std::vector<double> &values);
+
+    /** Serialise the whole document. */
+    void write(std::ostream &os) const;
+
+    /** Write to a file path; returns false on I/O failure. */
+    bool writeFile(const std::string &path) const;
+
+    /** Quote a single CSV field if needed. */
+    static std::string quote(const std::string &field);
+
+  private:
+    std::vector<std::string> headerCells;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace gemstone
+
+#endif // GEMSTONE_UTIL_CSV_HH

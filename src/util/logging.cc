@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Implementation of the logging helpers.
+ */
+
+#include "util/logging.hh"
+
+#include <atomic>
+
+namespace gemstone {
+
+namespace {
+
+std::atomic<std::size_t> warnCounter{0};
+std::atomic<bool> quietMode{false};
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform:
+        return "info";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Fatal:
+        return "fatal";
+      case LogLevel::Panic:
+        return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+namespace detail {
+
+void
+emitLog(LogLevel level, const std::string &message, const char *file,
+        int line)
+{
+    if (level == LogLevel::Warn)
+        warnCounter.fetch_add(1, std::memory_order_relaxed);
+
+    bool is_error = level == LogLevel::Fatal || level == LogLevel::Panic;
+    if (quietMode.load(std::memory_order_relaxed) && !is_error)
+        return;
+
+    std::cerr << levelName(level) << ": " << message;
+    if (is_error)
+        std::cerr << " @ " << file << ":" << line;
+    std::cerr << "\n";
+}
+
+} // namespace detail
+
+void
+panicImpl(const std::string &message, const char *file, int line)
+{
+    detail::emitLog(LogLevel::Panic, message, file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const std::string &message, const char *file, int line)
+{
+    detail::emitLog(LogLevel::Fatal, message, file, line);
+    std::exit(1);
+}
+
+std::size_t
+warnCount()
+{
+    return warnCounter.load(std::memory_order_relaxed);
+}
+
+void
+setQuiet(bool quiet)
+{
+    quietMode.store(quiet, std::memory_order_relaxed);
+}
+
+} // namespace gemstone

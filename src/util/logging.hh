@@ -1,0 +1,100 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * Two error paths are provided, mirroring gem5's src/base/logging.hh:
+ * panic() is for internal invariant violations (aborts), fatal() is
+ * for user-caused conditions (clean exit with an error code). warn()
+ * and inform() emit non-fatal diagnostics.
+ */
+
+#ifndef GEMSTONE_UTIL_LOGGING_HH
+#define GEMSTONE_UTIL_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace gemstone {
+
+/** Severity of a log record. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+namespace detail {
+
+/** Stream a pack of arguments into a single string. */
+template <typename... Args>
+std::string
+concatToString(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+/** Emit one formatted log record to stderr. */
+void emitLog(LogLevel level, const std::string &message,
+             const char *file, int line);
+
+} // namespace detail
+
+/**
+ * Report an internal error that should never happen and abort.
+ * Use for simulator bugs, not user mistakes.
+ */
+[[noreturn]] void panicImpl(const std::string &message, const char *file,
+                            int line);
+
+/**
+ * Report a user-caused unrecoverable condition and exit(1).
+ * Use for bad configuration or invalid arguments.
+ */
+[[noreturn]] void fatalImpl(const std::string &message, const char *file,
+                            int line);
+
+/** Count of warnings emitted so far (useful in tests). */
+std::size_t warnCount();
+
+/** Silence inform()/warn() output (records are still counted). */
+void setQuiet(bool quiet);
+
+#define panic(...)                                                        \
+    ::gemstone::panicImpl(                                                \
+        ::gemstone::detail::concatToString(__VA_ARGS__), __FILE__,        \
+        __LINE__)
+
+#define fatal(...)                                                        \
+    ::gemstone::fatalImpl(                                                \
+        ::gemstone::detail::concatToString(__VA_ARGS__), __FILE__,        \
+        __LINE__)
+
+#define warn(...)                                                         \
+    ::gemstone::detail::emitLog(                                          \
+        ::gemstone::LogLevel::Warn,                                       \
+        ::gemstone::detail::concatToString(__VA_ARGS__), __FILE__,        \
+        __LINE__)
+
+#define inform(...)                                                       \
+    ::gemstone::detail::emitLog(                                          \
+        ::gemstone::LogLevel::Inform,                                     \
+        ::gemstone::detail::concatToString(__VA_ARGS__), __FILE__,        \
+        __LINE__)
+
+/** panic() unless the given condition holds. */
+#define panic_if(cond, ...)                                               \
+    do {                                                                  \
+        if (cond)                                                         \
+            panic(__VA_ARGS__);                                           \
+    } while (0)
+
+/** fatal() unless the given condition holds. */
+#define fatal_if(cond, ...)                                               \
+    do {                                                                  \
+        if (cond)                                                         \
+            fatal(__VA_ARGS__);                                           \
+    } while (0)
+
+} // namespace gemstone
+
+#endif // GEMSTONE_UTIL_LOGGING_HH

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * xoshiro256** implementation.
+ */
+
+#include "util/random.hh"
+
+#include "util/logging.hh"
+
+namespace gemstone {
+
+namespace {
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+hashString(const std::string &text)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (unsigned char c : text) {
+        hash ^= c;
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : state)
+        word = splitmix64(sm);
+}
+
+Rng::Rng(const std::string &seed_string) : Rng(hashString(seed_string)) {}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+    const std::uint64_t t = state[1] << 17;
+
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = rotl(state[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t bound)
+{
+    panic_if(bound == 0, "uniformInt bound must be non-zero");
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        std::uint64_t draw = next();
+        if (draw >= threshold)
+            return draw % bound;
+    }
+}
+
+double
+Rng::gaussian()
+{
+    if (hasCachedGaussian) {
+        hasCachedGaussian = false;
+        return cachedGaussian;
+    }
+    // Box-Muller transform; avoid log(0) by clamping u1.
+    double u1 = uniform();
+    if (u1 < 1e-300)
+        u1 = 1e-300;
+    double u2 = uniform();
+    double radius = std::sqrt(-2.0 * std::log(u1));
+    double angle = 2.0 * M_PI * u2;
+    cachedGaussian = radius * std::sin(angle);
+    hasCachedGaussian = true;
+    return radius * std::cos(angle);
+}
+
+double
+Rng::gaussian(double mean, double sigma)
+{
+    return mean + sigma * gaussian();
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+Rng
+Rng::fork(std::uint64_t stream_tag) const
+{
+    // Derive the child seed from our full state plus the tag so sibling
+    // forks are independent of each other and of the parent stream.
+    std::uint64_t sm = state[0] ^ rotl(state[1], 13) ^ rotl(state[2], 29)
+        ^ rotl(state[3], 47) ^ (stream_tag * 0xd1342543de82ef95ULL);
+    return Rng(splitmix64(sm));
+}
+
+} // namespace gemstone

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * String helper implementations.
+ */
+
+#include "util/strutil.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace gemstone {
+
+std::vector<std::string>
+split(const std::string &text, char delim)
+{
+    std::vector<std::string> fields;
+    std::string current;
+    for (char c : text) {
+        if (c == delim) {
+            fields.push_back(current);
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+    }
+    fields.push_back(current);
+    return fields;
+}
+
+std::string
+trim(const std::string &text)
+{
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(
+                              text[begin]))) {
+        ++begin;
+    }
+    while (end > begin && std::isspace(static_cast<unsigned char>(
+                              text[end - 1]))) {
+        --end;
+    }
+    return text.substr(begin, end - begin);
+}
+
+bool
+startsWith(const std::string &text, const std::string &prefix)
+{
+    return text.size() >= prefix.size() &&
+        text.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool
+endsWith(const std::string &text, const std::string &suffix)
+{
+    return text.size() >= suffix.size() &&
+        text.compare(text.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+std::string
+join(const std::vector<std::string> &items, const std::string &sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i > 0)
+            out += sep;
+        out += items[i];
+    }
+    return out;
+}
+
+std::string
+toLower(const std::string &text)
+{
+    std::string out = text;
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return out;
+}
+
+std::string
+formatDouble(double value, int decimals)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+    return buffer;
+}
+
+std::string
+formatRatio(double value)
+{
+    int decimals = 1;
+    double magnitude = std::fabs(value);
+    if (magnitude < 0.1)
+        decimals = 3;
+    else if (magnitude < 1.0)
+        decimals = 2;
+    return formatDouble(value, decimals) + "x";
+}
+
+std::string
+formatPercent(double fraction, int decimals)
+{
+    return formatDouble(fraction * 100.0, decimals) + "%";
+}
+
+} // namespace gemstone

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Small string helpers shared across the project.
+ */
+
+#ifndef GEMSTONE_UTIL_STRUTIL_HH
+#define GEMSTONE_UTIL_STRUTIL_HH
+
+#include <string>
+#include <vector>
+
+namespace gemstone {
+
+/** Split text on a delimiter character; empty fields are kept. */
+std::vector<std::string> split(const std::string &text, char delim);
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string trim(const std::string &text);
+
+/** True if text starts with the given prefix. */
+bool startsWith(const std::string &text, const std::string &prefix);
+
+/** True if text ends with the given suffix. */
+bool endsWith(const std::string &text, const std::string &suffix);
+
+/** Join items with a separator. */
+std::string join(const std::vector<std::string> &items,
+                 const std::string &sep);
+
+/** Lower-case an ASCII string. */
+std::string toLower(const std::string &text);
+
+/** printf-style number formatting with fixed decimals. */
+std::string formatDouble(double value, int decimals);
+
+/**
+ * Human-readable multiplier such as "9.9x" or "0.06x"; small values
+ * keep more significant digits so ratios like 0.06x stay readable.
+ */
+std::string formatRatio(double value);
+
+/** Format a fraction as a percentage string, e.g. "-51.0%". */
+std::string formatPercent(double fraction, int decimals = 1);
+
+} // namespace gemstone
+
+#endif // GEMSTONE_UTIL_STRUTIL_HH

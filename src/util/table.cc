@@ -1,0 +1,90 @@
+/**
+ * @file
+ * TextTable implementation.
+ */
+
+#include "util/table.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace gemstone {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headerCells(std::move(headers))
+{
+    panic_if(headerCells.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    panic_if(cells.size() != headerCells.size(),
+             "row width ", cells.size(), " != header width ",
+             headerCells.size());
+    rows.push_back(std::move(cells));
+    ++dataRows;
+}
+
+void
+TextTable::addRule()
+{
+    rows.emplace_back();
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headerCells.size());
+    for (std::size_t c = 0; c < headerCells.size(); ++c)
+        widths[c] = headerCells[c].size();
+    for (const auto &row : rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << (c == 0 ? "| " : " | ");
+            os << cells[c];
+            os << std::string(widths[c] - cells[c].size(), ' ');
+        }
+        os << " |\n";
+    };
+
+    auto print_rule = [&]() {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            os << (c == 0 ? "|-" : "-|-");
+            os << std::string(widths[c], '-');
+        }
+        os << "-|\n";
+    };
+
+    print_rule();
+    print_row(headerCells);
+    print_rule();
+    for (const auto &row : rows) {
+        if (row.empty())
+            print_rule();
+        else
+            print_row(row);
+    }
+    print_rule();
+}
+
+std::string
+TextTable::toString() const
+{
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+void
+printBanner(std::ostream &os, const std::string &title)
+{
+    os << "\n== " << title << " ==\n\n";
+}
+
+} // namespace gemstone

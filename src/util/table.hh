@@ -1,0 +1,61 @@
+/**
+ * @file
+ * ASCII table formatter used by the benches and GemStone reports.
+ *
+ * Every figure and table reproduced from the paper is rendered through
+ * this class so the output has a consistent, diff-friendly shape.
+ */
+
+#ifndef GEMSTONE_UTIL_TABLE_HH
+#define GEMSTONE_UTIL_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gemstone {
+
+/**
+ * Simple column-aligned text table.
+ *
+ * Usage:
+ * @code
+ * TextTable t({"workload", "MPE", "cluster"});
+ * t.addRow({"mi-sha", "-12.3%", "4"});
+ * t.print(std::cout);
+ * @endcode
+ */
+class TextTable
+{
+  public:
+    /** Construct with header labels. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a data row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal rule row. */
+    void addRule();
+
+    /** Render to a stream. */
+    void print(std::ostream &os) const;
+
+    /** Render to a string. */
+    std::string toString() const;
+
+    /** Number of data rows added so far (rules excluded). */
+    std::size_t rowCount() const { return dataRows; }
+
+  private:
+    std::vector<std::string> headerCells;
+    /** Rows; an empty vector marks a horizontal rule. */
+    std::vector<std::vector<std::string>> rows;
+    std::size_t dataRows = 0;
+};
+
+/** Print a section banner, e.g. "== Fig. 3 ... ==". */
+void printBanner(std::ostream &os, const std::string &title);
+
+} // namespace gemstone
+
+#endif // GEMSTONE_UTIL_TABLE_HH

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Parameterised kernel generators for the synthetic workload suite.
+ *
+ * Register conventions inside kernels:
+ *  - r15 holds the thread id (set by CpuState::reset)
+ *  - r13 is used as the per-thread data base pointer
+ *  - r14 is the link register
+ *  - r0..r12 are scratch
+ *
+ * Multithreaded kernels are SPMD: every thread runs the same program
+ * and derives its data slice from r15.
+ */
+
+#ifndef GEMSTONE_WORKLOAD_KERNELS_HH
+#define GEMSTONE_WORKLOAD_KERNELS_HH
+
+#include <cstdint>
+
+#include "workload/workload.hh"
+
+namespace gemstone::workload::kernels {
+
+// --- Memory-pattern kernels (kernels_memory.cc) ---
+
+/** Sequential copy loop: load + store per element. */
+Workload makeStreamCopy(const std::string &name,
+                        const std::string &suite,
+                        std::uint64_t elements, std::uint64_t iters,
+                        unsigned threads = 1);
+
+/** Store-only fill loop (exposes write-streaming divergence). */
+Workload makeStreamStore(const std::string &name,
+                         const std::string &suite,
+                         std::uint64_t elements, std::uint64_t iters,
+                         unsigned threads = 1);
+
+/** Load-only strided reduction. */
+Workload makeStreamSum(const std::string &name,
+                       const std::string &suite,
+                       std::uint64_t elements, std::uint64_t stride,
+                       std::uint64_t iters, unsigned threads = 1);
+
+/**
+ * Dependent pointer chase over a random cycle (latency-bound).
+ * Multithreaded variants share the cycle read-only, like concurrent
+ * trie lookups.
+ */
+Workload makePointerChase(const std::string &name,
+                          const std::string &suite,
+                          std::uint64_t nodes, std::uint64_t spacing,
+                          std::uint64_t hops, unsigned threads = 1);
+
+/** Random table loads+stores (GUPS-like; DTLB pressure). */
+Workload makeRandomAccess(const std::string &name,
+                          const std::string &suite,
+                          std::uint64_t table_bytes,
+                          std::uint64_t accesses,
+                          unsigned threads = 1);
+
+/** Loads at byte-misaligned addresses (unaligned events). */
+Workload makeUnaligned(const std::string &name,
+                       const std::string &suite,
+                       std::uint64_t elements, std::uint64_t iters);
+
+// --- Compute kernels (kernels_compute.cc) ---
+
+/** Dense n x n x n FP matrix multiply. */
+Workload makeMatMul(const std::string &name, const std::string &suite,
+                    std::uint64_t n, std::uint64_t reps,
+                    unsigned threads = 1);
+
+/** FFT-like strided FP butterflies. */
+Workload makeFftLike(const std::string &name, const std::string &suite,
+                     std::uint64_t size, std::uint64_t reps);
+
+/** Whetstone-style FP loop with div/sqrt (register-only, SPMD-safe). */
+Workload makeWhetstone(const std::string &name,
+                       const std::string &suite, std::uint64_t iters,
+                       unsigned threads = 1);
+
+/** SIMD packed arithmetic loop (ASE events). */
+Workload makeSimdKernel(const std::string &name,
+                        const std::string &suite,
+                        std::uint64_t elements, std::uint64_t iters);
+
+/** CRC/bit-twiddling integer loop with a lookup table. */
+Workload makeCrc(const std::string &name, const std::string &suite,
+                 std::uint64_t bytes, std::uint64_t reps,
+                 unsigned threads = 1);
+
+/** Dhrystone-style mixed integer / copy / call kernel. */
+Workload makeDhrystone(const std::string &name,
+                       const std::string &suite, std::uint64_t iters);
+
+/** Integer multiply/divide-heavy arithmetic kernel (register-only). */
+Workload makeIntArith(const std::string &name,
+                      const std::string &suite, std::uint64_t iters,
+                      bool with_div, unsigned threads = 1);
+
+// --- Control-flow kernels (kernels_control.cc) ---
+
+/**
+ * Branches following a regular periodic pattern of the given period:
+ * trivially learnable by a history-based predictor, catastrophic for
+ * the history-corrupting g5 v1 predictor. Optional FP work per
+ * iteration makes the rad2deg-style workloads.
+ */
+Workload makeBranchPattern(const std::string &name,
+                           const std::string &suite,
+                           std::uint64_t period, std::uint64_t iters,
+                           std::uint64_t fp_ops_per_iter,
+                           unsigned threads = 1);
+
+/** Data-dependent branches with the given taken probability. */
+Workload makeRandomBranch(const std::string &name,
+                          const std::string &suite,
+                          double taken_probability,
+                          std::uint64_t iters);
+
+/** Indirect-branch dispatch over a jump table (switch interpreter). */
+Workload makeSwitchDispatch(const std::string &name,
+                            const std::string &suite, unsigned cases,
+                            std::uint64_t iters);
+
+/** Call/return chains of the given depth (RAS exercise). */
+Workload makeCallTree(const std::string &name,
+                      const std::string &suite, unsigned depth,
+                      std::uint64_t iters);
+
+/** Insertion sort over random data (data-dependent branches). */
+Workload makeSort(const std::string &name, const std::string &suite,
+                  std::uint64_t elements, std::uint64_t reps);
+
+/** Dijkstra-style min-scan relaxation loop. */
+Workload makeDijkstra(const std::string &name,
+                      const std::string &suite, std::uint64_t nodes,
+                      std::uint64_t reps, unsigned threads = 1);
+
+/** SUSAN-style byte stencil with threshold branches. */
+Workload makeStencil(const std::string &name, const std::string &suite,
+                     std::uint64_t dim, std::uint64_t reps,
+                     unsigned threads = 1);
+
+/** Byte string search with early-exit compare loops. */
+Workload makeStringSearch(const std::string &name,
+                          const std::string &suite,
+                          std::uint64_t text_bytes,
+                          std::uint64_t reps, unsigned threads = 1);
+
+// --- Parallel kernels (kernels_parallel.cc) ---
+
+/** Spin-lock protected shared counter (LDREX/STREX/DMB heavy). */
+Workload makeSpinLock(const std::string &name,
+                      const std::string &suite,
+                      std::uint64_t increments_per_thread,
+                      unsigned threads);
+
+/** Barrier-separated computation phases. */
+Workload makeBarrierPhases(const std::string &name,
+                           const std::string &suite, unsigned phases,
+                           std::uint64_t work_per_phase,
+                           unsigned threads);
+
+/** Producer/consumer through a shared mailbox with DMB flags. */
+Workload makeProducerConsumer(const std::string &name,
+                              const std::string &suite,
+                              std::uint64_t items);
+
+/**
+ * Data-parallel loop over a shared array with per-thread slices plus
+ * a final lock-protected reduction (PARSEC-flavoured).
+ */
+Workload makeDataParallel(const std::string &name,
+                          const std::string &suite,
+                          std::uint64_t elements,
+                          std::uint64_t fp_intensity,
+                          unsigned threads);
+
+} // namespace gemstone::workload::kernels
+
+#endif // GEMSTONE_WORKLOAD_KERNELS_HH

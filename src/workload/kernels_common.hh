@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Internal helpers shared by the kernel generator translation units.
+ */
+
+#ifndef GEMSTONE_WORKLOAD_KERNELS_COMMON_HH
+#define GEMSTONE_WORKLOAD_KERNELS_COMMON_HH
+
+#include <cstring>
+
+#include "isa/program.hh"
+#include "util/random.hh"
+#include "workload/workload.hh"
+
+namespace gemstone::workload::kernels {
+
+/** Scratch register aliases used by every kernel. */
+constexpr unsigned R0 = 0;
+constexpr unsigned R1 = 1;
+constexpr unsigned R2 = 2;
+constexpr unsigned R3 = 3;
+constexpr unsigned R4 = 4;
+constexpr unsigned R5 = 5;
+constexpr unsigned R6 = 6;
+constexpr unsigned R7 = 7;
+constexpr unsigned R8 = 8;
+constexpr unsigned R9 = 9;
+constexpr unsigned R10 = 10;
+constexpr unsigned R11 = 11;
+constexpr unsigned R12 = 12;
+/** Per-thread data base pointer (set by the standard prologue). */
+constexpr unsigned RBASE = 13;
+/** Thread id register (set by CpuState::reset). */
+constexpr unsigned RTID = isa::threadIdReg;
+
+/**
+ * Emit the standard SPMD prologue: RBASE = thread_id * slice_bytes.
+ */
+inline void
+emitThreadBase(isa::ProgramBuilder &b, std::uint64_t slice_bytes)
+{
+    b.movi(R12, static_cast<std::int64_t>(slice_bytes));
+    b.mul(RBASE, RTID, R12);
+}
+
+/** Store a double's bit pattern into workload memory. */
+inline void
+writeDouble(isa::Memory &memory, std::uint64_t addr, double value)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    memory.write64(addr, bits);
+}
+
+/** Read a double's bit pattern from workload memory. */
+inline double
+readDouble(isa::Memory &memory, std::uint64_t addr)
+{
+    std::uint64_t bits = memory.read64(addr);
+    double value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+}
+
+} // namespace gemstone::workload::kernels
+
+#endif // GEMSTONE_WORKLOAD_KERNELS_COMMON_HH

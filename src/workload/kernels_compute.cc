@@ -1,0 +1,376 @@
+/**
+ * @file
+ * Compute-bound kernel generators (FP, SIMD, integer arithmetic).
+ */
+
+#include "workload/kernels.hh"
+
+#include "workload/kernels_common.hh"
+
+namespace gemstone::workload::kernels {
+
+Workload
+makeMatMul(const std::string &name, const std::string &suite,
+           std::uint64_t n, std::uint64_t reps, unsigned threads)
+{
+    const std::int64_t row_bytes = static_cast<std::int64_t>(n * 8);
+    const std::uint64_t mat_bytes = n * n * 8;
+    const std::uint64_t slice = 3 * mat_bytes + 4096;
+    // Layout within a slice: A at 0, B at mat_bytes, C at 2*mat_bytes.
+
+    isa::ProgramBuilder b(name);
+    emitThreadBase(b, slice);
+    b.movi(R11, static_cast<std::int64_t>(reps));
+    b.movi(R8, static_cast<std::int64_t>(n));
+
+    b.label("rep");
+    b.movi(R0, 0);  // i
+    b.label("iloop");
+    b.movi(R1, 0);  // j
+    b.label("jloop");
+    // f0 = 0; r9 = &A[i][0]; r10 = &B[0][j]
+    b.fmovi(0, 0.0);
+    b.movi(R6, row_bytes);
+    b.mul(R9, R0, R6);
+    b.add(R9, R9, RBASE);          // &A[i][0]
+    b.lsl(R10, R1, 3);
+    b.add(R10, R10, RBASE);
+    b.addi(R10, R10, static_cast<std::int64_t>(mat_bytes));  // &B[0][j]
+    b.movi(R2, 0);  // k
+    b.label("kloop");
+    b.fldr(1, R9, 0);
+    b.fldr(2, R10, 0);
+    b.fmul(3, 1, 2);
+    b.fadd(0, 0, 3);
+    b.addi(R9, R9, 8);
+    b.addi(R10, R10, row_bytes);
+    b.addi(R2, R2, 1);
+    b.cmplt(R5, R2, R8);
+    b.bne(R5, "kloop");
+    // C[i][j] = f0
+    b.mul(R7, R0, R6);
+    b.lsl(R4, R1, 3);
+    b.add(R7, R7, R4);
+    b.add(R7, R7, RBASE);
+    b.addi(R7, R7, static_cast<std::int64_t>(2 * mat_bytes));
+    b.fstr(0, R7, 0);
+    b.addi(R1, R1, 1);
+    b.cmplt(R5, R1, R8);
+    b.bne(R5, "jloop");
+    b.addi(R0, R0, 1);
+    b.cmplt(R5, R0, R8);
+    b.bne(R5, "iloop");
+    b.subi(R11, R11, 1);
+    b.bne(R11, "rep");
+    b.halt();
+
+    Workload w;
+    w.name = name;
+    w.suite = suite;
+    w.program = b.build();
+    w.numThreads = threads;
+    w.memBytes = slice * threads;
+    w.init = [n, slice, threads, mat_bytes](isa::Memory &memory) {
+        for (unsigned t = 0; t < threads; ++t) {
+            std::uint64_t base = t * slice;
+            for (std::uint64_t i = 0; i < n * n; ++i) {
+                double value = 1.0 + static_cast<double>(i % 7) * 0.125;
+                writeDouble(memory, base + i * 8, value);
+                writeDouble(memory, base + mat_bytes + i * 8,
+                            2.0 - value * 0.25);
+            }
+        }
+    };
+    return w;
+}
+
+Workload
+makeFftLike(const std::string &name, const std::string &suite,
+            std::uint64_t size, std::uint64_t reps)
+{
+    // log2(size) passes of stride-doubling butterflies.
+    const std::uint64_t bytes = size * 8;
+
+    isa::ProgramBuilder b(name);
+    b.movi(R11, static_cast<std::int64_t>(reps));
+    b.label("rep");
+    b.movi(R8, 8);  // stride in bytes, doubles each pass
+    b.label("pass");
+    b.movi(R0, 0);  // i (byte offset)
+    b.label("bfly");
+    // Pair (i, i + stride): a' = a + b, b' = a - b.
+    b.add(R3, R0, R8);
+    b.fldr(0, R0, 0);
+    b.fldr(1, R3, 0);
+    b.fadd(2, 0, 1);
+    b.fsub(3, 0, 1);
+    b.fstr(2, R0, 0);
+    b.fstr(3, R3, 0);
+    b.lsl(R4, R8, 1);
+    b.add(R0, R0, R4);  // i += 2*stride
+    b.movi(R5, static_cast<std::int64_t>(bytes));
+    b.cmplt(R6, R0, R5);
+    b.bne(R6, "bfly");
+    b.lsl(R8, R8, 1);   // stride *= 2
+    b.movi(R5, static_cast<std::int64_t>(bytes));
+    b.cmplt(R6, R8, R5);
+    b.bne(R6, "pass");
+    b.subi(R11, R11, 1);
+    b.bne(R11, "rep");
+    b.halt();
+
+    Workload w;
+    w.name = name;
+    w.suite = suite;
+    w.program = b.build();
+    w.numThreads = 1;
+    w.memBytes = bytes + 4096;
+    w.init = [size](isa::Memory &memory) {
+        for (std::uint64_t i = 0; i < size; ++i) {
+            writeDouble(memory, i * 8,
+                        0.5 + static_cast<double>(i % 16) * 0.0625);
+        }
+    };
+    return w;
+}
+
+Workload
+makeWhetstone(const std::string &name, const std::string &suite,
+              std::uint64_t iters, unsigned threads)
+{
+    isa::ProgramBuilder b(name);
+    b.movi(R0, static_cast<std::int64_t>(iters));
+    b.fmovi(0, 1.0);
+    b.fmovi(1, 1.25);
+    b.fmovi(2, 0.5);
+    b.fmovi(3, 2.75);
+    b.label("loop");
+    // Module-style mix modelled on the classic Whetstone loops.
+    b.fmul(4, 0, 1);
+    b.fadd(5, 4, 2);
+    b.fsub(6, 5, 3);
+    b.fdiv(7, 5, 1);
+    b.fsqrt(8, 5);
+    b.fmul(4, 7, 8);
+    b.fadd(0, 2, 4);
+    b.fmovi(0, 1.0);  // re-normalise to avoid drift to inf/zero
+    b.subi(R0, R0, 1);
+    b.bne(R0, "loop");
+    b.halt();
+
+    Workload w;
+    w.name = name;
+    w.suite = suite;
+    w.program = b.build();
+    w.numThreads = threads;
+    w.memBytes = 4096;
+    return w;
+}
+
+Workload
+makeSimdKernel(const std::string &name, const std::string &suite,
+               std::uint64_t elements, std::uint64_t iters)
+{
+    const std::uint64_t bytes = elements * 8;
+
+    isa::ProgramBuilder b(name);
+    b.movi(R11, static_cast<std::int64_t>(iters));
+    b.label("outer");
+    b.movi(R0, 0);
+    b.movi(R1, static_cast<std::int64_t>(bytes));
+    b.label("loop");
+    // Load a pair, run packed arithmetic, store the pair back.
+    b.fldr(0, R0, 0);
+    b.fldr(1, R0, 8);
+    b.vmul(2, 0, 0);
+    b.vadd(4, 2, 0);
+    b.vadd(6, 4, 2);
+    b.fstr(4, R0, 0);
+    b.fstr(5, R0, 8);
+    b.addi(R0, R0, 16);
+    b.cmplt(R5, R0, R1);
+    b.bne(R5, "loop");
+    b.subi(R11, R11, 1);
+    b.bne(R11, "outer");
+    b.halt();
+
+    Workload w;
+    w.name = name;
+    w.suite = suite;
+    w.program = b.build();
+    w.numThreads = 1;
+    w.memBytes = bytes + 4096;
+    w.init = [elements](isa::Memory &memory) {
+        for (std::uint64_t i = 0; i < elements; ++i)
+            writeDouble(memory, i * 8, 0.001 * (1 + i % 97));
+    };
+    return w;
+}
+
+Workload
+makeCrc(const std::string &name, const std::string &suite,
+        std::uint64_t bytes, std::uint64_t reps, unsigned threads)
+{
+    // Table of 256 u64 entries at slice offset 0; data after it.
+    const std::uint64_t table_bytes = 256 * 8;
+    const std::uint64_t slice = table_bytes + bytes + 4096;
+
+    isa::ProgramBuilder b(name);
+    emitThreadBase(b, slice);
+    b.movi(R11, static_cast<std::int64_t>(reps));
+    b.label("rep");
+    b.movi(R0, 0);                              // byte index
+    b.movi(R1, static_cast<std::int64_t>(bytes));
+    b.movi(R6, -1);                             // crc register
+    b.label("loop");
+    b.add(R3, RBASE, R0);
+    b.ldrb(R4, R3, static_cast<std::int64_t>(table_bytes));
+    b.eor(R5, R6, R4);
+    b.movi(R7, 0xff);
+    b.andr(R5, R5, R7);
+    b.lsl(R5, R5, 3);                           // table offset
+    b.add(R5, R5, RBASE);
+    b.ldr(R8, R5, 0);                           // table lookup
+    b.lsr(R6, R6, 8);
+    b.eor(R6, R6, R8);
+    b.addi(R0, R0, 1);
+    b.cmplt(R9, R0, R1);
+    b.bne(R9, "loop");
+    b.subi(R11, R11, 1);
+    b.bne(R11, "rep");
+    b.halt();
+
+    Workload w;
+    w.name = name;
+    w.suite = suite;
+    w.program = b.build();
+    w.numThreads = threads;
+    w.memBytes = slice * threads;
+    w.init = [bytes, slice, threads, table_bytes,
+              name](isa::Memory &memory) {
+        Rng rng("crc:" + name);
+        for (unsigned t = 0; t < threads; ++t) {
+            std::uint64_t base = t * slice;
+            for (std::uint64_t e = 0; e < 256; ++e)
+                memory.write64(base + e * 8, rng.next());
+            for (std::uint64_t i = 0; i < bytes; ++i) {
+                memory.write(base + table_bytes + i,
+                             rng.uniformInt(256), 1);
+            }
+        }
+    };
+    return w;
+}
+
+Workload
+makeDhrystone(const std::string &name, const std::string &suite,
+              std::uint64_t iters)
+{
+    // Mixed integer arithmetic, 8-byte record copies and short call
+    // chains — the flavour of the classic Dhrystone loop.
+    const std::uint64_t rec_bytes = 64;
+    const std::uint64_t records = 64;
+    const std::uint64_t bytes = rec_bytes * records * 2;
+
+    isa::ProgramBuilder b(name);
+    b.movi(R11, static_cast<std::int64_t>(iters));
+    b.b("main");
+
+    // Proc1: copy one 64-byte record (r2 = src, r3 = dst).
+    b.label("proc1");
+    b.movi(R4, 0);
+    b.label("copy");
+    b.add(R5, R2, R4);
+    b.ldr(R6, R5, 0);
+    b.add(R5, R3, R4);
+    b.str(R6, R5, 0);
+    b.addi(R4, R4, 8);
+    b.movi(R7, static_cast<std::int64_t>(rec_bytes));
+    b.cmplt(R8, R4, R7);
+    b.bne(R8, "copy");
+    b.ret();
+
+    // Proc2: integer arithmetic on r9.
+    b.label("proc2");
+    b.addi(R9, R9, 13);
+    b.movi(R4, 7);
+    b.mul(R9, R9, R4);
+    b.movi(R4, 11);
+    b.divr(R9, R9, R4);
+    b.ret();
+
+    b.label("main");
+    b.movi(R9, 42);
+    b.label("loop");
+    // Select a source/destination record pair from the loop counter.
+    b.movi(R4, static_cast<std::int64_t>(records - 1));
+    b.andr(R2, R11, R4);
+    b.movi(R4, static_cast<std::int64_t>(rec_bytes));
+    b.mul(R2, R2, R4);
+    b.addi(R3, R2,
+           static_cast<std::int64_t>(rec_bytes * records));
+    b.bl("proc1");
+    b.bl("proc2");
+    // A comparison chain, mostly taken one way.
+    b.movi(R4, 100000);
+    b.cmplt(R5, R9, R4);
+    b.beq(R5, "reset");
+    b.b("cont");
+    b.label("reset");
+    b.movi(R9, 42);
+    b.label("cont");
+    b.subi(R11, R11, 1);
+    b.bne(R11, "loop");
+    b.halt();
+
+    Workload w;
+    w.name = name;
+    w.suite = suite;
+    w.program = b.build();
+    w.numThreads = 1;
+    w.memBytes = bytes + 4096;
+    w.init = [bytes, name](isa::Memory &memory) {
+        Rng rng("dhry:" + name);
+        for (std::uint64_t a = 0; a < bytes; a += 8)
+            memory.write64(a, rng.next());
+    };
+    return w;
+}
+
+Workload
+makeIntArith(const std::string &name, const std::string &suite,
+             std::uint64_t iters, bool with_div, unsigned threads)
+{
+    isa::ProgramBuilder b(name);
+    b.movi(R0, static_cast<std::int64_t>(iters));
+    b.movi(R1, 0x9e3779b9);
+    b.movi(R2, 0x85ebca6b);
+    b.movi(R3, 1);
+    b.label("loop");
+    b.mul(R4, R1, R2);
+    b.add(R5, R4, R3);
+    b.eor(R1, R5, R2);
+    b.lsl(R6, R1, 7);
+    b.lsr(R7, R1, 9);
+    b.orr(R2, R6, R7);
+    if (with_div) {
+        b.addi(R8, R2, 3);
+        b.divr(R9, R4, R8);
+        b.add(R3, R3, R9);
+    } else {
+        b.add(R3, R3, R4);
+    }
+    b.subi(R0, R0, 1);
+    b.bne(R0, "loop");
+    b.halt();
+
+    Workload w;
+    w.name = name;
+    w.suite = suite;
+    w.program = b.build();
+    w.numThreads = threads;
+    w.memBytes = 4096;
+    return w;
+}
+
+} // namespace gemstone::workload::kernels

@@ -1,0 +1,453 @@
+/**
+ * @file
+ * Control-flow-intensive kernel generators.
+ */
+
+#include "workload/kernels.hh"
+
+#include "workload/kernels_common.hh"
+
+namespace gemstone::workload::kernels {
+
+Workload
+makeBranchPattern(const std::string &name, const std::string &suite,
+                  std::uint64_t period, std::uint64_t iters,
+                  std::uint64_t fp_ops_per_iter, unsigned threads)
+{
+    isa::ProgramBuilder b(name);
+    b.movi(R0, static_cast<std::int64_t>(iters));
+    b.movi(R1, static_cast<std::int64_t>(period));
+    b.movi(R2, static_cast<std::int64_t>(period / 2 + 1));
+    b.fmovi(0, 57.29577951308232);  // degrees per radian
+    b.fmovi(1, 0.01745329);
+    b.fmovi(2, 1.0);
+    b.label("loop");
+    // Phase counters: strictly periodic, *rarely taken* branches —
+    // trivially learnable by a local-history predictor, lethal to the
+    // history-corrupting g5 v1 predictor (a single misprediction
+    // steers its index stream to untrained, taken-biased counters on
+    // branches whose outcomes are dominated by not-taken, so the
+    // storm self-sustains — this is the paper's par-basicmath-rad2deg
+    // with 0.86% model accuracy vs 99.9% on hardware).
+    b.subi(R1, R1, 1);
+    b.beq(R1, "special1");    // taken once per period
+    b.label("back1");
+    b.subi(R2, R2, 1);
+    b.beq(R2, "special2");    // phase-shifted second pattern
+    b.label("back2");
+    for (std::uint64_t i = 0; i < fp_ops_per_iter; ++i) {
+        b.fmul(5, 2, 0);
+        b.fadd(6, 5, 1);
+    }
+    b.subi(R0, R0, 1);
+    b.bne(R0, "loop");
+    b.halt();
+    b.label("special1");
+    b.movi(R1, static_cast<std::int64_t>(period));
+    b.fmul(3, 2, 0);  // rad2deg conversion on the "special" path
+    b.b("back1");
+    b.label("special2");
+    b.movi(R2, static_cast<std::int64_t>(period / 2 + 1));
+    b.fmul(4, 2, 1);
+    b.b("back2");
+
+    Workload w;
+    w.name = name;
+    w.suite = suite;
+    w.program = b.build();
+    w.numThreads = threads;
+    w.memBytes = 4096;
+    return w;
+}
+
+Workload
+makeRandomBranch(const std::string &name, const std::string &suite,
+                 double taken_probability, std::uint64_t iters)
+{
+    // Threshold over the top bits of an in-register LCG draw.
+    auto threshold = static_cast<std::int64_t>(
+        taken_probability * 1024.0);
+
+    isa::ProgramBuilder b(name);
+    b.movi(R0, static_cast<std::int64_t>(iters));
+    b.movi(R1, 88172645463325252LL);
+    b.movi(R2, 6364136223846793005LL);
+    b.movi(R3, 1442695040888963407LL);
+    b.movi(R4, threshold);
+    b.movi(R8, 1023);
+    b.label("loop");
+    b.mul(R1, R1, R2);
+    b.add(R1, R1, R3);
+    b.lsr(R5, R1, 33);
+    b.andr(R5, R5, R8);
+    b.cmplt(R6, R5, R4);   // 1 with probability ~p
+    b.beq(R6, "nottaken");
+    b.addi(R7, R7, 1);
+    b.b("join");
+    b.label("nottaken");
+    b.addi(R7, R7, 2);
+    b.label("join");
+    b.subi(R0, R0, 1);
+    b.bne(R0, "loop");
+    b.halt();
+
+    Workload w;
+    w.name = name;
+    w.suite = suite;
+    w.program = b.build();
+    w.numThreads = 1;
+    w.memBytes = 4096;
+    return w;
+}
+
+Workload
+makeSwitchDispatch(const std::string &name, const std::string &suite,
+                   unsigned cases, std::uint64_t iters)
+{
+    isa::ProgramBuilder b(name);
+    b.movi(R0, static_cast<std::int64_t>(iters));
+    b.movi(R1, 88172645463325252LL);
+    b.movi(R2, 6364136223846793005LL);
+    b.movi(R3, 1442695040888963407LL);
+
+    // Each case body is caseLen instructions: payload + branch back.
+    constexpr std::uint32_t case_len = 4;
+
+    b.label("loop");
+    b.mul(R1, R1, R2);
+    b.add(R1, R1, R3);
+    b.lsr(R5, R1, 29);
+    // Skew the distribution: half the draws collapse to case 0 (a
+    // realistic interpreter has a hot opcode).
+    b.movi(R6, static_cast<std::int64_t>(2 * cases - 1));
+    b.andr(R5, R5, R6);
+    b.movi(R6, static_cast<std::int64_t>(cases));
+    b.cmplt(R7, R5, R6);
+    b.bne(R7, "have_case");
+    b.movi(R5, 0);
+    b.label("have_case");
+    // target = dispatch_base + case * case_len
+    b.movi(R6, case_len);
+    b.mul(R5, R5, R6);
+    b.movi(R6, 0);  // patched below via label arithmetic
+    std::uint32_t movi_fixup = b.here() - 1;
+    b.add(R5, R5, R6);
+    b.bidx(R5);
+
+    b.label("cases");
+    for (unsigned c = 0; c < cases; ++c) {
+        // Payload (3 insts) + jump back = case_len.
+        b.addi(R7, R7, static_cast<std::int64_t>(c + 1));
+        b.eor(R8, R7, R5);
+        b.lsr(R8, R8, 1);
+        b.b("next");
+    }
+    b.label("next");
+    b.subi(R0, R0, 1);
+    b.bne(R0, "loop");
+    b.halt();
+
+    Workload w;
+    w.name = name;
+    w.suite = suite;
+    isa::Program program = b.build();
+    // Patch the dispatch base immediate now that labels are resolved:
+    // the movi above must hold the index of the "cases" label.
+    // Label "cases" directly follows the bidx instruction.
+    program.code[movi_fixup].imm = movi_fixup + 3;
+    w.program = std::move(program);
+    w.numThreads = 1;
+    w.memBytes = 4096;
+    return w;
+}
+
+Workload
+makeCallTree(const std::string &name, const std::string &suite,
+             unsigned depth, std::uint64_t iters)
+{
+    // A chain of functions f0 -> f1 -> ... -> f(depth-1); deep enough
+    // chains overflow a small return-address stack, which is exactly
+    // the RAS divergence the g5 model shows.
+    isa::ProgramBuilder b(name);
+    b.movi(R0, static_cast<std::int64_t>(iters));
+    b.b("main");
+
+    for (unsigned d = 0; d < depth; ++d) {
+        b.label("f" + std::to_string(d));
+        b.addi(R4, R4, 1);
+        if (d + 1 < depth) {
+            // Save our link register on the software stack (r10).
+            b.subi(R10, R10, 8);
+            b.str(isa::linkReg, R10, 0);
+            b.bl("f" + std::to_string(d + 1));
+            b.ldr(isa::linkReg, R10, 0);
+            b.addi(R10, R10, 8);
+        } else {
+            b.eor(R5, R4, R0);
+            b.lsr(R5, R5, 1);
+        }
+        b.ret();
+    }
+
+    b.label("main");
+    b.movi(R10, 65536);  // software stack pointer
+    b.label("loop");
+    b.bl("f0");
+    b.subi(R0, R0, 1);
+    b.bne(R0, "loop");
+    b.halt();
+
+    Workload w;
+    w.name = name;
+    w.suite = suite;
+    w.program = b.build();
+    w.numThreads = 1;
+    w.memBytes = 128 * 1024;
+    return w;
+}
+
+Workload
+makeSort(const std::string &name, const std::string &suite,
+         std::uint64_t elements, std::uint64_t reps)
+{
+    const std::uint64_t bytes = elements * 8;
+
+    isa::ProgramBuilder b(name);
+    b.movi(R11, static_cast<std::int64_t>(reps));
+    b.movi(R9, 88172645463325252LL);
+
+    b.label("rep");
+    // Refill the array with fresh pseudo-random values.
+    b.movi(R0, 0);
+    b.movi(R1, static_cast<std::int64_t>(bytes));
+    b.movi(R2, 6364136223846793005LL);
+    b.label("fill");
+    b.mul(R9, R9, R2);
+    b.addi(R9, R9, 1442695040888963407LL);
+    b.str(R9, R0, 0);
+    b.addi(R0, R0, 8);
+    b.cmplt(R5, R0, R1);
+    b.bne(R5, "fill");
+
+    // Insertion sort: heavily data-dependent inner-loop branches.
+    b.movi(R0, 8);  // i (byte offset)
+    b.label("outer");
+    b.ldr(R3, R0, 0);   // key
+    b.mov(R4, R0);      // j
+    b.label("inner");
+    b.subi(R4, R4, 8);
+    b.blt(R4, "place"); // j < 0: insert at front
+    b.ldr(R5, R4, 0);
+    b.sub(R6, R5, R3);
+    b.blt(R6, "place_after");  // arr[j] < key: stop
+    b.str(R5, R4, 8);   // shift right
+    b.b("inner");
+    b.label("place");
+    b.str(R3, R4, 8);
+    b.b("advance");
+    b.label("place_after");
+    b.str(R3, R4, 8);
+    b.label("advance");
+    b.addi(R0, R0, 8);
+    b.cmplt(R5, R0, R1);
+    b.bne(R5, "outer");
+
+    b.subi(R11, R11, 1);
+    b.bne(R11, "rep");
+    b.halt();
+
+    Workload w;
+    w.name = name;
+    w.suite = suite;
+    w.program = b.build();
+    w.numThreads = 1;
+    w.memBytes = bytes + 4096;
+    return w;
+}
+
+Workload
+makeDijkstra(const std::string &name, const std::string &suite,
+             std::uint64_t nodes, std::uint64_t reps, unsigned threads)
+{
+    // Simplified relaxation: repeatedly scan a distance array for the
+    // minimum unvisited node, then relax a pseudo-random neighbour
+    // set. The scan's running-minimum branch is data dependent.
+    const std::uint64_t dist_bytes = nodes * 8;
+    const std::uint64_t slice = dist_bytes * 2 + 4096;
+
+    isa::ProgramBuilder b(name);
+    emitThreadBase(b, slice);
+    b.movi(R11, static_cast<std::int64_t>(reps));
+    b.label("rep");
+    b.movi(R0, 0);      // scan index (bytes)
+    b.movi(R1, static_cast<std::int64_t>(dist_bytes));
+    b.movi(R2, 0x7fffffff);  // best
+    b.movi(R3, 0);      // best offset
+    b.label("scan");
+    b.add(R4, RBASE, R0);
+    b.ldr(R5, R4, 0);
+    b.sub(R6, R5, R2);
+    b.bge(R6, "noupdate");   // dist >= best: skip
+    b.mov(R2, R5);
+    b.mov(R3, R0);
+    b.label("noupdate");
+    b.addi(R0, R0, 8);
+    b.cmplt(R6, R0, R1);
+    b.bne(R6, "scan");
+    // Relax: dist[best ^ salt] = best + weight, for 4 neighbours.
+    b.movi(R7, 4);
+    b.label("relax");
+    b.mul(R8, R3, R7);
+    b.eor(R8, R8, R2);
+    b.movi(R6, static_cast<std::int64_t>(dist_bytes - 1));
+    b.andr(R8, R8, R6);
+    b.movi(R6, ~7LL);
+    b.andr(R8, R8, R6);
+    b.add(R8, R8, RBASE);
+    b.addi(R5, R2, 3);
+    b.str(R5, R8, 0);
+    b.subi(R7, R7, 1);
+    b.bne(R7, "relax");
+    b.subi(R11, R11, 1);
+    b.bne(R11, "rep");
+    b.halt();
+
+    Workload w;
+    w.name = name;
+    w.suite = suite;
+    w.program = b.build();
+    w.numThreads = threads;
+    w.memBytes = slice * threads;
+    w.init = [nodes, slice, threads, name](isa::Memory &memory) {
+        Rng rng("dijkstra:" + name);
+        for (unsigned t = 0; t < threads; ++t) {
+            std::uint64_t base = t * slice;
+            for (std::uint64_t i = 0; i < nodes; ++i) {
+                memory.write64(base + i * 8,
+                               1 + rng.uniformInt(1u << 20));
+            }
+        }
+    };
+    return w;
+}
+
+Workload
+makeStencil(const std::string &name, const std::string &suite,
+            std::uint64_t dim, std::uint64_t reps, unsigned threads)
+{
+    // Byte image stencil with a threshold branch per pixel.
+    const std::uint64_t img_bytes = dim * dim;
+    const std::uint64_t slice = img_bytes * 2 + 4096;
+
+    isa::ProgramBuilder b(name);
+    emitThreadBase(b, slice);
+    b.movi(R11, static_cast<std::int64_t>(reps));
+    b.label("rep");
+    b.movi(R0, static_cast<std::int64_t>(dim + 1));  // first interior
+    b.movi(R1, static_cast<std::int64_t>(img_bytes - dim - 1));
+    b.label("pixel");
+    b.add(R2, RBASE, R0);
+    b.ldrb(R3, R2, 0);
+    b.ldrb(R4, R2, 1);
+    b.add(R3, R3, R4);
+    b.ldrb(R4, R2, -1);
+    b.add(R3, R3, R4);
+    b.ldrb(R4, R2, static_cast<std::int64_t>(dim));
+    b.add(R3, R3, R4);
+    b.ldrb(R4, R2, -static_cast<std::int64_t>(dim));
+    b.add(R3, R3, R4);
+    // Threshold: bright pixels get marked (data dependent).
+    b.movi(R5, 600);
+    b.sub(R6, R3, R5);
+    b.blt(R6, "dark");
+    b.movi(R7, 255);
+    b.b("emit");
+    b.label("dark");
+    b.lsr(R7, R3, 2);
+    b.label("emit");
+    b.strb(R7, R2, static_cast<std::int64_t>(img_bytes));
+    b.addi(R0, R0, 1);
+    b.cmplt(R6, R0, R1);
+    b.bne(R6, "pixel");
+    b.subi(R11, R11, 1);
+    b.bne(R11, "rep");
+    b.halt();
+
+    Workload w;
+    w.name = name;
+    w.suite = suite;
+    w.program = b.build();
+    w.numThreads = threads;
+    w.memBytes = slice * threads;
+    w.init = [img_bytes, slice, threads, name](isa::Memory &memory) {
+        Rng rng("stencil:" + name);
+        for (unsigned t = 0; t < threads; ++t) {
+            std::uint64_t base = t * slice;
+            for (std::uint64_t i = 0; i < img_bytes; ++i)
+                memory.write(base + i, rng.uniformInt(256), 1);
+        }
+    };
+    return w;
+}
+
+Workload
+makeStringSearch(const std::string &name, const std::string &suite,
+                 std::uint64_t text_bytes, std::uint64_t reps,
+                 unsigned threads)
+{
+    // Naive pattern search; the inner compare loop exits early on the
+    // first mismatch, so its branch is strongly biased.
+    constexpr std::uint64_t pattern_len = 8;
+    const std::uint64_t slice = text_bytes + 64 + 4096;
+
+    isa::ProgramBuilder b(name);
+    emitThreadBase(b, slice);
+    b.movi(R11, static_cast<std::int64_t>(reps));
+    b.label("rep");
+    b.movi(R0, 0);  // text position
+    b.movi(R1, static_cast<std::int64_t>(text_bytes - pattern_len));
+    b.label("pos");
+    b.movi(R2, 0);  // pattern index
+    b.label("cmp");
+    b.add(R3, RBASE, R0);
+    b.add(R3, R3, R2);
+    b.ldrb(R4, R3, 0);
+    b.add(R5, RBASE, R2);
+    b.ldrb(R6, R5, static_cast<std::int64_t>(text_bytes));
+    b.sub(R7, R4, R6);
+    b.bne(R7, "mismatch");
+    b.addi(R2, R2, 1);
+    b.movi(R8, pattern_len);
+    b.cmplt(R7, R2, R8);
+    b.bne(R7, "cmp");
+    b.addi(R9, R9, 1);  // match found
+    b.label("mismatch");
+    b.addi(R0, R0, 1);
+    b.cmplt(R7, R0, R1);
+    b.bne(R7, "pos");
+    b.subi(R11, R11, 1);
+    b.bne(R11, "rep");
+    b.halt();
+
+    Workload w;
+    w.name = name;
+    w.suite = suite;
+    w.program = b.build();
+    w.numThreads = threads;
+    w.memBytes = slice * threads;
+    w.init = [text_bytes, slice, threads, name](isa::Memory &memory) {
+        Rng rng("search:" + name);
+        for (unsigned t = 0; t < threads; ++t) {
+            std::uint64_t base = t * slice;
+            for (std::uint64_t i = 0; i < text_bytes; ++i)
+                memory.write(base + i, 'a' + rng.uniformInt(16), 1);
+            for (std::uint64_t i = 0; i < pattern_len; ++i) {
+                memory.write(base + text_bytes + i,
+                             'a' + rng.uniformInt(16), 1);
+            }
+        }
+    };
+    return w;
+}
+
+} // namespace gemstone::workload::kernels

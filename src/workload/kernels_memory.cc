@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Memory-pattern kernel generators.
+ */
+
+#include "workload/kernels.hh"
+
+#include <numeric>
+
+#include "workload/kernels_common.hh"
+
+namespace gemstone::workload::kernels {
+
+Workload
+makeStreamCopy(const std::string &name, const std::string &suite,
+               std::uint64_t elements, std::uint64_t iters,
+               unsigned threads)
+{
+    const std::uint64_t bytes = elements * 8;
+    const std::uint64_t slice = 2 * bytes + 4096;
+
+    isa::ProgramBuilder b(name);
+    emitThreadBase(b, slice);
+    b.movi(R11, static_cast<std::int64_t>(iters));
+    b.label("outer");
+    b.movi(R0, 0);
+    b.movi(R1, static_cast<std::int64_t>(bytes));
+    b.label("loop");
+    b.add(R3, RBASE, R0);
+    b.ldr(R4, R3, 0);
+    b.str(R4, R3, static_cast<std::int64_t>(bytes));
+    b.addi(R0, R0, 8);
+    b.cmplt(R5, R0, R1);
+    b.bne(R5, "loop");
+    b.subi(R11, R11, 1);
+    b.bne(R11, "outer");
+    b.halt();
+
+    Workload w;
+    w.name = name;
+    w.suite = suite;
+    w.program = b.build();
+    w.numThreads = threads;
+    w.memBytes = slice * threads;
+    return w;
+}
+
+Workload
+makeStreamStore(const std::string &name, const std::string &suite,
+                std::uint64_t elements, std::uint64_t iters,
+                unsigned threads)
+{
+    const std::uint64_t bytes = elements * 8;
+    const std::uint64_t slice = bytes + 4096;
+
+    isa::ProgramBuilder b(name);
+    emitThreadBase(b, slice);
+    b.movi(R11, static_cast<std::int64_t>(iters));
+    b.movi(R4, 0x1234);
+    b.label("outer");
+    b.movi(R0, 0);
+    b.movi(R1, static_cast<std::int64_t>(bytes));
+    b.label("loop");
+    b.add(R3, RBASE, R0);
+    b.str(R4, R3, 0);
+    b.addi(R4, R4, 1);
+    b.addi(R0, R0, 8);
+    b.cmplt(R5, R0, R1);
+    b.bne(R5, "loop");
+    b.subi(R11, R11, 1);
+    b.bne(R11, "outer");
+    b.halt();
+
+    Workload w;
+    w.name = name;
+    w.suite = suite;
+    w.program = b.build();
+    w.numThreads = threads;
+    w.memBytes = slice * threads;
+    return w;
+}
+
+Workload
+makeStreamSum(const std::string &name, const std::string &suite,
+              std::uint64_t elements, std::uint64_t stride,
+              std::uint64_t iters, unsigned threads)
+{
+    const std::uint64_t bytes = elements * stride;
+    const std::uint64_t slice = bytes + 4096;
+
+    isa::ProgramBuilder b(name);
+    emitThreadBase(b, slice);
+    b.movi(R11, static_cast<std::int64_t>(iters));
+    b.movi(R6, 0);  // accumulator
+    b.label("outer");
+    b.movi(R0, 0);
+    b.movi(R1, static_cast<std::int64_t>(bytes));
+    b.label("loop");
+    b.add(R3, RBASE, R0);
+    b.ldr(R4, R3, 0);
+    b.add(R6, R6, R4);
+    b.addi(R0, R0, static_cast<std::int64_t>(stride));
+    b.cmplt(R5, R0, R1);
+    b.bne(R5, "loop");
+    b.subi(R11, R11, 1);
+    b.bne(R11, "outer");
+    b.halt();
+
+    Workload w;
+    w.name = name;
+    w.suite = suite;
+    w.program = b.build();
+    w.numThreads = threads;
+    w.memBytes = slice * threads;
+    return w;
+}
+
+Workload
+makePointerChase(const std::string &name, const std::string &suite,
+                 std::uint64_t nodes, std::uint64_t spacing,
+                 std::uint64_t hops, unsigned threads)
+{
+    isa::ProgramBuilder b(name);
+    b.movi(R0, 0);  // current node address
+    b.movi(R1, static_cast<std::int64_t>(hops));
+    b.label("loop");
+    b.ldr(R0, R0, 0);
+    b.subi(R1, R1, 1);
+    b.bne(R1, "loop");
+    b.halt();
+
+    Workload w;
+    w.name = name;
+    w.suite = suite;
+    w.program = b.build();
+    w.numThreads = threads;
+    w.memBytes = nodes * spacing + 4096;
+    w.init = [nodes, spacing, name](isa::Memory &memory) {
+        // Build a random Hamiltonian cycle over the node slots so the
+        // chase visits every node with no exploitable locality.
+        Rng rng("ptr-chase:" + name);
+        std::vector<std::uint64_t> order(nodes);
+        std::iota(order.begin(), order.end(), 0);
+        for (std::uint64_t i = nodes - 1; i > 0; --i) {
+            std::uint64_t j = rng.uniformInt(i + 1);
+            std::swap(order[i], order[j]);
+        }
+        for (std::uint64_t i = 0; i < nodes; ++i) {
+            std::uint64_t from = order[i] * spacing;
+            std::uint64_t to = order[(i + 1) % nodes] * spacing;
+            memory.write64(from, to);
+        }
+    };
+    return w;
+}
+
+Workload
+makeRandomAccess(const std::string &name, const std::string &suite,
+                 std::uint64_t table_bytes, std::uint64_t accesses,
+                 unsigned threads)
+{
+    // The table is shared by all threads (stores cause snoops in the
+    // multithreaded variants). Addresses are produced by an in-register
+    // LCG, masked into the table and 8-byte aligned.
+    const std::int64_t mask =
+        static_cast<std::int64_t>((table_bytes - 1) & ~7ULL);
+
+    isa::ProgramBuilder b(name);
+    b.movi(R0, 88172645463325252LL);
+    b.add(R0, R0, RTID);  // diverge the streams per thread
+    b.movi(R1, static_cast<std::int64_t>(accesses));
+    b.movi(R2, 6364136223846793005LL);
+    b.movi(R3, 1442695040888963407LL);
+    b.movi(R4, mask);
+    b.label("loop");
+    b.mul(R0, R0, R2);
+    b.add(R0, R0, R3);
+    b.lsr(R5, R0, 17);
+    b.andr(R5, R5, R4);
+    b.ldr(R7, R5, 0);
+    b.addi(R7, R7, 1);
+    b.str(R7, R5, 0);
+    b.subi(R1, R1, 1);
+    b.bne(R1, "loop");
+    b.halt();
+
+    Workload w;
+    w.name = name;
+    w.suite = suite;
+    w.program = b.build();
+    w.numThreads = threads;
+    w.memBytes = table_bytes;
+    return w;
+}
+
+Workload
+makeUnaligned(const std::string &name, const std::string &suite,
+              std::uint64_t elements, std::uint64_t iters)
+{
+    const std::uint64_t bytes = elements * 16;
+
+    isa::ProgramBuilder b(name);
+    b.movi(R11, static_cast<std::int64_t>(iters));
+    b.label("outer");
+    b.movi(R0, 0);
+    b.movi(R1, static_cast<std::int64_t>(bytes));
+    b.label("loop");
+    // Offset 3 keeps every access misaligned; some straddle lines.
+    b.ldr(R4, R0, 3);
+    b.addi(R4, R4, 7);
+    b.str(R4, R0, 3);
+    b.addi(R0, R0, 16);
+    b.cmplt(R5, R0, R1);
+    b.bne(R5, "loop");
+    b.subi(R11, R11, 1);
+    b.bne(R11, "outer");
+    b.halt();
+
+    Workload w;
+    w.name = name;
+    w.suite = suite;
+    w.program = b.build();
+    w.numThreads = 1;
+    w.memBytes = bytes + 4096;
+    return w;
+}
+
+} // namespace gemstone::workload::kernels

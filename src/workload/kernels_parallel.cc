@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Multithreaded kernel generators (locks, barriers, communication).
+ *
+ * Shared-memory layout convention: the first 4 KiB of workload memory
+ * is a control page (locks, counters, flags); per-thread data slices
+ * follow it. All multithreaded kernels are SPMD over the thread id in
+ * r15.
+ */
+
+#include "workload/kernels.hh"
+
+#include "workload/kernels_common.hh"
+
+namespace gemstone::workload::kernels {
+
+namespace {
+
+/** Control-page addresses shared by the parallel kernels. */
+constexpr std::int64_t lockAddr = 128;
+constexpr std::int64_t counterAddr = 192;
+constexpr std::int64_t senseAddr = 256;
+constexpr std::int64_t slotAddr = 320;
+constexpr std::int64_t flagAddr = 384;
+constexpr std::int64_t fpSumAddr = 448;
+constexpr std::uint64_t controlPage = 4096;
+
+} // namespace
+
+Workload
+makeSpinLock(const std::string &name, const std::string &suite,
+             std::uint64_t increments_per_thread, unsigned threads)
+{
+    isa::ProgramBuilder b(name);
+    b.movi(R0, lockAddr);
+    b.movi(R1, counterAddr);
+    b.movi(R2, static_cast<std::int64_t>(increments_per_thread));
+    b.label("loop");
+    b.label("acquire");
+    b.ldrex(R3, R0);
+    b.bne(R3, "wait");       // lock held: spin outside the exclusive
+    b.movi(R4, 1);
+    b.strex(R5, R4, R0);
+    b.bne(R5, "acquire");    // reservation lost: retry
+    b.dmb();
+    // Critical section: bump the shared counter.
+    b.ldr(R6, R1, 0);
+    b.addi(R6, R6, 1);
+    b.str(R6, R1, 0);
+    b.dmb();
+    b.movi(R4, 0);
+    b.str(R4, R0, 0);        // release
+    b.subi(R2, R2, 1);
+    b.bne(R2, "loop");
+    b.halt();
+    b.label("wait");
+    b.ldr(R3, R0, 0);
+    b.bne(R3, "wait");
+    b.b("acquire");
+
+    Workload w;
+    w.name = name;
+    w.suite = suite;
+    w.program = b.build();
+    w.numThreads = threads;
+    w.memBytes = controlPage * 2;
+    return w;
+}
+
+Workload
+makeBarrierPhases(const std::string &name, const std::string &suite,
+                  unsigned phases, std::uint64_t work_per_phase,
+                  unsigned threads)
+{
+    isa::ProgramBuilder b(name);
+    b.movi(R10, 0);  // local barrier sense
+    b.movi(R9, static_cast<std::int64_t>(phases));
+    b.fmovi(0, 1.0001);
+    b.fmovi(1, 0.9999);
+    b.label("phase");
+    // Work section.
+    b.movi(R0, static_cast<std::int64_t>(work_per_phase));
+    b.label("work");
+    b.fmul(2, 0, 1);
+    b.fadd(3, 2, 0);
+    b.subi(R0, R0, 1);
+    b.bne(R0, "work");
+    // Sense-reversal barrier.
+    b.movi(R1, counterAddr);
+    b.label("arrive");
+    b.ldrex(R2, R1);
+    b.addi(R2, R2, 1);
+    b.strex(R3, R2, R1);
+    b.bne(R3, "arrive");
+    b.dmb();
+    b.movi(R4, static_cast<std::int64_t>(threads));
+    b.sub(R5, R2, R4);
+    b.bne(R5, "not_last");
+    // Last arrival: reset the counter, then flip the shared sense.
+    b.movi(R5, 0);
+    b.str(R5, R1, 0);
+    b.movi(R6, senseAddr);
+    b.ldr(R7, R6, 0);
+    b.movi(R8, 1);
+    b.eor(R7, R7, R8);
+    b.dmb();
+    b.str(R7, R6, 0);
+    b.b("done");
+    b.label("not_last");
+    b.movi(R6, senseAddr);
+    b.label("spin");
+    b.ldr(R7, R6, 0);
+    b.sub(R8, R7, R10);
+    b.beq(R8, "spin");   // sense unchanged: keep waiting
+    b.label("done");
+    b.movi(R8, 1);
+    b.eor(R10, R10, R8); // flip local sense
+    b.subi(R9, R9, 1);
+    b.bne(R9, "phase");
+    b.halt();
+
+    Workload w;
+    w.name = name;
+    w.suite = suite;
+    w.program = b.build();
+    w.numThreads = threads;
+    w.memBytes = controlPage * 2;
+    return w;
+}
+
+Workload
+makeProducerConsumer(const std::string &name, const std::string &suite,
+                     std::uint64_t items)
+{
+    isa::ProgramBuilder b(name);
+    b.movi(R0, static_cast<std::int64_t>(items));
+    b.movi(R1, slotAddr);
+    b.movi(R2, flagAddr);
+    b.movi(R3, 1);       // produced value seed
+    b.bne(RTID, "consumer");
+
+    // Producer (thread 0).
+    b.label("p_loop");
+    b.label("p_wait");
+    b.ldr(R4, R2, 0);
+    b.bne(R4, "p_wait");     // wait for an empty slot
+    b.str(R3, R1, 0);
+    b.dmb();
+    b.movi(R4, 1);
+    b.str(R4, R2, 0);
+    b.addi(R3, R3, 1);
+    b.subi(R0, R0, 1);
+    b.bne(R0, "p_loop");
+    b.halt();
+
+    // Consumer (thread 1).
+    b.label("consumer");
+    b.label("c_loop");
+    b.label("c_wait");
+    b.ldr(R4, R2, 0);
+    b.beq(R4, "c_wait");     // wait for a full slot
+    b.dmb();
+    b.ldr(R5, R1, 0);
+    b.add(R6, R6, R5);
+    b.dmb();
+    b.movi(R4, 0);
+    b.str(R4, R2, 0);
+    b.subi(R0, R0, 1);
+    b.bne(R0, "c_loop");
+    b.halt();
+
+    Workload w;
+    w.name = name;
+    w.suite = suite;
+    w.program = b.build();
+    w.numThreads = 2;
+    w.memBytes = controlPage * 2;
+    return w;
+}
+
+Workload
+makeDataParallel(const std::string &name, const std::string &suite,
+                 std::uint64_t elements, std::uint64_t fp_intensity,
+                 unsigned threads)
+{
+    const std::uint64_t bytes = elements * 8;
+    const std::uint64_t slice = bytes + 4096;
+
+    isa::ProgramBuilder b(name);
+    // RBASE = controlPage + tid * slice.
+    emitThreadBase(b, slice);
+    b.addi(RBASE, RBASE, static_cast<std::int64_t>(controlPage));
+    b.fmovi(0, 0.0);     // local accumulator
+    b.fmovi(1, 1.059);   // work constant
+    b.movi(R0, 0);
+    b.movi(R1, static_cast<std::int64_t>(bytes));
+    b.label("loop");
+    b.add(R2, RBASE, R0);
+    b.fldr(2, R2, 0);
+    for (std::uint64_t i = 0; i < fp_intensity; ++i) {
+        b.fmul(2, 2, 1);
+        b.fadd(2, 2, 1);
+    }
+    b.fadd(0, 0, 2);
+    b.fstr(2, R2, 0);
+    b.addi(R0, R0, 8);
+    b.cmplt(R3, R0, R1);
+    b.bne(R3, "loop");
+
+    // Lock-protected global reduction.
+    b.movi(R4, lockAddr);
+    b.label("acquire");
+    b.ldrex(R5, R4);
+    b.bne(R5, "wait");
+    b.movi(R6, 1);
+    b.strex(R7, R6, R4);
+    b.bne(R7, "acquire");
+    b.dmb();
+    b.movi(R8, fpSumAddr);
+    b.fldr(3, R8, 0);
+    b.fadd(3, 3, 0);
+    b.fstr(3, R8, 0);
+    b.dmb();
+    b.movi(R6, 0);
+    b.str(R6, R4, 0);
+    b.halt();
+    b.label("wait");
+    b.ldr(R5, R4, 0);
+    b.bne(R5, "wait");
+    b.b("acquire");
+
+    Workload w;
+    w.name = name;
+    w.suite = suite;
+    w.program = b.build();
+    w.numThreads = threads;
+    w.memBytes = controlPage + slice * threads;
+    w.init = [elements, slice, threads, name](isa::Memory &memory) {
+        Rng rng("datapar:" + name);
+        for (unsigned t = 0; t < threads; ++t) {
+            std::uint64_t base = controlPage + t * slice;
+            for (std::uint64_t i = 0; i < elements; ++i) {
+                writeDouble(memory, base + i * 8,
+                            rng.uniform(0.1, 2.0));
+            }
+        }
+    };
+    return w;
+}
+
+} // namespace gemstone::workload::kernels

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Micro-benchmark implementations.
+ */
+
+#include "workload/microbench.hh"
+
+#include "util/strutil.hh"
+#include "workload/kernels.hh"
+
+namespace gemstone::workload {
+
+Workload
+makeLatMemRd(std::uint64_t array_bytes, std::uint64_t stride_bytes,
+             std::uint64_t hops)
+{
+    std::uint64_t nodes = array_bytes / stride_bytes;
+    if (nodes < 2)
+        nodes = 2;
+    std::string name = "lat_mem_rd-" +
+        std::to_string(array_bytes / 1024) + "k-s" +
+        std::to_string(stride_bytes);
+    return kernels::makePointerChase(name, "microbench", nodes,
+                                     stride_bytes, hops);
+}
+
+std::vector<std::uint64_t>
+latMemRdSizes()
+{
+    // 4 KiB to 64 MiB, doubling — the x-axis of Fig. 4.
+    std::vector<std::uint64_t> sizes;
+    for (std::uint64_t size = 4 * 1024; size <= 64 * 1024 * 1024;
+         size *= 2) {
+        sizes.push_back(size);
+    }
+    return sizes;
+}
+
+} // namespace gemstone::workload

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * LMBench-style micro-benchmarks used for Fig. 4 (memory latency).
+ */
+
+#ifndef GEMSTONE_WORKLOAD_MICROBENCH_HH
+#define GEMSTONE_WORKLOAD_MICROBENCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace gemstone::workload {
+
+/**
+ * lat_mem_rd-equivalent: a dependent pointer chase through an array
+ * of the given size with a fixed stride. Dividing the measured run
+ * time by the hop count yields the average load-to-use latency, which
+ * steps up as the array outgrows each level of the memory hierarchy —
+ * the curves of Fig. 4.
+ *
+ * @param array_bytes working-set size
+ * @param stride_bytes distance between consecutively visited nodes
+ * @param hops dependent loads to execute
+ */
+Workload makeLatMemRd(std::uint64_t array_bytes,
+                      std::uint64_t stride_bytes, std::uint64_t hops);
+
+/** The array sizes swept in the Fig. 4 reproduction. */
+std::vector<std::uint64_t> latMemRdSizes();
+
+} // namespace gemstone::workload
+
+#endif // GEMSTONE_WORKLOAD_MICROBENCH_HH

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * The workload suite registry: 65 workloads mirroring the paper's
+ * benchmark selection (Section III).
+ *
+ * Validation set (45 workloads, Experiment 1): MiBench (mi-),
+ * ParMiBench (par-), PARSEC single- and four-threaded (parsec-*-1/-4),
+ * Dhrystone, Whetstone. Power-modelling-only additions (Experiments
+ * 3/4): LMBench micro-patterns (lm-) and Roy Longbottom's collection
+ * (roy-), giving 65 in total.
+ */
+
+#include "workload/workload.hh"
+
+#include <set>
+
+#include "util/logging.hh"
+#include "workload/kernels.hh"
+
+namespace gemstone::workload {
+
+namespace {
+
+using namespace kernels;
+
+std::vector<Workload>
+buildAll()
+{
+    std::vector<Workload> w;
+    w.reserve(65);
+
+    // ---- MiBench (17, single-threaded embedded kernels) ----
+    w.push_back(makeCrc("mi-sha", "mibench", 1024, 26));
+    w.push_back(makeCrc("mi-crc32", "mibench", 2048, 14));
+    w.push_back(makeSort("mi-qsort", "mibench", 48, 40));
+    w.push_back(makeStencil("mi-susan-smoothing", "mibench", 96, 4));
+    w.push_back(makeStencil("mi-susan-edges", "mibench", 64, 10));
+    w.push_back(makeDijkstra("mi-dijkstra", "mibench", 256, 120));
+    w.push_back(
+        makePointerChase("mi-patricia", "mibench", 4096, 64, 90000));
+    w.push_back(makeStringSearch("mi-stringsearch", "mibench", 2048,
+                                 12));
+    w.push_back(makeIntArith("mi-bitcount", "mibench", 30000, false));
+    w.push_back(
+        makeBranchPattern("mi-basicmath", "mibench", 6, 20000, 3));
+    w.push_back(makeFftLike("mi-fft", "mibench", 1024, 30));
+    w.push_back(makeFftLike("mi-fft-inv", "mibench", 2048, 14));
+    w.push_back(makeSimdKernel("mi-jpeg", "mibench", 2048, 18));
+    w.push_back(makeSwitchDispatch("mi-typeset", "mibench", 8, 30000));
+    w.push_back(makeIntArith("mi-blowfish", "mibench", 28000, true));
+    w.push_back(makeUnaligned("mi-gsm", "mibench", 6144, 8));
+    w.push_back(makeRandomBranch("mi-adpcm", "mibench", 0.5, 30000));
+
+    // ---- ParMiBench (10, four threads unless noted) ----
+    // The rad2deg/deg2rad kernels carry the pathological periodic
+    // branch patterns (the paper's Cluster 16 singleton).
+    w.push_back(makeBranchPattern("par-basicmath-rad2deg",
+                                  "parmibench", 4, 28000, 0));
+    w.push_back(makeBranchPattern("par-basicmath-deg2rad",
+                                  "parmibench", 3, 22000, 1));
+    w.push_back(makeDijkstra("par-dijkstra", "parmibench", 192, 90, 4));
+    w.push_back(makeStencil("par-susan", "parmibench", 80, 4, 4));
+    w.push_back(makeStringSearch("par-stringsearch", "parmibench",
+                                 1536, 8, 4));
+    w.push_back(makeCrc("par-sha", "parmibench", 768, 20, 4));
+    w.push_back(makeDataParallel("par-basicmath-sqrt", "parmibench",
+                                 2048, 3, 4));
+    w.push_back(
+        makeIntArith("par-bitcount", "parmibench", 26000, false, 4));
+    w.push_back(makePointerChase("par-patricia", "parmibench", 4096,
+                                 64, 70000, 4));
+    w.push_back(makeProducerConsumer("par-sha-pipeline", "parmibench",
+                                     8000));
+
+    // ---- PARSEC (8 applications x {1, 4} threads = 16) ----
+    auto parsec = [&w](const std::string &app, auto &&factory) {
+        w.push_back(factory(app + std::string("-1"), 1));
+        w.push_back(factory(app + std::string("-4"), 4));
+    };
+    parsec("parsec-blackscholes", [](const std::string &n, unsigned t) {
+        return makeDataParallel(n, "parsec", 4096, 4, t);
+    });
+    parsec("parsec-bodytrack", [](const std::string &n, unsigned t) {
+        return makeStencil(n, "parsec", 96, 5, t);
+    });
+    parsec("parsec-canneal", [](const std::string &n, unsigned t) {
+        return makeRandomAccess(n, "parsec", 4 * 1024 * 1024, 60000, t);
+    });
+    parsec("parsec-fluidanimate", [](const std::string &n, unsigned t) {
+        return makeBarrierPhases(n, "parsec", 30, 1200, t);
+    });
+    parsec("parsec-streamcluster", [](const std::string &n,
+                                      unsigned t) {
+        return makeStreamCopy(n, "parsec", 16384, 10, t);
+    });
+    parsec("parsec-swaptions", [](const std::string &n, unsigned t) {
+        return makeWhetstone(n, "parsec", 26000, t);
+    });
+    parsec("parsec-dedup", [](const std::string &n, unsigned t) {
+        return makeCrc(n, "parsec", 1536, 14, t);
+    });
+    parsec("parsec-freqmine", [](const std::string &n, unsigned t) {
+        return makeSpinLock(n, "parsec", 6000, t);
+    });
+
+    // ---- Classic synthetics (2) ----
+    w.push_back(makeDhrystone("dhrystone", "dhrystone", 9000));
+    w.push_back(makeWhetstone("whetstone", "whetstone", 25000));
+
+    // ---- LMBench micro-patterns (10, power modelling only) ----
+    w.push_back(makePointerChase("lm-lat-mem-rd-l1", "lmbench", 512,
+                                 64, 150000));
+    w.push_back(makePointerChase("lm-lat-mem-rd-l2", "lmbench", 8192,
+                                 64, 120000));
+    w.push_back(makePointerChase("lm-lat-mem-rd-dram", "lmbench",
+                                 262144, 64, 60000));
+    w.push_back(makeStreamSum("lm-bw-mem-rd", "lmbench", 65536, 8, 6));
+    w.push_back(makeStreamStore("lm-bw-mem-wr", "lmbench", 32768, 10));
+    w.push_back(makeStreamCopy("lm-bw-mem-cp", "lmbench", 24576, 8));
+    w.push_back(makeIntArith("lm-ops-int", "lmbench", 35000, false));
+    w.push_back(makeIntArith("lm-ops-div", "lmbench", 15000, true));
+    w.push_back(makeWhetstone("lm-ops-fp", "lmbench", 22000));
+    w.push_back(makeUnaligned("lm-stride-unaligned", "lmbench", 4096,
+                              10));
+
+    // ---- Roy Longbottom's collection (10, power modelling only) ----
+    w.push_back(makeMatMul("roy-linpack", "roy", 20, 4));
+    w.push_back(makeFftLike("roy-livermore", "roy", 512, 45));
+    w.push_back(makeDhrystone("roy-drystone2", "roy", 8000));
+    w.push_back(makeWhetstone("roy-whets-sp", "roy", 20000));
+    w.push_back(makeStreamCopy("roy-memspeed", "roy", 16384, 10));
+    w.push_back(makeSimdKernel("roy-neonspeed", "roy", 4096, 12));
+    w.push_back(
+        makeRandomAccess("roy-randmem", "roy", 1024 * 1024, 50000));
+    w.push_back(makeStreamSum("roy-busspeed", "roy", 131072, 64, 5));
+    w.push_back(makeIntArith("roy-intspeed", "roy", 32000, false));
+    w.push_back(makeDataParallel("roy-fpuspeed", "roy", 8192, 2, 1));
+
+    panic_if(w.size() != 65, "suite must contain 65 workloads, has ",
+             w.size());
+    return w;
+}
+
+} // namespace
+
+const std::vector<Workload> &
+Suite::all()
+{
+    static const std::vector<Workload> workloads = buildAll();
+    return workloads;
+}
+
+std::vector<const Workload *>
+Suite::validationSet()
+{
+    static const std::set<std::string> validation_suites = {
+        "mibench", "parmibench", "parsec", "dhrystone", "whetstone"};
+    std::vector<const Workload *> out;
+    for (const Workload &w : all()) {
+        if (validation_suites.count(w.suite))
+            out.push_back(&w);
+    }
+    return out;
+}
+
+std::vector<const Workload *>
+Suite::bySuite(const std::string &suite)
+{
+    std::vector<const Workload *> out;
+    for (const Workload &w : all()) {
+        if (w.suite == suite)
+            out.push_back(&w);
+    }
+    return out;
+}
+
+const Workload &
+Suite::byName(const std::string &name)
+{
+    for (const Workload &w : all()) {
+        if (w.name == name)
+            return w;
+    }
+    fatal("unknown workload '", name, "'");
+}
+
+std::vector<std::string>
+Suite::suiteNames()
+{
+    std::set<std::string> names;
+    for (const Workload &w : all())
+        names.insert(w.suite);
+    return {names.begin(), names.end()};
+}
+
+} // namespace gemstone::workload

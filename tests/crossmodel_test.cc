@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Cross-model property tests: architectural event counts must be
+ * identical between any two micro-architecture configurations (the
+ * foundation under every analysis in the paper — hardware PMCs and
+ * simulator statistics can only be *compared* because the
+ * architectural work is the same).
+ */
+
+#include <gtest/gtest.h>
+
+#include "g5/config.hh"
+#include "hwsim/platform.hh"
+#include "uarch/system.hh"
+#include "workload/workload.hh"
+
+using namespace gemstone;
+using uarch::ClusterConfig;
+using uarch::ClusterModel;
+using uarch::EventCounts;
+using uarch::RunResult;
+
+namespace {
+
+RunResult
+runOn(const workload::Workload &work, ClusterConfig config)
+{
+    config.memBytes =
+        std::max<std::uint64_t>(work.memBytes, 64 * 1024);
+    ClusterModel cluster(config);
+    work.prepareMemory(cluster.memory());
+    return cluster.run(work.program, work.numThreads, 1.0);
+}
+
+} // namespace
+
+class ArchitecturalEquality
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(ArchitecturalEquality, AllCommittedClassesMatch)
+{
+    const workload::Workload &work =
+        workload::Suite::byName(GetParam());
+
+    RunResult hw = runOn(work, hwsim::trueBigConfig());
+    RunResult v1 =
+        runOn(work, g5::ex5Config(g5::G5Model::Ex5Big, 1));
+    RunResult little = runOn(work, hwsim::trueLittleConfig());
+
+    auto check = [&](const EventCounts &a, const EventCounts &b,
+                     const char *tag) {
+        EXPECT_EQ(a.instructions, b.instructions) << tag;
+        EXPECT_EQ(a.loadOps, b.loadOps) << tag;
+        EXPECT_EQ(a.storeOps, b.storeOps) << tag;
+        EXPECT_EQ(a.branches, b.branches) << tag;
+        EXPECT_EQ(a.condBranches, b.condBranches) << tag;
+        EXPECT_EQ(a.intAluOps, b.intAluOps) << tag;
+        EXPECT_EQ(a.intMulOps, b.intMulOps) << tag;
+        EXPECT_EQ(a.intDivOps, b.intDivOps) << tag;
+        EXPECT_EQ(a.fpOps, b.fpOps) << tag;
+        EXPECT_EQ(a.simdOps, b.simdOps) << tag;
+        EXPECT_EQ(a.ldrexOps, b.ldrexOps) << tag;
+        EXPECT_EQ(a.strexOps, b.strexOps) << tag;
+        EXPECT_EQ(a.barriers, b.barriers) << tag;
+        EXPECT_EQ(a.unalignedAccesses, b.unalignedAccesses) << tag;
+    };
+    check(hw.aggregate, v1.aggregate, "hw vs ex5_big v1");
+    check(hw.aggregate, little.aggregate, "a15 vs a7");
+
+    // Timing, by contrast, must differ between a big and a LITTLE
+    // configuration.
+    EXPECT_NE(hw.cycles, little.cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Representative, ArchitecturalEquality,
+    ::testing::Values("mi-crc32", "mi-qsort", "whetstone",
+                      "par-basicmath-rad2deg", "parsec-freqmine-4",
+                      "par-sha-pipeline", "parsec-canneal-1",
+                      "lm-stride-unaligned", "mi-typeset",
+                      "roy-linpack"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        std::string name = info.param;
+        for (char &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(ArchitecturalMemoryState, FinalMemoryIdenticalAcrossModels)
+{
+    // Beyond event counts: the final architectural memory image of a
+    // store-heavy workload is identical between configurations.
+    const workload::Workload &work =
+        workload::Suite::byName("parsec-streamcluster-1");
+
+    ClusterConfig a_cfg = hwsim::trueBigConfig();
+    a_cfg.memBytes = work.memBytes;
+    ClusterModel a(a_cfg);
+    work.prepareMemory(a.memory());
+    a.run(work.program, work.numThreads, 1.0);
+
+    ClusterConfig b_cfg = g5::ex5Config(g5::G5Model::Ex5Big, 1);
+    b_cfg.memBytes = work.memBytes;
+    ClusterModel b(b_cfg);
+    work.prepareMemory(b.memory());
+    b.run(work.program, work.numThreads, 1.0);
+
+    ASSERT_EQ(a.memory().size(), b.memory().size());
+    for (std::uint64_t addr = 0; addr < a.memory().size();
+         addr += 8) {
+        ASSERT_EQ(a.memory().read64(addr), b.memory().read64(addr))
+            << "divergence at address " << addr;
+    }
+}

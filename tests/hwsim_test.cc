@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Tests of the reference-platform model: PMU, power, thermal, DVFS
+ * and the measurement harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hwsim/platform.hh"
+#include "hwsim/pmu.hh"
+#include "hwsim/power.hh"
+#include "workload/workload.hh"
+
+using namespace gemstone;
+using namespace gemstone::hwsim;
+
+// ---------------------------------------------------------------------
+// PMU event table
+// ---------------------------------------------------------------------
+
+TEST(Pmu, EventIdsUnique)
+{
+    std::set<int> ids;
+    for (const PmcEvent &event : PmuEventTable::events())
+        EXPECT_TRUE(ids.insert(event.id).second)
+            << "duplicate id " << event.id;
+}
+
+TEST(Pmu, TableHasPaperEventCount)
+{
+    // The paper's Experiment 1 captured 68 PMC events; our table
+    // provides a comparable set (at least 55).
+    EXPECT_GE(PmuEventTable::events().size(), 55u);
+}
+
+TEST(Pmu, CoreArchitecturalEventsPresent)
+{
+    for (int id : {0x02, 0x08, 0x10, 0x11, 0x12, 0x15, 0x16, 0x1B,
+                   0x43, 0x6C, 0x6D, 0x7E, 0x73, 0x75, 0x76}) {
+        EXPECT_NE(PmuEventTable::find(id), nullptr)
+            << "missing " << pmcIdString(id);
+    }
+}
+
+TEST(Pmu, FindByNameWorks)
+{
+    const PmcEvent *cycles = PmuEventTable::findByName("CPU_CYCLES");
+    ASSERT_NE(cycles, nullptr);
+    EXPECT_EQ(cycles->id, 0x11);
+    EXPECT_EQ(PmuEventTable::findByName("NO_SUCH_EVENT"), nullptr);
+}
+
+TEST(Pmu, IdStringFormat)
+{
+    EXPECT_EQ(pmcIdString(0x02), "0x02");
+    EXPECT_EQ(pmcIdString(0x6C), "0x6C");
+    EXPECT_EQ(pmcIdString(0xC0), "0xC0");
+}
+
+TEST(Pmu, ExtractorsProduceConsistentValues)
+{
+    uarch::EventCounts e;
+    e.instructions = 1000;
+    e.cycles = 2000;
+    e.branches = 100;
+    e.branchMispredicts = 7;
+    e.loadOps = 50;
+    e.storeOps = 30;
+    EXPECT_DOUBLE_EQ(PmuEventTable::find(0x08)->extract(e), 1000.0);
+    EXPECT_DOUBLE_EQ(PmuEventTable::find(0x11)->extract(e), 2000.0);
+    EXPECT_DOUBLE_EQ(PmuEventTable::find(0x10)->extract(e), 7.0);
+    EXPECT_DOUBLE_EQ(PmuEventTable::find(0x06)->extract(e), 50.0);
+    EXPECT_DOUBLE_EQ(PmuEventTable::find(0x07)->extract(e), 30.0);
+    // 0x72 = loads + stores.
+    EXPECT_DOUBLE_EQ(PmuEventTable::find(0x72)->extract(e), 80.0);
+}
+
+// ---------------------------------------------------------------------
+// PMU multiplexed sampling
+// ---------------------------------------------------------------------
+
+TEST(PmuSamplerTest, RunsNeededCeils)
+{
+    PmuSampler sampler(6, 0.0);
+    EXPECT_EQ(sampler.runsNeeded(6), 1u);
+    EXPECT_EQ(sampler.runsNeeded(7), 2u);
+    EXPECT_EQ(sampler.runsNeeded(68), 12u);
+}
+
+TEST(PmuSamplerTest, NoiselessCaptureIsExact)
+{
+    PmuSampler sampler(6, 0.0);
+    uarch::EventCounts truth;
+    truth.instructions = 123456;
+    truth.cycles = 234567;
+    Rng rng(1);
+    auto counts = sampler.capture({0x08, 0x11}, truth, rng);
+    EXPECT_DOUBLE_EQ(counts.at(0x08), 123456.0);
+    EXPECT_DOUBLE_EQ(counts.at(0x11), 234567.0);
+}
+
+TEST(PmuSamplerTest, NoisyCaptureWithinTolerance)
+{
+    PmuSampler sampler(6, 0.005);
+    uarch::EventCounts truth;
+    truth.instructions = 1000000;
+    Rng rng(2);
+    auto counts = sampler.capture({0x08}, truth, rng);
+    EXPECT_NEAR(counts.at(0x08), 1e6, 1e6 * 0.05);
+    EXPECT_NE(counts.at(0x08), 1e6);  // but not exact
+}
+
+TEST(PmuSamplerTest, SameRunGroupSharesPerturbation)
+{
+    // Events captured in the same multiplexing group see the same
+    // run, so their ratio is exact even under noise.
+    PmuSampler sampler(6, 0.01);
+    uarch::EventCounts truth;
+    truth.loadOps = 600000;
+    truth.storeOps = 300000;
+    Rng rng(3);
+    auto counts = sampler.capture({0x06, 0x07}, truth, rng);
+    EXPECT_NEAR(counts.at(0x06) / counts.at(0x07), 2.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------
+// Power / thermal
+// ---------------------------------------------------------------------
+
+TEST(Power, MoreActivityMorePower)
+{
+    GroundTruthPower gtp(bigCoefficients());
+    uarch::EventCounts idle;
+    idle.cycles = 1e9;
+    uarch::EventCounts busy = idle;
+    busy.instSpec = 2'000'000'000;
+    busy.fpOps = 500'000'000;
+    double p_idle = gtp.meanPower(idle, 1.0, 1.0, 1.0, 40.0);
+    double p_busy = gtp.meanPower(busy, 1.0, 1.0, 1.0, 40.0);
+    EXPECT_GT(p_busy, p_idle * 1.5);
+}
+
+TEST(Power, VoltageScalesQuadratically)
+{
+    GroundTruthPower gtp(bigCoefficients());
+    uarch::EventCounts e;
+    e.cycles = 1e9;
+    e.instSpec = 1'000'000'000;
+    double p1 = gtp.meanPower(e, 1.0, 1.0, 1.0, 25.0);
+    double p2 = gtp.meanPower(e, 1.0, 1.25, 1.0, 25.0);
+    // The dynamic part scales with V^2 (about 1.56x).
+    EXPECT_GT(p2, p1 * 1.4);
+    EXPECT_LT(p2, p1 * 1.7);
+}
+
+TEST(Power, LittleCoefficientsAreSmaller)
+{
+    PowerCoefficients big = bigCoefficients();
+    PowerCoefficients little = littleCoefficients();
+    EXPECT_LT(little.energyCycle, big.energyCycle);
+    EXPECT_LT(little.energyFp, big.energyFp);
+    EXPECT_LT(little.staticBase, big.staticBase);
+    // DRAM energy is a property of the DRAM, not the core.
+    EXPECT_DOUBLE_EQ(little.energyDram, big.energyDram);
+}
+
+TEST(Power, SensorNoiseShrinksWithWindow)
+{
+    PowerSensor sensor(3.8, 0.05);
+    Rng rng(7);
+    double spread_short = 0.0;
+    double spread_long = 0.0;
+    for (int i = 0; i < 300; ++i) {
+        spread_short +=
+            std::fabs(sensor.measure(1.0, 0.5, rng) - 1.0);
+        spread_long +=
+            std::fabs(sensor.measure(1.0, 120.0, rng) - 1.0);
+    }
+    EXPECT_LT(spread_long, spread_short * 0.5);
+}
+
+TEST(Thermal, SteadyStateAndTrip)
+{
+    ThermalModel thermal(24.0, 9.0, 85.0);
+    EXPECT_DOUBLE_EQ(thermal.steadyTemperature(0.0), 24.0);
+    EXPECT_DOUBLE_EQ(thermal.steadyTemperature(4.0), 60.0);
+    EXPECT_FALSE(thermal.throttles(80.0));
+    EXPECT_TRUE(thermal.throttles(90.0));
+}
+
+// ---------------------------------------------------------------------
+// Platform configuration
+// ---------------------------------------------------------------------
+
+TEST(Platform, OppTablesMatchPaper)
+{
+    const auto &little = OdroidXu3Platform::oppTable(
+        CpuCluster::LittleA7);
+    const auto &big = OdroidXu3Platform::oppTable(
+        CpuCluster::BigA15);
+    EXPECT_EQ(little.front().freqMhz, 200.0);
+    EXPECT_EQ(little.back().freqMhz, 1400.0);
+    EXPECT_EQ(big.back().freqMhz, 2000.0);  // exists but throttles
+    // Voltage rises with frequency.
+    for (std::size_t i = 1; i < big.size(); ++i)
+        EXPECT_GT(big[i].voltage, big[i - 1].voltage);
+}
+
+TEST(Platform, VoltageLookup)
+{
+    EXPECT_DOUBLE_EQ(
+        OdroidXu3Platform::voltageFor(CpuCluster::BigA15, 1000.0),
+        1.0);
+    EXPECT_EXIT(OdroidXu3Platform::voltageFor(CpuCluster::BigA15,
+                                              1234.0),
+                ::testing::ExitedWithCode(1), "no operating point");
+}
+
+TEST(Platform, TrueConfigsMatchTrm)
+{
+    uarch::ClusterConfig big = trueBigConfig();
+    EXPECT_EQ(big.core.itlb.entries, 32u);   // A15 TRM value
+    EXPECT_TRUE(big.core.unifiedL2Tlb);
+    EXPECT_EQ(big.core.l2TlbUnified.entries, 512u);
+    EXPECT_EQ(big.core.l2TlbUnified.assoc, 4u);
+    EXPECT_TRUE(big.core.l1d.writeStreaming);
+    EXPECT_EQ(big.l2.sizeBytes, 2u * 1024u * 1024u);
+
+    uarch::ClusterConfig little = trueLittleConfig();
+    EXPECT_EQ(little.l2.sizeBytes, 512u * 1024u);
+    EXPECT_LT(little.core.issueWidth, big.core.issueWidth);
+    EXPECT_GT(little.core.depStallFactor, big.core.depStallFactor);
+}
+
+// ---------------------------------------------------------------------
+// Measurement harness
+// ---------------------------------------------------------------------
+
+class PlatformMeasure : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        board = new OdroidXu3Platform(42);
+        work = &workload::Suite::byName("mi-crc32");
+    }
+    static void TearDownTestSuite()
+    {
+        delete board;
+        board = nullptr;
+    }
+    static OdroidXu3Platform *board;
+    static const workload::Workload *work;
+};
+
+OdroidXu3Platform *PlatformMeasure::board = nullptr;
+const workload::Workload *PlatformMeasure::work = nullptr;
+
+TEST_F(PlatformMeasure, MedianOfRepeats)
+{
+    HwMeasurement m =
+        board->measure(*work, CpuCluster::BigA15, 1000.0, 5);
+    ASSERT_EQ(m.repeatSeconds.size(), 5u);
+    std::vector<double> sorted = m.repeatSeconds;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_DOUBLE_EQ(m.execSeconds, sorted[2]);
+}
+
+TEST_F(PlatformMeasure, CapturesFullPmuSet)
+{
+    HwMeasurement m =
+        board->measure(*work, CpuCluster::BigA15, 1000.0, 1);
+    EXPECT_EQ(m.pmc.size(), PmuEventTable::events().size());
+    EXPECT_GT(m.pmcValue(0x08), 100000.0);
+    EXPECT_GT(m.pmcValue(0x11), m.pmcValue(0x08) * 0.2);
+    EXPECT_GT(m.powerWatts, 0.05);
+    EXPECT_GT(m.temperatureC, 20.0);
+}
+
+TEST_F(PlatformMeasure, DeterministicForSameSeed)
+{
+    OdroidXu3Platform a(99);
+    OdroidXu3Platform b(99);
+    HwMeasurement ma =
+        a.measure(*work, CpuCluster::BigA15, 1400.0, 3);
+    HwMeasurement mb =
+        b.measure(*work, CpuCluster::BigA15, 1400.0, 3);
+    EXPECT_DOUBLE_EQ(ma.execSeconds, mb.execSeconds);
+    EXPECT_DOUBLE_EQ(ma.powerWatts, mb.powerWatts);
+    EXPECT_DOUBLE_EQ(ma.pmcValue(0x11), mb.pmcValue(0x11));
+}
+
+TEST_F(PlatformMeasure, HigherFrequencyFasterAndHotter)
+{
+    HwMeasurement slow =
+        board->measure(*work, CpuCluster::BigA15, 600.0, 1);
+    HwMeasurement fast =
+        board->measure(*work, CpuCluster::BigA15, 1800.0, 1);
+    EXPECT_GT(slow.execSeconds, fast.execSeconds);
+    EXPECT_GT(fast.powerWatts, slow.powerWatts);
+    EXPECT_GT(fast.temperatureC, slow.temperatureC);
+    EXPECT_DOUBLE_EQ(fast.voltage, 1.25);
+}
+
+TEST_F(PlatformMeasure, ThermalThrottleAtTwoGigahertz)
+{
+    // The paper had to cap the A15 at 1.8 GHz because 2 GHz
+    // throttled. A sustained heavy workload reproduces this.
+    const workload::Workload &heavy =
+        workload::Suite::byName("parsec-streamcluster-4");
+    HwMeasurement m =
+        board->measure(heavy, CpuCluster::BigA15, 2000.0, 1);
+    EXPECT_TRUE(m.throttled);
+}
+
+TEST_F(PlatformMeasure, LittleClusterSlowerAndCooler)
+{
+    HwMeasurement big =
+        board->measure(*work, CpuCluster::BigA15, 1000.0, 1);
+    HwMeasurement little =
+        board->measure(*work, CpuCluster::LittleA7, 1000.0, 1);
+    EXPECT_GT(little.execSeconds, big.execSeconds);
+    EXPECT_LT(little.powerWatts, big.powerWatts);
+}
+
+TEST_F(PlatformMeasure, BoardVariationChangesPowerOnly)
+{
+    OdroidXu3Platform reference(1234, 0.0);
+    OdroidXu3Platform other(1234, 0.10);
+    HwMeasurement ma =
+        reference.measure(*work, CpuCluster::BigA15, 1000.0, 1);
+    HwMeasurement mb =
+        other.measure(*work, CpuCluster::BigA15, 1000.0, 1);
+    // Timing and events are properties of the silicon design...
+    EXPECT_DOUBLE_EQ(ma.pmcValue(0x08), mb.pmcValue(0x08));
+    // ...but the power characteristics differ between boards.
+    EXPECT_NE(ma.powerWatts, mb.powerWatts);
+}
+
+TEST_F(PlatformMeasure, GroundTruthMatchesPmcScale)
+{
+    HwMeasurement m =
+        board->measure(*work, CpuCluster::BigA15, 1000.0, 1);
+    // The noisy PMC value sits within a percent of the ground truth.
+    EXPECT_NEAR(m.pmcValue(0x08),
+                static_cast<double>(m.groundTruth.instructions),
+                m.pmcValue(0x08) * 0.02);
+}

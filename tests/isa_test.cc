@@ -1,0 +1,618 @@
+/**
+ * @file
+ * Unit tests for the ISA: builder, memory, executor semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "isa/executor.hh"
+#include "isa/memory.hh"
+#include "isa/program.hh"
+
+using namespace gemstone;
+using namespace gemstone::isa;
+
+namespace {
+
+/** Run a program on one thread and return the final state. */
+CpuState
+runProgram(const Program &program, Memory &memory)
+{
+    ExclusiveMonitor monitor;
+    ExecContext context{&memory, &monitor, 0};
+    CpuState state;
+    state.reset(0);
+    runToHalt(state, program, context, 1 << 20);
+    return state;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Opcode classification
+// ---------------------------------------------------------------------
+
+TEST(Inst, OpClassMapping)
+{
+    EXPECT_EQ(opClassOf(Opcode::Add), OpClass::IntAlu);
+    EXPECT_EQ(opClassOf(Opcode::Mul), OpClass::IntMul);
+    EXPECT_EQ(opClassOf(Opcode::Div), OpClass::IntDiv);
+    EXPECT_EQ(opClassOf(Opcode::Fadd), OpClass::FpAlu);
+    EXPECT_EQ(opClassOf(Opcode::Fdiv), OpClass::FpDiv);
+    EXPECT_EQ(opClassOf(Opcode::Vadd), OpClass::SimdAlu);
+    EXPECT_EQ(opClassOf(Opcode::Ldr), OpClass::Load);
+    EXPECT_EQ(opClassOf(Opcode::Fldr), OpClass::Load);
+    EXPECT_EQ(opClassOf(Opcode::Str), OpClass::Store);
+    EXPECT_EQ(opClassOf(Opcode::Fstr), OpClass::Store);
+    EXPECT_EQ(opClassOf(Opcode::Beq), OpClass::Branch);
+    EXPECT_EQ(opClassOf(Opcode::Ldrex), OpClass::Sync);
+    EXPECT_EQ(opClassOf(Opcode::Dmb), OpClass::Sync);
+    EXPECT_EQ(opClassOf(Opcode::Halt), OpClass::Halt);
+}
+
+TEST(Inst, Predicates)
+{
+    EXPECT_TRUE(isMemOp(Opcode::Ldr));
+    EXPECT_TRUE(isMemOp(Opcode::Strex));
+    EXPECT_FALSE(isMemOp(Opcode::Add));
+    EXPECT_TRUE(isBranchOp(Opcode::Bl));
+    EXPECT_TRUE(isCondBranch(Opcode::Blt));
+    EXPECT_FALSE(isCondBranch(Opcode::B));
+    EXPECT_TRUE(isIndirectBranch(Opcode::Ret));
+    EXPECT_TRUE(isIndirectBranch(Opcode::Bidx));
+    EXPECT_FALSE(isIndirectBranch(Opcode::Bl));
+}
+
+TEST(Inst, MnemonicsDistinct)
+{
+    EXPECT_EQ(mnemonic(Opcode::Fsqrt), "fsqrt");
+    EXPECT_EQ(mnemonic(Opcode::Strex), "strex");
+    EXPECT_NE(mnemonic(Opcode::Ldr), mnemonic(Opcode::Ldrb));
+}
+
+// ---------------------------------------------------------------------
+// Memory
+// ---------------------------------------------------------------------
+
+TEST(Memory, RoundsUpToPowerOfTwo)
+{
+    Memory m(3000);
+    EXPECT_EQ(m.size(), 4096u);
+}
+
+TEST(Memory, ReadWriteRoundTrip)
+{
+    Memory m(4096);
+    m.write64(128, 0x0123456789abcdefULL);
+    EXPECT_EQ(m.read64(128), 0x0123456789abcdefULL);
+    m.write(5, 0xff, 1);
+    EXPECT_EQ(m.read(5, 1), 0xffu);
+}
+
+TEST(Memory, LittleEndianLayout)
+{
+    Memory m(4096);
+    m.write64(0, 0x1122334455667788ULL);
+    EXPECT_EQ(m.read(0, 1), 0x88u);
+    EXPECT_EQ(m.read(7, 1), 0x11u);
+}
+
+TEST(Memory, AddressWraps)
+{
+    Memory m(4096);
+    m.write64(4096 + 8, 77);  // wraps to address 8
+    EXPECT_EQ(m.read64(8), 77u);
+}
+
+TEST(Memory, ClearZeroes)
+{
+    Memory m(4096);
+    m.write64(0, 1);
+    m.clear();
+    EXPECT_EQ(m.read64(0), 0u);
+}
+
+TEST(ExclusiveMonitorTest, ReserveAndStore)
+{
+    ExclusiveMonitor monitor;
+    monitor.setReservation(0, 64);
+    EXPECT_TRUE(monitor.holds(0));
+    EXPECT_TRUE(monitor.tryStore(0, 64));
+    EXPECT_FALSE(monitor.holds(0));
+    // Reservation consumed: second store fails.
+    EXPECT_FALSE(monitor.tryStore(0, 64));
+}
+
+TEST(ExclusiveMonitorTest, WrongAddressFails)
+{
+    ExclusiveMonitor monitor;
+    monitor.setReservation(0, 64);
+    EXPECT_FALSE(monitor.tryStore(0, 128));
+}
+
+TEST(ExclusiveMonitorTest, RemoteStoreInvalidates)
+{
+    ExclusiveMonitor monitor;
+    monitor.setReservation(0, 64);
+    monitor.observeStore(1, 64);  // another thread stores
+    EXPECT_FALSE(monitor.tryStore(0, 64));
+}
+
+TEST(ExclusiveMonitorTest, SuccessfulStrexInvalidatesOthers)
+{
+    ExclusiveMonitor monitor;
+    monitor.setReservation(0, 64);
+    monitor.setReservation(1, 64);
+    EXPECT_TRUE(monitor.tryStore(0, 64));
+    EXPECT_FALSE(monitor.tryStore(1, 64));
+}
+
+TEST(ExclusiveMonitorTest, UnrelatedAddressKeepsReservation)
+{
+    ExclusiveMonitor monitor;
+    monitor.setReservation(0, 64);
+    monitor.observeStore(1, 4096);
+    EXPECT_TRUE(monitor.tryStore(0, 64));
+}
+
+// ---------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------
+
+TEST(Builder, ForwardLabelResolution)
+{
+    ProgramBuilder b("fwd");
+    b.b("end");
+    b.movi(0, 99);  // skipped
+    b.label("end");
+    b.halt();
+    Program p = b.build();
+    EXPECT_EQ(p.code[0].target, 2u);
+}
+
+TEST(Builder, UndefinedLabelPanics)
+{
+    ProgramBuilder b("bad");
+    b.b("nowhere");
+    b.halt();
+    EXPECT_DEATH(b.build(), "undefined label");
+}
+
+TEST(Builder, DuplicateLabelPanics)
+{
+    ProgramBuilder b("dup");
+    b.label("x");
+    b.nop();
+    EXPECT_DEATH(b.label("x"), "duplicate label");
+}
+
+TEST(Builder, EmptyProgramPanics)
+{
+    ProgramBuilder b("empty");
+    EXPECT_DEATH(b.build(), "empty program");
+}
+
+TEST(Builder, StaticMixSums)
+{
+    ProgramBuilder b("mix");
+    b.movi(0, 1);
+    b.fadd(0, 0, 0);
+    b.ldr(1, 0, 0);
+    b.halt();
+    Program p = b.build();
+    auto mix = p.staticMix();
+    double total = 0.0;
+    for (const auto &[cls, fraction] : mix)
+        total += fraction;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+    EXPECT_NEAR(mix[OpClass::FpAlu], 0.25, 1e-12);
+}
+
+// ---------------------------------------------------------------------
+// Executor: integer and FP semantics
+// ---------------------------------------------------------------------
+
+TEST(Executor, IntegerAluOps)
+{
+    ProgramBuilder b("alu");
+    b.movi(1, 12);
+    b.movi(2, 5);
+    b.add(3, 1, 2);    // 17
+    b.sub(4, 1, 2);    // 7
+    b.andr(5, 1, 2);   // 4
+    b.orr(6, 1, 2);    // 13
+    b.eor(7, 1, 2);    // 9
+    b.lsl(8, 2, 3);    // 40
+    b.lsr(9, 1, 2);    // 3
+    b.mul(10, 1, 2);   // 60
+    b.divr(11, 1, 2);  // 2
+    b.halt();
+    Memory m(4096);
+    CpuState s = runProgram(b.build(), m);
+    EXPECT_EQ(s.intRegs[3], 17);
+    EXPECT_EQ(s.intRegs[4], 7);
+    EXPECT_EQ(s.intRegs[5], 4);
+    EXPECT_EQ(s.intRegs[6], 13);
+    EXPECT_EQ(s.intRegs[7], 9);
+    EXPECT_EQ(s.intRegs[8], 40);
+    EXPECT_EQ(s.intRegs[9], 3);
+    EXPECT_EQ(s.intRegs[10], 60);
+    EXPECT_EQ(s.intRegs[11], 2);
+}
+
+TEST(Executor, DivisionByZeroYieldsZero)
+{
+    ProgramBuilder b("div0");
+    b.movi(1, 10);
+    b.movi(2, 0);
+    b.divr(3, 1, 2);
+    b.halt();
+    Memory m(4096);
+    CpuState s = runProgram(b.build(), m);
+    EXPECT_EQ(s.intRegs[3], 0);
+}
+
+TEST(Executor, AsrIsArithmetic)
+{
+    ProgramBuilder b("asr");
+    b.movi(1, -8);
+    b.asr(2, 1, 1);
+    b.lsr(3, 1, 1);
+    b.halt();
+    Memory m(4096);
+    CpuState s = runProgram(b.build(), m);
+    EXPECT_EQ(s.intRegs[2], -4);
+    EXPECT_GT(s.intRegs[3], 0);  // logical shift clears the sign
+}
+
+TEST(Executor, CompareOps)
+{
+    ProgramBuilder b("cmp");
+    b.movi(1, 3);
+    b.movi(2, 5);
+    b.cmplt(3, 1, 2);  // 1
+    b.cmplt(4, 2, 1);  // 0
+    b.cmpeq(5, 1, 1);  // 1
+    b.cmpeq(6, 1, 2);  // 0
+    b.halt();
+    Memory m(4096);
+    CpuState s = runProgram(b.build(), m);
+    EXPECT_EQ(s.intRegs[3], 1);
+    EXPECT_EQ(s.intRegs[4], 0);
+    EXPECT_EQ(s.intRegs[5], 1);
+    EXPECT_EQ(s.intRegs[6], 0);
+}
+
+TEST(Executor, FpArithmetic)
+{
+    ProgramBuilder b("fp");
+    b.fmovi(0, 2.0);
+    b.fmovi(1, 0.5);
+    b.fadd(2, 0, 1);   // 2.5
+    b.fsub(3, 0, 1);   // 1.5
+    b.fmul(4, 0, 1);   // 1.0
+    b.fdiv(5, 0, 1);   // 4.0
+    b.fsqrt(6, 0);     // sqrt(2)
+    b.halt();
+    Memory m(4096);
+    CpuState s = runProgram(b.build(), m);
+    EXPECT_DOUBLE_EQ(s.fpRegs[2], 2.5);
+    EXPECT_DOUBLE_EQ(s.fpRegs[3], 1.5);
+    EXPECT_DOUBLE_EQ(s.fpRegs[4], 1.0);
+    EXPECT_DOUBLE_EQ(s.fpRegs[5], 4.0);
+    EXPECT_NEAR(s.fpRegs[6], std::sqrt(2.0), 1e-15);
+}
+
+TEST(Executor, FpDivisionByZeroYieldsZero)
+{
+    ProgramBuilder b("fdiv0");
+    b.fmovi(0, 1.0);
+    b.fmovi(1, 0.0);
+    b.fdiv(2, 0, 1);
+    b.fsqrt(3, 1);
+    b.halt();
+    Memory m(4096);
+    CpuState s = runProgram(b.build(), m);
+    EXPECT_DOUBLE_EQ(s.fpRegs[2], 0.0);
+    EXPECT_DOUBLE_EQ(s.fpRegs[3], 0.0);
+}
+
+TEST(Executor, Conversions)
+{
+    ProgramBuilder b("cvt");
+    b.movi(1, 7);
+    b.fcvt(0, 1);      // f0 = 7.0
+    b.fmovi(1, 3.9);
+    b.ficvt(2, 1);     // r2 = 3 (truncation)
+    b.halt();
+    Memory m(4096);
+    CpuState s = runProgram(b.build(), m);
+    EXPECT_DOUBLE_EQ(s.fpRegs[0], 7.0);
+    EXPECT_EQ(s.intRegs[2], 3);
+}
+
+TEST(Executor, SimdPairSemantics)
+{
+    ProgramBuilder b("simd");
+    b.fmovi(0, 1.0);
+    b.fmovi(1, 2.0);
+    b.fmovi(2, 10.0);
+    b.fmovi(3, 20.0);
+    b.vadd(4, 0, 2);   // f4 = 11, f5 = 22
+    b.vmul(6, 0, 2);   // f6 = 10, f7 = 40
+    b.halt();
+    Memory m(4096);
+    CpuState s = runProgram(b.build(), m);
+    EXPECT_DOUBLE_EQ(s.fpRegs[4], 11.0);
+    EXPECT_DOUBLE_EQ(s.fpRegs[5], 22.0);
+    EXPECT_DOUBLE_EQ(s.fpRegs[6], 10.0);
+    EXPECT_DOUBLE_EQ(s.fpRegs[7], 40.0);
+}
+
+// ---------------------------------------------------------------------
+// Executor: memory operations
+// ---------------------------------------------------------------------
+
+TEST(Executor, LoadStoreRoundTrip)
+{
+    ProgramBuilder b("mem");
+    b.movi(1, 0xdead);
+    b.movi(2, 256);
+    b.str(1, 2, 0);
+    b.ldr(3, 2, 0);
+    b.halt();
+    Memory m(4096);
+    CpuState s = runProgram(b.build(), m);
+    EXPECT_EQ(s.intRegs[3], 0xdead);
+    EXPECT_EQ(m.read64(256), 0xdeadu);
+}
+
+TEST(Executor, ByteOps)
+{
+    ProgramBuilder b("byte");
+    b.movi(1, 0x1FF);   // > 1 byte
+    b.movi(2, 100);
+    b.strb(1, 2, 0);    // stores 0xFF
+    b.ldrb(3, 2, 0);
+    b.halt();
+    Memory m(4096);
+    CpuState s = runProgram(b.build(), m);
+    EXPECT_EQ(s.intRegs[3], 0xFF);
+}
+
+TEST(Executor, DisplacementAddressing)
+{
+    ProgramBuilder b("disp");
+    b.movi(1, 41);
+    b.movi(2, 200);
+    b.str(1, 2, 56);
+    b.ldr(3, 2, 56);
+    b.halt();
+    Memory m(4096);
+    CpuState s = runProgram(b.build(), m);
+    EXPECT_EQ(s.intRegs[3], 41);
+    EXPECT_EQ(m.read64(256), 41u);
+}
+
+TEST(Executor, FpLoadStorePreservesBits)
+{
+    ProgramBuilder b("fmem");
+    b.fmovi(0, 3.141592653589793);
+    b.movi(1, 512);
+    b.fstr(0, 1, 0);
+    b.fldr(2, 1, 0);
+    b.halt();
+    Memory m(4096);
+    CpuState s = runProgram(b.build(), m);
+    EXPECT_DOUBLE_EQ(s.fpRegs[2], 3.141592653589793);
+}
+
+TEST(Executor, UnalignedFlagged)
+{
+    ProgramBuilder b("unaligned");
+    b.movi(1, 3);
+    b.ldr(2, 1, 0);
+    b.halt();
+    Program p = b.build();
+    Memory m(4096);
+    ExclusiveMonitor monitor;
+    ExecContext context{&m, &monitor, 0};
+    CpuState s;
+    s.reset(0);
+    step(s, p, context);                       // movi
+    StepResult sr = step(s, p, context);       // ldr
+    EXPECT_TRUE(sr.isMem);
+    EXPECT_TRUE(sr.unaligned);
+    EXPECT_EQ(sr.memAddr, 3u);
+}
+
+// ---------------------------------------------------------------------
+// Executor: control flow
+// ---------------------------------------------------------------------
+
+TEST(Executor, CountedLoopExecutesExactly)
+{
+    ProgramBuilder b("loop");
+    b.movi(1, 10);
+    b.movi(2, 0);
+    b.label("top");
+    b.addi(2, 2, 1);
+    b.subi(1, 1, 1);
+    b.bne(1, "top");
+    b.halt();
+    Memory m(4096);
+    CpuState s = runProgram(b.build(), m);
+    EXPECT_EQ(s.intRegs[2], 10);
+}
+
+TEST(Executor, ConditionalVariants)
+{
+    ProgramBuilder b("cond");
+    b.movi(1, -5);
+    b.movi(2, 0);
+    b.blt(1, "neg");
+    b.movi(2, 111);  // skipped
+    b.label("neg");
+    b.movi(3, 0);
+    b.bge(3, "ge");
+    b.movi(2, 222);  // skipped (0 >= 0 taken)
+    b.label("ge");
+    b.movi(4, 7);
+    b.beq(4, "never");
+    b.movi(5, 33);   // executed: r4 != 0
+    b.label("never");
+    b.halt();
+    Memory m(4096);
+    CpuState s = runProgram(b.build(), m);
+    EXPECT_EQ(s.intRegs[2], 0);
+    EXPECT_EQ(s.intRegs[5], 33);
+}
+
+TEST(Executor, CallAndReturn)
+{
+    ProgramBuilder b("call");
+    b.movi(1, 0);
+    b.bl("func");
+    b.addi(1, 1, 100);  // after return
+    b.halt();
+    b.label("func");
+    b.addi(1, 1, 1);
+    b.ret();
+    Memory m(4096);
+    CpuState s = runProgram(b.build(), m);
+    EXPECT_EQ(s.intRegs[1], 101);
+}
+
+TEST(Executor, IndirectBranchViaRegister)
+{
+    ProgramBuilder b("bidx");
+    b.movi(1, 4);   // index of the target instruction
+    b.bidx(1);
+    b.movi(2, 1);   // skipped
+    b.halt();       // skipped
+    b.movi(2, 42);  // index 4: landed here
+    b.halt();
+    Memory m(4096);
+    CpuState s = runProgram(b.build(), m);
+    EXPECT_EQ(s.intRegs[2], 42);
+}
+
+TEST(Executor, StepResultBranchMetadata)
+{
+    ProgramBuilder b("meta");
+    b.movi(1, 0);
+    b.beq(1, "t");
+    b.label("t");
+    b.halt();
+    Program p = b.build();
+    Memory m(4096);
+    ExclusiveMonitor monitor;
+    ExecContext context{&m, &monitor, 0};
+    CpuState s;
+    s.reset(0);
+    step(s, p, context);
+    StepResult sr = step(s, p, context);
+    EXPECT_TRUE(sr.isBranch);
+    EXPECT_TRUE(sr.isCond);
+    EXPECT_TRUE(sr.taken);
+    EXPECT_EQ(sr.branchTarget, 2u);
+}
+
+// ---------------------------------------------------------------------
+// Executor: synchronisation
+// ---------------------------------------------------------------------
+
+TEST(Executor, LdrexStrexSuccess)
+{
+    ProgramBuilder b("lock");
+    b.movi(1, 128);
+    b.ldrex(2, 1);
+    b.addi(2, 2, 1);
+    b.strex(3, 2, 1);  // r3 = 0 on success
+    b.halt();
+    Memory m(4096);
+    m.write64(128, 41);
+    ExclusiveMonitor monitor;
+    ExecContext context{&m, &monitor, 0};
+    CpuState s;
+    s.reset(0);
+    runToHalt(s, b.build(), context);
+    EXPECT_EQ(s.intRegs[3], 0);
+    EXPECT_EQ(m.read64(128), 42u);
+}
+
+TEST(Executor, StrexFailsAfterInterveningStore)
+{
+    ProgramBuilder b("fail");
+    b.movi(1, 128);
+    b.ldrex(2, 1);
+    b.movi(4, 9);
+    b.str(4, 1, 0);    // plain store to the same address
+    b.strex(3, 2, 1);  // must fail: r3 = 1
+    b.halt();
+    Memory m(4096);
+    ExclusiveMonitor monitor;
+    ExecContext context{&m, &monitor, 0};
+    CpuState s;
+    s.reset(0);
+    runToHalt(s, b.build(), context);
+    EXPECT_EQ(s.intRegs[3], 1);
+    EXPECT_EQ(m.read64(128), 9u);  // failed strex wrote nothing
+}
+
+TEST(Executor, BarrierFlags)
+{
+    ProgramBuilder b("dmb");
+    b.dmb();
+    b.isb();
+    b.halt();
+    Program p = b.build();
+    Memory m(4096);
+    ExclusiveMonitor monitor;
+    ExecContext context{&m, &monitor, 0};
+    CpuState s;
+    s.reset(0);
+    StepResult first = step(s, p, context);
+    StepResult second = step(s, p, context);
+    EXPECT_TRUE(first.isBarrier);
+    EXPECT_TRUE(second.isBarrier);
+}
+
+TEST(Executor, ThreadIdRegisterSet)
+{
+    CpuState s;
+    s.reset(3);
+    EXPECT_EQ(s.intRegs[threadIdReg], 3);
+    EXPECT_EQ(s.pc, 0u);
+    EXPECT_FALSE(s.halted);
+}
+
+TEST(Executor, RunawayProgramPanics)
+{
+    ProgramBuilder b("spin");
+    b.label("forever");
+    b.b("forever");
+    Program p = b.build();
+    Memory m(4096);
+    ExclusiveMonitor monitor;
+    ExecContext context{&m, &monitor, 0};
+    CpuState s;
+    s.reset(0);
+    EXPECT_DEATH(runToHalt(s, p, context, 1000), "exceeded");
+}
+
+TEST(Executor, SteppingHaltedThreadPanics)
+{
+    ProgramBuilder b("halted");
+    b.halt();
+    Program p = b.build();
+    Memory m(4096);
+    ExclusiveMonitor monitor;
+    ExecContext context{&m, &monitor, 0};
+    CpuState s;
+    s.reset(0);
+    step(s, p, context);
+    EXPECT_DEATH(step(s, p, context), "halted");
+}

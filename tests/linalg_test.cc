@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Unit tests for the dense linear algebra kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/matrix.hh"
+#include "util/random.hh"
+
+using namespace gemstone;
+using linalg::Matrix;
+
+TEST(Matrix, ConstructZeroed)
+{
+    Matrix m(2, 3);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_EQ(m.at(r, c), 0.0);
+}
+
+TEST(Matrix, FromRowsAndTranspose)
+{
+    Matrix m = Matrix::fromRows({{1, 2, 3}, {4, 5, 6}});
+    Matrix t = m.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_EQ(t.at(2, 1), 6.0);
+    EXPECT_EQ(t.at(0, 0), 1.0);
+}
+
+TEST(Matrix, RaggedRowsPanic)
+{
+    EXPECT_DEATH(Matrix::fromRows({{1, 2}, {3}}), "ragged");
+}
+
+TEST(Matrix, OutOfRangePanics)
+{
+    Matrix m(2, 2);
+    EXPECT_DEATH(m.at(2, 0), "out of range");
+}
+
+TEST(Matrix, IdentityMultiply)
+{
+    Matrix m = Matrix::fromRows({{1, 2}, {3, 4}});
+    Matrix i = Matrix::identity(2);
+    Matrix p = m.multiply(i);
+    EXPECT_EQ(p.at(0, 0), 1.0);
+    EXPECT_EQ(p.at(1, 1), 4.0);
+}
+
+TEST(Matrix, ProductKnown)
+{
+    Matrix a = Matrix::fromRows({{1, 2}, {3, 4}});
+    Matrix b = Matrix::fromRows({{5, 6}, {7, 8}});
+    Matrix p = a.multiply(b);
+    EXPECT_EQ(p.at(0, 0), 19.0);
+    EXPECT_EQ(p.at(0, 1), 22.0);
+    EXPECT_EQ(p.at(1, 0), 43.0);
+    EXPECT_EQ(p.at(1, 1), 50.0);
+}
+
+TEST(Matrix, ShapeMismatchPanics)
+{
+    Matrix a(2, 3);
+    Matrix b(2, 3);
+    EXPECT_DEATH(a.multiply(b), "shape mismatch");
+}
+
+TEST(Matrix, MatrixVector)
+{
+    Matrix a = Matrix::fromRows({{1, 0, 2}, {0, 3, 0}});
+    std::vector<double> v = {1, 2, 3};
+    std::vector<double> out = a.multiply(v);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], 7.0);
+    EXPECT_EQ(out[1], 6.0);
+}
+
+TEST(Matrix, GramEqualsTransposeTimesSelf)
+{
+    Matrix a = Matrix::fromRows({{1, 2}, {3, 4}, {5, 6}});
+    Matrix g = a.gram();
+    Matrix ref = a.transposed().multiply(a);
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 2; ++c)
+            EXPECT_DOUBLE_EQ(g.at(r, c), ref.at(r, c));
+}
+
+TEST(Matrix, TransposeMultiply)
+{
+    Matrix a = Matrix::fromRows({{1, 2}, {3, 4}, {5, 6}});
+    std::vector<double> v = {1, 1, 1};
+    std::vector<double> out = a.transposeMultiply(v);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], 9.0);
+    EXPECT_EQ(out[1], 12.0);
+}
+
+TEST(Matrix, ColumnRoundTrip)
+{
+    Matrix m(3, 2);
+    m.setColumn(1, {7, 8, 9});
+    std::vector<double> col = m.column(1);
+    EXPECT_EQ(col[0], 7.0);
+    EXPECT_EQ(col[2], 9.0);
+    EXPECT_EQ(m.column(0)[0], 0.0);
+}
+
+TEST(Cholesky, FactorKnownSpd)
+{
+    // A = [[4, 2], [2, 3]] has L = [[2, 0], [1, sqrt(2)]].
+    Matrix a = Matrix::fromRows({{4, 2}, {2, 3}});
+    Matrix l;
+    ASSERT_TRUE(linalg::choleskyFactor(a, l));
+    EXPECT_DOUBLE_EQ(l.at(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(l.at(1, 0), 1.0);
+    EXPECT_NEAR(l.at(1, 1), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefinite)
+{
+    Matrix a = Matrix::fromRows({{1, 2}, {2, 1}});  // eigenvalue -1
+    Matrix l;
+    EXPECT_FALSE(linalg::choleskyFactor(a, l));
+}
+
+TEST(Cholesky, SolveKnownSystem)
+{
+    Matrix a = Matrix::fromRows({{4, 2}, {2, 3}});
+    Matrix l;
+    ASSERT_TRUE(linalg::choleskyFactor(a, l));
+    // A x = [8, 7] -> x = [1.25, 1.5].
+    std::vector<double> x = linalg::choleskySolve(l, {8, 7});
+    EXPECT_NEAR(x[0], 1.25, 1e-12);
+    EXPECT_NEAR(x[1], 1.5, 1e-12);
+}
+
+TEST(Cholesky, InvertSpd)
+{
+    Matrix a = Matrix::fromRows({{2, 1}, {1, 2}});
+    Matrix inv;
+    ASSERT_TRUE(linalg::invertSpd(a, inv));
+    Matrix prod = a.multiply(inv);
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 2; ++c)
+            EXPECT_NEAR(prod.at(r, c), r == c ? 1.0 : 0.0, 1e-12);
+}
+
+TEST(LeastSquares, ExactSquareSystem)
+{
+    Matrix x = Matrix::fromRows({{1, 0}, {0, 1}});
+    std::vector<double> beta;
+    ASSERT_TRUE(linalg::leastSquaresQr(x, {3, -2}, beta));
+    EXPECT_NEAR(beta[0], 3.0, 1e-12);
+    EXPECT_NEAR(beta[1], -2.0, 1e-12);
+}
+
+TEST(LeastSquares, OverdeterminedRecoversTruth)
+{
+    // y = 2 + 3 x over a grid, with an intercept column.
+    constexpr int n = 50;
+    Matrix x(n, 2);
+    std::vector<double> y(n);
+    for (int i = 0; i < n; ++i) {
+        double t = i * 0.1;
+        x.at(i, 0) = 1.0;
+        x.at(i, 1) = t;
+        y[i] = 2.0 + 3.0 * t;
+    }
+    std::vector<double> beta;
+    ASSERT_TRUE(linalg::leastSquaresQr(x, y, beta));
+    EXPECT_NEAR(beta[0], 2.0, 1e-9);
+    EXPECT_NEAR(beta[1], 3.0, 1e-9);
+}
+
+TEST(LeastSquares, NoisyRecovery)
+{
+    Rng rng(5);
+    constexpr int n = 400;
+    Matrix x(n, 3);
+    std::vector<double> y(n);
+    for (int i = 0; i < n; ++i) {
+        double a = rng.gaussian();
+        double b = rng.gaussian();
+        x.at(i, 0) = 1.0;
+        x.at(i, 1) = a;
+        x.at(i, 2) = b;
+        y[i] = 1.0 - 2.0 * a + 0.5 * b + 0.01 * rng.gaussian();
+    }
+    std::vector<double> beta;
+    ASSERT_TRUE(linalg::leastSquaresQr(x, y, beta));
+    EXPECT_NEAR(beta[0], 1.0, 0.01);
+    EXPECT_NEAR(beta[1], -2.0, 0.01);
+    EXPECT_NEAR(beta[2], 0.5, 0.01);
+}
+
+TEST(LeastSquares, DetectsRankDeficiency)
+{
+    // Second column is a copy of the first.
+    Matrix x = Matrix::fromRows({{1, 1}, {2, 2}, {3, 3}});
+    std::vector<double> beta;
+    EXPECT_FALSE(linalg::leastSquaresQr(x, {1, 2, 3}, beta));
+}
+
+TEST(LeastSquares, UnderdeterminedRejected)
+{
+    Matrix x(1, 2);
+    x.at(0, 0) = 1.0;
+    x.at(0, 1) = 2.0;
+    std::vector<double> beta;
+    EXPECT_FALSE(linalg::leastSquaresQr(x, {1}, beta));
+}
+
+TEST(Dot, KnownValue)
+{
+    EXPECT_DOUBLE_EQ(linalg::dot({1, 2, 3}, {4, 5, 6}), 32.0);
+}
+
+TEST(Dot, MismatchPanics)
+{
+    EXPECT_DEATH(linalg::dot({1.0}, {1.0, 2.0}), "shape mismatch");
+}

@@ -1,0 +1,522 @@
+/**
+ * @file
+ * Unit and property tests for the statistics toolkit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mlstat/correlation.hh"
+#include "mlstat/descriptive.hh"
+#include "mlstat/distributions.hh"
+#include "mlstat/hca.hh"
+#include "mlstat/ols.hh"
+#include "mlstat/stepwise.hh"
+#include "util/random.hh"
+
+using namespace gemstone;
+using namespace gemstone::mlstat;
+
+// ---------------------------------------------------------------------
+// Descriptive statistics
+// ---------------------------------------------------------------------
+
+TEST(Descriptive, MeanAndStddev)
+{
+    EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.138, 1e-3);
+    EXPECT_DOUBLE_EQ(stddev({5}), 0.0);
+}
+
+TEST(Descriptive, Median)
+{
+    EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+    EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Descriptive, MinMax)
+{
+    EXPECT_DOUBLE_EQ(minValue({3, -1, 2}), -1.0);
+    EXPECT_DOUBLE_EQ(maxValue({3, -1, 2}), 3.0);
+    EXPECT_EQ(argMin({3.0, -1.0, 2.0}), 1u);
+    EXPECT_EQ(argMax({3.0, -1.0, 2.0}), 0u);
+}
+
+TEST(Descriptive, PercentErrorSignConvention)
+{
+    // Estimate above reference (overestimated execution time) must be
+    // negative, matching the paper's MPE convention.
+    EXPECT_LT(percentError(1.0, 1.5), 0.0);
+    EXPECT_GT(percentError(1.0, 0.5), 0.0);
+    EXPECT_DOUBLE_EQ(percentError(2.0, 2.0), 0.0);
+}
+
+TEST(Descriptive, PercentErrorZeroReferencePanics)
+{
+    EXPECT_DEATH(percentError(0.0, 1.0), "zero reference");
+}
+
+TEST(Descriptive, MapeGreaterEqualAbsMpe)
+{
+    std::vector<double> ref = {1, 2, 3, 4};
+    std::vector<double> est = {1.5, 1.5, 3.5, 3.8};
+    EXPECT_GE(meanAbsPercentError(ref, est),
+              std::fabs(meanPercentError(ref, est)));
+}
+
+TEST(Descriptive, MpeIdentityWhenEqual)
+{
+    std::vector<double> v = {1, 2, 3};
+    EXPECT_DOUBLE_EQ(meanPercentError(v, v), 0.0);
+    EXPECT_DOUBLE_EQ(meanAbsPercentError(v, v), 0.0);
+}
+
+TEST(Descriptive, ZscoreMoments)
+{
+    std::vector<double> z = zscore({1, 2, 3, 4, 5});
+    EXPECT_NEAR(mean(z), 0.0, 1e-12);
+    EXPECT_NEAR(stddev(z), 1.0, 1e-12);
+}
+
+TEST(Descriptive, ZscoreConstantIsZero)
+{
+    std::vector<double> z = zscore({4, 4, 4});
+    for (double v : z)
+        EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Distributions
+// ---------------------------------------------------------------------
+
+TEST(Distributions, IncompleteBetaEndpoints)
+{
+    EXPECT_DOUBLE_EQ(incompleteBeta(2, 3, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(incompleteBeta(2, 3, 1.0), 1.0);
+}
+
+TEST(Distributions, IncompleteBetaSymmetricCase)
+{
+    // I_{0.5}(a, a) = 0.5 by symmetry.
+    EXPECT_NEAR(incompleteBeta(2, 2, 0.5), 0.5, 1e-10);
+    EXPECT_NEAR(incompleteBeta(5, 5, 0.5), 0.5, 1e-10);
+}
+
+TEST(Distributions, IncompleteBetaKnownValue)
+{
+    // I_x(1, b) = 1 - (1-x)^b.
+    EXPECT_NEAR(incompleteBeta(1, 3, 0.2),
+                1.0 - std::pow(0.8, 3), 1e-10);
+}
+
+TEST(Distributions, StudentTCdfSymmetry)
+{
+    EXPECT_NEAR(studentTCdf(0.0, 10.0), 0.5, 1e-12);
+    EXPECT_NEAR(studentTCdf(1.5, 8.0) + studentTCdf(-1.5, 8.0), 1.0,
+                1e-10);
+}
+
+TEST(Distributions, StudentTKnownQuantile)
+{
+    // For df=10, P(T < 2.228) ~ 0.975 (classic t-table value).
+    EXPECT_NEAR(studentTCdf(2.228, 10.0), 0.975, 1e-3);
+}
+
+TEST(Distributions, TwoSidedPValue)
+{
+    // p-value at the 97.5% quantile is 0.05.
+    EXPECT_NEAR(twoSidedPValue(2.228, 10.0), 0.05, 1e-3);
+    EXPECT_NEAR(twoSidedPValue(0.0, 10.0), 1.0, 1e-12);
+    EXPECT_LT(twoSidedPValue(10.0, 10.0), 1e-5);
+}
+
+TEST(Distributions, NormalCdf)
+{
+    EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normalCdf(1.96), 0.975, 1e-3);
+    EXPECT_NEAR(normalCdf(-1.96), 0.025, 1e-3);
+}
+
+// ---------------------------------------------------------------------
+// Correlation
+// ---------------------------------------------------------------------
+
+TEST(Correlation, PerfectPositiveAndNegative)
+{
+    std::vector<double> x = {1, 2, 3, 4};
+    std::vector<double> y = {2, 4, 6, 8};
+    std::vector<double> z = {8, 6, 4, 2};
+    EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+    EXPECT_NEAR(pearson(x, z), -1.0, 1e-12);
+}
+
+TEST(Correlation, ConstantSeriesIsZero)
+{
+    EXPECT_DOUBLE_EQ(pearson({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(Correlation, BoundedByOne)
+{
+    Rng rng(3);
+    std::vector<double> x(100);
+    std::vector<double> y(100);
+    for (int i = 0; i < 100; ++i) {
+        x[i] = rng.gaussian();
+        y[i] = rng.gaussian();
+    }
+    double r = pearson(x, y);
+    EXPECT_LE(std::fabs(r), 1.0);
+    EXPECT_LT(std::fabs(r), 0.3);  // independent draws
+}
+
+TEST(Correlation, MatrixDiagonalIsOne)
+{
+    std::vector<std::vector<double>> series = {
+        {1, 2, 3, 4}, {4, 3, 2, 1}, {1, 3, 2, 4}};
+    linalg::Matrix r = correlationMatrix(series);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_DOUBLE_EQ(r.at(i, i), 1.0);
+    EXPECT_DOUBLE_EQ(r.at(0, 1), r.at(1, 0));
+}
+
+TEST(Correlation, CorrelateAgainst)
+{
+    std::vector<std::vector<double>> series = {{1, 2, 3}, {3, 2, 1}};
+    std::vector<double> target = {10, 20, 30};
+    auto r = correlateAgainst(series, target);
+    EXPECT_NEAR(r[0], 1.0, 1e-12);
+    EXPECT_NEAR(r[1], -1.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------
+// OLS
+// ---------------------------------------------------------------------
+
+TEST(Ols, RecoversCoefficients)
+{
+    Rng rng(23);
+    constexpr int n = 300;
+    std::vector<double> a(n);
+    std::vector<double> b(n);
+    std::vector<double> y(n);
+    for (int i = 0; i < n; ++i) {
+        a[i] = rng.gaussian();
+        b[i] = rng.gaussian();
+        y[i] = 4.0 + 1.5 * a[i] - 2.5 * b[i] +
+            0.05 * rng.gaussian();
+    }
+    OlsResult fit = fitOls({a, b}, y, true);
+    ASSERT_TRUE(fit.ok);
+    EXPECT_NEAR(fit.beta[0], 4.0, 0.02);
+    EXPECT_NEAR(fit.beta[1], 1.5, 0.02);
+    EXPECT_NEAR(fit.beta[2], -2.5, 0.02);
+    EXPECT_GT(fit.r2, 0.99);
+    EXPECT_GT(fit.adjustedR2, 0.99);
+    EXPECT_NEAR(fit.ser, 0.05, 0.01);
+}
+
+TEST(Ols, SignificantPredictorsHaveSmallPValues)
+{
+    Rng rng(29);
+    constexpr int n = 200;
+    std::vector<double> real_pred(n);
+    std::vector<double> noise_pred(n);
+    std::vector<double> y(n);
+    for (int i = 0; i < n; ++i) {
+        real_pred[i] = rng.gaussian();
+        noise_pred[i] = rng.gaussian();
+        y[i] = 3.0 * real_pred[i] + rng.gaussian();
+    }
+    OlsResult fit = fitOls({real_pred, noise_pred}, y, true);
+    ASSERT_TRUE(fit.ok);
+    EXPECT_LT(fit.pValues[1], 1e-6);   // real predictor
+    EXPECT_GT(fit.pValues[2], 0.01);   // pure noise
+}
+
+TEST(Ols, PredictMatchesFitted)
+{
+    std::vector<double> x = {1, 2, 3, 4, 5};
+    std::vector<double> y = {2, 4, 6, 8, 10};
+    OlsResult fit = fitOls({x}, y, true);
+    ASSERT_TRUE(fit.ok);
+    EXPECT_NEAR(fit.predict({6.0}), 12.0, 1e-9);
+}
+
+TEST(Ols, PredictWrongArityPanics)
+{
+    OlsResult fit = fitOls({{1, 2, 3, 4}}, {1, 2, 3, 4}, true);
+    ASSERT_TRUE(fit.ok);
+    EXPECT_DEATH(fit.predict({1.0, 2.0}), "predictors");
+}
+
+TEST(Ols, TooFewObservationsFails)
+{
+    OlsResult fit = fitOls({{1.0, 2.0}}, {1.0, 2.0}, true);
+    EXPECT_FALSE(fit.ok);
+}
+
+TEST(Ols, NoInterceptPassesThroughOrigin)
+{
+    std::vector<double> x = {1, 2, 3};
+    std::vector<double> y = {3, 6, 9};
+    OlsResult fit = fitOls({x}, y, false);
+    ASSERT_TRUE(fit.ok);
+    ASSERT_EQ(fit.beta.size(), 1u);
+    EXPECT_NEAR(fit.beta[0], 3.0, 1e-9);
+}
+
+TEST(Ols, VifDetectsCollinearity)
+{
+    Rng rng(31);
+    constexpr int n = 100;
+    std::vector<double> a(n);
+    std::vector<double> near_copy(n);
+    std::vector<double> indep(n);
+    for (int i = 0; i < n; ++i) {
+        a[i] = rng.gaussian();
+        near_copy[i] = a[i] + 0.01 * rng.gaussian();
+        indep[i] = rng.gaussian();
+    }
+    auto vif = varianceInflation({a, near_copy, indep});
+    EXPECT_GT(vif[0], 100.0);
+    EXPECT_GT(vif[1], 100.0);
+    EXPECT_LT(vif[2], 2.0);
+}
+
+TEST(Ols, VifSinglePredictorIsOne)
+{
+    auto vif = varianceInflation({{1, 2, 3}});
+    ASSERT_EQ(vif.size(), 1u);
+    EXPECT_DOUBLE_EQ(vif[0], 1.0);
+}
+
+// ---------------------------------------------------------------------
+// Stepwise selection
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::vector<Candidate>
+syntheticCandidates(Rng &rng, std::size_t pool, std::size_t n)
+{
+    std::vector<Candidate> candidates(pool);
+    for (std::size_t c = 0; c < pool; ++c) {
+        candidates[c].name = "c" + std::to_string(c);
+        candidates[c].values.resize(n);
+        for (double &v : candidates[c].values)
+            v = rng.gaussian();
+    }
+    return candidates;
+}
+
+} // namespace
+
+TEST(Stepwise, FindsTruePredictors)
+{
+    Rng rng(37);
+    constexpr std::size_t n = 120;
+    auto candidates = syntheticCandidates(rng, 30, n);
+    std::vector<double> response(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        response[i] = 2.0 * candidates[4].values[i] -
+            1.0 * candidates[17].values[i] + 0.05 * rng.gaussian();
+    }
+    StepwiseResult result = stepwiseForward(candidates, response);
+    ASSERT_GE(result.selected.size(), 2u);
+    EXPECT_EQ(result.names[0], "c4");  // strongest first
+    bool found_c17 = false;
+    for (const std::string &name : result.names)
+        found_c17 |= name == "c17";
+    EXPECT_TRUE(found_c17);
+    EXPECT_GT(result.fit.r2, 0.99);
+}
+
+TEST(Stepwise, RespectsExclusionList)
+{
+    Rng rng(41);
+    constexpr std::size_t n = 80;
+    auto candidates = syntheticCandidates(rng, 10, n);
+    std::vector<double> response(n);
+    for (std::size_t i = 0; i < n; ++i)
+        response[i] = candidates[2].values[i] + 0.1 * rng.gaussian();
+
+    StepwiseConfig config;
+    config.excluded.insert("c2");
+    StepwiseResult result =
+        stepwiseForward(candidates, response, config);
+    for (const std::string &name : result.names)
+        EXPECT_NE(name, "c2");
+}
+
+TEST(Stepwise, RespectsMaxTerms)
+{
+    Rng rng(43);
+    constexpr std::size_t n = 100;
+    auto candidates = syntheticCandidates(rng, 20, n);
+    std::vector<double> response(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t c = 0; c < 8; ++c)
+            response[i] += candidates[c].values[i];
+    }
+    StepwiseConfig config;
+    config.maxTerms = 3;
+    StepwiseResult result =
+        stepwiseForward(candidates, response, config);
+    EXPECT_LE(result.selected.size(), 3u);
+}
+
+TEST(Stepwise, R2TrajectoryMonotone)
+{
+    Rng rng(47);
+    constexpr std::size_t n = 100;
+    auto candidates = syntheticCandidates(rng, 15, n);
+    std::vector<double> response(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        response[i] = candidates[0].values[i] +
+            0.7 * candidates[5].values[i] +
+            0.4 * candidates[9].values[i] + 0.2 * rng.gaussian();
+    }
+    StepwiseResult result = stepwiseForward(candidates, response);
+    for (std::size_t i = 1; i < result.r2Trajectory.size(); ++i)
+        EXPECT_GE(result.r2Trajectory[i], result.r2Trajectory[i - 1]);
+}
+
+TEST(Stepwise, PureNoiseSelectsLittle)
+{
+    Rng rng(53);
+    constexpr std::size_t n = 100;
+    auto candidates = syntheticCandidates(rng, 20, n);
+    std::vector<double> response(n);
+    for (double &v : response)
+        v = rng.gaussian();
+    StepwiseResult result = stepwiseForward(candidates, response);
+    // The p-value stop rule should keep the model very small.
+    EXPECT_LE(result.selected.size(), 3u);
+}
+
+// ---------------------------------------------------------------------
+// HCA
+// ---------------------------------------------------------------------
+
+TEST(Hca, TwoBlobsSeparate)
+{
+    Rng rng(59);
+    std::vector<std::vector<double>> points;
+    for (int i = 0; i < 10; ++i)
+        points.push_back({rng.gaussian(0.0, 0.1),
+                          rng.gaussian(0.0, 0.1)});
+    for (int i = 0; i < 10; ++i)
+        points.push_back({rng.gaussian(10.0, 0.1),
+                          rng.gaussian(10.0, 0.1)});
+
+    HcaResult hca = agglomerate(
+        euclideanDistances(points, false), Linkage::Average);
+    std::vector<std::size_t> labels = hca.cutToClusters(2);
+    for (int i = 1; i < 10; ++i)
+        EXPECT_EQ(labels[i], labels[0]);
+    for (int i = 11; i < 20; ++i)
+        EXPECT_EQ(labels[i], labels[10]);
+    EXPECT_NE(labels[0], labels[10]);
+}
+
+TEST(Hca, LeafOrderIsPermutation)
+{
+    Rng rng(61);
+    std::vector<std::vector<double>> points;
+    for (int i = 0; i < 17; ++i)
+        points.push_back({rng.gaussian(), rng.gaussian()});
+    HcaResult hca = agglomerate(euclideanDistances(points, false));
+    std::vector<std::size_t> order = hca.leafOrder();
+    ASSERT_EQ(order.size(), 17u);
+    std::vector<bool> seen(17, false);
+    for (std::size_t leaf : order) {
+        ASSERT_LT(leaf, 17u);
+        EXPECT_FALSE(seen[leaf]);
+        seen[leaf] = true;
+    }
+}
+
+TEST(Hca, CutProducesRequestedClusterCount)
+{
+    Rng rng(67);
+    std::vector<std::vector<double>> points;
+    for (int i = 0; i < 20; ++i)
+        points.push_back({rng.gaussian(), rng.gaussian()});
+    HcaResult hca = agglomerate(euclideanDistances(points, false));
+    for (std::size_t k : {1u, 2u, 5u, 20u}) {
+        std::vector<std::size_t> labels = hca.cutToClusters(k);
+        std::set<std::size_t> distinct(labels.begin(), labels.end());
+        EXPECT_EQ(distinct.size(), k);
+        // Labels must be 1..k.
+        for (std::size_t label : distinct) {
+            EXPECT_GE(label, 1u);
+            EXPECT_LE(label, k);
+        }
+    }
+}
+
+TEST(Hca, MergeHeightsNondecreasingAverageLinkage)
+{
+    Rng rng(71);
+    std::vector<std::vector<double>> points;
+    for (int i = 0; i < 25; ++i)
+        points.push_back({rng.gaussian(), rng.gaussian(),
+                          rng.gaussian()});
+    HcaResult hca = agglomerate(euclideanDistances(points, false),
+                                Linkage::Average);
+    for (std::size_t m = 1; m < hca.merges.size(); ++m)
+        EXPECT_GE(hca.merges[m].height,
+                  hca.merges[m - 1].height - 1e-9);
+}
+
+TEST(Hca, SingleLeafTrivial)
+{
+    HcaResult hca =
+        agglomerate(euclideanDistances({{1.0, 2.0}}, false));
+    EXPECT_EQ(hca.leafCount, 1u);
+    EXPECT_TRUE(hca.merges.empty());
+    EXPECT_EQ(hca.cutToClusters(1)[0], 1u);
+}
+
+TEST(Hca, CutAtHeightExtremes)
+{
+    std::vector<std::vector<double>> points = {
+        {0.0}, {0.1}, {10.0}, {10.1}};
+    HcaResult hca = agglomerate(euclideanDistances(points, false),
+                                Linkage::Single);
+    // Below the smallest merge distance: every leaf its own cluster.
+    auto fine = hca.cutAtHeight(0.01);
+    std::set<std::size_t> fine_set(fine.begin(), fine.end());
+    EXPECT_EQ(fine_set.size(), 4u);
+    // Above the largest: one cluster.
+    auto coarse = hca.cutAtHeight(100.0);
+    std::set<std::size_t> coarse_set(coarse.begin(), coarse.end());
+    EXPECT_EQ(coarse_set.size(), 1u);
+}
+
+TEST(Hca, CorrelationDistanceIgnoresSign)
+{
+    std::vector<std::vector<double>> series = {
+        {1, 2, 3, 4}, {-1, -2, -3, -4}, {4, 1, 3, 2}};
+    linalg::Matrix d = correlationDistances(series);
+    // Perfectly anti-correlated series have distance 0 (1 - |r|).
+    EXPECT_NEAR(d.at(0, 1), 0.0, 1e-12);
+    EXPECT_GT(d.at(0, 2), 0.1);
+}
+
+TEST(Hca, CompleteVsSingleLinkage)
+{
+    // A chain of points: single linkage merges the chain cheaply,
+    // complete linkage pays the full diameter.
+    std::vector<std::vector<double>> points = {
+        {0.0}, {1.0}, {2.0}, {3.0}};
+    HcaResult single = agglomerate(
+        euclideanDistances(points, false), Linkage::Single);
+    HcaResult complete = agglomerate(
+        euclideanDistances(points, false), Linkage::Complete);
+    EXPECT_LE(single.merges.back().height,
+              complete.merges.back().height);
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests of the report generator (the full automated flow).
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "gemstone/report.hh"
+
+using namespace gemstone;
+using namespace gemstone::core;
+
+namespace {
+
+class ReportFlow : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        RunnerConfig config;
+        runner = new ExperimentRunner(config);
+        ReportConfig report_config;
+        report_config.cluster = hwsim::CpuCluster::BigA15;
+        report_config.includePower = true;
+        report_config.includeDvfs = false;  // keep the test fast
+        report = new Report(
+            generateReport(*runner, report_config));
+    }
+    static void TearDownTestSuite()
+    {
+        delete report;
+        delete runner;
+    }
+    static ExperimentRunner *runner;
+    static Report *report;
+};
+
+ExperimentRunner *ReportFlow::runner = nullptr;
+Report *ReportFlow::report = nullptr;
+
+} // namespace
+
+TEST_F(ReportFlow, ContainsEveryAnalysis)
+{
+    EXPECT_EQ(report->validation.records.size(), 45u * 4u);
+    EXPECT_EQ(report->clustering.workloads.size(), 45u);
+    EXPECT_FALSE(report->pmcCorrelation.events.empty());
+    EXPECT_FALSE(report->g5Correlation.events.empty());
+    EXPECT_FALSE(report->pmcRegression.selectedNames.empty());
+    EXPECT_FALSE(report->eventComparison.empty());
+    EXPECT_TRUE(report->hasPower);
+    EXPECT_FALSE(report->hasDvfs);
+    EXPECT_FALSE(report->powerModel.events.empty());
+}
+
+TEST_F(ReportFlow, TextRenderingMentionsKeySections)
+{
+    std::ostringstream os;
+    report->writeText(os);
+    std::string text = os.str();
+    for (const char *needle :
+         {"Execution-time error", "Workload clusters",
+          "PMC correlation", "Stepwise regression",
+          "Matched-event comparison", "Branch prediction accuracy",
+          "Power & energy", "Run-time power equations"}) {
+        EXPECT_NE(text.find(needle), std::string::npos)
+            << "missing section: " << needle;
+    }
+}
+
+TEST_F(ReportFlow, WritesArtefactFiles)
+{
+    std::string dir = std::filesystem::temp_directory_path() /
+        "gemstone-report-test";
+    std::filesystem::remove_all(dir);
+    std::size_t files = writeReportFiles(*report, dir);
+    EXPECT_GE(files, 6u);
+    for (const char *name :
+         {"report.txt", "validation.csv", "clusters.csv",
+          "pmc_correlation.csv", "event_comparison.csv",
+          "hw_pmcs.csv", "power_model.txt"}) {
+        EXPECT_TRUE(std::filesystem::exists(
+            std::filesystem::path(dir) / name))
+            << name;
+    }
+
+    // The validation CSV has one row per record plus a header.
+    std::ifstream csv(std::filesystem::path(dir) /
+                      "validation.csv");
+    std::size_t lines = 0;
+    std::string line;
+    while (std::getline(csv, line))
+        ++lines;
+    EXPECT_EQ(lines, 1u + report->validation.records.size());
+    std::filesystem::remove_all(dir);
+}
+
+TEST_F(ReportFlow, HeadlineNumbersInPaperBands)
+{
+    // The report runs all four DVFS points: the all-points error
+    // matches the paper's headline (-51% / 59%) within bands.
+    EXPECT_LT(report->validation.execMpe(), -0.30);
+    EXPECT_GT(report->validation.execMape(), 0.40);
+    EXPECT_LT(report->powerEnergy.powerMape, 0.2);
+    EXPECT_GT(report->powerEnergy.energyMape,
+              report->powerEnergy.powerMape);
+}

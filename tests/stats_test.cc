@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the gem5-style statistics framework.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/stats.hh"
+
+using namespace gemstone::stats;
+
+TEST(Stats, ScalarRegistersWithQualifiedName)
+{
+    Group root;
+    Group cpu(root, "system.cpu");
+    Scalar cycles(cpu, "numCycles", "total cycles");
+    EXPECT_EQ(cycles.name(), "system.cpu.numCycles");
+    EXPECT_EQ(cycles.desc(), "total cycles");
+}
+
+TEST(Stats, ScalarArithmetic)
+{
+    Group root;
+    Scalar s(root, "counter", "");
+    ++s;
+    s += 2.5;
+    s.inc();
+    s.inc(0.5);
+    EXPECT_DOUBLE_EQ(s.value(), 5.0);
+    s.set(10.0);
+    EXPECT_DOUBLE_EQ(s.value(), 10.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Stats, GroupHierarchyPrefixes)
+{
+    Group root;
+    Group system(root, "system");
+    Group cpu(system, "cpu");
+    Group icache(cpu, "icache");
+    Scalar misses(icache, "overall_misses", "");
+    EXPECT_EQ(misses.name(), "system.cpu.icache.overall_misses");
+}
+
+TEST(Stats, DumpCollectsWholeTree)
+{
+    Group root;
+    Group a(root, "a");
+    Group b(root, "b");
+    Scalar x(a, "x", "");
+    Scalar y(b, "y", "");
+    x.inc(3);
+    y.inc(7);
+    auto dump = root.dump();
+    ASSERT_EQ(dump.size(), 2u);
+    EXPECT_DOUBLE_EQ(dump.at("a.x"), 3.0);
+    EXPECT_DOUBLE_EQ(dump.at("b.y"), 7.0);
+}
+
+TEST(Stats, FormulaEvaluatesLazily)
+{
+    Group root;
+    Scalar hits(root, "hits", "");
+    Scalar accesses(root, "accesses", "");
+    Formula rate(root, "hit_rate", "hits per access", [&]() {
+        return hits.value() / accesses.value();
+    });
+    hits.inc(3);
+    accesses.inc(4);
+    EXPECT_DOUBLE_EQ(rate.value(), 0.75);
+    hits.inc(1);
+    EXPECT_DOUBLE_EQ(rate.value(), 1.0);
+}
+
+TEST(Stats, FormulaDivisionByZeroDumpsAsZero)
+{
+    Group root;
+    Scalar denom(root, "denom", "");
+    Formula bad(root, "bad", "", [&]() {
+        return 1.0 / denom.value();  // inf
+    });
+    auto dump = root.dump();
+    EXPECT_DOUBLE_EQ(dump.at("bad"), 0.0);  // sanitised
+}
+
+TEST(Stats, ResetAllRecurses)
+{
+    Group root;
+    Group child(root, "child");
+    Scalar a(root, "a", "");
+    Scalar b(child, "b", "");
+    a.inc(5);
+    b.inc(6);
+    root.resetAll();
+    EXPECT_DOUBLE_EQ(a.value(), 0.0);
+    EXPECT_DOUBLE_EQ(b.value(), 0.0);
+}
+
+TEST(Stats, WriteTextContainsNamesValuesDescriptions)
+{
+    Group root;
+    Group cpu(root, "cpu");
+    Scalar insts(cpu, "committedInsts", "committed instructions");
+    insts.inc(42);
+    std::ostringstream os;
+    root.writeText(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("cpu.committedInsts"), std::string::npos);
+    EXPECT_NE(text.find("42"), std::string::npos);
+    EXPECT_NE(text.find("committed instructions"),
+              std::string::npos);
+    EXPECT_NE(text.find("Begin Simulation Statistics"),
+              std::string::npos);
+}
+
+TEST(Stats, EmptyGroupNamePanics)
+{
+    Group root;
+    EXPECT_DEATH(Group(root, ""), "must not be empty");
+}

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Unit tests for the branch predictors, including the v1/v2 bug
+ * semantics the paper's Section VII hinges on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/branch.hh"
+
+using namespace gemstone::uarch;
+
+namespace {
+
+/**
+ * Drive one conditional branch at a fixed pc through a predictor with
+ * a repeating taken-pattern; returns the direction accuracy over the
+ * last `measure` iterations.
+ */
+double
+driveConditional(BranchPredictor &bp, std::uint32_t pc,
+                 const std::vector<bool> &pattern, int warmup,
+                 int measure)
+{
+    BranchInfo info;
+    info.isCond = true;
+    int correct = 0;
+    int total = warmup + measure;
+    for (int i = 0; i < total; ++i) {
+        bool taken = pattern[i % pattern.size()];
+        BranchPrediction p = bp.predict(pc, info);
+        bp.update(pc, info, taken, taken ? pc + 10 : pc + 1, p);
+        bp.recordOutcome(info, taken, taken ? pc + 10 : pc + 1, p);
+        if (i >= warmup && p.taken == taken)
+            ++correct;
+    }
+    return static_cast<double>(correct) / measure;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// TournamentBp
+// ---------------------------------------------------------------------
+
+TEST(Tournament, LearnsAlwaysTaken)
+{
+    TournamentBp bp;
+    double acc = driveConditional(bp, 100, {true}, 32, 500);
+    EXPECT_GT(acc, 0.99);
+}
+
+TEST(Tournament, LearnsAlwaysNotTaken)
+{
+    TournamentBp bp;
+    double acc = driveConditional(bp, 100, {false}, 32, 500);
+    EXPECT_GT(acc, 0.99);
+}
+
+TEST(Tournament, LearnsShortPeriodicPattern)
+{
+    TournamentBp bp;
+    // Period-4 pattern T T T N: local history nails it.
+    double acc = driveConditional(
+        bp, 100, {true, true, true, false}, 200, 1000);
+    EXPECT_GT(acc, 0.95);
+}
+
+TEST(Tournament, BtbProvidesTargets)
+{
+    TournamentBp bp;
+    BranchInfo info;  // unconditional
+    BranchPrediction cold = bp.predict(200, info);
+    EXPECT_FALSE(cold.fromBtb);
+    bp.update(200, info, true, 4242, cold);
+    BranchPrediction warm = bp.predict(200, info);
+    EXPECT_TRUE(warm.fromBtb);
+    EXPECT_EQ(warm.target, 4242u);
+    EXPECT_TRUE(warm.taken);
+}
+
+TEST(Tournament, RasPredictsNestedReturns)
+{
+    TournamentBp bp;
+    BranchInfo call;
+    call.isCall = true;
+    BranchInfo ret;
+    ret.isReturn = true;
+    ret.isIndirect = true;
+
+    // call at 10 -> call at 20 -> return to 21 -> return to 11.
+    bp.predict(10, call);
+    bp.predict(20, call);
+    BranchPrediction first = bp.predict(30, ret);
+    EXPECT_TRUE(first.usedRas);
+    EXPECT_EQ(first.target, 21u);
+    BranchPrediction second = bp.predict(40, ret);
+    EXPECT_TRUE(second.usedRas);
+    EXPECT_EQ(second.target, 11u);
+}
+
+TEST(Tournament, StatsAccuracyComputation)
+{
+    TournamentBp bp;
+    driveConditional(bp, 100, {true}, 16, 100);
+    EXPECT_GT(bp.stats().accuracy(), 0.85);
+    EXPECT_EQ(bp.stats().condLookups, 116u);
+}
+
+TEST(Tournament, ResetClearsState)
+{
+    TournamentBp bp;
+    driveConditional(bp, 100, {true}, 0, 50);
+    bp.reset();
+    EXPECT_EQ(bp.stats().lookups, 0u);
+    EXPECT_EQ(bp.stats().condIncorrect, 0u);
+}
+
+// ---------------------------------------------------------------------
+// GshareBp: version semantics
+// ---------------------------------------------------------------------
+
+TEST(Gshare, V2LearnsPeriodicPattern)
+{
+    GshareBpConfig cfg;
+    cfg.version = 2;
+    GshareBp bp(cfg);
+    double acc = driveConditional(
+        bp, 100, {true, true, true, false}, 400, 2000);
+    EXPECT_GT(acc, 0.9);
+}
+
+TEST(Gshare, V1CollapsesOnPeriodicPattern)
+{
+    // The headline bug: on a strictly periodic, rarely-taken pattern
+    // the unrepaired speculative history causes mispredict storms.
+    GshareBpConfig v1_cfg;
+    v1_cfg.version = 1;
+    GshareBp v1(v1_cfg);
+    GshareBpConfig v2_cfg;
+    v2_cfg.version = 2;
+    GshareBp v2(v2_cfg);
+
+    std::vector<bool> pattern = {false, false, false, true};
+    double acc_v1 = driveConditional(v1, 100, pattern, 400, 4000);
+    double acc_v2 = driveConditional(v2, 100, pattern, 400, 4000);
+    EXPECT_GT(acc_v2, 0.9);
+    EXPECT_LT(acc_v1, acc_v2 - 0.1);  // the storm costs >10 points
+}
+
+TEST(Gshare, V1AndV2AgreeBeforeAnyMisprediction)
+{
+    // Until the first misprediction the histories are in sync, so
+    // both versions behave identically on an always-taken branch
+    // once the BTB is warm.
+    GshareBpConfig v1_cfg;
+    v1_cfg.version = 1;
+    GshareBpConfig v2_cfg;
+    v2_cfg.version = 2;
+    GshareBp v1(v1_cfg);
+    GshareBp v2(v2_cfg);
+    double acc_v1 = driveConditional(v1, 100, {true}, 64, 1000);
+    double acc_v2 = driveConditional(v2, 100, {true}, 64, 1000);
+    EXPECT_NEAR(acc_v1, acc_v2, 0.02);
+}
+
+TEST(Gshare, DrainResyncBoundsStorms)
+{
+    // With a short drain period, even version 1 recovers.
+    GshareBpConfig stormy;
+    stormy.version = 1;
+    stormy.drainResyncPeriod = 0;
+    GshareBpConfig drained;
+    drained.version = 1;
+    drained.drainResyncPeriod = 64;
+
+    GshareBp bp_stormy(stormy);
+    GshareBp bp_drained(drained);
+    std::vector<bool> pattern = {false, false, false, true};
+    double acc_stormy =
+        driveConditional(bp_stormy, 100, pattern, 400, 4000);
+    double acc_drained =
+        driveConditional(bp_drained, 100, pattern, 400, 4000);
+    EXPECT_GT(acc_drained, acc_stormy);
+}
+
+TEST(Gshare, InvalidVersionFatals)
+{
+    GshareBpConfig cfg;
+    cfg.version = 3;
+    EXPECT_EXIT(GshareBp bp(cfg), ::testing::ExitedWithCode(1),
+                "version");
+}
+
+TEST(Gshare, RasOverflowWrapsOnSmallStack)
+{
+    GshareBpConfig cfg;
+    cfg.rasEntries = 2;  // tiny RAS
+    GshareBp bp(cfg);
+    BranchInfo call;
+    call.isCall = true;
+    BranchInfo ret;
+    ret.isReturn = true;
+    ret.isIndirect = true;
+
+    // Three nested calls overflow the 2-entry stack.
+    bp.predict(10, call);
+    bp.predict(20, call);
+    bp.predict(30, call);
+    BranchPrediction r1 = bp.predict(40, ret);
+    EXPECT_EQ(r1.target, 31u);  // innermost still correct
+    BranchPrediction r2 = bp.predict(50, ret);
+    EXPECT_EQ(r2.target, 21u);
+    // The third return's entry was overwritten by the wrap: the
+    // predictor returns a stale value (11 was lost).
+    BranchPrediction r3 = bp.predict(60, ret);
+    EXPECT_NE(r3.target, 11u);
+}
+
+TEST(Gshare, BtbColdUnconditionalPredictsNotTaken)
+{
+    GshareBp bp;
+    BranchInfo info;  // unconditional
+    BranchPrediction cold = bp.predict(77, info);
+    EXPECT_FALSE(cold.taken);  // no target available yet
+    bp.update(77, info, true, 1234, cold);
+    BranchPrediction warm = bp.predict(77, info);
+    EXPECT_TRUE(warm.taken);
+    EXPECT_EQ(warm.target, 1234u);
+}
+
+TEST(Gshare, NoisyInitFractionControlsStormSeverity)
+{
+    // After one misprediction ignites a v1 storm on an always-taken
+    // branch, the storm's severity depends on how many of the
+    // untrained counters the diverged lookups land on predict
+    // not-taken. With an all-taken init the storm is harmless; with
+    // heavy NT seeding it bites.
+    std::vector<bool> pattern(128, true);
+    pattern[0] = false;  // one igniting misprediction per cycle
+
+    GshareBpConfig clean_cfg;
+    clean_cfg.version = 1;
+    clean_cfg.noisyInitFraction = 0.0;
+    GshareBp clean(clean_cfg);
+    double acc_clean =
+        driveConditional(clean, 100, pattern, 128, 4000);
+
+    GshareBpConfig noisy_cfg;
+    noisy_cfg.version = 1;
+    noisy_cfg.noisyInitFraction = 0.45;
+    GshareBp noisy(noisy_cfg);
+    double acc_noisy =
+        driveConditional(noisy, 100, pattern, 128, 4000);
+
+    EXPECT_GT(acc_clean, 0.95);
+    EXPECT_LT(acc_noisy, acc_clean);
+}
+
+// ---------------------------------------------------------------------
+// recordOutcome bookkeeping
+// ---------------------------------------------------------------------
+
+TEST(BranchStats, OutcomeCountsAreConsistent)
+{
+    TournamentBp bp;
+    BranchInfo cond;
+    cond.isCond = true;
+    std::uint64_t branches = 400;
+    for (std::uint64_t i = 0; i < branches; ++i) {
+        bool taken = (i % 3) != 0;
+        BranchPrediction p = bp.predict(1000, cond);
+        bp.update(1000, cond, taken, taken ? 1100 : 1001, p);
+        bp.recordOutcome(cond, taken, taken ? 1100 : 1001, p);
+    }
+    const BranchStats &s = bp.stats();
+    EXPECT_EQ(s.lookups, branches);
+    EXPECT_EQ(s.condLookups, branches);
+    EXPECT_LE(s.condIncorrect, s.lookups);
+    EXPECT_LE(s.mispredicts, s.lookups);
+    EXPECT_GE(s.mispredicts, s.condIncorrect);
+    EXPECT_LE(s.predictedTakenIncorrect, s.predictedTaken);
+    EXPECT_GE(s.accuracy(), 0.0);
+    EXPECT_LE(s.accuracy(), 1.0);
+}
+
+TEST(BranchStats, IndirectMispredictTracking)
+{
+    TournamentBp bp;
+    BranchInfo ind;
+    ind.isIndirect = true;
+    // Alternate between two targets: the last-target table misses
+    // half the time.
+    for (int i = 0; i < 100; ++i) {
+        std::uint32_t target = (i % 2) ? 500 : 600;
+        BranchPrediction p = bp.predict(2000, ind);
+        bp.update(2000, ind, true, target, p);
+        bp.recordOutcome(ind, true, target, p);
+    }
+    const BranchStats &s = bp.stats();
+    EXPECT_EQ(s.indirectLookups, 100u);
+    EXPECT_GT(s.indirectMispredicts, 90u);
+}

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Unit and property tests for the cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/cache.hh"
+
+using namespace gemstone::uarch;
+
+namespace {
+
+CacheConfig
+smallConfig()
+{
+    CacheConfig cfg;
+    cfg.name = "test";
+    cfg.sizeBytes = 1024;  // 4 sets x 4 ways x 64 B
+    cfg.assoc = 4;
+    cfg.lineBytes = 64;
+    cfg.hitLatency = 2.0;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Cache, FirstAccessMissesThenHits)
+{
+    FixedLatencyMemory mem(50);
+    Cache cache(smallConfig(), &mem);
+    CacheAccessResult first = cache.access(0x100, false, false);
+    EXPECT_FALSE(first.hit);
+    CacheAccessResult second = cache.access(0x100, false, false);
+    EXPECT_TRUE(second.hit);
+    EXPECT_EQ(cache.stats().accesses, 2u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(Cache, SameLineSharesEntry)
+{
+    FixedLatencyMemory mem(50);
+    Cache cache(smallConfig(), &mem);
+    cache.access(0x100, false, false);
+    // Same 64-byte line, different offset.
+    EXPECT_TRUE(cache.access(0x13F, false, false).hit);
+    // Next line misses.
+    EXPECT_FALSE(cache.access(0x140, false, false).hit);
+}
+
+TEST(Cache, MissLatencyIncludesParent)
+{
+    FixedLatencyMemory mem(50);
+    Cache cache(smallConfig(), &mem);
+    CacheAccessResult miss = cache.access(0, false, false);
+    EXPECT_DOUBLE_EQ(miss.latency, 52.0);  // 2 (self) + 50 (parent)
+    CacheAccessResult hit = cache.access(0, false, false);
+    EXPECT_DOUBLE_EQ(hit.latency, 2.0);
+}
+
+TEST(Cache, LruEvictionOrder)
+{
+    FixedLatencyMemory mem(10);
+    Cache cache(smallConfig(), &mem);  // 4 sets, 4 ways
+    // Fill one set (set 0): line addresses that map to set 0 are
+    // multiples of 4 lines, i.e. addresses 0, 1024, 2048, ...
+    for (int way = 0; way < 4; ++way)
+        cache.access(way * 4 * 64, false, false);
+    // Touch the first line so it becomes MRU.
+    cache.access(0, false, false);
+    // A fifth line evicts the LRU line (1024), not line 0.
+    cache.access(4 * 4 * 64, false, false);
+    EXPECT_TRUE(cache.probe(0));
+    EXPECT_FALSE(cache.probe(4 * 64));
+}
+
+TEST(Cache, DirtyEvictionCountsWriteback)
+{
+    FixedLatencyMemory mem(10);
+    Cache cache(smallConfig(), &mem);
+    cache.access(0, true, false);  // allocate dirty in set 0
+    // Evict it by filling the set with 4 clean lines.
+    for (int way = 1; way <= 4; ++way)
+        cache.access(way * 4 * 64, false, false);
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+    EXPECT_GE(cache.stats().evictions, 1u);
+}
+
+TEST(Cache, CleanEvictionNoWriteback)
+{
+    FixedLatencyMemory mem(10);
+    Cache cache(smallConfig(), &mem);
+    for (int way = 0; way <= 4; ++way)
+        cache.access(way * 4 * 64, false, false);
+    EXPECT_EQ(cache.stats().writebacks, 0u);
+}
+
+TEST(Cache, WriteHitMarksDirty)
+{
+    FixedLatencyMemory mem(10);
+    Cache cache(smallConfig(), &mem);
+    cache.access(0, false, false);  // clean fill
+    cache.access(0, true, false);   // write hit dirties the line
+    for (int way = 1; way <= 4; ++way)
+        cache.access(way * 4 * 64, false, false);
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(Cache, ReadWriteCountsSplit)
+{
+    FixedLatencyMemory mem(10);
+    Cache cache(smallConfig(), &mem);
+    cache.access(0, false, false);
+    cache.access(64, true, false);
+    cache.access(0, false, false);
+    EXPECT_EQ(cache.stats().readAccesses, 2u);
+    EXPECT_EQ(cache.stats().writeAccesses, 1u);
+    EXPECT_EQ(cache.stats().readMisses, 1u);
+    EXPECT_EQ(cache.stats().writeMisses, 1u);
+}
+
+TEST(Cache, InvalidateRemovesLine)
+{
+    FixedLatencyMemory mem(10);
+    Cache cache(smallConfig(), &mem);
+    cache.access(0x200, false, false);
+    EXPECT_TRUE(cache.probe(0x200));
+    EXPECT_TRUE(cache.invalidate(0x200));
+    EXPECT_FALSE(cache.probe(0x200));
+    EXPECT_FALSE(cache.invalidate(0x200));  // already gone
+    EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+TEST(Cache, InvalidateDirtyCountsWriteback)
+{
+    FixedLatencyMemory mem(10);
+    Cache cache(smallConfig(), &mem);
+    cache.access(0x200, true, false);
+    std::uint64_t wb_before = cache.stats().writebacks;
+    cache.invalidate(0x200);
+    EXPECT_EQ(cache.stats().writebacks, wb_before + 1);
+}
+
+TEST(Cache, FlushDropsEverything)
+{
+    FixedLatencyMemory mem(10);
+    Cache cache(smallConfig(), &mem);
+    cache.access(0, false, false);
+    cache.access(64, false, false);
+    cache.flush();
+    EXPECT_FALSE(cache.probe(0));
+    EXPECT_FALSE(cache.probe(64));
+}
+
+TEST(Cache, PrefetcherIssuesNextLines)
+{
+    CacheConfig cfg = smallConfig();
+    cfg.prefetchDegree = 2;
+    FixedLatencyMemory mem(10);
+    Cache cache(cfg, &mem);
+    cache.access(0, false, false);  // miss -> prefetch lines 1, 2
+    EXPECT_EQ(cache.stats().prefetchesIssued, 2u);
+    EXPECT_TRUE(cache.probe(64));
+    EXPECT_TRUE(cache.probe(128));
+    // Demand hit on a prefetched line is counted.
+    cache.access(64, false, false);
+    EXPECT_EQ(cache.stats().prefetchHits, 1u);
+}
+
+TEST(Cache, PrefetchDoesNotInflateDemandCounters)
+{
+    CacheConfig cfg = smallConfig();
+    cfg.prefetchDegree = 4;
+    FixedLatencyMemory mem(10);
+    Cache cache(cfg, &mem);
+    cache.access(0, false, false);
+    EXPECT_EQ(cache.stats().accesses, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(Cache, WriteStreamingBypassesAllocation)
+{
+    CacheConfig cfg = smallConfig();
+    cfg.writeStreaming = true;
+    cfg.streamingThreshold = 2;
+    FixedLatencyMemory mem(10);
+    Cache cache(cfg, &mem);
+    // Sequential store misses: lines 0, 1 allocate; 2+ stream.
+    for (std::uint64_t line = 0; line < 8; ++line)
+        cache.access(line * 64, true, false);
+    EXPECT_EQ(cache.stats().streamingStores, 6u);
+    EXPECT_EQ(cache.stats().writeMisses, 2u);
+    EXPECT_FALSE(cache.probe(5 * 64));  // streamed, not allocated
+    EXPECT_TRUE(cache.probe(0));
+}
+
+TEST(Cache, WriteStreamingResetsOnRandomStore)
+{
+    CacheConfig cfg = smallConfig();
+    cfg.writeStreaming = true;
+    FixedLatencyMemory mem(10);
+    Cache cache(cfg, &mem);
+    cache.access(0 * 64, true, false);
+    cache.access(1 * 64, true, false);
+    cache.access(2 * 64, true, false);   // streaming
+    cache.access(100 * 64, true, false); // random store: reset
+    cache.access(101 * 64, true, false);
+    EXPECT_EQ(cache.stats().streamingStores, 1u);
+    EXPECT_TRUE(cache.probe(101 * 64));  // allocated again
+}
+
+TEST(Cache, WriteStreamingRepeatedLineKeepsStream)
+{
+    CacheConfig cfg = smallConfig();
+    cfg.writeStreaming = true;
+    FixedLatencyMemory mem(10);
+    Cache cache(cfg, &mem);
+    cache.access(0 * 64, true, false);
+    cache.access(1 * 64, true, false);
+    cache.access(2 * 64, true, false);      // streams
+    cache.access(2 * 64 + 8, true, false);  // same line: still streams
+    EXPECT_EQ(cache.stats().streamingStores, 2u);
+}
+
+TEST(Cache, StreamingDisabledAllocatesEverything)
+{
+    FixedLatencyMemory mem(10);
+    Cache cache(smallConfig(), &mem);  // writeStreaming off
+    for (std::uint64_t line = 0; line < 8; ++line)
+        cache.access(line * 64, true, false);
+    EXPECT_EQ(cache.stats().streamingStores, 0u);
+    EXPECT_EQ(cache.stats().writeMisses, 8u);
+}
+
+TEST(Cache, BadGeometryFatals)
+{
+    FixedLatencyMemory mem(10);
+    CacheConfig cfg = smallConfig();
+    cfg.lineBytes = 48;  // not a power of two
+    EXPECT_EXIT(Cache(cfg, &mem), ::testing::ExitedWithCode(1),
+                "power of 2");
+}
+
+TEST(Cache, NullParentWorks)
+{
+    Cache cache(smallConfig(), nullptr);
+    CacheAccessResult miss = cache.access(0, false, false);
+    EXPECT_FALSE(miss.hit);
+    EXPECT_DOUBLE_EQ(miss.latency, 2.0);
+}
+
+// Parameterised property sweep over geometries.
+class CacheGeometry
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(CacheGeometry, CountingInvariants)
+{
+    auto [size_kb, assoc, line] = GetParam();
+    CacheConfig cfg;
+    cfg.sizeBytes = size_kb * 1024;
+    cfg.assoc = assoc;
+    cfg.lineBytes = line;
+    FixedLatencyMemory mem(10);
+    Cache cache(cfg, &mem);
+
+    // A deterministic pseudo-random access pattern.
+    std::uint64_t addr = 12345;
+    for (int i = 0; i < 20000; ++i) {
+        addr = addr * 6364136223846793005ULL + 1442695040888963407ULL;
+        cache.access(addr % (1 << 22), (addr >> 60) & 1, false);
+    }
+
+    const CacheStats &s = cache.stats();
+    EXPECT_EQ(s.accesses, 20000u);
+    EXPECT_EQ(s.hits + s.misses, s.accesses);
+    EXPECT_EQ(s.readAccesses + s.writeAccesses, s.accesses);
+    EXPECT_EQ(s.readMisses + s.writeMisses, s.misses);
+    EXPECT_LE(s.writebacks, s.evictions + s.invalidations + 1);
+    // The cache cannot hold more lines than its capacity, so misses
+    // must be at least (accesses - capacity-limited hits) > 0 here.
+    EXPECT_GT(s.misses, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Values(std::make_tuple(1, 1, 64),
+                      std::make_tuple(4, 2, 64),
+                      std::make_tuple(8, 4, 32),
+                      std::make_tuple(32, 2, 64),
+                      std::make_tuple(32, 8, 128),
+                      std::make_tuple(512, 16, 64)));

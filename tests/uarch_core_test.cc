@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Integration-style tests of the core/cluster timing models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hwsim/platform.hh"
+#include "isa/program.hh"
+#include "uarch/system.hh"
+#include "workload/kernels.hh"
+
+using namespace gemstone;
+using namespace gemstone::uarch;
+
+namespace {
+
+/** A minimal single-core cluster for focused tests. */
+ClusterConfig
+tinyCluster()
+{
+    ClusterConfig cfg = hwsim::trueBigConfig();
+    cfg.numCores = 1;
+    cfg.memBytes = 1 << 20;
+    return cfg;
+}
+
+isa::Program
+countedLoop(std::uint64_t iterations)
+{
+    isa::ProgramBuilder b("counted");
+    b.movi(1, static_cast<std::int64_t>(iterations));
+    b.label("top");
+    b.addi(2, 2, 1);
+    b.subi(1, 1, 1);
+    b.bne(1, "top");
+    b.halt();
+    return b.build();
+}
+
+} // namespace
+
+TEST(CoreModel, ExactInstructionCount)
+{
+    ClusterModel cluster(tinyCluster());
+    isa::Program p = countedLoop(1000);
+    RunResult run = cluster.run(p, 1, 1.0);
+    // movi + 3 per iteration + halt.
+    EXPECT_EQ(run.instructions, 1 + 3 * 1000 + 1);
+    EXPECT_GT(run.cycles, 0.0);
+    EXPECT_GT(run.seconds, 0.0);
+}
+
+TEST(CoreModel, EventCountsMatchProgramStructure)
+{
+    ClusterModel cluster(tinyCluster());
+    isa::ProgramBuilder b("memcount");
+    b.movi(1, 64);
+    b.movi(2, 0);
+    b.movi(3, 100);
+    b.label("loop");
+    b.str(2, 1, 0);
+    b.ldr(4, 1, 0);
+    b.addi(1, 1, 8);
+    b.subi(3, 3, 1);
+    b.bne(3, "loop");
+    b.halt();
+    RunResult run = cluster.run(b.build(), 1, 1.0);
+    const EventCounts &e = run.aggregate;
+    EXPECT_EQ(e.loadOps, 100u);
+    EXPECT_EQ(e.storeOps, 100u);
+    EXPECT_EQ(e.condBranches, 100u);
+    EXPECT_EQ(e.branches, 100u);
+    // Data side: 100 loads + 100 stores (plus possible wrong-path
+    // loads from mispredicts).
+    EXPECT_GE(e.l1dAccesses, 200u);
+}
+
+TEST(CoreModel, DeterministicAcrossRuns)
+{
+    isa::Program p = countedLoop(5000);
+    ClusterModel a(tinyCluster());
+    ClusterModel b(tinyCluster());
+    RunResult ra = a.run(p, 1, 1.0);
+    RunResult rb = b.run(p, 1, 1.0);
+    EXPECT_EQ(ra.instructions, rb.instructions);
+    EXPECT_DOUBLE_EQ(ra.cycles, rb.cycles);
+    EXPECT_EQ(ra.aggregate.l1iMisses, rb.aggregate.l1iMisses);
+    EXPECT_EQ(ra.aggregate.branchMispredicts,
+              rb.aggregate.branchMispredicts);
+}
+
+TEST(CoreModel, HigherFrequencyShorterTime)
+{
+    isa::Program p = countedLoop(20000);
+    ClusterModel slow(tinyCluster());
+    ClusterModel fast(tinyCluster());
+    RunResult low = slow.run(p, 1, 0.6);
+    RunResult high = fast.run(p, 1, 1.8);
+    EXPECT_GT(low.seconds, high.seconds);
+}
+
+TEST(CoreModel, RetimeMatchesDirectRun)
+{
+    // Re-timing a 1 GHz run to 1.8 GHz must equal simulating at
+    // 1.8 GHz directly: event counts are frequency-invariant and the
+    // cycle count follows the dramStallNs identity.
+    workload::Workload w = workload::kernels::makePointerChase(
+        "retime-probe", "test", 4096, 64, 30000);
+    ClusterConfig cfg = tinyCluster();
+    cfg.memBytes = w.memBytes;
+
+    ClusterModel at_base(cfg);
+    w.prepareMemory(at_base.memory());
+    RunResult base = at_base.run(w.program, 1, 1.0);
+
+    ClusterModel at_fast(cfg);
+    w.prepareMemory(at_fast.memory());
+    RunResult direct = at_fast.run(w.program, 1, 1.8);
+
+    RunResult retimed = retimeRun(base, 1.8);
+    EXPECT_NEAR(retimed.cycles, direct.cycles,
+                direct.cycles * 1e-9);
+    EXPECT_NEAR(retimed.seconds, direct.seconds,
+                direct.seconds * 1e-9);
+    EXPECT_EQ(retimed.aggregate.l1dMisses,
+              direct.aggregate.l1dMisses);
+}
+
+TEST(CoreModel, MemoryBoundWorkloadHasDramStall)
+{
+    workload::Workload w = workload::kernels::makePointerChase(
+        "dram-probe", "test", 65536, 64, 20000);
+    ClusterConfig cfg = tinyCluster();
+    cfg.memBytes = w.memBytes;
+    ClusterModel cluster(cfg);
+    w.prepareMemory(cluster.memory());
+    RunResult run = cluster.run(w.program, 1, 1.0);
+    EXPECT_GT(run.aggregate.dramStallNs, 0.0);
+    EXPECT_GT(run.aggregate.dramReads, 1000u);
+}
+
+TEST(CoreModel, ComputeBoundWorkloadScalesLinearly)
+{
+    // A register-only loop has no DRAM stall; its cycle count is
+    // frequency independent, so time scales exactly with f.
+    isa::Program p = countedLoop(50000);
+    ClusterModel a(tinyCluster());
+    RunResult run = a.run(p, 1, 1.0);
+    EXPECT_NEAR(run.aggregate.dramStallNs, 0.0, 200.0);
+    RunResult fast = retimeRun(run, 2.0);
+    EXPECT_NEAR(fast.seconds, run.seconds / 2.0,
+                run.seconds * 1e-3);
+}
+
+TEST(CoreModel, BranchHeavyCodePaysMispredicts)
+{
+    // A data-dependent 50/50 branch pattern must cost more cycles
+    // per instruction than a plain counted loop.
+    workload::Workload noisy = workload::kernels::makeRandomBranch(
+        "noisy-probe", "test", 0.5, 20000);
+    ClusterConfig cfg = tinyCluster();
+    ClusterModel a(cfg);
+    RunResult noisy_run = a.run(noisy.program, 1, 1.0);
+
+    isa::Program plain = countedLoop(20000);
+    ClusterModel b(cfg);
+    RunResult plain_run = b.run(plain, 1, 1.0);
+
+    double noisy_cpi = noisy_run.cycles /
+        static_cast<double>(noisy_run.instructions);
+    double plain_cpi = plain_run.cycles /
+        static_cast<double>(plain_run.instructions);
+    EXPECT_GT(noisy_cpi, plain_cpi * 1.5);
+    EXPECT_GT(noisy_run.aggregate.branchMispredicts, 4000u);
+}
+
+// ---------------------------------------------------------------------
+// Multi-core behaviour
+// ---------------------------------------------------------------------
+
+TEST(ClusterModelTest, SpmdThreadsAllExecute)
+{
+    ClusterConfig cfg = tinyCluster();
+    cfg.numCores = 4;
+    ClusterModel cluster(cfg);
+    isa::Program p = countedLoop(1000);
+    RunResult run = cluster.run(p, 4, 1.0);
+    EXPECT_EQ(run.perCore.size(), 4u);
+    for (const EventCounts &core : run.perCore)
+        EXPECT_EQ(core.instructions, 1u + 3 * 1000 + 1);
+    EXPECT_EQ(run.instructions, 4 * (1 + 3 * 1000 + 1));
+}
+
+TEST(ClusterModelTest, SnoopsOnSharedStores)
+{
+    ClusterConfig cfg = tinyCluster();
+    cfg.numCores = 2;
+    ClusterModel cluster(cfg);
+
+    // Both threads repeatedly store to the same line.
+    isa::ProgramBuilder b("pingpong");
+    b.movi(1, 256);
+    b.movi(2, 500);
+    b.label("loop");
+    b.str(2, 1, 0);
+    b.ldr(3, 1, 0);
+    b.subi(2, 2, 1);
+    b.bne(2, "loop");
+    b.halt();
+    RunResult run = cluster.run(b.build(), 2, 1.0);
+    // Migratory sharing: roughly one snoop per scheduling quantum
+    // (the first store after each handover finds the remote copy).
+    EXPECT_GT(run.aggregate.snoops, 20u);
+}
+
+TEST(ClusterModelTest, NoSnoopsOnDisjointData)
+{
+    ClusterConfig cfg = tinyCluster();
+    cfg.numCores = 2;
+    ClusterModel cluster(cfg);
+
+    // Threads write to thread-private lines (tid * 8192).
+    isa::ProgramBuilder b("disjoint");
+    b.movi(1, 8192);
+    b.mul(1, isa::threadIdReg, 1);
+    b.addi(1, 1, 256);
+    b.movi(2, 500);
+    b.label("loop");
+    b.str(2, 1, 0);
+    b.subi(2, 2, 1);
+    b.bne(2, "loop");
+    b.halt();
+    RunResult run = cluster.run(b.build(), 2, 1.0);
+    EXPECT_EQ(run.aggregate.snoops, 0u);
+}
+
+TEST(ClusterModelTest, SpinLockProducesExclusives)
+{
+    workload::Workload w = workload::kernels::makeSpinLock(
+        "lock-probe", "test", 500, 4);
+    ClusterConfig cfg = tinyCluster();
+    cfg.numCores = 4;
+    cfg.memBytes = w.memBytes;
+    ClusterModel cluster(cfg);
+    w.prepareMemory(cluster.memory());
+    RunResult run = cluster.run(w.program, 4, 1.0);
+
+    EXPECT_GE(run.aggregate.ldrexOps, 4u * 500u);
+    EXPECT_GE(run.aggregate.strexOps, 4u * 500u);
+    EXPECT_GT(run.aggregate.barriers, 0u);
+    // The shared counter must reach exactly 4 x 500.
+    EXPECT_EQ(cluster.memory().read64(192), 4u * 500u);
+}
+
+TEST(ClusterModelTest, BarrierWorkloadCompletes)
+{
+    workload::Workload w = workload::kernels::makeBarrierPhases(
+        "barrier-probe", "test", 10, 100, 4);
+    ClusterConfig cfg = tinyCluster();
+    cfg.numCores = 4;
+    cfg.memBytes = w.memBytes;
+    ClusterModel cluster(cfg);
+    w.prepareMemory(cluster.memory());
+    RunResult run = cluster.run(w.program, 4, 1.0);
+    // 4 threads x 10 phases of arrivals happened (counter wrapped
+    // back to zero every phase).
+    EXPECT_EQ(cluster.memory().read64(192), 0u);
+    EXPECT_GT(run.aggregate.strexOps, 0u);
+}
+
+TEST(ClusterModelTest, ProducerConsumerTransfersAllItems)
+{
+    workload::Workload w = workload::kernels::makeProducerConsumer(
+        "pc-probe", "test", 200);
+    ClusterConfig cfg = tinyCluster();
+    cfg.numCores = 2;
+    cfg.memBytes = w.memBytes;
+    ClusterModel cluster(cfg);
+    w.prepareMemory(cluster.memory());
+    RunResult run = cluster.run(w.program, 2, 1.0);
+    // The consumer's r6 accumulates 1 + 2 + ... + 200.
+    EXPECT_EQ(run.instructions > 0, true);
+    EXPECT_GT(run.aggregate.barriers, 2u * 200u - 1);
+}
+
+TEST(ClusterModelTest, AggregateCyclesIsMaxOverCores)
+{
+    ClusterConfig cfg = tinyCluster();
+    cfg.numCores = 2;
+    ClusterModel cluster(cfg);
+    isa::Program p = countedLoop(2000);
+    RunResult run = cluster.run(p, 2, 1.0);
+    double max_core = 0.0;
+    for (const EventCounts &core : run.perCore)
+        max_core = std::max(max_core, core.cycles);
+    EXPECT_DOUBLE_EQ(run.cycles, max_core);
+}
+
+TEST(ClusterModelTest, TooManyThreadsFatals)
+{
+    ClusterConfig cfg = tinyCluster();
+    cfg.numCores = 2;
+    ClusterModel cluster(cfg);
+    isa::Program p = countedLoop(10);
+    EXPECT_EXIT(cluster.run(p, 3, 1.0),
+                ::testing::ExitedWithCode(1), "out of range");
+}
+
+// ---------------------------------------------------------------------
+// Model divergence invariants (the "answer key" of DESIGN.md)
+// ---------------------------------------------------------------------
+
+TEST(ModelDivergence, G5CountsMoreL1iAccesses)
+{
+    // Per-instruction I-cache lookup (g5) vs per-fetch-group (HW).
+    workload::Workload w = workload::kernels::makeIntArith(
+        "alu-probe", "test", 20000, false);
+
+    ClusterConfig hw_cfg = hwsim::trueBigConfig();
+    hw_cfg.numCores = 1;
+    hw_cfg.memBytes = w.memBytes;
+    ClusterModel hw(hw_cfg);
+    w.prepareMemory(hw.memory());
+    RunResult hw_run = hw.run(w.program, 1, 1.0);
+
+    ClusterConfig g5_cfg = hw_cfg;
+    g5_cfg.core.fetchGroupInsts = 1;
+    ClusterModel g5(g5_cfg);
+    w.prepareMemory(g5.memory());
+    RunResult g5_run = g5.run(w.program, 1, 1.0);
+
+    EXPECT_GT(static_cast<double>(g5_run.aggregate.l1iAccesses),
+              1.5 * static_cast<double>(hw_run.aggregate.l1iAccesses));
+    // Architectural behaviour identical.
+    EXPECT_EQ(g5_run.instructions, hw_run.instructions);
+}
+
+TEST(ModelDivergence, OsItlbFlushCreatesRefills)
+{
+    isa::Program p = countedLoop(200000);
+
+    ClusterConfig quiet = hwsim::trueBigConfig();
+    quiet.numCores = 1;
+    quiet.core.osItlbFlushPeriod = 0;
+    ClusterModel no_noise(quiet);
+    RunResult silent = no_noise.run(p, 1, 1.0);
+
+    ClusterConfig noisy_cfg = quiet;
+    noisy_cfg.core.osItlbFlushPeriod = 10000;
+    ClusterModel noisy(noisy_cfg);
+    RunResult loud = noisy.run(p, 1, 1.0);
+
+    EXPECT_GT(loud.aggregate.itlbMisses,
+              silent.aggregate.itlbMisses + 10);
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for the DRAM model and the event/retiming machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/dram.hh"
+#include "uarch/events.hh"
+
+using namespace gemstone::uarch;
+
+TEST(Dram, RowHitFasterThanRowMiss)
+{
+    DramConfig cfg;
+    Dram dram(cfg);
+    CacheAccessResult first = dram.access(0, false, false);
+    CacheAccessResult second = dram.access(64, false, false);
+    EXPECT_DOUBLE_EQ(first.dramNs, cfg.rowMissNs);   // row opened
+    EXPECT_DOUBLE_EQ(second.dramNs, cfg.rowHitNs);   // same row
+    EXPECT_DOUBLE_EQ(first.latency, 0.0);  // all cost is wall-clock
+}
+
+TEST(Dram, DifferentRowsMiss)
+{
+    DramConfig cfg;
+    Dram dram(cfg);
+    dram.access(0, false, false);
+    CacheAccessResult far = dram.access(
+        std::uint64_t(cfg.rowBytes) * cfg.banks, false, false);
+    EXPECT_DOUBLE_EQ(far.dramNs, cfg.rowMissNs);  // same bank, new row
+}
+
+TEST(Dram, BanksTrackIndependentRows)
+{
+    DramConfig cfg;
+    Dram dram(cfg);
+    dram.access(0, false, false);                 // bank 0 row 0
+    dram.access(cfg.rowBytes, false, false);      // bank 1 row 1
+    // Returning to bank 0's open row still hits.
+    CacheAccessResult back = dram.access(32, false, false);
+    EXPECT_DOUBLE_EQ(back.dramNs, cfg.rowHitNs);
+}
+
+TEST(Dram, StatsCountReadsWritesAndRowOutcomes)
+{
+    DramConfig cfg;
+    Dram dram(cfg);
+    dram.access(0, false, false);
+    dram.access(8, true, false);
+    dram.access(cfg.rowBytes * cfg.banks, false, false);
+    const DramStats &s = dram.stats();
+    EXPECT_EQ(s.reads, 2u);
+    EXPECT_EQ(s.writes, 1u);
+    EXPECT_EQ(s.rowHits + s.rowMisses, 3u);
+    EXPECT_EQ(s.rowMisses, 2u);
+}
+
+TEST(Dram, FlushClosesRows)
+{
+    DramConfig cfg;
+    Dram dram(cfg);
+    dram.access(0, false, false);
+    dram.flush();
+    CacheAccessResult after = dram.access(0, false, false);
+    EXPECT_DOUBLE_EQ(after.dramNs, cfg.rowMissNs);
+}
+
+TEST(Dram, InvalidBankCountFatals)
+{
+    DramConfig cfg;
+    cfg.banks = 3;
+    EXPECT_EXIT({ Dram bad(cfg); }, ::testing::ExitedWithCode(1),
+                "power of two");
+}
+
+// ---------------------------------------------------------------------
+// EventCounts
+// ---------------------------------------------------------------------
+
+TEST(EventCountsTest, MergeSumsCountsAndMaxesCycles)
+{
+    EventCounts a;
+    a.cycles = 100.0;
+    a.instructions = 10;
+    a.l1dMisses = 3;
+    EventCounts b;
+    b.cycles = 250.0;
+    b.instructions = 20;
+    b.l1dMisses = 4;
+
+    EventCounts total;
+    total.merge(a);
+    total.merge(b);
+    EXPECT_DOUBLE_EQ(total.cycles, 250.0);  // parallel cores: max
+    EXPECT_EQ(total.instructions, 30u);     // counts: sum
+    EXPECT_EQ(total.l1dMisses, 7u);
+}
+
+TEST(EventCountsTest, ToMapRoundTripsKeyFields)
+{
+    EventCounts e;
+    e.cycles = 123.0;
+    e.instructions = 456;
+    e.branchMispredicts = 7;
+    e.dramStallNs = 89.5;
+    auto m = e.toMap();
+    EXPECT_DOUBLE_EQ(m.at("cycles"), 123.0);
+    EXPECT_DOUBLE_EQ(m.at("instructions"), 456.0);
+    EXPECT_DOUBLE_EQ(m.at("branchMispredicts"), 7.0);
+    EXPECT_DOUBLE_EQ(m.at("dramStallNs"), 89.5);
+    EXPECT_GT(m.size(), 50u);  // the record is comprehensive
+}
+
+TEST(EventCountsTest, DerivedMetrics)
+{
+    EventCounts e;
+    e.cycles = 200.0;
+    e.instructions = 100;
+    e.branches = 50;
+    e.branchMispredicts = 5;
+    EXPECT_DOUBLE_EQ(e.ipc(), 0.5);
+    EXPECT_DOUBLE_EQ(e.branchAccuracy(), 0.9);
+
+    EventCounts empty;
+    EXPECT_DOUBLE_EQ(empty.ipc(), 0.0);
+    EXPECT_DOUBLE_EQ(empty.branchAccuracy(), 1.0);
+}

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for the TLB hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/tlb.hh"
+
+using namespace gemstone::uarch;
+
+TEST(Tlb, MissThenHit)
+{
+    TlbConfig cfg;
+    cfg.entries = 8;
+    Tlb tlb(cfg);
+    EXPECT_FALSE(tlb.lookup(0x1000));
+    EXPECT_TRUE(tlb.lookup(0x1000));
+    EXPECT_TRUE(tlb.lookup(0x1FFF));  // same page
+    EXPECT_FALSE(tlb.lookup(0x2000)); // next page
+    EXPECT_EQ(tlb.stats().accesses, 4u);
+    EXPECT_EQ(tlb.stats().misses, 2u);
+    EXPECT_EQ(tlb.stats().hits, 2u);
+}
+
+TEST(Tlb, FullyAssociativeLruEviction)
+{
+    TlbConfig cfg;
+    cfg.entries = 4;
+    cfg.assoc = 0;  // fully associative
+    Tlb tlb(cfg);
+    for (std::uint64_t page = 0; page < 4; ++page)
+        tlb.lookup(page * 4096);
+    tlb.lookup(0);            // page 0 becomes MRU
+    tlb.lookup(4 * 4096);     // evicts page 1 (LRU)
+    EXPECT_TRUE(tlb.probe(0));
+    EXPECT_FALSE(tlb.probe(1 * 4096));
+    EXPECT_EQ(tlb.stats().evictions, 1u);
+}
+
+TEST(Tlb, SetAssociativeMapping)
+{
+    TlbConfig cfg;
+    cfg.entries = 8;
+    cfg.assoc = 2;  // 4 sets
+    Tlb tlb(cfg);
+    // Pages 0, 4, 8 all map to set 0 (2 ways): the third evicts.
+    tlb.lookup(0 * 4096);
+    tlb.lookup(4 * 4096);
+    tlb.lookup(8 * 4096);
+    EXPECT_FALSE(tlb.probe(0));
+    EXPECT_TRUE(tlb.probe(4 * 4096));
+    EXPECT_TRUE(tlb.probe(8 * 4096));
+}
+
+TEST(Tlb, FlushEmptiesEverything)
+{
+    TlbConfig cfg;
+    cfg.entries = 8;
+    Tlb tlb(cfg);
+    tlb.lookup(0);
+    tlb.flush();
+    EXPECT_FALSE(tlb.probe(0));
+}
+
+TEST(Tlb, InvalidGeometryFatals)
+{
+    TlbConfig cfg;
+    cfg.entries = 6;
+    cfg.assoc = 4;  // 6 not divisible by 4
+    EXPECT_EXIT({ Tlb bad(cfg); }, ::testing::ExitedWithCode(1),
+                "divisible");
+}
+
+TEST(TlbHierarchyTest, L1HitIsFree)
+{
+    TlbConfig l1;
+    l1.entries = 4;
+    TlbHierarchy hierarchy(l1, nullptr, 30.0);
+    double lat = 0.0;
+    hierarchy.translate(0, lat);   // miss: walk
+    EXPECT_DOUBLE_EQ(lat, 30.0);
+    lat = 0.0;
+    EXPECT_TRUE(hierarchy.translate(0, lat));
+    EXPECT_DOUBLE_EQ(lat, 0.0);
+}
+
+TEST(TlbHierarchyTest, L2HitAvoidsWalk)
+{
+    TlbConfig l1;
+    l1.entries = 2;
+    TlbConfig l2_cfg;
+    l2_cfg.entries = 64;
+    l2_cfg.latency = 4.0;
+    Tlb l2(l2_cfg);
+    TlbHierarchy hierarchy(l1, &l2, 30.0);
+
+    double lat = 0.0;
+    hierarchy.translate(0, lat);      // L1 miss, L2 miss, walk
+    EXPECT_DOUBLE_EQ(lat, 34.0);
+
+    // Evict page 0 from the tiny L1 with two other pages.
+    lat = 0.0;
+    hierarchy.translate(1 * 4096, lat);
+    lat = 0.0;
+    hierarchy.translate(2 * 4096, lat);
+
+    // Page 0 now misses L1 but hits the L2: only the L2 latency.
+    lat = 0.0;
+    EXPECT_FALSE(hierarchy.translate(0, lat));
+    EXPECT_DOUBLE_EQ(lat, 4.0);
+    EXPECT_EQ(hierarchy.walks(), 3u);
+}
+
+TEST(TlbHierarchyTest, UnifiedL2SharedBetweenStreams)
+{
+    // The hardware shape: I-side and D-side L1s share one L2 TLB.
+    TlbConfig l1i;
+    l1i.entries = 2;
+    TlbConfig l1d;
+    l1d.entries = 2;
+    TlbConfig l2_cfg;
+    l2_cfg.entries = 16;
+    l2_cfg.latency = 2.0;
+    Tlb shared(l2_cfg);
+    TlbHierarchy instr(l1i, &shared, 30.0);
+    TlbHierarchy data(l1d, &shared, 30.0);
+
+    // The I-side walks page 7 in.
+    double lat = 0.0;
+    instr.translate(7 * 4096, lat);
+    EXPECT_EQ(instr.walks(), 1u);
+
+    // The D-side then finds it in the shared L2: no walk.
+    lat = 0.0;
+    data.translate(7 * 4096, lat);
+    EXPECT_EQ(data.walks(), 0u);
+    EXPECT_DOUBLE_EQ(lat, 2.0);
+}
+
+TEST(TlbHierarchyTest, SplitL2sDoNotShare)
+{
+    // The g5 ex5 shape: separate I and D walker caches.
+    TlbConfig l1;
+    l1.entries = 2;
+    TlbConfig l2_cfg;
+    l2_cfg.entries = 16;
+    l2_cfg.latency = 4.0;
+    Tlb l2_instr(l2_cfg);
+    Tlb l2_data(l2_cfg);
+    TlbHierarchy instr(l1, &l2_instr, 30.0);
+    TlbHierarchy data(l1, &l2_data, 30.0);
+
+    double lat = 0.0;
+    instr.translate(7 * 4096, lat);
+    lat = 0.0;
+    data.translate(7 * 4096, lat);
+    // Both sides had to walk: the translations are not shared.
+    EXPECT_EQ(instr.walks(), 1u);
+    EXPECT_EQ(data.walks(), 1u);
+}

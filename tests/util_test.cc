@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Unit tests for the util module: logging, RNG, strings, tables, CSV.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/csv.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "util/strutil.hh"
+#include "util/table.hh"
+
+using namespace gemstone;
+
+// ---------------------------------------------------------------------
+// Logging
+// ---------------------------------------------------------------------
+
+TEST(Logging, WarnIncrementsCounter)
+{
+    setQuiet(true);
+    std::size_t before = warnCount();
+    warn("test warning ", 42);
+    EXPECT_EQ(warnCount(), before + 1);
+    setQuiet(false);
+}
+
+TEST(Logging, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom"), "boom");
+}
+
+TEST(Logging, PanicIfConditionFalseDoesNothing)
+{
+    panic_if(false, "must not fire");
+    SUCCEED();
+}
+
+TEST(Logging, PanicIfConditionTrueAborts)
+{
+    EXPECT_DEATH(panic_if(1 + 1 == 2, "arith works"), "arith");
+}
+
+TEST(Logging, FatalExitsWithCode1)
+{
+    EXPECT_EXIT(fatal("bad config"),
+                ::testing::ExitedWithCode(1), "bad config");
+}
+
+// ---------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, StringSeedStable)
+{
+    Rng a(std::string("workload:mi-sha"));
+    Rng b(std::string("workload:mi-sha"));
+    EXPECT_EQ(a.next(), b.next());
+    Rng c(std::string("workload:mi-crc32"));
+    Rng d(std::string("workload:mi-sha"));
+    EXPECT_NE(c.next(), d.next());
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespected)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 4000; ++i) {
+        std::uint64_t v = rng.uniformInt(7);
+        EXPECT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);  // all residues reachable
+}
+
+TEST(Rng, UniformIntZeroBoundPanics)
+{
+    Rng rng(1);
+    EXPECT_DEATH(rng.uniformInt(0), "non-zero");
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    constexpr int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        double g = rng.gaussian();
+        sum += g;
+        sum_sq += g * g;
+    }
+    double mean = sum / n;
+    double var = sum_sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianScaled)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    constexpr int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, ChanceProbability)
+{
+    Rng rng(19);
+    int hits = 0;
+    constexpr int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.25);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, ForkIndependence)
+{
+    Rng parent(21);
+    Rng child_a = parent.fork(1);
+    Rng child_b = parent.fork(2);
+    EXPECT_NE(child_a.next(), child_b.next());
+
+    // Forking is deterministic.
+    Rng parent2(21);
+    Rng child_a2 = parent2.fork(1);
+    Rng ref = Rng(21).fork(1);
+    EXPECT_EQ(child_a2.next(), ref.next());
+}
+
+TEST(Rng, HashStringDiffers)
+{
+    EXPECT_NE(hashString("a"), hashString("b"));
+    EXPECT_EQ(hashString("gemstone"), hashString("gemstone"));
+    EXPECT_NE(hashString(""), hashString(" "));
+}
+
+// ---------------------------------------------------------------------
+// strutil
+// ---------------------------------------------------------------------
+
+TEST(Strutil, SplitKeepsEmptyFields)
+{
+    auto fields = split("a,,b,", ',');
+    ASSERT_EQ(fields.size(), 4u);
+    EXPECT_EQ(fields[0], "a");
+    EXPECT_EQ(fields[1], "");
+    EXPECT_EQ(fields[2], "b");
+    EXPECT_EQ(fields[3], "");
+}
+
+TEST(Strutil, SplitSingle)
+{
+    auto fields = split("abc", ',');
+    ASSERT_EQ(fields.size(), 1u);
+    EXPECT_EQ(fields[0], "abc");
+}
+
+TEST(Strutil, Trim)
+{
+    EXPECT_EQ(trim("  x y  "), "x y");
+    EXPECT_EQ(trim("\t\nz"), "z");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strutil, StartsEndsWith)
+{
+    EXPECT_TRUE(startsWith("system.cpu.icache", "system.cpu"));
+    EXPECT_FALSE(startsWith("cpu", "system.cpu"));
+    EXPECT_TRUE(endsWith("overall_misses::total", "::total"));
+    EXPECT_FALSE(endsWith("total", "::total"));
+}
+
+TEST(Strutil, Join)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ", "), "");
+    EXPECT_EQ(join({"only"}, "-"), "only");
+}
+
+TEST(Strutil, ToLower)
+{
+    EXPECT_EQ(toLower("Cortex-A15"), "cortex-a15");
+}
+
+TEST(Strutil, FormatDouble)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(Strutil, FormatRatioAdaptsPrecision)
+{
+    EXPECT_EQ(formatRatio(9.94), "9.9x");
+    EXPECT_EQ(formatRatio(0.06), "0.060x");
+    EXPECT_EQ(formatRatio(0.93), "0.93x");
+}
+
+TEST(Strutil, FormatPercent)
+{
+    EXPECT_EQ(formatPercent(-0.51), "-51.0%");
+    EXPECT_EQ(formatPercent(0.033, 1), "3.3%");
+}
+
+// ---------------------------------------------------------------------
+// TextTable
+// ---------------------------------------------------------------------
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t({"a", "bbbb"});
+    t.addRow({"xx", "y"});
+    std::string out = t.toString();
+    EXPECT_NE(out.find("| a  | bbbb |"), std::string::npos);
+    EXPECT_NE(out.find("| xx | y    |"), std::string::npos);
+}
+
+TEST(TextTable, RowCountExcludesRules)
+{
+    TextTable t({"c"});
+    t.addRow({"1"});
+    t.addRule();
+    t.addRow({"2"});
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TextTable, WrongWidthPanics)
+{
+    TextTable t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row width");
+}
+
+TEST(TextTable, EmptyHeaderPanics)
+{
+    EXPECT_DEATH(TextTable({}), "at least one column");
+}
+
+// ---------------------------------------------------------------------
+// CsvWriter
+// ---------------------------------------------------------------------
+
+TEST(Csv, BasicDocument)
+{
+    CsvWriter csv({"name", "value"});
+    csv.addRow({"x", "1"});
+    std::ostringstream os;
+    csv.write(os);
+    EXPECT_EQ(os.str(), "name,value\nx,1\n");
+}
+
+TEST(Csv, QuotesSpecialCharacters)
+{
+    EXPECT_EQ(CsvWriter::quote("plain"), "plain");
+    EXPECT_EQ(CsvWriter::quote("a,b"), "\"a,b\"");
+    EXPECT_EQ(CsvWriter::quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(CsvWriter::quote("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, NumericRow)
+{
+    CsvWriter csv({"key", "v1", "v2"});
+    csv.addNumericRow("w", {1.5, -2.0});
+    std::ostringstream os;
+    csv.write(os);
+    EXPECT_NE(os.str().find("w,1.5"), std::string::npos);
+}
+
+TEST(Csv, MismatchedRowPanics)
+{
+    CsvWriter csv({"a", "b"});
+    EXPECT_DEATH(csv.addRow({"1", "2", "3"}), "width mismatch");
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests of the workload suite: registry invariants and the
+ * functional correctness of every kernel (parameterised over the
+ * full 65-workload set).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hwsim/platform.hh"
+#include "uarch/system.hh"
+#include "workload/microbench.hh"
+#include "workload/workload.hh"
+
+using namespace gemstone;
+using workload::Suite;
+using workload::Workload;
+
+TEST(SuiteRegistry, HasExactly65Workloads)
+{
+    EXPECT_EQ(Suite::all().size(), 65u);
+}
+
+TEST(SuiteRegistry, ValidationSetHas45)
+{
+    EXPECT_EQ(Suite::validationSet().size(), 45u);
+}
+
+TEST(SuiteRegistry, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (const Workload &w : Suite::all())
+        EXPECT_TRUE(names.insert(w.name).second)
+            << "duplicate name " << w.name;
+}
+
+TEST(SuiteRegistry, SuitesPartitionTheSet)
+{
+    std::size_t total = 0;
+    for (const std::string &suite : Suite::suiteNames())
+        total += Suite::bySuite(suite).size();
+    EXPECT_EQ(total, 65u);
+}
+
+TEST(SuiteRegistry, PaperSuiteComposition)
+{
+    EXPECT_EQ(Suite::bySuite("mibench").size(), 17u);
+    EXPECT_EQ(Suite::bySuite("parmibench").size(), 10u);
+    EXPECT_EQ(Suite::bySuite("parsec").size(), 16u);
+    EXPECT_EQ(Suite::bySuite("lmbench").size(), 10u);
+    EXPECT_EQ(Suite::bySuite("roy").size(), 10u);
+    EXPECT_EQ(Suite::bySuite("dhrystone").size(), 1u);
+    EXPECT_EQ(Suite::bySuite("whetstone").size(), 1u);
+}
+
+TEST(SuiteRegistry, ByNameFindsAndFatalsOnUnknown)
+{
+    EXPECT_EQ(Suite::byName("mi-crc32").name, "mi-crc32");
+    EXPECT_EXIT(Suite::byName("no-such-workload"),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+TEST(SuiteRegistry, ParsecHasSingleAndQuadVariants)
+{
+    for (const Workload *w : Suite::bySuite("parsec")) {
+        bool one = w->name.ends_with("-1");
+        bool four = w->name.ends_with("-4");
+        EXPECT_TRUE(one || four) << w->name;
+        EXPECT_EQ(w->numThreads, one ? 1u : 4u) << w->name;
+    }
+}
+
+TEST(SuiteRegistry, PathologicalWorkloadPresent)
+{
+    const Workload &w = Suite::byName("par-basicmath-rad2deg");
+    EXPECT_EQ(w.suite, "parmibench");
+}
+
+// ---------------------------------------------------------------------
+// Every workload must run to completion on both platform models with
+// identical architectural behaviour.
+// ---------------------------------------------------------------------
+
+class EveryWorkload : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(EveryWorkload, RunsToCompletionOnBothModels)
+{
+    const Workload &w = Suite::all()[GetParam()];
+
+    uarch::ClusterConfig hw_cfg = hwsim::trueBigConfig();
+    hw_cfg.memBytes = std::max<std::uint64_t>(w.memBytes, 64 * 1024);
+    uarch::ClusterModel hw(hw_cfg);
+    w.prepareMemory(hw.memory());
+    uarch::RunResult hw_run = hw.run(w.program, w.numThreads, 1.0);
+
+    // A meaningful dynamic length, bounded above for test time.
+    EXPECT_GT(hw_run.instructions, 10000u) << w.name;
+    EXPECT_LT(hw_run.instructions, 60'000'000u) << w.name;
+    EXPECT_GT(hw_run.cycles, 0.0);
+
+    // The committed instruction count is an architectural property:
+    // any config of the same ISA must reproduce it exactly (the
+    // paper's Fig. 6 shows event 0x08 matching across platforms).
+    uarch::ClusterConfig other_cfg = hwsim::trueLittleConfig();
+    other_cfg.memBytes = hw_cfg.memBytes;
+    uarch::ClusterModel other(other_cfg);
+    w.prepareMemory(other.memory());
+    uarch::RunResult other_run =
+        other.run(w.program, w.numThreads, 1.0);
+    EXPECT_EQ(other_run.instructions, hw_run.instructions) << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, EveryWorkload, ::testing::Range<std::size_t>(0, 65),
+    [](const ::testing::TestParamInfo<std::size_t> &info) {
+        std::string name = Suite::all()[info.param].name;
+        for (char &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+// ---------------------------------------------------------------------
+// Micro-benchmarks
+// ---------------------------------------------------------------------
+
+TEST(Microbench, LatMemRdSizesSweepFourKToSixtyFourM)
+{
+    auto sizes = workload::latMemRdSizes();
+    ASSERT_FALSE(sizes.empty());
+    EXPECT_EQ(sizes.front(), 4u * 1024u);
+    EXPECT_EQ(sizes.back(), 64u * 1024u * 1024u);
+    for (std::size_t i = 1; i < sizes.size(); ++i)
+        EXPECT_EQ(sizes[i], sizes[i - 1] * 2);
+}
+
+TEST(Microbench, LatencyGrowsWithWorkingSet)
+{
+    hwsim::OdroidXu3Platform board;
+    workload::Workload small =
+        workload::makeLatMemRd(8 * 1024, 256, 20000);
+    workload::Workload large =
+        workload::makeLatMemRd(16 * 1024 * 1024, 256, 20000);
+    auto m_small = board.measure(
+        small, hwsim::CpuCluster::BigA15, 1000.0, 1);
+    auto m_large = board.measure(
+        large, hwsim::CpuCluster::BigA15, 1000.0, 1);
+    // The DRAM-resident chase must be several times slower per hop.
+    EXPECT_GT(m_large.execSeconds, 5.0 * m_small.execSeconds);
+}
