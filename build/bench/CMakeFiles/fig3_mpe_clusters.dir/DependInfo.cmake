@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig3_mpe_clusters.cpp" "bench/CMakeFiles/fig3_mpe_clusters.dir/fig3_mpe_clusters.cpp.o" "gcc" "bench/CMakeFiles/fig3_mpe_clusters.dir/fig3_mpe_clusters.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gemstone/CMakeFiles/gs_gemstone.dir/DependInfo.cmake"
+  "/root/repo/build/src/powmon/CMakeFiles/gs_powmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwsim/CMakeFiles/gs_hwsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/g5/CMakeFiles/gs_g5.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mlstat/CMakeFiles/gs_mlstat.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/gs_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/gs_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/gs_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_pmc_correlation.dir/fig5_pmc_correlation.cpp.o"
+  "CMakeFiles/fig5_pmc_correlation.dir/fig5_pmc_correlation.cpp.o.d"
+  "fig5_pmc_correlation"
+  "fig5_pmc_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_pmc_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_event_comparison.dir/fig6_event_comparison.cpp.o"
+  "CMakeFiles/fig6_event_comparison.dir/fig6_event_comparison.cpp.o.d"
+  "fig6_event_comparison"
+  "fig6_event_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_event_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_exec_error.dir/fig_exec_error.cpp.o"
+  "CMakeFiles/fig_exec_error.dir/fig_exec_error.cpp.o.d"
+  "fig_exec_error"
+  "fig_exec_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_exec_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

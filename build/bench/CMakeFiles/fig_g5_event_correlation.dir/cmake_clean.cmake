@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_g5_event_correlation.dir/fig_g5_event_correlation.cpp.o"
+  "CMakeFiles/fig_g5_event_correlation.dir/fig_g5_event_correlation.cpp.o.d"
+  "fig_g5_event_correlation"
+  "fig_g5_event_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_g5_event_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_bp_fix.dir/tab_bp_fix.cpp.o"
+  "CMakeFiles/tab_bp_fix.dir/tab_bp_fix.cpp.o.d"
+  "tab_bp_fix"
+  "tab_bp_fix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_bp_fix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_event_quality.dir/tab_event_quality.cpp.o"
+  "CMakeFiles/tab_event_quality.dir/tab_event_quality.cpp.o.d"
+  "tab_event_quality"
+  "tab_event_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_event_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

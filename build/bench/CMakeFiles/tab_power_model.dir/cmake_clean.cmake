@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_power_model.dir/tab_power_model.cpp.o"
+  "CMakeFiles/tab_power_model.dir/tab_power_model.cpp.o.d"
+  "tab_power_model"
+  "tab_power_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_power_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

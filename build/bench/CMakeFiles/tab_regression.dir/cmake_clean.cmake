@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_regression.dir/tab_regression.cpp.o"
+  "CMakeFiles/tab_regression.dir/tab_regression.cpp.o.d"
+  "tab_regression"
+  "tab_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biglittle_tradeoff.dir/biglittle_tradeoff.cpp.o"
+  "CMakeFiles/biglittle_tradeoff.dir/biglittle_tradeoff.cpp.o.d"
+  "biglittle_tradeoff"
+  "biglittle_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biglittle_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

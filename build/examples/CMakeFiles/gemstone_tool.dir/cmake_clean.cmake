@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemstone_tool.dir/gemstone_tool.cpp.o"
+  "CMakeFiles/gemstone_tool.dir/gemstone_tool.cpp.o.d"
+  "gemstone_tool"
+  "gemstone_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemstone_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_g5.dir/config.cc.o"
+  "CMakeFiles/gs_g5.dir/config.cc.o.d"
+  "CMakeFiles/gs_g5.dir/simulator.cc.o"
+  "CMakeFiles/gs_g5.dir/simulator.cc.o.d"
+  "CMakeFiles/gs_g5.dir/statmap.cc.o"
+  "CMakeFiles/gs_g5.dir/statmap.cc.o.d"
+  "libgs_g5.a"
+  "libgs_g5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_g5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gemstone/analysis.cc" "src/gemstone/CMakeFiles/gs_gemstone.dir/analysis.cc.o" "gcc" "src/gemstone/CMakeFiles/gs_gemstone.dir/analysis.cc.o.d"
+  "/root/repo/src/gemstone/dataset.cc" "src/gemstone/CMakeFiles/gs_gemstone.dir/dataset.cc.o" "gcc" "src/gemstone/CMakeFiles/gs_gemstone.dir/dataset.cc.o.d"
+  "/root/repo/src/gemstone/powereval.cc" "src/gemstone/CMakeFiles/gs_gemstone.dir/powereval.cc.o" "gcc" "src/gemstone/CMakeFiles/gs_gemstone.dir/powereval.cc.o.d"
+  "/root/repo/src/gemstone/report.cc" "src/gemstone/CMakeFiles/gs_gemstone.dir/report.cc.o" "gcc" "src/gemstone/CMakeFiles/gs_gemstone.dir/report.cc.o.d"
+  "/root/repo/src/gemstone/runner.cc" "src/gemstone/CMakeFiles/gs_gemstone.dir/runner.cc.o" "gcc" "src/gemstone/CMakeFiles/gs_gemstone.dir/runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hwsim/CMakeFiles/gs_hwsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/g5/CMakeFiles/gs_g5.dir/DependInfo.cmake"
+  "/root/repo/build/src/powmon/CMakeFiles/gs_powmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/mlstat/CMakeFiles/gs_mlstat.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/gs_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/gs_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/gs_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

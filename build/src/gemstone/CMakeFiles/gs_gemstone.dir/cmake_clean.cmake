@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_gemstone.dir/analysis.cc.o"
+  "CMakeFiles/gs_gemstone.dir/analysis.cc.o.d"
+  "CMakeFiles/gs_gemstone.dir/dataset.cc.o"
+  "CMakeFiles/gs_gemstone.dir/dataset.cc.o.d"
+  "CMakeFiles/gs_gemstone.dir/powereval.cc.o"
+  "CMakeFiles/gs_gemstone.dir/powereval.cc.o.d"
+  "CMakeFiles/gs_gemstone.dir/report.cc.o"
+  "CMakeFiles/gs_gemstone.dir/report.cc.o.d"
+  "CMakeFiles/gs_gemstone.dir/runner.cc.o"
+  "CMakeFiles/gs_gemstone.dir/runner.cc.o.d"
+  "libgs_gemstone.a"
+  "libgs_gemstone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_gemstone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_hwsim.dir/platform.cc.o"
+  "CMakeFiles/gs_hwsim.dir/platform.cc.o.d"
+  "CMakeFiles/gs_hwsim.dir/pmu.cc.o"
+  "CMakeFiles/gs_hwsim.dir/pmu.cc.o.d"
+  "CMakeFiles/gs_hwsim.dir/power.cc.o"
+  "CMakeFiles/gs_hwsim.dir/power.cc.o.d"
+  "libgs_hwsim.a"
+  "libgs_hwsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_hwsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

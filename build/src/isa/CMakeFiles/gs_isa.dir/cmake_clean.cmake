@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_isa.dir/executor.cc.o"
+  "CMakeFiles/gs_isa.dir/executor.cc.o.d"
+  "CMakeFiles/gs_isa.dir/inst.cc.o"
+  "CMakeFiles/gs_isa.dir/inst.cc.o.d"
+  "CMakeFiles/gs_isa.dir/memory.cc.o"
+  "CMakeFiles/gs_isa.dir/memory.cc.o.d"
+  "CMakeFiles/gs_isa.dir/program.cc.o"
+  "CMakeFiles/gs_isa.dir/program.cc.o.d"
+  "libgs_isa.a"
+  "libgs_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

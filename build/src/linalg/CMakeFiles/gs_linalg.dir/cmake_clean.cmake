@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_linalg.dir/matrix.cc.o"
+  "CMakeFiles/gs_linalg.dir/matrix.cc.o.d"
+  "libgs_linalg.a"
+  "libgs_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mlstat/correlation.cc" "src/mlstat/CMakeFiles/gs_mlstat.dir/correlation.cc.o" "gcc" "src/mlstat/CMakeFiles/gs_mlstat.dir/correlation.cc.o.d"
+  "/root/repo/src/mlstat/descriptive.cc" "src/mlstat/CMakeFiles/gs_mlstat.dir/descriptive.cc.o" "gcc" "src/mlstat/CMakeFiles/gs_mlstat.dir/descriptive.cc.o.d"
+  "/root/repo/src/mlstat/distributions.cc" "src/mlstat/CMakeFiles/gs_mlstat.dir/distributions.cc.o" "gcc" "src/mlstat/CMakeFiles/gs_mlstat.dir/distributions.cc.o.d"
+  "/root/repo/src/mlstat/hca.cc" "src/mlstat/CMakeFiles/gs_mlstat.dir/hca.cc.o" "gcc" "src/mlstat/CMakeFiles/gs_mlstat.dir/hca.cc.o.d"
+  "/root/repo/src/mlstat/ols.cc" "src/mlstat/CMakeFiles/gs_mlstat.dir/ols.cc.o" "gcc" "src/mlstat/CMakeFiles/gs_mlstat.dir/ols.cc.o.d"
+  "/root/repo/src/mlstat/stepwise.cc" "src/mlstat/CMakeFiles/gs_mlstat.dir/stepwise.cc.o" "gcc" "src/mlstat/CMakeFiles/gs_mlstat.dir/stepwise.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/gs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_mlstat.dir/correlation.cc.o"
+  "CMakeFiles/gs_mlstat.dir/correlation.cc.o.d"
+  "CMakeFiles/gs_mlstat.dir/descriptive.cc.o"
+  "CMakeFiles/gs_mlstat.dir/descriptive.cc.o.d"
+  "CMakeFiles/gs_mlstat.dir/distributions.cc.o"
+  "CMakeFiles/gs_mlstat.dir/distributions.cc.o.d"
+  "CMakeFiles/gs_mlstat.dir/hca.cc.o"
+  "CMakeFiles/gs_mlstat.dir/hca.cc.o.d"
+  "CMakeFiles/gs_mlstat.dir/ols.cc.o"
+  "CMakeFiles/gs_mlstat.dir/ols.cc.o.d"
+  "CMakeFiles/gs_mlstat.dir/stepwise.cc.o"
+  "CMakeFiles/gs_mlstat.dir/stepwise.cc.o.d"
+  "libgs_mlstat.a"
+  "libgs_mlstat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_mlstat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_powmon.dir/builder.cc.o"
+  "CMakeFiles/gs_powmon.dir/builder.cc.o.d"
+  "CMakeFiles/gs_powmon.dir/eventspec.cc.o"
+  "CMakeFiles/gs_powmon.dir/eventspec.cc.o.d"
+  "CMakeFiles/gs_powmon.dir/model.cc.o"
+  "CMakeFiles/gs_powmon.dir/model.cc.o.d"
+  "libgs_powmon.a"
+  "libgs_powmon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_powmon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

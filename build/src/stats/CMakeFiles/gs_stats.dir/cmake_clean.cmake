@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_stats.dir/stats.cc.o"
+  "CMakeFiles/gs_stats.dir/stats.cc.o.d"
+  "libgs_stats.a"
+  "libgs_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

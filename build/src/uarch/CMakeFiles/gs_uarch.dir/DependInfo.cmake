@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/branch.cc" "src/uarch/CMakeFiles/gs_uarch.dir/branch.cc.o" "gcc" "src/uarch/CMakeFiles/gs_uarch.dir/branch.cc.o.d"
+  "/root/repo/src/uarch/cache.cc" "src/uarch/CMakeFiles/gs_uarch.dir/cache.cc.o" "gcc" "src/uarch/CMakeFiles/gs_uarch.dir/cache.cc.o.d"
+  "/root/repo/src/uarch/core.cc" "src/uarch/CMakeFiles/gs_uarch.dir/core.cc.o" "gcc" "src/uarch/CMakeFiles/gs_uarch.dir/core.cc.o.d"
+  "/root/repo/src/uarch/dram.cc" "src/uarch/CMakeFiles/gs_uarch.dir/dram.cc.o" "gcc" "src/uarch/CMakeFiles/gs_uarch.dir/dram.cc.o.d"
+  "/root/repo/src/uarch/events.cc" "src/uarch/CMakeFiles/gs_uarch.dir/events.cc.o" "gcc" "src/uarch/CMakeFiles/gs_uarch.dir/events.cc.o.d"
+  "/root/repo/src/uarch/system.cc" "src/uarch/CMakeFiles/gs_uarch.dir/system.cc.o" "gcc" "src/uarch/CMakeFiles/gs_uarch.dir/system.cc.o.d"
+  "/root/repo/src/uarch/tlb.cc" "src/uarch/CMakeFiles/gs_uarch.dir/tlb.cc.o" "gcc" "src/uarch/CMakeFiles/gs_uarch.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/gs_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_uarch.dir/branch.cc.o"
+  "CMakeFiles/gs_uarch.dir/branch.cc.o.d"
+  "CMakeFiles/gs_uarch.dir/cache.cc.o"
+  "CMakeFiles/gs_uarch.dir/cache.cc.o.d"
+  "CMakeFiles/gs_uarch.dir/core.cc.o"
+  "CMakeFiles/gs_uarch.dir/core.cc.o.d"
+  "CMakeFiles/gs_uarch.dir/dram.cc.o"
+  "CMakeFiles/gs_uarch.dir/dram.cc.o.d"
+  "CMakeFiles/gs_uarch.dir/events.cc.o"
+  "CMakeFiles/gs_uarch.dir/events.cc.o.d"
+  "CMakeFiles/gs_uarch.dir/system.cc.o"
+  "CMakeFiles/gs_uarch.dir/system.cc.o.d"
+  "CMakeFiles/gs_uarch.dir/tlb.cc.o"
+  "CMakeFiles/gs_uarch.dir/tlb.cc.o.d"
+  "libgs_uarch.a"
+  "libgs_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_util.dir/csv.cc.o"
+  "CMakeFiles/gs_util.dir/csv.cc.o.d"
+  "CMakeFiles/gs_util.dir/logging.cc.o"
+  "CMakeFiles/gs_util.dir/logging.cc.o.d"
+  "CMakeFiles/gs_util.dir/random.cc.o"
+  "CMakeFiles/gs_util.dir/random.cc.o.d"
+  "CMakeFiles/gs_util.dir/strutil.cc.o"
+  "CMakeFiles/gs_util.dir/strutil.cc.o.d"
+  "CMakeFiles/gs_util.dir/table.cc.o"
+  "CMakeFiles/gs_util.dir/table.cc.o.d"
+  "libgs_util.a"
+  "libgs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

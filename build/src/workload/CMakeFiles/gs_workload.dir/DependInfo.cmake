@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/kernels_compute.cc" "src/workload/CMakeFiles/gs_workload.dir/kernels_compute.cc.o" "gcc" "src/workload/CMakeFiles/gs_workload.dir/kernels_compute.cc.o.d"
+  "/root/repo/src/workload/kernels_control.cc" "src/workload/CMakeFiles/gs_workload.dir/kernels_control.cc.o" "gcc" "src/workload/CMakeFiles/gs_workload.dir/kernels_control.cc.o.d"
+  "/root/repo/src/workload/kernels_memory.cc" "src/workload/CMakeFiles/gs_workload.dir/kernels_memory.cc.o" "gcc" "src/workload/CMakeFiles/gs_workload.dir/kernels_memory.cc.o.d"
+  "/root/repo/src/workload/kernels_parallel.cc" "src/workload/CMakeFiles/gs_workload.dir/kernels_parallel.cc.o" "gcc" "src/workload/CMakeFiles/gs_workload.dir/kernels_parallel.cc.o.d"
+  "/root/repo/src/workload/microbench.cc" "src/workload/CMakeFiles/gs_workload.dir/microbench.cc.o" "gcc" "src/workload/CMakeFiles/gs_workload.dir/microbench.cc.o.d"
+  "/root/repo/src/workload/suite.cc" "src/workload/CMakeFiles/gs_workload.dir/suite.cc.o" "gcc" "src/workload/CMakeFiles/gs_workload.dir/suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/gs_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

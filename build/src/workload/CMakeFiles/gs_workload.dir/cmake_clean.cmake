@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_workload.dir/kernels_compute.cc.o"
+  "CMakeFiles/gs_workload.dir/kernels_compute.cc.o.d"
+  "CMakeFiles/gs_workload.dir/kernels_control.cc.o"
+  "CMakeFiles/gs_workload.dir/kernels_control.cc.o.d"
+  "CMakeFiles/gs_workload.dir/kernels_memory.cc.o"
+  "CMakeFiles/gs_workload.dir/kernels_memory.cc.o.d"
+  "CMakeFiles/gs_workload.dir/kernels_parallel.cc.o"
+  "CMakeFiles/gs_workload.dir/kernels_parallel.cc.o.d"
+  "CMakeFiles/gs_workload.dir/microbench.cc.o"
+  "CMakeFiles/gs_workload.dir/microbench.cc.o.d"
+  "CMakeFiles/gs_workload.dir/suite.cc.o"
+  "CMakeFiles/gs_workload.dir/suite.cc.o.d"
+  "libgs_workload.a"
+  "libgs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossmodel_test.dir/crossmodel_test.cc.o"
+  "CMakeFiles/crossmodel_test.dir/crossmodel_test.cc.o.d"
+  "crossmodel_test"
+  "crossmodel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossmodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g5_test.dir/g5_test.cc.o"
+  "CMakeFiles/g5_test.dir/g5_test.cc.o.d"
+  "g5_test"
+  "g5_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g5_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemstone_test.dir/gemstone_test.cc.o"
+  "CMakeFiles/gemstone_test.dir/gemstone_test.cc.o.d"
+  "gemstone_test"
+  "gemstone_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemstone_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

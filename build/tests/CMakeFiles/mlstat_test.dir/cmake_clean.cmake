@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlstat_test.dir/mlstat_test.cc.o"
+  "CMakeFiles/mlstat_test.dir/mlstat_test.cc.o.d"
+  "mlstat_test"
+  "mlstat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlstat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

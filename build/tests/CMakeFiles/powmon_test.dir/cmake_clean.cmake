@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powmon_test.dir/powmon_test.cc.o"
+  "CMakeFiles/powmon_test.dir/powmon_test.cc.o.d"
+  "powmon_test"
+  "powmon_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powmon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uarch_cache_test.dir/uarch_cache_test.cc.o"
+  "CMakeFiles/uarch_cache_test.dir/uarch_cache_test.cc.o.d"
+  "uarch_cache_test"
+  "uarch_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uarch_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uarch_core_test.dir/uarch_core_test.cc.o"
+  "CMakeFiles/uarch_core_test.dir/uarch_core_test.cc.o.d"
+  "uarch_core_test"
+  "uarch_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uarch_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uarch_dram_test.dir/uarch_dram_test.cc.o"
+  "CMakeFiles/uarch_dram_test.dir/uarch_dram_test.cc.o.d"
+  "uarch_dram_test"
+  "uarch_dram_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uarch_dram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

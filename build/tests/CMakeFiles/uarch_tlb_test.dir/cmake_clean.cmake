@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uarch_tlb_test.dir/uarch_tlb_test.cc.o"
+  "CMakeFiles/uarch_tlb_test.dir/uarch_tlb_test.cc.o.d"
+  "uarch_tlb_test"
+  "uarch_tlb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uarch_tlb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
