@@ -1,0 +1,486 @@
+/**
+ * @file
+ * CampaignEngine implementation.
+ */
+
+#include "gemstone/campaign.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <map>
+
+#include "hwsim/faults.hh"
+#include "mlstat/descriptive.hh"
+#include "mlstat/robust.hh"
+#include "util/csv.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "util/strutil.hh"
+
+namespace gemstone::core {
+
+namespace {
+
+/** Checkpoint column order (also the file's compatibility contract). */
+const std::vector<std::string> kCheckpointColumns = {
+    "workload",      "cluster",   "freq_mhz", "status",
+    "attempts",      "failures",  "rejected", "backoff_s",
+    "exec_seconds",  "power_watts", "temperature_c", "voltage",
+    "throttled"};
+
+std::string
+pointKey(const std::string &workload, double freq_mhz)
+{
+    return workload + "@" + formatDouble(freq_mhz, 3);
+}
+
+} // namespace
+
+CampaignConfig
+CampaignConfig::naive()
+{
+    CampaignConfig config;
+    config.quorum = 1;
+    config.maxAttempts = 8;       // rerun crashes blindly...
+    config.madThreshold = 1e300;  // ...but never question a result
+    return config;
+}
+
+std::string
+pointStatusTag(PointStatus status)
+{
+    switch (status) {
+      case PointStatus::Clean:
+        return "clean";
+      case PointStatus::Recovered:
+        return "recovered";
+      case PointStatus::Degraded:
+        return "degraded";
+      case PointStatus::Failed:
+        return "failed";
+      case PointStatus::Resumed:
+        return "resumed";
+    }
+    return "?";
+}
+
+bool
+parsePointStatus(const std::string &tag, PointStatus &status)
+{
+    for (PointStatus candidate :
+         {PointStatus::Clean, PointStatus::Recovered,
+          PointStatus::Degraded, PointStatus::Failed,
+          PointStatus::Resumed}) {
+        if (pointStatusTag(candidate) == tag) {
+            status = candidate;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+CampaignPoint::converged() const
+{
+    return status == PointStatus::Clean ||
+        status == PointStatus::Recovered ||
+        status == PointStatus::Resumed;
+}
+
+struct CampaignEngine::CheckpointRow
+{
+    CampaignPoint point;
+};
+
+CampaignEngine::CampaignEngine(ExperimentRunner &runner,
+                               const CampaignConfig &config)
+    : experimentRunner(runner), campaignConfig(config)
+{
+    fatal_if(config.quorum == 0, "campaign quorum must be positive");
+    fatal_if(config.maxAttempts < config.quorum,
+             "attempt budget (", config.maxAttempts,
+             ") below quorum (", config.quorum, ")");
+    fatal_if(config.backoffFactor < 1.0,
+             "backoff factor must be >= 1");
+}
+
+double
+CampaignEngine::backoffDelay(const std::string &point_key,
+                             unsigned failure_index) const
+{
+    double delay = campaignConfig.backoffBaseSeconds *
+        std::pow(campaignConfig.backoffFactor,
+                 static_cast<double>(failure_index));
+    delay = std::min(delay, campaignConfig.backoffCapSeconds);
+    // Deterministic jitter: same point, same failure, same wait —
+    // independent of campaign order, like the fault plans.
+    Rng jitter(campaignConfig.backoffJitterSeed ^
+               hashString(point_key));
+    Rng draw = jitter.fork(failure_index);
+    return delay * (1.0 + 0.25 * draw.uniform());
+}
+
+std::vector<CampaignEngine::CheckpointRow>
+CampaignEngine::loadCheckpoint(hwsim::CpuCluster cluster,
+                               CampaignResult &result) const
+{
+    std::vector<CheckpointRow> rows;
+    if (campaignConfig.checkpointPath.empty() ||
+        !campaignConfig.resume ||
+        !std::filesystem::exists(campaignConfig.checkpointPath)) {
+        return rows;
+    }
+
+    CsvReader reader =
+        CsvReader::parseFile(campaignConfig.checkpointPath);
+    reader.requireColumns(kCheckpointColumns);
+    if (reader.columnIndex("workload") == CsvReader::npos) {
+        // Header is unusable; warn and rerun everything.
+        for (const std::string &error : reader.errorStrings()) {
+            result.warnings.push_back("checkpoint: " + error);
+            warn("checkpoint ", campaignConfig.checkpointPath, ": ",
+                 error);
+        }
+        return rows;
+    }
+
+    std::string tag = hwsim::clusterTag(cluster);
+    for (std::size_t i = 0; i < reader.rowCount(); ++i) {
+        if (reader.cell(i, "cluster") != tag)
+            continue;
+        std::size_t errors_before = reader.errors().size();
+
+        CampaignPoint point;
+        point.workload = reader.cell(i, "workload");
+        point.cluster = cluster;
+        point.freqMhz = reader.numericCell(i, "freq_mhz");
+        PointStatus recorded;
+        if (!parsePointStatus(reader.cell(i, "status"), recorded)) {
+            result.warnings.push_back(
+                "checkpoint: unknown status '" +
+                reader.cell(i, "status") + "' for " + point.workload);
+            continue;
+        }
+        point.status = recorded;
+        point.attempts = static_cast<unsigned>(
+            reader.numericCell(i, "attempts"));
+        point.failures = static_cast<unsigned>(
+            reader.numericCell(i, "failures"));
+        point.rejected = static_cast<unsigned>(
+            reader.numericCell(i, "rejected"));
+        point.backoffSeconds = reader.numericCell(i, "backoff_s");
+        point.execSeconds = reader.numericCell(i, "exec_seconds");
+        point.powerWatts = reader.numericCell(i, "power_watts");
+        point.temperatureC = reader.numericCell(i, "temperature_c");
+        point.voltage = reader.numericCell(i, "voltage");
+        point.throttled = reader.cell(i, "throttled") == "1";
+
+        if (reader.errors().size() != errors_before) {
+            // Invalid numerics: report and re-measure the point.
+            for (std::size_t e = errors_before;
+                 e < reader.errors().size(); ++e) {
+                result.warnings.push_back(
+                    "checkpoint: " + reader.errorStrings()[e]);
+            }
+            continue;
+        }
+        rows.push_back({point});
+    }
+    for (const std::string &error : reader.errorStrings()) {
+        // Structural problems (bad arity etc.) not already surfaced.
+        std::string message = "checkpoint: " + error;
+        if (std::find(result.warnings.begin(), result.warnings.end(),
+                      message) == result.warnings.end()) {
+            result.warnings.push_back(message);
+            warn("checkpoint ", campaignConfig.checkpointPath, ": ",
+                 error);
+        }
+    }
+    return rows;
+}
+
+void
+CampaignEngine::checkpointPoint(const CampaignPoint &point) const
+{
+    if (campaignConfig.checkpointPath.empty())
+        return;
+    const std::string &path = campaignConfig.checkpointPath;
+    bool need_header = !std::filesystem::exists(path) ||
+        std::filesystem::file_size(path) == 0;
+
+    std::ofstream out(path, std::ios::app);
+    if (!out) {
+        warnLimited("campaign-checkpoint-io", 3,
+                    "cannot append campaign checkpoint to ", path);
+        return;
+    }
+    auto emit = [&out](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i > 0)
+                out << ',';
+            out << CsvWriter::quote(cells[i]);
+        }
+        out << '\n';
+    };
+    if (need_header)
+        emit(kCheckpointColumns);
+    emit({point.workload, hwsim::clusterTag(point.cluster),
+          formatDouble(point.freqMhz, 3), pointStatusTag(point.status),
+          std::to_string(point.attempts),
+          std::to_string(point.failures),
+          std::to_string(point.rejected),
+          formatDouble(point.backoffSeconds, 6),
+          formatDouble(point.execSeconds, 9),
+          formatDouble(point.powerWatts, 6),
+          formatDouble(point.temperatureC, 3),
+          formatDouble(point.voltage, 4),
+          point.throttled ? "1" : "0"});
+    out.flush();  // a kill after this line loses at most one point
+    if (!out) {
+        warnLimited("campaign-checkpoint-io", 3,
+                    "cannot append campaign checkpoint to ", path);
+    }
+}
+
+void
+CampaignEngine::measurePoint(const workload::Workload &work,
+                             hwsim::CpuCluster cluster,
+                             double freq_mhz, CampaignPoint &point,
+                             ValidationRecord &record,
+                             CampaignResult &result)
+{
+    const std::string key = pointKey(work.name, freq_mhz);
+    hwsim::OdroidXu3Platform &board = experimentRunner.platform();
+    unsigned repeats = experimentRunner.config().repeats;
+
+    std::vector<hwsim::HwMeasurement> accepted;
+    std::vector<bool> rejected_mask;
+    std::size_t surviving = 0;
+
+    auto recompute = [&]() {
+        std::vector<double> times;
+        times.reserve(accepted.size());
+        for (const hwsim::HwMeasurement &m : accepted)
+            times.push_back(m.execSeconds);
+        // Timing is the convergence criterion; power outliers are
+        // rejected alongside on the same samples.
+        std::vector<double> powers;
+        powers.reserve(accepted.size());
+        for (const hwsim::HwMeasurement &m : accepted)
+            powers.push_back(m.powerWatts);
+        std::vector<bool> time_mask = mlstat::madOutlierMask(
+            times, campaignConfig.madThreshold);
+        std::vector<bool> power_mask = mlstat::madOutlierMask(
+            powers, campaignConfig.madThreshold);
+        rejected_mask.assign(accepted.size(), false);
+        surviving = 0;
+        for (std::size_t i = 0; i < accepted.size(); ++i) {
+            rejected_mask[i] = time_mask[i] || power_mask[i];
+            if (!rejected_mask[i])
+                ++surviving;
+        }
+    };
+
+    while (surviving < campaignConfig.quorum &&
+           point.attempts < campaignConfig.maxAttempts) {
+        ++point.attempts;
+        try {
+            accepted.push_back(
+                board.measure(work, cluster, freq_mhz, repeats));
+            recompute();
+        } catch (const hwsim::RunError &error) {
+            ++point.failures;
+            point.backoffSeconds +=
+                backoffDelay(key, point.failures - 1);
+            warnLimited("campaign-retry", 5, "retrying ", key,
+                        " after ", error.kind(), " (backoff ledger ",
+                        formatDouble(point.backoffSeconds, 2), " s)");
+        }
+    }
+
+    point.rejected = static_cast<unsigned>(accepted.size()) -
+        static_cast<unsigned>(surviving);
+
+    if (surviving == 0) {
+        point.status = PointStatus::Failed;
+        std::string message = detail::concatToString(
+            "campaign: ", key, " on ", hwsim::clusterTag(cluster),
+            " produced no usable measurement in ", point.attempts,
+            " attempts (", point.failures,
+            " run failures); excluded from collation");
+        result.warnings.push_back(message);
+        warnLimited("campaign-failed-point", 5, message);
+        return;
+    }
+
+    if (surviving < campaignConfig.quorum) {
+        point.status = PointStatus::Degraded;
+        std::string message = detail::concatToString(
+            "campaign: ", key, " on ", hwsim::clusterTag(cluster),
+            " converged only ", surviving, "/",
+            campaignConfig.quorum, " repeats in ", point.attempts,
+            " attempts; excluded from collation");
+        result.warnings.push_back(message);
+        warnLimited("campaign-degraded-point", 5, message);
+        // The scalars below are still filled in so the checkpoint
+        // records what was seen, but the dataset skips the point.
+    } else {
+        point.status = (point.failures == 0 && point.rejected == 0)
+            ? PointStatus::Clean
+            : PointStatus::Recovered;
+    }
+
+    // Median-collate the surviving repeats into one representative
+    // measurement.
+    std::vector<const hwsim::HwMeasurement *> kept;
+    for (std::size_t i = 0; i < accepted.size(); ++i) {
+        if (!rejected_mask[i])
+            kept.push_back(&accepted[i]);
+    }
+    auto median_of = [&kept](auto &&field) {
+        std::vector<double> values;
+        values.reserve(kept.size());
+        for (const hwsim::HwMeasurement *m : kept)
+            values.push_back(field(*m));
+        return mlstat::median(std::move(values));
+    };
+
+    hwsim::HwMeasurement collated = *kept.front();
+    collated.execSeconds = median_of(
+        [](const hwsim::HwMeasurement &m) { return m.execSeconds; });
+    collated.powerWatts = median_of(
+        [](const hwsim::HwMeasurement &m) { return m.powerWatts; });
+    collated.temperatureC = median_of([](
+        const hwsim::HwMeasurement &m) { return m.temperatureC; });
+    // The surviving per-repeat medians become the repeat record.
+    collated.repeatSeconds.clear();
+    for (const hwsim::HwMeasurement *m : kept)
+        collated.repeatSeconds.push_back(m->execSeconds);
+    // A genuine thermal limit throttles every surviving repeat; an
+    // injected episode is the minority and was rejected or outvoted.
+    std::size_t throttled_count = 0;
+    for (const hwsim::HwMeasurement *m : kept)
+        throttled_count += m->throttled ? 1 : 0;
+    collated.throttled = throttled_count * 2 > kept.size();
+    // PMC counts: median per event over the repeats that captured it
+    // (multiplex-loss faults leave holes in individual repeats).
+    collated.pmc.clear();
+    std::map<int, std::vector<double>> per_event;
+    for (const hwsim::HwMeasurement *m : kept) {
+        for (const auto &[id, count] : m->pmc)
+            per_event[id].push_back(count);
+    }
+    for (auto &[id, counts] : per_event)
+        collated.pmc[id] = mlstat::median(std::move(counts));
+
+    point.execSeconds = collated.execSeconds;
+    point.powerWatts = collated.powerWatts;
+    point.temperatureC = collated.temperatureC;
+    point.voltage = collated.voltage;
+    point.throttled = collated.throttled;
+
+    record.work = &work;
+    record.cluster = cluster;
+    record.freqMhz = freq_mhz;
+    record.hw = std::move(collated);
+    record.g5 = experimentRunner.simulator().run(
+        work, ExperimentRunner::modelFor(cluster), freq_mhz);
+}
+
+CampaignResult
+CampaignEngine::runValidation(hwsim::CpuCluster cluster)
+{
+    return runValidation(cluster,
+                         ExperimentRunner::frequenciesFor(cluster));
+}
+
+CampaignResult
+CampaignEngine::runValidation(hwsim::CpuCluster cluster,
+                              const std::vector<double> &freqs_mhz)
+{
+    CampaignResult result;
+    result.dataset.cluster = cluster;
+    result.dataset.g5Version = experimentRunner.config().g5Version;
+    result.dataset.freqsMhz = freqs_mhz;
+
+    // Index the checkpoint by point key.
+    std::map<std::string, CampaignPoint> finished;
+    for (const CheckpointRow &row : loadCheckpoint(cluster, result))
+        finished[pointKey(row.point.workload, row.point.freqMhz)] =
+            row.point;
+
+    g5::G5Model model = ExperimentRunner::modelFor(cluster);
+    for (const workload::Workload *work :
+         workload::Suite::validationSet()) {
+        for (double freq : freqs_mhz) {
+            if (campaignConfig.maxPoints != 0 &&
+                result.points.size() >= campaignConfig.maxPoints) {
+                result.complete = false;
+                inform("campaign stopped after ",
+                       result.points.size(), " points (maxPoints)");
+                return result;
+            }
+
+            const std::string key = pointKey(work->name, freq);
+            auto it = finished.find(key);
+            if (it != finished.end()) {
+                // Restored from the checkpoint: never re-measured.
+                CampaignPoint point = it->second;
+                bool was_converged = point.converged();
+                point.status = PointStatus::Resumed;
+                if (!was_converged) {
+                    // A recorded failure stays excluded; keep its
+                    // original tag in the report.
+                    point.status = it->second.status;
+                    ++result.excludedPoints;
+                } else {
+                    ValidationRecord record;
+                    record.work = work;
+                    record.cluster = cluster;
+                    record.freqMhz = freq;
+                    record.hw.workload = work->name;
+                    record.hw.cluster = cluster;
+                    record.hw.freqMhz = freq;
+                    record.hw.voltage = point.voltage;
+                    record.hw.execSeconds = point.execSeconds;
+                    record.hw.repeatSeconds = {point.execSeconds};
+                    record.hw.powerWatts = point.powerWatts;
+                    record.hw.temperatureC = point.temperatureC;
+                    record.hw.throttled = point.throttled;
+                    record.g5 = experimentRunner.simulator().run(
+                        *work, model, freq);
+                    result.dataset.records.push_back(
+                        std::move(record));
+                }
+                ++result.resumedPoints;
+                result.points.push_back(std::move(point));
+                continue;
+            }
+
+            CampaignPoint point;
+            point.workload = work->name;
+            point.cluster = cluster;
+            point.freqMhz = freq;
+            ValidationRecord record;
+            measurePoint(*work, cluster, freq, point, record, result);
+
+            ++result.measuredPoints;
+            result.totalAttempts += point.attempts;
+            result.totalFailures += point.failures;
+            result.totalRejected += point.rejected;
+            result.backoffSeconds += point.backoffSeconds;
+            if (point.converged())
+                result.dataset.records.push_back(std::move(record));
+            else
+                ++result.excludedPoints;
+
+            checkpointPoint(point);
+            result.points.push_back(std::move(point));
+        }
+    }
+    return result;
+}
+
+} // namespace gemstone::core

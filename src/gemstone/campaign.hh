@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Resilient measurement campaigns.
+ *
+ * ExperimentRunner does one naive pass per (workload, frequency)
+ * point; a single hung run, stuck sensor or thermal episode lands
+ * straight in the collated dataset. CampaignEngine wraps the runner
+ * with the recovery policy a real lab flow needs:
+ *
+ *  - transient run failures (hwsim::RunError) are retried with
+ *    bounded exponential backoff and deterministic, seed-derived
+ *    jitter (the wait is ledgered, not slept);
+ *  - each point collects a quorum of repeats and rejects outliers by
+ *    the MAD criterion (mlstat/robust.hh) before collating a median
+ *    representative;
+ *  - a point that never converges is flagged and excluded from the
+ *    dataset with a structured warning instead of poisoning it;
+ *  - completed points are checkpointed to CSV as they finish, so a
+ *    killed campaign resumes without rerunning finished work.
+ *
+ * The checkpoint stores the collated per-point scalars (timing,
+ * power, temperature), which is everything the validation analyses
+ * consume; resumed records carry an empty PMC map. Fault decisions
+ * are pure functions of (point, attempt) — see hwsim/faults.hh — so
+ * a resumed campaign observes exactly the faults the uninterrupted
+ * one would have.
+ */
+
+#ifndef GEMSTONE_GEMSTONE_CAMPAIGN_HH
+#define GEMSTONE_GEMSTONE_CAMPAIGN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gemstone/dataset.hh"
+#include "gemstone/runner.hh"
+
+namespace gemstone::core {
+
+/** Campaign resilience policy. */
+struct CampaignConfig
+{
+    /** Non-outlier repeats required before a point converges. */
+    unsigned quorum = 3;
+
+    /** Attempt budget per point (successful or failed alike). */
+    unsigned maxAttempts = 8;
+
+    /** Robust-z cut for MAD outlier rejection across the quorum. */
+    double madThreshold = 3.5;
+
+    /** Exponential backoff after a failed run: base * factor^n,
+     *  capped, with deterministic seed-derived jitter. The waits are
+     *  accumulated in a ledger rather than actually slept. */
+    double backoffBaseSeconds = 0.25;
+    double backoffFactor = 2.0;
+    double backoffCapSeconds = 8.0;
+    std::uint64_t backoffJitterSeed = 0x0ff7e57ULL;
+
+    /** Checkpoint CSV path; empty disables checkpointing. */
+    std::string checkpointPath;
+
+    /** Load an existing checkpoint before measuring. */
+    bool resume = true;
+
+    /** Stop after this many points (0 = no limit). Used by tests to
+     *  emulate a campaign killed midway. */
+    std::size_t maxPoints = 0;
+
+    /**
+     * The naive lab flow for comparison: accept the first returned
+     * measurement per point, rerun crashes blindly, reject nothing.
+     */
+    static CampaignConfig naive();
+};
+
+/** Outcome of one campaign point. */
+enum class PointStatus
+{
+    Clean,      //!< converged with no retries or rejections
+    Recovered,  //!< converged after retries/outlier rejections
+    Degraded,   //!< attempt budget exhausted below quorum: excluded
+    Failed,     //!< no usable measurement at all: excluded
+    Resumed,    //!< restored from the checkpoint, not re-measured
+};
+
+/** Checkpoint/report tag, e.g. "recovered". */
+std::string pointStatusTag(PointStatus status);
+
+/** Tag -> status; false when the tag is unknown. */
+bool parsePointStatus(const std::string &tag, PointStatus &status);
+
+/** Per-point campaign accounting. */
+struct CampaignPoint
+{
+    std::string workload;
+    hwsim::CpuCluster cluster = hwsim::CpuCluster::BigA15;
+    double freqMhz = 0.0;
+    PointStatus status = PointStatus::Clean;
+    unsigned attempts = 0;      //!< measurement attempts spent
+    unsigned failures = 0;      //!< RunErrors absorbed
+    unsigned rejected = 0;      //!< quorum samples rejected as outliers
+    double backoffSeconds = 0.0;  //!< ledgered retry wait
+    double execSeconds = 0.0;
+    double powerWatts = 0.0;
+    double temperatureC = 0.0;
+    double voltage = 0.0;
+    bool throttled = false;
+
+    /** True when the point contributes to the collated dataset. */
+    bool converged() const;
+};
+
+/** A finished (or interrupted) campaign. */
+struct CampaignResult
+{
+    /** Collated dataset over the converged points only. */
+    ValidationDataset dataset;
+
+    /** Every processed point, in campaign order. */
+    std::vector<CampaignPoint> points;
+
+    unsigned measuredPoints = 0;   //!< points measured this run
+    unsigned resumedPoints = 0;    //!< points restored from checkpoint
+    unsigned excludedPoints = 0;   //!< degraded + failed points
+    unsigned totalAttempts = 0;
+    unsigned totalFailures = 0;
+    unsigned totalRejected = 0;
+    double backoffSeconds = 0.0;
+
+    /** Structured warnings for excluded or checkpoint problems. */
+    std::vector<std::string> warnings;
+
+    /** False when maxPoints stopped the campaign early. */
+    bool complete = true;
+};
+
+/**
+ * Drives resilient validation campaigns on top of an
+ * ExperimentRunner. Fault injection, if wanted, is armed on the
+ * runner's platform (platform().injectFaults()); the engine itself
+ * is oblivious to whether failures are injected or real.
+ */
+class CampaignEngine
+{
+  public:
+    explicit CampaignEngine(ExperimentRunner &runner,
+                            const CampaignConfig &config = {});
+
+    /** Campaign across the paper's DVFS points of a cluster. */
+    CampaignResult runValidation(hwsim::CpuCluster cluster);
+
+    /** Campaign limited to chosen frequencies. */
+    CampaignResult runValidation(hwsim::CpuCluster cluster,
+                                 const std::vector<double> &freqs_mhz);
+
+    const CampaignConfig &config() const { return campaignConfig; }
+
+  private:
+    struct CheckpointRow;
+
+    /** Measure one point to convergence; fills @p point and, when
+     *  converged, @p record. */
+    void measurePoint(const workload::Workload &work,
+                      hwsim::CpuCluster cluster, double freq_mhz,
+                      CampaignPoint &point, ValidationRecord &record,
+                      CampaignResult &result);
+
+    /** Ledgered wait before retry number @p failure_index. */
+    double backoffDelay(const std::string &point_key,
+                        unsigned failure_index) const;
+
+    /** Load checkpointed points for a cluster; returns rows keyed by
+     *  "workload@freq". Parse problems become result warnings. */
+    std::vector<CheckpointRow> loadCheckpoint(
+        hwsim::CpuCluster cluster, CampaignResult &result) const;
+
+    /** Append one finished point to the checkpoint file. */
+    void checkpointPoint(const CampaignPoint &point) const;
+
+    ExperimentRunner &experimentRunner;
+    CampaignConfig campaignConfig;
+};
+
+} // namespace gemstone::core
+
+#endif // GEMSTONE_GEMSTONE_CAMPAIGN_HH

@@ -243,9 +243,13 @@ writeReportFiles(const Report &report, const std::string &directory)
                             r.g5.value("system.cpu.numCycles"), 0),
                         formatDouble(r.hw.powerWatts, 4)});
         }
-        fatal_if(!csv.writeFile(directory + "/validation.csv"),
-                 "cannot write validation.csv");
-        ++files;
+        // A failed CSV is a degraded report, not a dead flow: warn
+        // with the path and keep writing the remaining files.
+        std::string path = directory + "/validation.csv";
+        if (csv.writeFile(path))
+            ++files;
+        else
+            warn("cannot write report file ", path);
     }
 
     // Workload clustering.
@@ -256,9 +260,11 @@ writeReportFiles(const Report &report, const std::string &directory)
             csv.addRow({w.name, std::to_string(w.cluster),
                         formatDouble(w.mpe, 6)});
         }
-        fatal_if(!csv.writeFile(directory + "/clusters.csv"),
-                 "cannot write clusters.csv");
-        ++files;
+        std::string path = directory + "/clusters.csv";
+        if (csv.writeFile(path))
+            ++files;
+        else
+            warn("cannot write report file ", path);
     }
 
     // PMC correlations.
@@ -269,10 +275,11 @@ writeReportFiles(const Report &report, const std::string &directory)
             csv.addRow({e.name, formatDouble(e.correlation, 6),
                         std::to_string(e.cluster)});
         }
-        fatal_if(!csv.writeFile(
-                     directory + "/pmc_correlation.csv"),
-                 "cannot write pmc_correlation.csv");
-        ++files;
+        std::string path = directory + "/pmc_correlation.csv";
+        if (csv.writeFile(path))
+            ++files;
+        else
+            warn("cannot write report file ", path);
     }
 
     // Event comparison.
@@ -287,10 +294,11 @@ writeReportFiles(const Report &report, const std::string &directory)
                         formatDouble(row.totalMape, 6),
                         formatDouble(row.totalMpe, 6)});
         }
-        fatal_if(!csv.writeFile(
-                     directory + "/event_comparison.csv"),
-                 "cannot write event_comparison.csv");
-        ++files;
+        std::string path = directory + "/event_comparison.csv";
+        if (csv.writeFile(path))
+            ++files;
+        else
+            warn("cannot write report file ", path);
     }
 
     // The full PMU capture per workload at the analysis frequency —
@@ -307,9 +315,11 @@ writeReportFiles(const Report &report, const std::string &directory)
                 row.push_back(formatDouble(r->hw.pmcValue(id), 2));
             csv.addRow(row);
         }
-        fatal_if(!csv.writeFile(directory + "/hw_pmcs.csv"),
-                 "cannot write hw_pmcs.csv");
-        ++files;
+        std::string path = directory + "/hw_pmcs.csv";
+        if (csv.writeFile(path))
+            ++files;
+        else
+            warn("cannot write report file ", path);
     }
 
     if (report.hasPower) {

@@ -9,6 +9,7 @@
 
 #include "mlstat/descriptive.hh"
 #include "util/logging.hh"
+#include "util/strutil.hh"
 
 namespace gemstone::hwsim {
 
@@ -282,6 +283,19 @@ OdroidXu3Platform::clearCache()
     runCache.clear();
 }
 
+void
+OdroidXu3Platform::injectFaults(const FaultConfig &config)
+{
+    faultInjector = FaultInjector(config);
+    faultAttempts.clear();
+}
+
+void
+OdroidXu3Platform::resetFaultAttempts()
+{
+    faultAttempts.clear();
+}
+
 const uarch::RunResult &
 OdroidXu3Platform::baseRun(const workload::Workload &work,
                            CpuCluster cluster)
@@ -328,14 +342,37 @@ OdroidXu3Platform::measureEvents(const workload::Workload &work,
     m.freqMhz = freq_mhz;
     m.voltage = voltageFor(cluster, freq_mhz);
 
+    // Fault plan for this attempt. With the injector inactive the
+    // plan is benign and every path below is bit-identical to the
+    // fault-free build; a failed run dies before touching anything.
+    FaultInjector::Plan plan;
+    if (faultInjector.active()) {
+        std::string point_key = work.name + ":" +
+            clusterTag(cluster) + ":" + formatDouble(freq_mhz, 3);
+        unsigned attempt = faultAttempts[point_key]++;
+        plan = faultInjector.plan(work.name, clusterTag(cluster),
+                                  freq_mhz, attempt);
+        if (plan.runFails) {
+            throw RunError(
+                plan.failureKind,
+                detail::concatToString(
+                    plan.failureKind, ": ", work.name, " on ",
+                    clusterTag(cluster), " @ ", freq_mhz,
+                    " MHz (attempt ", attempt, ")"));
+        }
+    }
+
     const uarch::RunResult &base = baseRun(work, cluster);
     uarch::RunResult run = uarch::retimeRun(base, freq_mhz / 1000.0);
     m.groundTruth = run.aggregate;
 
-    // Deterministic per-measurement noise stream.
+    // Deterministic per-measurement noise stream. Retry attempts mix
+    // in the attempt tag (0 on the first attempt, so the clean
+    // stream is unchanged) to observe fresh noise.
     Rng rng = masterRng.fork(
         hashString(work.name + clusterTag(cluster)) ^
-        static_cast<std::uint64_t>(freq_mhz));
+        static_cast<std::uint64_t>(freq_mhz) ^
+        (plan.noiseStreamTag * 0x9e3779b97f4a7c15ULL));
 
     // Thermal behaviour: power heats the die; at the top A15 OPP the
     // trip point is exceeded and the governor drops a step (this is
@@ -366,23 +403,59 @@ OdroidXu3Platform::measureEvents(const workload::Workload &work,
         power = gtp.meanPower(run.aggregate, run.seconds, m.voltage,
                               run.frequencyGhz, temp);
     }
+    // Injected thermal episode: the governor bounces below the
+    // requested OPP mid-run, inflating the wall time while the die
+    // sits at the trip point. The event record is unchanged — the
+    // work done is the same, it just takes longer.
+    double fault_time_scale = 1.0;
+    if (plan.thermalEpisode) {
+        fault_time_scale =
+            1.0 + faultInjector.config().thermalSlowdown;
+        m.throttled = true;
+        temp = std::max(temp, thermalModel.tripPoint());
+        warnLimited("fault-thermal-episode", 3,
+                    "injected thermal episode on ", work.name, " @ ",
+                    freq_mhz, " MHz");
+    }
     m.temperatureC = temp;
 
     // Timing repeats: the true time plus run-to-run jitter (OS noise,
     // DVFS transitions, cache warmth); the median is reported.
     for (unsigned r = 0; r < repeats; ++r) {
         double jitter = 1.0 + std::fabs(rng.gaussian(0.0, 0.006));
-        m.repeatSeconds.push_back(run.seconds * jitter);
+        m.repeatSeconds.push_back(run.seconds * fault_time_scale *
+                                  jitter);
     }
     m.execSeconds = mlstat::median(m.repeatSeconds);
 
-    // PMC capture across multiplexed instrumented runs.
-    m.pmc = pmuSampler.capture(event_ids, run.aggregate, rng);
+    // PMC capture across multiplexed instrumented runs (faults may
+    // drop a multiplex group or wrap 32-bit counts).
+    PmuSampler::CaptureFaults pmu_faults;
+    pmu_faults.loseGroup = plan.pmcGroupLoss;
+    pmu_faults.lostGroup = plan.lostGroup;
+    pmu_faults.overflow = plan.pmcOverflow;
+    m.pmc = pmuSampler.captureFaulty(event_ids, run.aggregate, rng,
+                                     pmu_faults);
+    if (plan.pmcGroupLoss)
+        warnLimited("fault-pmc-loss", 3,
+                    "lost a PMC multiplex group on ", work.name);
 
     // Power measurement: the workload is repeated so the cluster is
-    // exercised for at least 30 s of sensor time.
+    // exercised for at least 30 s of sensor time. A stuck sensor
+    // replays a stale idle-period sample; a dropout loses part of
+    // the averaging window.
     double window = std::max(30.0, run.seconds);
-    m.powerWatts = powerSensor.measure(power, window, rng);
+    if (plan.sensorStuck) {
+        m.powerWatts = powerSensor.stuckReading(
+            power * plan.sensorStuckScale, rng);
+        warnLimited("fault-sensor-stuck", 3,
+                    "stuck power sensor on ", work.name);
+    } else if (plan.sensorDropout) {
+        m.powerWatts = powerSensor.measureDegraded(
+            power, window, plan.sensorDropFraction, rng);
+    } else {
+        m.powerWatts = powerSensor.measure(power, window, rng);
+    }
 
     return m;
 }

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "hwsim/faults.hh"
 #include "hwsim/pmu.hh"
 #include "hwsim/power.hh"
 #include "uarch/system.hh"
@@ -127,6 +128,23 @@ class OdroidXu3Platform
     const PowerSensor &sensor() const { return powerSensor; }
     const ThermalModel &thermal() const { return thermalModel; }
 
+    /**
+     * Arm fault injection. Disabled by default; with an inactive
+     * config every measurement stays bit-identical to a platform
+     * that never heard of faults. Repeated measure() calls on the
+     * same (workload, cluster, freq) point count as successive
+     * attempts, and attempt n of a point sees the same faults no
+     * matter when in the campaign it happens — the property that
+     * makes checkpoint/resume replayable.
+     */
+    void injectFaults(const FaultConfig &config);
+
+    /** The armed injector (inactive by default). */
+    const FaultInjector &faults() const { return faultInjector; }
+
+    /** Forget per-point attempt history (fresh campaign). */
+    void resetFaultAttempts();
+
     /** Ground-truth power function (tests only). */
     const GroundTruthPower &groundTruthPower(CpuCluster cluster) const;
 
@@ -145,6 +163,9 @@ class OdroidXu3Platform
     GroundTruthPower bigPower;
     GroundTruthPower littlePower;
     std::map<std::string, uarch::RunResult> runCache;
+    FaultInjector faultInjector;
+    /** Attempts made per (workload, cluster, freq) point. */
+    std::map<std::string, unsigned> faultAttempts;
 };
 
 } // namespace gemstone::hwsim

@@ -5,6 +5,8 @@
 
 #include "hwsim/pmu.hh"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "util/logging.hh"
@@ -309,6 +311,31 @@ PmuSampler::capture(const std::vector<int> &event_ids,
         // Counts are integers on real hardware; keep sub-one values
         // exact so rates of rare events stay meaningful.
         out[event_ids[i]] = measured < 0 ? 0.0 : measured;
+    }
+    return out;
+}
+
+std::map<int, double>
+PmuSampler::captureFaulty(const std::vector<int> &event_ids,
+                          const uarch::EventCounts &truth, Rng &rng,
+                          const CaptureFaults &faults) const
+{
+    std::map<int, double> out = capture(event_ids, truth, rng);
+    if (faults.loseGroup && !event_ids.empty()) {
+        unsigned groups = runsNeeded(event_ids.size());
+        unsigned lost = faults.lostGroup % groups;
+        std::size_t first = std::size_t{lost} * counterSlots;
+        std::size_t last = std::min(first + counterSlots,
+                                    event_ids.size());
+        for (std::size_t i = first; i < last; ++i)
+            out.erase(event_ids[i]);
+    }
+    if (faults.overflow) {
+        constexpr double kCounterWrap = 4294967296.0;  // 2^32
+        for (auto &[id, count] : out) {
+            if (count >= kCounterWrap)
+                count = std::fmod(count, kCounterWrap);
+        }
     }
     return out;
 }

@@ -86,6 +86,30 @@ class PmuSampler
                                   const uarch::EventCounts &truth,
                                   Rng &rng) const;
 
+    /** PMC corruption selected by the fault injector. */
+    struct CaptureFaults
+    {
+        /** Drop one whole multiplex group of events. */
+        bool loseGroup = false;
+        /** Which group (clamped to the groups actually used). */
+        unsigned lostGroup = 0;
+        /** Wrap counts at the 32-bit counter width. */
+        bool overflow = false;
+    };
+
+    /**
+     * capture() through an injected fault: a lost multiplex group
+     * never reaches the output map (the harness sees those events as
+     * simply missing), and an overflow episode wraps every count at
+     * 2^32 exactly as the real 32-bit PMCs do when a multiplexing
+     * window runs long. With a default-constructed @p faults this is
+     * capture() bit for bit.
+     */
+    std::map<int, double> captureFaulty(
+        const std::vector<int> &events,
+        const uarch::EventCounts &truth, Rng &rng,
+        const CaptureFaults &faults) const;
+
     /** Number of instrumented runs needed for n events. */
     unsigned runsNeeded(std::size_t event_count) const;
 

@@ -109,6 +109,25 @@ PowerSensor::measure(double true_power, double duration_seconds,
     return reading > 0.0 ? reading : 0.0;
 }
 
+double
+PowerSensor::measureDegraded(double true_power,
+                             double duration_seconds,
+                             double dropped_fraction, Rng &rng) const
+{
+    fatal_if(dropped_fraction < 0.0 || dropped_fraction >= 1.0,
+             "dropped fraction must be in [0, 1)");
+    return measure(true_power,
+                   duration_seconds * (1.0 - dropped_fraction), rng);
+}
+
+double
+PowerSensor::stuckReading(double stale_power, Rng &rng) const
+{
+    // One sample's worth of noise, regardless of how long the stuck
+    // interface is polled.
+    return measure(stale_power, 1.0 / sampleHz, rng);
+}
+
 ThermalModel::ThermalModel(double ambient_c, double c_per_watt,
                            double trip_c)
     : ambientC(ambient_c), cPerWatt(c_per_watt), tripC(trip_c)

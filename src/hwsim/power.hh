@@ -98,6 +98,25 @@ class PowerSensor
     double measure(double true_power, double duration_seconds,
                    Rng &rng) const;
 
+    /**
+     * Observation through a degraded sensor: a dropout episode lost
+     * @p dropped_fraction of the window's samples, so the reported
+     * mean is averaged over correspondingly fewer samples (noisier).
+     * A fraction of 0 is exactly measure().
+     */
+    double measureDegraded(double true_power,
+                           double duration_seconds,
+                           double dropped_fraction, Rng &rng) const;
+
+    /**
+     * A stuck sensor: the interface keeps returning one stale sample
+     * taken when the cluster drew @p stale_power. Single-sample
+     * noise applies; the window length is irrelevant.
+     */
+    double stuckReading(double stale_power, Rng &rng) const;
+
+    double sampleRateHz() const { return sampleHz; }
+
   private:
     double sampleHz;
     double readingSigma;

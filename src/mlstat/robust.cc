@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Robust estimator implementations.
+ */
+
+#include "mlstat/robust.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mlstat/descriptive.hh"
+#include "util/logging.hh"
+
+namespace gemstone::mlstat {
+
+namespace {
+
+/** 1.4826 makes the MAD consistent with sigma for Gaussian data. */
+constexpr double kMadToSigma = 1.4826;
+
+/** 0.6745 = Phi^-1(0.75): robust-z scale used by Iglewicz–Hoaglin. */
+constexpr double kRobustZ = 0.6745;
+
+} // namespace
+
+double
+mad(const std::vector<double> &values, bool normalised)
+{
+    if (values.size() < 2)
+        return 0.0;
+    double centre = median(values);
+    std::vector<double> deviations;
+    deviations.reserve(values.size());
+    for (double v : values)
+        deviations.push_back(std::fabs(v - centre));
+    double raw = median(std::move(deviations));
+    return normalised ? kMadToSigma * raw : raw;
+}
+
+std::vector<double>
+robustZscores(const std::vector<double> &values)
+{
+    std::vector<double> scores(values.size(), 0.0);
+    if (values.size() < 2)
+        return scores;
+    double centre = median(values);
+    double scale = mad(values, /*normalised=*/false);
+    if (scale <= 0.0)
+        return scores;  // degenerate but consistent: flag nothing
+    for (std::size_t i = 0; i < values.size(); ++i)
+        scores[i] = kRobustZ * (values[i] - centre) / scale;
+    return scores;
+}
+
+std::vector<bool>
+madOutlierMask(const std::vector<double> &values, double threshold)
+{
+    std::vector<double> scores = robustZscores(values);
+    std::vector<bool> mask(values.size(), false);
+    for (std::size_t i = 0; i < scores.size(); ++i)
+        mask[i] = std::fabs(scores[i]) > threshold;
+    return mask;
+}
+
+double
+winsorisedMean(std::vector<double> values, double fraction)
+{
+    if (values.empty())
+        return 0.0;
+    fraction = std::clamp(fraction, 0.0, 0.4999);
+    std::sort(values.begin(), values.end());
+    std::size_t n = values.size();
+    auto clip = static_cast<std::size_t>(
+        std::floor(fraction * static_cast<double>(n)));
+    for (std::size_t i = 0; i < clip; ++i) {
+        values[i] = values[clip];
+        values[n - 1 - i] = values[n - 1 - clip];
+    }
+    return mean(values);
+}
+
+double
+quantile(std::vector<double> values, double q)
+{
+    if (values.empty())
+        return 0.0;
+    panic_if(q < 0.0 || q > 1.0, "quantile q out of range: ", q);
+    std::sort(values.begin(), values.end());
+    double pos = q * static_cast<double>(values.size() - 1);
+    auto lo = static_cast<std::size_t>(std::floor(pos));
+    auto hi = static_cast<std::size_t>(std::ceil(pos));
+    double frac = pos - static_cast<double>(lo);
+    return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+TukeyFences
+tukeyFences(const std::vector<double> &values, double k)
+{
+    TukeyFences fences;
+    if (values.empty())
+        return fences;
+    double q1 = quantile(values, 0.25);
+    double q3 = quantile(values, 0.75);
+    double iqr = q3 - q1;
+    fences.lo = q1 - k * iqr;
+    fences.hi = q3 + k * iqr;
+    return fences;
+}
+
+std::vector<bool>
+tukeyOutlierMask(const std::vector<double> &values, double k)
+{
+    TukeyFences fences = tukeyFences(values, k);
+    std::vector<bool> mask(values.size(), false);
+    if (values.empty())
+        return mask;
+    for (std::size_t i = 0; i < values.size(); ++i)
+        mask[i] = !fences.contains(values[i]);
+    return mask;
+}
+
+std::vector<double>
+rejectOutliers(const std::vector<double> &values,
+               const std::vector<bool> &rejected)
+{
+    panic_if(values.size() != rejected.size(),
+             "outlier mask size mismatch: ", values.size(), " vs ",
+             rejected.size());
+    std::vector<double> kept;
+    kept.reserve(values.size());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (!rejected[i])
+            kept.push_back(values[i]);
+    }
+    return kept;
+}
+
+} // namespace gemstone::mlstat

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Robust statistics for fault-contaminated measurements.
+ *
+ * Lab measurement campaigns on commodity boards collect samples that
+ * are occasionally corrupted — a stuck power sensor, a thermal
+ * throttle episode mid-run, a smeared timing repeat. Means and
+ * standard deviations are poisoned by a single such sample; the
+ * estimators here (median/MAD location and scale, winsorised means,
+ * Tukey fences) have high breakdown points and back the quorum logic
+ * of the resilient campaign engine (src/gemstone/campaign.hh).
+ */
+
+#ifndef GEMSTONE_MLSTAT_ROBUST_HH
+#define GEMSTONE_MLSTAT_ROBUST_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace gemstone::mlstat {
+
+/**
+ * Median absolute deviation from the median. When @p normalised the
+ * result is scaled by 1.4826 so it estimates the standard deviation
+ * of Gaussian data. 0 for inputs with fewer than two samples.
+ */
+double mad(const std::vector<double> &values, bool normalised = true);
+
+/**
+ * Robust z-scores: 0.6745 * (x - median) / MAD. When the MAD is zero
+ * (over half the samples identical) every score is 0, so nothing is
+ * flagged on degenerate but consistent data.
+ */
+std::vector<double> robustZscores(const std::vector<double> &values);
+
+/**
+ * Outlier mask by the MAD criterion: true where |robust z| exceeds
+ * @p threshold (3.5 is the classic Iglewicz–Hoaglin cut-off).
+ */
+std::vector<bool> madOutlierMask(const std::vector<double> &values,
+                                 double threshold = 3.5);
+
+/**
+ * Winsorised mean: the lowest and highest @p fraction of samples are
+ * clamped to the remaining extremes before averaging. @p fraction is
+ * per tail and is clamped to [0, 0.5).
+ */
+double winsorisedMean(std::vector<double> values, double fraction);
+
+/** Tukey fence interval [lo, hi] derived from the quartiles. */
+struct TukeyFences
+{
+    double lo = 0.0;
+    double hi = 0.0;
+
+    /** True when the value lies inside the fences (inclusive). */
+    bool contains(double value) const { return value >= lo && value <= hi; }
+};
+
+/**
+ * Quantile of type-7 (linear interpolation between order statistics,
+ * the R/NumPy default); @p q in [0, 1]. 0 for an empty input.
+ */
+double quantile(std::vector<double> values, double q);
+
+/**
+ * Tukey fences at quartiles -/+ @p k * IQR (k = 1.5 flags the usual
+ * "outliers"; k = 3 the "far out" points).
+ */
+TukeyFences tukeyFences(const std::vector<double> &values,
+                        double k = 1.5);
+
+/** Outlier mask by the Tukey fence test. */
+std::vector<bool> tukeyOutlierMask(const std::vector<double> &values,
+                                   double k = 1.5);
+
+/** Values surviving a mask (mask true = rejected). */
+std::vector<double> rejectOutliers(const std::vector<double> &values,
+                                   const std::vector<bool> &rejected);
+
+} // namespace gemstone::mlstat
+
+#endif // GEMSTONE_MLSTAT_ROBUST_HH

@@ -6,6 +6,8 @@
 #include "util/logging.hh"
 
 #include <atomic>
+#include <map>
+#include <mutex>
 
 namespace gemstone {
 
@@ -13,6 +15,14 @@ namespace {
 
 std::atomic<std::size_t> warnCounter{0};
 std::atomic<bool> quietMode{false};
+
+std::mutex limitedWarnMutex;
+std::map<std::string, std::size_t> &
+limitedWarnCounts()
+{
+    static std::map<std::string, std::size_t> counts;
+    return counts;
+}
 
 const char *
 levelName(LogLevel level)
@@ -51,6 +61,27 @@ emitLog(LogLevel level, const std::string &message, const char *file,
     std::cerr << "\n";
 }
 
+void
+emitLimitedWarn(const std::string &key, std::size_t limit,
+                const std::string &message, const char *file, int line)
+{
+    std::size_t seen;
+    {
+        std::lock_guard<std::mutex> lock(limitedWarnMutex);
+        seen = ++limitedWarnCounts()[key];
+    }
+    if (seen > limit)
+        return;
+    if (seen == limit && limit > 0) {
+        emitLog(LogLevel::Warn,
+                message + " (suppressing further '" + key +
+                    "' warnings)",
+                file, line);
+    } else {
+        emitLog(LogLevel::Warn, message, file, line);
+    }
+}
+
 } // namespace detail
 
 void
@@ -71,6 +102,21 @@ std::size_t
 warnCount()
 {
     return warnCounter.load(std::memory_order_relaxed);
+}
+
+std::size_t
+limitedWarnCount(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(limitedWarnMutex);
+    auto it = limitedWarnCounts().find(key);
+    return it == limitedWarnCounts().end() ? 0 : it->second;
+}
+
+void
+resetLimitedWarns()
+{
+    std::lock_guard<std::mutex> lock(limitedWarnMutex);
+    limitedWarnCounts().clear();
 }
 
 void

@@ -11,6 +11,7 @@
 #ifndef GEMSTONE_UTIL_LOGGING_HH
 #define GEMSTONE_UTIL_LOGGING_HH
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -37,6 +38,16 @@ concatToString(Args &&...args)
 void emitLog(LogLevel level, const std::string &message,
              const char *file, int line);
 
+/**
+ * Emit a warning for @p key at most @p limit times per process; the
+ * last permitted record announces the suppression. Suppressed calls
+ * are still tallied per key (see limitedWarnCount()) so tests can
+ * observe the true event rate.
+ */
+void emitLimitedWarn(const std::string &key, std::size_t limit,
+                     const std::string &message, const char *file,
+                     int line);
+
 } // namespace detail
 
 /**
@@ -55,6 +66,15 @@ void emitLog(LogLevel level, const std::string &message,
 
 /** Count of warnings emitted so far (useful in tests). */
 std::size_t warnCount();
+
+/**
+ * Times a rate-limited warning key has fired (0 for unseen keys);
+ * counts events, not printed records.
+ */
+std::size_t limitedWarnCount(const std::string &key);
+
+/** Forget all rate-limited warning keys (test isolation). */
+void resetLimitedWarns();
 
 /** Silence inform()/warn() output (records are still counted). */
 void setQuiet(bool quiet);
@@ -80,6 +100,30 @@ void setQuiet(bool quiet);
         ::gemstone::LogLevel::Inform,                                     \
         ::gemstone::detail::concatToString(__VA_ARGS__), __FILE__,        \
         __LINE__)
+
+/**
+ * warn() that fires at most once per call site for the lifetime of
+ * the process — for conditions that repeat identically thousands of
+ * times in a fault-injected campaign.
+ */
+#define warnOnce(...)                                                     \
+    do {                                                                  \
+        static std::atomic<bool> gs_warned_once_{false};                  \
+        if (!gs_warned_once_.exchange(true,                               \
+                                      std::memory_order_relaxed))         \
+            warn(__VA_ARGS__);                                            \
+    } while (0)
+
+/**
+ * warn() that emits at most @p limit records for the given key; the
+ * final permitted record announces that further ones are suppressed.
+ * Unlike warnOnce, keys are runtime values, so one call site can
+ * rate-limit per workload, per fault kind, etc.
+ */
+#define warnLimited(key, limit, ...)                                      \
+    ::gemstone::detail::emitLimitedWarn(                                  \
+        key, limit, ::gemstone::detail::concatToString(__VA_ARGS__),      \
+        __FILE__, __LINE__)
 
 /** panic() unless the given condition holds. */
 #define panic_if(cond, ...)                                               \

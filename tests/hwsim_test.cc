@@ -8,9 +8,11 @@
 
 #include <set>
 
+#include "hwsim/faults.hh"
 #include "hwsim/platform.hh"
 #include "hwsim/pmu.hh"
 #include "hwsim/power.hh"
+#include "util/logging.hh"
 #include "workload/workload.hh"
 
 using namespace gemstone;
@@ -347,4 +349,275 @@ TEST_F(PlatformMeasure, GroundTruthMatchesPmcScale)
     EXPECT_NEAR(m.pmcValue(0x08),
                 static_cast<double>(m.groundTruth.instructions),
                 m.pmcValue(0x08) * 0.02);
+}
+
+// ---------------------------------------------------------------------
+// Sensor and thermal edge cases that matter under faults
+// ---------------------------------------------------------------------
+
+TEST(Power, SensorWindowShorterThanOneSamplePeriod)
+{
+    // Below one 3.8 Hz sample period the sensor has exactly one
+    // sample to report, so every sub-period duration behaves the
+    // same (n clamps to 1 — the noise cannot shrink further).
+    PowerSensor sensor(3.8, 0.05);
+    Rng a(11), b(11), c(11);
+    double one_period = 1.0 / 3.8;
+    double tiny = sensor.measure(2.0, 0.001, a);
+    double short_win = sensor.measure(2.0, one_period * 0.5, b);
+    double full = sensor.measure(2.0, one_period, c);
+    EXPECT_DOUBLE_EQ(tiny, short_win);
+    EXPECT_DOUBLE_EQ(short_win, full);
+    EXPECT_GT(tiny, 0.0);
+}
+
+TEST(Power, SensorNeverReportsNegativePower)
+{
+    // Huge single-sample noise must clamp at zero, not go negative.
+    PowerSensor sensor(3.8, 5.0);
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_GE(sensor.measure(0.5, 0.1, rng), 0.0);
+}
+
+TEST(Power, DegradedSensorIsNoisierAndFractionZeroExact)
+{
+    PowerSensor sensor(3.8, 0.05);
+    {
+        Rng a(21), b(21);
+        EXPECT_DOUBLE_EQ(sensor.measure(1.0, 60.0, a),
+                         sensor.measureDegraded(1.0, 60.0, 0.0, b));
+    }
+    Rng a(22), b(22);
+    double spread_full = 0.0, spread_degraded = 0.0;
+    for (int i = 0; i < 300; ++i) {
+        spread_full += std::fabs(sensor.measure(1.0, 60.0, a) - 1.0);
+        spread_degraded +=
+            std::fabs(sensor.measureDegraded(1.0, 60.0, 0.9, b) - 1.0);
+    }
+    EXPECT_GT(spread_degraded, spread_full * 1.5);
+}
+
+TEST(Thermal, TripPointBoundaryIsExclusive)
+{
+    ThermalModel thermal(24.0, 9.0, 85.0);
+    // Exactly at the trip point the governor has not yet tripped;
+    // any excursion beyond it throttles.
+    EXPECT_FALSE(thermal.throttles(thermal.tripPoint()));
+    EXPECT_TRUE(thermal.throttles(
+        std::nextafter(thermal.tripPoint(), 1e9)));
+    EXPECT_FALSE(thermal.throttles(
+        std::nextafter(thermal.tripPoint(), -1e9)));
+    // The power that lands exactly on the trip point: 24 + 9p = 85.
+    double trip_power = (85.0 - 24.0) / 9.0;
+    EXPECT_FALSE(
+        thermal.throttles(thermal.steadyTemperature(trip_power)));
+    EXPECT_TRUE(thermal.throttles(
+        thermal.steadyTemperature(trip_power + 1e-6)));
+}
+
+// ---------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------
+
+TEST(Faults, DisabledConfigIsInactive)
+{
+    FaultConfig config;
+    EXPECT_FALSE(config.active());
+    // Enabled but with every probability zero is still inactive.
+    config.enabled = true;
+    EXPECT_FALSE(config.active());
+    config.runFailureProb = 0.5;
+    EXPECT_TRUE(config.active());
+    config.enabled = false;
+    EXPECT_FALSE(config.active());
+}
+
+TEST(Faults, DisabledInjectorKeepsPlatformBitIdentical)
+{
+    const workload::Workload &work =
+        workload::Suite::byName("mi-crc32");
+    OdroidXu3Platform clean(4242);
+    OdroidXu3Platform armed(4242);
+    armed.injectFaults(FaultConfig{});  // disabled master switch
+
+    HwMeasurement a =
+        clean.measure(work, CpuCluster::BigA15, 1400.0, 5);
+    HwMeasurement b =
+        armed.measure(work, CpuCluster::BigA15, 1400.0, 5);
+    EXPECT_DOUBLE_EQ(a.execSeconds, b.execSeconds);
+    EXPECT_DOUBLE_EQ(a.powerWatts, b.powerWatts);
+    ASSERT_EQ(a.pmc.size(), b.pmc.size());
+    for (const auto &[id, count] : a.pmc)
+        EXPECT_DOUBLE_EQ(count, b.pmc.at(id));
+    EXPECT_EQ(a.repeatSeconds, b.repeatSeconds);
+}
+
+TEST(Faults, PlansArePureFunctionsOfPointAndAttempt)
+{
+    FaultInjector injector(FaultConfig::labMix(77));
+    auto p1 = injector.plan("w", "a15", 1800.0, 3);
+    auto p2 = injector.plan("w", "a15", 1800.0, 3);
+    EXPECT_EQ(p1.runFails, p2.runFails);
+    EXPECT_EQ(p1.thermalEpisode, p2.thermalEpisode);
+    EXPECT_EQ(p1.sensorStuck, p2.sensorStuck);
+    EXPECT_DOUBLE_EQ(p1.sensorStuckScale, p2.sensorStuckScale);
+    EXPECT_EQ(p1.lostGroup, p2.lostGroup);
+
+    // Interleaving other plan() calls must not disturb a point's
+    // stream — the property resume depends on.
+    FaultInjector other(FaultConfig::labMix(77));
+    other.plan("x", "a7", 200.0, 0);
+    other.plan("y", "a15", 600.0, 1);
+    auto p3 = other.plan("w", "a15", 1800.0, 3);
+    EXPECT_EQ(p1.runFails, p3.runFails);
+    EXPECT_EQ(p1.thermalEpisode, p3.thermalEpisode);
+    EXPECT_DOUBLE_EQ(p1.sensorStuckScale, p3.sensorStuckScale);
+}
+
+TEST(Faults, AttemptsSeeDifferentDraws)
+{
+    FaultConfig config;
+    config.enabled = true;
+    config.thermalEpisodeProb = 0.5;
+    FaultInjector injector(config);
+    bool saw_episode = false, saw_clean = false;
+    for (unsigned attempt = 0; attempt < 32; ++attempt) {
+        auto plan = injector.plan("w", "a15", 1000.0, attempt);
+        (plan.thermalEpisode ? saw_episode : saw_clean) = true;
+    }
+    EXPECT_TRUE(saw_episode);
+    EXPECT_TRUE(saw_clean);
+    EXPECT_EQ(injector.tally().plans, 32u);
+}
+
+TEST(Faults, RunFailureSurfacesAsRunError)
+{
+    const workload::Workload &work =
+        workload::Suite::byName("mi-crc32");
+    OdroidXu3Platform board(7);
+    FaultConfig config;
+    config.enabled = true;
+    config.runFailureProb = 1.0;
+    board.injectFaults(config);
+    try {
+        board.measure(work, CpuCluster::BigA15, 1000.0, 1);
+        FAIL() << "expected RunError";
+    } catch (const RunError &error) {
+        EXPECT_TRUE(error.kind() == "hung-run" ||
+                    error.kind() == "crashed-run");
+        EXPECT_NE(std::string(error.what()).find("mi-crc32"),
+                  std::string::npos);
+    }
+    EXPECT_EQ(board.faults().tally().runFailures, 1u);
+}
+
+TEST(Faults, ThermalEpisodeInflatesTimeDeterministically)
+{
+    setQuiet(true);
+    const workload::Workload &work =
+        workload::Suite::byName("mi-crc32");
+    OdroidXu3Platform clean(123);
+    OdroidXu3Platform faulty(123);
+    FaultConfig config;
+    config.enabled = true;
+    config.thermalEpisodeProb = 1.0;
+    config.thermalSlowdown = 0.35;
+    faulty.injectFaults(config);
+
+    HwMeasurement a =
+        clean.measure(work, CpuCluster::BigA15, 1000.0, 3);
+    HwMeasurement b =
+        faulty.measure(work, CpuCluster::BigA15, 1000.0, 3);
+    // Attempt 0 shares the clean noise stream, so the inflation is
+    // exactly the configured slowdown.
+    EXPECT_NEAR(b.execSeconds / a.execSeconds, 1.35, 1e-9);
+    EXPECT_TRUE(b.throttled);
+    EXPECT_GE(b.temperatureC, faulty.thermal().tripPoint());
+    // The work done is unchanged — only the wall clock stretched.
+    EXPECT_EQ(b.groundTruth.instructions, a.groundTruth.instructions);
+    setQuiet(false);
+}
+
+TEST(Faults, StuckSensorReadsFarBelowTruth)
+{
+    setQuiet(true);
+    const workload::Workload &work =
+        workload::Suite::byName("mi-crc32");
+    OdroidXu3Platform clean(55);
+    OdroidXu3Platform faulty(55);
+    FaultConfig config;
+    config.enabled = true;
+    config.sensorStuckProb = 1.0;
+    faulty.injectFaults(config);
+
+    HwMeasurement a =
+        clean.measure(work, CpuCluster::BigA15, 1400.0, 1);
+    HwMeasurement b =
+        faulty.measure(work, CpuCluster::BigA15, 1400.0, 1);
+    // The latched sample dates from an idle stretch: 15-45% of the
+    // true power, far outside sensor noise.
+    EXPECT_LT(b.powerWatts, a.powerWatts * 0.6);
+    EXPECT_GT(b.powerWatts, 0.0);
+    setQuiet(false);
+}
+
+TEST(Faults, PmcGroupLossDropsEvents)
+{
+    setQuiet(true);
+    const workload::Workload &work =
+        workload::Suite::byName("mi-crc32");
+    OdroidXu3Platform board(99);
+    FaultConfig config;
+    config.enabled = true;
+    config.pmcGroupLossProb = 1.0;
+    board.injectFaults(config);
+
+    HwMeasurement m =
+        board.measure(work, CpuCluster::BigA15, 1000.0, 1);
+    std::size_t full = PmuEventTable::events().size();
+    EXPECT_LT(m.pmc.size(), full);
+    EXPECT_GE(m.pmc.size(), full - 6);  // one group of six lost
+    setQuiet(false);
+}
+
+TEST(Faults, PmcOverflowWrapsAt32Bits)
+{
+    PmuSampler sampler(6, 0.0);
+    uarch::EventCounts truth;
+    truth.cycles = 5e9;          // above 2^32: wraps
+    truth.instructions = 1000;   // below: untouched
+    Rng rng(1);
+    PmuSampler::CaptureFaults faults;
+    faults.overflow = true;
+    auto counts =
+        sampler.captureFaulty({0x11, 0x08}, truth, rng, faults);
+    EXPECT_DOUBLE_EQ(counts.at(0x11),
+                     5e9 - 4294967296.0);
+    EXPECT_DOUBLE_EQ(counts.at(0x08), 1000.0);
+}
+
+TEST(Faults, CaptureFaultyDefaultIsCaptureExactly)
+{
+    PmuSampler sampler(6, 0.01);
+    uarch::EventCounts truth;
+    truth.instructions = 123456;
+    truth.cycles = 777777;
+    Rng a(5), b(5);
+    auto plain = sampler.capture({0x08, 0x11}, truth, a);
+    auto faulty = sampler.captureFaulty({0x08, 0x11}, truth, b,
+                                        PmuSampler::CaptureFaults{});
+    EXPECT_EQ(plain, faulty);
+}
+
+TEST(Faults, LabMixEnablesEveryMode)
+{
+    FaultConfig mix = FaultConfig::labMix();
+    EXPECT_TRUE(mix.active());
+    EXPECT_GT(mix.runFailureProb, 0.0);
+    EXPECT_GT(mix.thermalEpisodeProb, 0.0);
+    EXPECT_GT(mix.sensorDropoutProb, 0.0);
+    EXPECT_GT(mix.sensorStuckProb, 0.0);
+    EXPECT_GT(mix.pmcGroupLossProb, 0.0);
+    EXPECT_GT(mix.pmcOverflowProb, 0.0);
 }

@@ -12,6 +12,7 @@
 #include "mlstat/distributions.hh"
 #include "mlstat/hca.hh"
 #include "mlstat/ols.hh"
+#include "mlstat/robust.hh"
 #include "mlstat/stepwise.hh"
 #include "util/random.hh"
 
@@ -519,4 +520,90 @@ TEST(Hca, CompleteVsSingleLinkage)
         euclideanDistances(points, false), Linkage::Complete);
     EXPECT_LE(single.merges.back().height,
               complete.merges.back().height);
+}
+
+// ---------------------------------------------------------------------
+// Robust statistics (src/mlstat/robust.hh)
+// ---------------------------------------------------------------------
+
+TEST(Robust, MadKnownVector)
+{
+    // {1,1,2,2,4,6,9}: median 2, |x - 2| = {1,1,0,0,2,4,7}, MAD 1.
+    std::vector<double> v = {1, 1, 2, 2, 4, 6, 9};
+    EXPECT_DOUBLE_EQ(mad(v, false), 1.0);
+    EXPECT_DOUBLE_EQ(mad(v, true), 1.4826);
+    EXPECT_DOUBLE_EQ(mad({5.0}, true), 0.0);
+    EXPECT_DOUBLE_EQ(mad({}, true), 0.0);
+}
+
+TEST(Robust, MadSurvivesGrossOutlier)
+{
+    // One corrupted sample moves the stddev by orders of magnitude
+    // but barely touches the MAD — the whole point of using it.
+    std::vector<double> clean = {10.0, 10.1, 9.9, 10.05, 9.95};
+    std::vector<double> dirty = clean;
+    dirty.push_back(1000.0);
+    EXPECT_GT(stddev(dirty), 100.0);
+    EXPECT_LT(mad(dirty), 0.5);
+}
+
+TEST(Robust, MadOutlierMaskFlagsOnlyTheSpike)
+{
+    std::vector<double> v = {1.0, 1.02, 0.98, 1.01, 0.99, 5.0};
+    std::vector<bool> mask = madOutlierMask(v, 3.5);
+    ASSERT_EQ(mask.size(), v.size());
+    for (std::size_t i = 0; i + 1 < v.size(); ++i)
+        EXPECT_FALSE(mask[i]) << "sample " << i << " wrongly flagged";
+    EXPECT_TRUE(mask.back());
+}
+
+TEST(Robust, ZeroMadFlagsNothing)
+{
+    // Over half the samples identical: the MAD collapses to zero and
+    // the mask must stay quiet instead of flagging everything.
+    std::vector<double> v = {2.0, 2.0, 2.0, 2.0, 7.0};
+    std::vector<bool> mask = madOutlierMask(v, 3.5);
+    for (bool flagged : mask)
+        EXPECT_FALSE(flagged);
+}
+
+TEST(Robust, WinsorisedMeanKnownVector)
+{
+    // 10% winsorisation of 10 samples clips one sample per tail:
+    // {1,...,9, 100} -> {2,...,9, 9}.
+    std::vector<double> v = {1, 2, 3, 4, 5, 6, 7, 8, 9, 100};
+    EXPECT_DOUBLE_EQ(winsorisedMean(v, 0.10), 5.5);
+    // fraction 0 is the plain mean.
+    EXPECT_DOUBLE_EQ(winsorisedMean(v, 0.0), mean(v));
+    EXPECT_DOUBLE_EQ(winsorisedMean({}, 0.1), 0.0);
+}
+
+TEST(Robust, QuantileType7)
+{
+    std::vector<double> v = {1, 2, 3, 4};
+    EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+    EXPECT_DOUBLE_EQ(quantile(v, 0.25), 1.75);  // R type-7 value
+}
+
+TEST(Robust, TukeyFencesKnownVector)
+{
+    // {1..8}: Q1 = 2.75, Q3 = 6.25, IQR = 3.5 (type-7 quartiles).
+    std::vector<double> v = {1, 2, 3, 4, 5, 6, 7, 8};
+    TukeyFences fences = tukeyFences(v, 1.5);
+    EXPECT_DOUBLE_EQ(fences.lo, 2.75 - 5.25);
+    EXPECT_DOUBLE_EQ(fences.hi, 6.25 + 5.25);
+    EXPECT_TRUE(fences.contains(1.0));
+    EXPECT_FALSE(fences.contains(12.0));
+}
+
+TEST(Robust, TukeyMaskAndRejection)
+{
+    std::vector<double> v = {3.0, 3.1, 2.9, 3.05, 2.95, 50.0};
+    std::vector<bool> mask = tukeyOutlierMask(v, 1.5);
+    EXPECT_TRUE(mask.back());
+    std::vector<double> kept = rejectOutliers(v, mask);
+    EXPECT_EQ(kept.size(), 5u);
+    EXPECT_LT(maxValue(kept), 4.0);
 }

@@ -316,3 +316,151 @@ TEST(Csv, MismatchedRowPanics)
     CsvWriter csv({"a", "b"});
     EXPECT_DEATH(csv.addRow({"1", "2", "3"}), "width mismatch");
 }
+
+// ---------------------------------------------------------------------
+// CsvReader
+// ---------------------------------------------------------------------
+
+TEST(CsvReader, ParsesPlainDocument)
+{
+    std::istringstream is("a,b,c\n1,2,3\n4,5,6\n");
+    CsvReader reader = CsvReader::parse(is);
+    EXPECT_TRUE(reader.ok());
+    EXPECT_EQ(reader.header(),
+              (std::vector<std::string>{"a", "b", "c"}));
+    ASSERT_EQ(reader.rowCount(), 2u);
+    EXPECT_EQ(reader.cell(0, "b"), "2");
+    EXPECT_EQ(reader.cell(1, "c"), "6");
+}
+
+TEST(CsvReader, RoundTripsWriterOutput)
+{
+    CsvWriter csv({"name", "note"});
+    csv.addRow({"x,y", "say \"hi\""});
+    csv.addRow({"multi\nline", "plain"});
+    std::ostringstream os;
+    csv.write(os);
+
+    std::istringstream is(os.str());
+    CsvReader reader = CsvReader::parse(is);
+    ASSERT_TRUE(reader.ok());
+    ASSERT_EQ(reader.rowCount(), 2u);
+    EXPECT_EQ(reader.cell(0, "name"), "x,y");
+    EXPECT_EQ(reader.cell(0, "note"), "say \"hi\"");
+    EXPECT_EQ(reader.cell(1, "name"), "multi\nline");
+}
+
+TEST(CsvReader, HandlesCrlfAndMissingFinalNewline)
+{
+    std::istringstream is("a,b\r\n1,2\r\n3,4");
+    CsvReader reader = CsvReader::parse(is);
+    EXPECT_TRUE(reader.ok());
+    ASSERT_EQ(reader.rowCount(), 2u);
+    EXPECT_EQ(reader.cell(1, "b"), "4");
+}
+
+TEST(CsvReader, ArityMismatchIsRowLevelError)
+{
+    std::istringstream is("a,b\n1,2\nonly-one\n3,4\n");
+    CsvReader reader = CsvReader::parse(is);
+    EXPECT_FALSE(reader.ok());
+    ASSERT_EQ(reader.errors().size(), 1u);
+    EXPECT_EQ(reader.errors()[0].line, 3u);  // the offending line
+    // Good rows survive around the bad one.
+    ASSERT_EQ(reader.rowCount(), 2u);
+    EXPECT_EQ(reader.cell(1, "a"), "3");
+}
+
+TEST(CsvReader, StructuralQuoteErrors)
+{
+    std::istringstream stray("a\nval\"ue\n");
+    EXPECT_FALSE(CsvReader::parse(stray).ok());
+
+    std::istringstream unterminated("a\n\"open\n");
+    CsvReader reader = CsvReader::parse(unterminated);
+    EXPECT_FALSE(reader.ok());
+    EXPECT_EQ(reader.rowCount(), 0u);
+
+    std::istringstream trailing("a\n\"quoted\"junk\n");
+    EXPECT_FALSE(CsvReader::parse(trailing).ok());
+}
+
+TEST(CsvReader, EmptyDocumentIsAnError)
+{
+    std::istringstream is("");
+    CsvReader reader = CsvReader::parse(is);
+    EXPECT_FALSE(reader.ok());
+    EXPECT_EQ(reader.rowCount(), 0u);
+}
+
+TEST(CsvReader, RequireColumnsReportsMissing)
+{
+    std::istringstream is("a,b\n1,2\n");
+    CsvReader reader = CsvReader::parse(is);
+    EXPECT_TRUE(reader.requireColumns({"a", "b"}));
+    EXPECT_TRUE(reader.ok());
+    EXPECT_FALSE(reader.requireColumns({"a", "missing"}));
+    EXPECT_FALSE(reader.ok());
+    EXPECT_EQ(reader.columnIndex("missing"), CsvReader::npos);
+}
+
+TEST(CsvReader, NumericCellValidates)
+{
+    std::istringstream is("k,v\ngood,1.25\nbad,oops\ninf,inf\n");
+    CsvReader reader = CsvReader::parse(is);
+    ASSERT_TRUE(reader.ok());
+    EXPECT_DOUBLE_EQ(reader.numericCell(0, "v"), 1.25);
+    EXPECT_TRUE(reader.ok());
+    EXPECT_DOUBLE_EQ(reader.numericCell(1, "v", -1.0), -1.0);
+    EXPECT_DOUBLE_EQ(reader.numericCell(2, "v", -1.0), -1.0);
+    EXPECT_EQ(reader.errors().size(), 2u);
+    // Errors are anchored to the offending source lines.
+    EXPECT_EQ(reader.errors()[0].line, 3u);
+    EXPECT_EQ(reader.errors()[1].line, 4u);
+}
+
+TEST(CsvReader, MissingFileIsAnError)
+{
+    CsvReader reader =
+        CsvReader::parseFile("/nonexistent/gemstone.csv");
+    EXPECT_FALSE(reader.ok());
+    ASSERT_EQ(reader.errors().size(), 1u);
+    EXPECT_NE(reader.errorStrings()[0].find("cannot open"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// warnOnce / warnLimited
+// ---------------------------------------------------------------------
+
+TEST(Logging, WarnOnceFiresOncePerSite)
+{
+    setQuiet(true);
+    std::size_t before = warnCount();
+    for (int i = 0; i < 5; ++i)
+        warnOnce("repeated condition ", i);
+    EXPECT_EQ(warnCount(), before + 1);
+    setQuiet(false);
+}
+
+TEST(Logging, WarnLimitedSuppressesAfterLimit)
+{
+    setQuiet(true);
+    resetLimitedWarns();
+    std::size_t before = warnCount();
+    for (int i = 0; i < 10; ++i)
+        warnLimited("util-test-key", 3, "noisy fault ", i);
+    // Only the first three records were emitted...
+    EXPECT_EQ(warnCount(), before + 3);
+    // ...but every event was tallied.
+    EXPECT_EQ(limitedWarnCount("util-test-key"), 10u);
+    EXPECT_EQ(limitedWarnCount("never-seen"), 0u);
+
+    // Independent keys do not share a budget.
+    warnLimited("util-test-other", 3, "different stream");
+    EXPECT_EQ(warnCount(), before + 4);
+
+    resetLimitedWarns();
+    EXPECT_EQ(limitedWarnCount("util-test-key"), 0u);
+    setQuiet(false);
+}
