@@ -14,6 +14,7 @@
 
 #include <iostream>
 
+#include "exec/threadpool.hh"
 #include "gemstone/analysis.hh"
 #include "gemstone/runner.hh"
 #include "util/strutil.hh"
@@ -27,7 +28,9 @@ main()
     std::cout << "E2 (Fig. 3): per-workload exec-time MPE @1GHz, "
                  "Cortex-A15, grouped by HCA cluster\n";
 
-    core::ExperimentRunner runner;
+    core::RunnerConfig runner_config;
+    runner_config.jobs = exec::ThreadPool::defaultThreadCount();
+    core::ExperimentRunner runner(runner_config);
     core::ValidationDataset dataset = runner.runValidation(
         hwsim::CpuCluster::BigA15, {600.0, 1000.0});
     core::WorkloadClustering clustering =

@@ -13,6 +13,7 @@
 
 #include <iostream>
 
+#include "exec/threadpool.hh"
 #include "gemstone/powereval.hh"
 #include "gemstone/runner.hh"
 #include "powmon/builder.hh"
@@ -75,7 +76,9 @@ main()
     std::cout << "E10 (Fig. 8): DVFS scaling of performance, power "
                  "and energy (g5 v1)\n";
 
-    core::ExperimentRunner runner;
+    core::RunnerConfig runner_config;
+    runner_config.jobs = exec::ThreadPool::defaultThreadCount();
+    core::ExperimentRunner runner(runner_config);
 
     // --- Cortex-A7 normalised to 200 MHz (the paper's Fig. 8) ---
     powmon::PowerModel little_model = buildModel(

@@ -19,6 +19,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "exec/threadpool.hh"
 #include "gemstone/campaign.hh"
 #include "gemstone/runner.hh"
 #include "hwsim/faults.hh"
@@ -76,10 +77,15 @@ main()
                   std::to_string(reference.records.size()),
                   formatPercent(reference.execMpe()), "-", "-"});
 
+        // Output is byte-identical at any thread count; use every
+        // core the machine has.
+        CampaignConfig resilient_policy;
+        resilient_policy.jobs = exec::ThreadPool::defaultThreadCount();
+        CampaignConfig naive_policy = CampaignConfig::naive();
+        naive_policy.jobs = resilient_policy.jobs;
         CampaignResult resilient =
-            faultedCampaign(cluster, CampaignConfig{});
-        CampaignResult naive =
-            faultedCampaign(cluster, CampaignConfig::naive());
+            faultedCampaign(cluster, resilient_policy);
+        CampaignResult naive = faultedCampaign(cluster, naive_policy);
         auto add_flow = [&](const std::string &label,
                             const CampaignResult &result) {
             double drift =

@@ -10,11 +10,15 @@
  * Usage:
  *   gemstone_tool [--cluster a15|a7] [--g5-version 1|2]
  *                 [--freq MHZ] [--no-power] [--out DIR]
+ *                 [--jobs N] [--cache PATH]
  */
 
 #include <cstring>
 #include <iostream>
+#include <memory>
 
+#include "exec/resultstore.hh"
+#include "exec/threadpool.hh"
 #include "gemstone/report.hh"
 #include "util/logging.hh"
 
@@ -34,7 +38,15 @@ usage()
         "  --no-power         skip power modelling and Fig. 7/8\n"
         "  --no-csv           write only the text report\n"
         "  --out DIR          output directory "
-        "(default gemstone-report)\n";
+        "(default gemstone-report)\n"
+        "  --jobs N           worker threads for campaigns; 0 means "
+        "all cores\n"
+        "                     (default 1; results are identical at "
+        "any N)\n"
+        "  --cache PATH       result-store CSV: reuse results from "
+        "PATH if it\n"
+        "                     exists, save the updated store back on "
+        "exit\n";
 }
 
 } // namespace
@@ -45,6 +57,7 @@ main(int argc, char **argv)
     core::RunnerConfig runner_config;
     core::ReportConfig report_config;
     std::string out_dir = "gemstone-report";
+    std::string cache_path;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -72,6 +85,15 @@ main(int argc, char **argv)
             report_config.writeCsv = false;
         } else if (arg == "--out") {
             out_dir = next();
+        } else if (arg == "--jobs") {
+            int jobs = std::stoi(next());
+            if (jobs < 0)
+                fatal("--jobs must be >= 0");
+            runner_config.jobs =
+                jobs == 0 ? exec::ThreadPool::defaultThreadCount()
+                          : static_cast<unsigned>(jobs);
+        } else if (arg == "--cache") {
+            cache_path = next();
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -82,6 +104,18 @@ main(int argc, char **argv)
     }
 
     core::ExperimentRunner runner(runner_config);
+
+    std::shared_ptr<exec::ResultStore> store;
+    if (!cache_path.empty()) {
+        store = std::make_shared<exec::ResultStore>();
+        std::size_t loaded = store->loadCsv(cache_path);
+        if (loaded > 0)
+            std::cout << "loaded " << loaded
+                      << " cached results from " << cache_path
+                      << "\n";
+        runner.attachResultStore(store);
+    }
+
     core::Report report =
         core::generateReport(runner, report_config);
 
@@ -90,5 +124,15 @@ main(int argc, char **argv)
     std::size_t files = core::writeReportFiles(report, out_dir);
     std::cout << "\nwrote " << files << " artefact files to "
               << out_dir << "/\n";
+
+    if (store) {
+        if (!store->saveCsv(cache_path))
+            warn("could not save result store to ", cache_path);
+        exec::ResultStore::Stats stats = store->stats();
+        std::cout << "result store " << cache_path << ": "
+                  << store->size() << " entries (" << stats.hits
+                  << " hits, " << stats.misses << " misses, "
+                  << stats.insertions << " new)\n";
+    }
     return 0;
 }

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Content-addressed memoisation store for simulation results.
+ *
+ * Measurement and simulation runs are pure functions of their
+ * configuration — (platform seed, board variation, fault plan,
+ * workload, cluster, frequency, attempt) for hwsim, (simulator
+ * version, model, workload, frequency) for g5 — so their results can
+ * be memoised under a content address: the FNV-1a hash of a
+ * canonical key string naming every input. The store keeps a bounded
+ * number of entries with LRU eviction, counts hits and misses, and
+ * can persist itself to CSV so a later process (or another machine)
+ * reuses finished work.
+ *
+ * Values are flat ordered lists of named doubles; the callers own
+ * the encoding of their result structs (see gemstone/runner.cc).
+ * Doubles survive the CSV round trip bit-exactly (17 significant
+ * digits), which is what makes a warm-cache campaign byte-identical
+ * to a cold one.
+ *
+ * Thread-safety contract: all public members are safe to call from
+ * any thread; a single mutex serialises the table, the LRU list and
+ * the counters.
+ */
+
+#ifndef GEMSTONE_EXEC_RESULTSTORE_HH
+#define GEMSTONE_EXEC_RESULTSTORE_HH
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace gemstone::exec {
+
+class ResultStore
+{
+  public:
+    /** Ordered (name, value) payload of one memoised result. */
+    using Fields = std::vector<std::pair<std::string, double>>;
+
+    /** Hit/miss accounting. */
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t insertions = 0;
+        std::uint64_t evictions = 0;
+        /** Distinct keys whose hash collided with a resident entry. */
+        std::uint64_t collisions = 0;
+    };
+
+    /** @param capacity resident entry bound (0 is clamped to 1) */
+    explicit ResultStore(std::size_t capacity = 65536);
+
+    /** FNV-1a 64-bit hash — the content address of a key string. */
+    static std::uint64_t fnv1a(const std::string &text);
+
+    /**
+     * Look up a key; on a hit the entry becomes most-recently-used
+     * and @p out receives the payload. Counts a hit or miss either
+     * way. A hash collision with a different resident key counts as
+     * a miss (and a collision).
+     */
+    bool lookup(const std::string &key, Fields &out);
+
+    /** Insert (or overwrite) a key, evicting LRU entries as needed. */
+    void insert(const std::string &key, Fields fields);
+
+    std::size_t size() const;
+    std::size_t capacity() const { return maxEntries; }
+    Stats stats() const;
+    void resetStats();
+    void clear();
+
+    /**
+     * Merge entries from a CSV previously written by saveCsv();
+     * returns the number of entries loaded. A missing file loads
+     * nothing; malformed rows are skipped with a warning.
+     */
+    std::size_t loadCsv(const std::string &path);
+
+    /**
+     * Persist every resident entry, sorted by key so the file is
+     * deterministic. Returns false on I/O failure.
+     */
+    bool saveCsv(const std::string &path) const;
+
+  private:
+    struct Entry
+    {
+        std::string key;
+        Fields fields;
+        std::list<std::uint64_t>::iterator lruPosition;
+    };
+
+    void insertLocked(const std::string &key, Fields fields);
+
+    mutable std::mutex storeMutex;
+    std::size_t maxEntries;
+    std::unordered_map<std::uint64_t, Entry> entries;
+    /** Most recent at the front; evict from the back. */
+    std::list<std::uint64_t> lruOrder;
+    Stats counters;
+};
+
+} // namespace gemstone::exec
+
+#endif // GEMSTONE_EXEC_RESULTSTORE_HH

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Work-stealing thread pool implementation.
+ */
+
+#include "exec/threadpool.hh"
+
+#include "util/logging.hh"
+
+namespace gemstone::exec {
+
+namespace {
+
+/** Identity of the pool/worker owning the current thread. */
+thread_local ThreadPool *tlsPool = nullptr;
+thread_local unsigned tlsWorker = 0;
+
+} // namespace
+
+ThreadPool::ThreadPool(unsigned threads, std::size_t queue_capacity)
+    : queueCapacity(std::max<std::size_t>(queue_capacity, 1))
+{
+    unsigned count = std::max(threads, 1u);
+    workers.reserve(count);
+    for (unsigned i = 0; i < count; ++i)
+        workers.push_back(std::make_unique<Worker>());
+    this->threads.reserve(count);
+    for (unsigned i = 0; i < count; ++i)
+        this->threads.emplace_back([this, i]() { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(poolMutex);
+        stopping = true;
+    }
+    workAvailable.notify_all();
+    spaceAvailable.notify_all();
+    for (std::thread &thread : threads)
+        thread.join();
+}
+
+unsigned
+ThreadPool::defaultThreadCount()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+void
+ThreadPool::noteQueued()
+{
+    // Callers hold poolMutex.
+    ++unfinished;
+    ++pushEpoch;
+}
+
+void
+ThreadPool::post(std::function<void()> task)
+{
+    panic_if(!task, "posted an empty task");
+    if (tlsPool == this) {
+        // Recursive submission: the worker's own deque is unbounded,
+        // so a task spawning subtasks can never deadlock on the
+        // injection bound.
+        Worker &self = *workers[tlsWorker];
+        {
+            std::lock_guard<std::mutex> lock(self.mutex);
+            self.tasks.push_back(std::move(task));
+        }
+        {
+            std::lock_guard<std::mutex> lock(poolMutex);
+            noteQueued();
+        }
+        workAvailable.notify_one();
+        return;
+    }
+
+    std::unique_lock<std::mutex> lock(poolMutex);
+    spaceAvailable.wait(lock, [this]() {
+        return injected.size() < queueCapacity || stopping;
+    });
+    panic_if(stopping, "post() on a stopping ThreadPool");
+    injected.push_back(std::move(task));
+    noteQueued();
+    lock.unlock();
+    workAvailable.notify_one();
+}
+
+void
+ThreadPool::drain()
+{
+    panic_if(tlsPool == this, "drain() called from a pool task");
+    std::unique_lock<std::mutex> lock(poolMutex);
+    allDone.wait(lock, [this]() { return unfinished == 0; });
+}
+
+bool
+ThreadPool::takeTask(unsigned self, std::function<void()> &task)
+{
+    // 1. Own deque, newest first (cache-warm LIFO).
+    {
+        Worker &worker = *workers[self];
+        std::lock_guard<std::mutex> lock(worker.mutex);
+        if (!worker.tasks.empty()) {
+            task = std::move(worker.tasks.back());
+            worker.tasks.pop_back();
+            return true;
+        }
+    }
+    // 2. The injection queue, oldest first.
+    {
+        std::lock_guard<std::mutex> lock(poolMutex);
+        if (!injected.empty()) {
+            task = std::move(injected.front());
+            injected.pop_front();
+            spaceAvailable.notify_one();
+            return true;
+        }
+    }
+    // 3. Steal the oldest task of a sibling (FIFO end, the one the
+    //    owner is least likely to want next).
+    for (std::size_t k = 1; k < workers.size(); ++k) {
+        Worker &victim = *workers[(self + k) % workers.size()];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (!victim.tasks.empty()) {
+            task = std::move(victim.tasks.front());
+            victim.tasks.pop_front();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(unsigned index)
+{
+    tlsPool = this;
+    tlsWorker = index;
+
+    std::unique_lock<std::mutex> lock(poolMutex);
+    for (;;) {
+        if (stopping && unfinished == 0)
+            return;
+        std::size_t epoch = pushEpoch;
+        lock.unlock();
+
+        std::function<void()> task;
+        if (takeTask(index, task)) {
+            try {
+                task();
+            } catch (const std::exception &error) {
+                panic("unhandled exception in pool task: ",
+                      error.what());
+            } catch (...) {
+                panic("unhandled exception in pool task");
+            }
+            task = nullptr;  // release captures before bookkeeping
+            lock.lock();
+            if (--unfinished == 0) {
+                allDone.notify_all();
+                if (stopping)
+                    workAvailable.notify_all();
+            }
+            continue;
+        }
+
+        lock.lock();
+        // Sleep only if nothing was enqueued since the failed scan;
+        // the epoch check closes the lost-wakeup window.
+        workAvailable.wait(lock, [this, epoch]() {
+            return pushEpoch != epoch || (stopping && unfinished == 0);
+        });
+    }
+}
+
+} // namespace gemstone::exec

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Work-stealing thread pool for simulation campaigns.
+ *
+ * The pool owns N worker threads, each with a private task deque.
+ * External callers inject work through a bounded FIFO queue (submit
+ * blocks when the queue is full, providing backpressure instead of
+ * unbounded memory growth); tasks spawned *from* a worker go onto
+ * that worker's own deque, so recursive submission can never
+ * deadlock on the injection bound. An idle worker first drains its
+ * own deque (LIFO, cache-warm), then the injection queue, then
+ * steals from the front of a sibling's deque (FIFO, oldest first).
+ *
+ * Shutdown is graceful: the destructor finishes every queued task
+ * before joining the workers. Exceptions thrown by a task are
+ * captured in the future returned by submit(); post() tasks must
+ * handle their own failures (TaskGraph does).
+ *
+ * Thread-safety contract: every public member may be called from any
+ * thread, except drain() and the destructor, which must not be
+ * called from inside a pool task (they would wait on themselves).
+ */
+
+#ifndef GEMSTONE_EXEC_THREADPOOL_HH
+#define GEMSTONE_EXEC_THREADPOOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace gemstone::exec {
+
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads worker count (0 is clamped to 1)
+     * @param queue_capacity bound of the external injection queue
+     */
+    explicit ThreadPool(unsigned threads,
+                        std::size_t queue_capacity = 4096);
+
+    /** Finishes all queued work, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers.size());
+    }
+
+    /**
+     * Enqueue a fire-and-forget task. From an external thread this
+     * blocks while the injection queue is at capacity; from a worker
+     * thread it pushes to the worker's own deque and never blocks.
+     */
+    void post(std::function<void()> task);
+
+    /** Enqueue a task and get a future for its result/exception. */
+    template <typename Fn>
+    auto submit(Fn &&fn) -> std::future<std::invoke_result_t<Fn>>
+    {
+        using Result = std::invoke_result_t<Fn>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::forward<Fn>(fn));
+        std::future<Result> future = task->get_future();
+        post([task]() { (*task)(); });
+        return future;
+    }
+
+    /** Block until every task enqueued so far has finished. */
+    void drain();
+
+    /** Worker count for "use the whole machine" callers. */
+    static unsigned defaultThreadCount();
+
+  private:
+    /** One worker's private deque. */
+    struct Worker
+    {
+        std::mutex mutex;
+        std::deque<std::function<void()>> tasks;
+    };
+
+    void workerLoop(unsigned index);
+    bool takeTask(unsigned self, std::function<void()> &task);
+    void noteQueued();
+
+    std::vector<std::unique_ptr<Worker>> workers;
+    std::vector<std::thread> threads;
+
+    /** Guards the injection queue, counters and sleep bookkeeping. */
+    std::mutex poolMutex;
+    std::condition_variable workAvailable;
+    std::condition_variable spaceAvailable;
+    std::condition_variable allDone;
+    std::deque<std::function<void()>> injected;
+    std::size_t queueCapacity;
+    /** Tasks queued anywhere or currently running. */
+    std::size_t unfinished = 0;
+    /** Bumped on every enqueue; lets sleepers detect missed work. */
+    std::size_t pushEpoch = 0;
+    bool stopping = false;
+};
+
+} // namespace gemstone::exec
+
+#endif // GEMSTONE_EXEC_THREADPOOL_HH

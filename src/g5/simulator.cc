@@ -31,27 +31,32 @@ G5Simulation::G5Simulation(int version) : simVersion(version)
 void
 G5Simulation::clearCache()
 {
+    std::lock_guard<std::mutex> lock(cacheMutex);
     runCache.clear();
 }
 
-const uarch::RunResult &
+std::shared_ptr<G5Simulation::BaseRunSlot>
 G5Simulation::baseRun(const workload::Workload &work, G5Model model)
 {
     std::string key = modelTag(model) + ":" + work.name;
-    auto it = runCache.find(key);
-    if (it != runCache.end())
-        return it->second;
+    std::shared_ptr<BaseRunSlot> slot;
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex);
+        std::shared_ptr<BaseRunSlot> &entry = runCache[key];
+        if (!entry)
+            entry = std::make_shared<BaseRunSlot>();
+        slot = entry;
+    }
+    std::call_once(slot->once, [&] {
+        uarch::ClusterConfig config = ex5Config(model, simVersion);
+        config.memBytes =
+            std::max<std::uint64_t>(work.memBytes, 64 * 1024);
 
-    uarch::ClusterConfig config = ex5Config(model, simVersion);
-    config.memBytes = std::max<std::uint64_t>(work.memBytes, 64 * 1024);
-
-    uarch::ClusterModel cluster(config);
-    work.prepareMemory(cluster.memory());
-    uarch::RunResult run =
-        cluster.run(work.program, work.numThreads, 1.0);
-    auto [pos, inserted] = runCache.emplace(key, std::move(run));
-    (void)inserted;
-    return pos->second;
+        uarch::ClusterModel cluster(config);
+        work.prepareMemory(cluster.memory());
+        slot->run = cluster.run(work.program, work.numThreads, 1.0);
+    });
+    return slot;
 }
 
 G5Stats
@@ -60,9 +65,9 @@ G5Simulation::run(const workload::Workload &work, G5Model model,
 {
     fatal_if(freq_mhz <= 0.0, "frequency must be positive");
 
-    const uarch::RunResult &base = baseRun(work, model);
+    std::shared_ptr<BaseRunSlot> slot = baseRun(work, model);
     uarch::RunResult retimed =
-        uarch::retimeRun(base, freq_mhz / 1000.0);
+        uarch::retimeRun(slot->run, freq_mhz / 1000.0);
 
     G5Stats out;
     out.workload = work.name;

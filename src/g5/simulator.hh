@@ -14,6 +14,8 @@
 #define GEMSTONE_G5_SIMULATOR_HH
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 
 #include "g5/config.hh"
@@ -52,6 +54,12 @@ struct G5Stats
  * The simulator. A single instance caches base-frequency runs per
  * (workload, model) and re-times them across DVFS points, since the
  * modelled event counts are frequency-invariant.
+ *
+ * Thread safety: run() is deterministic and safe to call
+ * concurrently on one instance — the run cache is populated under a
+ * once-flag per (workload, model), so concurrent first runs
+ * simulate exactly once and later runs share the result.
+ * clearCache() must not race with run().
  */
 class G5Simulation
 {
@@ -69,11 +77,19 @@ class G5Simulation
     void clearCache();
 
   private:
-    const uarch::RunResult &baseRun(const workload::Workload &work,
-                                    G5Model model);
+    /** One cache slot (see OdroidXu3Platform::BaseRunSlot). */
+    struct BaseRunSlot
+    {
+        std::once_flag once;
+        uarch::RunResult run;
+    };
+
+    std::shared_ptr<BaseRunSlot> baseRun(
+        const workload::Workload &work, G5Model model);
 
     int simVersion;
-    std::map<std::string, uarch::RunResult> runCache;
+    std::mutex cacheMutex;
+    std::map<std::string, std::shared_ptr<BaseRunSlot>> runCache;
 };
 
 } // namespace gemstone::g5

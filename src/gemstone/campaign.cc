@@ -10,7 +10,10 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <mutex>
 
+#include "exec/taskgraph.hh"
+#include "exec/threadpool.hh"
 #include "hwsim/faults.hh"
 #include "mlstat/descriptive.hh"
 #include "mlstat/robust.hh"
@@ -35,6 +38,74 @@ pointKey(const std::string &workload, double freq_mhz)
 {
     return workload + "@" + formatDouble(freq_mhz, 3);
 }
+
+/**
+ * The single serialised writer behind every checkpoint append: the
+ * campaign's collate tasks finish on different worker threads, and
+ * interleaved raw writes would corrupt the CSV. Rows land in
+ * completion order; resume keys them by point, so row order is
+ * irrelevant (and with jobs == 1 it matches the historical file
+ * exactly).
+ */
+class CheckpointWriter
+{
+  public:
+    explicit CheckpointWriter(std::string path)
+        : checkpointPath(std::move(path))
+    {
+    }
+
+    void
+    append(const CampaignPoint &point)
+    {
+        if (checkpointPath.empty())
+            return;
+        std::lock_guard<std::mutex> lock(writeMutex);
+        const std::string &path = checkpointPath;
+        bool need_header = !std::filesystem::exists(path) ||
+            std::filesystem::file_size(path) == 0;
+
+        std::ofstream out(path, std::ios::app);
+        if (!out) {
+            warnLimited("campaign-checkpoint-io", 3,
+                        "cannot append campaign checkpoint to ",
+                        path);
+            return;
+        }
+        auto emit = [&out](const std::vector<std::string> &cells) {
+            for (std::size_t i = 0; i < cells.size(); ++i) {
+                if (i > 0)
+                    out << ',';
+                out << CsvWriter::quote(cells[i]);
+            }
+            out << '\n';
+        };
+        if (need_header)
+            emit(kCheckpointColumns);
+        emit({point.workload, hwsim::clusterTag(point.cluster),
+              formatDouble(point.freqMhz, 3),
+              pointStatusTag(point.status),
+              std::to_string(point.attempts),
+              std::to_string(point.failures),
+              std::to_string(point.rejected),
+              formatDouble(point.backoffSeconds, 6),
+              formatDouble(point.execSeconds, 9),
+              formatDouble(point.powerWatts, 6),
+              formatDouble(point.temperatureC, 3),
+              formatDouble(point.voltage, 4),
+              point.throttled ? "1" : "0"});
+        out.flush();  // a kill after this line loses at most a point
+        if (!out) {
+            warnLimited("campaign-checkpoint-io", 3,
+                        "cannot append campaign checkpoint to ",
+                        path);
+        }
+    }
+
+  private:
+    std::string checkpointPath;
+    std::mutex writeMutex;
+};
 
 } // namespace
 
@@ -202,58 +273,13 @@ CampaignEngine::loadCheckpoint(hwsim::CpuCluster cluster,
 }
 
 void
-CampaignEngine::checkpointPoint(const CampaignPoint &point) const
-{
-    if (campaignConfig.checkpointPath.empty())
-        return;
-    const std::string &path = campaignConfig.checkpointPath;
-    bool need_header = !std::filesystem::exists(path) ||
-        std::filesystem::file_size(path) == 0;
-
-    std::ofstream out(path, std::ios::app);
-    if (!out) {
-        warnLimited("campaign-checkpoint-io", 3,
-                    "cannot append campaign checkpoint to ", path);
-        return;
-    }
-    auto emit = [&out](const std::vector<std::string> &cells) {
-        for (std::size_t i = 0; i < cells.size(); ++i) {
-            if (i > 0)
-                out << ',';
-            out << CsvWriter::quote(cells[i]);
-        }
-        out << '\n';
-    };
-    if (need_header)
-        emit(kCheckpointColumns);
-    emit({point.workload, hwsim::clusterTag(point.cluster),
-          formatDouble(point.freqMhz, 3), pointStatusTag(point.status),
-          std::to_string(point.attempts),
-          std::to_string(point.failures),
-          std::to_string(point.rejected),
-          formatDouble(point.backoffSeconds, 6),
-          formatDouble(point.execSeconds, 9),
-          formatDouble(point.powerWatts, 6),
-          formatDouble(point.temperatureC, 3),
-          formatDouble(point.voltage, 4),
-          point.throttled ? "1" : "0"});
-    out.flush();  // a kill after this line loses at most one point
-    if (!out) {
-        warnLimited("campaign-checkpoint-io", 3,
-                    "cannot append campaign checkpoint to ", path);
-    }
-}
-
-void
 CampaignEngine::measurePoint(const workload::Workload &work,
                              hwsim::CpuCluster cluster,
                              double freq_mhz, CampaignPoint &point,
                              ValidationRecord &record,
-                             CampaignResult &result)
+                             std::vector<std::string> &warnings)
 {
     const std::string key = pointKey(work.name, freq_mhz);
-    hwsim::OdroidXu3Platform &board = experimentRunner.platform();
-    unsigned repeats = experimentRunner.config().repeats;
 
     std::vector<hwsim::HwMeasurement> accepted;
     std::vector<bool> rejected_mask;
@@ -287,8 +313,12 @@ CampaignEngine::measurePoint(const workload::Workload &work,
            point.attempts < campaignConfig.maxAttempts) {
         ++point.attempts;
         try {
-            accepted.push_back(
-                board.measure(work, cluster, freq_mhz, repeats));
+            // The attempt index is explicit (not the platform's
+            // shared per-point counter), so concurrent points — and
+            // resumed campaigns — see exactly the fault plans and
+            // noise streams the serial flow would.
+            accepted.push_back(experimentRunner.measureHw(
+                work, cluster, freq_mhz, point.attempts - 1));
             recompute();
         } catch (const hwsim::RunError &error) {
             ++point.failures;
@@ -310,7 +340,7 @@ CampaignEngine::measurePoint(const workload::Workload &work,
             " produced no usable measurement in ", point.attempts,
             " attempts (", point.failures,
             " run failures); excluded from collation");
-        result.warnings.push_back(message);
+        warnings.push_back(message);
         warnLimited("campaign-failed-point", 5, message);
         return;
     }
@@ -322,7 +352,7 @@ CampaignEngine::measurePoint(const workload::Workload &work,
             " converged only ", surviving, "/",
             campaignConfig.quorum, " repeats in ", point.attempts,
             " attempts; excluded from collation");
-        result.warnings.push_back(message);
+        warnings.push_back(message);
         warnLimited("campaign-degraded-point", 5, message);
         // The scalars below are still filled in so the checkpoint
         // records what was seen, but the dataset skips the point.
@@ -385,8 +415,8 @@ CampaignEngine::measurePoint(const workload::Workload &work,
     record.cluster = cluster;
     record.freqMhz = freq_mhz;
     record.hw = std::move(collated);
-    record.g5 = experimentRunner.simulator().run(
-        work, ExperimentRunner::modelFor(cluster), freq_mhz);
+    // The g5 side of the record is a separate task (runG5), which
+    // overlaps with other points' hardware characterisation.
 }
 
 CampaignResult
@@ -411,74 +441,151 @@ CampaignEngine::runValidation(hwsim::CpuCluster cluster,
         finished[pointKey(row.point.workload, row.point.freqMhz)] =
             row.point;
 
-    g5::G5Model model = ExperimentRunner::modelFor(cluster);
+    // Enumerate the campaign's points in canonical order, truncated
+    // at maxPoints (an emulated kill). Everything downstream indexes
+    // into this list, so the collated output order never depends on
+    // which worker finished first.
+    struct PointTask
+    {
+        const workload::Workload *work = nullptr;
+        double freq = 0.0;
+        const CampaignPoint *resumed = nullptr;  //!< checkpoint hit
+    };
+    std::vector<PointTask> tasks;
+    bool truncated = false;
     for (const workload::Workload *work :
          workload::Suite::validationSet()) {
         for (double freq : freqs_mhz) {
             if (campaignConfig.maxPoints != 0 &&
-                result.points.size() >= campaignConfig.maxPoints) {
-                result.complete = false;
-                inform("campaign stopped after ",
-                       result.points.size(), " points (maxPoints)");
-                return result;
+                tasks.size() >= campaignConfig.maxPoints) {
+                truncated = true;
+                break;
             }
+            PointTask task;
+            task.work = work;
+            task.freq = freq;
+            auto it = finished.find(pointKey(work->name, freq));
+            if (it != finished.end())
+                task.resumed = &it->second;
+            tasks.push_back(task);
+        }
+        if (truncated)
+            break;
+    }
 
-            const std::string key = pointKey(work->name, freq);
-            auto it = finished.find(key);
-            if (it != finished.end()) {
-                // Restored from the checkpoint: never re-measured.
-                CampaignPoint point = it->second;
+    const std::size_t count = tasks.size();
+    std::vector<CampaignPoint> points(count);
+    std::vector<ValidationRecord> records(count);
+    std::vector<std::vector<std::string>> pointWarnings(count);
+    CheckpointWriter checkpoint(campaignConfig.checkpointPath);
+
+    // One pipeline per point: characterise-HW → run-g5 →
+    // collate/checkpoint. Node ids ascend in campaign order, so
+    // runSerial() reproduces the historical execution order exactly
+    // and run() rethrows deterministically on failure.
+    exec::TaskGraph graph;
+    for (std::size_t i = 0; i < count; ++i) {
+        const PointTask &task = tasks[i];
+        const std::string label = pointKey(task.work->name, task.freq);
+        if (task.resumed != nullptr) {
+            // Restored from the checkpoint: never re-measured; only
+            // a converged point needs its g5 twin re-simulated.
+            graph.add("resume:" + label, [this, &task, &points,
+                                          &records, cluster, i] {
+                CampaignPoint point = *task.resumed;
                 bool was_converged = point.converged();
                 point.status = PointStatus::Resumed;
                 if (!was_converged) {
                     // A recorded failure stays excluded; keep its
                     // original tag in the report.
-                    point.status = it->second.status;
-                    ++result.excludedPoints;
+                    point.status = task.resumed->status;
                 } else {
-                    ValidationRecord record;
-                    record.work = work;
+                    ValidationRecord &record = records[i];
+                    record.work = task.work;
                     record.cluster = cluster;
-                    record.freqMhz = freq;
-                    record.hw.workload = work->name;
+                    record.freqMhz = task.freq;
+                    record.hw.workload = task.work->name;
                     record.hw.cluster = cluster;
-                    record.hw.freqMhz = freq;
+                    record.hw.freqMhz = task.freq;
                     record.hw.voltage = point.voltage;
                     record.hw.execSeconds = point.execSeconds;
                     record.hw.repeatSeconds = {point.execSeconds};
                     record.hw.powerWatts = point.powerWatts;
                     record.hw.temperatureC = point.temperatureC;
                     record.hw.throttled = point.throttled;
-                    record.g5 = experimentRunner.simulator().run(
-                        *work, model, freq);
-                    result.dataset.records.push_back(
-                        std::move(record));
+                    record.g5 = experimentRunner.runG5(
+                        *task.work, cluster, task.freq);
                 }
-                ++result.resumedPoints;
-                result.points.push_back(std::move(point));
-                continue;
-            }
+                points[i] = std::move(point);
+            });
+            continue;
+        }
+        exec::TaskGraph::NodeId hw_node = graph.add(
+            "hw:" + label,
+            [this, &task, &points, &records, &pointWarnings, cluster,
+             i] {
+                CampaignPoint &point = points[i];
+                point.workload = task.work->name;
+                point.cluster = cluster;
+                point.freqMhz = task.freq;
+                measurePoint(*task.work, cluster, task.freq, point,
+                             records[i], pointWarnings[i]);
+            });
+        exec::TaskGraph::NodeId g5_node = graph.add(
+            "g5:" + label, [this, &task, &records, cluster, i] {
+                // Unconditional: a non-converged point's record is
+                // discarded at collation, so simulating it is
+                // output-invisible (and the result is memoised for
+                // the eventual successful rerun).
+                records[i].g5 = experimentRunner.runG5(
+                    *task.work, cluster, task.freq);
+            });
+        graph.add("collate:" + label,
+                  [&points, &checkpoint, i] {
+                      checkpoint.append(points[i]);
+                  },
+                  {hw_node, g5_node});
+    }
 
-            CampaignPoint point;
-            point.workload = work->name;
-            point.cluster = cluster;
-            point.freqMhz = freq;
-            ValidationRecord record;
-            measurePoint(*work, cluster, freq, point, record, result);
+    if (campaignConfig.jobs <= 1) {
+        graph.runSerial();
+    } else {
+        exec::ThreadPool pool(campaignConfig.jobs);
+        graph.run(pool);
+    }
 
+    // Gather in campaign order: every aggregate below is independent
+    // of completion order and thread count.
+    for (std::size_t i = 0; i < count; ++i) {
+        CampaignPoint &point = points[i];
+        for (std::string &warning : pointWarnings[i])
+            result.warnings.push_back(std::move(warning));
+        if (tasks[i].resumed != nullptr) {
+            if (!point.converged())
+                ++result.excludedPoints;
+            else
+                result.dataset.records.push_back(
+                    std::move(records[i]));
+            ++result.resumedPoints;
+        } else {
             ++result.measuredPoints;
             result.totalAttempts += point.attempts;
             result.totalFailures += point.failures;
             result.totalRejected += point.rejected;
             result.backoffSeconds += point.backoffSeconds;
             if (point.converged())
-                result.dataset.records.push_back(std::move(record));
+                result.dataset.records.push_back(
+                    std::move(records[i]));
             else
                 ++result.excludedPoints;
-
-            checkpointPoint(point);
-            result.points.push_back(std::move(point));
         }
+        result.points.push_back(std::move(point));
+    }
+
+    if (truncated) {
+        result.complete = false;
+        inform("campaign stopped after ", result.points.size(),
+               " points (maxPoints)");
     }
     return result;
 }

@@ -24,6 +24,12 @@
  * are pure functions of (point, attempt) — see hwsim/faults.hh — so
  * a resumed campaign observes exactly the faults the uninterrupted
  * one would have.
+ *
+ * Campaigns run on the execution engine (src/exec/): every point is
+ * a task pipeline (characterise-HW → run-g5 → collate/checkpoint) on
+ * a TaskGraph, executed serially for jobs == 1 or on a work-stealing
+ * pool otherwise, with byte-identical results either way — see
+ * CampaignConfig::jobs.
  */
 
 #ifndef GEMSTONE_GEMSTONE_CAMPAIGN_HH
@@ -67,6 +73,17 @@ struct CampaignConfig
     /** Stop after this many points (0 = no limit). Used by tests to
      *  emulate a campaign killed midway. */
     std::size_t maxPoints = 0;
+
+    /**
+     * Worker threads measuring points concurrently. 1 reproduces the
+     * historical serial execution exactly; any other value produces
+     * byte-identical campaign results (points are gathered in
+     * campaign order, retry attempts are explicit per point, and
+     * fault plans are pure functions of point identity). Only the
+     * checkpoint file's row order varies with thread count, and
+     * resume keys rows by point, not position.
+     */
+    unsigned jobs = 1;
 
     /**
      * The naive lab flow for comparison: accept the first returned
@@ -160,12 +177,16 @@ class CampaignEngine
   private:
     struct CheckpointRow;
 
-    /** Measure one point to convergence; fills @p point and, when
-     *  converged, @p record. */
+    /**
+     * Measure one point to convergence (hardware side only; the g5
+     * run is a separate task). Fills @p point and, when converged,
+     * the hw side of @p record; structured warnings go to
+     * @p warnings. Safe to call concurrently for distinct points.
+     */
     void measurePoint(const workload::Workload &work,
                       hwsim::CpuCluster cluster, double freq_mhz,
                       CampaignPoint &point, ValidationRecord &record,
-                      CampaignResult &result);
+                      std::vector<std::string> &warnings);
 
     /** Ledgered wait before retry number @p failure_index. */
     double backoffDelay(const std::string &point_key,
@@ -175,9 +196,6 @@ class CampaignEngine
      *  "workload@freq". Parse problems become result warnings. */
     std::vector<CheckpointRow> loadCheckpoint(
         hwsim::CpuCluster cluster, CampaignResult &result) const;
-
-    /** Append one finished point to the checkpoint file. */
-    void checkpointPoint(const CampaignPoint &point) const;
 
     ExperimentRunner &experimentRunner;
     CampaignConfig campaignConfig;

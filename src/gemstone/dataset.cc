@@ -6,8 +6,11 @@
 #include "gemstone/dataset.hh"
 
 #include <cmath>
+#include <sstream>
 
 #include "mlstat/descriptive.hh"
+#include "util/csv.hh"
+#include "util/strutil.hh"
 
 namespace gemstone::core {
 
@@ -123,6 +126,29 @@ double
 ValidationDataset::execMpeSuite(const std::string &suite) const
 {
     return aggregate(records, false, 0.0, suite);
+}
+
+std::string
+ValidationDataset::toCsv() const
+{
+    CsvWriter csv({"workload", "suite", "threads", "freq_mhz",
+                   "hw_seconds", "g5_seconds", "mpe", "hw_cycles",
+                   "g5_cycles", "hw_power_w"});
+    for (const ValidationRecord &r : records) {
+        csv.addRow({r.work->name, r.work->suite,
+                    std::to_string(r.work->numThreads),
+                    formatDouble(r.freqMhz, 0),
+                    formatDouble(r.hw.execSeconds, 9),
+                    formatDouble(r.g5.simSeconds, 9),
+                    formatDouble(r.execMpe(), 6),
+                    formatDouble(r.hw.pmcValue(0x11), 0),
+                    formatDouble(r.g5.value("system.cpu.numCycles"),
+                                 0),
+                    formatDouble(r.hw.powerWatts, 4)});
+    }
+    std::ostringstream out;
+    csv.write(out);
+    return out.str();
 }
 
 } // namespace gemstone::core

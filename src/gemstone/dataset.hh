@@ -76,6 +76,14 @@ struct ValidationDataset
 
     /** MPE restricted to one suite. */
     double execMpeSuite(const std::string &suite) const;
+
+    /**
+     * Render as the canonical validation.csv table (the same bytes
+     * writeReportFiles emits). Deterministic in record order, which
+     * makes it the byte-comparison surface for the serial-vs-parallel
+     * campaign determinism tests.
+     */
+    std::string toCsv() const;
 };
 
 } // namespace gemstone::core

@@ -228,25 +228,15 @@ writeReportFiles(const Report &report, const std::string &directory)
 
     // Per-workload validation dataset.
     {
-        CsvWriter csv({"workload", "suite", "threads", "freq_mhz",
-                       "hw_seconds", "g5_seconds", "mpe",
-                       "hw_cycles", "g5_cycles", "hw_power_w"});
-        for (const ValidationRecord &r : report.validation.records) {
-            csv.addRow({r.work->name, r.work->suite,
-                        std::to_string(r.work->numThreads),
-                        formatDouble(r.freqMhz, 0),
-                        formatDouble(r.hw.execSeconds, 9),
-                        formatDouble(r.g5.simSeconds, 9),
-                        formatDouble(r.execMpe(), 6),
-                        formatDouble(r.hw.pmcValue(0x11), 0),
-                        formatDouble(
-                            r.g5.value("system.cpu.numCycles"), 0),
-                        formatDouble(r.hw.powerWatts, 4)});
-        }
         // A failed CSV is a degraded report, not a dead flow: warn
         // with the path and keep writing the remaining files.
         std::string path = directory + "/validation.csv";
-        if (csv.writeFile(path))
+        std::ofstream out(path);
+        if (out) {
+            out << report.validation.toCsv();
+            out.flush();
+        }
+        if (out)
             ++files;
         else
             warn("cannot write report file ", path);

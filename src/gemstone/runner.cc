@@ -1,13 +1,129 @@
 /**
  * @file
  * ExperimentRunner implementation.
+ *
+ * The experiment loops run through the execution engine (src/exec/):
+ * each (workload, frequency) point becomes a small task pipeline and
+ * the results are gathered by point index, so the collated dataset
+ * is bit-identical at any thread count. With jobs == 1 and no result
+ * store attached, the historical serial loop runs unchanged.
  */
 
 #include "gemstone/runner.hh"
 
+#include <string>
+
+#include "exec/taskgraph.hh"
+#include "exec/threadpool.hh"
 #include "util/logging.hh"
+#include "util/strutil.hh"
 
 namespace gemstone::core {
+
+namespace {
+
+/**
+ * Flatten a hardware measurement for the result store. The identity
+ * fields (workload, cluster, frequency) live in the key; everything
+ * else — scalars, per-repeat timings, PMC counts, the ground-truth
+ * event record — is encoded as named doubles.
+ */
+exec::ResultStore::Fields
+encodeHwMeasurement(const hwsim::HwMeasurement &m)
+{
+    exec::ResultStore::Fields fields;
+    fields.emplace_back("voltage", m.voltage);
+    fields.emplace_back("exec_seconds", m.execSeconds);
+    fields.emplace_back("power_watts", m.powerWatts);
+    fields.emplace_back("temperature_c", m.temperatureC);
+    fields.emplace_back("throttled", m.throttled ? 1.0 : 0.0);
+    for (std::size_t i = 0; i < m.repeatSeconds.size(); ++i) {
+        fields.emplace_back("repeat_" + std::to_string(i),
+                            m.repeatSeconds[i]);
+    }
+    for (const auto &[id, count] : m.pmc)
+        fields.emplace_back("pmc_" + std::to_string(id), count);
+    for (const auto &[name, value] : m.groundTruth.toMap())
+        fields.emplace_back("gt_" + name, value);
+    return fields;
+}
+
+bool
+decodeHwMeasurement(const exec::ResultStore::Fields &fields,
+                    const std::string &workload,
+                    hwsim::CpuCluster cluster, double freq_mhz,
+                    hwsim::HwMeasurement &m)
+{
+    m = hwsim::HwMeasurement{};
+    m.workload = workload;
+    m.cluster = cluster;
+    m.freqMhz = freq_mhz;
+    std::map<std::string, double> ground_truth;
+    for (const auto &[name, value] : fields) {
+        if (name == "voltage") {
+            m.voltage = value;
+        } else if (name == "exec_seconds") {
+            m.execSeconds = value;
+        } else if (name == "power_watts") {
+            m.powerWatts = value;
+        } else if (name == "temperature_c") {
+            m.temperatureC = value;
+        } else if (name == "throttled") {
+            m.throttled = value != 0.0;
+        } else if (name.rfind("repeat_", 0) == 0) {
+            // Encoded in index order; Fields preserves it.
+            m.repeatSeconds.push_back(value);
+        } else if (name.rfind("pmc_", 0) == 0) {
+            m.pmc[std::stoi(name.substr(4))] = value;
+        } else if (name.rfind("gt_", 0) == 0) {
+            ground_truth[name.substr(3)] = value;
+        } else {
+            return false;
+        }
+    }
+    m.groundTruth.fromMap(ground_truth);
+    return true;
+}
+
+exec::ResultStore::Fields
+encodeG5Stats(const g5::G5Stats &stats)
+{
+    exec::ResultStore::Fields fields;
+    fields.emplace_back("sim_seconds", stats.simSeconds);
+    for (const auto &[name, value] : stats.stats)
+        fields.emplace_back("stat:" + name, value);
+    for (const auto &[name, value] : stats.raw.toMap())
+        fields.emplace_back("raw:" + name, value);
+    return fields;
+}
+
+bool
+decodeG5Stats(const exec::ResultStore::Fields &fields,
+              const std::string &workload, g5::G5Model model,
+              int version, double freq_mhz, g5::G5Stats &stats)
+{
+    stats = g5::G5Stats{};
+    stats.workload = workload;
+    stats.model = model;
+    stats.version = version;
+    stats.freqMhz = freq_mhz;
+    std::map<std::string, double> raw;
+    for (const auto &[name, value] : fields) {
+        if (name == "sim_seconds") {
+            stats.simSeconds = value;
+        } else if (name.rfind("stat:", 0) == 0) {
+            stats.stats[name.substr(5)] = value;
+        } else if (name.rfind("raw:", 0) == 0) {
+            raw[name.substr(4)] = value;
+        } else {
+            return false;
+        }
+    }
+    stats.raw.fromMap(raw);
+    return true;
+}
+
+} // namespace
 
 ExperimentRunner::ExperimentRunner(const RunnerConfig &config)
     : runnerConfig(config),
@@ -37,6 +153,93 @@ ExperimentRunner::modelFor(hwsim::CpuCluster cluster)
         : g5::G5Model::Ex5Big;
 }
 
+void
+ExperimentRunner::attachResultStore(
+    std::shared_ptr<exec::ResultStore> new_store)
+{
+    store = std::move(new_store);
+}
+
+std::string
+ExperimentRunner::hwKey(const workload::Workload &work,
+                        hwsim::CpuCluster cluster, double freq_mhz,
+                        unsigned attempt) const
+{
+    // Every input the measurement depends on is part of the address;
+    // anything less would alias results across configurations.
+    return detail::concatToString(
+        "hw|seed=", runnerConfig.seed,
+        "|var=", formatDouble(runnerConfig.boardVariation, 9),
+        "|faults=", board->faults().config().signature(),
+        "|repeats=", runnerConfig.repeats, "|", work.name, "|",
+        hwsim::clusterTag(cluster), "|", formatDouble(freq_mhz, 3),
+        "|a", attempt);
+}
+
+std::string
+ExperimentRunner::g5Key(const workload::Workload &work,
+                        hwsim::CpuCluster cluster,
+                        double freq_mhz) const
+{
+    return detail::concatToString(
+        "g5|v", runnerConfig.g5Version, "|",
+        g5::modelTag(modelFor(cluster)), "|", work.name, "|",
+        formatDouble(freq_mhz, 3));
+}
+
+hwsim::HwMeasurement
+ExperimentRunner::measureHw(const workload::Workload &work,
+                            hwsim::CpuCluster cluster,
+                            double freq_mhz, unsigned attempt)
+{
+    if (!store) {
+        return board->measureAttempt(work, cluster, freq_mhz, attempt,
+                                     runnerConfig.repeats);
+    }
+    std::string key = hwKey(work, cluster, freq_mhz, attempt);
+    exec::ResultStore::Fields fields;
+    if (store->lookup(key, fields)) {
+        hwsim::HwMeasurement m;
+        if (decodeHwMeasurement(fields, work.name, cluster, freq_mhz,
+                                m)) {
+            return m;
+        }
+        warnLimited("resultstore-decode", 3,
+                    "undecodable store entry for ", key,
+                    "; re-measuring");
+    }
+    // A RunError propagates before the insert, so failures are never
+    // cached and a warm store replays them deterministically.
+    hwsim::HwMeasurement m = board->measureAttempt(
+        work, cluster, freq_mhz, attempt, runnerConfig.repeats);
+    store->insert(key, encodeHwMeasurement(m));
+    return m;
+}
+
+g5::G5Stats
+ExperimentRunner::runG5(const workload::Workload &work,
+                        hwsim::CpuCluster cluster, double freq_mhz)
+{
+    g5::G5Model model = modelFor(cluster);
+    if (!store)
+        return sim->run(work, model, freq_mhz);
+    std::string key = g5Key(work, cluster, freq_mhz);
+    exec::ResultStore::Fields fields;
+    if (store->lookup(key, fields)) {
+        g5::G5Stats stats;
+        if (decodeG5Stats(fields, work.name, model,
+                          runnerConfig.g5Version, freq_mhz, stats)) {
+            return stats;
+        }
+        warnLimited("resultstore-decode", 3,
+                    "undecodable store entry for ", key,
+                    "; re-simulating");
+    }
+    g5::G5Stats stats = sim->run(work, model, freq_mhz);
+    store->insert(key, encodeG5Stats(stats));
+    return stats;
+}
+
 ValidationDataset
 ExperimentRunner::runValidation(hwsim::CpuCluster cluster)
 {
@@ -53,33 +256,112 @@ ExperimentRunner::runValidation(hwsim::CpuCluster cluster,
     dataset.freqsMhz = freqs_mhz;
 
     g5::G5Model model = modelFor(cluster);
+    if (runnerConfig.jobs <= 1 && !store) {
+        // The historical serial loop, kept verbatim: measure() tracks
+        // retry attempts in the platform's shared per-point counter,
+        // which the concurrent path replaces with explicit attempts.
+        for (const workload::Workload *work :
+             workload::Suite::validationSet()) {
+            for (double freq : freqs_mhz) {
+                ValidationRecord record;
+                record.work = work;
+                record.cluster = cluster;
+                record.freqMhz = freq;
+                record.hw = board->measure(*work, cluster, freq,
+                                           runnerConfig.repeats);
+                record.g5 = sim->run(*work, model, freq);
+                dataset.records.push_back(std::move(record));
+            }
+        }
+        return dataset;
+    }
+
+    struct PointSpec
+    {
+        const workload::Workload *work;
+        double freq;
+    };
+    std::vector<PointSpec> specs;
     for (const workload::Workload *work :
          workload::Suite::validationSet()) {
-        for (double freq : freqs_mhz) {
-            ValidationRecord record;
-            record.work = work;
-            record.cluster = cluster;
-            record.freqMhz = freq;
-            record.hw = board->measure(*work, cluster, freq,
-                                       runnerConfig.repeats);
-            record.g5 = sim->run(*work, model, freq);
-            dataset.records.push_back(std::move(record));
-        }
+        for (double freq : freqs_mhz)
+            specs.push_back({work, freq});
     }
+
+    // Records are gathered by point index: the dataset order never
+    // depends on completion order. Declared before the graph so the
+    // storage outlives any in-flight node.
+    std::vector<ValidationRecord> records(specs.size());
+    exec::TaskGraph graph;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const PointSpec &spec = specs[i];
+        graph.add("hw:" + spec.work->name,
+                  [this, &records, spec, cluster, i] {
+                      records[i].work = spec.work;
+                      records[i].cluster = cluster;
+                      records[i].freqMhz = spec.freq;
+                      records[i].hw = measureHw(*spec.work, cluster,
+                                                spec.freq, 0);
+                  });
+        graph.add("g5:" + spec.work->name,
+                  [this, &records, spec, cluster, i] {
+                      records[i].g5 =
+                          runG5(*spec.work, cluster, spec.freq);
+                  });
+    }
+    if (runnerConfig.jobs <= 1) {
+        graph.runSerial();
+    } else {
+        exec::ThreadPool pool(runnerConfig.jobs);
+        graph.run(pool);
+    }
+    dataset.records = std::move(records);
     return dataset;
 }
 
 std::vector<powmon::PowerObservation>
 ExperimentRunner::runPowerCharacterisation(hwsim::CpuCluster cluster)
 {
-    std::vector<powmon::PowerObservation> observations;
-    for (const workload::Workload &work : workload::Suite::all()) {
-        for (double freq : frequenciesFor(cluster)) {
-            powmon::PowerObservation obs;
-            obs.measurement = board->measure(work, cluster, freq,
-                                             runnerConfig.repeats);
-            observations.push_back(std::move(obs));
+    if (runnerConfig.jobs <= 1 && !store) {
+        std::vector<powmon::PowerObservation> observations;
+        for (const workload::Workload &work :
+             workload::Suite::all()) {
+            for (double freq : frequenciesFor(cluster)) {
+                powmon::PowerObservation obs;
+                obs.measurement = board->measure(
+                    work, cluster, freq, runnerConfig.repeats);
+                observations.push_back(std::move(obs));
+            }
         }
+        return observations;
+    }
+
+    struct PointSpec
+    {
+        const workload::Workload *work;
+        double freq;
+    };
+    std::vector<PointSpec> specs;
+    for (const workload::Workload &work : workload::Suite::all()) {
+        for (double freq : frequenciesFor(cluster))
+            specs.push_back({&work, freq});
+    }
+
+    std::vector<powmon::PowerObservation> observations(specs.size());
+    exec::TaskGraph graph;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const PointSpec &spec = specs[i];
+        graph.add("hw:" + spec.work->name,
+                  [this, &observations, spec, cluster, i] {
+                      observations[i].measurement = measureHw(
+                          *spec.work, cluster, spec.freq, 0);
+                  });
+    }
+    if (runnerConfig.jobs <= 1) {
+        graph.runSerial();
+    } else {
+        exec::ThreadPool pool(runnerConfig.jobs);
+        graph.run(pool);
     }
     return observations;
 }

@@ -10,6 +10,7 @@
 
 #include <memory>
 
+#include "exec/resultstore.hh"
 #include "gemstone/dataset.hh"
 #include "powmon/model.hh"
 
@@ -30,6 +31,13 @@ struct RunnerConfig
      * unit (Section V's published-coefficient scenario).
      */
     double boardVariation = 0.0;
+    /**
+     * Worker threads for the experiment loops. 1 keeps the exact
+     * historical serial execution; results are bit-identical at any
+     * value (points are gathered by index and every measurement is a
+     * pure function of its identity).
+     */
+    unsigned jobs = 1;
 };
 
 /**
@@ -68,14 +76,55 @@ class ExperimentRunner
     std::vector<powmon::PowerObservation> runPowerCharacterisation(
         hwsim::CpuCluster cluster);
 
+    /**
+     * Attach a memoisation store: hardware measurements and g5 runs
+     * are looked up under a content address derived from (seed,
+     * board variation, fault signature, repeats, workload, cluster,
+     * frequency, attempt) before being executed, and inserted after.
+     * Pass nullptr to detach. The store may be shared between
+     * runners and is consulted from every worker thread.
+     */
+    void attachResultStore(std::shared_ptr<exec::ResultStore> store);
+
+    const std::shared_ptr<exec::ResultStore> &resultStore() const
+    {
+        return store;
+    }
+
+    /**
+     * One hardware measurement of a point, retry attempt made
+     * explicit, memoised through the attached store (failures —
+     * hwsim::RunError — are never cached and replay deterministically
+     * on a warm store). Safe to call concurrently; a pure function
+     * of (arguments, runner configuration).
+     */
+    hwsim::HwMeasurement measureHw(const workload::Workload &work,
+                                   hwsim::CpuCluster cluster,
+                                   double freq_mhz, unsigned attempt);
+
+    /** One g5 simulation, memoised like measureHw(). */
+    g5::G5Stats runG5(const workload::Workload &work,
+                      hwsim::CpuCluster cluster, double freq_mhz);
+
     hwsim::OdroidXu3Platform &platform() { return *board; }
     g5::G5Simulation &simulator() { return *sim; }
     const RunnerConfig &config() const { return runnerConfig; }
 
   private:
+    /** Store key of one hardware measurement attempt. */
+    std::string hwKey(const workload::Workload &work,
+                      hwsim::CpuCluster cluster, double freq_mhz,
+                      unsigned attempt) const;
+
+    /** Store key of one g5 run. */
+    std::string g5Key(const workload::Workload &work,
+                      hwsim::CpuCluster cluster,
+                      double freq_mhz) const;
+
     RunnerConfig runnerConfig;
     std::unique_ptr<hwsim::OdroidXu3Platform> board;
     std::unique_ptr<g5::G5Simulation> sim;
+    std::shared_ptr<exec::ResultStore> store;
 };
 
 } // namespace gemstone::core

@@ -28,6 +28,28 @@ FaultConfig::active() const
          pmcOverflowProb > 0.0 || thermalEpisodeProb > 0.0);
 }
 
+std::string
+FaultConfig::signature() const
+{
+    if (!active())
+        return "off";
+    std::string sig = "seed=" + std::to_string(seed);
+    auto prob = [&sig](const char *name, double value) {
+        if (value > 0.0)
+            sig += ";" + std::string(name) + "=" +
+                formatDouble(value, 6);
+    };
+    prob("runfail", runFailureProb);
+    prob("sensordrop", sensorDropoutProb);
+    prob("dropfrac", sensorDropoutFraction);
+    prob("sensorstuck", sensorStuckProb);
+    prob("pmcloss", pmcGroupLossProb);
+    prob("pmcwrap", pmcOverflowProb);
+    prob("thermal", thermalEpisodeProb);
+    prob("slowdown", thermalSlowdown);
+    return sig;
+}
+
 FaultConfig
 FaultConfig::labMix(std::uint64_t seed)
 {
@@ -56,6 +78,31 @@ FaultInjector::FaultInjector(const FaultConfig &config)
              "sensor dropout fraction must be in [0, 1)");
     fatal_if(config.thermalSlowdown < 0.0,
              "thermal slowdown must be non-negative");
+}
+
+FaultInjector::Tally &
+FaultInjector::Tally::operator=(const Tally &other)
+{
+    plans = other.plans.load();
+    runFailures = other.runFailures.load();
+    thermalEpisodes = other.thermalEpisodes.load();
+    sensorDropouts = other.sensorDropouts.load();
+    sensorStuck = other.sensorStuck.load();
+    pmcGroupLosses = other.pmcGroupLosses.load();
+    pmcOverflows = other.pmcOverflows.load();
+    return *this;
+}
+
+void
+FaultInjector::resetTally()
+{
+    faultTally.plans = 0;
+    faultTally.runFailures = 0;
+    faultTally.thermalEpisodes = 0;
+    faultTally.sensorDropouts = 0;
+    faultTally.sensorStuck = 0;
+    faultTally.pmcGroupLosses = 0;
+    faultTally.pmcOverflows = 0;
 }
 
 bool

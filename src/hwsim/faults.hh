@@ -22,6 +22,7 @@
 #ifndef GEMSTONE_HWSIM_FAULTS_HH
 #define GEMSTONE_HWSIM_FAULTS_HH
 
+#include <atomic>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -84,6 +85,14 @@ struct FaultConfig
     bool active() const;
 
     /**
+     * Canonical content signature of this configuration ("off" when
+     * inactive). Two configs with the same signature plan identical
+     * faults, so the signature is part of the exec::ResultStore
+     * cache key for memoised measurements.
+     */
+    std::string signature() const;
+
+    /**
      * The documented lab fault mix used by tab_fault_resilience and
      * DESIGN.md: every failure mode enabled at rates matching a bad
      * day in the lab (see "Fault model & resilience policy").
@@ -93,6 +102,12 @@ struct FaultConfig
 
 /**
  * Plans the faults for each measurement attempt.
+ *
+ * Thread safety: plan() is safe to call concurrently from any number
+ * of threads on one injector. The decision streams are pure functions
+ * of the arguments and the seed, and the only shared state — the
+ * fault tally — uses atomic counters. resetTally() must not race
+ * with plan().
  */
 class FaultInjector
 {
@@ -141,20 +156,32 @@ class FaultInjector
               const std::string &cluster_tag, double freq_mhz,
               unsigned attempt) const;
 
-    /** Injected-fault totals, for campaign reports. */
+    /**
+     * Injected-fault totals, for campaign reports. The counters are
+     * atomic so concurrent plan() calls from campaign worker threads
+     * tally correctly; individual reads are exact once the campaign
+     * has settled (and the total is deterministic because the set of
+     * planned attempts is, regardless of thread count).
+     */
     struct Tally
     {
-        unsigned plans = 0;          //!< attempts planned
-        unsigned runFailures = 0;
-        unsigned thermalEpisodes = 0;
-        unsigned sensorDropouts = 0;
-        unsigned sensorStuck = 0;
-        unsigned pmcGroupLosses = 0;
-        unsigned pmcOverflows = 0;
+        std::atomic<unsigned> plans{0};  //!< attempts planned
+        std::atomic<unsigned> runFailures{0};
+        std::atomic<unsigned> thermalEpisodes{0};
+        std::atomic<unsigned> sensorDropouts{0};
+        std::atomic<unsigned> sensorStuck{0};
+        std::atomic<unsigned> pmcGroupLosses{0};
+        std::atomic<unsigned> pmcOverflows{0};
+
+        Tally() = default;
+        // Copies snapshot the counters (atomics are not copyable),
+        // which keeps FaultInjector assignable.
+        Tally(const Tally &other) { *this = other; }
+        Tally &operator=(const Tally &other);
     };
 
     const Tally &tally() const { return faultTally; }
-    void resetTally() { faultTally = Tally{}; }
+    void resetTally();
 
   private:
     FaultConfig faultConfig;

@@ -280,12 +280,14 @@ OdroidXu3Platform::groundTruthPower(CpuCluster cluster) const
 void
 OdroidXu3Platform::clearCache()
 {
+    std::lock_guard<std::mutex> lock(cacheMutex);
     runCache.clear();
 }
 
 void
 OdroidXu3Platform::injectFaults(const FaultConfig &config)
 {
+    std::lock_guard<std::mutex> lock(attemptMutex);
     faultInjector = FaultInjector(config);
     faultAttempts.clear();
 }
@@ -293,30 +295,38 @@ OdroidXu3Platform::injectFaults(const FaultConfig &config)
 void
 OdroidXu3Platform::resetFaultAttempts()
 {
+    std::lock_guard<std::mutex> lock(attemptMutex);
     faultAttempts.clear();
 }
 
-const uarch::RunResult &
+std::shared_ptr<OdroidXu3Platform::BaseRunSlot>
 OdroidXu3Platform::baseRun(const workload::Workload &work,
                            CpuCluster cluster)
 {
     std::string key = clusterTag(cluster) + ":" + work.name;
-    auto it = runCache.find(key);
-    if (it != runCache.end())
-        return it->second;
+    std::shared_ptr<BaseRunSlot> slot;
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex);
+        std::shared_ptr<BaseRunSlot> &entry = runCache[key];
+        if (!entry)
+            entry = std::make_shared<BaseRunSlot>();
+        slot = entry;
+    }
+    // The simulation runs outside the cache lock (it can take
+    // seconds); the once-flag makes concurrent first callers agree
+    // on a single run.
+    std::call_once(slot->once, [&] {
+        uarch::ClusterConfig config = cluster == CpuCluster::LittleA7
+            ? trueLittleConfig()
+            : trueBigConfig();
+        config.memBytes =
+            std::max<std::uint64_t>(work.memBytes, 64 * 1024);
 
-    uarch::ClusterConfig config = cluster == CpuCluster::LittleA7
-        ? trueLittleConfig()
-        : trueBigConfig();
-    config.memBytes = std::max<std::uint64_t>(work.memBytes, 64 * 1024);
-
-    uarch::ClusterModel model(config);
-    work.prepareMemory(model.memory());
-    uarch::RunResult run =
-        model.run(work.program, work.numThreads, 1.0);
-    auto [pos, inserted] = runCache.emplace(key, std::move(run));
-    (void)inserted;
-    return pos->second;
+        uarch::ClusterModel model(config);
+        work.prepareMemory(model.memory());
+        slot->run = model.run(work.program, work.numThreads, 1.0);
+    });
+    return slot;
 }
 
 HwMeasurement
@@ -329,10 +339,38 @@ OdroidXu3Platform::measure(const workload::Workload &work,
 }
 
 HwMeasurement
+OdroidXu3Platform::measureAttempt(const workload::Workload &work,
+                                  CpuCluster cluster, double freq_mhz,
+                                  unsigned attempt, unsigned repeats)
+{
+    return measureImpl(work, cluster, freq_mhz,
+                       PmuEventTable::allIds(), repeats, attempt);
+}
+
+HwMeasurement
 OdroidXu3Platform::measureEvents(const workload::Workload &work,
                                  CpuCluster cluster, double freq_mhz,
                                  const std::vector<int> &event_ids,
                                  unsigned repeats)
+{
+    // Legacy attempt accounting: successive calls on the same point
+    // are successive attempts, tracked in the shared per-point map.
+    unsigned attempt = 0;
+    if (faultInjector.active()) {
+        std::string point_key = work.name + ":" +
+            clusterTag(cluster) + ":" + formatDouble(freq_mhz, 3);
+        std::lock_guard<std::mutex> lock(attemptMutex);
+        attempt = faultAttempts[point_key]++;
+    }
+    return measureImpl(work, cluster, freq_mhz, event_ids, repeats,
+                       attempt);
+}
+
+HwMeasurement
+OdroidXu3Platform::measureImpl(const workload::Workload &work,
+                               CpuCluster cluster, double freq_mhz,
+                               const std::vector<int> &event_ids,
+                               unsigned repeats, unsigned attempt)
 {
     fatal_if(repeats == 0, "need at least one timing repeat");
 
@@ -347,9 +385,6 @@ OdroidXu3Platform::measureEvents(const workload::Workload &work,
     // fault-free build; a failed run dies before touching anything.
     FaultInjector::Plan plan;
     if (faultInjector.active()) {
-        std::string point_key = work.name + ":" +
-            clusterTag(cluster) + ":" + formatDouble(freq_mhz, 3);
-        unsigned attempt = faultAttempts[point_key]++;
         plan = faultInjector.plan(work.name, clusterTag(cluster),
                                   freq_mhz, attempt);
         if (plan.runFails) {
@@ -362,7 +397,8 @@ OdroidXu3Platform::measureEvents(const workload::Workload &work,
         }
     }
 
-    const uarch::RunResult &base = baseRun(work, cluster);
+    std::shared_ptr<BaseRunSlot> slot = baseRun(work, cluster);
+    const uarch::RunResult &base = slot->run;
     uarch::RunResult run = uarch::retimeRun(base, freq_mhz / 1000.0);
     m.groundTruth = run.aggregate;
 

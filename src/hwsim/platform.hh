@@ -17,6 +17,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -85,6 +86,18 @@ struct HwMeasurement
  * The board. One instance owns a deterministic noise stream and a
  * run cache (runs are frequency-retimed rather than re-simulated, as
  * all architectural event counts are DVFS-invariant).
+ *
+ * Thread safety: measureAttempt() is safe to call concurrently from
+ * any number of threads on one platform, and its result depends only
+ * on its arguments and the construction seed — never on call order
+ * or thread interleaving. The run cache is populated under a
+ * once-flag per (workload, cluster) so concurrent first measurements
+ * simulate exactly once; the noise stream is forked per point (the
+ * master Rng is never advanced after construction); the fault
+ * injector and PMU/power/thermal models are const during
+ * measurement. measure()/measureEvents() additionally bump a shared
+ * per-point attempt counter and are therefore serial-only, as are
+ * the mutators (injectFaults, resetFaultAttempts, clearCache).
  */
 class OdroidXu3Platform
 {
@@ -124,6 +137,18 @@ class OdroidXu3Platform
                                 const std::vector<int> &event_ids,
                                 unsigned repeats = 5);
 
+    /**
+     * measure() with the retry attempt made explicit instead of
+     * drawn from the platform's shared per-point counter. Attempt 0
+     * of a point is bit-identical to a first measure() of it. This
+     * is the entry point for concurrent campaigns: a pure function
+     * of (arguments, construction seed), safe from any thread.
+     */
+    HwMeasurement measureAttempt(const workload::Workload &work,
+                                 CpuCluster cluster, double freq_mhz,
+                                 unsigned attempt,
+                                 unsigned repeats = 5);
+
     /** The sensor and thermal models (exposed for tests). */
     const PowerSensor &sensor() const { return powerSensor; }
     const ThermalModel &thermal() const { return thermalModel; }
@@ -152,9 +177,27 @@ class OdroidXu3Platform
     void clearCache();
 
   private:
+    /**
+     * One run-cache slot: the once-flag guarantees a single
+     * simulation per (workload, cluster) under concurrent first
+     * measurements, and the shared_ptr keeps the result alive for
+     * readers even across clearCache().
+     */
+    struct BaseRunSlot
+    {
+        std::once_flag once;
+        uarch::RunResult run;
+    };
+
     /** Cached base-frequency run for (workload, cluster). */
-    const uarch::RunResult &baseRun(const workload::Workload &work,
-                                    CpuCluster cluster);
+    std::shared_ptr<BaseRunSlot> baseRun(
+        const workload::Workload &work, CpuCluster cluster);
+
+    /** The measurement core; @p attempt selects the fault plan. */
+    HwMeasurement measureImpl(const workload::Workload &work,
+                              CpuCluster cluster, double freq_mhz,
+                              const std::vector<int> &event_ids,
+                              unsigned repeats, unsigned attempt);
 
     Rng masterRng;
     PmuSampler pmuSampler;
@@ -162,8 +205,10 @@ class OdroidXu3Platform
     ThermalModel thermalModel;
     GroundTruthPower bigPower;
     GroundTruthPower littlePower;
-    std::map<std::string, uarch::RunResult> runCache;
+    std::mutex cacheMutex;   //!< guards runCache (not the slots)
+    std::map<std::string, std::shared_ptr<BaseRunSlot>> runCache;
     FaultInjector faultInjector;
+    std::mutex attemptMutex; //!< guards faultAttempts
     /** Attempts made per (workload, cluster, freq) point. */
     std::map<std::string, unsigned> faultAttempts;
 };

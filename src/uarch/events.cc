@@ -5,6 +5,9 @@
 
 #include "uarch/events.hh"
 
+#include <algorithm>
+#include <type_traits>
+
 namespace gemstone::uarch {
 
 void
@@ -89,83 +92,103 @@ EventCounts::merge(const EventCounts &other)
     stallCyclesExec += other.stallCyclesExec;
 }
 
+/**
+ * Every scalar field of EventCounts, in the canonical (toMap) order.
+ * toMap() and fromMap() are generated from this single list so the
+ * two can never drift apart.
+ */
+#define GS_EVENT_COUNT_FIELDS(X) \
+    X(cycles) \
+    X(seconds) \
+    X(instructions) \
+    X(instSpec) \
+    X(intAluOps) \
+    X(intMulOps) \
+    X(intDivOps) \
+    X(fpOps) \
+    X(simdOps) \
+    X(loadOps) \
+    X(storeOps) \
+    X(nopOps) \
+    X(unalignedAccesses) \
+    X(branches) \
+    X(condBranches) \
+    X(immedBranches) \
+    X(returnBranches) \
+    X(indirectBranches) \
+    X(callBranches) \
+    X(branchMispredicts) \
+    X(condIncorrect) \
+    X(predictedTaken) \
+    X(predictedTakenIncorrect) \
+    X(btbHits) \
+    X(usedRas) \
+    X(rasIncorrect) \
+    X(indirectMispredicts) \
+    X(wrongPathInsts) \
+    X(wrongPathLoads) \
+    X(ldrexOps) \
+    X(strexOps) \
+    X(strexFails) \
+    X(barriers) \
+    X(isbs) \
+    X(l1iAccesses) \
+    X(l1iMisses) \
+    X(itlbAccesses) \
+    X(itlbMisses) \
+    X(l2ItlbAccesses) \
+    X(l2ItlbMisses) \
+    X(itlbWalks) \
+    X(l1dAccesses) \
+    X(l1dReadAccesses) \
+    X(l1dWriteAccesses) \
+    X(l1dMisses) \
+    X(l1dReadMisses) \
+    X(l1dWriteMisses) \
+    X(l1dWritebacks) \
+    X(l1dStreamingStores) \
+    X(dtlbAccesses) \
+    X(dtlbMisses) \
+    X(l2DtlbAccesses) \
+    X(l2DtlbMisses) \
+    X(dtlbWalks) \
+    X(l2Accesses) \
+    X(l2Misses) \
+    X(l2Writebacks) \
+    X(l2Prefetches) \
+    X(l2PrefetchHits) \
+    X(busAccesses) \
+    X(dramReads) \
+    X(dramWrites) \
+    X(snoops) \
+    X(dramStallNs) \
+    X(stallCyclesFrontend) \
+    X(stallCyclesBranch) \
+    X(stallCyclesMem) \
+    X(stallCyclesSync) \
+    X(stallCyclesExec)
+
 std::map<std::string, double>
 EventCounts::toMap() const
 {
     std::map<std::string, double> m;
-    m["cycles"] = cycles;
-    m["seconds"] = seconds;
-    m["instructions"] = static_cast<double>(instructions);
-    m["instSpec"] = static_cast<double>(instSpec);
-    m["intAluOps"] = static_cast<double>(intAluOps);
-    m["intMulOps"] = static_cast<double>(intMulOps);
-    m["intDivOps"] = static_cast<double>(intDivOps);
-    m["fpOps"] = static_cast<double>(fpOps);
-    m["simdOps"] = static_cast<double>(simdOps);
-    m["loadOps"] = static_cast<double>(loadOps);
-    m["storeOps"] = static_cast<double>(storeOps);
-    m["nopOps"] = static_cast<double>(nopOps);
-    m["unalignedAccesses"] = static_cast<double>(unalignedAccesses);
-    m["branches"] = static_cast<double>(branches);
-    m["condBranches"] = static_cast<double>(condBranches);
-    m["immedBranches"] = static_cast<double>(immedBranches);
-    m["returnBranches"] = static_cast<double>(returnBranches);
-    m["indirectBranches"] = static_cast<double>(indirectBranches);
-    m["callBranches"] = static_cast<double>(callBranches);
-    m["branchMispredicts"] = static_cast<double>(branchMispredicts);
-    m["condIncorrect"] = static_cast<double>(condIncorrect);
-    m["predictedTaken"] = static_cast<double>(predictedTaken);
-    m["predictedTakenIncorrect"] =
-        static_cast<double>(predictedTakenIncorrect);
-    m["btbHits"] = static_cast<double>(btbHits);
-    m["usedRas"] = static_cast<double>(usedRas);
-    m["rasIncorrect"] = static_cast<double>(rasIncorrect);
-    m["indirectMispredicts"] =
-        static_cast<double>(indirectMispredicts);
-    m["wrongPathInsts"] = static_cast<double>(wrongPathInsts);
-    m["wrongPathLoads"] = static_cast<double>(wrongPathLoads);
-    m["ldrexOps"] = static_cast<double>(ldrexOps);
-    m["strexOps"] = static_cast<double>(strexOps);
-    m["strexFails"] = static_cast<double>(strexFails);
-    m["barriers"] = static_cast<double>(barriers);
-    m["isbs"] = static_cast<double>(isbs);
-    m["l1iAccesses"] = static_cast<double>(l1iAccesses);
-    m["l1iMisses"] = static_cast<double>(l1iMisses);
-    m["itlbAccesses"] = static_cast<double>(itlbAccesses);
-    m["itlbMisses"] = static_cast<double>(itlbMisses);
-    m["l2ItlbAccesses"] = static_cast<double>(l2ItlbAccesses);
-    m["l2ItlbMisses"] = static_cast<double>(l2ItlbMisses);
-    m["itlbWalks"] = static_cast<double>(itlbWalks);
-    m["l1dAccesses"] = static_cast<double>(l1dAccesses);
-    m["l1dReadAccesses"] = static_cast<double>(l1dReadAccesses);
-    m["l1dWriteAccesses"] = static_cast<double>(l1dWriteAccesses);
-    m["l1dMisses"] = static_cast<double>(l1dMisses);
-    m["l1dReadMisses"] = static_cast<double>(l1dReadMisses);
-    m["l1dWriteMisses"] = static_cast<double>(l1dWriteMisses);
-    m["l1dWritebacks"] = static_cast<double>(l1dWritebacks);
-    m["l1dStreamingStores"] =
-        static_cast<double>(l1dStreamingStores);
-    m["dtlbAccesses"] = static_cast<double>(dtlbAccesses);
-    m["dtlbMisses"] = static_cast<double>(dtlbMisses);
-    m["l2DtlbAccesses"] = static_cast<double>(l2DtlbAccesses);
-    m["l2DtlbMisses"] = static_cast<double>(l2DtlbMisses);
-    m["dtlbWalks"] = static_cast<double>(dtlbWalks);
-    m["l2Accesses"] = static_cast<double>(l2Accesses);
-    m["l2Misses"] = static_cast<double>(l2Misses);
-    m["l2Writebacks"] = static_cast<double>(l2Writebacks);
-    m["l2Prefetches"] = static_cast<double>(l2Prefetches);
-    m["l2PrefetchHits"] = static_cast<double>(l2PrefetchHits);
-    m["busAccesses"] = static_cast<double>(busAccesses);
-    m["dramReads"] = static_cast<double>(dramReads);
-    m["dramWrites"] = static_cast<double>(dramWrites);
-    m["snoops"] = static_cast<double>(snoops);
-    m["dramStallNs"] = dramStallNs;
-    m["stallCyclesFrontend"] = stallCyclesFrontend;
-    m["stallCyclesBranch"] = stallCyclesBranch;
-    m["stallCyclesMem"] = stallCyclesMem;
-    m["stallCyclesSync"] = stallCyclesSync;
-    m["stallCyclesExec"] = stallCyclesExec;
+#define X(field) m[#field] = static_cast<double>(field);
+    GS_EVENT_COUNT_FIELDS(X)
+#undef X
     return m;
 }
+
+void
+EventCounts::fromMap(const std::map<std::string, double> &values)
+{
+#define X(field)                                                          \
+    if (auto it = values.find(#field); it != values.end())                \
+        field = static_cast<                                              \
+            std::remove_reference_t<decltype(field)>>(it->second);
+    GS_EVENT_COUNT_FIELDS(X)
+#undef X
+}
+
+#undef GS_EVENT_COUNT_FIELDS
 
 } // namespace gemstone::uarch

@@ -122,6 +122,14 @@ struct EventCounts
     /** Flatten to a name->value map (raw totals). */
     std::map<std::string, double> toMap() const;
 
+    /**
+     * Restore fields from a toMap()-style map (names absent from the
+     * map keep their current value). Inverse of toMap() for every
+     * count below 2^53, which lets memoised run results round-trip
+     * through the exec::ResultStore bit-exactly.
+     */
+    void fromMap(const std::map<std::string, double> &values);
+
     /** Instructions per cycle (0 when no cycles). */
     double ipc() const
     {
