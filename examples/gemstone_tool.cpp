@@ -10,7 +10,12 @@
  * Usage:
  *   gemstone_tool [--cluster a15|a7] [--g5-version 1|2]
  *                 [--freq MHZ] [--no-power] [--out DIR]
- *                 [--jobs N] [--cache PATH]
+ *                 [--jobs N] [--cache PATH] [--deadline SECONDS]
+ *
+ * SIGINT/SIGTERM request a graceful stop: the run unwinds at the
+ * next cooperative poll site, the result store is still saved, and
+ * the tool exits with code 130. A second signal aborts immediately.
+ * An overrun --deadline exits with code 124.
  */
 
 #include <cstring>
@@ -20,7 +25,9 @@
 #include "exec/resultstore.hh"
 #include "exec/threadpool.hh"
 #include "gemstone/report.hh"
+#include "util/cancellation.hh"
 #include "util/logging.hh"
+#include "util/signals.hh"
 
 using namespace gemstone;
 
@@ -46,7 +53,32 @@ usage()
         "  --cache PATH       result-store CSV: reuse results from "
         "PATH if it\n"
         "                     exists, save the updated store back on "
-        "exit\n";
+        "exit\n"
+        "  --deadline SECONDS wall-clock budget for the whole run; "
+        "overrun\n"
+        "                     exits with code 124 (default: "
+        "unlimited)\n"
+        "\n"
+        "SIGINT/SIGTERM stop the run gracefully (exit code 130); a\n"
+        "second signal forces immediate exit.\n";
+}
+
+/** Save the result store and print its statistics. */
+void
+saveStore(const std::shared_ptr<exec::ResultStore> &store,
+          const std::string &cache_path)
+{
+    if (!store)
+        return;
+    Status saved = store->saveCsv(cache_path);
+    if (!saved.ok())
+        warn("could not save result store to ", cache_path, ": ",
+             saved.toString());
+    exec::ResultStore::Stats stats = store->stats();
+    std::cout << "result store " << cache_path << ": "
+              << store->size() << " entries (" << stats.hits
+              << " hits, " << stats.misses << " misses, "
+              << stats.insertions << " new)\n";
 }
 
 } // namespace
@@ -94,6 +126,10 @@ main(int argc, char **argv)
                           : static_cast<unsigned>(jobs);
         } else if (arg == "--cache") {
             cache_path = next();
+        } else if (arg == "--deadline") {
+            runner_config.runDeadlineSeconds = std::stod(next());
+            if (runner_config.runDeadlineSeconds < 0.0)
+                fatal("--deadline must be >= 0");
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -102,6 +138,8 @@ main(int argc, char **argv)
             fatal("unknown option '", arg, "'");
         }
     }
+
+    installSignalCancellation(runner_config.cancel);
 
     core::ExperimentRunner runner(runner_config);
 
@@ -116,23 +154,27 @@ main(int argc, char **argv)
         runner.attachResultStore(store);
     }
 
-    core::Report report =
-        core::generateReport(runner, report_config);
+    try {
+        core::Report report =
+            core::generateReport(runner, report_config);
 
-    report.writeText(std::cout);
+        report.writeText(std::cout);
 
-    std::size_t files = core::writeReportFiles(report, out_dir);
-    std::cout << "\nwrote " << files << " artefact files to "
-              << out_dir << "/\n";
-
-    if (store) {
-        if (!store->saveCsv(cache_path))
-            warn("could not save result store to ", cache_path);
-        exec::ResultStore::Stats stats = store->stats();
-        std::cout << "result store " << cache_path << ": "
-                  << store->size() << " entries (" << stats.hits
-                  << " hits, " << stats.misses << " misses, "
-                  << stats.insertions << " new)\n";
+        std::size_t files = core::writeReportFiles(report, out_dir);
+        std::cout << "\nwrote " << files << " artefact files to "
+                  << out_dir << "/\n";
+    } catch (const DeadlineError &e) {
+        saveStore(store, cache_path);
+        std::cerr << "gemstone_tool: deadline exceeded: " << e.what()
+                  << "\n";
+        return kExitDeadline;
+    } catch (const CancelledError &e) {
+        saveStore(store, cache_path);
+        std::cerr << "gemstone_tool: interrupted: " << e.what()
+                  << "\n";
+        return kExitCancelled;
     }
+
+    saveStore(store, cache_path);
     return 0;
 }

@@ -23,6 +23,8 @@
 #include "gemstone/campaign.hh"
 #include "gemstone/runner.hh"
 #include "hwsim/faults.hh"
+#include "util/cancellation.hh"
+#include "util/signals.hh"
 #include "util/strutil.hh"
 #include "util/table.hh"
 
@@ -42,6 +44,8 @@ summarise(const char *label, const CampaignResult &result)
               std::to_string(result.resumedPoints)});
     t.addRow({"points excluded",
               std::to_string(result.excludedPoints)});
+    t.addRow({"points cancelled",
+              std::to_string(result.cancelledPoints)});
     t.addRow({"attempts spent", std::to_string(result.totalAttempts)});
     t.addRow({"run failures retried",
               std::to_string(result.totalFailures)});
@@ -77,6 +81,11 @@ main(int argc, char **argv)
     CampaignConfig policy;
     policy.checkpointPath = checkpoint;
 
+    // Ctrl-C / SIGTERM stop the campaign at the next point boundary;
+    // everything finished so far is already in the checkpoint and the
+    // next run resumes from it. A second signal kills immediately.
+    installSignalCancellation(policy.cancel);
+
     // First pass: measures every point not already checkpointed.
     ExperimentRunner runner{RunnerConfig{}};
     runner.platform().injectFaults(hwsim::FaultConfig::labMix());
@@ -85,6 +94,13 @@ main(int argc, char **argv)
         engine.runValidation(hwsim::CpuCluster::BigA15);
     summarise("First pass (measures whatever the checkpoint lacks)",
               first);
+
+    if (first.cancelled) {
+        std::cout << "\ninterrupted; " << first.cancelledPoints
+                  << " points left for the resume — rerun to pick up "
+                     "from " << checkpoint << "\n";
+        return kExitCancelled;
+    }
 
     // Second pass: the checkpoint makes the whole campaign a resume.
     ExperimentRunner again{RunnerConfig{}};

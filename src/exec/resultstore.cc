@@ -8,12 +8,10 @@
 #include <algorithm>
 #include <cmath>
 #include <filesystem>
-#include <fstream>
-#include <iomanip>
-#include <sstream>
 
 #include "util/csv.hh"
 #include "util/logging.hh"
+#include "util/strutil.hh"
 
 namespace gemstone::exec {
 
@@ -22,15 +20,6 @@ namespace {
 /** CSV column contract of a persisted store. */
 const std::vector<std::string> kStoreColumns = {"key", "field",
                                                 "value"};
-
-/** Render a double so the CSV round trip is bit-exact. */
-std::string
-exactDouble(double value)
-{
-    std::ostringstream os;
-    os << std::setprecision(17) << value;
-    return os.str();
-}
 
 } // namespace
 
@@ -148,6 +137,15 @@ ResultStore::loadCsv(const std::string &path)
         warn("result store ", path, ": missing columns; not loaded");
         return 0;
     }
+    if (reader.hasTruncatedTail()) {
+        warnLimited("resultstore-torn", 3, "result store ", path,
+                    ": truncated final row dropped (torn write); ",
+                    "loading the rows before it");
+    } else if (!reader.sawIntegrityMarker()) {
+        warnLimited("resultstore-no-marker", 3, "result store ", path,
+                    ": no integrity marker; the file may be from an ",
+                    "interrupted save");
+    }
 
     // Rows of one entry are contiguous (saveCsv writes them so);
     // gather runs of equal keys into one payload each.
@@ -190,7 +188,7 @@ ResultStore::loadCsv(const std::string &path)
     return loaded;
 }
 
-bool
+Status
 ResultStore::saveCsv(const std::string &path) const
 {
     // Hold the lock for the whole save: persistence is rare and the
@@ -208,9 +206,9 @@ ResultStore::saveCsv(const std::string &path) const
     CsvWriter csv(kStoreColumns);
     for (const Entry *entry : sorted) {
         for (const auto &[name, value] : entry->fields)
-            csv.addRow({entry->key, name, exactDouble(value)});
+            csv.addRow({entry->key, name, formatExactDouble(value)});
     }
-    return csv.writeFile(path);
+    return csv.writeFileAtomic(path);
 }
 
 } // namespace gemstone::exec

@@ -34,6 +34,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/status.hh"
+
 namespace gemstone::exec {
 
 class ResultStore
@@ -79,15 +81,21 @@ class ResultStore
     /**
      * Merge entries from a CSV previously written by saveCsv();
      * returns the number of entries loaded. A missing file loads
-     * nothing; malformed rows are skipped with a warning.
+     * nothing; malformed rows are skipped with a warning. A file
+     * without the trailing integrity marker, or with a truncated
+     * final row (a torn write from an older or crashed process), is
+     * loaded up to its last good row with a warning — memoised
+     * results are an optimisation, so salvage beats refusal.
      */
     std::size_t loadCsv(const std::string &path);
 
     /**
      * Persist every resident entry, sorted by key so the file is
-     * deterministic. Returns false on I/O failure.
+     * deterministic. The write is atomic (tmp + fsync + rename) and
+     * ends with the integrity marker; a crash leaves the previous
+     * complete file, never a torn one.
      */
-    bool saveCsv(const std::string &path) const;
+    Status saveCsv(const std::string &path) const;
 
   private:
     struct Entry

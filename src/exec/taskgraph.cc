@@ -76,6 +76,7 @@ TaskGraph::checkReadyToRun()
         node->depFailed.store(false, std::memory_order_relaxed);
         node->error = nullptr;
         node->wasSkipped = false;
+        node->wasCancelled = false;
         node->done = false;
     }
 }
@@ -85,14 +86,23 @@ TaskGraph::executeNode(Node &node)
 {
     if (node.depFailed.load(std::memory_order_acquire)) {
         node.wasSkipped = true;
+    } else if (activeToken.cancelled()) {
+        // Not started yet and the run is being torn down: abandon
+        // the node without executing it.
+        node.wasCancelled = true;
     } else {
         try {
             node.work();
+        } catch (const CancelledError &) {
+            // The node observed the token itself; record it as
+            // cancelled, not failed, so the settle logic can tell a
+            // torn-down run from a broken one.
+            node.wasCancelled = true;
         } catch (...) {
             node.error = std::current_exception();
         }
     }
-    bool failed = node.wasSkipped || node.error;
+    bool failed = node.wasSkipped || node.wasCancelled || node.error;
     if (failed) {
         for (NodeId next : node.dependents)
             nodes[next]->depFailed.store(true,
@@ -104,15 +114,29 @@ TaskGraph::executeNode(Node &node)
 void
 TaskGraph::rethrowFirstError()
 {
+    // Genuine failures take precedence (lowest id, deterministic at
+    // any thread count); a run abandoned purely by cancellation
+    // surfaces as CancelledError.
     for (const std::unique_ptr<Node> &node : nodes) {
         if (node->error)
             std::rethrow_exception(node->error);
+    }
+    for (const std::unique_ptr<Node> &node : nodes) {
+        if (node->wasCancelled)
+            throw CancelledError("task graph cancelled");
     }
 }
 
 void
 TaskGraph::run(ThreadPool &pool)
 {
+    run(pool, CancellationToken());
+}
+
+void
+TaskGraph::run(ThreadPool &pool, CancellationToken token)
+{
+    activeToken = std::move(token);
     checkReadyToRun();
     if (nodes.empty())
         return;
@@ -147,6 +171,13 @@ TaskGraph::run(ThreadPool &pool)
 void
 TaskGraph::runSerial()
 {
+    runSerial(CancellationToken());
+}
+
+void
+TaskGraph::runSerial(CancellationToken token)
+{
+    activeToken = std::move(token);
     checkReadyToRun();
 
     std::set<NodeId> ready;
@@ -174,7 +205,8 @@ TaskGraph::succeeded(NodeId id) const
 {
     panic_if(id >= nodes.size(), "unknown TaskGraph node");
     const Node &node = *nodes[id];
-    return node.done && !node.wasSkipped && !node.error;
+    return node.done && !node.wasSkipped && !node.wasCancelled &&
+        !node.error;
 }
 
 bool
@@ -182,6 +214,13 @@ TaskGraph::skipped(NodeId id) const
 {
     panic_if(id >= nodes.size(), "unknown TaskGraph node");
     return nodes[id]->wasSkipped;
+}
+
+bool
+TaskGraph::cancelled(NodeId id) const
+{
+    panic_if(id >= nodes.size(), "unknown TaskGraph node");
+    return nodes[id]->wasCancelled;
 }
 
 } // namespace gemstone::exec

@@ -20,6 +20,16 @@
  * deterministic at any thread count. A dependency cycle is detected
  * up front and reported via std::logic_error before any node runs.
  *
+ * Cancellation: run()/runSerial() accept a CancellationToken. Once
+ * it is cancelled, nodes that have not started yet are marked
+ * cancelled instead of executed (their dependents are skipped);
+ * nodes already running finish normally (or observe the token
+ * themselves through their own cooperative checkpoints). A node
+ * whose work throws CancelledError is likewise recorded as cancelled
+ * rather than failed. After the graph settles, genuine node errors
+ * are rethrown first; if the only reason the graph is incomplete is
+ * cancellation, CancelledError is thrown.
+ *
  * Thread-safety contract: build the graph (add) from one thread,
  * then call run()/runSerial() once; the node callbacks themselves
  * run concurrently under run() and must synchronise any shared data.
@@ -37,6 +47,7 @@
 #include <vector>
 
 #include "exec/threadpool.hh"
+#include "util/cancellation.hh"
 
 namespace gemstone::exec {
 
@@ -64,14 +75,23 @@ class TaskGraph
     /** Execute on a pool; blocks until the graph settles. */
     void run(ThreadPool &pool);
 
+    /** Execute on a pool, honouring @p token (see file comment). */
+    void run(ThreadPool &pool, CancellationToken token);
+
     /** Execute inline, lowest-id-ready-first (deterministic). */
     void runSerial();
+
+    /** Execute inline, honouring @p token (see file comment). */
+    void runSerial(CancellationToken token);
 
     /** True when the node ran to completion without an exception. */
     bool succeeded(NodeId id) const;
 
     /** True when the node was skipped because a dependency failed. */
     bool skipped(NodeId id) const;
+
+    /** True when the node was abandoned because of cancellation. */
+    bool cancelled(NodeId id) const;
 
   private:
     struct Node
@@ -84,6 +104,7 @@ class TaskGraph
         std::atomic<bool> depFailed{false};
         std::exception_ptr error;
         bool wasSkipped = false;
+        bool wasCancelled = false;
         bool done = false;
     };
 
@@ -92,6 +113,9 @@ class TaskGraph
     void rethrowFirstError();
 
     std::vector<std::unique_ptr<Node>> nodes;
+
+    /** Token observed by executeNode during the current run. */
+    CancellationToken activeToken;
 
     std::mutex doneMutex;
     std::condition_variable allDone;

@@ -5,6 +5,8 @@
 
 #include "exec/threadpool.hh"
 
+#include <chrono>
+
 #include "util/logging.hh"
 
 namespace gemstone::exec {
@@ -78,14 +80,33 @@ ThreadPool::post(std::function<void()> task)
     }
 
     std::unique_lock<std::mutex> lock(poolMutex);
-    spaceAvailable.wait(lock, [this]() {
-        return injected.size() < queueCapacity || stopping;
-    });
+    // A cancelled token lifts the backpressure bound: the producer
+    // may overshoot capacity so it can finish its bookkeeping and
+    // unwind, instead of deadlocking against workers that are all
+    // parked inside tasks that already observed the cancel. Nobody
+    // notifies on cancel (tokens are plain atomics), hence the
+    // periodic re-check instead of an indefinite wait.
+    auto can_push = [this]() {
+        return injected.size() < queueCapacity || stopping ||
+               cancelToken.cancelled();
+    };
+    while (!can_push())
+        spaceAvailable.wait_for(lock, std::chrono::milliseconds(50));
     panic_if(stopping, "post() on a stopping ThreadPool");
     injected.push_back(std::move(task));
     noteQueued();
     lock.unlock();
     workAvailable.notify_one();
+}
+
+void
+ThreadPool::setCancellationToken(CancellationToken token)
+{
+    {
+        std::lock_guard<std::mutex> lock(poolMutex);
+        cancelToken = std::move(token);
+    }
+    spaceAvailable.notify_all();
 }
 
 void

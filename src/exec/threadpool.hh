@@ -34,6 +34,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "util/cancellation.hh"
+
 namespace gemstone::exec {
 
 class ThreadPool
@@ -79,6 +81,16 @@ class ThreadPool
     /** Block until every task enqueued so far has finished. */
     void drain();
 
+    /**
+     * Associate a cancellation token with the pool. The pool never
+     * drops queued tasks — cooperative tasks observe the token
+     * themselves — but a cancelled token releases producers blocked
+     * on the injection-queue bound, so shutdown cannot deadlock on
+     * backpressure while every worker is parked in a task that has
+     * already noticed the cancel.
+     */
+    void setCancellationToken(CancellationToken token);
+
     /** Worker count for "use the whole machine" callers. */
     static unsigned defaultThreadCount();
 
@@ -104,6 +116,8 @@ class ThreadPool
     std::condition_variable allDone;
     std::deque<std::function<void()>> injected;
     std::size_t queueCapacity;
+    /** Read by blocked producers to bypass the bound on cancel. */
+    CancellationToken cancelToken;
     /** Tasks queued anywhere or currently running. */
     std::size_t unfinished = 0;
     /** Bumped on every enqueue; lets sleepers detect missed work. */

@@ -5,6 +5,7 @@
 
 #include "g5/simulator.hh"
 
+#include "util/cancellation.hh"
 #include "util/logging.hh"
 
 namespace gemstone::g5 {
@@ -64,6 +65,8 @@ G5Simulation::run(const workload::Workload &work, G5Model model,
                   double freq_mhz)
 {
     fatal_if(freq_mhz <= 0.0, "frequency must be positive");
+    // Poll before committing to a (possibly cached) base run.
+    coopCheckpoint();
 
     std::shared_ptr<BaseRunSlot> slot = baseRun(work, model);
     uarch::RunResult retimed =

@@ -8,7 +8,6 @@
 #include <algorithm>
 #include <cmath>
 #include <filesystem>
-#include <fstream>
 #include <map>
 #include <mutex>
 
@@ -17,6 +16,7 @@
 #include "hwsim/faults.hh"
 #include "mlstat/descriptive.hh"
 #include "mlstat/robust.hh"
+#include "util/atomicfile.hh"
 #include "util/csv.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
@@ -26,12 +26,18 @@ namespace gemstone::core {
 
 namespace {
 
-/** Checkpoint column order (also the file's compatibility contract). */
+/**
+ * Checkpoint column order (also the file's compatibility contract).
+ * Version 2: the collated repeat timings, the PMC medians and the
+ * last structured error ride along, and every double is rendered
+ * round-trip-exact, so a resumed campaign reconstructs the full
+ * collated record bit-identically.
+ */
 const std::vector<std::string> kCheckpointColumns = {
     "workload",      "cluster",   "freq_mhz", "status",
     "attempts",      "failures",  "rejected", "backoff_s",
     "exec_seconds",  "power_watts", "temperature_c", "voltage",
-    "throttled"};
+    "throttled",     "repeats",   "pmc",      "error"};
 
 std::string
 pointKey(const std::string &workload, double freq_mhz)
@@ -39,19 +45,57 @@ pointKey(const std::string &workload, double freq_mhz)
     return workload + "@" + formatDouble(freq_mhz, 3);
 }
 
+/** One checkpoint row, in kCheckpointColumns order. */
+std::vector<std::string>
+encodeCheckpointRow(const CampaignPoint &point)
+{
+    std::vector<std::string> repeats;
+    repeats.reserve(point.repeatSeconds.size());
+    for (double seconds : point.repeatSeconds)
+        repeats.push_back(formatExactDouble(seconds));
+    std::vector<std::string> pmc;
+    pmc.reserve(point.pmc.size());
+    for (const auto &[id, count] : point.pmc) {
+        pmc.push_back(std::to_string(id) + ":" +
+                      formatExactDouble(count));
+    }
+    return {point.workload,
+            hwsim::clusterTag(point.cluster),
+            formatDouble(point.freqMhz, 3),
+            pointStatusTag(point.status),
+            std::to_string(point.attempts),
+            std::to_string(point.failures),
+            std::to_string(point.rejected),
+            formatExactDouble(point.backoffSeconds),
+            formatExactDouble(point.execSeconds),
+            formatExactDouble(point.powerWatts),
+            formatExactDouble(point.temperatureC),
+            formatExactDouble(point.voltage),
+            point.throttled ? "1" : "0",
+            join(repeats, ";"),
+            join(pmc, ";"),
+            statusCodeTag(point.lastError)};
+}
+
 /**
- * The single serialised writer behind every checkpoint append: the
+ * The single serialised writer behind every checkpoint save: the
  * campaign's collate tasks finish on different worker threads, and
- * interleaved raw writes would corrupt the CSV. Rows land in
- * completion order; resume keys them by point, so row order is
- * irrelevant (and with jobs == 1 it matches the historical file
- * exactly).
+ * interleaved raw writes would corrupt the CSV. Each append rewrites
+ * the whole document atomically (temp + fsync + rename, trailing
+ * integrity marker): a kill at any byte offset of the save leaves
+ * the previous complete checkpoint on disk, never a torn file. The
+ * rewrite is O(rows) per point, which is noise next to a
+ * measurement; what it buys is that *every* on-disk state is a valid
+ * resume point. The writer is seeded with the rows retained from
+ * the loaded checkpoint (all clusters), so finished work from other
+ * clusters or earlier sessions survives the rewrites.
  */
 class CheckpointWriter
 {
   public:
-    explicit CheckpointWriter(std::string path)
-        : checkpointPath(std::move(path))
+    CheckpointWriter(std::string path,
+                     std::vector<std::vector<std::string>> seed_rows)
+        : checkpointPath(std::move(path)), rows(std::move(seed_rows))
     {
     }
 
@@ -61,49 +105,21 @@ class CheckpointWriter
         if (checkpointPath.empty())
             return;
         std::lock_guard<std::mutex> lock(writeMutex);
-        const std::string &path = checkpointPath;
-        bool need_header = !std::filesystem::exists(path) ||
-            std::filesystem::file_size(path) == 0;
-
-        std::ofstream out(path, std::ios::app);
-        if (!out) {
+        rows.push_back(encodeCheckpointRow(point));
+        CsvWriter csv(kCheckpointColumns);
+        for (const std::vector<std::string> &row : rows)
+            csv.addRow(row);
+        Status status = csv.writeFileAtomic(checkpointPath);
+        if (!status.ok()) {
             warnLimited("campaign-checkpoint-io", 3,
-                        "cannot append campaign checkpoint to ",
-                        path);
-            return;
-        }
-        auto emit = [&out](const std::vector<std::string> &cells) {
-            for (std::size_t i = 0; i < cells.size(); ++i) {
-                if (i > 0)
-                    out << ',';
-                out << CsvWriter::quote(cells[i]);
-            }
-            out << '\n';
-        };
-        if (need_header)
-            emit(kCheckpointColumns);
-        emit({point.workload, hwsim::clusterTag(point.cluster),
-              formatDouble(point.freqMhz, 3),
-              pointStatusTag(point.status),
-              std::to_string(point.attempts),
-              std::to_string(point.failures),
-              std::to_string(point.rejected),
-              formatDouble(point.backoffSeconds, 6),
-              formatDouble(point.execSeconds, 9),
-              formatDouble(point.powerWatts, 6),
-              formatDouble(point.temperatureC, 3),
-              formatDouble(point.voltage, 4),
-              point.throttled ? "1" : "0"});
-        out.flush();  // a kill after this line loses at most a point
-        if (!out) {
-            warnLimited("campaign-checkpoint-io", 3,
-                        "cannot append campaign checkpoint to ",
-                        path);
+                        "cannot save campaign checkpoint: ",
+                        status.toString());
         }
     }
 
   private:
     std::string checkpointPath;
+    std::vector<std::vector<std::string>> rows;
     std::mutex writeMutex;
 };
 
@@ -133,6 +149,8 @@ pointStatusTag(PointStatus status)
         return "failed";
       case PointStatus::Resumed:
         return "resumed";
+      case PointStatus::Cancelled:
+        return "cancelled";
     }
     return "?";
 }
@@ -143,7 +161,7 @@ parsePointStatus(const std::string &tag, PointStatus &status)
     for (PointStatus candidate :
          {PointStatus::Clean, PointStatus::Recovered,
           PointStatus::Degraded, PointStatus::Failed,
-          PointStatus::Resumed}) {
+          PointStatus::Resumed, PointStatus::Cancelled}) {
         if (pointStatusTag(candidate) == tag) {
             status = candidate;
             return true;
@@ -193,9 +211,63 @@ CampaignEngine::backoffDelay(const std::string &point_key,
     return delay * (1.0 + 0.25 * draw.uniform());
 }
 
+namespace {
+
+/** Parse "id:count;id:count" (round-trip-exact counts). */
+bool
+parsePmcField(const std::string &text, std::map<int, double> &pmc)
+{
+    pmc.clear();
+    if (text.empty())
+        return true;
+    for (const std::string &item : split(text, ';')) {
+        std::size_t colon = item.find(':');
+        if (colon == std::string::npos)
+            return false;
+        try {
+            std::size_t consumed = 0;
+            int id = std::stoi(item.substr(0, colon));
+            double count = std::stod(item.substr(colon + 1),
+                                     &consumed);
+            if (consumed != item.size() - colon - 1 ||
+                !std::isfinite(count)) {
+                return false;
+            }
+            pmc[id] = count;
+        } catch (const std::exception &) {
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Parse ";"-joined repeat timings. */
+bool
+parseRepeatsField(const std::string &text, std::vector<double> &out)
+{
+    out.clear();
+    if (text.empty())
+        return true;
+    for (const std::string &item : split(text, ';')) {
+        try {
+            std::size_t consumed = 0;
+            double value = std::stod(item, &consumed);
+            if (consumed != item.size() || !std::isfinite(value))
+                return false;
+            out.push_back(value);
+        } catch (const std::exception &) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
 std::vector<CampaignEngine::CheckpointRow>
-CampaignEngine::loadCheckpoint(hwsim::CpuCluster cluster,
-                               CampaignResult &result) const
+CampaignEngine::loadCheckpoint(
+    hwsim::CpuCluster cluster, CampaignResult &result,
+    std::vector<std::vector<std::string>> &retained) const
 {
     std::vector<CheckpointRow> rows;
     if (campaignConfig.checkpointPath.empty() ||
@@ -204,11 +276,39 @@ CampaignEngine::loadCheckpoint(hwsim::CpuCluster cluster,
         return rows;
     }
 
+    // Quarantine a torn tail (crash during a legacy append, or a
+    // truncation at an arbitrary byte offset) before parsing, so the
+    // rows before it are recovered instead of condemned.
+    Result<TailRecovery> recovery =
+        recoverCsvTail(campaignConfig.checkpointPath);
+    if (!recovery.ok()) {
+        result.warnings.push_back("checkpoint: " +
+                                  recovery.status().toString());
+        warnLimited("campaign-checkpoint-recover", 3, "checkpoint ",
+                    campaignConfig.checkpointPath, ": ",
+                    recovery.status().toString());
+    } else if (recovery.value().recovered) {
+        std::string message = detail::concatToString(
+            "checkpoint: quarantined ",
+            recovery.value().quarantinedBytes,
+            " bytes of torn tail to ", recovery.value().corruptPath);
+        result.warnings.push_back(message);
+        warnLimited("campaign-checkpoint-recover", 3, message);
+    }
+    std::error_code size_ec;
+    if (std::filesystem::file_size(campaignConfig.checkpointPath,
+                                   size_ec) == 0 && !size_ec) {
+        // Nothing survived the quarantine: a fresh campaign.
+        return rows;
+    }
+
     CsvReader reader =
         CsvReader::parseFile(campaignConfig.checkpointPath);
     reader.requireColumns(kCheckpointColumns);
-    if (reader.columnIndex("workload") == CsvReader::npos) {
-        // Header is unusable; warn and rerun everything.
+    if (reader.columnIndex("workload") == CsvReader::npos ||
+        reader.columnIndex("repeats") == CsvReader::npos) {
+        // Header is unusable (or a pre-v2 file without the exact
+        // repeat/pmc columns); warn and rerun everything.
         for (const std::string &error : reader.errorStrings()) {
             result.warnings.push_back("checkpoint: " + error);
             warn("checkpoint ", campaignConfig.checkpointPath, ": ",
@@ -216,16 +316,17 @@ CampaignEngine::loadCheckpoint(hwsim::CpuCluster cluster,
         }
         return rows;
     }
+    if (reader.hasTruncatedTail()) {
+        result.warnings.push_back(
+            "checkpoint: dropped a truncated final row");
+    }
 
     std::string tag = hwsim::clusterTag(cluster);
     for (std::size_t i = 0; i < reader.rowCount(); ++i) {
-        if (reader.cell(i, "cluster") != tag)
-            continue;
         std::size_t errors_before = reader.errors().size();
 
         CampaignPoint point;
         point.workload = reader.cell(i, "workload");
-        point.cluster = cluster;
         point.freqMhz = reader.numericCell(i, "freq_mhz");
         PointStatus recorded;
         if (!parsePointStatus(reader.cell(i, "status"), recorded)) {
@@ -247,6 +348,21 @@ CampaignEngine::loadCheckpoint(hwsim::CpuCluster cluster,
         point.temperatureC = reader.numericCell(i, "temperature_c");
         point.voltage = reader.numericCell(i, "voltage");
         point.throttled = reader.cell(i, "throttled") == "1";
+        if (!parseRepeatsField(reader.cell(i, "repeats"),
+                               point.repeatSeconds) ||
+            !parsePmcField(reader.cell(i, "pmc"), point.pmc)) {
+            result.warnings.push_back(
+                "checkpoint: corrupt repeats/pmc field for " +
+                point.workload + "; re-measuring");
+            continue;
+        }
+        if (!parseStatusCode(reader.cell(i, "error"),
+                             point.lastError)) {
+            result.warnings.push_back(
+                "checkpoint: unknown error tag '" +
+                reader.cell(i, "error") + "' for " + point.workload);
+            continue;
+        }
 
         if (reader.errors().size() != errors_before) {
             // Invalid numerics: report and re-measure the point.
@@ -257,6 +373,18 @@ CampaignEngine::loadCheckpoint(hwsim::CpuCluster cluster,
             }
             continue;
         }
+        // The row is valid: the rewriting writer must carry it
+        // forward whatever its cluster. Re-gather the cells in
+        // canonical column order (the file's header may be
+        // reordered).
+        std::vector<std::string> canonical;
+        canonical.reserve(kCheckpointColumns.size());
+        for (const std::string &column : kCheckpointColumns)
+            canonical.push_back(reader.cell(i, column));
+        retained.push_back(std::move(canonical));
+        if (reader.cell(i, "cluster") != tag)
+            continue;
+        point.cluster = cluster;
         rows.push_back({point});
     }
     for (const std::string &error : reader.errorStrings()) {
@@ -317,16 +445,43 @@ CampaignEngine::measurePoint(const workload::Workload &work,
             // shared per-point counter), so concurrent points — and
             // resumed campaigns — see exactly the fault plans and
             // noise streams the serial flow would.
+            //
+            // The scope arms the per-attempt deadline and the
+            // campaign's token at the platform's poll sites. A
+            // CancelledError is *not* absorbed here: it unwinds to
+            // the task graph, which marks the point cancelled.
+            Deadline attempt_deadline =
+                campaignConfig.attemptDeadlineSeconds > 0.0
+                    ? Deadline::after(
+                          campaignConfig.attemptDeadlineSeconds)
+                    : Deadline();
+            CoopScope scope(campaignConfig.cancel, attempt_deadline,
+                            "campaign attempt");
             accepted.push_back(experimentRunner.measureHw(
                 work, cluster, freq_mhz, point.attempts - 1));
             recompute();
         } catch (const hwsim::RunError &error) {
             ++point.failures;
+            point.lastError = StatusCode::FaultInjected;
             point.backoffSeconds +=
                 backoffDelay(key, point.failures - 1);
             warnLimited("campaign-retry", 5, "retrying ", key,
                         " after ", error.kind(), " (backoff ledger ",
                         formatDouble(point.backoffSeconds, 2), " s)");
+        } catch (const DeadlineError &) {
+            // A hung attempt is structurally no different from a
+            // crashed one: absorb it into the same retry/backoff
+            // accounting, tagged deadline_exceeded.
+            ++point.failures;
+            ++point.deadlineFailures;
+            point.lastError = StatusCode::DeadlineExceeded;
+            point.backoffSeconds +=
+                backoffDelay(key, point.failures - 1);
+            warnLimited("campaign-deadline", 5, "retrying ", key,
+                        " after deadline_exceeded (attempt budget ",
+                        formatDouble(
+                            campaignConfig.attemptDeadlineSeconds, 3),
+                        " s)");
         }
     }
 
@@ -410,6 +565,10 @@ CampaignEngine::measurePoint(const workload::Workload &work,
     point.temperatureC = collated.temperatureC;
     point.voltage = collated.voltage;
     point.throttled = collated.throttled;
+    // The checkpoint carries the full collated record (repeats and
+    // PMC medians), so a resume rebuilds it bit-identically.
+    point.repeatSeconds = collated.repeatSeconds;
+    point.pmc = collated.pmc;
 
     record.work = &work;
     record.cluster = cluster;
@@ -435,11 +594,15 @@ CampaignEngine::runValidation(hwsim::CpuCluster cluster,
     result.dataset.g5Version = experimentRunner.config().g5Version;
     result.dataset.freqsMhz = freqs_mhz;
 
-    // Index the checkpoint by point key.
+    // Index the checkpoint by point key. Valid rows of any cluster
+    // are retained verbatim so the rewriting writer preserves them.
+    std::vector<std::vector<std::string>> retained;
     std::map<std::string, CampaignPoint> finished;
-    for (const CheckpointRow &row : loadCheckpoint(cluster, result))
+    for (const CheckpointRow &row :
+         loadCheckpoint(cluster, result, retained)) {
         finished[pointKey(row.point.workload, row.point.freqMhz)] =
             row.point;
+    }
 
     // Enumerate the campaign's points in canonical order, truncated
     // at maxPoints (an emulated kill). Everything downstream indexes
@@ -477,7 +640,10 @@ CampaignEngine::runValidation(hwsim::CpuCluster cluster,
     std::vector<CampaignPoint> points(count);
     std::vector<ValidationRecord> records(count);
     std::vector<std::vector<std::string>> pointWarnings(count);
-    CheckpointWriter checkpoint(campaignConfig.checkpointPath);
+    /** Final pipeline node per point; settles the point's fate. */
+    std::vector<exec::TaskGraph::NodeId> finalNode(count);
+    CheckpointWriter checkpoint(campaignConfig.checkpointPath,
+                                std::move(retained));
 
     // One pipeline per point: characterise-HW → run-g5 →
     // collate/checkpoint. Node ids ascend in campaign order, so
@@ -490,34 +656,44 @@ CampaignEngine::runValidation(hwsim::CpuCluster cluster,
         if (task.resumed != nullptr) {
             // Restored from the checkpoint: never re-measured; only
             // a converged point needs its g5 twin re-simulated.
-            graph.add("resume:" + label, [this, &task, &points,
-                                          &records, cluster, i] {
-                CampaignPoint point = *task.resumed;
-                bool was_converged = point.converged();
-                point.status = PointStatus::Resumed;
-                if (!was_converged) {
-                    // A recorded failure stays excluded; keep its
-                    // original tag in the report.
-                    point.status = task.resumed->status;
-                } else {
-                    ValidationRecord &record = records[i];
-                    record.work = task.work;
-                    record.cluster = cluster;
-                    record.freqMhz = task.freq;
-                    record.hw.workload = task.work->name;
-                    record.hw.cluster = cluster;
-                    record.hw.freqMhz = task.freq;
-                    record.hw.voltage = point.voltage;
-                    record.hw.execSeconds = point.execSeconds;
-                    record.hw.repeatSeconds = {point.execSeconds};
-                    record.hw.powerWatts = point.powerWatts;
-                    record.hw.temperatureC = point.temperatureC;
-                    record.hw.throttled = point.throttled;
-                    record.g5 = experimentRunner.runG5(
-                        *task.work, cluster, task.freq);
-                }
-                points[i] = std::move(point);
-            });
+            finalNode[i] = graph.add(
+                "resume:" + label,
+                [this, &task, &points, &records, cluster, i] {
+                    CampaignPoint point = *task.resumed;
+                    bool was_converged = point.converged();
+                    point.status = PointStatus::Resumed;
+                    if (!was_converged) {
+                        // A recorded failure stays excluded; keep
+                        // its original tag in the report.
+                        point.status = task.resumed->status;
+                    } else {
+                        ValidationRecord &record = records[i];
+                        record.work = task.work;
+                        record.cluster = cluster;
+                        record.freqMhz = task.freq;
+                        record.hw.workload = task.work->name;
+                        record.hw.cluster = cluster;
+                        record.hw.freqMhz = task.freq;
+                        record.hw.voltage = point.voltage;
+                        record.hw.execSeconds = point.execSeconds;
+                        // The v2 checkpoint carries the surviving
+                        // repeats and the PMC medians bit-exactly;
+                        // the rebuilt record matches what the
+                        // uninterrupted campaign collated.
+                        record.hw.repeatSeconds = point.repeatSeconds;
+                        if (record.hw.repeatSeconds.empty()) {
+                            record.hw.repeatSeconds = {
+                                point.execSeconds};
+                        }
+                        record.hw.pmc = point.pmc;
+                        record.hw.powerWatts = point.powerWatts;
+                        record.hw.temperatureC = point.temperatureC;
+                        record.hw.throttled = point.throttled;
+                        record.g5 = experimentRunner.runG5(
+                            *task.work, cluster, task.freq);
+                    }
+                    points[i] = std::move(point);
+                });
             continue;
         }
         exec::TaskGraph::NodeId hw_node = graph.add(
@@ -540,18 +716,28 @@ CampaignEngine::runValidation(hwsim::CpuCluster cluster,
                 records[i].g5 = experimentRunner.runG5(
                     *task.work, cluster, task.freq);
             });
-        graph.add("collate:" + label,
-                  [&points, &checkpoint, i] {
-                      checkpoint.append(points[i]);
-                  },
-                  {hw_node, g5_node});
+        finalNode[i] = graph.add("collate:" + label,
+                                 [&points, &checkpoint, i] {
+                                     checkpoint.append(points[i]);
+                                 },
+                                 {hw_node, g5_node});
     }
 
-    if (campaignConfig.jobs <= 1) {
-        graph.runSerial();
-    } else {
-        exec::ThreadPool pool(campaignConfig.jobs);
-        graph.run(pool);
+    try {
+        if (campaignConfig.jobs <= 1) {
+            graph.runSerial(campaignConfig.cancel);
+        } else {
+            exec::ThreadPool pool(campaignConfig.jobs);
+            pool.setCancellationToken(campaignConfig.cancel);
+            graph.run(pool, campaignConfig.cancel);
+        }
+    } catch (const CancelledError &) {
+        // The graph settled (every in-flight node drained) before
+        // throwing: finished points are checkpointed, abandoned ones
+        // are gathered below as Cancelled. Genuine node errors take
+        // precedence over this and propagate to the caller.
+        result.cancelled = true;
+        result.complete = false;
     }
 
     // Gather in campaign order: every aggregate below is independent
@@ -560,6 +746,20 @@ CampaignEngine::runValidation(hwsim::CpuCluster cluster,
         CampaignPoint &point = points[i];
         for (std::string &warning : pointWarnings[i])
             result.warnings.push_back(std::move(warning));
+        if (!graph.succeeded(finalNode[i])) {
+            // Only reachable on a cancelled run: the point's
+            // pipeline was abandoned somewhere before its final
+            // node, so its checkpoint row was never written and the
+            // resume will take it from the top.
+            point.workload = tasks[i].work->name;
+            point.cluster = cluster;
+            point.freqMhz = tasks[i].freq;
+            point.status = PointStatus::Cancelled;
+            point.lastError = StatusCode::Cancelled;
+            ++result.cancelledPoints;
+            result.points.push_back(std::move(point));
+            continue;
+        }
         if (tasks[i].resumed != nullptr) {
             if (!point.converged())
                 ++result.excludedPoints;
@@ -571,6 +771,7 @@ CampaignEngine::runValidation(hwsim::CpuCluster cluster,
             ++result.measuredPoints;
             result.totalAttempts += point.attempts;
             result.totalFailures += point.failures;
+            result.totalDeadlineFailures += point.deadlineFailures;
             result.totalRejected += point.rejected;
             result.backoffSeconds += point.backoffSeconds;
             if (point.converged())
@@ -586,6 +787,10 @@ CampaignEngine::runValidation(hwsim::CpuCluster cluster,
         result.complete = false;
         inform("campaign stopped after ", result.points.size(),
                " points (maxPoints)");
+    }
+    if (result.cancelled) {
+        inform("campaign cancelled: ", result.cancelledPoints,
+               " of ", count, " points left for the resume");
     }
     return result;
 }

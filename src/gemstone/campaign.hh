@@ -18,12 +18,24 @@
  *  - completed points are checkpointed to CSV as they finish, so a
  *    killed campaign resumes without rerunning finished work.
  *
- * The checkpoint stores the collated per-point scalars (timing,
- * power, temperature), which is everything the validation analyses
- * consume; resumed records carry an empty PMC map. Fault decisions
- * are pure functions of (point, attempt) — see hwsim/faults.hh — so
- * a resumed campaign observes exactly the faults the uninterrupted
- * one would have.
+ * The checkpoint stores the complete collated per-point record —
+ * scalars (timing, power, temperature), the surviving repeat
+ * timings and the PMC map — rendered with round-trip-exact doubles,
+ * so a resumed campaign collates a dataset byte-identical to the
+ * uninterrupted one. Every checkpoint write is atomic (temp + fsync
+ * + rename, trailing integrity marker); on load, a torn tail is
+ * quarantined to a `.corrupt` sidecar and resume continues from the
+ * last good row. Fault decisions are pure functions of (point,
+ * attempt) — see hwsim/faults.hh — so a resumed campaign observes
+ * exactly the faults the uninterrupted one would have.
+ *
+ * Cancellation and deadlines: a cancelled CampaignConfig::cancel
+ * token stops the campaign at the next point boundary (in-flight
+ * points abort at their cooperative poll sites); finished points are
+ * already checkpointed, unfinished ones are marked Cancelled and
+ * left for the resume. A per-attempt deadline turns a hung
+ * measurement into a structured deadline_exceeded failure feeding
+ * the same retry/backoff machinery as an injected fault.
  *
  * Campaigns run on the execution engine (src/exec/): every point is
  * a task pipeline (characterise-HW → run-g5 → collate/checkpoint) on
@@ -36,11 +48,14 @@
 #define GEMSTONE_GEMSTONE_CAMPAIGN_HH
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "gemstone/dataset.hh"
 #include "gemstone/runner.hh"
+#include "util/cancellation.hh"
+#include "util/status.hh"
 
 namespace gemstone::core {
 
@@ -86,6 +101,23 @@ struct CampaignConfig
     unsigned jobs = 1;
 
     /**
+     * Cooperative cancellation (e.g. from a SIGINT/SIGTERM handler,
+     * see util/signals.hh). Once cancelled, no new point starts,
+     * in-flight points abort at their poll sites, the checkpoint
+     * keeps every finished point, and runValidation returns a
+     * partial result with CampaignResult::cancelled set.
+     */
+    CancellationToken cancel;
+
+    /**
+     * Wall-clock budget for one measurement attempt; 0 = unlimited.
+     * An attempt that overruns is absorbed as a deadline_exceeded
+     * failure: it consumes an attempt, accrues backoff and feeds the
+     * same quorum accounting as an injected run fault.
+     */
+    double attemptDeadlineSeconds = 0.0;
+
+    /**
      * The naive lab flow for comparison: accept the first returned
      * measurement per point, rerun crashes blindly, reject nothing.
      */
@@ -100,6 +132,7 @@ enum class PointStatus
     Degraded,   //!< attempt budget exhausted below quorum: excluded
     Failed,     //!< no usable measurement at all: excluded
     Resumed,    //!< restored from the checkpoint, not re-measured
+    Cancelled,  //!< abandoned by cancellation: left for the resume
 };
 
 /** Checkpoint/report tag, e.g. "recovered". */
@@ -116,7 +149,8 @@ struct CampaignPoint
     double freqMhz = 0.0;
     PointStatus status = PointStatus::Clean;
     unsigned attempts = 0;      //!< measurement attempts spent
-    unsigned failures = 0;      //!< RunErrors absorbed
+    unsigned failures = 0;      //!< RunErrors/deadlines absorbed
+    unsigned deadlineFailures = 0;  //!< failures that were deadlines
     unsigned rejected = 0;      //!< quorum samples rejected as outliers
     double backoffSeconds = 0.0;  //!< ledgered retry wait
     double execSeconds = 0.0;
@@ -124,6 +158,12 @@ struct CampaignPoint
     double temperatureC = 0.0;
     double voltage = 0.0;
     bool throttled = false;
+    /** Surviving per-repeat timings of the collated measurement. */
+    std::vector<double> repeatSeconds;
+    /** Collated PMC medians (event id -> count). */
+    std::map<int, double> pmc;
+    /** Last structured failure absorbed while measuring (Ok if none). */
+    StatusCode lastError = StatusCode::Ok;
 
     /** True when the point contributes to the collated dataset. */
     bool converged() const;
@@ -141,16 +181,21 @@ struct CampaignResult
     unsigned measuredPoints = 0;   //!< points measured this run
     unsigned resumedPoints = 0;    //!< points restored from checkpoint
     unsigned excludedPoints = 0;   //!< degraded + failed points
+    unsigned cancelledPoints = 0;  //!< abandoned by cancellation
     unsigned totalAttempts = 0;
     unsigned totalFailures = 0;
+    unsigned totalDeadlineFailures = 0;  //!< deadline_exceeded retries
     unsigned totalRejected = 0;
     double backoffSeconds = 0.0;
 
     /** Structured warnings for excluded or checkpoint problems. */
     std::vector<std::string> warnings;
 
-    /** False when maxPoints stopped the campaign early. */
+    /** False when maxPoints or cancellation stopped the campaign. */
     bool complete = true;
+
+    /** True when the campaign was stopped by its cancellation token. */
+    bool cancelled = false;
 };
 
 /**
@@ -192,10 +237,16 @@ class CampaignEngine
     double backoffDelay(const std::string &point_key,
                         unsigned failure_index) const;
 
-    /** Load checkpointed points for a cluster; returns rows keyed by
-     *  "workload@freq". Parse problems become result warnings. */
+    /**
+     * Load checkpointed points for a cluster after quarantining any
+     * torn tail; returns rows keyed by "workload@freq". Parse
+     * problems become result warnings. @p retained receives the raw
+     * cells of every valid row of *any* cluster, so the rewriting
+     * checkpoint writer can preserve them across saves.
+     */
     std::vector<CheckpointRow> loadCheckpoint(
-        hwsim::CpuCluster cluster, CampaignResult &result) const;
+        hwsim::CpuCluster cluster, CampaignResult &result,
+        std::vector<std::vector<std::string>> &retained) const;
 
     ExperimentRunner &experimentRunner;
     CampaignConfig campaignConfig;

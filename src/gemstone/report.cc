@@ -6,10 +6,11 @@
 #include "gemstone/report.hh"
 
 #include <filesystem>
-#include <fstream>
+#include <sstream>
 
 #include "hwsim/pmu.hh"
 #include "powmon/builder.hh"
+#include "util/atomicfile.hh"
 #include "util/csv.hh"
 #include "util/logging.hh"
 #include "util/strutil.hh"
@@ -216,10 +217,16 @@ writeReportFiles(const Report &report, const std::string &directory)
 
     std::size_t files = 0;
 
+    // Every artefact goes through the atomic temp + fsync + rename
+    // path, so a crash mid-write never leaves a torn file where a
+    // previous good report used to be.
     {
-        std::ofstream out(directory + "/report.txt");
-        fatal_if(!out, "cannot write report.txt");
-        report.writeText(out);
+        std::ostringstream text;
+        report.writeText(text);
+        Status written = atomicWriteFile(directory + "/report.txt",
+                                         text.str());
+        fatal_if(!written.ok(), "cannot write report.txt: ",
+                 written.toString());
         ++files;
     }
 
@@ -231,15 +238,14 @@ writeReportFiles(const Report &report, const std::string &directory)
         // A failed CSV is a degraded report, not a dead flow: warn
         // with the path and keep writing the remaining files.
         std::string path = directory + "/validation.csv";
-        std::ofstream out(path);
-        if (out) {
-            out << report.validation.toCsv();
-            out.flush();
-        }
-        if (out)
+        Status written = atomicWriteFile(path,
+                                         report.validation.toCsv(),
+                                         kCsvIntegrityMarker);
+        if (written.ok())
             ++files;
         else
-            warn("cannot write report file ", path);
+            warn("cannot write report file ", path, ": ",
+                 written.toString());
     }
 
     // Workload clustering.
@@ -251,7 +257,7 @@ writeReportFiles(const Report &report, const std::string &directory)
                         formatDouble(w.mpe, 6)});
         }
         std::string path = directory + "/clusters.csv";
-        if (csv.writeFile(path))
+        if (csv.writeFileAtomic(path).ok())
             ++files;
         else
             warn("cannot write report file ", path);
@@ -266,7 +272,7 @@ writeReportFiles(const Report &report, const std::string &directory)
                         std::to_string(e.cluster)});
         }
         std::string path = directory + "/pmc_correlation.csv";
-        if (csv.writeFile(path))
+        if (csv.writeFileAtomic(path).ok())
             ++files;
         else
             warn("cannot write report file ", path);
@@ -285,7 +291,7 @@ writeReportFiles(const Report &report, const std::string &directory)
                         formatDouble(row.totalMpe, 6)});
         }
         std::string path = directory + "/event_comparison.csv";
-        if (csv.writeFile(path))
+        if (csv.writeFileAtomic(path).ok())
             ++files;
         else
             warn("cannot write report file ", path);
@@ -306,16 +312,18 @@ writeReportFiles(const Report &report, const std::string &directory)
             csv.addRow(row);
         }
         std::string path = directory + "/hw_pmcs.csv";
-        if (csv.writeFile(path))
+        if (csv.writeFileAtomic(path).ok())
             ++files;
         else
             warn("cannot write report file ", path);
     }
 
     if (report.hasPower) {
-        std::ofstream out(directory + "/power_model.txt");
-        fatal_if(!out, "cannot write power_model.txt");
-        out << report.powerModel.runtimeEquations();
+        Status written =
+            atomicWriteFile(directory + "/power_model.txt",
+                            report.powerModel.runtimeEquations());
+        fatal_if(!written.ok(), "cannot write power_model.txt: ",
+                 written.toString());
         ++files;
     }
     return files;

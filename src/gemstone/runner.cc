@@ -123,6 +123,15 @@ decodeG5Stats(const exec::ResultStore::Fields &fields,
     return true;
 }
 
+/** The run-wide deadline of one experiment entry point. */
+Deadline
+runDeadlineFor(const RunnerConfig &config)
+{
+    return config.runDeadlineSeconds > 0.0
+        ? Deadline::after(config.runDeadlineSeconds)
+        : Deadline();
+}
+
 } // namespace
 
 ExperimentRunner::ExperimentRunner(const RunnerConfig &config)
@@ -192,6 +201,10 @@ ExperimentRunner::measureHw(const workload::Workload &work,
                             hwsim::CpuCluster cluster,
                             double freq_mhz, unsigned attempt)
 {
+    // Make the runner's token visible to the platform's poll points
+    // even when measureHw is called outside the experiment loops
+    // (the campaign layer adds its own deadline scopes on top).
+    CoopScope scope(runnerConfig.cancel, Deadline(), "measureHw");
     if (!store) {
         return board->measureAttempt(work, cluster, freq_mhz, attempt,
                                      runnerConfig.repeats);
@@ -220,6 +233,7 @@ g5::G5Stats
 ExperimentRunner::runG5(const workload::Workload &work,
                         hwsim::CpuCluster cluster, double freq_mhz)
 {
+    CoopScope scope(runnerConfig.cancel, Deadline(), "runG5");
     g5::G5Model model = modelFor(cluster);
     if (!store)
         return sim->run(work, model, freq_mhz);
@@ -256,10 +270,12 @@ ExperimentRunner::runValidation(hwsim::CpuCluster cluster,
     dataset.freqsMhz = freqs_mhz;
 
     g5::G5Model model = modelFor(cluster);
+    const Deadline deadline = runDeadlineFor(runnerConfig);
     if (runnerConfig.jobs <= 1 && !store) {
         // The historical serial loop, kept verbatim: measure() tracks
         // retry attempts in the platform's shared per-point counter,
         // which the concurrent path replaces with explicit attempts.
+        CoopScope scope(runnerConfig.cancel, deadline, "validation");
         for (const workload::Workload *work :
              workload::Suite::validationSet()) {
             for (double freq : freqs_mhz) {
@@ -296,7 +312,9 @@ ExperimentRunner::runValidation(hwsim::CpuCluster cluster,
     for (std::size_t i = 0; i < specs.size(); ++i) {
         const PointSpec &spec = specs[i];
         graph.add("hw:" + spec.work->name,
-                  [this, &records, spec, cluster, i] {
+                  [this, &records, spec, cluster, i, deadline] {
+                      CoopScope scope(runnerConfig.cancel, deadline,
+                                      "validation");
                       records[i].work = spec.work;
                       records[i].cluster = cluster;
                       records[i].freqMhz = spec.freq;
@@ -304,16 +322,19 @@ ExperimentRunner::runValidation(hwsim::CpuCluster cluster,
                                                 spec.freq, 0);
                   });
         graph.add("g5:" + spec.work->name,
-                  [this, &records, spec, cluster, i] {
+                  [this, &records, spec, cluster, i, deadline] {
+                      CoopScope scope(runnerConfig.cancel, deadline,
+                                      "validation");
                       records[i].g5 =
                           runG5(*spec.work, cluster, spec.freq);
                   });
     }
     if (runnerConfig.jobs <= 1) {
-        graph.runSerial();
+        graph.runSerial(runnerConfig.cancel);
     } else {
         exec::ThreadPool pool(runnerConfig.jobs);
-        graph.run(pool);
+        pool.setCancellationToken(runnerConfig.cancel);
+        graph.run(pool, runnerConfig.cancel);
     }
     dataset.records = std::move(records);
     return dataset;
@@ -322,7 +343,9 @@ ExperimentRunner::runValidation(hwsim::CpuCluster cluster,
 std::vector<powmon::PowerObservation>
 ExperimentRunner::runPowerCharacterisation(hwsim::CpuCluster cluster)
 {
+    const Deadline deadline = runDeadlineFor(runnerConfig);
     if (runnerConfig.jobs <= 1 && !store) {
+        CoopScope scope(runnerConfig.cancel, deadline, "power");
         std::vector<powmon::PowerObservation> observations;
         for (const workload::Workload &work :
              workload::Suite::all()) {
@@ -352,16 +375,19 @@ ExperimentRunner::runPowerCharacterisation(hwsim::CpuCluster cluster)
     for (std::size_t i = 0; i < specs.size(); ++i) {
         const PointSpec &spec = specs[i];
         graph.add("hw:" + spec.work->name,
-                  [this, &observations, spec, cluster, i] {
+                  [this, &observations, spec, cluster, i, deadline] {
+                      CoopScope scope(runnerConfig.cancel, deadline,
+                                      "power");
                       observations[i].measurement = measureHw(
                           *spec.work, cluster, spec.freq, 0);
                   });
     }
     if (runnerConfig.jobs <= 1) {
-        graph.runSerial();
+        graph.runSerial(runnerConfig.cancel);
     } else {
         exec::ThreadPool pool(runnerConfig.jobs);
-        graph.run(pool);
+        pool.setCancellationToken(runnerConfig.cancel);
+        graph.run(pool, runnerConfig.cancel);
     }
     return observations;
 }

@@ -13,6 +13,7 @@
 #include "exec/resultstore.hh"
 #include "gemstone/dataset.hh"
 #include "powmon/model.hh"
+#include "util/cancellation.hh"
 
 namespace gemstone::core {
 
@@ -38,6 +39,19 @@ struct RunnerConfig
      * pure function of its identity).
      */
     unsigned jobs = 1;
+    /**
+     * Cooperative cancellation. When the token is cancelled the
+     * experiment loops stop at the next measurement boundary (or
+     * mid-simulation, at the model's poll points) and unwind with
+     * CancelledError; completed work is unaffected.
+     */
+    CancellationToken cancel;
+    /**
+     * Wall-clock budget for one experiment run (runValidation /
+     * runPowerCharacterisation); 0 means unlimited. Expiry unwinds
+     * with DeadlineError.
+     */
+    double runDeadlineSeconds = 0.0;
 };
 
 /**

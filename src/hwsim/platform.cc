@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "mlstat/descriptive.hh"
+#include "util/cancellation.hh"
 #include "util/logging.hh"
 #include "util/strutil.hh"
 
@@ -373,6 +374,9 @@ OdroidXu3Platform::measureImpl(const workload::Workload &work,
                                unsigned repeats, unsigned attempt)
 {
     fatal_if(repeats == 0, "need at least one timing repeat");
+    // Between-measurement poll: a cancel or expired deadline aborts
+    // before this attempt spends a base run on dead work.
+    coopCheckpoint();
 
     HwMeasurement m;
     m.workload = work.name;

@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <limits>
 
 #include "util/logging.hh"
 
@@ -30,6 +31,47 @@ bitsToDouble(std::int64_t bits)
     double value;
     std::memcpy(&value, &bits, sizeof(value));
     return value;
+}
+
+// The ISA specifies two's-complement wrap-around for integer
+// arithmetic; compute in unsigned space, where wrapping is defined,
+// instead of relying on signed overflow.
+std::int64_t
+wrapAdd(std::int64_t a, std::int64_t b)
+{
+    return static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(a) + static_cast<std::uint64_t>(b));
+}
+
+std::int64_t
+wrapSub(std::int64_t a, std::int64_t b)
+{
+    return static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(a) - static_cast<std::uint64_t>(b));
+}
+
+std::int64_t
+wrapMul(std::int64_t a, std::int64_t b)
+{
+    return static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(a) * static_cast<std::uint64_t>(b));
+}
+
+std::int64_t
+doubleToInt64(double v)
+{
+    // NaN and out-of-range inputs convert to INT64_MIN (the x86
+    // cvttsd2si result) instead of being undefined.
+    if (!(v >= -0x1p63 && v < 0x1p63))
+        return std::numeric_limits<std::int64_t>::min();
+    return static_cast<std::int64_t>(v);
+}
+
+std::uint64_t
+effectiveAddress(std::int64_t base, std::int64_t offset)
+{
+    return static_cast<std::uint64_t>(base) +
+           static_cast<std::uint64_t>(offset);
 }
 
 } // namespace
@@ -59,10 +101,10 @@ step(CpuState &state, const Program &program, ExecContext &context)
 
     switch (inst.op) {
       case Opcode::Add:
-        r[inst.rd] = r[inst.rn] + r[inst.rm];
+        r[inst.rd] = wrapAdd(r[inst.rn], r[inst.rm]);
         break;
       case Opcode::Sub:
-        r[inst.rd] = r[inst.rn] - r[inst.rm];
+        r[inst.rd] = wrapSub(r[inst.rn], r[inst.rm]);
         break;
       case Opcode::And:
         r[inst.rd] = r[inst.rn] & r[inst.rm];
@@ -92,10 +134,10 @@ step(CpuState &state, const Program &program, ExecContext &context)
         r[inst.rd] = inst.imm;
         break;
       case Opcode::Addi:
-        r[inst.rd] = r[inst.rn] + inst.imm;
+        r[inst.rd] = wrapAdd(r[inst.rn], inst.imm);
         break;
       case Opcode::Subi:
-        r[inst.rd] = r[inst.rn] - inst.imm;
+        r[inst.rd] = wrapSub(r[inst.rn], inst.imm);
         break;
       case Opcode::Cmplt:
         r[inst.rd] = r[inst.rn] < r[inst.rm] ? 1 : 0;
@@ -105,12 +147,15 @@ step(CpuState &state, const Program &program, ExecContext &context)
         break;
 
       case Opcode::Mul:
-        r[inst.rd] = r[inst.rn] * r[inst.rm];
+        r[inst.rd] = wrapMul(r[inst.rn], r[inst.rm]);
         break;
       case Opcode::Div:
         // Division by zero yields zero (trapping would complicate the
-        // workload kernels for no modelling benefit).
-        r[inst.rd] = r[inst.rm] == 0 ? 0 : r[inst.rn] / r[inst.rm];
+        // workload kernels for no modelling benefit); INT64_MIN / -1
+        // wraps back to INT64_MIN like every other overflow.
+        r[inst.rd] = r[inst.rm] == 0 ? 0
+            : r[inst.rm] == -1 ? wrapSub(0, r[inst.rn])
+            : r[inst.rn] / r[inst.rm];
         break;
 
       case Opcode::Fadd:
@@ -138,7 +183,7 @@ step(CpuState &state, const Program &program, ExecContext &context)
         f[inst.rd] = static_cast<double>(r[inst.rn]);
         break;
       case Opcode::Ficvt:
-        r[inst.rd] = static_cast<std::int64_t>(f[inst.rn]);
+        r[inst.rd] = doubleToInt64(f[inst.rn]);
         break;
 
       case Opcode::Vadd:
@@ -155,7 +200,7 @@ step(CpuState &state, const Program &program, ExecContext &context)
 
       case Opcode::Ldr: {
         std::uint64_t addr = mem.mask(
-            static_cast<std::uint64_t>(r[inst.rn] + inst.imm));
+            effectiveAddress(r[inst.rn], inst.imm));
         r[inst.rd] =
             static_cast<std::int64_t>(mem.read(addr, 8));
         result.isMem = true;
@@ -166,7 +211,7 @@ step(CpuState &state, const Program &program, ExecContext &context)
       }
       case Opcode::Str: {
         std::uint64_t addr = mem.mask(
-            static_cast<std::uint64_t>(r[inst.rn] + inst.imm));
+            effectiveAddress(r[inst.rn], inst.imm));
         mem.write(addr, static_cast<std::uint64_t>(r[inst.rd]), 8);
         monitor.observeStore(context.threadId, addr);
         result.isMem = true;
@@ -178,7 +223,7 @@ step(CpuState &state, const Program &program, ExecContext &context)
       }
       case Opcode::Ldrb: {
         std::uint64_t addr = mem.mask(
-            static_cast<std::uint64_t>(r[inst.rn] + inst.imm));
+            effectiveAddress(r[inst.rn], inst.imm));
         r[inst.rd] = static_cast<std::int64_t>(mem.read(addr, 1));
         result.isMem = true;
         result.memAddr = addr;
@@ -187,7 +232,7 @@ step(CpuState &state, const Program &program, ExecContext &context)
       }
       case Opcode::Fldr: {
         std::uint64_t addr = mem.mask(
-            static_cast<std::uint64_t>(r[inst.rn] + inst.imm));
+            effectiveAddress(r[inst.rn], inst.imm));
         std::uint64_t bits = mem.read(addr, 8);
         std::memcpy(&f[inst.rd], &bits, sizeof(double));
         result.isMem = true;
@@ -198,7 +243,7 @@ step(CpuState &state, const Program &program, ExecContext &context)
       }
       case Opcode::Fstr: {
         std::uint64_t addr = mem.mask(
-            static_cast<std::uint64_t>(r[inst.rn] + inst.imm));
+            effectiveAddress(r[inst.rn], inst.imm));
         std::uint64_t bits;
         std::memcpy(&bits, &f[inst.rd], sizeof(double));
         mem.write(addr, bits, 8);
@@ -212,7 +257,7 @@ step(CpuState &state, const Program &program, ExecContext &context)
       }
       case Opcode::Strb: {
         std::uint64_t addr = mem.mask(
-            static_cast<std::uint64_t>(r[inst.rn] + inst.imm));
+            effectiveAddress(r[inst.rn], inst.imm));
         mem.write(addr, static_cast<std::uint64_t>(r[inst.rd]), 1);
         monitor.observeStore(context.threadId, addr);
         result.isMem = true;

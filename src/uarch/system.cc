@@ -5,6 +5,7 @@
 
 #include "uarch/system.hh"
 
+#include "util/cancellation.hh"
 #include "util/logging.hh"
 
 namespace gemstone::uarch {
@@ -65,9 +66,16 @@ ClusterModel::run(const isa::Program &program, unsigned num_threads,
     // deterministic and platform-independent, so architectural event
     // counts match between the reference platform and the model.
     constexpr std::uint64_t max_total_insts = 4ULL << 30;
+    // Cancellation/deadline poll cadence, in scheduling rounds. A
+    // round is num_threads quanta, so the poll cost is amortised to
+    // noise while a cancel still lands within milliseconds.
+    constexpr std::uint64_t poll_interval = 64;
     std::uint64_t total = 0;
+    std::uint64_t rounds = 0;
     bool any_running = true;
     while (any_running) {
+        if (++rounds % poll_interval == 0)
+            coopCheckpoint();
         any_running = false;
         for (unsigned t = 0; t < num_threads; ++t) {
             if (coreModels[t]->halted())

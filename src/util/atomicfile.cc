@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Atomic write and CSV tail recovery implementation.
+ */
+
+#include "util/atomicfile.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define GEMSTONE_HAVE_FSYNC 1
+#endif
+
+namespace gemstone {
+
+namespace {
+
+/** fsync a path; best effort on platforms without it. */
+bool
+syncPath(const std::string &path)
+{
+#ifdef GEMSTONE_HAVE_FSYNC
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return false;
+    bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok;
+#else
+    (void)path;
+    return true;
+#endif
+}
+
+} // namespace
+
+Status
+atomicWriteFile(const std::string &path, const std::string &content,
+                const std::string &marker_line)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            return Status::error(StatusCode::IoError,
+                                 "cannot open " + tmp);
+        }
+        out << content;
+        if (!marker_line.empty()) {
+            out << marker_line;
+            if (marker_line.back() != '\n')
+                out << '\n';
+        }
+        out.flush();
+        if (!out) {
+            return Status::error(StatusCode::IoError,
+                                 "short write to " + tmp);
+        }
+    }
+    if (!syncPath(tmp)) {
+        std::filesystem::remove(tmp);
+        return Status::error(StatusCode::IoError,
+                             "cannot fsync " + tmp);
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp);
+        return Status::error(StatusCode::IoError,
+                             "cannot rename " + tmp + " over " + path +
+                                 ": " + ec.message());
+    }
+    // Make the rename itself durable.
+    std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    syncPath(parent.empty() ? "." : parent.string());
+    return Status::okStatus();
+}
+
+Result<TailRecovery>
+recoverCsvTail(const std::string &path)
+{
+    TailRecovery recovery;
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec) || ec)
+        return recovery;
+
+    std::string content;
+    {
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+            return Status::error(StatusCode::IoError,
+                                 "cannot open " + path);
+        }
+        content.assign(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+    }
+
+    // Last complete record boundary: the final newline at quote
+    // depth zero. Everything after it is a torn append.
+    bool quoted = false;
+    std::size_t last_boundary = 0;  // bytes belonging to whole rows
+    for (std::size_t i = 0; i < content.size(); ++i) {
+        char c = content[i];
+        if (c == '"')
+            quoted = !quoted;
+        else if (c == '\n' && !quoted)
+            last_boundary = i + 1;
+    }
+    if (last_boundary == content.size())
+        return recovery;  // file ends on a row boundary: intact
+
+    const std::string tail = content.substr(last_boundary);
+    recovery.recovered = true;
+    recovery.quarantinedBytes = tail.size();
+    recovery.corruptPath = path + ".corrupt";
+    {
+        std::ofstream sidecar(recovery.corruptPath,
+                              std::ios::binary | std::ios::app);
+        if (!sidecar) {
+            return Status::error(StatusCode::IoError,
+                                 "cannot open " + recovery.corruptPath);
+        }
+        sidecar << tail;
+        if (tail.empty() || tail.back() != '\n')
+            sidecar << '\n';
+        sidecar.flush();
+        if (!sidecar) {
+            return Status::error(StatusCode::IoError,
+                                 "short write to " +
+                                     recovery.corruptPath);
+        }
+    }
+    // Truncate back to the last good row only after the tail is
+    // safely in the sidecar.
+    std::filesystem::resize_file(path, last_boundary, ec);
+    if (ec) {
+        return Status::error(StatusCode::IoError,
+                             "cannot truncate " + path + ": " +
+                                 ec.message());
+    }
+    return recovery;
+}
+
+} // namespace gemstone

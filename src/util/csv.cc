@@ -9,6 +9,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/atomicfile.hh"
 #include "util/logging.hh"
 #include "util/strutil.hh"
 
@@ -83,20 +84,34 @@ CsvWriter::writeFile(const std::string &path) const
     return static_cast<bool>(file);
 }
 
+Status
+CsvWriter::writeFileAtomic(const std::string &path,
+                           bool with_marker) const
+{
+    std::ostringstream buffer;
+    write(buffer);
+    return atomicWriteFile(path, buffer.str(),
+                           with_marker ? kCsvIntegrityMarker
+                                       : std::string());
+}
+
 namespace {
 
 /**
  * Scan one RFC-4180 record starting at the current stream position.
  * Returns false at end of input. Quoted fields may span lines, so the
  * record may consume several physical lines; @p line is advanced
- * accordingly.
+ * accordingly. @p at_eof is set when the record ended at end of input
+ * rather than at a newline — i.e. this is the document's final,
+ * possibly torn, record.
  */
 bool
 scanRecord(std::istream &is, std::size_t &line,
            std::vector<std::string> &cells,
-           std::vector<CsvError> &errors)
+           std::vector<CsvError> &errors, bool &at_eof)
 {
     cells.clear();
+    at_eof = false;
     if (is.peek() == std::char_traits<char>::eof())
         return false;
 
@@ -159,6 +174,7 @@ scanRecord(std::istream &is, std::size_t &line,
     if (quoted)
         fail("unterminated quoted field");
     // Final record without a trailing newline.
+    at_eof = true;
     cells.push_back(std::move(field));
     ++line;
     return clean;
@@ -172,9 +188,9 @@ CsvReader::parse(std::istream &is)
     CsvReader reader;
     std::size_t line = 1;
     std::vector<std::string> cells;
+    bool at_eof = false;
 
-    std::size_t record_line = line;
-    if (!scanRecord(is, line, cells, reader.parseErrors) &&
+    if (!scanRecord(is, line, cells, reader.parseErrors, at_eof) &&
         cells.empty()) {
         reader.parseErrors.push_back({1, "empty document: no header"});
         return reader;
@@ -182,22 +198,44 @@ CsvReader::parse(std::istream &is)
     reader.headerCells = cells;
 
     while (true) {
-        record_line = line;
+        std::size_t record_line = line;
         std::size_t errors_before = reader.parseErrors.size();
-        if (!scanRecord(is, line, cells, reader.parseErrors) &&
+        if (!scanRecord(is, line, cells, reader.parseErrors, at_eof) &&
             cells.empty()) {
             break;
         }
         if (cells.size() == 1 && cells[0].empty())
             continue;  // blank line (e.g. trailing newline)
-        if (reader.parseErrors.size() != errors_before)
-            continue;  // structurally broken row: already recorded
-        if (cells.size() != reader.headerCells.size()) {
+        if (!cells[0].empty() && cells[0][0] == '#') {
+            // Comment record; an exact integrity marker proves the
+            // file was written to completion.
+            if (cells.size() == 1 &&
+                trim(cells[0]) == kCsvIntegrityMarker) {
+                reader.sawMarker = true;
+            }
+            continue;
+        }
+        bool structural = reader.parseErrors.size() != errors_before;
+        // A truncated row can only lose fields, never gain them.
+        bool short_row = cells.size() < reader.headerCells.size();
+        if (!structural && cells.size() != reader.headerCells.size()) {
             reader.parseErrors.push_back(
                 {record_line,
                  detail::concatToString(
                      "row has ", cells.size(), " fields, header has ",
                      reader.headerCells.size())});
+        }
+        if (structural || cells.size() != reader.headerCells.size()) {
+            if (at_eof && (structural || short_row)) {
+                // Final record cut off mid-row — the signature of a
+                // torn append. Tolerate it: reclassify its
+                // diagnostics as the truncated tail so earlier good
+                // rows survive.
+                reader.tailErrors.assign(
+                    reader.parseErrors.begin() + errors_before,
+                    reader.parseErrors.end());
+                reader.parseErrors.resize(errors_before);
+            }
             continue;
         }
         reader.rows.push_back(cells);

@@ -20,7 +20,18 @@
 #include <string>
 #include <vector>
 
+#include "util/status.hh"
+
 namespace gemstone {
+
+/**
+ * Trailing comment line appended by atomic writers to mark a file as
+ * written to completion. Readers that see it know the file was not
+ * torn mid-write; comment lines (leading '#') are never parsed as
+ * data rows.
+ */
+inline constexpr const char *kCsvIntegrityMarker =
+    "#gemstone:complete";
 
 /**
  * Row-oriented CSV writer with RFC-4180 quoting.
@@ -43,6 +54,15 @@ class CsvWriter
 
     /** Write to a file path; returns false on I/O failure. */
     bool writeFile(const std::string &path) const;
+
+    /**
+     * Crash-safe write: serialise to a temp file, fsync, rename over
+     * @p path, appending the integrity marker as the final line when
+     * @p with_marker is set. Either the previous file or the complete
+     * new one survives a crash — never a torn mixture.
+     */
+    Status writeFileAtomic(const std::string &path,
+                           bool with_marker = true) const;
 
     /** Quote a single CSV field if needed. */
     static std::string quote(const std::string &field);
@@ -78,11 +98,37 @@ class CsvReader
     /** Parse a file; a missing/unreadable file is a document error. */
     static CsvReader parseFile(const std::string &path);
 
-    /** True when the document parsed without any error. */
+    /**
+     * True when the document parsed without any error. A truncated
+     * final record is tolerated — reported via hasTruncatedTail(),
+     * not counted here — so one torn append does not condemn every
+     * good row before it.
+     */
     bool ok() const { return parseErrors.empty(); }
 
     /** All accumulated parse and validation errors. */
     const std::vector<CsvError> &errors() const { return parseErrors; }
+
+    /**
+     * The document's final record was cut off mid-row (no trailing
+     * newline and structurally broken or under header arity) — the
+     * signature of a crash during an append or a truncation at an
+     * arbitrary byte offset. The partial record is dropped; rows
+     * before it are kept.
+     */
+    bool hasTruncatedTail() const { return !tailErrors.empty(); }
+
+    /** Diagnostics for the dropped tail record, when present. */
+    const std::vector<CsvError> &truncatedTail() const
+    {
+        return tailErrors;
+    }
+
+    /**
+     * The document ended with the integrity marker comment — it was
+     * written to completion by an atomic writer, not torn mid-write.
+     */
+    bool sawIntegrityMarker() const { return sawMarker; }
 
     /** One "line N: message" string per error (for diagnostics). */
     std::vector<std::string> errorStrings() const;
@@ -125,6 +171,9 @@ class CsvReader
     /** Source line each surviving row started on (for errors). */
     std::vector<std::size_t> rowLines;
     std::vector<CsvError> parseErrors;
+    /** Diagnostics for a tolerated truncated final record. */
+    std::vector<CsvError> tailErrors;
+    bool sawMarker = false;
 };
 
 } // namespace gemstone

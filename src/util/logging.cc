@@ -16,6 +16,13 @@ namespace {
 std::atomic<std::size_t> warnCounter{0};
 std::atomic<bool> quietMode{false};
 
+std::function<void(const std::string &)> &
+fatalHandler()
+{
+    static std::function<void(const std::string &)> handler;
+    return handler;
+}
+
 std::mutex limitedWarnMutex;
 std::map<std::string, std::size_t> &
 limitedWarnCounts()
@@ -95,7 +102,28 @@ void
 fatalImpl(const std::string &message, const char *file, int line)
 {
     detail::emitLog(LogLevel::Fatal, message, file, line);
+    if (fatalHandler())
+        fatalHandler()(message);
+    // Default, or the handler declined to throw.
     std::exit(1);
+}
+
+void
+setFatalHandler(std::function<void(const std::string &)> handler)
+{
+    fatalHandler() = std::move(handler);
+}
+
+void
+setFatalThrows(bool throws)
+{
+    if (throws) {
+        setFatalHandler([](const std::string &message) {
+            throw FatalError(message);
+        });
+    } else {
+        setFatalHandler(nullptr);
+    }
 }
 
 std::size_t

@@ -13,8 +13,10 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace gemstone {
@@ -58,11 +60,39 @@ void emitLimitedWarn(const std::string &key, std::size_t limit,
                             int line);
 
 /**
- * Report a user-caused unrecoverable condition and exit(1).
- * Use for bad configuration or invalid arguments.
+ * Report a user-caused unrecoverable condition. By default this
+ * exits(1); a process may install a fatal handler instead (see
+ * setFatalHandler/setFatalThrows), in which case the handler is
+ * expected to throw — if it returns, exit(1) still happens. panic()
+ * is unaffected: invariant violations always abort.
  */
 [[noreturn]] void fatalImpl(const std::string &message, const char *file,
                             int line);
+
+/** Thrown in place of exit(1) when fatal() is configured to throw. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &message)
+        : std::runtime_error(message)
+    {}
+};
+
+/**
+ * Route fatal() through @p handler instead of exit(1). The handler
+ * should throw; a handler that returns falls back to exit(1). Pass
+ * nullptr to restore the default exit behaviour. Not thread-safe
+ * against concurrent fatal() — install handlers at startup or in
+ * single-threaded test fixtures.
+ */
+void setFatalHandler(std::function<void(const std::string &)> handler);
+
+/**
+ * Convenience: make fatal() throw FatalError (true) or exit(1)
+ * (false). Lets tests and long-running embedders exercise fatal
+ * paths without losing the process.
+ */
+void setFatalThrows(bool throws);
 
 /** Count of warnings emitted so far (useful in tests). */
 std::size_t warnCount();

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Signal-driven cancellation implementation.
+ */
+
+#include "util/signals.hh"
+
+#include <atomic>
+#include <csignal>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define GEMSTONE_HAVE_SIGACTION 1
+#endif
+
+namespace gemstone {
+
+namespace {
+
+/** Keeps the token's flag alive for the handler. */
+CancellationToken installedToken;
+std::atomic<std::atomic<bool> *> cancelFlag{nullptr};
+std::atomic<int> signalCount{0};
+std::atomic<int> forceExitCode{kExitCancelled};
+
+extern "C" void
+cancellationSignalHandler(int)
+{
+    int seen = signalCount.fetch_add(1, std::memory_order_relaxed);
+    std::atomic<bool> *flag =
+        cancelFlag.load(std::memory_order_acquire);
+    if (seen == 0 && flag != nullptr) {
+        flag->store(true, std::memory_order_release);
+        return;
+    }
+    // Second signal: the operator wants out *now*. _exit is
+    // async-signal-safe; no unwinding, no flushing.
+#ifdef GEMSTONE_HAVE_SIGACTION
+    _exit(forceExitCode.load(std::memory_order_relaxed));
+#else
+    std::_Exit(forceExitCode.load(std::memory_order_relaxed));
+#endif
+}
+
+} // namespace
+
+void
+installSignalCancellation(CancellationToken token, int force_exit_code)
+{
+    installedToken = token;
+    forceExitCode.store(force_exit_code, std::memory_order_relaxed);
+    signalCount.store(0, std::memory_order_relaxed);
+    cancelFlag.store(installedToken.rawFlag(),
+                     std::memory_order_release);
+#ifdef GEMSTONE_HAVE_SIGACTION
+    struct sigaction action = {};
+    action.sa_handler = cancellationSignalHandler;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;  // no SA_RESTART: interrupt blocking waits
+    sigaction(SIGINT, &action, nullptr);
+    sigaction(SIGTERM, &action, nullptr);
+#else
+    std::signal(SIGINT, cancellationSignalHandler);
+    std::signal(SIGTERM, cancellationSignalHandler);
+#endif
+}
+
+int
+cancellationSignalCount()
+{
+    return signalCount.load(std::memory_order_relaxed);
+}
+
+} // namespace gemstone

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Signal-driven cancellation for the command-line flows.
+ *
+ * installSignalCancellation() routes SIGINT/SIGTERM into a
+ * CancellationToken: the first signal requests cooperative
+ * cancellation (the campaign drains, checkpoints and returns a
+ * partial result), a second signal force-exits immediately for the
+ * operator who has given up waiting. The handler itself only touches
+ * an atomic flag and a counter, so it is async-signal-safe.
+ */
+
+#ifndef GEMSTONE_UTIL_SIGNALS_HH
+#define GEMSTONE_UTIL_SIGNALS_HH
+
+#include "util/cancellation.hh"
+
+namespace gemstone {
+
+/** Conventional exit code for an interrupted run (128 + SIGINT). */
+constexpr int kExitCancelled = 130;
+
+/** Conventional exit code for a deadline-exceeded run (timeout). */
+constexpr int kExitDeadline = 124;
+
+/**
+ * Install SIGINT/SIGTERM handlers that cancel @p token. The token is
+ * copied into static storage (the handler needs its flag to outlive
+ * every caller frame); installing again replaces the previous token.
+ * The second signal calls _exit(@p force_exit_code) without
+ * unwinding — state already checkpointed is safe, everything else is
+ * abandoned.
+ */
+void installSignalCancellation(CancellationToken token,
+                               int force_exit_code = kExitCancelled);
+
+/** Signals observed since the last install (tests/diagnostics). */
+int cancellationSignalCount();
+
+} // namespace gemstone
+
+#endif // GEMSTONE_UTIL_SIGNALS_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Status taxonomy implementation.
+ */
+
+#include "util/status.hh"
+
+namespace gemstone {
+
+std::string
+statusCodeTag(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok:
+        return "ok";
+      case StatusCode::Cancelled:
+        return "cancelled";
+      case StatusCode::DeadlineExceeded:
+        return "deadline_exceeded";
+      case StatusCode::IoError:
+        return "io_error";
+      case StatusCode::CorruptData:
+        return "corrupt_data";
+      case StatusCode::FaultInjected:
+        return "fault_injected";
+      case StatusCode::Internal:
+        return "internal";
+    }
+    return "?";
+}
+
+bool
+parseStatusCode(const std::string &tag, StatusCode &code)
+{
+    for (StatusCode candidate :
+         {StatusCode::Ok, StatusCode::Cancelled,
+          StatusCode::DeadlineExceeded, StatusCode::IoError,
+          StatusCode::CorruptData, StatusCode::FaultInjected,
+          StatusCode::Internal}) {
+        if (statusCodeTag(candidate) == tag) {
+            code = candidate;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "ok";
+    return statusCodeTag(statusCode) + ": " + text;
+}
+
+} // namespace gemstone

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unified error taxonomy for the execution stack.
+ *
+ * The exec, campaign and report layers historically mixed three
+ * failure styles: bool returns (CsvWriter::writeFile), exceptions
+ * (hwsim::RunError, TaskGraph rethrow) and warn-and-continue. Status
+ * names every failure with one of a small set of codes so a campaign
+ * summary can attribute each excluded point, a tool can map failures
+ * to exit codes, and a checkpoint can record *why* a point degraded.
+ *
+ * Status is for expected, reportable failures at module boundaries;
+ * internal invariant violations stay on panic(). Code that must
+ * unwind through many frames (cancellation, deadlines inside the
+ * simulation loops) throws StatusError subclasses carrying the same
+ * codes — see util/cancellation.hh — so both styles agree on the
+ * taxonomy.
+ */
+
+#ifndef GEMSTONE_UTIL_STATUS_HH
+#define GEMSTONE_UTIL_STATUS_HH
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace gemstone {
+
+/** Why an operation did not produce a clean result. */
+enum class StatusCode
+{
+    Ok,                //!< no failure
+    Cancelled,         //!< stopped by a cancellation request
+    DeadlineExceeded,  //!< ran past its deadline
+    IoError,           //!< filesystem read/write/rename failure
+    CorruptData,       //!< parse/validation failure of persisted data
+    FaultInjected,     //!< an injected (or real) run fault
+    Internal,          //!< unexpected library failure
+};
+
+/** Stable machine-readable tag, e.g. "deadline_exceeded". */
+std::string statusCodeTag(StatusCode code);
+
+/** Tag -> code; false when the tag is unknown. */
+bool parseStatusCode(const std::string &tag, StatusCode &code);
+
+/** A StatusCode with a human-readable explanation. */
+class Status
+{
+  public:
+    /** Default: success. */
+    Status() = default;
+
+    Status(StatusCode code, std::string message)
+        : statusCode(code), text(std::move(message))
+    {
+    }
+
+    static Status okStatus() { return Status(); }
+
+    static Status
+    error(StatusCode code, std::string message)
+    {
+        panic_if(code == StatusCode::Ok,
+                 "Status::error() needs a non-Ok code");
+        return Status(code, std::move(message));
+    }
+
+    bool ok() const { return statusCode == StatusCode::Ok; }
+    StatusCode code() const { return statusCode; }
+    const std::string &message() const { return text; }
+
+    /** "io_error: cannot rename ..." (or "ok"). */
+    std::string toString() const;
+
+  private:
+    StatusCode statusCode = StatusCode::Ok;
+    std::string text;
+};
+
+/**
+ * Either a value or a non-Ok Status. The throwing layers use
+ * StatusError instead; Result is for boundaries that must not throw
+ * (persistence, recovery) yet still attribute their failures.
+ */
+template <typename T>
+class Result
+{
+  public:
+    Result(T value) : resultValue(std::move(value)) {}
+
+    Result(Status error_status) : resultStatus(std::move(error_status))
+    {
+        panic_if(resultStatus.ok(),
+                 "Result error constructor needs a non-Ok status");
+    }
+
+    bool ok() const { return resultStatus.ok(); }
+    const Status &status() const { return resultStatus; }
+
+    const T &
+    value() const
+    {
+        panic_if(!ok(), "Result::value() on error: ",
+                 resultStatus.toString());
+        return *resultValue;
+    }
+
+    T &&
+    takeValue()
+    {
+        panic_if(!ok(), "Result::takeValue() on error: ",
+                 resultStatus.toString());
+        return std::move(*resultValue);
+    }
+
+  private:
+    Status resultStatus;
+    std::optional<T> resultValue;
+};
+
+/** Exception carrying a StatusCode through unwinding layers. */
+class StatusError : public std::runtime_error
+{
+  public:
+    StatusError(StatusCode code, const std::string &message)
+        : std::runtime_error(statusCodeTag(code) + ": " + message),
+          statusCode(code)
+    {
+    }
+
+    StatusCode code() const { return statusCode; }
+
+  private:
+    StatusCode statusCode;
+};
+
+} // namespace gemstone
+
+#endif // GEMSTONE_UTIL_STATUS_HH

@@ -90,6 +90,14 @@ formatDouble(double value, int decimals)
 }
 
 std::string
+formatExactDouble(double value)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    return buffer;
+}
+
+std::string
 formatRatio(double value)
 {
     int decimals = 1;

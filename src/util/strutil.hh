@@ -34,6 +34,13 @@ std::string toLower(const std::string &text);
 std::string formatDouble(double value, int decimals);
 
 /**
+ * Round-trip-exact decimal form (17 significant digits), so a value
+ * written to a checkpoint parses back bit-identical. Used everywhere
+ * a persisted double must survive a save/load cycle unchanged.
+ */
+std::string formatExactDouble(double value);
+
+/**
  * Human-readable multiplier such as "9.9x" or "0.06x"; small values
  * keep more significant digits so ratios like 0.06x stay readable.
  */

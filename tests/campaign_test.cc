@@ -285,12 +285,13 @@ TEST_F(CampaignFlow, CorruptCheckpointIsReportedAndRerun)
         std::ofstream out(checkpoint.path);
         out << "workload,cluster,freq_mhz,status,attempts,failures,"
                "rejected,backoff_s,exec_seconds,power_watts,"
-               "temperature_c,voltage,throttled\n";
+               "temperature_c,voltage,throttled,repeats,pmc,error\n";
         // Bad status tag and bad numeric: both rows must be rejected
         // with a warning, then re-measured.
-        out << "mi-crc32,a15,1000.000,meh,1,0,0,0,0.5,1,60,1.1,0\n";
+        out << "mi-crc32,a15,1000.000,meh,1,0,0,0,0.5,1,60,1.1,0,"
+               "0.5,,ok\n";
         out << "mi-dijkstra,a15,1000.000,clean,1,0,0,0,oops,1,60,"
-               "1.1,0\n";
+               "1.1,0,oops,,ok\n";
     }
 
     CampaignConfig policy;

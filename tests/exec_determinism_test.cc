@@ -156,7 +156,7 @@ TEST(ExecDeterminism, StorePersistenceSurvivesProcessBoundary)
     ScratchFile file("gs_exec_det_store.csv");
     auto store = std::make_shared<exec::ResultStore>();
     CampaignResult cold = faultedCampaign(1, store);
-    ASSERT_TRUE(store->saveCsv(file.path));
+    ASSERT_TRUE(store->saveCsv(file.path).ok());
 
     // A "new process": a fresh store loaded from disk must replay
     // the campaign byte-identically with zero new insertions.

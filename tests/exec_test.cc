@@ -295,7 +295,7 @@ TEST(ResultStore, CsvPersistenceRoundTripsBitExactly)
     ResultStore store(16);
     store.insert("point|a", fields);
     store.insert("point|b", {{"v", 2.0000000000000004}});
-    ASSERT_TRUE(store.saveCsv(file.path));
+    ASSERT_TRUE(store.saveCsv(file.path).ok());
 
     ResultStore restored(16);
     EXPECT_EQ(restored.loadCsv(file.path), 2u);

@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "gemstone/report.hh"
+#include "util/csv.hh"
 
 using namespace gemstone;
 using namespace gemstone::core;
@@ -88,14 +89,19 @@ TEST_F(ReportFlow, WritesArtefactFiles)
             << name;
     }
 
-    // The validation CSV has one row per record plus a header.
+    // The validation CSV has one row per record plus a header and
+    // the trailing integrity marker of the atomic writer.
     std::ifstream csv(std::filesystem::path(dir) /
                       "validation.csv");
     std::size_t lines = 0;
     std::string line;
-    while (std::getline(csv, line))
+    std::string last;
+    while (std::getline(csv, line)) {
         ++lines;
-    EXPECT_EQ(lines, 1u + report->validation.records.size());
+        last = line;
+    }
+    EXPECT_EQ(lines, 2u + report->validation.records.size());
+    EXPECT_EQ(last, kCsvIntegrityMarker);
     std::filesystem::remove_all(dir);
 }
 
