@@ -1,0 +1,342 @@
+/**
+ * @file
+ * P2 — simulation throughput of the execution engines.
+ *
+ * Times representative workload kernels on both cluster shapes
+ * (true Cortex-A7 and Cortex-A15 configs) under the reference
+ * per-instruction interpreter and the predecoded basic-block fast
+ * engine, reporting simulated MIPS for each and the fast/reference
+ * speedup. Every timed pair is also checked for bit-identical cycles
+ * and committed instructions — the fast engine trades wall-clock
+ * only, never results.
+ *
+ * Emits BENCH_sim_throughput.json (one result object per line inside
+ * the "results" array, so the regression gate can parse it without a
+ * JSON library). With --check <baseline.json>, per-kernel speedups
+ * are compared against the committed baseline and the bench fails if
+ * any kernel regressed by more than --max-regress (default 0.20).
+ * Speedup ratios are host-speed independent, which is what makes a
+ * committed baseline meaningful across machines.
+ *
+ * Usage:
+ *   perf_sim_throughput [--out FILE] [--repeats N]
+ *                       [--check BASELINE [--max-regress F]]
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hwsim/platform.hh"
+#include "uarch/core.hh"
+#include "uarch/system.hh"
+#include "util/logging.hh"
+#include "util/strutil.hh"
+#include "util/table.hh"
+#include "workload/kernels.hh"
+
+using namespace gemstone;
+using workload::Workload;
+namespace kernels = workload::kernels;
+
+namespace {
+
+struct BenchKernel
+{
+    std::string group;  //!< "compute", "control" or "memory"
+    Workload work;
+};
+
+/**
+ * The kernel set: the compute and control groups carry the >=3x
+ * acceptance target (dispatch-bound code is where predecode pays);
+ * the memory group is informational — those kernels spend their time
+ * in the cache/TLB model, where only the micro-caches help.
+ */
+std::vector<BenchKernel>
+benchKernels()
+{
+    std::vector<BenchKernel> set;
+    set.push_back({"compute", kernels::makeWhetstone(
+        "whetstone", "bench", 60000)});
+    set.push_back({"compute", kernels::makeIntArith(
+        "int-arith", "bench", 250000, true)});
+    set.push_back({"compute", kernels::makeCrc(
+        "crc32", "bench", 4096, 40)});
+    set.push_back({"compute", kernels::makeMatMul(
+        "matmul", "bench", 28, 6)});
+    set.push_back({"control", kernels::makeSwitchDispatch(
+        "switch-dispatch", "bench", 24, 120000)});
+    set.push_back({"control", kernels::makeBranchPattern(
+        "branch-pattern", "bench", 7, 300000, 0)});
+    set.push_back({"control", kernels::makeCallTree(
+        "call-tree", "bench", 6, 12000)});
+    set.push_back({"memory", kernels::makeStreamCopy(
+        "stream-copy", "bench", 16384, 60)});
+    set.push_back({"memory", kernels::makePointerChase(
+        "pointer-chase", "bench", 4096, 64, 400000)});
+    return set;
+}
+
+struct EngineTiming
+{
+    double seconds = 0.0;        //!< best-of-N wall clock
+    double cycles = 0.0;         //!< simulated cycles (bit-identity)
+    std::uint64_t instructions = 0;
+
+    double mips() const
+    {
+        return static_cast<double>(instructions) / seconds / 1e6;
+    }
+};
+
+struct KernelResult
+{
+    std::string kernel;
+    std::string group;
+    std::string config;          //!< "a7" or "a15"
+    EngineTiming reference;
+    EngineTiming fast;
+
+    double speedup() const
+    {
+        return fast.mips() / reference.mips();
+    }
+
+    std::uint64_t instructions() const
+    {
+        return reference.instructions;
+    }
+};
+
+/** Time one kernel on one config with one engine (best of N). */
+EngineTiming
+timeKernel(const Workload &work, const uarch::ClusterConfig &base,
+           uarch::ExecEngine engine, unsigned repeats)
+{
+    EngineTiming timing;
+    timing.seconds = 1e300;
+    for (unsigned rep = 0; rep < repeats; ++rep) {
+        uarch::ClusterConfig config = base;
+        config.memBytes =
+            std::max<std::uint64_t>(work.memBytes, 64 * 1024);
+        uarch::ClusterModel cluster(config);
+        cluster.setExecEngine(engine);
+        work.prepareMemory(cluster.memory());
+
+        auto start = std::chrono::steady_clock::now();
+        uarch::RunResult run =
+            cluster.run(work.program, work.numThreads, 1.0);
+        auto stop = std::chrono::steady_clock::now();
+
+        timing.seconds = std::min(
+            timing.seconds,
+            std::chrono::duration<double>(stop - start).count());
+        timing.cycles = run.cycles;
+        timing.instructions = run.instructions;
+    }
+    return timing;
+}
+
+std::string
+formatJsonDouble(double value, int digits)
+{
+    std::ostringstream out;
+    out.precision(digits);
+    out << std::fixed << value;
+    return out.str();
+}
+
+void
+writeJson(const std::string &path,
+          const std::vector<KernelResult> &results,
+          const std::map<std::string, double> &group_geomean)
+{
+    std::ofstream out(path);
+    fatal_if(!out, "cannot write ", path);
+    out << "{\n"
+        << "  \"bench\": \"sim_throughput\",\n"
+        << "  \"unit\": \"simulated MIPS\",\n"
+        << "  \"results\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const KernelResult &r = results[i];
+        out << "    {\"kernel\": \"" << r.kernel << "\", \"config\": \""
+            << r.config << "\", \"group\": \"" << r.group
+            << "\", \"instructions\": " << r.instructions()
+            << ", \"reference_mips\": "
+            << formatJsonDouble(r.reference.mips(), 3)
+            << ", \"fast_mips\": "
+            << formatJsonDouble(r.fast.mips(), 3)
+            << ", \"speedup\": " << formatJsonDouble(r.speedup(), 3)
+            << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n"
+        << "  \"group_geomean_speedup\": {\n";
+    std::size_t i = 0;
+    for (const auto &[group, geomean] : group_geomean) {
+        out << "    \"" << group
+            << "\": " << formatJsonDouble(geomean, 3)
+            << (++i < group_geomean.size() ? "," : "") << "\n";
+    }
+    out << "  }\n}\n";
+}
+
+/** Extract "key": value from one line; empty when absent. */
+std::string
+jsonField(const std::string &line, const std::string &key)
+{
+    std::string needle = "\"" + key + "\": ";
+    std::size_t pos = line.find(needle);
+    if (pos == std::string::npos)
+        return {};
+    pos += needle.size();
+    bool quoted = line[pos] == '"';
+    if (quoted)
+        ++pos;
+    std::size_t end = quoted
+        ? line.find('"', pos)
+        : line.find_first_of(",}", pos);
+    return line.substr(pos, end - pos);
+}
+
+/** (kernel, config) -> baseline speedup from a committed JSON. */
+std::map<std::string, double>
+loadBaseline(const std::string &path)
+{
+    std::ifstream in(path);
+    fatal_if(!in, "cannot read baseline ", path);
+    std::map<std::string, double> speedups;
+    std::string line;
+    while (std::getline(in, line)) {
+        std::string kernel = jsonField(line, "kernel");
+        std::string config = jsonField(line, "config");
+        std::string speedup = jsonField(line, "speedup");
+        if (!kernel.empty() && !config.empty() && !speedup.empty())
+            speedups[kernel + "@" + config] = std::stod(speedup);
+    }
+    fatal_if(speedups.empty(), "no results found in ", path);
+    return speedups;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_sim_throughput.json";
+    std::string baseline_path;
+    double max_regress = 0.20;
+    unsigned repeats = 3;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            fatal_if(i + 1 >= argc, arg, " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--out")
+            out_path = next();
+        else if (arg == "--check")
+            baseline_path = next();
+        else if (arg == "--max-regress")
+            max_regress = std::stod(next());
+        else if (arg == "--repeats")
+            repeats = static_cast<unsigned>(std::stoul(next()));
+        else
+            fatal("unknown argument ", arg);
+    }
+
+    std::cout << "P2: simulation throughput, reference interpreter "
+                 "vs predecoded fast engine\n";
+
+    struct ConfigEntry
+    {
+        std::string tag;
+        uarch::ClusterConfig config;
+    };
+    std::vector<ConfigEntry> configs = {
+        {"a15", hwsim::trueBigConfig()},
+        {"a7", hwsim::trueLittleConfig()},
+    };
+
+    std::vector<KernelResult> results;
+    std::map<std::string, std::vector<double>> group_speedups;
+    TextTable table({"kernel", "config", "insts", "ref MIPS",
+                     "fast MIPS", "speedup", "identical"});
+    for (const ConfigEntry &entry : configs) {
+        for (const BenchKernel &bench : benchKernels()) {
+            KernelResult r;
+            r.kernel = bench.work.name;
+            r.group = bench.group;
+            r.config = entry.tag;
+            r.reference = timeKernel(bench.work, entry.config,
+                                     uarch::ExecEngine::Reference,
+                                     repeats);
+            r.fast = timeKernel(bench.work, entry.config,
+                                uarch::ExecEngine::Fast, repeats);
+            fatal_if(r.reference.cycles != r.fast.cycles ||
+                         r.reference.instructions !=
+                             r.fast.instructions,
+                     r.kernel, "@", r.config,
+                     ": engines diverged (cycles ",
+                     r.reference.cycles, " vs ", r.fast.cycles, ")");
+            results.push_back(r);
+            group_speedups[r.group].push_back(r.speedup());
+            table.addRow({r.kernel, r.config,
+                          std::to_string(r.instructions()),
+                          formatDouble(r.reference.mips(), 1),
+                          formatDouble(r.fast.mips(), 1),
+                          formatRatio(r.speedup()), "yes"});
+        }
+    }
+    table.print(std::cout);
+
+    std::map<std::string, double> group_geomean;
+    for (const auto &[group, speedups] : group_speedups) {
+        double log_sum = 0.0;
+        for (double s : speedups)
+            log_sum += std::log(s);
+        group_geomean[group] =
+            std::exp(log_sum / static_cast<double>(speedups.size()));
+    }
+    for (const auto &[group, geomean] : group_geomean)
+        std::cout << "geomean speedup, " << group << ": "
+                  << formatRatio(geomean) << "\n";
+
+    writeJson(out_path, results, group_geomean);
+    std::cout << "wrote " << out_path << "\n";
+
+    if (!baseline_path.empty()) {
+        std::map<std::string, double> baseline =
+            loadBaseline(baseline_path);
+        bool regressed = false;
+        for (const KernelResult &r : results) {
+            auto it = baseline.find(r.kernel + "@" + r.config);
+            if (it == baseline.end())
+                continue;  // new kernel: no baseline yet
+            double floor = it->second * (1.0 - max_regress);
+            if (r.speedup() < floor) {
+                std::cerr << "REGRESSION: " << r.kernel << "@"
+                          << r.config << " speedup "
+                          << formatRatio(r.speedup())
+                          << " below baseline "
+                          << formatRatio(it->second) << " - "
+                          << formatDouble(max_regress * 100.0, 0)
+                          << "%\n";
+                regressed = true;
+            }
+        }
+        if (regressed)
+            return 1;
+        std::cout << "regression gate passed against "
+                  << baseline_path << " (max regress "
+                  << formatDouble(max_regress * 100.0, 0) << "%)\n";
+    }
+    return 0;
+}

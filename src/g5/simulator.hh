@@ -8,6 +8,12 @@
  * Two simulator versions are available; version 1 is the release the
  * paper evaluates (buggy big-core branch predictor), version 2 the
  * later release with the fix (Section VII).
+ *
+ * Simulations run on the predecoded fast engine (DESIGN.md §12); the
+ * whole stats dump, including the run cache and its DVFS re-timing,
+ * is bit-identical to the reference interpreter
+ * (GEMSTONE_REFERENCE_EXEC=1), so validation analyses never see an
+ * engine-dependent number.
  */
 
 #ifndef GEMSTONE_G5_SIMULATOR_HH

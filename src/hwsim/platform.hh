@@ -10,6 +10,13 @@
  * points with a voltage table, run-to-run timing variation (the paper
  * takes the median of five runs), and thermal throttling at the top
  * A15 frequency.
+ *
+ * Workloads execute on the predecoded fast engine (DESIGN.md §12).
+ * Every observable measured here — execution times, PMU readings
+ * through the multiplex schedule, ground-truth event records — is
+ * bit-identical to the reference interpreter (run with
+ * GEMSTONE_REFERENCE_EXEC=1 to cross-check a whole campaign), which
+ * tests/exec_fastpath_test.cc enforces kernel by kernel.
  */
 
 #ifndef GEMSTONE_HWSIM_PLATFORM_HH

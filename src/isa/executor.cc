@@ -1,14 +1,20 @@
 /**
  * @file
  * Functional executor implementation.
+ *
+ * step() is the *reference interpreter*: it executes one instruction
+ * through the shared opcode dispatch table (isa/predecode.hh) and
+ * reconstructs the full StepResult record the timing models consume.
+ * The fast basic-block engine in uarch::CoreModel dispatches through
+ * the very same table, so the two execution paths share one set of
+ * opcode semantics and cannot drift.
  */
 
 #include "isa/executor.hh"
 
-#include <cmath>
 #include <cstring>
-#include <limits>
 
+#include "isa/predecode.hh"
 #include "util/logging.hh"
 
 namespace gemstone::isa {
@@ -23,59 +29,6 @@ CpuState::reset(unsigned thread_id)
     intRegs[threadIdReg] = static_cast<std::int64_t>(thread_id);
 }
 
-namespace {
-
-double
-bitsToDouble(std::int64_t bits)
-{
-    double value;
-    std::memcpy(&value, &bits, sizeof(value));
-    return value;
-}
-
-// The ISA specifies two's-complement wrap-around for integer
-// arithmetic; compute in unsigned space, where wrapping is defined,
-// instead of relying on signed overflow.
-std::int64_t
-wrapAdd(std::int64_t a, std::int64_t b)
-{
-    return static_cast<std::int64_t>(
-        static_cast<std::uint64_t>(a) + static_cast<std::uint64_t>(b));
-}
-
-std::int64_t
-wrapSub(std::int64_t a, std::int64_t b)
-{
-    return static_cast<std::int64_t>(
-        static_cast<std::uint64_t>(a) - static_cast<std::uint64_t>(b));
-}
-
-std::int64_t
-wrapMul(std::int64_t a, std::int64_t b)
-{
-    return static_cast<std::int64_t>(
-        static_cast<std::uint64_t>(a) * static_cast<std::uint64_t>(b));
-}
-
-std::int64_t
-doubleToInt64(double v)
-{
-    // NaN and out-of-range inputs convert to INT64_MIN (the x86
-    // cvttsd2si result) instead of being undefined.
-    if (!(v >= -0x1p63 && v < 0x1p63))
-        return std::numeric_limits<std::int64_t>::min();
-    return static_cast<std::int64_t>(v);
-}
-
-std::uint64_t
-effectiveAddress(std::int64_t base, std::int64_t offset)
-{
-    return static_cast<std::uint64_t>(base) +
-           static_cast<std::uint64_t>(offset);
-}
-
-} // namespace
-
 StepResult
 step(CpuState &state, const Program &program, ExecContext &context)
 {
@@ -86,285 +39,46 @@ step(CpuState &state, const Program &program, ExecContext &context)
              "exec context missing memory or monitor");
 
     const Inst &inst = program.fetch(state.pc);
-    Memory &mem = *context.memory;
-    ExclusiveMonitor &monitor = *context.monitor;
+    const DecodedOp d = decodeInst(inst);
 
     StepResult result;
-    result.op = inst.op;
-    result.cls = opClassOf(inst.op);
+    result.op = d.op;
+    result.cls = d.cls;
     result.pcBefore = state.pc;
 
-    auto &r = state.intRegs;
-    auto &f = state.fpRegs;
+    ExecEnv env{context.memory, context.monitor, program.size(),
+                context.threadId};
+    OpOutcome out;
+    out.nextPc = state.pc + 1;
+    d.fn(d, state, env, out);
 
-    std::uint32_t next_pc = state.pc + 1;
-
-    switch (inst.op) {
-      case Opcode::Add:
-        r[inst.rd] = wrapAdd(r[inst.rn], r[inst.rm]);
-        break;
-      case Opcode::Sub:
-        r[inst.rd] = wrapSub(r[inst.rn], r[inst.rm]);
-        break;
-      case Opcode::And:
-        r[inst.rd] = r[inst.rn] & r[inst.rm];
-        break;
-      case Opcode::Orr:
-        r[inst.rd] = r[inst.rn] | r[inst.rm];
-        break;
-      case Opcode::Eor:
-        r[inst.rd] = r[inst.rn] ^ r[inst.rm];
-        break;
-      case Opcode::Lsl:
-        r[inst.rd] = static_cast<std::int64_t>(
-            static_cast<std::uint64_t>(r[inst.rn])
-            << (inst.imm & 63));
-        break;
-      case Opcode::Lsr:
-        r[inst.rd] = static_cast<std::int64_t>(
-            static_cast<std::uint64_t>(r[inst.rn]) >> (inst.imm & 63));
-        break;
-      case Opcode::Asr:
-        r[inst.rd] = r[inst.rn] >> (inst.imm & 63);
-        break;
-      case Opcode::Mov:
-        r[inst.rd] = r[inst.rn];
-        break;
-      case Opcode::Movi:
-        r[inst.rd] = inst.imm;
-        break;
-      case Opcode::Addi:
-        r[inst.rd] = wrapAdd(r[inst.rn], inst.imm);
-        break;
-      case Opcode::Subi:
-        r[inst.rd] = wrapSub(r[inst.rn], inst.imm);
-        break;
-      case Opcode::Cmplt:
-        r[inst.rd] = r[inst.rn] < r[inst.rm] ? 1 : 0;
-        break;
-      case Opcode::Cmpeq:
-        r[inst.rd] = r[inst.rn] == r[inst.rm] ? 1 : 0;
-        break;
-
-      case Opcode::Mul:
-        r[inst.rd] = wrapMul(r[inst.rn], r[inst.rm]);
-        break;
-      case Opcode::Div:
-        // Division by zero yields zero (trapping would complicate the
-        // workload kernels for no modelling benefit); INT64_MIN / -1
-        // wraps back to INT64_MIN like every other overflow.
-        r[inst.rd] = r[inst.rm] == 0 ? 0
-            : r[inst.rm] == -1 ? wrapSub(0, r[inst.rn])
-            : r[inst.rn] / r[inst.rm];
-        break;
-
-      case Opcode::Fadd:
-        f[inst.rd] = f[inst.rn] + f[inst.rm];
-        break;
-      case Opcode::Fsub:
-        f[inst.rd] = f[inst.rn] - f[inst.rm];
-        break;
-      case Opcode::Fmul:
-        f[inst.rd] = f[inst.rn] * f[inst.rm];
-        break;
-      case Opcode::Fdiv:
-        f[inst.rd] = f[inst.rm] == 0.0 ? 0.0 : f[inst.rn] / f[inst.rm];
-        break;
-      case Opcode::Fsqrt:
-        f[inst.rd] = f[inst.rn] <= 0.0 ? 0.0 : std::sqrt(f[inst.rn]);
-        break;
-      case Opcode::Fmov:
-        f[inst.rd] = f[inst.rn];
-        break;
-      case Opcode::Fmovi:
-        f[inst.rd] = bitsToDouble(inst.imm);
-        break;
-      case Opcode::Fcvt:
-        f[inst.rd] = static_cast<double>(r[inst.rn]);
-        break;
-      case Opcode::Ficvt:
-        r[inst.rd] = doubleToInt64(f[inst.rn]);
-        break;
-
-      case Opcode::Vadd:
-        // Modelled as a packed pair of FP adds on adjacent registers.
-        f[inst.rd] = f[inst.rn] + f[inst.rm];
-        f[(inst.rd + 1) % numFpRegs] =
-            f[(inst.rn + 1) % numFpRegs] + f[(inst.rm + 1) % numFpRegs];
-        break;
-      case Opcode::Vmul:
-        f[inst.rd] = f[inst.rn] * f[inst.rm];
-        f[(inst.rd + 1) % numFpRegs] =
-            f[(inst.rn + 1) % numFpRegs] * f[(inst.rm + 1) % numFpRegs];
-        break;
-
-      case Opcode::Ldr: {
-        std::uint64_t addr = mem.mask(
-            effectiveAddress(r[inst.rn], inst.imm));
-        r[inst.rd] =
-            static_cast<std::int64_t>(mem.read(addr, 8));
+    const std::uint16_t flags = d.flags;
+    if (flags & UopMem) {
         result.isMem = true;
-        result.memAddr = addr;
-        result.memSize = 8;
-        result.unaligned = (addr & 7) != 0;
-        break;
-      }
-      case Opcode::Str: {
-        std::uint64_t addr = mem.mask(
-            effectiveAddress(r[inst.rn], inst.imm));
-        mem.write(addr, static_cast<std::uint64_t>(r[inst.rd]), 8);
-        monitor.observeStore(context.threadId, addr);
-        result.isMem = true;
-        result.isStore = true;
-        result.memAddr = addr;
-        result.memSize = 8;
-        result.unaligned = (addr & 7) != 0;
-        break;
-      }
-      case Opcode::Ldrb: {
-        std::uint64_t addr = mem.mask(
-            effectiveAddress(r[inst.rn], inst.imm));
-        r[inst.rd] = static_cast<std::int64_t>(mem.read(addr, 1));
-        result.isMem = true;
-        result.memAddr = addr;
-        result.memSize = 1;
-        break;
-      }
-      case Opcode::Fldr: {
-        std::uint64_t addr = mem.mask(
-            effectiveAddress(r[inst.rn], inst.imm));
-        std::uint64_t bits = mem.read(addr, 8);
-        std::memcpy(&f[inst.rd], &bits, sizeof(double));
-        result.isMem = true;
-        result.memAddr = addr;
-        result.memSize = 8;
-        result.unaligned = (addr & 7) != 0;
-        break;
-      }
-      case Opcode::Fstr: {
-        std::uint64_t addr = mem.mask(
-            effectiveAddress(r[inst.rn], inst.imm));
-        std::uint64_t bits;
-        std::memcpy(&bits, &f[inst.rd], sizeof(double));
-        mem.write(addr, bits, 8);
-        monitor.observeStore(context.threadId, addr);
-        result.isMem = true;
-        result.isStore = true;
-        result.memAddr = addr;
-        result.memSize = 8;
-        result.unaligned = (addr & 7) != 0;
-        break;
-      }
-      case Opcode::Strb: {
-        std::uint64_t addr = mem.mask(
-            effectiveAddress(r[inst.rn], inst.imm));
-        mem.write(addr, static_cast<std::uint64_t>(r[inst.rd]), 1);
-        monitor.observeStore(context.threadId, addr);
-        result.isMem = true;
-        result.isStore = true;
-        result.memAddr = addr;
-        result.memSize = 1;
-        break;
-      }
-
-      case Opcode::B:
-        result.isBranch = true;
-        result.taken = true;
-        next_pc = inst.target;
-        break;
-      case Opcode::Beq:
-      case Opcode::Bne:
-      case Opcode::Blt:
-      case Opcode::Bge: {
-        result.isBranch = true;
-        result.isCond = true;
-        bool taken = false;
-        switch (inst.op) {
-          case Opcode::Beq:
-            taken = r[inst.rn] == 0;
-            break;
-          case Opcode::Bne:
-            taken = r[inst.rn] != 0;
-            break;
-          case Opcode::Blt:
-            taken = r[inst.rn] < 0;
-            break;
-          case Opcode::Bge:
-            taken = r[inst.rn] >= 0;
-            break;
-          default:
-            break;
-        }
-        result.taken = taken;
-        if (taken)
-            next_pc = inst.target;
-        break;
-      }
-      case Opcode::Bl:
-        result.isBranch = true;
-        result.isCall = true;
-        result.taken = true;
-        r[linkReg] = static_cast<std::int64_t>(state.pc + 1);
-        next_pc = inst.target;
-        break;
-      case Opcode::Ret:
-        result.isBranch = true;
-        result.isReturn = true;
-        result.isIndirect = true;
-        result.taken = true;
-        next_pc = static_cast<std::uint32_t>(
-            static_cast<std::uint64_t>(r[inst.rn]) % program.size());
-        break;
-      case Opcode::Bidx:
-        result.isBranch = true;
-        result.isIndirect = true;
-        result.taken = true;
-        next_pc = static_cast<std::uint32_t>(
-            static_cast<std::uint64_t>(r[inst.rn]) % program.size());
-        break;
-
-      case Opcode::Ldrex: {
-        std::uint64_t addr = mem.mask(
-            static_cast<std::uint64_t>(r[inst.rn]));
-        r[inst.rd] = static_cast<std::int64_t>(mem.read(addr, 8));
-        monitor.setReservation(context.threadId, addr);
-        result.isMem = true;
-        result.isExclusive = true;
-        result.memAddr = addr;
-        result.memSize = 8;
-        break;
-      }
-      case Opcode::Strex: {
-        std::uint64_t addr = mem.mask(
-            static_cast<std::uint64_t>(r[inst.rn]));
-        bool ok = monitor.tryStore(context.threadId, addr);
-        if (ok)
-            mem.write(addr, static_cast<std::uint64_t>(r[inst.rm]), 8);
-        r[inst.rd] = ok ? 0 : 1;
-        result.isMem = true;
-        result.isStore = ok;
-        result.isExclusive = true;
-        result.exclusiveFailed = !ok;
-        result.memAddr = addr;
-        result.memSize = 8;
-        break;
-      }
-      case Opcode::Dmb:
-      case Opcode::Isb:
-        result.isBarrier = true;
-        break;
-
-      case Opcode::Nop:
-        break;
-      case Opcode::Halt:
-        state.halted = true;
-        result.halted = true;
-        break;
+        result.isStore = (flags & UopStore) != 0 || out.storeOk;
+        result.memAddr = out.memAddr;
+        result.memSize = d.memSize;
+        result.unaligned = out.unaligned;
     }
+    if (flags & UopBranch) {
+        result.isBranch = true;
+        result.isCond = (flags & UopCond) != 0;
+        result.isCall = (flags & UopCall) != 0;
+        result.isReturn = (flags & UopReturn) != 0;
+        result.isIndirect = (flags & UopIndirect) != 0;
+        result.taken = out.taken;
+    }
+    if (flags & UopBarrier)
+        result.isBarrier = true;
+    if (flags & UopExclusive) {
+        result.isExclusive = true;
+        result.exclusiveFailed = d.op == Opcode::Strex && !out.storeOk;
+    }
+    result.halted = out.halted;
 
-    result.branchTarget = next_pc;
+    result.branchTarget = out.nextPc;
     if (!state.halted)
-        state.pc = next_pc;
+        state.pc = out.nextPc;
     result.pcAfter = state.pc;
     return result;
 }

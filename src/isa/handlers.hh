@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Inline opcode handlers for the register-only instructions.
+ *
+ * These are the *same functions* the dispatch table points at — the
+ * table in predecode.cc takes their addresses — but having the
+ * definitions in a header lets the fast block engine expand the hot
+ * ones directly inside its execution loop (see the dispatch switch in
+ * uarch/core.cc) instead of paying an opaque indirect call per
+ * instruction. Because the switch and the table share one definition
+ * per opcode, the two dispatch mechanisms cannot drift semantically.
+ *
+ * Only handlers that touch nothing but CpuState/DecodedOp/OpOutcome
+ * (plus progSize for indirect-target wrapping) live here; the
+ * memory, exclusive and halt handlers stay private to predecode.cc —
+ * inlining them buys nothing because their cost is in the Memory and
+ * monitor calls.
+ */
+
+#ifndef GEMSTONE_ISA_HANDLERS_HH
+#define GEMSTONE_ISA_HANDLERS_HH
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "isa/executor.hh"
+#include "isa/inst.hh"
+#include "isa/predecode.hh"
+
+namespace gemstone::isa::handlers {
+
+inline double
+bitsToDouble(std::int64_t bits)
+{
+    double value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+}
+
+// The ISA specifies two's-complement wrap-around for integer
+// arithmetic; compute in unsigned space, where wrapping is defined,
+// instead of relying on signed overflow.
+inline std::int64_t
+wrapAdd(std::int64_t a, std::int64_t b)
+{
+    return static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(a) + static_cast<std::uint64_t>(b));
+}
+
+inline std::int64_t
+wrapSub(std::int64_t a, std::int64_t b)
+{
+    return static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(a) - static_cast<std::uint64_t>(b));
+}
+
+inline std::int64_t
+wrapMul(std::int64_t a, std::int64_t b)
+{
+    return static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(a) * static_cast<std::uint64_t>(b));
+}
+
+inline std::int64_t
+doubleToInt64(double v)
+{
+    // NaN and out-of-range inputs convert to INT64_MIN (the x86
+    // cvttsd2si result) instead of being undefined.
+    if (!(v >= -0x1p63 && v < 0x1p63))
+        return std::numeric_limits<std::int64_t>::min();
+    return static_cast<std::int64_t>(v);
+}
+
+// ---------------------------------------------------------------------
+// Integer ALU.
+// ---------------------------------------------------------------------
+
+inline void
+execAdd(const DecodedOp &d, CpuState &s, const ExecEnv &, OpOutcome &)
+{
+    s.intRegs[d.rd] = wrapAdd(s.intRegs[d.rn], s.intRegs[d.rm]);
+}
+
+inline void
+execSub(const DecodedOp &d, CpuState &s, const ExecEnv &, OpOutcome &)
+{
+    s.intRegs[d.rd] = wrapSub(s.intRegs[d.rn], s.intRegs[d.rm]);
+}
+
+inline void
+execAnd(const DecodedOp &d, CpuState &s, const ExecEnv &, OpOutcome &)
+{
+    s.intRegs[d.rd] = s.intRegs[d.rn] & s.intRegs[d.rm];
+}
+
+inline void
+execOrr(const DecodedOp &d, CpuState &s, const ExecEnv &, OpOutcome &)
+{
+    s.intRegs[d.rd] = s.intRegs[d.rn] | s.intRegs[d.rm];
+}
+
+inline void
+execEor(const DecodedOp &d, CpuState &s, const ExecEnv &, OpOutcome &)
+{
+    s.intRegs[d.rd] = s.intRegs[d.rn] ^ s.intRegs[d.rm];
+}
+
+inline void
+execLsl(const DecodedOp &d, CpuState &s, const ExecEnv &, OpOutcome &)
+{
+    s.intRegs[d.rd] = static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(s.intRegs[d.rn]) << (d.imm & 63));
+}
+
+inline void
+execLsr(const DecodedOp &d, CpuState &s, const ExecEnv &, OpOutcome &)
+{
+    s.intRegs[d.rd] = static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(s.intRegs[d.rn]) >> (d.imm & 63));
+}
+
+inline void
+execAsr(const DecodedOp &d, CpuState &s, const ExecEnv &, OpOutcome &)
+{
+    s.intRegs[d.rd] = s.intRegs[d.rn] >> (d.imm & 63);
+}
+
+inline void
+execMov(const DecodedOp &d, CpuState &s, const ExecEnv &, OpOutcome &)
+{
+    s.intRegs[d.rd] = s.intRegs[d.rn];
+}
+
+inline void
+execMovi(const DecodedOp &d, CpuState &s, const ExecEnv &, OpOutcome &)
+{
+    s.intRegs[d.rd] = d.imm;
+}
+
+inline void
+execAddi(const DecodedOp &d, CpuState &s, const ExecEnv &, OpOutcome &)
+{
+    s.intRegs[d.rd] = wrapAdd(s.intRegs[d.rn], d.imm);
+}
+
+inline void
+execSubi(const DecodedOp &d, CpuState &s, const ExecEnv &, OpOutcome &)
+{
+    s.intRegs[d.rd] = wrapSub(s.intRegs[d.rn], d.imm);
+}
+
+inline void
+execCmplt(const DecodedOp &d, CpuState &s, const ExecEnv &, OpOutcome &)
+{
+    s.intRegs[d.rd] = s.intRegs[d.rn] < s.intRegs[d.rm] ? 1 : 0;
+}
+
+inline void
+execCmpeq(const DecodedOp &d, CpuState &s, const ExecEnv &, OpOutcome &)
+{
+    s.intRegs[d.rd] = s.intRegs[d.rn] == s.intRegs[d.rm] ? 1 : 0;
+}
+
+// ---------------------------------------------------------------------
+// Integer multiply / divide.
+// ---------------------------------------------------------------------
+
+inline void
+execMul(const DecodedOp &d, CpuState &s, const ExecEnv &, OpOutcome &)
+{
+    s.intRegs[d.rd] = wrapMul(s.intRegs[d.rn], s.intRegs[d.rm]);
+}
+
+inline void
+execDiv(const DecodedOp &d, CpuState &s, const ExecEnv &, OpOutcome &)
+{
+    // Division by zero yields zero (trapping would complicate the
+    // workload kernels for no modelling benefit); INT64_MIN / -1
+    // wraps back to INT64_MIN like every other overflow.
+    s.intRegs[d.rd] = s.intRegs[d.rm] == 0 ? 0
+        : s.intRegs[d.rm] == -1 ? wrapSub(0, s.intRegs[d.rn])
+        : s.intRegs[d.rn] / s.intRegs[d.rm];
+}
+
+// ---------------------------------------------------------------------
+// Scalar floating point.
+// ---------------------------------------------------------------------
+
+inline void
+execFadd(const DecodedOp &d, CpuState &s, const ExecEnv &, OpOutcome &)
+{
+    s.fpRegs[d.rd] = s.fpRegs[d.rn] + s.fpRegs[d.rm];
+}
+
+inline void
+execFsub(const DecodedOp &d, CpuState &s, const ExecEnv &, OpOutcome &)
+{
+    s.fpRegs[d.rd] = s.fpRegs[d.rn] - s.fpRegs[d.rm];
+}
+
+inline void
+execFmul(const DecodedOp &d, CpuState &s, const ExecEnv &, OpOutcome &)
+{
+    s.fpRegs[d.rd] = s.fpRegs[d.rn] * s.fpRegs[d.rm];
+}
+
+inline void
+execFdiv(const DecodedOp &d, CpuState &s, const ExecEnv &, OpOutcome &)
+{
+    s.fpRegs[d.rd] = s.fpRegs[d.rm] == 0.0
+        ? 0.0 : s.fpRegs[d.rn] / s.fpRegs[d.rm];
+}
+
+inline void
+execFsqrt(const DecodedOp &d, CpuState &s, const ExecEnv &, OpOutcome &)
+{
+    s.fpRegs[d.rd] =
+        s.fpRegs[d.rn] <= 0.0 ? 0.0 : std::sqrt(s.fpRegs[d.rn]);
+}
+
+inline void
+execFmov(const DecodedOp &d, CpuState &s, const ExecEnv &, OpOutcome &)
+{
+    s.fpRegs[d.rd] = s.fpRegs[d.rn];
+}
+
+inline void
+execFmovi(const DecodedOp &d, CpuState &s, const ExecEnv &, OpOutcome &)
+{
+    s.fpRegs[d.rd] = bitsToDouble(d.imm);
+}
+
+inline void
+execFcvt(const DecodedOp &d, CpuState &s, const ExecEnv &, OpOutcome &)
+{
+    s.fpRegs[d.rd] = static_cast<double>(s.intRegs[d.rn]);
+}
+
+inline void
+execFicvt(const DecodedOp &d, CpuState &s, const ExecEnv &, OpOutcome &)
+{
+    s.intRegs[d.rd] = doubleToInt64(s.fpRegs[d.rn]);
+}
+
+// ---------------------------------------------------------------------
+// SIMD: modelled as packed pairs of FP ops on adjacent registers.
+// ---------------------------------------------------------------------
+
+inline void
+execVadd(const DecodedOp &d, CpuState &s, const ExecEnv &, OpOutcome &)
+{
+    s.fpRegs[d.rd] = s.fpRegs[d.rn] + s.fpRegs[d.rm];
+    s.fpRegs[(d.rd + 1) % numFpRegs] =
+        s.fpRegs[(d.rn + 1) % numFpRegs] +
+        s.fpRegs[(d.rm + 1) % numFpRegs];
+}
+
+inline void
+execVmul(const DecodedOp &d, CpuState &s, const ExecEnv &, OpOutcome &)
+{
+    s.fpRegs[d.rd] = s.fpRegs[d.rn] * s.fpRegs[d.rm];
+    s.fpRegs[(d.rd + 1) % numFpRegs] =
+        s.fpRegs[(d.rn + 1) % numFpRegs] *
+        s.fpRegs[(d.rm + 1) % numFpRegs];
+}
+
+// ---------------------------------------------------------------------
+// Control flow. out.nextPc arrives pre-seeded with pc + 1.
+// ---------------------------------------------------------------------
+
+inline void
+execB(const DecodedOp &d, CpuState &, const ExecEnv &, OpOutcome &out)
+{
+    out.taken = true;
+    out.nextPc = d.target;
+}
+
+inline void
+execBeq(const DecodedOp &d, CpuState &s, const ExecEnv &, OpOutcome &out)
+{
+    if (s.intRegs[d.rn] == 0) {
+        out.taken = true;
+        out.nextPc = d.target;
+    }
+}
+
+inline void
+execBne(const DecodedOp &d, CpuState &s, const ExecEnv &, OpOutcome &out)
+{
+    if (s.intRegs[d.rn] != 0) {
+        out.taken = true;
+        out.nextPc = d.target;
+    }
+}
+
+inline void
+execBlt(const DecodedOp &d, CpuState &s, const ExecEnv &, OpOutcome &out)
+{
+    if (s.intRegs[d.rn] < 0) {
+        out.taken = true;
+        out.nextPc = d.target;
+    }
+}
+
+inline void
+execBge(const DecodedOp &d, CpuState &s, const ExecEnv &, OpOutcome &out)
+{
+    if (s.intRegs[d.rn] >= 0) {
+        out.taken = true;
+        out.nextPc = d.target;
+    }
+}
+
+inline void
+execBl(const DecodedOp &d, CpuState &s, const ExecEnv &, OpOutcome &out)
+{
+    s.intRegs[linkReg] = static_cast<std::int64_t>(out.nextPc);
+    out.taken = true;
+    out.nextPc = d.target;
+}
+
+inline void
+execRetBidx(const DecodedOp &d, CpuState &s, const ExecEnv &env,
+            OpOutcome &out)
+{
+    out.taken = true;
+    out.nextPc = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(s.intRegs[d.rn]) % env.progSize);
+}
+
+inline void
+execNothing(const DecodedOp &, CpuState &, const ExecEnv &, OpOutcome &)
+{
+    // Dmb / Isb / Nop: classification bits carry all the meaning.
+}
+
+} // namespace gemstone::isa::handlers
+
+#endif // GEMSTONE_ISA_HANDLERS_HH

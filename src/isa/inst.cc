@@ -7,117 +7,41 @@
 
 #include <sstream>
 
+#include "isa/predecode.hh"
+
 namespace gemstone::isa {
+
+// The classification predicates read the dispatch table so that the
+// classes and flags have exactly one definition (predecode.cc).
 
 OpClass
 opClassOf(Opcode op)
 {
-    switch (op) {
-      case Opcode::Add:
-      case Opcode::Sub:
-      case Opcode::And:
-      case Opcode::Orr:
-      case Opcode::Eor:
-      case Opcode::Lsl:
-      case Opcode::Lsr:
-      case Opcode::Asr:
-      case Opcode::Mov:
-      case Opcode::Movi:
-      case Opcode::Addi:
-      case Opcode::Subi:
-      case Opcode::Cmplt:
-      case Opcode::Cmpeq:
-        return OpClass::IntAlu;
-      case Opcode::Mul:
-        return OpClass::IntMul;
-      case Opcode::Div:
-        return OpClass::IntDiv;
-      case Opcode::Fadd:
-      case Opcode::Fsub:
-      case Opcode::Fmul:
-      case Opcode::Fmov:
-      case Opcode::Fmovi:
-      case Opcode::Fcvt:
-      case Opcode::Ficvt:
-        return OpClass::FpAlu;
-      case Opcode::Fdiv:
-      case Opcode::Fsqrt:
-        return OpClass::FpDiv;
-      case Opcode::Vadd:
-      case Opcode::Vmul:
-        return OpClass::SimdAlu;
-      case Opcode::Ldr:
-      case Opcode::Ldrb:
-      case Opcode::Fldr:
-      case Opcode::Ldrex:
-        return op == Opcode::Ldrex ? OpClass::Sync : OpClass::Load;
-      case Opcode::Str:
-      case Opcode::Strb:
-      case Opcode::Fstr:
-        return OpClass::Store;
-      case Opcode::Strex:
-      case Opcode::Dmb:
-      case Opcode::Isb:
-        return OpClass::Sync;
-      case Opcode::B:
-      case Opcode::Beq:
-      case Opcode::Bne:
-      case Opcode::Blt:
-      case Opcode::Bge:
-      case Opcode::Bl:
-      case Opcode::Ret:
-      case Opcode::Bidx:
-        return OpClass::Branch;
-      case Opcode::Nop:
-        return OpClass::Nop;
-      case Opcode::Halt:
-        return OpClass::Halt;
-    }
-    return OpClass::Nop;
+    return opInfo(op).cls;
 }
 
 bool
 isMemOp(Opcode op)
 {
-    switch (op) {
-      case Opcode::Ldr:
-      case Opcode::Str:
-      case Opcode::Ldrb:
-      case Opcode::Strb:
-      case Opcode::Fldr:
-      case Opcode::Fstr:
-      case Opcode::Ldrex:
-      case Opcode::Strex:
-        return true;
-      default:
-        return false;
-    }
+    return (opInfo(op).flags & UopMem) != 0;
 }
 
 bool
 isBranchOp(Opcode op)
 {
-    return opClassOf(op) == OpClass::Branch;
+    return (opInfo(op).flags & UopBranch) != 0;
 }
 
 bool
 isCondBranch(Opcode op)
 {
-    switch (op) {
-      case Opcode::Beq:
-      case Opcode::Bne:
-      case Opcode::Blt:
-      case Opcode::Bge:
-        return true;
-      default:
-        return false;
-    }
+    return (opInfo(op).flags & UopCond) != 0;
 }
 
 bool
 isIndirectBranch(Opcode op)
 {
-    return op == Opcode::Ret || op == Opcode::Bidx;
+    return (opInfo(op).flags & UopIndirect) != 0;
 }
 
 std::string

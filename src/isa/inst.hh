@@ -71,6 +71,13 @@ enum class Opcode : std::uint8_t
     Nop, Halt,
 };
 
+/** Number of opcodes (for dense dispatch tables). */
+constexpr unsigned numOpcodes = static_cast<unsigned>(Opcode::Halt) + 1;
+
+/** Number of op classes (for dense per-class accumulators). */
+constexpr unsigned numOpClasses =
+    static_cast<unsigned>(OpClass::Halt) + 1;
+
 /**
  * One decoded instruction. Branch targets are instruction indices
  * (the program is its own address space with 4-byte granularity).

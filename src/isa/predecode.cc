@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Opcode handlers, the dispatch table and the predecode pass.
+ *
+ * Handler semantics are the single source of truth for the ISA: the
+ * reference interpreter and the fast block engine both dispatch
+ * through this table. Every handler mirrors the behaviour the old
+ * `switch (inst.op)` interpreter had, bit for bit — including the
+ * defined-wrap integer arithmetic, the divide-by-zero and FP edge
+ * rules, and the indirect-branch target wrap.
+ *
+ * The register-only handlers live in isa/handlers.hh (inline) so the
+ * fast engine can expand them inside its loop; the table below takes
+ * their addresses, so both dispatch mechanisms share one definition.
+ * Only the memory, exclusive and halt handlers are defined here.
+ */
+
+#include "isa/predecode.hh"
+
+#include "isa/handlers.hh"
+
+#include <cstring>
+
+#include "isa/program.hh"
+#include "util/logging.hh"
+
+namespace gemstone::isa {
+
+using namespace handlers;
+
+namespace {
+
+std::uint64_t
+effectiveAddress(std::int64_t base, std::int64_t offset)
+{
+    return static_cast<std::uint64_t>(base) +
+           static_cast<std::uint64_t>(offset);
+}
+
+// ---------------------------------------------------------------------
+// Memory.
+// ---------------------------------------------------------------------
+
+void
+execLdr(const DecodedOp &d, CpuState &s, const ExecEnv &env,
+        OpOutcome &out)
+{
+    std::uint64_t addr =
+        env.mem->mask(effectiveAddress(s.intRegs[d.rn], d.imm));
+    s.intRegs[d.rd] = static_cast<std::int64_t>(env.mem->read(addr, 8));
+    out.memAddr = addr;
+    out.unaligned = (addr & 7) != 0;
+}
+
+void
+execStr(const DecodedOp &d, CpuState &s, const ExecEnv &env,
+        OpOutcome &out)
+{
+    std::uint64_t addr =
+        env.mem->mask(effectiveAddress(s.intRegs[d.rn], d.imm));
+    env.mem->write(addr, static_cast<std::uint64_t>(s.intRegs[d.rd]), 8);
+    env.monitor->observeStore(env.threadId, addr);
+    out.memAddr = addr;
+    out.unaligned = (addr & 7) != 0;
+}
+
+void
+execLdrb(const DecodedOp &d, CpuState &s, const ExecEnv &env,
+         OpOutcome &out)
+{
+    std::uint64_t addr =
+        env.mem->mask(effectiveAddress(s.intRegs[d.rn], d.imm));
+    s.intRegs[d.rd] = static_cast<std::int64_t>(env.mem->read(addr, 1));
+    out.memAddr = addr;
+}
+
+void
+execStrb(const DecodedOp &d, CpuState &s, const ExecEnv &env,
+         OpOutcome &out)
+{
+    std::uint64_t addr =
+        env.mem->mask(effectiveAddress(s.intRegs[d.rn], d.imm));
+    env.mem->write(addr, static_cast<std::uint64_t>(s.intRegs[d.rd]), 1);
+    env.monitor->observeStore(env.threadId, addr);
+    out.memAddr = addr;
+}
+
+void
+execFldr(const DecodedOp &d, CpuState &s, const ExecEnv &env,
+         OpOutcome &out)
+{
+    std::uint64_t addr =
+        env.mem->mask(effectiveAddress(s.intRegs[d.rn], d.imm));
+    std::uint64_t bits = env.mem->read(addr, 8);
+    std::memcpy(&s.fpRegs[d.rd], &bits, sizeof(double));
+    out.memAddr = addr;
+    out.unaligned = (addr & 7) != 0;
+}
+
+void
+execFstr(const DecodedOp &d, CpuState &s, const ExecEnv &env,
+         OpOutcome &out)
+{
+    std::uint64_t addr =
+        env.mem->mask(effectiveAddress(s.intRegs[d.rn], d.imm));
+    std::uint64_t bits;
+    std::memcpy(&bits, &s.fpRegs[d.rd], sizeof(double));
+    env.mem->write(addr, bits, 8);
+    env.monitor->observeStore(env.threadId, addr);
+    out.memAddr = addr;
+    out.unaligned = (addr & 7) != 0;
+}
+
+// ---------------------------------------------------------------------
+// Synchronisation.
+// ---------------------------------------------------------------------
+
+void
+execLdrex(const DecodedOp &d, CpuState &s, const ExecEnv &env,
+          OpOutcome &out)
+{
+    std::uint64_t addr =
+        env.mem->mask(static_cast<std::uint64_t>(s.intRegs[d.rn]));
+    s.intRegs[d.rd] = static_cast<std::int64_t>(env.mem->read(addr, 8));
+    env.monitor->setReservation(env.threadId, addr);
+    out.memAddr = addr;
+}
+
+void
+execStrex(const DecodedOp &d, CpuState &s, const ExecEnv &env,
+          OpOutcome &out)
+{
+    std::uint64_t addr =
+        env.mem->mask(static_cast<std::uint64_t>(s.intRegs[d.rn]));
+    bool ok = env.monitor->tryStore(env.threadId, addr);
+    if (ok)
+        env.mem->write(addr,
+                       static_cast<std::uint64_t>(s.intRegs[d.rm]), 8);
+    s.intRegs[d.rd] = ok ? 0 : 1;
+    out.memAddr = addr;
+    out.storeOk = ok;
+}
+
+void
+execHalt(const DecodedOp &, CpuState &s, const ExecEnv &, OpOutcome &out)
+{
+    s.halted = true;
+    out.halted = true;
+}
+
+// ---------------------------------------------------------------------
+// The table.
+// ---------------------------------------------------------------------
+
+constexpr std::uint16_t branchFlags = UopBranch | UopEndsBlock;
+
+constexpr OpInfoTable kOpInfoTable = [] {
+    OpInfoTable t{};
+    auto set = [&t](Opcode op, ExecHandler fn, OpClass cls,
+                    std::uint16_t flags, std::uint8_t mem_size) {
+        t[static_cast<unsigned>(op)] = OpInfo{fn, cls, flags, mem_size};
+    };
+
+    set(Opcode::Add, execAdd, OpClass::IntAlu, 0, 0);
+    set(Opcode::Sub, execSub, OpClass::IntAlu, 0, 0);
+    set(Opcode::And, execAnd, OpClass::IntAlu, 0, 0);
+    set(Opcode::Orr, execOrr, OpClass::IntAlu, 0, 0);
+    set(Opcode::Eor, execEor, OpClass::IntAlu, 0, 0);
+    set(Opcode::Lsl, execLsl, OpClass::IntAlu, 0, 0);
+    set(Opcode::Lsr, execLsr, OpClass::IntAlu, 0, 0);
+    set(Opcode::Asr, execAsr, OpClass::IntAlu, 0, 0);
+    set(Opcode::Mov, execMov, OpClass::IntAlu, 0, 0);
+    set(Opcode::Movi, execMovi, OpClass::IntAlu, 0, 0);
+    set(Opcode::Addi, execAddi, OpClass::IntAlu, 0, 0);
+    set(Opcode::Subi, execSubi, OpClass::IntAlu, 0, 0);
+    set(Opcode::Cmplt, execCmplt, OpClass::IntAlu, 0, 0);
+    set(Opcode::Cmpeq, execCmpeq, OpClass::IntAlu, 0, 0);
+
+    set(Opcode::Mul, execMul, OpClass::IntMul, 0, 0);
+    set(Opcode::Div, execDiv, OpClass::IntDiv, 0, 0);
+
+    set(Opcode::Fadd, execFadd, OpClass::FpAlu, 0, 0);
+    set(Opcode::Fsub, execFsub, OpClass::FpAlu, 0, 0);
+    set(Opcode::Fmul, execFmul, OpClass::FpAlu, 0, 0);
+    set(Opcode::Fdiv, execFdiv, OpClass::FpDiv, 0, 0);
+    set(Opcode::Fsqrt, execFsqrt, OpClass::FpDiv, 0, 0);
+    set(Opcode::Fmov, execFmov, OpClass::FpAlu, 0, 0);
+    set(Opcode::Fmovi, execFmovi, OpClass::FpAlu, 0, 0);
+    set(Opcode::Fcvt, execFcvt, OpClass::FpAlu, 0, 0);
+    set(Opcode::Ficvt, execFicvt, OpClass::FpAlu, 0, 0);
+
+    set(Opcode::Vadd, execVadd, OpClass::SimdAlu, 0, 0);
+    set(Opcode::Vmul, execVmul, OpClass::SimdAlu, 0, 0);
+
+    set(Opcode::Ldr, execLdr, OpClass::Load, UopMem, 8);
+    set(Opcode::Str, execStr, OpClass::Store, UopMem | UopStore, 8);
+    set(Opcode::Ldrb, execLdrb, OpClass::Load, UopMem, 1);
+    set(Opcode::Strb, execStrb, OpClass::Store, UopMem | UopStore, 1);
+    set(Opcode::Fldr, execFldr, OpClass::Load, UopMem, 8);
+    set(Opcode::Fstr, execFstr, OpClass::Store, UopMem | UopStore, 8);
+
+    set(Opcode::B, execB, OpClass::Branch, branchFlags, 0);
+    set(Opcode::Beq, execBeq, OpClass::Branch, branchFlags | UopCond, 0);
+    set(Opcode::Bne, execBne, OpClass::Branch, branchFlags | UopCond, 0);
+    set(Opcode::Blt, execBlt, OpClass::Branch, branchFlags | UopCond, 0);
+    set(Opcode::Bge, execBge, OpClass::Branch, branchFlags | UopCond, 0);
+    set(Opcode::Bl, execBl, OpClass::Branch, branchFlags | UopCall, 0);
+    set(Opcode::Ret, execRetBidx, OpClass::Branch,
+        branchFlags | UopReturn | UopIndirect, 0);
+    set(Opcode::Bidx, execRetBidx, OpClass::Branch,
+        branchFlags | UopIndirect, 0);
+
+    set(Opcode::Ldrex, execLdrex, OpClass::Sync,
+        UopMem | UopExclusive, 8);
+    set(Opcode::Strex, execStrex, OpClass::Sync,
+        UopMem | UopExclusive, 8);
+    set(Opcode::Dmb, execNothing, OpClass::Sync, UopBarrier, 0);
+    set(Opcode::Isb, execNothing, OpClass::Sync, UopBarrier, 0);
+
+    set(Opcode::Nop, execNothing, OpClass::Nop, 0, 0);
+    set(Opcode::Halt, execHalt, OpClass::Halt, UopEndsBlock, 0);
+    return t;
+}();
+
+constexpr bool
+allHandlersPresent(const OpInfoTable &t)
+{
+    for (const OpInfo &info : t) {
+        if (info.fn == nullptr)
+            return false;
+    }
+    return true;
+}
+
+static_assert(allHandlersPresent(kOpInfoTable),
+              "every opcode needs a dispatch-table entry");
+
+} // namespace
+
+const OpInfoTable &
+opInfoTable()
+{
+    return kOpInfoTable;
+}
+
+PredecodedProgram::PredecodedProgram(const Program &program)
+{
+    const std::uint32_t n =
+        static_cast<std::uint32_t>(program.code.size());
+    uops.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        uops.push_back(decodeInst(program.code[i]));
+
+    // Straight-line stretch ends: the nearest block terminator at or
+    // after each pc (one past it). Computed backwards in O(n) so the
+    // engine's lookup is a single load for any entry pc, including
+    // mid-block indirect-branch landings.
+    stretchEnd.assign(n, n);
+    for (std::uint32_t i = n; i-- > 0;) {
+        if (uops[i].flags & UopEndsBlock)
+            stretchEnd[i] = i + 1;
+        else if (i + 1 < n)
+            stretchEnd[i] = stretchEnd[i + 1];
+    }
+
+    // Classic basic blocks for reporting: leaders are the entry point,
+    // direct branch targets and terminator fall-throughs.
+    std::vector<bool> leader(n, false);
+    if (n > 0)
+        leader[0] = true;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const DecodedOp &d = uops[i];
+        if (!(d.flags & UopEndsBlock))
+            continue;
+        if (i + 1 < n)
+            leader[i + 1] = true;
+        if ((d.flags & UopBranch) && !(d.flags & UopIndirect) &&
+            d.target < n) {
+            leader[d.target] = true;
+        }
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (!leader[i])
+            continue;
+        std::uint32_t end = i + 1;
+        while (end < n && !leader[end] &&
+               !(uops[end - 1].flags & UopEndsBlock)) {
+            ++end;
+        }
+        blockList.push_back({i, end - i});
+    }
+}
+
+} // namespace gemstone::isa

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Predecoded program representation and the shared opcode dispatch
+ * table.
+ *
+ * The interpreter in executor.cc used to decode every instruction on
+ * every dynamic execution with a large `switch (inst.op)`. This module
+ * hoists that work into a one-time predecode pass: each instruction is
+ * flattened into a DecodedOp micro-op record with its handler function
+ * pointer, operand fields and static classification bits resolved, and
+ * the program is split into basic blocks so a timing model can run a
+ * whole straight-line stretch without re-entering its dispatch loop.
+ *
+ * One dispatch table serves both execution paths: the reference
+ * interpreter (isa::step) and the fast block engine call the very same
+ * handlers, so the two paths cannot drift semantically — the fast path
+ * only removes per-instruction decode and bookkeeping overhead, never
+ * changes what an instruction does.
+ */
+
+#ifndef GEMSTONE_ISA_PREDECODE_HH
+#define GEMSTONE_ISA_PREDECODE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "isa/executor.hh"
+#include "isa/inst.hh"
+
+namespace gemstone::isa {
+
+class Program;
+
+/** Static classification bits carried by every decoded micro-op. */
+enum UopFlags : std::uint16_t
+{
+    UopMem       = 1u << 0,   //!< reads or writes data memory
+    UopStore     = 1u << 1,   //!< unconditional store (Str/Strb/Fstr)
+    UopBranch    = 1u << 2,   //!< any control-flow transfer
+    UopCond      = 1u << 3,   //!< conditional branch
+    UopCall      = 1u << 4,   //!< Bl
+    UopReturn    = 1u << 5,   //!< Ret
+    UopIndirect  = 1u << 6,   //!< target from a register (Ret/Bidx)
+    UopBarrier   = 1u << 7,   //!< Dmb/Isb
+    UopExclusive = 1u << 8,   //!< Ldrex/Strex
+    UopEndsBlock = 1u << 9,   //!< terminates a basic block
+};
+
+/**
+ * Dynamic outcome of one handler invocation: everything a timing
+ * model needs beyond the static DecodedOp bits. The caller pre-seeds
+ * nextPc with the fall-through pc (pc + 1) before dispatching; branch
+ * handlers overwrite it.
+ */
+struct OpOutcome
+{
+    std::uint32_t nextPc = 0;
+    std::uint64_t memAddr = 0;   //!< masked data address (UopMem ops)
+    bool taken = false;          //!< branch resolved taken
+    bool unaligned = false;      //!< data address not size-aligned
+    bool storeOk = false;        //!< Strex won its reservation
+    bool halted = false;
+};
+
+/** Shared resources a handler needs beyond CPU state. */
+struct ExecEnv
+{
+    Memory *mem = nullptr;
+    ExclusiveMonitor *monitor = nullptr;
+    /** program.size(), for indirect-branch target wrapping. */
+    std::uint64_t progSize = 0;
+    unsigned threadId = 0;
+};
+
+struct DecodedOp;
+
+/** Functional-execution handler for one opcode. */
+using ExecHandler = void (*)(const DecodedOp &op, CpuState &state,
+                             const ExecEnv &env, OpOutcome &out);
+
+/**
+ * One flattened micro-op: the instruction's operands plus everything
+ * the dispatch table knows statically about its opcode.
+ */
+struct DecodedOp
+{
+    ExecHandler fn = nullptr;
+    std::int64_t imm = 0;
+    std::uint32_t target = 0;
+    std::uint16_t flags = 0;
+    Opcode op = Opcode::Nop;
+    OpClass cls = OpClass::Nop;
+    std::uint8_t rd = 0;
+    std::uint8_t rn = 0;
+    std::uint8_t rm = 0;
+    std::uint8_t memSize = 0;
+};
+
+/** Static per-opcode facts: handler, class, flags, access size. */
+struct OpInfo
+{
+    ExecHandler fn = nullptr;
+    OpClass cls = OpClass::Nop;
+    std::uint16_t flags = 0;
+    std::uint8_t memSize = 0;
+};
+
+using OpInfoTable = std::array<OpInfo, numOpcodes>;
+
+/** The dispatch table (one entry per opcode, constant-initialised). */
+const OpInfoTable &opInfoTable();
+
+/** Static facts for one opcode. */
+inline const OpInfo &
+opInfo(Opcode op)
+{
+    return opInfoTable()[static_cast<unsigned>(op)];
+}
+
+/** Flatten one instruction into its micro-op record. */
+inline DecodedOp
+decodeInst(const Inst &inst)
+{
+    const OpInfo &info = opInfo(inst.op);
+    DecodedOp d;
+    d.fn = info.fn;
+    d.imm = inst.imm;
+    d.target = inst.target;
+    d.flags = info.flags;
+    d.op = inst.op;
+    d.cls = info.cls;
+    d.rd = inst.rd;
+    d.rn = inst.rn;
+    d.rm = inst.rm;
+    d.memSize = info.memSize;
+    return d;
+}
+
+/** One basic block: a [first, first+count) range of micro-ops. */
+struct BasicBlock
+{
+    std::uint32_t first = 0;
+    std::uint32_t count = 0;
+};
+
+/**
+ * A program flattened into micro-ops and split into basic blocks.
+ *
+ * Built once per (program, run); the underlying Program must outlive
+ * it and must not change afterwards (programs are immutable once
+ * assembled, so in practice this means "build after ProgramBuilder::
+ * build()"). Indirect branches may land mid-block, so the engine-facing
+ * lookup is blockEnd(pc): the end of the straight-line stretch
+ * containing pc, valid for *any* pc, not just block leaders.
+ */
+class PredecodedProgram
+{
+  public:
+    explicit PredecodedProgram(const Program &program);
+
+    std::uint32_t size() const
+    {
+        return static_cast<std::uint32_t>(uops.size());
+    }
+
+    const DecodedOp &uop(std::uint32_t pc) const { return uops[pc]; }
+
+    /**
+     * Raw views of the micro-op and stretch-end tables (size()
+     * entries each). The execution loop keeps these base pointers in
+     * registers; going through uop()/blockEnd() instead would reload
+     * the vector data pointer after every opaque handler call.
+     */
+    const DecodedOp *uopData() const { return uops.data(); }
+    const std::uint32_t *blockEndData() const
+    {
+        return stretchEnd.data();
+    }
+
+    /**
+     * One past the last micro-op of the straight-line stretch
+     * containing @p pc (the next block terminator at or after pc).
+     */
+    std::uint32_t blockEnd(std::uint32_t pc) const
+    {
+        return stretchEnd[pc];
+    }
+
+    /** Classic basic blocks (leaders at entry, targets, fall-ins). */
+    const std::vector<BasicBlock> &blocks() const { return blockList; }
+
+  private:
+    std::vector<DecodedOp> uops;
+    std::vector<std::uint32_t> stretchEnd;
+    std::vector<BasicBlock> blockList;
+};
+
+} // namespace gemstone::isa
+
+#endif // GEMSTONE_ISA_PREDECODE_HH

@@ -7,9 +7,16 @@
 
 #include <cstring>
 
+#include "isa/predecode.hh"
 #include "util/logging.hh"
 
 namespace gemstone::isa {
+
+PredecodedProgram
+Program::predecode() const
+{
+    return PredecodedProgram(*this);
+}
 
 std::map<OpClass, double>
 Program::staticMix() const

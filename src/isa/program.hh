@@ -14,6 +14,8 @@
 
 namespace gemstone::isa {
 
+class PredecodedProgram;
+
 /**
  * An assembled program: a linear instruction sequence with branch
  * targets already resolved to instruction indices.
@@ -33,6 +35,13 @@ class Program
 
     /** Static mix (fraction per OpClass) for characterisation. */
     std::map<OpClass, double> staticMix() const;
+
+    /**
+     * One-time predecode pass: flatten into micro-ops and split into
+     * basic blocks (see isa/predecode.hh). The program must outlive
+     * the returned object and not be modified afterwards.
+     */
+    PredecodedProgram predecode() const;
 };
 
 /**

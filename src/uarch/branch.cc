@@ -1,6 +1,9 @@
 /**
  * @file
- * Branch predictor implementations.
+ * Branch predictor implementations: construction, geometry checks and
+ * reset. The per-branch hot paths (predict/update/recordOutcome) are
+ * defined inline in branch.hh so the core model can devirtualise and
+ * inline them.
  */
 
 #include "uarch/branch.hh"
@@ -8,29 +11,6 @@
 #include "util/logging.hh"
 
 namespace gemstone::uarch {
-
-namespace {
-
-/** Saturating 2-bit counter update. */
-inline void
-bump(std::uint8_t &counter, bool taken)
-{
-    if (taken) {
-        if (counter < 3)
-            ++counter;
-    } else {
-        if (counter > 0)
-            --counter;
-    }
-}
-
-inline bool
-counterTaken(std::uint8_t counter)
-{
-    return counter >= 2;
-}
-
-} // namespace
 
 double
 BranchStats::accuracy() const
@@ -41,51 +21,6 @@ BranchStats::accuracy() const
         static_cast<double>(mispredicts) / static_cast<double>(lookups);
 }
 
-void
-BranchPredictor::recordOutcome(const BranchInfo &info, bool taken,
-                               std::uint32_t target,
-                               const BranchPrediction &prediction)
-{
-    ++bpStats.lookups;
-    bool direction_wrong = false;
-    bool target_wrong = false;
-
-    if (info.isCond) {
-        ++bpStats.condLookups;
-        direction_wrong = prediction.taken != taken;
-        if (direction_wrong)
-            ++bpStats.condIncorrect;
-    }
-    if (prediction.taken) {
-        ++bpStats.predictedTaken;
-        if (info.isCond && !taken)
-            ++bpStats.predictedTakenIncorrect;
-    }
-    if (taken && prediction.taken && prediction.target != target) {
-        target_wrong = true;
-        ++bpStats.targetIncorrect;
-    }
-    // An unconditional taken branch predicted not-taken (BTB cold) is
-    // a target-style misprediction too.
-    if (taken && !prediction.taken && !info.isCond) {
-        target_wrong = true;
-        ++bpStats.targetIncorrect;
-    }
-
-    if (info.isReturn && prediction.usedRas &&
-        prediction.target != target) {
-        ++bpStats.rasIncorrect;
-    }
-    if (info.isIndirect) {
-        ++bpStats.indirectLookups;
-        if (!prediction.taken || prediction.target != target)
-            ++bpStats.indirectMispredicts;
-    }
-
-    if (direction_wrong || target_wrong)
-        ++bpStats.mispredicts;
-}
-
 // ---------------------------------------------------------------------
 // TournamentBp
 // ---------------------------------------------------------------------
@@ -93,6 +28,12 @@ BranchPredictor::recordOutcome(const BranchInfo &info, bool taken,
 TournamentBp::TournamentBp(const TournamentBpConfig &config)
     : cfg(config)
 {
+    localIdx.init(cfg.localEntries);
+    globalIdx.init(cfg.globalEntries);
+    chooserIdx.init(cfg.chooserEntries);
+    btbIdx.init(cfg.btbEntries);
+    rasIdx.init(cfg.rasEntries);
+    indirectIdx.init(cfg.indirectEntries);
     reset();
 }
 
@@ -112,126 +53,6 @@ TournamentBp::reset()
     bpStats.reset();
 }
 
-BranchPrediction
-TournamentBp::predict(std::uint32_t pc, const BranchInfo &info)
-{
-    BranchPrediction prediction;
-
-    // Direction.
-    if (info.isCond) {
-        std::uint32_t local_index = pc % cfg.localEntries;
-        std::uint32_t local_pht =
-            localHistory[local_index] % cfg.localEntries;
-        bool local_taken = counterTaken(localTable[local_pht]);
-
-        std::uint32_t global_index =
-            static_cast<std::uint32_t>(pc ^ globalHistory) %
-            cfg.globalEntries;
-        bool global_taken = counterTaken(globalTable[global_index]);
-
-        std::uint32_t chooser_index =
-            static_cast<std::uint32_t>(globalHistory) %
-            cfg.chooserEntries;
-        bool use_global = counterTaken(chooserTable[chooser_index]);
-
-        prediction.taken = use_global ? global_taken : local_taken;
-    } else {
-        prediction.taken = true;
-    }
-
-    // Target.
-    if (info.isReturn && rasDepth > 0) {
-        prediction.usedRas = true;
-        prediction.target = ras[(rasTop + cfg.rasEntries - 1) %
-                                cfg.rasEntries];
-        ++bpStats.usedRas;
-    } else if (info.isIndirect) {
-        const BtbEntry &entry =
-            indirectTable[pc % cfg.indirectEntries];
-        if (entry.valid && entry.tag == pc)
-            prediction.target = entry.target;
-        else
-            prediction.taken = false;  // no target available
-    } else {
-        ++bpStats.btbLookups;
-        const BtbEntry &entry = btb[pc % cfg.btbEntries];
-        if (entry.valid && entry.tag == pc) {
-            ++bpStats.btbHits;
-            prediction.target = entry.target;
-            prediction.fromBtb = true;
-        } else if (!info.isCond) {
-            // Unconditional with no BTB entry: fall through this time.
-            prediction.taken = false;
-        } else {
-            // Conditional without a target: predict not-taken.
-            prediction.taken = false;
-        }
-    }
-
-    // Speculative RAS adjustment (repaired perfectly at update in this
-    // idealised reference predictor).
-    if (info.isCall) {
-        ras[rasTop] = pc + 1;
-        rasTop = (rasTop + 1) % cfg.rasEntries;
-        if (rasDepth < cfg.rasEntries)
-            ++rasDepth;
-    } else if (info.isReturn && rasDepth > 0) {
-        rasTop = (rasTop + cfg.rasEntries - 1) % cfg.rasEntries;
-        --rasDepth;
-    }
-
-    return prediction;
-}
-
-void
-TournamentBp::update(std::uint32_t pc, const BranchInfo &info,
-                     bool taken, std::uint32_t target,
-                     const BranchPrediction &prediction)
-{
-    if (info.isCond) {
-        std::uint32_t local_index = pc % cfg.localEntries;
-        std::uint32_t local_pht =
-            localHistory[local_index] % cfg.localEntries;
-        bool local_taken = counterTaken(localTable[local_pht]);
-
-        std::uint32_t global_index =
-            static_cast<std::uint32_t>(pc ^ globalHistory) %
-            cfg.globalEntries;
-        bool global_taken = counterTaken(globalTable[global_index]);
-
-        std::uint32_t chooser_index =
-            static_cast<std::uint32_t>(globalHistory) %
-            cfg.chooserEntries;
-        if (local_taken != global_taken)
-            bump(chooserTable[chooser_index], global_taken == taken);
-
-        bump(localTable[local_pht], taken);
-        bump(globalTable[global_index], taken);
-
-        localHistory[local_index] = static_cast<std::uint16_t>(
-            (localHistory[local_index] << 1 | (taken ? 1 : 0)) &
-            ((1u << cfg.historyBits) - 1));
-        globalHistory = (globalHistory << 1 | (taken ? 1 : 0)) &
-            ((1ULL << cfg.historyBits) - 1);
-    }
-
-    if (taken) {
-        if (info.isIndirect && !info.isReturn) {
-            BtbEntry &entry = indirectTable[pc % cfg.indirectEntries];
-            entry.valid = true;
-            entry.tag = pc;
-            entry.target = target;
-        } else if (!info.isReturn) {
-            BtbEntry &entry = btb[pc % cfg.btbEntries];
-            entry.valid = true;
-            entry.tag = pc;
-            entry.target = target;
-        }
-    }
-
-    (void)prediction;
-}
-
 // ---------------------------------------------------------------------
 // GshareBp
 // ---------------------------------------------------------------------
@@ -240,6 +61,9 @@ GshareBp::GshareBp(const GshareBpConfig &config) : cfg(config)
 {
     fatal_if(cfg.version != 1 && cfg.version != 2,
              "GshareBp version must be 1 or 2, got ", cfg.version);
+    tableIdx.init(cfg.tableEntries);
+    btbIdx.init(cfg.btbEntries);
+    rasIdx.init(cfg.rasEntries);
     reset();
 }
 
@@ -268,104 +92,6 @@ GshareBp::reset()
     commitHistory = 0;
     condUpdatesSinceDrain = 0;
     bpStats.reset();
-}
-
-BranchPrediction
-GshareBp::predict(std::uint32_t pc, const BranchInfo &info)
-{
-    BranchPrediction prediction;
-
-    if (info.isCond) {
-        std::uint32_t index =
-            static_cast<std::uint32_t>(pc ^ specHistory) %
-            cfg.tableEntries;
-        prediction.taken = counterTaken(table[index]);
-
-        // Advance the *speculative* history with the prediction; the
-        // v1 bug is that this is never repaired on a misprediction.
-        specHistory = (specHistory << 1 |
-                       (prediction.taken ? 1 : 0)) &
-            ((1ULL << cfg.historyBits) - 1);
-    } else {
-        prediction.taken = true;
-    }
-
-    if (info.isReturn && rasDepth > 0) {
-        prediction.usedRas = true;
-        prediction.target = ras[(rasTop + cfg.rasEntries - 1) %
-                                cfg.rasEntries];
-        ++bpStats.usedRas;
-    } else {
-        ++bpStats.btbLookups;
-        const BtbEntry &entry = btb[pc % cfg.btbEntries];
-        if (entry.valid && entry.tag == pc) {
-            ++bpStats.btbHits;
-            prediction.target = entry.target;
-            prediction.fromBtb = true;
-        } else {
-            prediction.taken = info.isCond ? prediction.taken : false;
-            if (prediction.taken && !entry.valid)
-                prediction.taken = false;  // no target to redirect to
-        }
-    }
-
-    if (info.isCall) {
-        ras[rasTop] = pc + 1;
-        rasTop = (rasTop + 1) % cfg.rasEntries;
-        if (rasDepth < cfg.rasEntries)
-            ++rasDepth;
-    } else if (info.isReturn && rasDepth > 0) {
-        rasTop = (rasTop + cfg.rasEntries - 1) % cfg.rasEntries;
-        --rasDepth;
-    }
-
-    return prediction;
-}
-
-void
-GshareBp::update(std::uint32_t pc, const BranchInfo &info, bool taken,
-                 std::uint32_t target,
-                 const BranchPrediction &prediction)
-{
-    if (info.isCond) {
-        // The table is trained at the architectural history index.
-        std::uint32_t index =
-            static_cast<std::uint32_t>(pc ^ commitHistory) %
-            cfg.tableEntries;
-        bump(table[index], taken);
-
-        commitHistory = (commitHistory << 1 | (taken ? 1 : 0)) &
-            ((1ULL << cfg.historyBits) - 1);
-
-        // Version 2 (the gem5 fix evaluated in Section VII) repairs
-        // the speculative history after a squash. Version 1 omits the
-        // repair: after one misprediction the speculative history is
-        // permanently out of sync with the architectural history, so
-        // lookups land on counters this branch never trained —
-        // mispredict "storms" that collapse the model's mean
-        // prediction accuracy to ~65% (vs ~96% on hardware) and to
-        // below 1% on pattern-periodic workloads.
-        bool mispredicted = prediction.taken != taken;
-        if (mispredicted && cfg.version >= 2)
-            specHistory = commitHistory;
-
-        // Pipeline drains (timer interrupts, context switches)
-        // resynchronise the history in both versions.
-        if (cfg.drainResyncPeriod > 0 &&
-            ++condUpdatesSinceDrain >= cfg.drainResyncPeriod) {
-            condUpdatesSinceDrain = 0;
-            specHistory = commitHistory;
-        }
-    }
-
-    if (taken) {
-        if (!info.isReturn) {
-            BtbEntry &entry = btb[pc % cfg.btbEntries];
-            entry.valid = true;
-            entry.tag = pc;
-            entry.target = target;
-        }
-    }
 }
 
 } // namespace gemstone::uarch

@@ -71,6 +71,33 @@ struct BranchStats
     double accuracy() const;
 };
 
+/**
+ * Table-index reducer: x % size, strength-reduced to a mask when the
+ * size is a power of two (which every default table size except the
+ * RAS depth is). The modulo in the predictors' lookup paths is one of
+ * the hottest scalar operations in the whole simulation; the mask
+ * form produces the identical index for identical inputs, so event
+ * counts are unaffected.
+ */
+struct TableIndex
+{
+    std::uint32_t size = 1;
+    std::uint32_t mask = 0;
+    bool pow2 = false;
+
+    void init(std::uint32_t n)
+    {
+        size = n;
+        pow2 = n != 0 && (n & (n - 1)) == 0;
+        mask = n - 1;
+    }
+
+    std::uint32_t operator()(std::uint32_t x) const
+    {
+        return pow2 ? (x & mask) : (x % size);
+    }
+};
+
 /** Abstract predictor interface used by the core timing models. */
 class BranchPredictor
 {
@@ -97,13 +124,71 @@ class BranchPredictor
 
     /**
      * Record prediction vs outcome in the stats. Called by the core
-     * model after update().
+     * model after update(). Inline (with the predictors' own hot
+     * methods below): the core calls it once per retired branch.
      */
     void recordOutcome(const BranchInfo &info, bool taken,
                        std::uint32_t target,
-                       const BranchPrediction &prediction);
+                       const BranchPrediction &prediction)
+    {
+        ++bpStats.lookups;
+        bool direction_wrong = false;
+        bool target_wrong = false;
+
+        if (info.isCond) {
+            ++bpStats.condLookups;
+            direction_wrong = prediction.taken != taken;
+            if (direction_wrong)
+                ++bpStats.condIncorrect;
+        }
+        if (prediction.taken) {
+            ++bpStats.predictedTaken;
+            if (info.isCond && !taken)
+                ++bpStats.predictedTakenIncorrect;
+        }
+        if (taken && prediction.taken && prediction.target != target) {
+            target_wrong = true;
+            ++bpStats.targetIncorrect;
+        }
+        // An unconditional taken branch predicted not-taken (BTB
+        // cold) is a target-style misprediction too.
+        if (taken && !prediction.taken && !info.isCond) {
+            target_wrong = true;
+            ++bpStats.targetIncorrect;
+        }
+
+        if (info.isReturn && prediction.usedRas &&
+            prediction.target != target) {
+            ++bpStats.rasIncorrect;
+        }
+        if (info.isIndirect) {
+            ++bpStats.indirectLookups;
+            if (!prediction.taken || prediction.target != target)
+                ++bpStats.indirectMispredicts;
+        }
+
+        if (direction_wrong || target_wrong)
+            ++bpStats.mispredicts;
+    }
 
   protected:
+    /** Saturating 2-bit counter update. */
+    static void bump(std::uint8_t &counter, bool taken)
+    {
+        if (taken) {
+            if (counter < 3)
+                ++counter;
+        } else {
+            if (counter > 0)
+                --counter;
+        }
+    }
+
+    static bool counterTaken(std::uint8_t counter)
+    {
+        return counter >= 2;
+    }
+
     BranchStats bpStats;
 };
 
@@ -121,8 +206,12 @@ struct TournamentBpConfig
 
 /**
  * Local/global tournament predictor with BTB + RAS + indirect table.
+ *
+ * `final`, and predict()/update() are defined inline below: the core
+ * model calls them through a pointer of this concrete type, so the
+ * compiler devirtualises and inlines the per-branch path.
  */
-class TournamentBp : public BranchPredictor
+class TournamentBp final : public BranchPredictor
 {
   public:
     explicit TournamentBp(const TournamentBpConfig &config = {});
@@ -143,6 +232,8 @@ class TournamentBp : public BranchPredictor
     };
 
     TournamentBpConfig cfg;
+    TableIndex localIdx, globalIdx, chooserIdx, btbIdx, rasIdx,
+        indirectIdx;
     std::vector<std::uint8_t> localTable;    //!< 2-bit counters
     std::vector<std::uint8_t> globalTable;   //!< 2-bit counters
     std::vector<std::uint8_t> chooserTable;  //!< 2-bit counters
@@ -188,9 +279,10 @@ struct GshareBpConfig
 
 /**
  * Gshare predictor with a speculative global history register.
- * See the file comment for the v1 bug semantics.
+ * See the file comment for the v1 bug semantics. `final` and
+ * inline-hot for the same reason as TournamentBp.
  */
-class GshareBp : public BranchPredictor
+class GshareBp final : public BranchPredictor
 {
   public:
     explicit GshareBp(const GshareBpConfig &config = {});
@@ -213,6 +305,7 @@ class GshareBp : public BranchPredictor
     };
 
     GshareBpConfig cfg;
+    TableIndex tableIdx, btbIdx, rasIdx;
     std::vector<std::uint8_t> table;  //!< 2-bit counters
     std::vector<BtbEntry> btb;
     std::vector<std::uint32_t> ras;
@@ -225,6 +318,220 @@ class GshareBp : public BranchPredictor
     /** Conditional updates since the last pipeline drain. */
     std::uint64_t condUpdatesSinceDrain = 0;
 };
+
+// ---------------------------------------------------------------------
+// Inline hot paths (bodies unchanged from their former out-of-line
+// definitions; construction/reset stay in branch.cc).
+// ---------------------------------------------------------------------
+
+inline BranchPrediction
+TournamentBp::predict(std::uint32_t pc, const BranchInfo &info)
+{
+    BranchPrediction prediction;
+
+    // Direction.
+    if (info.isCond) {
+        std::uint32_t local_index = localIdx(pc);
+        std::uint32_t local_pht = localIdx(localHistory[local_index]);
+        bool local_taken = counterTaken(localTable[local_pht]);
+
+        std::uint32_t global_index = globalIdx(
+            static_cast<std::uint32_t>(pc ^ globalHistory));
+        bool global_taken = counterTaken(globalTable[global_index]);
+
+        std::uint32_t chooser_index = chooserIdx(
+            static_cast<std::uint32_t>(globalHistory));
+        bool use_global = counterTaken(chooserTable[chooser_index]);
+
+        prediction.taken = use_global ? global_taken : local_taken;
+    } else {
+        prediction.taken = true;
+    }
+
+    // Target.
+    if (info.isReturn && rasDepth > 0) {
+        prediction.usedRas = true;
+        prediction.target =
+            ras[rasIdx(rasTop + cfg.rasEntries - 1)];
+        ++bpStats.usedRas;
+    } else if (info.isIndirect) {
+        const BtbEntry &entry = indirectTable[indirectIdx(pc)];
+        if (entry.valid && entry.tag == pc)
+            prediction.target = entry.target;
+        else
+            prediction.taken = false;  // no target available
+    } else {
+        ++bpStats.btbLookups;
+        const BtbEntry &entry = btb[btbIdx(pc)];
+        if (entry.valid && entry.tag == pc) {
+            ++bpStats.btbHits;
+            prediction.target = entry.target;
+            prediction.fromBtb = true;
+        } else if (!info.isCond) {
+            // Unconditional with no BTB entry: fall through this time.
+            prediction.taken = false;
+        } else {
+            // Conditional without a target: predict not-taken.
+            prediction.taken = false;
+        }
+    }
+
+    // Speculative RAS adjustment (repaired perfectly at update in this
+    // idealised reference predictor).
+    if (info.isCall) {
+        ras[rasTop] = pc + 1;
+        rasTop = rasIdx(rasTop + 1);
+        if (rasDepth < cfg.rasEntries)
+            ++rasDepth;
+    } else if (info.isReturn && rasDepth > 0) {
+        rasTop = rasIdx(rasTop + cfg.rasEntries - 1);
+        --rasDepth;
+    }
+
+    return prediction;
+}
+
+inline void
+TournamentBp::update(std::uint32_t pc, const BranchInfo &info,
+                     bool taken, std::uint32_t target,
+                     const BranchPrediction &prediction)
+{
+    if (info.isCond) {
+        std::uint32_t local_index = localIdx(pc);
+        std::uint32_t local_pht = localIdx(localHistory[local_index]);
+        bool local_taken = counterTaken(localTable[local_pht]);
+
+        std::uint32_t global_index = globalIdx(
+            static_cast<std::uint32_t>(pc ^ globalHistory));
+        bool global_taken = counterTaken(globalTable[global_index]);
+
+        std::uint32_t chooser_index = chooserIdx(
+            static_cast<std::uint32_t>(globalHistory));
+        if (local_taken != global_taken)
+            bump(chooserTable[chooser_index], global_taken == taken);
+
+        bump(localTable[local_pht], taken);
+        bump(globalTable[global_index], taken);
+
+        localHistory[local_index] = static_cast<std::uint16_t>(
+            (localHistory[local_index] << 1 | (taken ? 1 : 0)) &
+            ((1u << cfg.historyBits) - 1));
+        globalHistory = (globalHistory << 1 | (taken ? 1 : 0)) &
+            ((1ULL << cfg.historyBits) - 1);
+    }
+
+    if (taken) {
+        if (info.isIndirect && !info.isReturn) {
+            BtbEntry &entry = indirectTable[indirectIdx(pc)];
+            entry.valid = true;
+            entry.tag = pc;
+            entry.target = target;
+        } else if (!info.isReturn) {
+            BtbEntry &entry = btb[btbIdx(pc)];
+            entry.valid = true;
+            entry.tag = pc;
+            entry.target = target;
+        }
+    }
+
+    (void)prediction;
+}
+
+inline BranchPrediction
+GshareBp::predict(std::uint32_t pc, const BranchInfo &info)
+{
+    BranchPrediction prediction;
+
+    if (info.isCond) {
+        std::uint32_t index = tableIdx(
+            static_cast<std::uint32_t>(pc ^ specHistory));
+        prediction.taken = counterTaken(table[index]);
+
+        // Advance the *speculative* history with the prediction; the
+        // v1 bug is that this is never repaired on a misprediction.
+        specHistory = (specHistory << 1 |
+                       (prediction.taken ? 1 : 0)) &
+            ((1ULL << cfg.historyBits) - 1);
+    } else {
+        prediction.taken = true;
+    }
+
+    if (info.isReturn && rasDepth > 0) {
+        prediction.usedRas = true;
+        prediction.target =
+            ras[rasIdx(rasTop + cfg.rasEntries - 1)];
+        ++bpStats.usedRas;
+    } else {
+        ++bpStats.btbLookups;
+        const BtbEntry &entry = btb[btbIdx(pc)];
+        if (entry.valid && entry.tag == pc) {
+            ++bpStats.btbHits;
+            prediction.target = entry.target;
+            prediction.fromBtb = true;
+        } else {
+            prediction.taken = info.isCond ? prediction.taken : false;
+            if (prediction.taken && !entry.valid)
+                prediction.taken = false;  // no target to redirect to
+        }
+    }
+
+    if (info.isCall) {
+        ras[rasTop] = pc + 1;
+        rasTop = rasIdx(rasTop + 1);
+        if (rasDepth < cfg.rasEntries)
+            ++rasDepth;
+    } else if (info.isReturn && rasDepth > 0) {
+        rasTop = rasIdx(rasTop + cfg.rasEntries - 1);
+        --rasDepth;
+    }
+
+    return prediction;
+}
+
+inline void
+GshareBp::update(std::uint32_t pc, const BranchInfo &info, bool taken,
+                 std::uint32_t target,
+                 const BranchPrediction &prediction)
+{
+    if (info.isCond) {
+        // The table is trained at the architectural history index.
+        std::uint32_t index = tableIdx(
+            static_cast<std::uint32_t>(pc ^ commitHistory));
+        bump(table[index], taken);
+
+        commitHistory = (commitHistory << 1 | (taken ? 1 : 0)) &
+            ((1ULL << cfg.historyBits) - 1);
+
+        // Version 2 (the gem5 fix evaluated in Section VII) repairs
+        // the speculative history after a squash. Version 1 omits the
+        // repair: after one misprediction the speculative history is
+        // permanently out of sync with the architectural history, so
+        // lookups land on counters this branch never trained —
+        // mispredict "storms" that collapse the model's mean
+        // prediction accuracy to ~65% (vs ~96% on hardware) and to
+        // below 1% on pattern-periodic workloads.
+        bool mispredicted = prediction.taken != taken;
+        if (mispredicted && cfg.version >= 2)
+            specHistory = commitHistory;
+
+        // Pipeline drains (timer interrupts, context switches)
+        // resynchronise the history in both versions.
+        if (cfg.drainResyncPeriod > 0 &&
+            ++condUpdatesSinceDrain >= cfg.drainResyncPeriod) {
+            condUpdatesSinceDrain = 0;
+            specHistory = commitHistory;
+        }
+    }
+
+    if (taken) {
+        if (!info.isReturn) {
+            BtbEntry &entry = btb[btbIdx(pc)];
+            entry.valid = true;
+            entry.tag = pc;
+            entry.target = target;
+        }
+    }
+}
 
 } // namespace gemstone::uarch
 

@@ -25,8 +25,12 @@ Cache::Cache(const CacheConfig &config, MemLevel *parent)
     setCount = line_count / config.assoc;
     fatal_if((setCount & (setCount - 1)) != 0, "cache ", config.name,
              ": set count must be a power of 2");
+    lineShift = static_cast<std::uint32_t>(
+        std::countr_zero(config.lineBytes));
+    setShift = static_cast<std::uint32_t>(std::countr_zero(setCount));
     lines.assign(static_cast<std::size_t>(setCount) * config.assoc,
                  Line());
+    mruWay.assign(setCount, 0);
 }
 
 Cache::Line *
@@ -34,12 +38,17 @@ Cache::findLine(std::uint64_t line_address)
 {
     std::uint32_t set =
         static_cast<std::uint32_t>(line_address) & (setCount - 1);
-    std::uint64_t tag = line_address / setCount;
+    std::uint64_t tag = line_address >> setShift;
     Line *base = &lines[static_cast<std::size_t>(set) *
                         cacheConfig.assoc];
+    Line &hinted = base[mruWay[set]];
+    if (hinted.valid && hinted.tag == tag)
+        return &hinted;
     for (std::uint32_t way = 0; way < cacheConfig.assoc; ++way) {
-        if (base[way].valid && base[way].tag == tag)
+        if (base[way].valid && base[way].tag == tag) {
+            mruWay[set] = way;
             return &base[way];
+        }
     }
     return nullptr;
 }
@@ -55,7 +64,7 @@ Cache::fill(std::uint64_t line_address, bool dirty, bool prefetched)
 {
     std::uint32_t set =
         static_cast<std::uint32_t>(line_address) & (setCount - 1);
-    std::uint64_t tag = line_address / setCount;
+    std::uint64_t tag = line_address >> setShift;
     Line *base = &lines[static_cast<std::size_t>(set) *
                         cacheConfig.assoc];
 
@@ -78,7 +87,7 @@ Cache::fill(std::uint64_t line_address, bool dirty, bool prefetched)
             // Write the victim back to the next level; the latency of
             // writebacks is off the critical path and not charged.
             std::uint64_t victim_addr =
-                (victim->tag * setCount + set) * cacheConfig.lineBytes;
+                ((victim->tag << setShift) + set) << lineShift;
             parentLevel->access(victim_addr, true, false);
         }
     }
@@ -88,126 +97,9 @@ Cache::fill(std::uint64_t line_address, bool dirty, bool prefetched)
     victim->wasPrefetched = prefetched;
     victim->tag = tag;
     victim->lruStamp = ++lruCounter;
+    mruWay[set] = static_cast<std::uint32_t>(victim - base);
+    filledOnce = true;
     return dirty_evict;
-}
-
-CacheAccessResult
-Cache::access(std::uint64_t addr, bool write, bool prefetch)
-{
-    std::uint64_t line_address = lineAddr(addr);
-    CacheAccessResult result;
-
-    if (!prefetch) {
-        ++cacheStats.accesses;
-        if (write)
-            ++cacheStats.writeAccesses;
-        else
-            ++cacheStats.readAccesses;
-    }
-
-    Line *line = findLine(line_address);
-    if (line) {
-        if (!prefetch) {
-            ++cacheStats.hits;
-            if (line->wasPrefetched) {
-                ++cacheStats.prefetchHits;
-                line->wasPrefetched = false;
-            }
-        }
-        line->lruStamp = ++lruCounter;
-        if (write)
-            line->dirty = true;
-        result.hit = true;
-        result.latency = cacheConfig.hitLatency;
-        return result;
-    }
-
-    // Miss: fetch from the parent level.
-    if (!prefetch) {
-        ++cacheStats.misses;
-        if (write)
-            ++cacheStats.writeMisses;
-        else
-            ++cacheStats.readMisses;
-    }
-
-    // Write-streaming: sequential store misses bypass allocation and
-    // are written around to the next level instead. The stream
-    // detector resets at page boundaries (as the real Cortex-A15
-    // write-streaming mode does), so long streams still allocate a
-    // couple of lines per page.
-    if (write && cacheConfig.writeStreaming && !prefetch) {
-        const std::uint64_t lines_per_page =
-            4096 / cacheConfig.lineBytes;
-        // The prefetcher can absorb intermediate store misses, so a
-        // "sequential" store miss may be up to prefetchDegree + 1
-        // lines ahead of the previous one.
-        const std::uint64_t window = 1 + cacheConfig.prefetchDegree;
-        if (line_address == lastStoreMissLine) {
-            // Repeated store miss to a written-around line:
-            // the stream is still live.
-        } else if (line_address > lastStoreMissLine &&
-                   line_address - lastStoreMissLine <= window) {
-            if (line_address % lines_per_page <
-                line_address - lastStoreMissLine) {
-                storeStreak = 0;  // page boundary: re-detect
-            } else {
-                ++storeStreak;
-            }
-        } else {
-            storeStreak = 0;
-        }
-        lastStoreMissLine = line_address;
-        if (storeStreak >= cacheConfig.streamingThreshold) {
-            ++cacheStats.streamingStores;
-            // Undo the refill accounting: a write-around is counted
-            // as a streaming store, not a write refill.
-            --cacheStats.misses;
-            --cacheStats.writeMisses;
-            CacheAccessResult around;
-            if (parentLevel)
-                around = parentLevel->access(addr, true, false);
-            around.hit = false;
-            // Write-around stores are buffered: neither the next-level
-            // cycles nor the DRAM time stall the core.
-            around.latency = cacheConfig.hitLatency;
-            around.dramNs = 0.0;
-            return around;
-        }
-    } else if (write && cacheConfig.writeStreaming) {
-        storeStreak = 0;
-    }
-
-    double below = 0.0;
-    double below_dram_ns = 0.0;
-    if (parentLevel) {
-        CacheAccessResult parent_result =
-            parentLevel->access(addr, false, prefetch);
-        below = parent_result.latency;
-        below_dram_ns = parent_result.dramNs;
-    }
-
-    result.causedWriteback = fill(line_address, write, prefetch);
-    result.hit = false;
-    result.latency = cacheConfig.hitLatency + below;
-    result.dramNs = below_dram_ns;
-
-    // Prefetch the next lines after a demand miss.
-    if (!prefetch && cacheConfig.prefetchDegree > 0) {
-        for (std::uint32_t i = 1; i <= cacheConfig.prefetchDegree;
-             ++i) {
-            std::uint64_t next_line = line_address + i;
-            if (!findLine(next_line)) {
-                ++cacheStats.prefetchesIssued;
-                if (parentLevel) {
-                    parentLevel->access(
-                        next_line * cacheConfig.lineBytes, false, true);
-                }
-                fill(next_line, false, true);
-            }
-        }
-    }
-    return result;
 }
 
 bool
@@ -239,6 +131,7 @@ Cache::flush()
         line.wasPrefetched = false;
     }
     lruCounter = 0;
+    filledOnce = false;
 }
 
 } // namespace gemstone::uarch

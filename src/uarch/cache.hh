@@ -104,8 +104,14 @@ class MemLevel
 
 /**
  * One cache level. Chains to a parent MemLevel for misses.
+ *
+ * final, with access() defined inline below: the L1 instances are
+ * concrete members of CoreModel, so its hot paths devirtualise and
+ * inline the access, constant-folding the write/prefetch flags at
+ * each call site. Misses still reach the next level through the
+ * virtual MemLevel interface.
  */
-class Cache : public MemLevel
+class Cache final : public MemLevel
 {
   public:
     /**
@@ -117,6 +123,45 @@ class Cache : public MemLevel
 
     CacheAccessResult access(std::uint64_t addr, bool write,
                              bool prefetch) override;
+
+    /**
+     * Inline demand-access fast path: handles (only) a hit in the
+     * MRU-hinted way. On success it performs exactly the bookkeeping
+     * of the access() hit branch — access/hit/read/write counters,
+     * prefetch-hit accounting, LRU stamp, dirty bit — so
+     *
+     *     c.tryHit(a, w) ? hit : c.access(a, w, false)
+     *
+     * is bit-identical to calling access() directly (a hit costs
+     * config().hitLatency and nothing else). On failure *nothing* is
+     * touched and the caller must fall back to access(), which
+     * redoes the lookup including the non-hinted ways.
+     */
+    bool tryHit(std::uint64_t addr, bool write)
+    {
+        std::uint64_t line_address = addr >> lineShift;
+        std::uint32_t set =
+            static_cast<std::uint32_t>(line_address) & (setCount - 1);
+        Line &hinted = lines[static_cast<std::size_t>(set) *
+                                 cacheConfig.assoc +
+                             mruWay[set]];
+        if (!hinted.valid || hinted.tag != line_address >> setShift)
+            return false;
+        ++cacheStats.accesses;
+        ++cacheStats.hits;
+        if (write) {
+            ++cacheStats.writeAccesses;
+            hinted.dirty = true;
+        } else {
+            ++cacheStats.readAccesses;
+        }
+        if (hinted.wasPrefetched) {
+            ++cacheStats.prefetchHits;
+            hinted.wasPrefetched = false;
+        }
+        hinted.lruStamp = ++lruCounter;
+        return true;
+    }
 
     /** Probe without updating LRU or filling (used by snooping). */
     bool probe(std::uint64_t addr) const;
@@ -135,6 +180,14 @@ class Cache : public MemLevel
     CacheStats &stats() { return cacheStats; }
     const CacheConfig &config() const { return cacheConfig; }
 
+    /**
+     * True once any line has ever been filled (cleared by flush()).
+     * Lets coherence skip probing caches that are provably empty —
+     * the probe of an all-invalid cache always misses, so skipping
+     * it changes no events.
+     */
+    bool everFilled() const { return filledOnce; }
+
     std::uint32_t numSets() const { return setCount; }
 
   private:
@@ -149,7 +202,7 @@ class Cache : public MemLevel
 
     std::uint64_t lineAddr(std::uint64_t addr) const
     {
-        return addr / cacheConfig.lineBytes;
+        return addr >> lineShift;
     }
 
     /** Fill a line, possibly evicting; returns true on dirty evict. */
@@ -162,8 +215,20 @@ class Cache : public MemLevel
     MemLevel *parentLevel;
     CacheStats cacheStats;
     std::uint32_t setCount;
+    /** log2(lineBytes) / log2(setCount); both are enforced pow2. */
+    std::uint32_t lineShift = 0;
+    std::uint32_t setShift = 0;
     std::vector<Line> lines;   //!< setCount x assoc, row-major
+    /**
+     * Per-set MRU way hint. Pure search accelerator: a lookup probes
+     * the hinted way before scanning, which hits almost always on the
+     * streaming access patterns the models generate. Never changes
+     * which line is found, so stats, LRU order and hence every event
+     * count are identical with or without it.
+     */
+    std::vector<std::uint32_t> mruWay;
     std::uint64_t lruCounter = 0;
+    bool filledOnce = false;
     /** Write-streaming detector state. */
     std::uint64_t lastStoreMissLine = ~0ULL;
     std::uint32_t storeStreak = 0;
@@ -193,6 +258,125 @@ class FixedLatencyMemory : public MemLevel
     double latency;
     std::uint64_t accessCount = 0;
 };
+
+inline CacheAccessResult
+Cache::access(std::uint64_t addr, bool write, bool prefetch)
+{
+    std::uint64_t line_address = lineAddr(addr);
+    CacheAccessResult result;
+
+    if (!prefetch) {
+        ++cacheStats.accesses;
+        if (write)
+            ++cacheStats.writeAccesses;
+        else
+            ++cacheStats.readAccesses;
+    }
+
+    Line *line = findLine(line_address);
+    if (line) {
+        if (!prefetch) {
+            ++cacheStats.hits;
+            if (line->wasPrefetched) {
+                ++cacheStats.prefetchHits;
+                line->wasPrefetched = false;
+            }
+        }
+        line->lruStamp = ++lruCounter;
+        if (write)
+            line->dirty = true;
+        result.hit = true;
+        result.latency = cacheConfig.hitLatency;
+        return result;
+    }
+
+    // Miss: fetch from the parent level.
+    if (!prefetch) {
+        ++cacheStats.misses;
+        if (write)
+            ++cacheStats.writeMisses;
+        else
+            ++cacheStats.readMisses;
+    }
+
+    // Write-streaming: sequential store misses bypass allocation and
+    // are written around to the next level instead. The stream
+    // detector resets at page boundaries (as the real Cortex-A15
+    // write-streaming mode does), so long streams still allocate a
+    // couple of lines per page.
+    if (write && cacheConfig.writeStreaming && !prefetch) {
+        const std::uint64_t lines_per_page =
+            4096 / cacheConfig.lineBytes;
+        // The prefetcher can absorb intermediate store misses, so a
+        // "sequential" store miss may be up to prefetchDegree + 1
+        // lines ahead of the previous one.
+        const std::uint64_t window = 1 + cacheConfig.prefetchDegree;
+        if (line_address == lastStoreMissLine) {
+            // Repeated store miss to a written-around line:
+            // the stream is still live.
+        } else if (line_address > lastStoreMissLine &&
+                   line_address - lastStoreMissLine <= window) {
+            if (line_address % lines_per_page <
+                line_address - lastStoreMissLine) {
+                storeStreak = 0;  // page boundary: re-detect
+            } else {
+                ++storeStreak;
+            }
+        } else {
+            storeStreak = 0;
+        }
+        lastStoreMissLine = line_address;
+        if (storeStreak >= cacheConfig.streamingThreshold) {
+            ++cacheStats.streamingStores;
+            // Undo the refill accounting: a write-around is counted
+            // as a streaming store, not a write refill.
+            --cacheStats.misses;
+            --cacheStats.writeMisses;
+            CacheAccessResult around;
+            if (parentLevel)
+                around = parentLevel->access(addr, true, false);
+            around.hit = false;
+            // Write-around stores are buffered: neither the next-level
+            // cycles nor the DRAM time stall the core.
+            around.latency = cacheConfig.hitLatency;
+            around.dramNs = 0.0;
+            return around;
+        }
+    } else if (write && cacheConfig.writeStreaming) {
+        storeStreak = 0;
+    }
+
+    double below = 0.0;
+    double below_dram_ns = 0.0;
+    if (parentLevel) {
+        CacheAccessResult parent_result =
+            parentLevel->access(addr, false, prefetch);
+        below = parent_result.latency;
+        below_dram_ns = parent_result.dramNs;
+    }
+
+    result.causedWriteback = fill(line_address, write, prefetch);
+    result.hit = false;
+    result.latency = cacheConfig.hitLatency + below;
+    result.dramNs = below_dram_ns;
+
+    // Prefetch the next lines after a demand miss.
+    if (!prefetch && cacheConfig.prefetchDegree > 0) {
+        for (std::uint32_t i = 1; i <= cacheConfig.prefetchDegree;
+             ++i) {
+            std::uint64_t next_line = line_address + i;
+            if (!findLine(next_line)) {
+                ++cacheStats.prefetchesIssued;
+                if (parentLevel) {
+                    parentLevel->access(
+                        next_line * cacheConfig.lineBytes, false, true);
+                }
+                fill(next_line, false, true);
+            }
+        }
+    }
+    return result;
+}
 
 } // namespace gemstone::uarch
 

@@ -5,6 +5,14 @@
 
 #include "uarch/core.hh"
 
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+
+#include "isa/handlers.hh"
+#include "isa/predecode.hh"
 #include "uarch/system.hh"
 #include "util/logging.hh"
 
@@ -15,17 +23,70 @@ namespace {
 /** Instruction-side address space offset (keeps I and D apart). */
 constexpr std::uint64_t codeBase = 1ULL << 30;
 
+/** -1 = no override, otherwise an ExecEngine value. */
+std::atomic<int> execEngineOverride{-1};
+
 } // namespace
+
+ExecEngine
+defaultExecEngine()
+{
+    int forced = execEngineOverride.load(std::memory_order_relaxed);
+    if (forced >= 0)
+        return static_cast<ExecEngine>(forced);
+    const char *env = std::getenv("GEMSTONE_REFERENCE_EXEC");
+    if (env && env[0] != '\0' && std::strcmp(env, "0") != 0)
+        return ExecEngine::Reference;
+    return ExecEngine::Fast;
+}
+
+void
+setExecEngineOverride(ExecEngine engine, bool reset)
+{
+    execEngineOverride.store(reset ? -1 : static_cast<int>(engine),
+                             std::memory_order_relaxed);
+}
 
 CoreModel::CoreModel(const CoreConfig &config, ClusterModel &cluster,
                      unsigned core_id)
     : coreConfig(config), cluster(cluster), coreId(core_id),
+      engine(defaultExecEngine()),
       l1i(config.l1i, &cluster.l2()), l1d(config.l1d, &cluster.l2())
 {
-    if (config.bpKind == BpKind::Tournament)
-        bp = std::make_unique<TournamentBp>(config.tournamentConfig);
-    else
-        bp = std::make_unique<GshareBp>(config.gshareConfig);
+    if (config.bpKind == BpKind::Tournament) {
+        auto tour =
+            std::make_unique<TournamentBp>(config.tournamentConfig);
+        tournamentBp = tour.get();
+        bp = std::move(tour);
+    } else {
+        auto gshare = std::make_unique<GshareBp>(config.gshareConfig);
+        gshareBp = gshare.get();
+        bp = std::move(gshare);
+    }
+
+    // Hoist the per-instruction constants the hot loops would
+    // otherwise re-derive on every call (the old chargeFetch divided
+    // by lineBytes and instBytes per fetch). Identical values, so the
+    // charged cycles are bit-identical.
+    fatal_if(config.instBytes == 0, "instBytes must be non-zero");
+    fetchLineShift = static_cast<std::uint32_t>(
+        std::countr_zero(config.l1i.lineBytes));
+    instsPerLine = config.l1i.lineBytes / config.instBytes;
+    wrongPathInstsPerMiss = std::max(1u, instsPerLine / 4);
+    issueCost = 1.0 / config.issueWidth;
+
+    auto extra = [this](isa::OpClass cls, double lat) {
+        extraByClass[static_cast<unsigned>(cls)] = lat - 1.0;
+        stallByClass[static_cast<unsigned>(cls)] =
+            (lat - 1.0) * coreConfig.depStallFactor;
+    };
+    extra(isa::OpClass::IntAlu, config.latIntAlu);
+    extra(isa::OpClass::IntMul, config.latIntMul);
+    extra(isa::OpClass::IntDiv, config.latIntDiv);
+    extra(isa::OpClass::FpAlu, config.latFpAlu);
+    extra(isa::OpClass::FpDiv, config.latFpDiv);
+    extra(isa::OpClass::SimdAlu, config.latSimd);
+    extra(isa::OpClass::Load, config.latLoadToUse);
 
     if (config.unifiedL2Tlb) {
         ownL2Tlb = std::make_unique<Tlb>(config.l2TlbUnified);
@@ -43,6 +104,8 @@ CoreModel::CoreModel(const CoreConfig &config, ClusterModel &cluster,
     }
 }
 
+CoreModel::~CoreModel() = default;
+
 void
 CoreModel::beginProgram(const isa::Program *prog)
 {
@@ -54,14 +117,20 @@ CoreModel::beginProgram(const isa::Program *prog)
     lastDataAddr = 0;
     fetchSlotsLeft = 0;
     ev = EventCounts();
+    // Predecode is cheap relative to a run (linear in the static
+    // program); rebuilding unconditionally avoids any staleness
+    // question when a different Program lands at a reused address.
+    if (engine == ExecEngine::Fast)
+        predecoded =
+            std::make_unique<isa::PredecodedProgram>(*prog);
+    else
+        predecoded.reset();
 }
 
 double
 CoreModel::chargeFetch(std::uint64_t fetch_addr, bool wrong_path)
 {
-    const std::uint32_t insts_per_line =
-        coreConfig.l1i.lineBytes / coreConfig.instBytes;
-    std::uint64_t line = fetch_addr / coreConfig.l1i.lineBytes;
+    std::uint64_t line = fetch_addr >> fetchLineShift;
 
     // A new I-cache/ITLB access happens when the fetch group is
     // exhausted or the stream moves to a new line (including branch
@@ -81,7 +150,11 @@ CoreModel::chargeFetch(std::uint64_t fetch_addr, bool wrong_path)
 
     double lat = 0.0;
     ++ev.itlbAccesses;
-    bool itlb_hit = itlb->translate(fetch_addr, lat);
+    // tryTranslate/translate and tryHit/access below are bit-identical
+    // pairs: the inline try* methods handle only the hot hit case and
+    // leave all state untouched when they decline.
+    bool itlb_hit = itlb->tryTranslate(fetch_addr) ||
+        itlb->translate(fetch_addr, lat);
     if (!itlb_hit) {
         ++ev.itlbMisses;
         ++ev.l2ItlbAccesses;
@@ -94,15 +167,17 @@ CoreModel::chargeFetch(std::uint64_t fetch_addr, bool wrong_path)
         // but an in-flight speculative translation delays the
         // redirect.
         l1i.access(fetch_addr, false, true);
-        ev.wrongPathInsts += std::max(1u, insts_per_line / 4);
+        ev.wrongPathInsts += wrongPathInstsPerMiss;
         return lat * coreConfig.wrongPathTlbPenalty;
     }
 
-    CacheAccessResult icache = l1i.access(fetch_addr, false, false);
     double dram_ns = 0.0;
-    if (!icache.hit) {
-        lat += icache.latency;
-        dram_ns = icache.dramNs;
+    if (!l1i.tryHit(fetch_addr, false)) {
+        CacheAccessResult icache = l1i.access(fetch_addr, false, false);
+        if (!icache.hit) {
+            lat += icache.latency;
+            dram_ns = icache.dramNs;
+        }
     }
 
     ev.dramStallNs += dram_ns;
@@ -117,19 +192,25 @@ CoreModel::dataAccess(std::uint64_t addr, bool write, bool unaligned)
 {
     double lat = 0.0;
     ++ev.dtlbAccesses;
-    bool dtlb_hit = dtlb->translate(addr, lat);
+    bool dtlb_hit = dtlb->tryTranslate(addr) ||
+        dtlb->translate(addr, lat);
     if (!dtlb_hit) {
         ++ev.dtlbMisses;
         ++ev.l2DtlbAccesses;
     }
 
-    CacheAccessResult result = l1d.access(addr, write, false);
-    if (!result.hit) {
-        lat += (result.latency - coreConfig.l1d.hitLatency) *
-            coreConfig.memStallFactor;
-        double charged_ns = result.dramNs * coreConfig.memStallFactor;
-        ev.dramStallNs += charged_ns;
-        lat += charged_ns * cluster.frequencyGhz();
+    // A hit costs nothing beyond the pipelined L1D latency already
+    // folded into latLoadToUse, so only the miss path charges.
+    if (!l1d.tryHit(addr, write)) {
+        CacheAccessResult result = l1d.access(addr, write, false);
+        if (!result.hit) {
+            lat += (result.latency - coreConfig.l1d.hitLatency) *
+                coreConfig.memStallFactor;
+            double charged_ns =
+                result.dramNs * coreConfig.memStallFactor;
+            ev.dramStallNs += charged_ns;
+            lat += charged_ns * cluster.frequencyGhz();
+        }
     }
 
     if (unaligned &&
@@ -157,11 +238,304 @@ std::uint64_t
 CoreModel::runQuantum(std::uint64_t max_insts)
 {
     panic_if(!program, "runQuantum without a program");
+    if (engine == ExecEngine::Fast) {
+        if (!predecoded)
+            predecoded =
+                std::make_unique<isa::PredecodedProgram>(*program);
+        return runQuantumFast(max_insts);
+    }
     std::uint64_t executed = 0;
     while (executed < max_insts && !cpuState.halted) {
         executeOne();
         ++executed;
     }
+    return executed;
+}
+
+std::uint64_t
+CoreModel::runQuantumFast(std::uint64_t max_insts)
+{
+    // The fast engine: dispatch through the predecoded micro-ops one
+    // straight-line stretch (basic block) at a time, batching the
+    // per-class integer event counters and flushing them into ev once
+    // per quantum. Everything whose *order* is observable — every
+    // double accumulation into coreCycles and the stall counters,
+    // every cache/TLB/predictor access — happens in exactly the
+    // per-instruction order of the reference interpreter, which is
+    // what makes the two engines bit-identical (IEEE addition is not
+    // associative, LRU stamps are order-sensitive). Only associative
+    // integer counts are batched.
+    const isa::PredecodedProgram &pre = *predecoded;
+    isa::ExecEnv env{&cluster.memory(), &cluster.monitor(),
+                     program->size(), coreId};
+    const std::uint64_t flush_period = coreConfig.osItlbFlushPeriod;
+    const std::uint64_t inst_bytes = coreConfig.instBytes;
+
+    // Register cache of the hot per-instruction state. The handler
+    // call d.fn() writes cpuState (a member), so without this the
+    // compiler must assume every CoreModel field is clobbered and
+    // reload/rewrite them all on every instruction. Locals whose
+    // address never escapes have no such aliasing problem. The
+    // cached *running* values (cycles, the stall accumulators) see
+    // exactly the same sequence of IEEE additions as the member
+    // fields would, so the results are bit-identical; the members
+    // are synced before and after any call that reads or writes
+    // them (chargeFetch, resolveBranch — see sync_out/sync_in).
+    const isa::DecodedOp *const uops = pre.uopData();
+    const std::uint32_t *const stretch_ends = pre.blockEndData();
+    const std::uint32_t pre_size = pre.size();
+    const std::uint64_t code_base = codeBase;
+    const std::uint32_t fetch_line_shift = fetchLineShift;
+    const double issue_cost = issueCost;
+    TournamentBp *const tbp = tournamentBp;
+    GshareBp *const gbp = gshareBp;
+    double extra_local[isa::numOpClasses];
+    double stall_local[isa::numOpClasses];
+    for (unsigned i = 0; i < isa::numOpClasses; ++i) {
+        extra_local[i] = extraByClass[i];
+        stall_local[i] = stallByClass[i];
+    }
+
+    double cycles = coreCycles;
+    double stall_exec = ev.stallCyclesExec;
+    double stall_mem = ev.stallCyclesMem;
+    std::uint64_t last_line = lastFetchLine;
+    std::uint32_t slots = fetchSlotsLeft;
+
+    // chargeFetch reads and writes lastFetchLine/fetchSlotsLeft/
+    // coreCycles; resolveBranch writes fetchSlotsLeft and (through
+    // the mispredict penalty) coreCycles. dataAccess touches none of
+    // the cached fields (its ev counters are not cached), so memory
+    // operations need no sync.
+    auto sync_out = [&] {
+        coreCycles = cycles;
+        lastFetchLine = last_line;
+        fetchSlotsLeft = slots;
+    };
+    auto sync_in = [&] {
+        cycles = coreCycles;
+        last_line = lastFetchLine;
+        slots = fetchSlotsLeft;
+    };
+
+    std::uint64_t class_counts[isa::numOpClasses] = {};
+    std::uint64_t executed = 0;
+    // The reference engine tests `instructions % flush_period == 0`
+    // on every commit; a per-instruction 64-bit modulo is one of the
+    // hottest scalar ops in the whole loop. Count down to the next
+    // multiple instead — the flush lands on exactly the same commit
+    // numbers. With the period disabled the counter starts high
+    // enough that no quantum (capped far below 2^64) reaches it.
+    std::uint64_t until_flush = flush_period > 0
+        ? flush_period - ev.instructions % flush_period
+        : ~0ULL;
+    std::uint32_t pc = cpuState.pc;
+
+    while (executed < max_insts && !cpuState.halted) {
+        panic_if(pc >= pre_size, "pc ", pc, " out of range in ",
+                 program->name);
+        const std::uint32_t stretch_end = stretch_ends[pc];
+        std::uint64_t budget = std::min<std::uint64_t>(
+            stretch_end - pc, max_insts - executed);
+
+        for (; budget > 0; --budget) {
+            const isa::DecodedOp &d = uops[pc];
+
+            // Fetch-line fast path: a sequential fetch within the
+            // current line with group slots left charges nothing and
+            // touches no I-side structure (same as the reference's
+            // early-out inside chargeFetch, minus the call).
+            std::uint64_t fetch_addr =
+                code_base + std::uint64_t(pc) * inst_bytes;
+            if ((fetch_addr >> fetch_line_shift) == last_line &&
+                slots != 0) {
+                --slots;
+            } else {
+                sync_out();
+                chargeFetch(fetch_addr, false);
+                sync_in();
+            }
+
+            const std::uint16_t flags = d.flags;
+
+            // Branch prediction happens at fetch.
+            BranchInfo binfo;
+            BranchPrediction prediction;
+            if (flags & isa::UopBranch) {
+                binfo.isCond = (flags & isa::UopCond) != 0;
+                binfo.isCall = (flags & isa::UopCall) != 0;
+                binfo.isReturn = (flags & isa::UopReturn) != 0;
+                binfo.isIndirect = (flags & isa::UopIndirect) != 0;
+                prediction = tbp ? tbp->predict(pc, binfo)
+                                 : gbp->predict(pc, binfo);
+            }
+
+            // Functional execution. The switch expands the inline
+            // definitions from isa/handlers.hh for the register-only
+            // opcodes — the very same functions d.fn points at, so
+            // the two dispatch routes cannot disagree — and falls
+            // back to the table for everything touching memory or
+            // the monitor, where the indirect call is noise anyway.
+            isa::OpOutcome out;
+            out.nextPc = pc + 1;
+            {
+                namespace h = isa::handlers;
+                using isa::Opcode;
+                switch (d.op) {
+                case Opcode::Add: h::execAdd(d, cpuState, env, out); break;
+                case Opcode::Sub: h::execSub(d, cpuState, env, out); break;
+                case Opcode::And: h::execAnd(d, cpuState, env, out); break;
+                case Opcode::Orr: h::execOrr(d, cpuState, env, out); break;
+                case Opcode::Eor: h::execEor(d, cpuState, env, out); break;
+                case Opcode::Lsl: h::execLsl(d, cpuState, env, out); break;
+                case Opcode::Lsr: h::execLsr(d, cpuState, env, out); break;
+                case Opcode::Asr: h::execAsr(d, cpuState, env, out); break;
+                case Opcode::Mov: h::execMov(d, cpuState, env, out); break;
+                case Opcode::Movi:
+                    h::execMovi(d, cpuState, env, out); break;
+                case Opcode::Addi:
+                    h::execAddi(d, cpuState, env, out); break;
+                case Opcode::Subi:
+                    h::execSubi(d, cpuState, env, out); break;
+                case Opcode::Cmplt:
+                    h::execCmplt(d, cpuState, env, out); break;
+                case Opcode::Cmpeq:
+                    h::execCmpeq(d, cpuState, env, out); break;
+                case Opcode::Mul: h::execMul(d, cpuState, env, out); break;
+                case Opcode::Div: h::execDiv(d, cpuState, env, out); break;
+                case Opcode::Fadd:
+                    h::execFadd(d, cpuState, env, out); break;
+                case Opcode::Fsub:
+                    h::execFsub(d, cpuState, env, out); break;
+                case Opcode::Fmul:
+                    h::execFmul(d, cpuState, env, out); break;
+                case Opcode::Fdiv:
+                    h::execFdiv(d, cpuState, env, out); break;
+                case Opcode::Fsqrt:
+                    h::execFsqrt(d, cpuState, env, out); break;
+                case Opcode::Fmov:
+                    h::execFmov(d, cpuState, env, out); break;
+                case Opcode::Fmovi:
+                    h::execFmovi(d, cpuState, env, out); break;
+                case Opcode::Fcvt:
+                    h::execFcvt(d, cpuState, env, out); break;
+                case Opcode::Ficvt:
+                    h::execFicvt(d, cpuState, env, out); break;
+                case Opcode::Vadd:
+                    h::execVadd(d, cpuState, env, out); break;
+                case Opcode::Vmul:
+                    h::execVmul(d, cpuState, env, out); break;
+                case Opcode::B: h::execB(d, cpuState, env, out); break;
+                case Opcode::Beq: h::execBeq(d, cpuState, env, out); break;
+                case Opcode::Bne: h::execBne(d, cpuState, env, out); break;
+                case Opcode::Blt: h::execBlt(d, cpuState, env, out); break;
+                case Opcode::Bge: h::execBge(d, cpuState, env, out); break;
+                case Opcode::Bl: h::execBl(d, cpuState, env, out); break;
+                case Opcode::Ret:
+                case Opcode::Bidx:
+                    h::execRetBidx(d, cpuState, env, out); break;
+                case Opcode::Nop:
+                    h::execNothing(d, cpuState, env, out); break;
+                default: d.fn(d, cpuState, env, out); break;
+                }
+            }
+
+            ++executed;
+            ++class_counts[static_cast<unsigned>(d.cls)];
+
+            // OS interference: periodic timer ticks evict the ITLB.
+            if (--until_flush == 0) {
+                itlb->l1().flush();
+                until_flush = flush_period;
+            }
+
+            // Issue slot + exposed operation latency.
+            cycles += issue_cost;
+            const unsigned ci = static_cast<unsigned>(d.cls);
+            if (extra_local[ci] > 0.0) {
+                double stall = stall_local[ci];
+                cycles += stall;
+                stall_exec += stall;
+            }
+
+            // Data side.
+            if (flags & isa::UopMem) {
+                if (out.unaligned)
+                    ++ev.unalignedAccesses;
+                bool is_store =
+                    (flags & isa::UopStore) != 0 || out.storeOk;
+                double mem_stall =
+                    dataAccess(out.memAddr, is_store, out.unaligned);
+                cycles += mem_stall;
+                stall_mem += mem_stall;
+            }
+
+            // Synchronisation.
+            if (flags & (isa::UopExclusive | isa::UopBarrier)) {
+                double sync;
+                if (flags & isa::UopExclusive) {
+                    sync = coreConfig.exclusiveCost;
+                    if (d.op == isa::Opcode::Ldrex) {
+                        ++ev.ldrexOps;
+                    } else {
+                        ++ev.strexOps;
+                        if (!out.storeOk) {
+                            ++ev.strexFails;
+                            sync += coreConfig.strexFailCost;
+                        }
+                    }
+                } else {
+                    sync = d.op == isa::Opcode::Dmb
+                        ? coreConfig.barrierCost
+                        : coreConfig.isbCost;
+                    if (d.op == isa::Opcode::Dmb)
+                        ++ev.barriers;
+                    else
+                        ++ev.isbs;
+                }
+                cycles += sync;
+                ev.stallCyclesSync += sync;
+            }
+
+            // Control flow resolution.
+            if (flags & isa::UopBranch) {
+                sync_out();
+                resolveBranch(pc, binfo, out.taken, out.nextPc,
+                              prediction);
+                sync_in();
+            }
+
+            if (cpuState.halted)
+                break;  // pc stays at the Halt instruction
+            pc = out.nextPc;
+        }
+    }
+
+    cpuState.pc = pc;
+    sync_out();
+    ev.stallCyclesExec = stall_exec;
+    ev.stallCyclesMem = stall_mem;
+
+    // Flush the batched (associative, order-insensitive) counters.
+    ev.instructions += executed;
+    ev.instSpec += executed;
+    ev.intAluOps +=
+        class_counts[static_cast<unsigned>(isa::OpClass::IntAlu)];
+    ev.intMulOps +=
+        class_counts[static_cast<unsigned>(isa::OpClass::IntMul)];
+    ev.intDivOps +=
+        class_counts[static_cast<unsigned>(isa::OpClass::IntDiv)];
+    ev.fpOps +=
+        class_counts[static_cast<unsigned>(isa::OpClass::FpAlu)] +
+        class_counts[static_cast<unsigned>(isa::OpClass::FpDiv)];
+    ev.simdOps +=
+        class_counts[static_cast<unsigned>(isa::OpClass::SimdAlu)];
+    ev.loadOps +=
+        class_counts[static_cast<unsigned>(isa::OpClass::Load)];
+    ev.storeOps +=
+        class_counts[static_cast<unsigned>(isa::OpClass::Store)];
+    ev.nopOps +=
+        class_counts[static_cast<unsigned>(isa::OpClass::Nop)];
     return executed;
 }
 
@@ -306,80 +680,95 @@ CoreModel::executeOne()
     }
 
     // Control flow resolution.
-    if (is_branch) {
-        ++ev.branches;
-        if (binfo.isCond)
-            ++ev.condBranches;
-        else if (binfo.isCall)
-            ++ev.callBranches;
-        else if (binfo.isReturn)
-            ++ev.returnBranches;
-        else if (binfo.isIndirect)
-            ++ev.indirectBranches;
-        else
-            ++ev.immedBranches;
+    if (is_branch)
+        resolveBranch(pc, binfo, sr.taken, sr.branchTarget, prediction);
+}
 
-        bp->update(pc, binfo, sr.taken, sr.branchTarget, prediction);
-        bp->recordOutcome(binfo, sr.taken, sr.branchTarget, prediction);
+void
+CoreModel::resolveBranch(std::uint32_t pc, const BranchInfo &binfo,
+                         bool taken, std::uint32_t target,
+                         const BranchPrediction &prediction)
+{
+    ++ev.branches;
+    if (binfo.isCond)
+        ++ev.condBranches;
+    else if (binfo.isCall)
+        ++ev.callBranches;
+    else if (binfo.isReturn)
+        ++ev.returnBranches;
+    else if (binfo.isIndirect)
+        ++ev.indirectBranches;
+    else
+        ++ev.immedBranches;
 
-        // A taken branch redirects fetch: the next instruction starts
-        // a new fetch group.
-        if (sr.taken)
-            fetchSlotsLeft = 0;
-
-        bool direction_wrong =
-            binfo.isCond && prediction.taken != sr.taken;
-        bool target_wrong = sr.taken &&
-            (!prediction.taken || prediction.target != sr.branchTarget);
-        bool mispredicted = direction_wrong || target_wrong;
-
-        if (mispredicted) {
-            ++ev.branchMispredicts;
-            coreCycles += coreConfig.frontendDepth;
-            ev.stallCyclesBranch += coreConfig.frontendDepth;
-
-            // Wrong-path side effects: the front end runs ahead on
-            // the wrong path until the branch resolves, polluting the
-            // I-side; an OoO core may also issue wrong-path loads.
-            // Stale BTB entries point anywhere in the code image, so
-            // the wrong-path stream starts at a pseudo-random page of
-            // the text segment.
-            std::uint64_t image_bytes =
-                std::uint64_t(coreConfig.wrongPathCodePages) * 4096;
-            std::uint64_t wrong_base = codeBase +
-                ((std::uint64_t(pc) * 2654435761u +
-                  std::uint64_t(prediction.target) * 40503u +
-                  ev.branchMispredicts * 2246822519u) %
-                 image_bytes);
-            double redirect_delay = 0.0;
-            for (std::uint32_t i = 0;
-                 i < coreConfig.wrongPathFetchLines; ++i) {
-                std::uint64_t wp = wrong_base +
-                    std::uint64_t(i) * coreConfig.l1i.lineBytes;
-                redirect_delay += chargeFetch(wp, true);
-            }
-            coreCycles += redirect_delay;
-            ev.stallCyclesBranch += redirect_delay;
-            for (std::uint32_t i = 0; i < coreConfig.wrongPathLoads;
-                 ++i) {
-                // Wrong-path loads walk ahead of the last data
-                // access, translating through the DTLB (polluting it)
-                // before probing the L1D.
-                std::uint64_t wp_addr = lastDataAddr +
-                    (i + 1) * (4096 + coreConfig.l1d.lineBytes);
-                double ignored = 0.0;
-                ++ev.dtlbAccesses;
-                if (!dtlb->translate(wp_addr, ignored)) {
-                    ++ev.dtlbMisses;
-                    ++ev.l2DtlbAccesses;
-                }
-                l1d.access(wp_addr, false, false);
-                ++ev.wrongPathLoads;
-            }
-        }
+    // Devirtualised: both predictor classes are final with inline
+    // update/recordOutcome, so these calls flatten into this frame.
+    if (tournamentBp) {
+        tournamentBp->update(pc, binfo, taken, target, prediction);
+        tournamentBp->recordOutcome(binfo, taken, target, prediction);
+    } else {
+        gshareBp->update(pc, binfo, taken, target, prediction);
+        gshareBp->recordOutcome(binfo, taken, target, prediction);
     }
 
-    ev.wrongPathInsts += 0;  // accumulated inside chargeFetch
+    // A taken branch redirects fetch: the next instruction starts
+    // a new fetch group.
+    if (taken)
+        fetchSlotsLeft = 0;
+
+    bool direction_wrong = binfo.isCond && prediction.taken != taken;
+    bool target_wrong = taken &&
+        (!prediction.taken || prediction.target != target);
+    if (direction_wrong || target_wrong)
+        mispredictPenalty(pc, prediction);
+}
+
+void
+CoreModel::mispredictPenalty(std::uint32_t pc,
+                             const BranchPrediction &prediction)
+{
+    ++ev.branchMispredicts;
+    coreCycles += coreConfig.frontendDepth;
+    ev.stallCyclesBranch += coreConfig.frontendDepth;
+
+    // Wrong-path side effects: the front end runs ahead on
+    // the wrong path until the branch resolves, polluting the
+    // I-side; an OoO core may also issue wrong-path loads.
+    // Stale BTB entries point anywhere in the code image, so
+    // the wrong-path stream starts at a pseudo-random page of
+    // the text segment.
+    std::uint64_t image_bytes =
+        std::uint64_t(coreConfig.wrongPathCodePages) * 4096;
+    std::uint64_t wrong_base = codeBase +
+        ((std::uint64_t(pc) * 2654435761u +
+          std::uint64_t(prediction.target) * 40503u +
+          ev.branchMispredicts * 2246822519u) %
+         image_bytes);
+    double redirect_delay = 0.0;
+    for (std::uint32_t i = 0;
+         i < coreConfig.wrongPathFetchLines; ++i) {
+        std::uint64_t wp = wrong_base +
+            std::uint64_t(i) * coreConfig.l1i.lineBytes;
+        redirect_delay += chargeFetch(wp, true);
+    }
+    coreCycles += redirect_delay;
+    ev.stallCyclesBranch += redirect_delay;
+    for (std::uint32_t i = 0; i < coreConfig.wrongPathLoads;
+         ++i) {
+        // Wrong-path loads walk ahead of the last data
+        // access, translating through the DTLB (polluting it)
+        // before probing the L1D.
+        std::uint64_t wp_addr = lastDataAddr +
+            (i + 1) * (4096 + coreConfig.l1d.lineBytes);
+        double ignored = 0.0;
+        ++ev.dtlbAccesses;
+        if (!dtlb->translate(wp_addr, ignored)) {
+            ++ev.dtlbMisses;
+            ++ev.l2DtlbAccesses;
+        }
+        l1d.access(wp_addr, false, false);
+        ++ev.wrongPathLoads;
+    }
 }
 
 EventCounts

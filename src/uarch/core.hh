@@ -30,10 +30,41 @@
 #include "uarch/events.hh"
 #include "uarch/tlb.hh"
 
+namespace gemstone::isa {
+class PredecodedProgram;
+} // namespace gemstone::isa
+
 namespace gemstone::uarch {
 
 /** Which branch predictor a core uses. */
 enum class BpKind { Tournament, Gshare };
+
+/**
+ * Which execution path drives a core's runQuantum().
+ *
+ * Fast is the predecoded basic-block engine; Reference steps the
+ * original per-instruction interpreter (isa::step). The two are
+ * bit-identical in every observable — cycles, EventCounts, PMC
+ * readings, checkpoint bytes — which exec_fastpath_test enforces;
+ * Reference is kept as the cross-validation oracle.
+ */
+enum class ExecEngine { Reference, Fast };
+
+/**
+ * Process-wide default engine: Fast, unless the programmatic override
+ * is set (setExecEngineOverride) or the environment variable
+ * GEMSTONE_REFERENCE_EXEC is set to anything but "0"/"" (the
+ * cross-validation escape hatch for whole binaries). The override
+ * wins over the environment.
+ */
+ExecEngine defaultExecEngine();
+
+/**
+ * Force the default engine for subsequently constructed cores
+ * (thread-safe; used by cross-validation tests). Pass reset = true
+ * to drop the override and fall back to the environment.
+ */
+void setExecEngineOverride(ExecEngine engine, bool reset = false);
 
 /** Full configuration of one core's timing model. */
 struct CoreConfig
@@ -154,6 +185,7 @@ class CoreModel
      */
     CoreModel(const CoreConfig &config, ClusterModel &cluster,
               unsigned core_id);
+    ~CoreModel();
 
     /** Prepare to run a program from its entry point. */
     void beginProgram(const isa::Program *program);
@@ -175,6 +207,9 @@ class CoreModel
     /** Probe the private L1D for a line (snooping). */
     bool probeL1d(std::uint64_t addr) const { return l1d.probe(addr); }
 
+    /** See Cache::everFilled() — lets snooping skip empty caches. */
+    bool l1dEverFilled() const { return l1d.everFilled(); }
+
     /** Invalidate a line in the private L1D (snooping). */
     bool snoopInvalidate(std::uint64_t addr)
     {
@@ -184,8 +219,30 @@ class CoreModel
     const CoreConfig &config() const { return coreConfig; }
     const BranchPredictor &branchPredictor() const { return *bp; }
 
+    /**
+     * Select the execution engine for subsequent runs. Takes effect
+     * at the next beginProgram(); both engines produce bit-identical
+     * results, so this only changes speed.
+     */
+    void setExecEngine(ExecEngine e) { engine = e; }
+    ExecEngine execEngine() const { return engine; }
+
   private:
     void executeOne();
+    /** Block-at-a-time quantum driver for ExecEngine::Fast. */
+    std::uint64_t runQuantumFast(std::uint64_t max_insts);
+    /** Commit-side branch handling shared by both engines. */
+    void resolveBranch(std::uint32_t pc, const BranchInfo &binfo,
+                       bool taken, std::uint32_t target,
+                       const BranchPrediction &prediction);
+    /**
+     * The mispredict penalty and wrong-path side effects, split out
+     * of resolveBranch so the (hot, small) correctly-predicted path
+     * inlines into the execution loops while this cold path stays
+     * out of line.
+     */
+    void mispredictPenalty(std::uint32_t pc,
+                           const BranchPrediction &prediction);
     /**
      * Charge one fetch access.
      * @return for wrong-path fetches, the translation latency that
@@ -200,8 +257,29 @@ class CoreModel
 
     const isa::Program *program = nullptr;
     isa::CpuState cpuState;
+    ExecEngine engine = ExecEngine::Fast;
+    /** Flattened program for the fast engine (rebuilt per program). */
+    std::unique_ptr<isa::PredecodedProgram> predecoded;
+
+    // Per-config constants hoisted out of the per-instruction path.
+    std::uint32_t fetchLineShift = 6;  //!< log2(l1i.lineBytes)
+    std::uint32_t instsPerLine = 16;   //!< l1i line / instBytes
+    std::uint32_t wrongPathInstsPerMiss = 4;
+    double issueCost = 0.5;            //!< 1 / issueWidth
+    /** Exposed latency beyond one issue slot, per op class. */
+    double extraByClass[isa::numOpClasses] = {};
+    /** extraByClass scaled by depStallFactor (the charged stall). */
+    double stallByClass[isa::numOpClasses] = {};
 
     std::unique_ptr<BranchPredictor> bp;
+    /**
+     * Concrete-type views of bp (exactly one is non-null). The hot
+     * paths call predict/update through these so the compiler can
+     * devirtualise and inline (both classes are final with inline
+     * hot methods); same objects, same results.
+     */
+    TournamentBp *tournamentBp = nullptr;
+    GshareBp *gshareBp = nullptr;
     Cache l1i;
     Cache l1d;
     std::unique_ptr<Tlb> ownL2Tlb;       //!< unified (hardware shape)

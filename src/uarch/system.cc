@@ -31,6 +31,11 @@ ClusterModel::storeSnoop(std::uint64_t addr, unsigned storing_core)
     for (unsigned i = 0; i < coreModels.size(); ++i) {
         if (i == storing_core)
             continue;
+        // A never-filled (or flushed-empty) L1D cannot hit the probe,
+        // so skipping it is event-identical — and in single-threaded
+        // runs it removes every per-store probe of the idle cores.
+        if (!coreModels[i]->l1dEverFilled())
+            continue;
         if (coreModels[i]->probeL1d(addr)) {
             coreModels[i]->snoopInvalidate(addr);
             ++snoopCount;

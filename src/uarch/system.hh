@@ -90,6 +90,16 @@ class ClusterModel
         return coreModels;
     }
 
+    /**
+     * Select the execution engine for every core. Takes effect at the
+     * next run(); results are bit-identical either way.
+     */
+    void setExecEngine(ExecEngine e)
+    {
+        for (auto &core : coreModels)
+            core->setExecEngine(e);
+    }
+
     const ClusterConfig &config() const { return clusterConfig; }
 
     /**

@@ -5,6 +5,9 @@
 
 #include "uarch/tlb.hh"
 
+#include <algorithm>
+#include <bit>
+
 #include "util/logging.hh"
 
 namespace gemstone::uarch {
@@ -13,13 +16,24 @@ Tlb::Tlb(const TlbConfig &config) : tlbConfig(config)
 {
     fatal_if(config.entries == 0, "tlb ", config.name,
              ": entry count must be non-zero");
+    fatal_if(config.entries > 0x8000, "tlb ", config.name,
+             ": entry count exceeds recency-list index range");
+    fatal_if(config.pageBytes == 0 ||
+                 (config.pageBytes & (config.pageBytes - 1)) != 0,
+             "tlb ", config.name, ": page size must be a power of 2");
     ways = config.assoc == 0 ? config.entries : config.assoc;
     fatal_if(config.entries % ways != 0, "tlb ", config.name,
              ": entries not divisible by associativity");
     setCount = config.entries / ways;
     fatal_if((setCount & (setCount - 1)) != 0, "tlb ", config.name,
              ": set count must be a power of 2");
+    pageShift = static_cast<std::uint32_t>(
+        std::countr_zero(config.pageBytes));
     entries.assign(config.entries, Entry());
+    mruWay.assign(setCount, 0);
+    listHead.assign(setCount, listEnd);
+    listTail.assign(setCount, listEnd);
+    validCount.assign(setCount, 0);
 }
 
 Tlb::Entry *
@@ -27,9 +41,14 @@ Tlb::find(std::uint64_t vpn)
 {
     std::uint32_t set = static_cast<std::uint32_t>(vpn) & (setCount - 1);
     Entry *base = &entries[static_cast<std::size_t>(set) * ways];
+    Entry &hinted = base[mruWay[set]];
+    if (hinted.valid && hinted.vpn == vpn)
+        return &hinted;
     for (std::uint32_t way = 0; way < ways; ++way) {
-        if (base[way].valid && base[way].vpn == vpn)
+        if (base[way].valid && base[way].vpn == vpn) {
+            mruWay[set] = way;
             return &base[way];
+        }
     }
     return nullptr;
 }
@@ -38,37 +57,29 @@ void
 Tlb::fill(std::uint64_t vpn)
 {
     std::uint32_t set = static_cast<std::uint32_t>(vpn) & (setCount - 1);
-    Entry *base = &entries[static_cast<std::size_t>(set) * ways];
-    Entry *victim = nullptr;
-    for (std::uint32_t way = 0; way < ways; ++way) {
-        if (!base[way].valid) {
-            victim = &base[way];
-            break;
-        }
-        if (!victim || base[way].lruStamp < victim->lruStamp)
-            victim = &base[way];
-    }
-    if (victim->valid)
-        ++tlbStats.evictions;
-    victim->valid = true;
-    victim->vpn = vpn;
-    victim->lruStamp = ++lruCounter;
-}
+    std::size_t base = static_cast<std::size_t>(set) * ways;
 
-bool
-Tlb::lookup(std::uint64_t addr)
-{
-    ++tlbStats.accesses;
-    std::uint64_t vpn = pageOf(addr);
-    Entry *entry = find(vpn);
-    if (entry) {
-        ++tlbStats.hits;
-        entry->lruStamp = ++lruCounter;
-        return true;
+    // Entries are only invalidated wholesale by flush(), so the
+    // valid ways of a set always form the prefix [0, validCount):
+    // the next free way is validCount itself, and once the set is
+    // full the least recently used entry is the recency-list tail.
+    std::uint16_t victim_idx;
+    if (validCount[set] < ways) {
+        victim_idx = static_cast<std::uint16_t>(base + validCount[set]);
+        ++validCount[set];
+        listPushFront(set, victim_idx);
+    } else {
+        victim_idx = listTail[set];
+        ++tlbStats.evictions;
+        touch(set, victim_idx);
     }
-    ++tlbStats.misses;
-    fill(vpn);
-    return false;
+
+    Entry &victim = entries[victim_idx];
+    victim.valid = true;
+    victim.vpn = vpn;
+    mruWay[set] =
+        static_cast<std::uint32_t>(victim_idx - base);
+    lastEntry = &victim;
 }
 
 bool
@@ -82,30 +93,16 @@ Tlb::flush()
 {
     for (Entry &entry : entries)
         entry.valid = false;
-    lruCounter = 0;
+    std::fill(listHead.begin(), listHead.end(), listEnd);
+    std::fill(listTail.begin(), listTail.end(), listEnd);
+    std::fill(validCount.begin(), validCount.end(), 0);
+    lastEntry = nullptr;
 }
 
 TlbHierarchy::TlbHierarchy(const TlbConfig &l1_config, Tlb *l2,
                            double walk_latency)
     : l1Tlb(l1_config), l2Tlb(l2), walkLatency(walk_latency)
 {
-}
-
-bool
-TlbHierarchy::translate(std::uint64_t addr, double &latency_out)
-{
-    if (l1Tlb.lookup(addr))
-        return true;
-
-    if (l2Tlb) {
-        bool l2_hit = l2Tlb->lookup(addr);
-        latency_out += l2Tlb->config().latency;
-        if (l2_hit)
-            return false;
-    }
-    ++walkCount;
-    latency_out += walkLatency;
-    return false;
 }
 
 void

@@ -52,8 +52,35 @@ class Tlb
     /**
      * Look up a virtual address.
      * @return true on hit; on miss the translation is filled.
+     * Defined inline below: the hit path is hot in the core model's
+     * translate calls; only find()/fill() stay out of line.
      */
     bool lookup(std::uint64_t addr);
+
+    /**
+     * Inline fast path for the overwhelmingly common case: the
+     * lookup repeats the last translated page. On success it does
+     * exactly the hit bookkeeping of lookup() (access/hit counters,
+     * LRU stamp; lastEntry is trivially unchanged), so
+     *
+     *     t.tryHit(a) || t.lookup(a)
+     *
+     * is bit-identical to calling lookup() directly. On failure
+     * nothing is touched.
+     */
+    bool tryHit(std::uint64_t addr)
+    {
+        std::uint64_t vpn = addr >> pageShift;
+        if (!lastEntry || !lastEntry->valid || lastEntry->vpn != vpn)
+            return false;
+        // lastEntry is by construction the entry most recently
+        // touched by lookup()/fill(), which moved it to the front of
+        // its set's recency list — so re-touching it is a no-op and
+        // only the counters need updating.
+        ++tlbStats.accesses;
+        ++tlbStats.hits;
+        return true;
+    }
 
     /** Probe without filling or touching LRU. */
     bool probe(std::uint64_t addr) const;
@@ -69,23 +96,90 @@ class Tlb
     {
         bool valid = false;
         std::uint64_t vpn = 0;
-        std::uint64_t lruStamp = 0;
+        /** Recency-list links (indices into entries; 0xffff = end). */
+        std::uint16_t prev = 0xffff;
+        std::uint16_t next = 0xffff;
     };
 
     std::uint64_t pageOf(std::uint64_t addr) const
     {
-        return addr / tlbConfig.pageBytes;
+        return addr >> pageShift;
     }
 
     Entry *find(std::uint64_t vpn);
     void fill(std::uint64_t vpn);
 
+    /** Unlink @p idx from its set's recency list (it must be on it). */
+    void listUnlink(std::uint32_t set, std::uint16_t idx)
+    {
+        Entry &e = entries[idx];
+        if (e.prev != listEnd)
+            entries[e.prev].next = e.next;
+        else
+            listHead[set] = e.next;
+        if (e.next != listEnd)
+            entries[e.next].prev = e.prev;
+        else
+            listTail[set] = e.prev;
+    }
+
+    /** Make @p idx the most recent entry of @p set. */
+    void listPushFront(std::uint32_t set, std::uint16_t idx)
+    {
+        Entry &e = entries[idx];
+        e.prev = listEnd;
+        e.next = listHead[set];
+        if (e.next != listEnd)
+            entries[e.next].prev = idx;
+        else
+            listTail[set] = idx;
+        listHead[set] = idx;
+    }
+
+    /** Move a touched entry to the front of its recency list. */
+    void touch(std::uint32_t set, std::uint16_t idx)
+    {
+        if (listHead[set] == idx)
+            return;
+        listUnlink(set, idx);
+        listPushFront(set, idx);
+    }
+
+    static constexpr std::uint16_t listEnd = 0xffff;
+
     TlbConfig tlbConfig;
     TlbStats tlbStats;
     std::uint32_t setCount;
     std::uint32_t ways;
+    /** log2(pageBytes); enforced power of 2. */
+    std::uint32_t pageShift = 12;
     std::vector<Entry> entries;
-    std::uint64_t lruCounter = 0;
+    /**
+     * Last-translation cache: nearly every lookup repeats the
+     * previous page, so remember the entry that satisfied it and
+     * check it before the associative search. A pure search
+     * accelerator — hit/miss outcomes, stats and LRU stamping are
+     * identical with or without it.
+     */
+    Entry *lastEntry = nullptr;
+    /** Per-set MRU way hint for the associative search itself. */
+    std::vector<std::uint32_t> mruWay;
+    /**
+     * Per-set recency list + valid-prefix fill cursor, replacing the
+     * old "scan every way for the smallest lruStamp" victim search
+     * (O(ways), and the L1 TLBs are 32-way fully associative).
+     * Equivalence with the stamp scan: entries are only invalidated
+     * by flush(), so the valid ways of a set are always the prefix
+     * [0, validCount) and "first invalid way" is exactly
+     * entries[validCount]; once full, the stamp-minimum is by
+     * construction the list tail, because every event that bumped an
+     * entry's stamp also moved it to the front of its set's list.
+     * Victim selection — the only observable consumer of the stamps —
+     * is therefore identical, and the stamps themselves are gone.
+     */
+    std::vector<std::uint16_t> listHead;
+    std::vector<std::uint16_t> listTail;
+    std::vector<std::uint16_t> validCount;
 };
 
 /**
@@ -110,8 +204,20 @@ class TlbHierarchy
      * @param latency_out incremented with the translation cost beyond
      *        the (free) L1 hit path
      * @return true if the L1 hit
+     * Defined inline below so the L1-hit path flattens into callers.
      */
     bool translate(std::uint64_t addr, double &latency_out);
+
+    /**
+     * Inline translate fast path: true on an L1 last-translation
+     * hit (which costs nothing and touches no lower level, exactly
+     * like the translate() L1-hit path). On false the caller must
+     * call translate(), which redoes the L1 lookup in full.
+     */
+    bool tryTranslate(std::uint64_t addr)
+    {
+        return l1Tlb.tryHit(addr);
+    }
 
     Tlb &l1() { return l1Tlb; }
     const Tlb &l1() const { return l1Tlb; }
@@ -127,6 +233,46 @@ class TlbHierarchy
     double walkLatency;
     std::uint64_t walkCount = 0;
 };
+
+inline bool
+Tlb::lookup(std::uint64_t addr)
+{
+    ++tlbStats.accesses;
+    std::uint64_t vpn = pageOf(addr);
+    Entry *entry;
+    if (lastEntry && lastEntry->valid && lastEntry->vpn == vpn)
+        entry = lastEntry;
+    else
+        entry = find(vpn);
+    if (entry) {
+        ++tlbStats.hits;
+        std::uint16_t idx = static_cast<std::uint16_t>(
+            entry - entries.data());
+        touch(static_cast<std::uint32_t>(vpn) & (setCount - 1), idx);
+        lastEntry = entry;
+        return true;
+    }
+    ++tlbStats.misses;
+    fill(vpn);
+    return false;
+}
+
+inline bool
+TlbHierarchy::translate(std::uint64_t addr, double &latency_out)
+{
+    if (l1Tlb.lookup(addr))
+        return true;
+
+    if (l2Tlb) {
+        bool l2_hit = l2Tlb->lookup(addr);
+        latency_out += l2Tlb->config().latency;
+        if (l2_hit)
+            return false;
+    }
+    ++walkCount;
+    latency_out += walkLatency;
+    return false;
+}
 
 } // namespace gemstone::uarch
 
