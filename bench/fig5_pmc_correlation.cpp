@@ -10,27 +10,50 @@
  * smaller in magnitude; instruction-rate clusters also negative.
  */
 
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
+#include "exec/threadpool.hh"
 #include "gemstone/analysis.hh"
 #include "gemstone/runner.hh"
 #include "hwsim/pmu.hh"
+#include "util/logging.hh"
 #include "util/strutil.hh"
 #include "util/table.hh"
 
 using namespace gemstone;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // Campaign --jobs convention: 0 means one worker per core. The
+    // analysis results are identical at any jobs count.
+    unsigned jobs = exec::ThreadPool::defaultThreadCount();
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--jobs" && i + 1 < argc) {
+            int value = std::stoi(argv[++i]);
+            if (value < 0)
+                fatal("--jobs must be >= 0");
+            jobs = value == 0
+                ? exec::ThreadPool::defaultThreadCount()
+                : static_cast<unsigned>(value);
+        } else {
+            fatal("usage: ", argv[0], " [--jobs N]");
+        }
+    }
+
     std::cout << "E4 (Fig. 5): HW PMC rate correlation with "
                  "exec-time MPE @1GHz, Cortex-A15 (g5 v1)\n";
 
-    core::ExperimentRunner runner;
+    core::RunnerConfig runner_config;
+    runner_config.jobs = jobs;
+    core::ExperimentRunner runner(runner_config);
     core::ValidationDataset dataset =
         runner.runValidation(hwsim::CpuCluster::BigA15, {1000.0});
     core::CorrelationAnalysis analysis =
-        core::correlatePmcEvents(dataset, 1000.0, 24);
+        core::correlatePmcEvents(dataset, 1000.0, 24, jobs);
 
     printBanner(std::cout,
                 "Events sorted by correlation (clustered by HCA)");

@@ -1,0 +1,517 @@
+/**
+ * @file
+ * P3 — statistical analysis engine: fast vs reference paths.
+ *
+ * Times the three analysis hot spots on synthetic campaign-shaped
+ * data (65 workloads x 4 DVFS points -> n = 260 observations):
+ *
+ *  - stepwise: forward selection over ~60 candidates for ~10
+ *    responses — the reference's full-refit-per-candidate scan vs
+ *    the updating-QR engine (one O(n) dot product per candidate).
+ *  - hca: agglomerative clustering of ~200 event series — the
+ *    reference greedy O(n³) min-scan vs the O(n²) nearest-neighbour
+ *    chain.
+ *  - linalg: GEMM and SYRK (XᵀX) at analysis shapes — the historical
+ *    at()-checked triple loop vs the blocked unchecked kernels
+ *    (informational; no acceptance floor).
+ *
+ * Every timed pair is checked for equivalence FIRST: identical
+ * stepwise term sequences and dendrogram merge orders, coefficients
+ * and heights within 1e-9 (matrix products bit-identical) — the fast
+ * paths trade wall-clock only, never results. The stepwise and hca
+ * groups carry acceptance floors (geomean >= 5x and >= 3x at
+ * jobs = 1); the bench fails if either is missed.
+ *
+ * Emits BENCH_analysis.json in the same line-per-result format as
+ * BENCH_sim_throughput.json. With --check <baseline.json>, per-case
+ * speedups are compared against the committed baseline and the bench
+ * fails if any case regressed by more than --max-regress (default
+ * 0.20). Speedup ratios are host-speed independent, which is what
+ * makes a committed baseline meaningful across machines.
+ *
+ * Usage:
+ *   perf_analysis [--out FILE] [--repeats N]
+ *                 [--check BASELINE [--max-regress F]]
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hh"
+#include "mlstat/hca.hh"
+#include "mlstat/stepwise.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "util/strutil.hh"
+#include "util/table.hh"
+
+using namespace gemstone;
+
+namespace {
+
+constexpr std::size_t kObservations = 260;  // 65 workloads x 4 OPPs
+
+/** Best-of-N wall clock of a callable. */
+template <typename Fn>
+double
+bestOf(unsigned repeats, Fn &&fn)
+{
+    double best = 1e300;
+    for (unsigned rep = 0; rep < repeats; ++rep) {
+        auto start = std::chrono::steady_clock::now();
+        fn();
+        auto stop = std::chrono::steady_clock::now();
+        best = std::min(
+            best,
+            std::chrono::duration<double>(stop - start).count());
+    }
+    return best;
+}
+
+struct CaseResult
+{
+    std::string name;
+    std::string group;      //!< "stepwise", "hca" or "linalg"
+    double referenceMs = 0.0;
+    double fastMs = 0.0;
+
+    double speedup() const { return referenceMs / fastMs; }
+};
+
+// -------------------------------------------------------------------
+// Synthetic campaign-shaped data
+// -------------------------------------------------------------------
+
+/**
+ * ~60 candidate series shaped like a PMC campaign: a handful of
+ * latent factors (frequency, instruction mix, memory boundedness)
+ * mixed with per-event weights and noise, so candidates are
+ * realistically inter-correlated without being degenerate.
+ */
+std::vector<mlstat::Candidate>
+makeCandidates(Rng &rng, std::size_t count, std::size_t n)
+{
+    const std::size_t factors = 6;
+    std::vector<std::vector<double>> latent(
+        factors, std::vector<double>(n));
+    for (auto &f : latent)
+        for (double &v : f)
+            v = rng.gaussian();
+
+    std::vector<mlstat::Candidate> candidates;
+    candidates.reserve(count);
+    for (std::size_t c = 0; c < count; ++c) {
+        mlstat::Candidate cand;
+        cand.name = "0x" + std::to_string(c) + " rate";
+        cand.values.resize(n);
+        std::vector<double> weights(factors);
+        for (double &w : weights)
+            w = rng.gaussian();
+        for (std::size_t t = 0; t < n; ++t) {
+            double v = 0.0;
+            for (std::size_t f = 0; f < factors; ++f)
+                v += weights[f] * latent[f][t];
+            cand.values[t] = v + 0.3 * rng.gaussian();
+        }
+        candidates.push_back(std::move(cand));
+    }
+    return candidates;
+}
+
+/** A response driven by a few of the candidates plus noise. */
+std::vector<double>
+makeResponse(Rng &rng,
+             const std::vector<mlstat::Candidate> &candidates,
+             std::size_t terms)
+{
+    const std::size_t n = candidates.front().values.size();
+    std::vector<double> response(n, 0.0);
+    for (std::size_t k = 0; k < terms; ++k) {
+        std::size_t pick = rng.uniformInt(candidates.size());
+        double weight = rng.uniform(0.5, 2.0);
+        for (std::size_t t = 0; t < n; ++t)
+            response[t] += weight * candidates[pick].values[t];
+    }
+    for (double &v : response)
+        v += 0.5 * rng.gaussian();
+    return response;
+}
+
+/** ~200 correlated event series for the clustering cases. */
+linalg::Matrix
+makeDistances(Rng &rng, std::size_t series_count)
+{
+    std::vector<mlstat::Candidate> base =
+        makeCandidates(rng, series_count, kObservations);
+    std::vector<std::vector<double>> series;
+    series.reserve(series_count);
+    for (auto &cand : base)
+        series.push_back(std::move(cand.values));
+    return mlstat::correlationDistances(series);
+}
+
+// -------------------------------------------------------------------
+// Equivalence checks (run before any timing)
+// -------------------------------------------------------------------
+
+void
+checkStepwiseEquivalence(const mlstat::StepwiseResult &ref,
+                         const mlstat::StepwiseResult &fast,
+                         const std::string &label)
+{
+    fatal_if(ref.selected != fast.selected, label,
+             ": stepwise paths selected different terms (",
+             ref.selected.size(), " vs ", fast.selected.size(), ")");
+    fatal_if(ref.names != fast.names, label,
+             ": stepwise paths disagree on term names");
+    fatal_if(std::fabs(ref.fit.r2 - fast.fit.r2) > 1e-9, label,
+             ": stepwise R2 differs (", ref.fit.r2, " vs ",
+             fast.fit.r2, ")");
+    fatal_if(ref.fit.beta.size() != fast.fit.beta.size(), label,
+             ": coefficient counts differ");
+    for (std::size_t c = 0; c < ref.fit.beta.size(); ++c) {
+        fatal_if(
+            std::fabs(ref.fit.beta[c] - fast.fit.beta[c]) > 1e-9,
+            label, ": coefficient ", c, " differs (",
+            ref.fit.beta[c], " vs ", fast.fit.beta[c], ")");
+    }
+}
+
+void
+checkHcaEquivalence(const mlstat::HcaResult &ref,
+                    const mlstat::HcaResult &fast,
+                    const std::string &label)
+{
+    fatal_if(ref.merges.size() != fast.merges.size(), label,
+             ": merge counts differ");
+    for (std::size_t m = 0; m < ref.merges.size(); ++m) {
+        const mlstat::MergeStep &a = ref.merges[m];
+        const mlstat::MergeStep &b = fast.merges[m];
+        fatal_if(a.left != b.left || a.right != b.right ||
+                     a.size != b.size,
+                 label, ": merge ", m, " differs (", a.left, ",",
+                 a.right, ") vs (", b.left, ",", b.right, ")");
+        fatal_if(std::fabs(a.height - b.height) > 1e-9, label,
+                 ": merge ", m, " height differs (", a.height,
+                 " vs ", b.height, ")");
+    }
+}
+
+linalg::Matrix
+makeRandomMatrix(Rng &rng, std::size_t rows, std::size_t cols)
+{
+    linalg::Matrix m(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+            m.at(r, c) = rng.gaussian();
+    return m;
+}
+
+void
+checkMatrixIdentical(const linalg::Matrix &a, const linalg::Matrix &b,
+                     const std::string &label)
+{
+    fatal_if(a.rows() != b.rows() || a.cols() != b.cols(), label,
+             ": shapes differ");
+    for (std::size_t r = 0; r < a.rows(); ++r)
+        for (std::size_t c = 0; c < a.cols(); ++c)
+            fatal_if(a.at(r, c) != b.at(r, c), label, ": element (",
+                     r, ",", c, ") not bit-identical");
+}
+
+// -------------------------------------------------------------------
+// JSON output / regression gate (format of BENCH_sim_throughput)
+// -------------------------------------------------------------------
+
+std::string
+formatJsonDouble(double value, int digits)
+{
+    std::ostringstream out;
+    out.precision(digits);
+    out << std::fixed << value;
+    return out.str();
+}
+
+void
+writeJson(const std::string &path,
+          const std::vector<CaseResult> &results,
+          const std::map<std::string, double> &group_geomean)
+{
+    std::ofstream out(path);
+    fatal_if(!out, "cannot write ", path);
+    out << "{\n"
+        << "  \"bench\": \"analysis\",\n"
+        << "  \"unit\": \"speedup vs reference path\",\n"
+        << "  \"results\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const CaseResult &r = results[i];
+        out << "    {\"case\": \"" << r.name << "\", \"group\": \""
+            << r.group << "\", \"reference_ms\": "
+            << formatJsonDouble(r.referenceMs, 3)
+            << ", \"fast_ms\": " << formatJsonDouble(r.fastMs, 3)
+            << ", \"speedup\": " << formatJsonDouble(r.speedup(), 3)
+            << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n"
+        << "  \"group_geomean_speedup\": {\n";
+    std::size_t i = 0;
+    for (const auto &[group, geomean] : group_geomean) {
+        out << "    \"" << group
+            << "\": " << formatJsonDouble(geomean, 3)
+            << (++i < group_geomean.size() ? "," : "") << "\n";
+    }
+    out << "  }\n}\n";
+}
+
+/** Extract "key": value from one line; empty when absent. */
+std::string
+jsonField(const std::string &line, const std::string &key)
+{
+    std::string needle = "\"" + key + "\": ";
+    std::size_t pos = line.find(needle);
+    if (pos == std::string::npos)
+        return {};
+    pos += needle.size();
+    bool quoted = line[pos] == '"';
+    if (quoted)
+        ++pos;
+    std::size_t end = quoted
+        ? line.find('"', pos)
+        : line.find_first_of(",}", pos);
+    return line.substr(pos, end - pos);
+}
+
+/** case -> baseline speedup from a committed JSON. */
+std::map<std::string, double>
+loadBaseline(const std::string &path)
+{
+    std::ifstream in(path);
+    fatal_if(!in, "cannot read baseline ", path);
+    std::map<std::string, double> speedups;
+    std::string line;
+    while (std::getline(in, line)) {
+        std::string name = jsonField(line, "case");
+        std::string speedup = jsonField(line, "speedup");
+        if (!name.empty() && !speedup.empty())
+            speedups[name] = std::stod(speedup);
+    }
+    fatal_if(speedups.empty(), "no results found in ", path);
+    return speedups;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_analysis.json";
+    std::string baseline_path;
+    double max_regress = 0.20;
+    unsigned repeats = 3;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            fatal_if(i + 1 >= argc, arg, " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--out")
+            out_path = next();
+        else if (arg == "--check")
+            baseline_path = next();
+        else if (arg == "--max-regress")
+            max_regress = std::stod(next());
+        else if (arg == "--repeats")
+            repeats = static_cast<unsigned>(std::stoul(next()));
+        else
+            fatal("unknown argument ", arg);
+    }
+
+    std::cout << "P3: analysis engine, reference full-refit/min-scan "
+                 "vs updating-QR/NN-chain (jobs = 1)\n";
+
+    std::vector<CaseResult> results;
+    TextTable table({"case", "group", "ref ms", "fast ms", "speedup",
+                     "identical"});
+    auto record = [&](const std::string &name,
+                      const std::string &group, double ref_s,
+                      double fast_s) {
+        CaseResult r;
+        r.name = name;
+        r.group = group;
+        r.referenceMs = ref_s * 1e3;
+        r.fastMs = fast_s * 1e3;
+        results.push_back(r);
+        table.addRow({r.name, r.group, formatDouble(r.referenceMs, 2),
+                      formatDouble(r.fastMs, 2),
+                      formatRatio(r.speedup()), "yes"});
+    };
+
+    // ---- stepwise: ~10 responses over ~60 candidates -------------
+    {
+        Rng rng(0xA11A57ULL);
+        std::vector<mlstat::Candidate> candidates =
+            makeCandidates(rng, 60, kObservations);
+        mlstat::StepwiseConfig config;
+        config.maxTerms = 8;
+
+        for (std::size_t resp = 0; resp < 10; ++resp) {
+            std::vector<double> response =
+                makeResponse(rng, candidates, 4 + resp % 3);
+            std::string label =
+                "stepwise-r" + std::to_string(resp);
+
+            mlstat::StepwiseResult ref = mlstat::stepwiseForwardReference(
+                candidates, response, config);
+            mlstat::StepwiseResult fast = mlstat::stepwiseForwardFast(
+                candidates, response, config);
+            checkStepwiseEquivalence(ref, fast, label);
+            fatal_if(ref.selected.empty(), label,
+                     ": degenerate case selected nothing — the "
+                     "timing would be meaningless");
+
+            double ref_s = bestOf(repeats, [&]() {
+                mlstat::StepwiseResult r = mlstat::stepwiseForwardReference(
+                    candidates, response, config);
+                fatal_if(r.selected.size() != ref.selected.size(),
+                         label, ": nondeterministic reference");
+            });
+            double fast_s = bestOf(repeats, [&]() {
+                mlstat::StepwiseResult r = mlstat::stepwiseForwardFast(
+                    candidates, response, config);
+                fatal_if(r.selected.size() != fast.selected.size(),
+                         label, ": nondeterministic fast path");
+            });
+            record(label, "stepwise", ref_s, fast_s);
+        }
+    }
+
+    // ---- hca: ~200 event series, all three linkages ---------------
+    {
+        Rng rng(0xC1057E2ULL);
+        linalg::Matrix distances = makeDistances(rng, 200);
+        struct LinkageCase
+        {
+            const char *tag;
+            mlstat::Linkage linkage;
+        };
+        const LinkageCase linkages[] = {
+            {"average", mlstat::Linkage::Average},
+            {"complete", mlstat::Linkage::Complete},
+            {"single", mlstat::Linkage::Single},
+        };
+        for (const LinkageCase &lc : linkages) {
+            std::string label = std::string("hca-200-") + lc.tag;
+            mlstat::HcaResult ref =
+                mlstat::agglomerateReference(distances, lc.linkage);
+            mlstat::HcaResult fast =
+                mlstat::agglomerateNnChain(distances, lc.linkage);
+            checkHcaEquivalence(ref, fast, label);
+
+            double ref_s = bestOf(repeats, [&]() {
+                mlstat::agglomerateReference(distances, lc.linkage);
+            });
+            double fast_s = bestOf(repeats, [&]() {
+                mlstat::agglomerateNnChain(distances, lc.linkage);
+            });
+            record(label, "hca", ref_s, fast_s);
+        }
+    }
+
+    // ---- linalg: GEMM / SYRK at analysis shapes (informational) ---
+    {
+        Rng rng(0x11A1A6ULL);
+        linalg::Matrix design =
+            makeRandomMatrix(rng, kObservations, 62);
+        linalg::Matrix wide = makeRandomMatrix(rng, 200, 260);
+        linalg::Matrix tall = makeRandomMatrix(rng, 260, 200);
+
+        checkMatrixIdentical(linalg::gramReference(design),
+                             design.gram(), "syrk-design");
+        checkMatrixIdentical(linalg::multiplyReference(wide, tall),
+                             wide.multiply(tall), "gemm-200");
+
+        double ref_s = bestOf(repeats, [&]() {
+            linalg::gramReference(design);
+        });
+        double fast_s = bestOf(repeats, [&]() { design.gram(); });
+        record("syrk-260x62", "linalg", ref_s, fast_s);
+
+        ref_s = bestOf(repeats, [&]() {
+            linalg::multiplyReference(wide, tall);
+        });
+        fast_s = bestOf(repeats, [&]() { wide.multiply(tall); });
+        record("gemm-200x260x200", "linalg", ref_s, fast_s);
+    }
+
+    table.print(std::cout);
+
+    std::map<std::string, std::vector<double>> group_speedups;
+    for (const CaseResult &r : results)
+        group_speedups[r.group].push_back(r.speedup());
+    std::map<std::string, double> group_geomean;
+    for (const auto &[group, speedups] : group_speedups) {
+        double log_sum = 0.0;
+        for (double s : speedups)
+            log_sum += std::log(s);
+        group_geomean[group] =
+            std::exp(log_sum / static_cast<double>(speedups.size()));
+    }
+    for (const auto &[group, geomean] : group_geomean)
+        std::cout << "geomean speedup, " << group << ": "
+                  << formatRatio(geomean) << "\n";
+
+    // Acceptance floors (both have an order of magnitude of margin
+    // on commodity hardware, so they gate algorithmic regressions,
+    // not host noise).
+    bool floors_ok = true;
+    if (group_geomean["stepwise"] < 5.0) {
+        std::cerr << "FAIL: stepwise geomean "
+                  << formatRatio(group_geomean["stepwise"])
+                  << " below the 5x acceptance floor\n";
+        floors_ok = false;
+    }
+    if (group_geomean["hca"] < 3.0) {
+        std::cerr << "FAIL: hca geomean "
+                  << formatRatio(group_geomean["hca"])
+                  << " below the 3x acceptance floor\n";
+        floors_ok = false;
+    }
+
+    writeJson(out_path, results, group_geomean);
+    std::cout << "wrote " << out_path << "\n";
+
+    if (!baseline_path.empty()) {
+        std::map<std::string, double> baseline =
+            loadBaseline(baseline_path);
+        bool regressed = false;
+        for (const CaseResult &r : results) {
+            auto it = baseline.find(r.name);
+            if (it == baseline.end())
+                continue;  // new case: no baseline yet
+            double floor = it->second * (1.0 - max_regress);
+            if (r.speedup() < floor) {
+                std::cerr << "REGRESSION: " << r.name << " speedup "
+                          << formatRatio(r.speedup())
+                          << " below baseline "
+                          << formatRatio(it->second) << " - "
+                          << formatDouble(max_regress * 100.0, 0)
+                          << "%\n";
+                regressed = true;
+            }
+        }
+        if (regressed)
+            return 1;
+        std::cout << "regression gate passed against "
+                  << baseline_path << " (max regress "
+                  << formatDouble(max_regress * 100.0, 0) << "%)\n";
+    }
+    return floors_ok ? 0 : 1;
+}

@@ -12,10 +12,14 @@
  * 6.64%, SER 0.014 W.
  */
 
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
+#include "exec/threadpool.hh"
 #include "gemstone/runner.hh"
 #include "powmon/builder.hh"
+#include "util/logging.hh"
 #include "util/strutil.hh"
 #include "util/table.hh"
 
@@ -43,11 +47,31 @@ printQuality(const std::string &label, const PowerModelQuality &q,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // Campaign --jobs convention: 0 means one worker per core. Event
+    // selection and the per-frequency fits are identical at any jobs
+    // count.
+    unsigned jobs = exec::ThreadPool::defaultThreadCount();
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--jobs" && i + 1 < argc) {
+            int value = std::stoi(argv[++i]);
+            if (value < 0)
+                fatal("--jobs must be >= 0");
+            jobs = value == 0
+                ? exec::ThreadPool::defaultThreadCount()
+                : static_cast<unsigned>(value);
+        } else {
+            fatal("usage: ", argv[0], " [--jobs N]");
+        }
+    }
+
     std::cout << "E8 (Section V): empirical power models\n";
 
-    core::ExperimentRunner runner;
+    core::RunnerConfig runner_config;
+    runner_config.jobs = jobs;
+    core::ExperimentRunner runner(runner_config);
 
     // --- Cortex-A15 ---
     std::vector<powmon::PowerObservation> big_obs =
@@ -74,25 +98,33 @@ main()
 
     SelectionConfig published_sel;
     published_sel.maxEvents = 7;
+    published_sel.jobs = jobs;
     SelectionResult published_events =
         other_builder.selectEvents(published_sel);
-    PowerModel published = other_builder.build(published_events.events);
+    PowerModel published =
+        other_builder.build(published_events.events, jobs);
     printQuality("published coefficients (paper 5.6%)",
-                 PowerModelBuilder::validate(published, big_obs), t);
+                 PowerModelBuilder::validate(published, big_obs, jobs),
+                 t);
 
     // 2. Same event selection, coefficients re-tuned on this board
     // (paper: 2.8%).
-    PowerModel retuned = big_builder.build(published_events.events);
+    PowerModel retuned =
+        big_builder.build(published_events.events, jobs);
     printQuality("re-tuned coefficients (paper 2.8%)",
-                 PowerModelBuilder::validate(retuned, big_obs), t);
+                 PowerModelBuilder::validate(retuned, big_obs, jobs),
+                 t);
 
     // 3. Fresh unrestricted selection on this board (paper: 4.0%).
     SelectionConfig unrestricted;
     unrestricted.maxEvents = 7;
+    unrestricted.jobs = jobs;
     SelectionResult fresh = big_builder.selectEvents(unrestricted);
-    PowerModel fresh_model = big_builder.build(fresh.events);
+    PowerModel fresh_model = big_builder.build(fresh.events, jobs);
     printQuality("unrestricted selection (paper 4.0%)",
-                 PowerModelBuilder::validate(fresh_model, big_obs), t);
+                 PowerModelBuilder::validate(fresh_model, big_obs,
+                                             jobs),
+                 t);
 
     // 4. The final gem5-compatible selection: restricted to events
     // with reliable g5 equivalents, plus the 0x1B-0x73 composite
@@ -100,14 +132,17 @@ main()
     SelectionConfig compatible;
     compatible.maxEvents = 7;
     compatible.requireG5Equivalent = true;
+    compatible.jobs = jobs;
     for (int id : powmon::EventSpecTable::knownBadForG5())
         compatible.excluded.insert(id);
     compatible.composites.push_back(
         powmon::EventSpecTable::difference(0x1B, 0x73));
     SelectionResult final_sel = big_builder.selectEvents(compatible);
-    PowerModel final_model = big_builder.build(final_sel.events);
+    PowerModel final_model = big_builder.build(final_sel.events, jobs);
     printQuality("gem5-compatible selection (paper 3.28%)",
-                 PowerModelBuilder::validate(final_model, big_obs), t);
+                 PowerModelBuilder::validate(final_model, big_obs,
+                                             jobs),
+                 t);
 
     t.print(std::cout);
 
@@ -122,13 +157,14 @@ main()
     PowerModelBuilder little_builder(little_obs, "cortex-a7");
     SelectionResult little_sel =
         little_builder.selectEvents(compatible);
-    PowerModel little_model = little_builder.build(little_sel.events);
+    PowerModel little_model =
+        little_builder.build(little_sel.events, jobs);
 
     TextTable a7({"model", "MAPE", "SER", "adj R2", "mean VIF",
                   "worst observation"});
     printQuality("Cortex-A7 gem5-compatible (paper 6.64%)",
                  PowerModelBuilder::validate(little_model,
-                                             little_obs),
+                                             little_obs, jobs),
                  a7);
     printBanner(std::cout, "Cortex-A7 model");
     a7.print(std::cout);

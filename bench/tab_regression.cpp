@@ -10,29 +10,52 @@
  * g5-statistic model selects eight events and reaches R2 0.99.
  */
 
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
+#include "exec/threadpool.hh"
 #include "gemstone/analysis.hh"
 #include "gemstone/runner.hh"
+#include "util/logging.hh"
 #include "util/strutil.hh"
 #include "util/table.hh"
 
 using namespace gemstone;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // Campaign --jobs convention: 0 means one worker per core. The
+    // regressions select identical terms at any jobs count.
+    unsigned jobs = exec::ThreadPool::defaultThreadCount();
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--jobs" && i + 1 < argc) {
+            int value = std::stoi(argv[++i]);
+            if (value < 0)
+                fatal("--jobs must be >= 0");
+            jobs = value == 0
+                ? exec::ThreadPool::defaultThreadCount()
+                : static_cast<unsigned>(value);
+        } else {
+            fatal("usage: ", argv[0], " [--jobs N]");
+        }
+    }
+
     std::cout << "E6 (Section IV-D): stepwise regression of the "
                  "exec-time error @1GHz, Cortex-A15 (g5 v1)\n";
 
-    core::ExperimentRunner runner;
+    core::RunnerConfig runner_config;
+    runner_config.jobs = jobs;
+    core::ExperimentRunner runner(runner_config);
     core::ValidationDataset dataset =
         runner.runValidation(hwsim::CpuCluster::BigA15, {1000.0});
 
     core::ErrorRegression on_pmcs =
-        core::regressErrorOnPmcs(dataset, 1000.0, 7);
+        core::regressErrorOnPmcs(dataset, 1000.0, 7, jobs);
     core::ErrorRegression on_g5 =
-        core::regressErrorOnG5Stats(dataset, 1000.0, 8);
+        core::regressErrorOnG5Stats(dataset, 1000.0, 8, jobs);
 
     printBanner(std::cout, "Error ~ HW PMC events (paper: 7 events, "
                            "R2 = 0.97)");

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Deterministic parallel-for over an index range.
+ *
+ * The analysis layer fans independent units (per-candidate fits,
+ * per-pair correlations, per-record power estimates) over the
+ * ThreadPool with an *index-addressed gather* contract: every index
+ * writes only its own output slot, so the collated result is
+ * byte-identical to a serial run at any worker count. jobs <= 1 (or
+ * a single index) runs inline in index order, which keeps the exact
+ * historical serial execution available for cross-validation.
+ *
+ * parallelFor(pool, ...) must not be called from inside a pool task:
+ * it blocks on futures of tasks submitted to the same pool, which
+ * can deadlock a single-threaded pool. The jobs-count overload is
+ * always safe — it owns a transient pool.
+ */
+
+#ifndef GEMSTONE_EXEC_PARALLEL_HH
+#define GEMSTONE_EXEC_PARALLEL_HH
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <vector>
+
+#include "exec/threadpool.hh"
+
+namespace gemstone::exec {
+
+/**
+ * Run fn(i) for every i in [0, count) on the given pool and block
+ * until all complete. Indices are claimed dynamically (an atomic
+ * cursor), so uneven per-index cost balances across workers; the
+ * caller's output determinism must come from index-addressed writes,
+ * never from completion order. The first exception thrown by fn is
+ * rethrown to the caller after all workers stop claiming indices.
+ */
+inline void
+parallelFor(ThreadPool &pool, std::size_t count,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    const std::size_t workers = std::min<std::size_t>(
+        std::max(1u, pool.threadCount()), count);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<bool> failed{false};
+    std::vector<std::future<void>> futures;
+    futures.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+        futures.push_back(pool.submit([&]() {
+            for (;;) {
+                std::size_t i =
+                    cursor.fetch_add(1, std::memory_order_relaxed);
+                if (i >= count ||
+                    failed.load(std::memory_order_relaxed)) {
+                    return;
+                }
+                try {
+                    fn(i);
+                } catch (...) {
+                    failed.store(true, std::memory_order_relaxed);
+                    throw;
+                }
+            }
+        }));
+    }
+
+    // Collect every worker; rethrow the first captured exception
+    // only after all of them have stopped touching shared state.
+    std::exception_ptr first;
+    for (auto &future : futures) {
+        try {
+            future.get();
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
+        }
+    }
+    if (first)
+        std::rethrow_exception(first);
+}
+
+/**
+ * Convenience overload: jobs <= 1 runs inline (bit-exact serial
+ * order); otherwise a transient pool of min(jobs, count) workers is
+ * created for the duration of the call.
+ */
+inline void
+parallelFor(unsigned jobs, std::size_t count,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (jobs <= 1 || count <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+    ThreadPool pool(static_cast<unsigned>(
+        std::min<std::size_t>(jobs, count)));
+    parallelFor(pool, count, fn);
+}
+
+} // namespace gemstone::exec
+
+#endif // GEMSTONE_EXEC_PARALLEL_HH

@@ -7,7 +7,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
+#include "exec/parallel.hh"
 #include "hwsim/pmu.hh"
 #include "mlstat/correlation.hh"
 #include "mlstat/descriptive.hh"
@@ -41,7 +43,7 @@ WorkloadClustering::clusterOf(const std::string &workload) const
 
 WorkloadClustering
 clusterWorkloads(const ValidationDataset &dataset, double freq_mhz,
-                 std::size_t cluster_count)
+                 std::size_t cluster_count, unsigned jobs)
 {
     auto records = recordsAt(dataset, freq_mhz);
 
@@ -69,7 +71,7 @@ clusterWorkloads(const ValidationDataset &dataset, double freq_mhz,
     WorkloadClustering out;
     out.freqMhz = freq_mhz;
     out.hca = mlstat::agglomerate(
-        mlstat::euclideanDistances(features, true),
+        mlstat::euclideanDistances(features, true, jobs),
         mlstat::Linkage::Average);
 
     std::vector<std::size_t> labels =
@@ -133,21 +135,34 @@ correlateSeries(std::vector<std::string> names,
                 std::vector<std::vector<double>> series,
                 const std::vector<double> &mpe, double freq_mhz,
                 double min_abs_correlation,
-                std::size_t event_cluster_count)
+                std::size_t event_cluster_count,
+                unsigned jobs)
 {
-    // Filter degenerate and weak series first.
+    // Screen every series in parallel (stddev and the MPE
+    // correlation are independent per series, index-addressed), then
+    // filter serially in index order so the kept set and its order
+    // match the historical serial loop exactly.
+    std::vector<double> screened_r(series.size(), 0.0);
+    std::vector<std::uint8_t> keep(series.size(), 0);
+    exec::parallelFor(jobs, series.size(), [&](std::size_t i) {
+        if (mlstat::stddev(series[i]) < 1e-12)
+            return;
+        double r = mlstat::pearson(series[i], mpe);
+        if (std::fabs(r) < min_abs_correlation)
+            return;
+        screened_r[i] = r;
+        keep[i] = 1;
+    });
+
     std::vector<std::string> kept_names;
     std::vector<std::vector<double>> kept;
     std::vector<double> correlations;
     for (std::size_t i = 0; i < series.size(); ++i) {
-        if (mlstat::stddev(series[i]) < 1e-12)
-            continue;
-        double r = mlstat::pearson(series[i], mpe);
-        if (std::fabs(r) < min_abs_correlation)
+        if (!keep[i])
             continue;
         kept_names.push_back(std::move(names[i]));
         kept.push_back(std::move(series[i]));
-        correlations.push_back(r);
+        correlations.push_back(screened_r[i]);
     }
 
     CorrelationAnalysis out;
@@ -156,7 +171,7 @@ correlateSeries(std::vector<std::string> names,
         return out;
 
     mlstat::HcaResult hca = mlstat::agglomerate(
-        mlstat::correlationDistances(kept),
+        mlstat::correlationDistances(kept, jobs),
         mlstat::Linkage::Average);
     std::vector<std::size_t> labels = hca.cutToClusters(
         std::min(event_cluster_count, kept.size()));
@@ -179,7 +194,7 @@ correlateSeries(std::vector<std::string> names,
 
 CorrelationAnalysis
 correlatePmcEvents(const ValidationDataset &dataset, double freq_mhz,
-                   std::size_t event_cluster_count)
+                   std::size_t event_cluster_count, unsigned jobs)
 {
     auto records = recordsAt(dataset, freq_mhz);
 
@@ -199,13 +214,13 @@ correlatePmcEvents(const ValidationDataset &dataset, double freq_mhz,
     }
 
     return correlateSeries(std::move(names), std::move(series), mpe,
-                           freq_mhz, 0.0, event_cluster_count);
+                           freq_mhz, 0.0, event_cluster_count, jobs);
 }
 
 CorrelationAnalysis
 correlateG5Events(const ValidationDataset &dataset, double freq_mhz,
                   double min_abs_correlation,
-                  std::size_t event_cluster_count)
+                  std::size_t event_cluster_count, unsigned jobs)
 {
     auto records = recordsAt(dataset, freq_mhz);
 
@@ -249,7 +264,7 @@ correlateG5Events(const ValidationDataset &dataset, double freq_mhz,
 
     return correlateSeries(std::move(names), std::move(series), mpe,
                            freq_mhz, min_abs_correlation,
-                           event_cluster_count);
+                           event_cluster_count, jobs);
 }
 
 namespace {
@@ -257,7 +272,7 @@ namespace {
 ErrorRegression
 regressError(const std::vector<const ValidationRecord *> &records,
              std::vector<mlstat::Candidate> candidates,
-             std::size_t max_terms)
+             std::size_t max_terms, unsigned jobs)
 {
     // Response: the execution-time difference in milliseconds (the
     // scale keeps coefficients in a numerically friendly range).
@@ -271,6 +286,7 @@ regressError(const std::vector<const ValidationRecord *> &records,
     mlstat::StepwiseConfig config;
     config.maxTerms = max_terms;
     config.pValueStop = 0.05;
+    config.jobs = jobs;
     mlstat::StepwiseResult stepwise =
         mlstat::stepwiseForward(candidates, response, config);
 
@@ -286,7 +302,7 @@ regressError(const std::vector<const ValidationRecord *> &records,
 
 ErrorRegression
 regressErrorOnPmcs(const ValidationDataset &dataset, double freq_mhz,
-                   std::size_t max_terms)
+                   std::size_t max_terms, unsigned jobs)
 {
     auto records = recordsAt(dataset, freq_mhz);
 
@@ -303,12 +319,14 @@ regressErrorOnPmcs(const ValidationDataset &dataset, double freq_mhz,
         candidates.push_back(std::move(total));
         candidates.push_back(std::move(rate));
     }
-    return regressError(records, std::move(candidates), max_terms);
+    return regressError(records, std::move(candidates), max_terms,
+                        jobs);
 }
 
 ErrorRegression
 regressErrorOnG5Stats(const ValidationDataset &dataset,
-                      double freq_mhz, std::size_t max_terms)
+                      double freq_mhz, std::size_t max_terms,
+                      unsigned jobs)
 {
     auto records = recordsAt(dataset, freq_mhz);
 
@@ -326,7 +344,8 @@ regressErrorOnG5Stats(const ValidationDataset &dataset,
         candidates.push_back(std::move(total));
         candidates.push_back(std::move(rate));
     }
-    return regressError(records, std::move(candidates), max_terms);
+    return regressError(records, std::move(candidates), max_terms,
+                        jobs);
 }
 
 std::vector<EventComparisonRow>

@@ -58,11 +58,13 @@ struct WorkloadClustering
 /**
  * Cluster the validation workloads by their HW PMC rate vectors
  * (z-scored, Euclidean, average linkage) and attach execution-time
- * MPEs at the given frequency.
+ * MPEs at the given frequency. @p jobs fans the distance-matrix rows
+ * over a thread pool; results are identical at any jobs count.
  */
 WorkloadClustering clusterWorkloads(const ValidationDataset &dataset,
                                     double freq_mhz,
-                                    std::size_t cluster_count = 16);
+                                    std::size_t cluster_count = 16,
+                                    unsigned jobs = 1);
 
 // ---------------------------------------------------------------------
 // Event correlation (Fig. 5 and Section IV-C)
@@ -93,11 +95,14 @@ struct CorrelationAnalysis
 
 /**
  * Correlate every HW PMC rate with the execution-time MPE and cluster
- * the PMC events by cross-correlation (Fig. 5).
+ * the PMC events by cross-correlation (Fig. 5). Per-event screening
+ * correlations and the cross-correlation matrix parallelise over
+ * @p jobs with index-addressed gather (identical at any jobs count).
  */
 CorrelationAnalysis correlatePmcEvents(
     const ValidationDataset &dataset, double freq_mhz,
-    std::size_t event_cluster_count = 30);
+    std::size_t event_cluster_count = 30,
+    unsigned jobs = 1);
 
 /**
  * The Section IV-C analysis: correlate g5 statistic rates with the
@@ -106,7 +111,8 @@ CorrelationAnalysis correlatePmcEvents(
 CorrelationAnalysis correlateG5Events(
     const ValidationDataset &dataset, double freq_mhz,
     double min_abs_correlation = 0.3,
-    std::size_t event_cluster_count = 12);
+    std::size_t event_cluster_count = 12,
+    unsigned jobs = 1);
 
 // ---------------------------------------------------------------------
 // Stepwise regression (Section IV-D)
@@ -124,15 +130,18 @@ struct ErrorRegression
 /**
  * Regress the execution-time error (t_hw - t_g5, in seconds) on HW
  * PMC events. Both totals and rates are candidates, as in the paper.
+ * @p jobs parallelises the stepwise engine's candidate scans.
  */
 ErrorRegression regressErrorOnPmcs(const ValidationDataset &dataset,
                                    double freq_mhz,
-                                   std::size_t max_terms = 7);
+                                   std::size_t max_terms = 7,
+                                   unsigned jobs = 1);
 
 /** The same regression over g5 statistics. */
 ErrorRegression regressErrorOnG5Stats(
     const ValidationDataset &dataset, double freq_mhz,
-    std::size_t max_terms = 8);
+    std::size_t max_terms = 8,
+    unsigned jobs = 1);
 
 // ---------------------------------------------------------------------
 // Event comparison (Fig. 6, Section IV-E) and quality audit

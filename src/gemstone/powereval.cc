@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/parallel.hh"
 #include "mlstat/descriptive.hh"
 #include "util/logging.hh"
 
@@ -16,7 +17,8 @@ namespace gemstone::core {
 PowerEnergyEvaluation
 evaluatePowerEnergy(const ValidationDataset &dataset, double freq_mhz,
                     const powmon::PowerModel &model,
-                    const WorkloadClustering &clustering)
+                    const WorkloadClustering &clustering,
+                    unsigned jobs)
 {
     auto records = dataset.atFrequency(freq_mhz);
     fatal_if(records.empty(), "no records at ", freq_mhz, " MHz");
@@ -27,13 +29,12 @@ evaluatePowerEnergy(const ValidationDataset &dataset, double freq_mhz,
     for (const powmon::EventSpec &spec : model.events)
         out.componentLabels.push_back(spec.key);
 
-    std::vector<double> hw_power;
-    std::vector<double> g5_power;
-    std::vector<double> hw_energy;
-    std::vector<double> g5_energy;
-
-    for (const ValidationRecord *r : records) {
-        PowerEnergyRecord rec;
+    // Each workload's estimates are independent; record i writes only
+    // slot i, so the gathered vectors match the serial loop exactly.
+    out.perWorkload.resize(records.size());
+    exec::parallelFor(jobs, records.size(), [&](std::size_t i) {
+        const ValidationRecord *r = records[i];
+        PowerEnergyRecord &rec = out.perWorkload[i];
         rec.workload = r->work->name;
         rec.cluster = clustering.clusterOf(rec.workload);
         rec.hwPower = model.estimateHw(r->hw);
@@ -42,12 +43,17 @@ evaluatePowerEnergy(const ValidationDataset &dataset, double freq_mhz,
         rec.g5Energy = rec.g5Power * r->g5.simSeconds;
         rec.hwBreakdown = model.breakdownHw(r->hw);
         rec.g5Breakdown = model.breakdownG5(r->g5);
+    });
 
+    std::vector<double> hw_power;
+    std::vector<double> g5_power;
+    std::vector<double> hw_energy;
+    std::vector<double> g5_energy;
+    for (const PowerEnergyRecord &rec : out.perWorkload) {
         hw_power.push_back(rec.hwPower);
         g5_power.push_back(rec.g5Power);
         hw_energy.push_back(rec.hwEnergy);
         g5_energy.push_back(rec.g5Energy);
-        out.perWorkload.push_back(std::move(rec));
     }
 
     out.powerMpe = mlstat::meanPercentError(hw_power, g5_power);
@@ -171,26 +177,38 @@ DvfsScaling
 computeDvfsScaling(const ValidationDataset &dataset,
                    const powmon::PowerModel &model,
                    const WorkloadClustering &clustering,
-                   const std::vector<std::size_t> &selected_clusters)
+                   const std::vector<std::size_t> &selected_clusters,
+                   unsigned jobs)
 {
-    DvfsScaling out;
-    std::vector<std::string> all =
-        workloadsOfCluster(clustering, 0);
-    out.series.push_back(
-        buildSeries(dataset, model, all, false, "HW mean"));
-    out.series.push_back(
-        buildSeries(dataset, model, all, true, "g5 mean"));
+    // Enumerate the series to build first (same order and skip rule
+    // as the historical serial loop), then build them in parallel;
+    // series i lands in slot i, so the output order is unchanged.
+    struct Spec
+    {
+        std::vector<std::string> workloads;
+        bool useG5;
+        std::string label;
+    };
+    std::vector<Spec> specs;
+    std::vector<std::string> all = workloadsOfCluster(clustering, 0);
+    specs.push_back({all, false, "HW mean"});
+    specs.push_back({all, true, "g5 mean"});
     for (std::size_t cluster : selected_clusters) {
         std::vector<std::string> subset =
             workloadsOfCluster(clustering, cluster);
         if (subset.empty())
             continue;
         std::string tag = "cluster " + std::to_string(cluster);
-        out.series.push_back(buildSeries(dataset, model, subset,
-                                         false, "HW " + tag));
-        out.series.push_back(
-            buildSeries(dataset, model, subset, true, "g5 " + tag));
+        specs.push_back({subset, false, "HW " + tag});
+        specs.push_back({std::move(subset), true, "g5 " + tag});
     }
+
+    DvfsScaling out;
+    out.series.resize(specs.size());
+    exec::parallelFor(jobs, specs.size(), [&](std::size_t i) {
+        out.series[i] = buildSeries(dataset, model, specs[i].workloads,
+                                    specs[i].useG5, specs[i].label);
+    });
     return out;
 }
 

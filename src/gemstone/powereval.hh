@@ -53,12 +53,15 @@ struct PowerEnergyEvaluation
  * Apply one power model to both sides of a validation dataset at a
  * frequency (the Fig. 2 tool feeding Fig. 7): power from HW PMC
  * rates vs power from g5 statistic rates, and the corresponding
- * energies using each side's own execution time.
+ * energies using each side's own execution time. Per-workload
+ * estimates are independent and fan over @p jobs threads with an
+ * index-addressed gather, so the result is identical at any count.
  */
 PowerEnergyEvaluation evaluatePowerEnergy(
     const ValidationDataset &dataset, double freq_mhz,
     const powmon::PowerModel &model,
-    const WorkloadClustering &clustering);
+    const WorkloadClustering &clustering,
+    unsigned jobs = 1);
 
 // ---------------------------------------------------------------------
 // DVFS scaling (Fig. 8)
@@ -86,13 +89,15 @@ struct DvfsScaling
 /**
  * Compute performance/power/energy scaling across a cluster's DVFS
  * points, normalised to the lowest frequency, for the workload mean
- * and for the selected Fig. 3 clusters.
+ * and for the selected Fig. 3 clusters. The independent series
+ * build in parallel over @p jobs threads (index-addressed gather).
  */
 DvfsScaling computeDvfsScaling(
     const ValidationDataset &dataset,
     const powmon::PowerModel &model,
     const WorkloadClustering &clustering,
-    const std::vector<std::size_t> &selected_clusters);
+    const std::vector<std::size_t> &selected_clusters,
+    unsigned jobs = 1);
 
 /** Min/mean/max speedup between two frequencies for HW and g5. */
 struct SpeedupSummary

@@ -6,11 +6,22 @@
  * code are implemented: a row-major dense matrix, matrix products,
  * Cholesky factorisation of SPD matrices, SPD inversion, and a
  * Householder QR least-squares solver.
+ *
+ * Access discipline: at() is always bounds-checked (it panics on a
+ * bad index in every build type); data()/row() are the unchecked
+ * accessors the blocked kernels run on, assert-checked in Debug
+ * builds only (they compile to plain pointer arithmetic under
+ * NDEBUG). The hot kernels (multiply, gram, QR, Cholesky) are
+ * cache-tiled over row()/data() but preserve the exact floating-
+ * point accumulation order of the historical element-wise loops, so
+ * their results are bit-identical to the reference oracles
+ * (multiplyReference / gramReference) kept for cross-validation.
  */
 
 #ifndef GEMSTONE_LINALG_MATRIX_HH
 #define GEMSTONE_LINALG_MATRIX_HH
 
+#include <cassert>
 #include <cstddef>
 #include <vector>
 
@@ -38,7 +49,7 @@ class Matrix
     std::size_t rows() const { return numRows; }
     std::size_t cols() const { return numCols; }
 
-    /** Element access. */
+    /** Element access, bounds-checked in every build type. */
     double &at(std::size_t r, std::size_t c);
     double at(std::size_t r, std::size_t c) const;
 
@@ -48,16 +59,45 @@ class Matrix
         return at(r, c);
     }
 
+    /**
+     * Unchecked contiguous storage (row-major, rows() * cols()
+     * doubles). Debug builds assert on use of an empty matrix;
+     * Release builds do no checking at all.
+     */
+    double *data()
+    {
+        return elems.data();
+    }
+    const double *data() const
+    {
+        return elems.data();
+    }
+
+    /** Unchecked pointer to the start of one row (Debug asserts). */
+    double *row(std::size_t r)
+    {
+        assert(r < numRows && "matrix row out of range");
+        return elems.data() + r * numCols;
+    }
+    const double *row(std::size_t r) const
+    {
+        assert(r < numRows && "matrix row out of range");
+        return elems.data() + r * numCols;
+    }
+
     /** Transposed copy. */
     Matrix transposed() const;
 
-    /** Matrix product this * other. */
+    /** Matrix product this * other (cache-tiled). */
     Matrix multiply(const Matrix &other) const;
 
     /** Matrix-vector product. */
     std::vector<double> multiply(const std::vector<double> &vec) const;
 
-    /** this^T * this (Gram matrix), computed without forming T. */
+    /**
+     * this^T * this (Gram matrix / SYRK), computed without forming
+     * the transpose, cache-tiled over the upper triangle.
+     */
     Matrix gram() const;
 
     /** this^T * vec. */
@@ -73,8 +113,18 @@ class Matrix
   private:
     std::size_t numRows = 0;
     std::size_t numCols = 0;
-    std::vector<double> data;
+    std::vector<double> elems;
 };
+
+/**
+ * Reference (pre-tiling) matrix product: the historical bounds-
+ * checked triple loop, kept as the oracle for cross-validating and
+ * benchmarking the tiled kernel. Bit-identical to Matrix::multiply.
+ */
+Matrix multiplyReference(const Matrix &a, const Matrix &b);
+
+/** Reference (pre-tiling) Gram matrix, bit-identical to gram(). */
+Matrix gramReference(const Matrix &a);
 
 /**
  * Cholesky factor L of an SPD matrix (A = L L^T).

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Analysis-path selection implementation.
+ */
+
+#include "mlstat/analysispath.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace gemstone::mlstat {
+
+namespace {
+
+/** -1 = no override, otherwise an AnalysisPath value. */
+std::atomic<int> analysisPathOverride{-1};
+
+} // namespace
+
+AnalysisPath
+defaultAnalysisPath()
+{
+    int forced = analysisPathOverride.load(std::memory_order_relaxed);
+    if (forced >= 0)
+        return static_cast<AnalysisPath>(forced);
+    const char *env = std::getenv("GEMSTONE_REFERENCE_ANALYSIS");
+    if (env && env[0] != '\0' && std::strcmp(env, "0") != 0)
+        return AnalysisPath::Reference;
+    return AnalysisPath::Fast;
+}
+
+void
+setAnalysisPathOverride(AnalysisPath path, bool reset)
+{
+    analysisPathOverride.store(reset ? -1 : static_cast<int>(path),
+                               std::memory_order_relaxed);
+}
+
+} // namespace gemstone::mlstat

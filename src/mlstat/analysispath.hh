@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fast/reference dispatch for the statistical analysis engine.
+ *
+ * Mirrors the execution-engine contract (GEMSTONE_REFERENCE_EXEC /
+ * setExecEngineOverride in src/uarch): the asymptotically-naive
+ * historical implementations of stepwise selection and agglomerative
+ * clustering are kept indefinitely as oracles, and whole binaries
+ * can be flipped back to them with GEMSTONE_REFERENCE_ANALYSIS=1 (or
+ * programmatically, which wins over the environment). The fast paths
+ * are contractually equivalent — identical selected-term sequences
+ * and dendrogram merge orders, coefficients/R²/distances within
+ * 1e-9 — which tests/analysis_fast_test.cc and bench/perf_analysis
+ * enforce by cross-validating the two paths.
+ */
+
+#ifndef GEMSTONE_MLSTAT_ANALYSISPATH_HH
+#define GEMSTONE_MLSTAT_ANALYSISPATH_HH
+
+namespace gemstone::mlstat {
+
+/** Which implementation stepwiseForward / agglomerate dispatch to. */
+enum class AnalysisPath { Reference = 0, Fast = 1 };
+
+/**
+ * Path used by the dispatching entry points: the programmatic
+ * override if set, else Reference when GEMSTONE_REFERENCE_ANALYSIS
+ * is set to anything but "" / "0", else Fast.
+ */
+AnalysisPath defaultAnalysisPath();
+
+/**
+ * Force a path for the whole process (thread-safe, wins over the
+ * environment); reset = true restores environment-driven selection.
+ */
+void setAnalysisPathOverride(AnalysisPath path, bool reset = false);
+
+} // namespace gemstone::mlstat
+
+#endif // GEMSTONE_MLSTAT_ANALYSISPATH_HH

@@ -7,6 +7,7 @@
 
 #include <cmath>
 
+#include "exec/parallel.hh"
 #include "util/logging.hh"
 
 namespace gemstone::mlstat {
@@ -44,18 +45,68 @@ pearson(const std::vector<double> &x, const std::vector<double> &y)
 }
 
 linalg::Matrix
-correlationMatrix(const std::vector<std::vector<double>> &series)
+correlationMatrix(const std::vector<std::vector<double>> &series,
+                  unsigned jobs)
 {
     const std::size_t k = series.size();
     linalg::Matrix r(k, k);
-    for (std::size_t i = 0; i < k; ++i) {
-        r.at(i, i) = 1.0;
-        for (std::size_t j = i + 1; j < k; ++j) {
-            double rho = pearson(series[i], series[j]);
-            r.at(i, j) = rho;
-            r.at(j, i) = rho;
-        }
+    if (k == 0)
+        return r;
+
+    const std::size_t n = series.front().size();
+    if (k > 1) {
+        for (const auto &s : series)
+            panic_if(s.size() != n, "pearson shape mismatch");
     }
+    if (n < 2 || k < 2) {
+        for (std::size_t i = 0; i < k; ++i)
+            r.at(i, i) = 1.0;
+        return r;
+    }
+
+    // Centre each series once and precompute its squared norm. The
+    // per-series mean and sum-of-squares loops below, and the per-
+    // pair cross-product loop, accumulate in the same index order as
+    // pairwise pearson(), so every entry is bit-identical to it.
+    linalg::Matrix centred(k, n);
+    std::vector<double> sq(k, 0.0);
+    exec::parallelFor(jobs, k, [&](std::size_t i) {
+        const std::vector<double> &s = series[i];
+        double mean = 0.0;
+        for (std::size_t t = 0; t < n; ++t)
+            mean += s[t];
+        mean /= static_cast<double>(n);
+        double *dst = centred.row(i);
+        double sxx = 0.0;
+        for (std::size_t t = 0; t < n; ++t) {
+            double d = s[t] - mean;
+            dst[t] = d;
+            sxx += d * d;
+        }
+        sq[i] = sxx;
+    });
+
+    // One dot product per pair, rows fanned over the pool; each row
+    // writes only its own upper-triangle slots (index-addressed), so
+    // the matrix is identical at any jobs count.
+    double *out = r.data();
+    exec::parallelFor(jobs, k, [&](std::size_t i) {
+        out[i * k + i] = 1.0;
+        const double *di = centred.row(i);
+        for (std::size_t j = i + 1; j < k; ++j) {
+            const double *dj = centred.row(j);
+            double sxy = 0.0;
+            for (std::size_t t = 0; t < n; ++t)
+                sxy += di[t] * dj[t];
+            double rho = (sq[i] < 1e-24 || sq[j] < 1e-24)
+                ? 0.0
+                : sxy / std::sqrt(sq[i] * sq[j]);
+            out[i * k + j] = rho;
+        }
+    });
+    for (std::size_t i = 0; i < k; ++i)
+        for (std::size_t j = i + 1; j < k; ++j)
+            out[j * k + i] = out[i * k + j];
     return r;
 }
 

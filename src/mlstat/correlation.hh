@@ -20,11 +20,19 @@ double pearson(const std::vector<double> &x,
                const std::vector<double> &y);
 
 /**
- * Full correlation matrix of a set of series (each inner vector is one
- * variable sampled at the same observations).
+ * Full correlation matrix of a set of series (each inner vector is
+ * one variable sampled at the same observations).
+ *
+ * Each series is centred once and its squared norm precomputed, so
+ * the k(k-1)/2 pairs cost one dot product each instead of the three
+ * passes pairwise pearson() needs; with jobs > 1 the rows are fanned
+ * over a thread pool with index-addressed writes. Results are
+ * bit-identical to pairwise pearson() at any jobs count (the per-
+ * pair accumulation order is unchanged).
  */
 linalg::Matrix correlationMatrix(
-    const std::vector<std::vector<double>> &series);
+    const std::vector<std::vector<double>> &series,
+    unsigned jobs = 1);
 
 /**
  * Correlate each series against a single target (e.g. each PMC rate

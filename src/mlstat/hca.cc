@@ -1,6 +1,15 @@
 /**
  * @file
  * Agglomerative clustering implementation (Lance-Williams updates).
+ *
+ * agglomerateReference() is the original greedy O(n³) min-scan, kept
+ * verbatim as the oracle. agglomerateNnChain() finds the same merges
+ * in O(n²) via the nearest-neighbour chain, then replays them in the
+ * greedy's order — recomputing every Lance-Williams update with the
+ * greedy's exact operands — so the emitted dendrogram (node ids,
+ * left/right orientation, heights) is bit-identical to the oracle's
+ * whenever minimum distances are unique. DESIGN.md §13 carries the
+ * reducibility argument.
  */
 
 #include "mlstat/hca.hh"
@@ -10,6 +19,8 @@
 #include <limits>
 #include <map>
 
+#include "exec/parallel.hh"
+#include "mlstat/analysispath.hh"
 #include "mlstat/correlation.hh"
 #include "mlstat/descriptive.hh"
 #include "util/logging.hh"
@@ -18,7 +29,7 @@ namespace gemstone::mlstat {
 
 linalg::Matrix
 euclideanDistances(const std::vector<std::vector<double>> &features,
-                   bool zscore_columns)
+                   bool zscore_columns, unsigned jobs)
 {
     const std::size_t n = features.size();
     panic_if(n == 0, "euclideanDistances needs at least one row");
@@ -39,8 +50,11 @@ euclideanDistances(const std::vector<std::vector<double>> &features,
         }
     }
 
+    // Each worker owns row i's upper triangle plus its mirror column;
+    // no two workers touch the same element, so the matrix is
+    // identical at any jobs count.
     linalg::Matrix dist(n, n);
-    for (std::size_t i = 0; i < n; ++i) {
+    exec::parallelFor(jobs, n, [&](std::size_t i) {
         for (std::size_t j = i + 1; j < n; ++j) {
             double sum = 0.0;
             for (std::size_t c = 0; c < d; ++c) {
@@ -51,19 +65,20 @@ euclideanDistances(const std::vector<std::vector<double>> &features,
             dist.at(i, j) = value;
             dist.at(j, i) = value;
         }
-    }
+    });
     return dist;
 }
 
 linalg::Matrix
-correlationDistances(const std::vector<std::vector<double>> &series)
+correlationDistances(const std::vector<std::vector<double>> &series,
+                     unsigned jobs)
 {
     const std::size_t n = series.size();
+    linalg::Matrix rho = correlationMatrix(series, jobs);
     linalg::Matrix dist(n, n);
     for (std::size_t i = 0; i < n; ++i) {
         for (std::size_t j = i + 1; j < n; ++j) {
-            double rho = pearson(series[i], series[j]);
-            double value = 1.0 - std::fabs(rho);
+            double value = 1.0 - std::fabs(rho.at(i, j));
             dist.at(i, j) = value;
             dist.at(j, i) = value;
         }
@@ -72,7 +87,7 @@ correlationDistances(const std::vector<std::vector<double>> &series)
 }
 
 HcaResult
-agglomerate(const linalg::Matrix &distances, Linkage linkage)
+agglomerateReference(const linalg::Matrix &distances, Linkage linkage)
 {
     panic_if(distances.rows() != distances.cols(),
              "distance matrix must be square");
@@ -159,6 +174,198 @@ agglomerate(const linalg::Matrix &distances, Linkage linkage)
     }
 
     return result;
+}
+
+HcaResult
+agglomerateNnChain(const linalg::Matrix &distances, Linkage linkage)
+{
+    panic_if(distances.rows() != distances.cols(),
+             "distance matrix must be square");
+    const std::size_t n = distances.rows();
+    panic_if(n == 0, "cannot cluster zero items");
+
+    HcaResult result;
+    result.leafCount = n;
+    if (n == 1)
+        return result;
+
+    // Lance-Williams update shared by both phases. min, max and the
+    // weighted average are all symmetric-commutative in IEEE floats,
+    // so operand roles do not affect the bits of the result; the
+    // replay below nevertheless passes the greedy's exact operands.
+    auto lance_williams = [linkage](double d_left, double d_right,
+                                    std::size_t left_size,
+                                    std::size_t right_size) {
+        switch (linkage) {
+          case Linkage::Single:
+            return std::min(d_left, d_right);
+          case Linkage::Complete:
+            return std::max(d_left, d_right);
+          case Linkage::Average:
+          default:
+            return (d_left * static_cast<double>(left_size) +
+                    d_right * static_cast<double>(right_size)) /
+                static_cast<double>(left_size + right_size);
+        }
+    };
+
+    // ---- Phase 1: nearest-neighbour chain -------------------------
+    //
+    // Grow a chain i0 -> nn(i0) -> nn(nn(i0)) -> ... until two
+    // clusters are mutual nearest neighbours, merge them, and carry
+    // on from the surviving chain. For reducible linkages every
+    // reciprocal-NN pair is merged by the greedy algorithm too (at
+    // unique minima), so the merge *set* matches; only the emission
+    // order differs, which phase 2 repairs. Each cluster lives in a
+    // "slot": the smaller slot index survives a merge.
+    std::vector<double> work(n * n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            work[i * n + j] = distances.at(i, j);
+
+    std::vector<std::size_t> size(n, 1);
+    std::vector<char> alive(n, 1);
+
+    struct RawMerge
+    {
+        std::size_t a;      //!< slot of one merged cluster
+        std::size_t b;      //!< slot of the other
+        double height;      //!< merge distance (used only to sort)
+    };
+    std::vector<RawMerge> raw;
+    raw.reserve(n - 1);
+
+    std::vector<std::size_t> chain;
+    chain.reserve(n);
+    std::size_t remaining = n;
+    std::size_t seed = 0;
+
+    while (remaining > 1) {
+        if (chain.empty()) {
+            while (!alive[seed])
+                ++seed;
+            chain.push_back(seed);
+        }
+        while (true) {
+            const std::size_t top = chain.back();
+            const std::size_t prev =
+                chain.size() >= 2 ? chain[chain.size() - 2] : SIZE_MAX;
+
+            // Nearest alive neighbour of top; prefer the chain
+            // predecessor on exact ties so reciprocal pairs are
+            // recognised and the chain cannot cycle.
+            double best = std::numeric_limits<double>::infinity();
+            std::size_t best_j = SIZE_MAX;
+            for (std::size_t j = 0; j < n; ++j) {
+                if (!alive[j] || j == top)
+                    continue;
+                double dist = work[top * n + j];
+                if (dist < best || (dist == best && j == prev)) {
+                    best = dist;
+                    best_j = j;
+                }
+            }
+
+            if (best_j != prev) {
+                chain.push_back(best_j);
+                continue;
+            }
+
+            // top and prev are mutual nearest neighbours: merge.
+            chain.pop_back();
+            chain.pop_back();
+            raw.push_back({prev, top, best});
+
+            const std::size_t win = std::min(prev, top);
+            const std::size_t lose = prev + top - win;
+            for (std::size_t other = 0; other < n; ++other) {
+                if (!alive[other] || other == prev || other == top)
+                    continue;
+                double updated = lance_williams(
+                    work[prev * n + other], work[top * n + other],
+                    size[prev], size[top]);
+                work[win * n + other] = updated;
+                work[other * n + win] = updated;
+            }
+            size[win] += size[lose];
+            alive[lose] = 0;
+            --remaining;
+            break;
+        }
+    }
+
+    // ---- Phase 2: greedy-order replay -----------------------------
+    //
+    // The greedy oracle emits merges in nondecreasing height, so a
+    // stable sort by height restores its order (formation always
+    // precedes use: chain emission order is causal, and stable_sort
+    // keeps it for equal heights). The replay then recomputes every
+    // height and update from a fresh copy of the input with the
+    // greedy's exact operand roles — left = the cluster earlier in
+    // the greedy's active list — making the emitted dendrogram
+    // bit-identical to the oracle's, not merely equivalent.
+    std::stable_sort(raw.begin(), raw.end(),
+                     [](const RawMerge &x, const RawMerge &y) {
+                         return x.height < y.height;
+                     });
+
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            work[i * n + j] = distances.at(i, j);
+    std::fill(size.begin(), size.end(), std::size_t{1});
+    std::fill(alive.begin(), alive.end(), char{1});
+
+    // node[s]: dendrogram node id currently held by slot s.
+    // pos[s]: rank of slot s in the greedy's active list — erasures
+    // preserve relative order and a new node takes the lower merged
+    // position, so tracking the minimum is exact.
+    std::vector<std::size_t> node(n);
+    std::vector<std::size_t> pos(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        node[i] = i;
+        pos[i] = i;
+    }
+
+    std::size_t next_node = n;
+    for (const RawMerge &merge : raw) {
+        const std::size_t left_slot =
+            pos[merge.a] < pos[merge.b] ? merge.a : merge.b;
+        const std::size_t right_slot =
+            merge.a + merge.b - left_slot;
+        const double height = work[merge.a * n + merge.b];
+        const std::size_t merged_size =
+            size[merge.a] + size[merge.b];
+
+        result.merges.push_back(
+            {node[left_slot], node[right_slot], height, merged_size});
+
+        const std::size_t win = std::min(merge.a, merge.b);
+        const std::size_t lose = merge.a + merge.b - win;
+        for (std::size_t other = 0; other < n; ++other) {
+            if (!alive[other] || other == merge.a || other == merge.b)
+                continue;
+            double updated = lance_williams(
+                work[left_slot * n + other],
+                work[right_slot * n + other],
+                size[left_slot], size[right_slot]);
+            work[win * n + other] = updated;
+            work[other * n + win] = updated;
+        }
+        size[win] = merged_size;
+        alive[lose] = 0;
+        node[win] = next_node++;
+        pos[win] = std::min(pos[merge.a], pos[merge.b]);
+    }
+
+    return result;
+}
+
+HcaResult
+agglomerate(const linalg::Matrix &distances, Linkage linkage)
+{
+    if (defaultAnalysisPath() == AnalysisPath::Reference)
+        return agglomerateReference(distances, linkage);
+    return agglomerateNnChain(distances, linkage);
 }
 
 namespace {

@@ -54,22 +54,53 @@ struct HcaResult
     std::vector<std::size_t> cutAtHeight(double height) const;
 };
 
-/** Pairwise Euclidean distances between z-scored feature rows. */
+/**
+ * Pairwise Euclidean distances between z-scored feature rows.
+ * With jobs > 1 the rows are fanned over a thread pool with
+ * index-addressed writes; results are identical at any jobs count.
+ */
 linalg::Matrix euclideanDistances(
     const std::vector<std::vector<double>> &features,
-    bool zscore_columns = true);
+    bool zscore_columns = true,
+    unsigned jobs = 1);
 
 /**
  * Correlation distances 1 - |pearson| between series.
  * Used for event clustering where the sign of the relationship does
- * not matter, only its strength.
+ * not matter, only its strength. Built on correlationMatrix(), so
+ * each series is centred once and pairs cost one dot product; values
+ * are bit-identical to pairwise pearson() at any jobs count.
  */
 linalg::Matrix correlationDistances(
-    const std::vector<std::vector<double>> &series);
+    const std::vector<std::vector<double>> &series,
+    unsigned jobs = 1);
 
-/** Run agglomerative clustering over a symmetric distance matrix. */
+/**
+ * Run agglomerative clustering over a symmetric distance matrix.
+ *
+ * Dispatches to the O(n²) nearest-neighbour-chain engine unless the
+ * reference analysis path is forced (GEMSTONE_REFERENCE_ANALYSIS /
+ * setAnalysisPathOverride). Both engines produce the same dendrogram
+ * — identical merge sequence, node ids, left/right orientation and
+ * bit-identical heights — whenever the minimum pair distance is
+ * unique at every step (exact ties may legitimately resolve
+ * differently; both resolutions are valid dendrograms).
+ */
 HcaResult agglomerate(const linalg::Matrix &distances,
                       Linkage linkage = Linkage::Average);
+
+/** The historical O(n³) greedy min-scan implementation (the oracle). */
+HcaResult agglomerateReference(const linalg::Matrix &distances,
+                               Linkage linkage = Linkage::Average);
+
+/**
+ * The O(n²) nearest-neighbour-chain implementation. Valid for
+ * reducible Lance-Williams linkages — Single, Complete and Average
+ * all are — where reciprocal-nearest-neighbour merges provably yield
+ * the same merge set as the greedy global-minimum scan.
+ */
+HcaResult agglomerateNnChain(const linalg::Matrix &distances,
+                             Linkage linkage = Linkage::Average);
 
 } // namespace gemstone::mlstat
 

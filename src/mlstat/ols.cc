@@ -7,6 +7,7 @@
 
 #include <cmath>
 
+#include "exec/parallel.hh"
 #include "mlstat/descriptive.hh"
 #include "mlstat/distributions.hh"
 #include "util/logging.hh"
@@ -107,14 +108,15 @@ fitOls(const std::vector<std::vector<double>> &predictors,
 }
 
 std::vector<double>
-varianceInflation(const std::vector<std::vector<double>> &predictors)
+varianceInflation(const std::vector<std::vector<double>> &predictors,
+                  unsigned jobs)
 {
     const std::size_t k = predictors.size();
     std::vector<double> vif(k, 1.0);
     if (k < 2)
         return vif;
 
-    for (std::size_t target = 0; target < k; ++target) {
+    exec::parallelFor(jobs, k, [&](std::size_t target) {
         std::vector<std::vector<double>> others;
         others.reserve(k - 1);
         for (std::size_t c = 0; c < k; ++c) {
@@ -123,10 +125,10 @@ varianceInflation(const std::vector<std::vector<double>> &predictors)
         }
         OlsResult fit = fitOls(others, predictors[target], true);
         if (!fit.ok)
-            continue;
+            return;
         double denom = 1.0 - fit.r2;
         vif[target] = denom > 1e-9 ? 1.0 / denom : 1e9;
-    }
+    });
     return vif;
 }
 

@@ -55,9 +55,14 @@ OlsResult fitOls(const std::vector<std::vector<double>> &predictors,
  * Variance inflation factor for each predictor (regress each on all
  * others, VIF = 1/(1-R²)). Values near 1 mean low inter-correlation;
  * the paper reports a mean VIF of 6 for the A15 power model.
+ *
+ * The per-target regressions are independent; with jobs > 1 they are
+ * fanned over a thread pool with index-addressed writes, so results
+ * are identical at any jobs count.
  */
 std::vector<double> varianceInflation(
-    const std::vector<std::vector<double>> &predictors);
+    const std::vector<std::vector<double>> &predictors,
+    unsigned jobs = 1);
 
 } // namespace gemstone::mlstat
 

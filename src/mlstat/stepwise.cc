@@ -1,21 +1,34 @@
 /**
  * @file
  * Forward stepwise selection implementation.
+ *
+ * Two engines live here. stepwiseForwardReference() is the original
+ * full-refit search, kept verbatim as the oracle. stepwiseForwardFast()
+ * is the updating-QR engine: it reproduces the reference's scan
+ * semantics exactly — the same sequential-threshold comparison, the
+ * same collinearity skips, the same stop rules — but evaluates each
+ * candidate's R² gain with one O(n) dot product against the current
+ * residual instead of a full O(np²) refit. See stepwise.hh and
+ * DESIGN.md §13 for the equivalence argument.
  */
 
 #include "mlstat/stepwise.hh"
 
 #include <cmath>
+#include <cstdint>
 
+#include "exec/parallel.hh"
+#include "linalg/matrix.hh"
+#include "mlstat/analysispath.hh"
 #include "mlstat/correlation.hh"
 #include "util/logging.hh"
 
 namespace gemstone::mlstat {
 
 StepwiseResult
-stepwiseForward(const std::vector<Candidate> &candidates,
-                const std::vector<double> &response,
-                const StepwiseConfig &config)
+stepwiseForwardReference(const std::vector<Candidate> &candidates,
+                         const std::vector<double> &response,
+                         const StepwiseConfig &config)
 {
     StepwiseResult result;
     std::vector<bool> used(candidates.size(), false);
@@ -93,6 +106,253 @@ stepwiseForward(const std::vector<Candidate> &candidates,
     }
 
     return result;
+}
+
+namespace {
+
+double
+dot(const double *a, const double *b, std::size_t n)
+{
+    double sum = 0.0;
+    for (std::size_t t = 0; t < n; ++t)
+        sum += a[t] * b[t];
+    return sum;
+}
+
+} // namespace
+
+StepwiseResult
+stepwiseForwardFast(const std::vector<Candidate> &candidates,
+                    const std::vector<double> &response,
+                    const StepwiseConfig &config)
+{
+    const std::size_t n = response.size();
+    const std::size_t total = candidates.size();
+
+    // With n < 3 even a single-term trial fit fails (fitOls needs
+    // n >= p + 1); the oracle handles these shapes in negligible time.
+    if (n < 3 || total == 0)
+        return stepwiseForwardReference(candidates, response, config);
+
+    StepwiseResult result;
+    std::vector<bool> used(total, false);
+
+    // Pre-mark excluded and degenerate candidates, as the oracle does.
+    for (std::size_t i = 0; i < total; ++i) {
+        if (config.excluded.count(candidates[i].name))
+            used[i] = true;
+        else if (candidates[i].values.size() != n)
+            used[i] = true;
+    }
+
+    // Compact the initially-eligible candidates; everything below
+    // indexes this pool, mapping back to global indices at the end.
+    std::vector<std::size_t> pool;
+    std::vector<std::size_t> compactOf(total, SIZE_MAX);
+    for (std::size_t i = 0; i < total; ++i) {
+        if (!used[i]) {
+            compactOf[i] = pool.size();
+            pool.push_back(i);
+        }
+    }
+    const std::size_t k = pool.size();
+    if (k == 0)
+        return result;
+
+    // The full candidate x candidate correlation matrix, computed once
+    // (in parallel). The oracle recomputes pearson() per pair per
+    // round; this turns each collinearity check into a table lookup
+    // with bit-identical values (including the constant-series -> 0
+    // convention, so constant candidates are never collinearity-
+    // skipped — they fail in the fit instead, on both paths).
+    std::vector<std::vector<double>> pool_series;
+    pool_series.reserve(k);
+    for (std::size_t gi : pool)
+        pool_series.push_back(candidates[gi].values);
+    linalg::Matrix corr = correlationMatrix(pool_series, config.jobs);
+    const double *corr_data = corr.data();
+    pool_series.clear();
+
+    // Response statistics shared by every projected-R² evaluation.
+    double mean_y = 0.0;
+    for (double y : response)
+        mean_y += y;
+    mean_y /= static_cast<double>(n);
+    double tss = 0.0;
+    for (double y : response)
+        tss += (y - mean_y) * (y - mean_y);
+
+    // Candidate columns centred once (i.e. orthogonalised against the
+    // intercept). Accepting a term Gram-Schmidt-sweeps it out of the
+    // remaining rows, so z.row(ci) always holds the component of
+    // candidate ci orthogonal to the current selected span, and
+    // zz[ci] its squared norm.
+    linalg::Matrix z(k, n);
+    std::vector<double> zz(k, 0.0);
+    exec::parallelFor(config.jobs, k, [&](std::size_t ci) {
+        const std::vector<double> &v = candidates[pool[ci]].values;
+        double mean = 0.0;
+        for (std::size_t t = 0; t < n; ++t)
+            mean += v[t];
+        mean /= static_cast<double>(n);
+        double *row = z.row(ci);
+        double sq = 0.0;
+        for (std::size_t t = 0; t < n; ++t) {
+            double d = v[t] - mean;
+            row[t] = d;
+            sq += d * d;
+        }
+        zz[ci] = sq;
+    });
+
+    // Current-model residual and RSS (intercept-only to begin with).
+    std::vector<double> e(n);
+    for (std::size_t t = 0; t < n; ++t)
+        e[t] = response[t] - mean_y;
+    double rss_cur = tss;
+    double best_r2 = 0.0;
+
+    std::vector<double> cand_r2(k, 0.0);
+    std::vector<std::uint8_t> cand_ok(k, 0);
+    std::vector<std::uint8_t> round_disabled(k, 0);
+
+    while (result.selected.size() < config.maxTerms) {
+        // Once n < selected + 3 every trial fit fails n >= p + 1, so
+        // the oracle's scan comes up empty and stops; mirror that.
+        if (n < result.selected.size() + 3)
+            break;
+
+        std::fill(round_disabled.begin(), round_disabled.end(), 0);
+
+        // Evaluate every remaining candidate's projected R² against
+        // the current residual: gain = (z·e)²/‖z‖², which in exact
+        // arithmetic equals the RSS drop of the full refit with that
+        // column appended. One parallel pass, index-addressed.
+        exec::parallelFor(config.jobs, k, [&](std::size_t ci) {
+            cand_ok[ci] = 0;
+            if (used[pool[ci]])
+                return;
+            for (std::size_t sel : result.selected) {
+                double rho = corr_data[ci * k + compactOf[sel]];
+                if (std::fabs(rho) > config.maxAbsInterCorrelation)
+                    return;
+            }
+            // A vanishing orthogonal component means the QR would
+            // break down on this column (norm < 1e-12) and the
+            // oracle's trial fit would report !ok.
+            if (zz[ci] < 1e-24)
+                return;
+            double r2;
+            if (tss > 1e-24) {
+                double d = dot(z.row(ci), e.data(), n);
+                double gain = (d * d) / zz[ci];
+                r2 = 1.0 - (rss_cur - gain) / tss;
+            } else {
+                // fitOls defines R² = 1 for a constant response.
+                r2 = 1.0;
+            }
+            cand_r2[ci] = r2;
+            cand_ok[ci] = 1;
+        });
+
+        // Replay the oracle's sequential-threshold scan serially, in
+        // candidate order, over the precomputed gains. This is not an
+        // argmax: best_gain_r2 ratchets up during the scan and later
+        // candidates must clear it by minR2Gain, exactly as the
+        // oracle's loop does.
+        std::size_t best_ci = SIZE_MAX;
+        OlsResult fit;
+        while (true) {
+            best_ci = SIZE_MAX;
+            double best_gain_r2 = best_r2;
+            for (std::size_t ci = 0; ci < k; ++ci) {
+                if (!cand_ok[ci] || round_disabled[ci])
+                    continue;
+                if (cand_r2[ci] > best_gain_r2 + config.minR2Gain) {
+                    best_gain_r2 = cand_r2[ci];
+                    best_ci = ci;
+                }
+            }
+            if (best_ci == SIZE_MAX)
+                break;
+
+            // Exact refit of the would-be model: same design as the
+            // oracle's trial fit, so coefficients, p-values and R²
+            // are bit-identical given the same selection.
+            std::vector<std::vector<double>> design;
+            design.reserve(result.selected.size() + 1);
+            for (std::size_t sel : result.selected)
+                design.push_back(candidates[sel].values);
+            design.push_back(candidates[pool[best_ci]].values);
+            fit = fitOls(design, response, true);
+            if (!fit.ok) {
+                // The oracle would have skipped this candidate inside
+                // its scan; drop it for this round and rescan.
+                round_disabled[best_ci] = 1;
+                continue;
+            }
+            break;
+        }
+        if (best_ci == SIZE_MAX)
+            break;
+
+        // The paper's stop rule, applied to the exact refit.
+        bool significant = true;
+        for (std::size_t c = 1; c < fit.pValues.size(); ++c) {
+            if (fit.pValues[c] > config.pValueStop) {
+                significant = false;
+                break;
+            }
+        }
+        if (!significant)
+            break;
+
+        const std::size_t gi = pool[best_ci];
+        used[gi] = true;
+        result.selected.push_back(gi);
+        result.names.push_back(candidates[gi].name);
+        result.fit = fit;
+        result.r2Trajectory.push_back(fit.r2);
+        best_r2 = fit.r2;
+
+        // Advance the updating QR: take the exact refit's residual as
+        // the new e (keeping subsequent gains anchored to the true
+        // model, not an accumulation of projections), and sweep the
+        // accepted column out of every remaining candidate.
+        e = fit.residuals;
+        rss_cur = 0.0;
+        for (std::size_t t = 0; t < n; ++t)
+            rss_cur += e[t] * e[t];
+
+        double *q = z.row(best_ci);
+        double inv_norm = 1.0 / std::sqrt(zz[best_ci]);
+        for (std::size_t t = 0; t < n; ++t)
+            q[t] *= inv_norm;
+        exec::parallelFor(config.jobs, k, [&](std::size_t ci) {
+            if (ci == best_ci || used[pool[ci]])
+                return;
+            double *row = z.row(ci);
+            double proj = dot(q, row, n);
+            double sq = 0.0;
+            for (std::size_t t = 0; t < n; ++t) {
+                row[t] -= proj * q[t];
+                sq += row[t] * row[t];
+            }
+            zz[ci] = sq;
+        });
+    }
+
+    return result;
+}
+
+StepwiseResult
+stepwiseForward(const std::vector<Candidate> &candidates,
+                const std::vector<double> &response,
+                const StepwiseConfig &config)
+{
+    if (defaultAnalysisPath() == AnalysisPath::Reference)
+        return stepwiseForwardReference(candidates, response, config);
+    return stepwiseForwardFast(candidates, response, config);
 }
 
 } // namespace gemstone::mlstat

@@ -7,6 +7,23 @@
  * stops when any coefficient's p-value rises above 0.05. The same
  * machinery, with an exclusion list ("PMC selection restraints") and
  * an inter-correlation cap, drives Powmon event selection.
+ *
+ * Two implementations are kept. The reference path refits a full
+ * Householder QR for every (candidate x step) trial and recomputes
+ * every collinearity pearson() pair each outer iteration — O(s · p ·
+ * n p²) overall. The fast path centres all columns once, precomputes
+ * the full candidate x candidate correlation matrix a single time
+ * (parallelised over the thread pool) so collinearity checks become
+ * table lookups, and maintains a Gram–Schmidt orthogonalisation of
+ * the remaining candidates against the selected span — an *updating*
+ * QR, appending one column per accepted term — so each candidate's
+ * R² gain costs one O(n) dot product against the current residual.
+ * Only the one accepted term per step is refitted exactly (that
+ * refit also supplies the p-values the stop rule needs), which makes
+ * the reported fit, R² trajectory and stop decisions bit-identical
+ * to the reference whenever both paths select the same terms.
+ * stepwiseForward() dispatches on the analysis path
+ * (GEMSTONE_REFERENCE_ANALYSIS / setAnalysisPathOverride).
  */
 
 #ifndef GEMSTONE_MLSTAT_STEPWISE_HH
@@ -40,6 +57,13 @@ struct StepwiseConfig
     double minR2Gain = 1e-4;
     /** Candidate names that must not be selected. */
     std::set<std::string> excluded;
+    /**
+     * Worker threads for the fast path's correlation precompute and
+     * per-step candidate scans. 1 is exactly serial; results are
+     * identical at any value (index-addressed gather). The reference
+     * path ignores this and always runs serially.
+     */
+    unsigned jobs = 1;
 };
 
 /** Outcome of the stepwise search. */
@@ -56,11 +80,25 @@ struct StepwiseResult
  *
  * At each step the candidate that maximises R² of the refitted model
  * is chosen; the step is rejected (and the search ends) if any term of
- * the new model has p > pValueStop, as in the paper.
+ * the new model has p > pValueStop, as in the paper. Dispatches to
+ * the fast updating-QR engine unless the reference analysis path is
+ * forced.
  */
 StepwiseResult stepwiseForward(const std::vector<Candidate> &candidates,
                                const std::vector<double> &response,
                                const StepwiseConfig &config = {});
+
+/** The historical full-refit implementation (the oracle). */
+StepwiseResult stepwiseForwardReference(
+    const std::vector<Candidate> &candidates,
+    const std::vector<double> &response,
+    const StepwiseConfig &config = {});
+
+/** The updating-QR implementation (what the dispatcher uses). */
+StepwiseResult stepwiseForwardFast(
+    const std::vector<Candidate> &candidates,
+    const std::vector<double> &response,
+    const StepwiseConfig &config = {});
 
 } // namespace gemstone::mlstat
 

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/parallel.hh"
 #include "hwsim/pmu.hh"
 #include "mlstat/descriptive.hh"
 #include "util/logging.hh"
@@ -73,50 +74,72 @@ PowerModelBuilder::selectEvents(const SelectionConfig &config) const
     std::vector<std::size_t> chosen;
     double best_adj_r2 = -1.0;
 
+    // Per-round scratch: every remaining candidate's trial fit,
+    // significance and VIF are computed up front in parallel (they
+    // are independent of one another), then the historical stateful
+    // threshold scan is replayed serially over the gathered values.
+    // The replay applies the same checks in the same candidate order
+    // against the same evolving round_best, so the selection is
+    // identical to the serial loop at any jobs count — the parallel
+    // pass merely evaluates some candidates the serial loop would
+    // have pruned by its threshold check.
+    struct CandidateEval
+    {
+        bool viable = false;
+        double adjR2 = 0.0;
+        bool significant = false;
+        double meanVif = 0.0;
+    };
+    std::vector<CandidateEval> evals(candidates.size());
+
     while (chosen.size() < config.maxEvents) {
+        exec::parallelFor(
+            config.jobs, candidates.size(), [&](std::size_t c) {
+                CandidateEval &eval = evals[c];
+                eval.viable = false;
+                if (used[c])
+                    return;
+                // Skip degenerate (constant) candidates.
+                if (mlstat::stddev(columns[c]) < 1e-12)
+                    return;
+
+                std::vector<std::vector<double>> design;
+                for (std::size_t s : chosen)
+                    design.push_back(columns[s]);
+                design.push_back(columns[c]);
+
+                mlstat::OlsResult fit =
+                    mlstat::fitOls(design, response, true);
+                if (!fit.ok)
+                    return;
+
+                eval.viable = true;
+                eval.adjR2 = fit.adjustedR2;
+                eval.significant = true;
+                for (std::size_t k = 1; k < fit.pValues.size(); ++k) {
+                    if (fit.pValues[k] > config.pValueStop) {
+                        eval.significant = false;
+                        break;
+                    }
+                }
+                eval.meanVif = mlstat::mean(
+                    mlstat::varianceInflation(design));
+            });
+
         std::size_t best_index = SIZE_MAX;
         double round_best = best_adj_r2;
-        mlstat::OlsResult round_fit;
-
         for (std::size_t c = 0; c < candidates.size(); ++c) {
-            if (used[c])
+            const CandidateEval &eval = evals[c];
+            if (!eval.viable)
                 continue;
-            // Skip degenerate (constant) candidates.
-            if (mlstat::stddev(columns[c]) < 1e-12)
+            if (eval.adjR2 <= round_best + config.minGain)
                 continue;
-
-            std::vector<std::vector<double>> design;
-            for (std::size_t s : chosen)
-                design.push_back(columns[s]);
-            design.push_back(columns[c]);
-
-            mlstat::OlsResult fit =
-                mlstat::fitOls(design, response, true);
-            if (!fit.ok)
+            if (!eval.significant)
                 continue;
-            if (fit.adjustedR2 <= round_best + config.minGain)
+            if (eval.meanVif > config.maxMeanVif)
                 continue;
-
-            // Significance of every term.
-            bool significant = true;
-            for (std::size_t k = 1; k < fit.pValues.size(); ++k) {
-                if (fit.pValues[k] > config.pValueStop) {
-                    significant = false;
-                    break;
-                }
-            }
-            if (!significant)
-                continue;
-
-            // Collinearity guard.
-            double mean_vif = mlstat::mean(
-                mlstat::varianceInflation(design));
-            if (mean_vif > config.maxMeanVif)
-                continue;
-
-            round_best = fit.adjustedR2;
+            round_best = eval.adjR2;
             best_index = c;
-            round_fit = fit;
         }
 
         if (best_index == SIZE_MAX)
@@ -133,7 +156,8 @@ PowerModelBuilder::selectEvents(const SelectionConfig &config) const
 }
 
 PowerModel
-PowerModelBuilder::build(const std::vector<EventSpec> &events) const
+PowerModelBuilder::build(const std::vector<EventSpec> &events,
+                         unsigned jobs) const
 {
     fatal_if(events.empty(), "cannot build a model with no events");
 
@@ -151,7 +175,12 @@ PowerModelBuilder::build(const std::vector<EventSpec> &events) const
     }
     std::sort(freqs.begin(), freqs.end());
 
-    for (double freq : freqs) {
+    // One independent OLS per frequency; slot f gathers frequency f's
+    // model, so perFrequency keeps its ascending order at any jobs
+    // count.
+    model.perFrequency.resize(freqs.size());
+    exec::parallelFor(jobs, freqs.size(), [&](std::size_t f) {
+        const double freq = freqs[f];
         std::vector<const PowerObservation *> group;
         for (const PowerObservation &o : obs) {
             if (o.freqMhz() == freq)
@@ -177,15 +206,16 @@ PowerModelBuilder::build(const std::vector<EventSpec> &events) const
         fm.fit = mlstat::fitOls(design, response, true);
         fatal_if(!fm.fit.ok, "OLS failed at ", freq, " MHz for ",
                  clusterName);
-        model.perFrequency.push_back(std::move(fm));
-    }
+        model.perFrequency[f] = std::move(fm);
+    });
     return model;
 }
 
 PowerModelQuality
 PowerModelBuilder::validate(
     const PowerModel &model,
-    const std::vector<PowerObservation> &observations)
+    const std::vector<PowerObservation> &observations,
+    unsigned jobs)
 {
     PowerModelQuality q;
     q.observations = observations.size();
@@ -234,7 +264,7 @@ PowerModelBuilder::validate(
         for (std::size_t e = 0; e < model.events.size(); ++e)
             design[e].push_back(model.events[e].hwRate(o.measurement));
     }
-    q.meanVif = mlstat::mean(mlstat::varianceInflation(design));
+    q.meanVif = mlstat::mean(mlstat::varianceInflation(design, jobs));
     return q;
 }
 

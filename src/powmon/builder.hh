@@ -35,6 +35,13 @@ struct SelectionConfig
     std::vector<int> pool;
     /** Extra composite candidates (e.g. 0x1B-0x73). */
     std::vector<EventSpec> composites;
+    /**
+     * Worker threads for the per-round candidate evaluations (each
+     * candidate's trial fit, significance and VIF are independent).
+     * The selection outcome is identical at any value: the stateful
+     * threshold scan is replayed serially over the gathered results.
+     */
+    unsigned jobs = 1;
 };
 
 /** Outcome of a selection run. */
@@ -67,16 +74,23 @@ class PowerModelBuilder
      */
     SelectionResult selectEvents(const SelectionConfig &config) const;
 
-    /** Fit per-frequency OLS models for a fixed event set. */
-    PowerModel build(const std::vector<EventSpec> &events) const;
+    /**
+     * Fit per-frequency OLS models for a fixed event set. The
+     * per-frequency fits are independent and fan over @p jobs
+     * threads; the model is identical at any jobs count.
+     */
+    PowerModel build(const std::vector<EventSpec> &events,
+                     unsigned jobs = 1) const;
 
     /**
      * Validate a model against a set of observations (use the
      * builder's own set for in-sample quality, or a held-out set).
+     * @p jobs parallelises the per-predictor VIF regressions.
      */
     static PowerModelQuality validate(
         const PowerModel &model,
-        const std::vector<PowerObservation> &observations);
+        const std::vector<PowerObservation> &observations,
+        unsigned jobs = 1);
 
     const std::vector<PowerObservation> &observations() const
     {

@@ -1,0 +1,411 @@
+/**
+ * @file
+ * Cross-validation of the fast statistical analysis engine against
+ * the reference implementations: the updating-QR stepwise and the
+ * nearest-neighbour-chain HCA must reproduce the reference's term
+ * sequences and dendrograms (coefficients and heights within 1e-9),
+ * the blocked matrix kernels must be bit-identical to the checked
+ * triple loops, everything must be invariant in the jobs count, and
+ * degenerate inputs must not split the two paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hh"
+#include "mlstat/analysispath.hh"
+#include "mlstat/correlation.hh"
+#include "mlstat/hca.hh"
+#include "mlstat/ols.hh"
+#include "mlstat/stepwise.hh"
+#include "util/random.hh"
+
+using namespace gemstone;
+using namespace gemstone::mlstat;
+
+namespace {
+
+/** Scoped analysis-path override, always reset on exit. */
+struct PathGuard
+{
+    explicit PathGuard(AnalysisPath path)
+    {
+        setAnalysisPathOverride(path);
+    }
+    ~PathGuard()
+    {
+        setAnalysisPathOverride(AnalysisPath::Fast, true);
+    }
+};
+
+std::vector<Candidate>
+makeCandidates(Rng &rng, std::size_t count, std::size_t n,
+               std::size_t factors = 5)
+{
+    std::vector<std::vector<double>> latent(
+        factors, std::vector<double>(n));
+    for (auto &f : latent)
+        for (double &v : f)
+            v = rng.gaussian();
+
+    std::vector<Candidate> candidates;
+    for (std::size_t c = 0; c < count; ++c) {
+        Candidate cand;
+        cand.name = "cand" + std::to_string(c);
+        cand.values.resize(n);
+        std::vector<double> weights(factors);
+        for (double &w : weights)
+            w = rng.gaussian();
+        for (std::size_t t = 0; t < n; ++t) {
+            double v = 0.0;
+            for (std::size_t f = 0; f < factors; ++f)
+                v += weights[f] * latent[f][t];
+            cand.values[t] = v + 0.4 * rng.gaussian();
+        }
+        candidates.push_back(std::move(cand));
+    }
+    return candidates;
+}
+
+std::vector<double>
+makeResponse(Rng &rng, const std::vector<Candidate> &candidates,
+             std::size_t terms)
+{
+    const std::size_t n = candidates.front().values.size();
+    std::vector<double> response(n, 0.0);
+    for (std::size_t k = 0; k < terms; ++k) {
+        std::size_t pick = rng.uniformInt(candidates.size());
+        double weight = rng.uniform(0.5, 2.0);
+        for (std::size_t t = 0; t < n; ++t)
+            response[t] += weight * candidates[pick].values[t];
+    }
+    for (double &v : response)
+        v += 0.3 * rng.gaussian();
+    return response;
+}
+
+void
+expectStepwiseEqual(const StepwiseResult &ref,
+                    const StepwiseResult &fast)
+{
+    ASSERT_EQ(ref.selected, fast.selected);
+    ASSERT_EQ(ref.names, fast.names);
+    ASSERT_EQ(ref.fit.ok, fast.fit.ok);
+    EXPECT_NEAR(ref.fit.r2, fast.fit.r2, 1e-9);
+    ASSERT_EQ(ref.fit.beta.size(), fast.fit.beta.size());
+    for (std::size_t c = 0; c < ref.fit.beta.size(); ++c)
+        EXPECT_NEAR(ref.fit.beta[c], fast.fit.beta[c], 1e-9);
+    ASSERT_EQ(ref.r2Trajectory.size(), fast.r2Trajectory.size());
+    for (std::size_t s = 0; s < ref.r2Trajectory.size(); ++s)
+        EXPECT_NEAR(ref.r2Trajectory[s], fast.r2Trajectory[s], 1e-9);
+}
+
+void
+expectHcaEqual(const HcaResult &ref, const HcaResult &fast)
+{
+    ASSERT_EQ(ref.leafCount, fast.leafCount);
+    ASSERT_EQ(ref.merges.size(), fast.merges.size());
+    for (std::size_t m = 0; m < ref.merges.size(); ++m) {
+        EXPECT_EQ(ref.merges[m].left, fast.merges[m].left)
+            << "merge " << m;
+        EXPECT_EQ(ref.merges[m].right, fast.merges[m].right)
+            << "merge " << m;
+        EXPECT_EQ(ref.merges[m].size, fast.merges[m].size)
+            << "merge " << m;
+        EXPECT_NEAR(ref.merges[m].height, fast.merges[m].height, 1e-9)
+            << "merge " << m;
+    }
+    EXPECT_EQ(ref.leafOrder(), fast.leafOrder());
+    EXPECT_EQ(ref.cutToClusters(4), fast.cutToClusters(4));
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// Stepwise: fast vs reference
+// ---------------------------------------------------------------
+
+TEST(StepwiseFast, MatchesReferenceOnRandomProblems)
+{
+    Rng rng(0x57E9ULL);
+    for (int trial = 0; trial < 8; ++trial) {
+        std::vector<Candidate> candidates =
+            makeCandidates(rng, 30, 120);
+        std::vector<double> response =
+            makeResponse(rng, candidates, 3 + trial % 4);
+        StepwiseConfig config;
+        config.maxTerms = 6;
+
+        StepwiseResult ref =
+            stepwiseForwardReference(candidates, response, config);
+        StepwiseResult fast =
+            stepwiseForwardFast(candidates, response, config);
+        ASSERT_FALSE(ref.selected.empty()) << "trial " << trial;
+        expectStepwiseEqual(ref, fast);
+    }
+}
+
+TEST(StepwiseFast, MatchesReferenceOnStructuredProblem)
+{
+    // A response that is exactly three candidates plus small noise:
+    // the selection must find them, on both paths, in the same order.
+    Rng rng(0xBEEFULL);
+    std::vector<Candidate> candidates = makeCandidates(rng, 40, 200);
+    std::vector<double> response(200, 0.0);
+    for (std::size_t t = 0; t < 200; ++t) {
+        response[t] = 2.0 * candidates[7].values[t] -
+                      1.5 * candidates[19].values[t] +
+                      0.8 * candidates[31].values[t] +
+                      0.05 * rng.gaussian();
+    }
+    StepwiseConfig config;
+    StepwiseResult ref =
+        stepwiseForwardReference(candidates, response, config);
+    StepwiseResult fast =
+        stepwiseForwardFast(candidates, response, config);
+    // Parity is the contract; the absolute fit only needs to show the
+    // selection found real structure (candidates share latent factors,
+    // so fewer terms can explain most of the response).
+    expectStepwiseEqual(ref, fast);
+    EXPECT_GE(fast.selected.size(), 2u);
+    EXPECT_GT(fast.fit.r2, 0.9);
+}
+
+TEST(StepwiseFast, JobsCountDoesNotChangeResults)
+{
+    Rng rng(0x10B5ULL);
+    std::vector<Candidate> candidates = makeCandidates(rng, 25, 100);
+    std::vector<double> response = makeResponse(rng, candidates, 4);
+
+    StepwiseConfig serial;
+    serial.jobs = 1;
+    StepwiseConfig parallel = serial;
+    parallel.jobs = 8;
+
+    StepwiseResult one =
+        stepwiseForwardFast(candidates, response, serial);
+    StepwiseResult many =
+        stepwiseForwardFast(candidates, response, parallel);
+    ASSERT_EQ(one.selected, many.selected);
+    ASSERT_EQ(one.fit.beta.size(), many.fit.beta.size());
+    for (std::size_t c = 0; c < one.fit.beta.size(); ++c)
+        EXPECT_EQ(one.fit.beta[c], many.fit.beta[c]);  // bit-identical
+    EXPECT_EQ(one.fit.r2, many.fit.r2);
+}
+
+TEST(StepwiseFast, DegenerateInputsMatchReference)
+{
+    Rng rng(0xD6ULL);
+    std::vector<Candidate> candidates = makeCandidates(rng, 12, 60);
+
+    // Constant candidate: skipped by both paths.
+    candidates[3].values.assign(60, 4.2);
+    // Exact duplicate: perfectly collinear with candidate 5 — the
+    // collinearity guard must reject it identically on both paths.
+    candidates[8] = candidates[5];
+    candidates[8].name = "dup-of-5";
+
+    std::vector<double> response = makeResponse(rng, candidates, 3);
+    StepwiseConfig config;
+    config.excluded.insert("cand2");
+
+    StepwiseResult ref =
+        stepwiseForwardReference(candidates, response, config);
+    StepwiseResult fast =
+        stepwiseForwardFast(candidates, response, config);
+    expectStepwiseEqual(ref, fast);
+    for (const std::string &name : fast.names) {
+        EXPECT_NE(name, "cand2");
+        EXPECT_NE(name, "cand3");
+    }
+
+    // Constant response: R2 convention (1.0) must agree.
+    std::vector<double> flat(60, 7.0);
+    expectStepwiseEqual(
+        stepwiseForwardReference(candidates, flat, config),
+        stepwiseForwardFast(candidates, flat, config));
+
+    // Fewer observations than would-be predictors: both paths stop
+    // at the same (possibly empty) selection without failing.
+    std::vector<Candidate> tiny = makeCandidates(rng, 10, 4);
+    std::vector<double> tiny_response = makeResponse(rng, tiny, 2);
+    expectStepwiseEqual(
+        stepwiseForwardReference(tiny, tiny_response, config),
+        stepwiseForwardFast(tiny, tiny_response, config));
+}
+
+// ---------------------------------------------------------------
+// HCA: nearest-neighbour chain vs greedy min-scan
+// ---------------------------------------------------------------
+
+TEST(HcaFast, MatchesReferenceAcrossLinkagesAndMetrics)
+{
+    Rng rng(0xAC1AULL);
+    std::vector<std::vector<double>> series;
+    for (std::size_t s = 0; s < 48; ++s) {
+        std::vector<double> v(80);
+        for (double &x : v)
+            x = rng.gaussian();
+        series.push_back(std::move(v));
+    }
+    const linalg::Matrix metrics[] = {
+        correlationDistances(series),
+        euclideanDistances(series, true),
+    };
+    const Linkage linkages[] = {Linkage::Single, Linkage::Complete,
+                                Linkage::Average};
+    for (const linalg::Matrix &distances : metrics) {
+        for (Linkage linkage : linkages) {
+            expectHcaEqual(agglomerateReference(distances, linkage),
+                           agglomerateNnChain(distances, linkage));
+        }
+    }
+}
+
+TEST(HcaFast, TinyInputs)
+{
+    linalg::Matrix one(1, 1);
+    EXPECT_EQ(agglomerateNnChain(one).merges.size(), 0u);
+
+    linalg::Matrix two(2, 2);
+    two.at(0, 1) = two.at(1, 0) = 3.5;
+    expectHcaEqual(agglomerateReference(two),
+                   agglomerateNnChain(two));
+}
+
+TEST(HcaFast, DistanceHelpersAreJobsInvariant)
+{
+    Rng rng(0xD157ULL);
+    std::vector<std::vector<double>> series;
+    for (std::size_t s = 0; s < 20; ++s) {
+        std::vector<double> v(50);
+        for (double &x : v)
+            x = rng.gaussian();
+        series.push_back(std::move(v));
+    }
+    linalg::Matrix corr1 = correlationDistances(series, 1);
+    linalg::Matrix corr8 = correlationDistances(series, 8);
+    linalg::Matrix euc1 = euclideanDistances(series, true, 1);
+    linalg::Matrix euc8 = euclideanDistances(series, true, 8);
+    for (std::size_t r = 0; r < series.size(); ++r) {
+        for (std::size_t c = 0; c < series.size(); ++c) {
+            EXPECT_EQ(corr1.at(r, c), corr8.at(r, c));
+            EXPECT_EQ(euc1.at(r, c), euc8.at(r, c));
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Correlation matrix / VIF: parallel parity with scalar kernels
+// ---------------------------------------------------------------
+
+TEST(CorrelationFast, MatrixMatchesPairwisePearsonExactly)
+{
+    Rng rng(0xC0ULL);
+    std::vector<std::vector<double>> series;
+    for (std::size_t s = 0; s < 15; ++s) {
+        std::vector<double> v(64);
+        for (double &x : v)
+            x = rng.gaussian();
+        series.push_back(std::move(v));
+    }
+    series[4].assign(64, 1.0);  // constant: pearson convention 0.0
+
+    linalg::Matrix m1 = correlationMatrix(series, 1);
+    linalg::Matrix m8 = correlationMatrix(series, 8);
+    for (std::size_t a = 0; a < series.size(); ++a) {
+        for (std::size_t b = 0; b < series.size(); ++b) {
+            // The diagonal is 1.0 by definition (pairwise pearson
+            // degenerates to 0.0 on the constant series).
+            double expected = a == b
+                ? 1.0
+                : pearson(series[a], series[b]);
+            EXPECT_EQ(m1.at(a, b), expected);
+            EXPECT_EQ(m1.at(a, b), m8.at(a, b));
+        }
+    }
+}
+
+TEST(CorrelationFast, VarianceInflationIsJobsInvariant)
+{
+    Rng rng(0xF1ULL);
+    std::vector<std::vector<double>> predictors;
+    for (std::size_t p = 0; p < 8; ++p) {
+        std::vector<double> v(40);
+        for (double &x : v)
+            x = rng.gaussian();
+        predictors.push_back(std::move(v));
+    }
+    std::vector<double> v1 = varianceInflation(predictors, 1);
+    std::vector<double> v8 = varianceInflation(predictors, 8);
+    ASSERT_EQ(v1.size(), v8.size());
+    for (std::size_t p = 0; p < v1.size(); ++p)
+        EXPECT_EQ(v1[p], v8[p]);
+}
+
+// ---------------------------------------------------------------
+// Blocked linalg kernels: bit-identical to reference loops
+// ---------------------------------------------------------------
+
+TEST(LinalgFast, BlockedKernelsBitIdenticalToReference)
+{
+    Rng rng(0x11ULL);
+    const struct { std::size_t m, k, n; } shapes[] = {
+        {1, 1, 1}, {3, 5, 2}, {63, 64, 65}, {130, 70, 257},
+    };
+    for (const auto &shape : shapes) {
+        linalg::Matrix a(shape.m, shape.k);
+        linalg::Matrix b(shape.k, shape.n);
+        for (std::size_t r = 0; r < shape.m; ++r)
+            for (std::size_t c = 0; c < shape.k; ++c)
+                a.at(r, c) = rng.gaussian();
+        for (std::size_t r = 0; r < shape.k; ++r)
+            for (std::size_t c = 0; c < shape.n; ++c)
+                b.at(r, c) = rng.gaussian();
+
+        linalg::Matrix fast = a.multiply(b);
+        linalg::Matrix ref = linalg::multiplyReference(a, b);
+        ASSERT_EQ(fast.rows(), ref.rows());
+        ASSERT_EQ(fast.cols(), ref.cols());
+        for (std::size_t r = 0; r < ref.rows(); ++r)
+            for (std::size_t c = 0; c < ref.cols(); ++c)
+                ASSERT_EQ(fast.at(r, c), ref.at(r, c));
+
+        linalg::Matrix gram_fast = a.gram();
+        linalg::Matrix gram_ref = linalg::gramReference(a);
+        for (std::size_t r = 0; r < gram_ref.rows(); ++r)
+            for (std::size_t c = 0; c < gram_ref.cols(); ++c)
+                ASSERT_EQ(gram_fast.at(r, c), gram_ref.at(r, c));
+    }
+}
+
+// ---------------------------------------------------------------
+// Dispatch: programmatic override beats the environment
+// ---------------------------------------------------------------
+
+TEST(AnalysisPath, OverrideControlsDispatch)
+{
+    Rng rng(0xD15ULL);
+    std::vector<Candidate> candidates = makeCandidates(rng, 10, 50);
+    std::vector<double> response = makeResponse(rng, candidates, 2);
+    StepwiseConfig config;
+
+    {
+        PathGuard guard(AnalysisPath::Reference);
+        EXPECT_EQ(defaultAnalysisPath(), AnalysisPath::Reference);
+        expectStepwiseEqual(
+            stepwiseForward(candidates, response, config),
+            stepwiseForwardReference(candidates, response, config));
+    }
+    {
+        PathGuard guard(AnalysisPath::Fast);
+        EXPECT_EQ(defaultAnalysisPath(), AnalysisPath::Fast);
+        expectStepwiseEqual(
+            stepwiseForward(candidates, response, config),
+            stepwiseForwardFast(candidates, response, config));
+    }
+}
