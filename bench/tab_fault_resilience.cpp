@@ -197,6 +197,51 @@ main()
                          "uninterrupted campaign\n";
     }
 
+    printBanner(std::cout,
+                "Worker-process deaths: crash-isolated prewarm pool");
+    {
+        // The same faulted campaign, prewarmed by a pool of forked
+        // worker processes that the seeded worker_crash fault mode
+        // SIGKILLs mid-task. Every death costs only a re-dispatch:
+        // the collated dataset stays byte-identical to the serial
+        // workerless reference.
+        const hwsim::CpuCluster cluster = hwsim::CpuCluster::LittleA7;
+        CampaignConfig reference_policy;
+        reference_policy.jobs = 1;
+        const std::string reference_csv =
+            faultedCampaign(cluster, reference_policy).dataset.toCsv();
+
+        hwsim::FaultConfig faults = hwsim::FaultConfig::labMix();
+        // Roughly one prewarm task in five kills its worker.
+        faults.workerCrashProb = 0.2;
+
+        TextTable w({"workers", "worker deaths", "redispatched",
+                     "respawns", "fallback", "byte-identical"});
+        bool all_identical = true;
+        for (unsigned workers : {2u, 4u}) {
+            ExperimentRunner runner{RunnerConfig{}};
+            runner.platform().injectFaults(faults);
+            CampaignConfig policy;
+            policy.jobs = 1;
+            policy.workers = workers;
+            CampaignEngine engine(runner, policy);
+            CampaignResult result = engine.runValidation(cluster);
+            bool identical =
+                result.dataset.toCsv() == reference_csv;
+            all_identical = all_identical && identical;
+            w.addRow({std::to_string(workers),
+                      std::to_string(result.poolStats.workerDeaths),
+                      std::to_string(result.poolStats.redispatches),
+                      std::to_string(result.poolStats.respawns),
+                      std::to_string(result.poolStats.tasksFallback),
+                      identical ? "yes" : "NO"});
+        }
+        w.print(std::cout);
+        if (!all_identical)
+            std::cout << "  ! worker-pool dataset diverged from the "
+                         "workerless campaign\n";
+    }
+
     printBanner(std::cout, "Verdict");
     t.print(std::cout);
     return 0;

@@ -1,0 +1,675 @@
+/**
+ * @file
+ * ProcPool implementation: fork/pipe plumbing, the worker loop, and
+ * the coordinator's supervision state machine.
+ *
+ * Supervision is a single-threaded poll(2) loop — the coordinator
+ * needs no threads of its own, which keeps fork() safe to call again
+ * and keeps every state transition trivially ordered. Per worker
+ * slot the states are:
+ *
+ *   Spawning -> Idle -> Busy -> (Idle | Dead)
+ *   Dead -> (Respawning -> Idle) | Retired
+ *
+ * Death is observed as EOF/POLLHUP on the worker's result pipe
+ * (whatever the cause: crash, SIGKILL, clean exit) and confirmed by
+ * waitpid. A busy corpse's task is re-dispatched; a task that
+ * out-lives maxDispatchesPerTask corpses is routed to the in-process
+ * fallback list instead of killing the whole pool with it.
+ */
+
+#include "exec/procpool.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <deque>
+#include <exception>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <cerrno>
+#include <ctime>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#define GEMSTONE_HAVE_FORK 1
+#endif
+
+#include "exec/wireproto.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace gemstone::exec {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Set in the child immediately after fork. */
+bool insideWorkerProcess = false;
+
+Clock::duration
+fromSeconds(double s)
+{
+    return std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(s));
+}
+
+} // namespace
+
+struct ProcPool::Slot
+{
+    enum class State
+    {
+        Unborn,      //!< never spawned yet
+        Idle,        //!< alive, no task
+        Busy,        //!< alive, executing currentTask
+        Dead,        //!< reaped; may be respawned
+        Retired,     //!< dead and out of respawn budget
+    };
+
+    State state = State::Unborn;
+    pid_t pid = -1;
+    int toChild = -1;    //!< coordinator writes tasks here
+    int fromChild = -1;  //!< coordinator reads results here
+    FrameDecoder decoder;
+    long currentTask = -1;
+    Clock::time_point lastHeard{};
+    Clock::time_point dispatchedAt{};
+    Clock::time_point respawnDue{};
+    unsigned deaths = 0;  //!< per-slot, drives the backoff exponent
+};
+
+bool
+ProcPool::insideWorker()
+{
+    return insideWorkerProcess;
+}
+
+ProcPool::ProcPool(Config config, WorkerFn fn)
+    : poolConfig(std::move(config)), workerFn(std::move(fn))
+{
+    fatal_if(!workerFn, "procpool needs a worker function");
+    if (poolConfig.workers == 0)
+        poolConfig.workers = 1;
+#ifdef GEMSTONE_HAVE_FORK
+    // A worker that dies mid-write must not take the coordinator
+    // down with SIGPIPE; writeAll reports EPIPE instead.
+    ::signal(SIGPIPE, SIG_IGN);
+#endif
+    slots.resize(poolConfig.workers);
+}
+
+ProcPool::~ProcPool()
+{
+    shutdownPool();
+}
+
+void
+ProcPool::spawnSlot(Slot &slot)
+{
+#ifdef GEMSTONE_HAVE_FORK
+    int to_child[2];
+    int from_child[2];
+    if (::pipe(to_child) != 0) {
+        slot.state = Slot::State::Retired;
+        return;
+    }
+    if (::pipe(from_child) != 0) {
+        ::close(to_child[0]);
+        ::close(to_child[1]);
+        slot.state = Slot::State::Retired;
+        return;
+    }
+    pid_t pid = ::fork();
+    if (pid < 0) {
+        for (int fd : {to_child[0], to_child[1], from_child[0],
+                       from_child[1]}) {
+            ::close(fd);
+        }
+        slot.state = Slot::State::Retired;
+        warnLimited("procpool-fork", 3, "procpool: fork failed; "
+                    "retiring a worker slot");
+        return;
+    }
+    if (pid == 0) {
+        // Child: keep only this slot's pipe ends. Every other
+        // worker's fds were inherited and must go, or a dead sibling
+        // would never read EOF at the coordinator.
+        insideWorkerProcess = true;
+        ::close(to_child[1]);
+        ::close(from_child[0]);
+        for (const Slot &other : slots) {
+            if (&other == &slot)
+                continue;
+            if (other.toChild >= 0)
+                ::close(other.toChild);
+            if (other.fromChild >= 0)
+                ::close(other.fromChild);
+        }
+        // The coordinator owns the operator-facing signal flow
+        // (util/signals): a Ctrl-C must drain the pool through the
+        // coordinator, not shred the workers mid-task. SIGTERM keeps
+        // its default so a system-wide kill still works — the
+        // coordinator sees EOF and recovers the task.
+        ::signal(SIGINT, SIG_IGN);
+        ::signal(SIGTERM, SIG_DFL);
+        workerMain(to_child[0], from_child[1]);
+        // not reached
+    }
+    // Coordinator keeps the opposite ends; the read side goes
+    // non-blocking so the supervision loop can drain whatever is
+    // there and move on.
+    ::close(to_child[0]);
+    ::close(from_child[1]);
+    int flags = ::fcntl(from_child[0], F_GETFL, 0);
+    if (flags >= 0)
+        ::fcntl(from_child[0], F_SETFL, flags | O_NONBLOCK);
+    slot.pid = pid;
+    slot.toChild = to_child[1];
+    slot.fromChild = from_child[0];
+    slot.decoder = FrameDecoder();
+    slot.currentTask = -1;
+    slot.lastHeard = Clock::now();
+    // Idle is granted on the worker's Hello frame, not assumed: a
+    // child that dies before its first frame is a death, not a hang.
+    slot.state = Slot::State::Busy;
+#else
+    slot.state = Slot::State::Retired;
+#endif
+}
+
+void
+ProcPool::workerMain(int read_fd, int write_fd)
+{
+#ifdef GEMSTONE_HAVE_FORK
+    writeFrame(write_fd, FrameType::Hello, {});
+    Frame frame;
+    while (readFrame(read_fd, frame)) {
+        if (frame.type == FrameType::Shutdown)
+            break;
+        if (frame.type != FrameType::Task)
+            continue;
+        WireReader reader(frame.payload);
+        std::uint32_t task_id = reader.u32();
+        std::uint32_t dispatch = reader.u32();
+        std::string payload = reader.str();
+        if (!reader.done())
+            break;  // desynchronised: die and let the pool respawn
+
+        // Immediate ack doubles as the first heartbeat; the poll
+        // hook keeps them flowing from inside the run's cooperative
+        // checkpoint sites.
+        WireWriter hb;
+        hb.u32(task_id);
+        writeFrame(write_fd, FrameType::Heartbeat, hb.data());
+        setCoopPollHook(
+            [write_fd, task_id] {
+                WireWriter beat;
+                beat.u32(task_id);
+                writeFrame(write_fd, FrameType::Heartbeat,
+                           beat.data());
+            },
+            poolConfig.heartbeatIntervalSeconds);
+
+        std::string response;
+        std::string error;
+        try {
+            response = workerFn(payload, dispatch);
+        } catch (const std::exception &e) {
+            error = e.what();
+        } catch (...) {
+            error = "unknown exception";
+        }
+        clearCoopPollHook();
+
+        WireWriter out;
+        out.u32(task_id);
+        out.str(error.empty() ? response : error);
+        if (!writeFrame(write_fd,
+                        error.empty() ? FrameType::Result
+                                      : FrameType::TaskFailed,
+                        out.data())) {
+            break;  // coordinator is gone
+        }
+    }
+    // _exit, never exit: no atexit handlers, no flushing of streams
+    // shared copy-on-write with the coordinator.
+    ::_exit(0);
+#else
+    (void)read_fd;
+    (void)write_fd;
+    ::_Exit(0);
+#endif
+}
+
+void
+ProcPool::killSlot(Slot &slot)
+{
+#ifdef GEMSTONE_HAVE_FORK
+    if (slot.pid > 0)
+        ::kill(slot.pid, SIGKILL);
+#endif
+}
+
+void
+ProcPool::reapSlot(Slot &slot)
+{
+#ifdef GEMSTONE_HAVE_FORK
+    if (slot.toChild >= 0)
+        ::close(slot.toChild);
+    if (slot.fromChild >= 0)
+        ::close(slot.fromChild);
+    slot.toChild = -1;
+    slot.fromChild = -1;
+    if (slot.pid > 0) {
+        int status = 0;
+        // The child is dead or dying (EOF observed / SIGKILL sent);
+        // a blocking wait cannot hang for long.
+        ::waitpid(slot.pid, &status, 0);
+    }
+    slot.pid = -1;
+    ++slot.deaths;
+    ++poolStats.workerDeaths;
+    slot.state = Slot::State::Dead;
+#endif
+}
+
+void
+ProcPool::shutdownPool()
+{
+#ifdef GEMSTONE_HAVE_FORK
+    for (Slot &slot : slots) {
+        if (slot.state != Slot::State::Idle &&
+            slot.state != Slot::State::Busy) {
+            continue;
+        }
+        if (slot.toChild >= 0) {
+            writeFrame(slot.toChild, FrameType::Shutdown, {});
+            ::close(slot.toChild);
+            slot.toChild = -1;
+        }
+    }
+    for (Slot &slot : slots) {
+        if (slot.state != Slot::State::Idle &&
+            slot.state != Slot::State::Busy) {
+            continue;
+        }
+        // Bounded grace for a clean drain, then the hammer.
+        const Clock::time_point grace =
+            Clock::now() + fromSeconds(0.5);
+        bool reaped = false;
+        while (Clock::now() < grace) {
+            int status = 0;
+            pid_t done = ::waitpid(slot.pid, &status, WNOHANG);
+            if (done == slot.pid || done < 0) {
+                reaped = true;
+                break;
+            }
+            struct timespec nap{0, 2'000'000};  // 2 ms
+            ::nanosleep(&nap, nullptr);
+        }
+        if (!reaped) {
+            ::kill(slot.pid, SIGKILL);
+            int status = 0;
+            ::waitpid(slot.pid, &status, 0);
+        }
+        if (slot.fromChild >= 0)
+            ::close(slot.fromChild);
+        slot.fromChild = -1;
+        slot.pid = -1;
+        slot.state = Slot::State::Retired;
+    }
+#endif
+}
+
+std::vector<ProcPool::TaskResult>
+ProcPool::runAll(const std::vector<std::string> &tasks)
+{
+    fatal_if(ran, "a ProcPool runs one task list");
+    ran = true;
+
+    std::vector<TaskResult> results(tasks.size());
+    poolStats.tasksTotal = tasks.size();
+    if (tasks.empty())
+        return results;
+
+#ifndef GEMSTONE_HAVE_FORK
+    poolStats.poolExhausted = true;
+#else
+    std::deque<long> queue;
+    for (std::size_t i = 0; i < tasks.size(); ++i)
+        queue.push_back(static_cast<long>(i));
+    std::vector<unsigned> dispatches(tasks.size(), 0);
+    std::vector<long> fallback;
+    std::size_t settled = 0;  //!< completed + failed + fallback
+
+    for (Slot &slot : slots)
+        spawnSlot(slot);
+
+    Rng chaos_rng(poolConfig.chaosSeed);
+    const bool chaos = poolConfig.chaosKillIntervalSeconds > 0.0;
+    Clock::time_point next_chaos = Clock::now() +
+        fromSeconds(poolConfig.chaosKillIntervalSeconds);
+
+    const auto hb_timeout =
+        fromSeconds(poolConfig.heartbeatTimeoutSeconds);
+    const bool has_deadline = poolConfig.taskDeadlineSeconds > 0.0;
+    const auto task_deadline =
+        fromSeconds(poolConfig.taskDeadlineSeconds);
+
+    auto route_task_off_corpse = [&](long task) {
+        if (task < 0)
+            return;
+        if (dispatches[task] >=
+            poolConfig.maxDispatchesPerTask) {
+            fallback.push_back(task);
+            ++settled;
+        } else {
+            queue.push_front(task);
+            ++poolStats.redispatches;
+        }
+    };
+
+    bool cancelled = false;
+    while (settled < tasks.size()) {
+        if (poolConfig.cancel.cancelled() ||
+            poolConfig.deadline.expired()) {
+            cancelled = true;
+            break;
+        }
+        const Clock::time_point now = Clock::now();
+
+        // Chaos harness: SIGKILL one busy worker per period.
+        if (chaos && now >= next_chaos) {
+            std::vector<Slot *> busy;
+            for (Slot &slot : slots) {
+                if (slot.state == Slot::State::Busy &&
+                    slot.currentTask >= 0) {
+                    busy.push_back(&slot);
+                }
+            }
+            if (!busy.empty()) {
+                Slot &victim = *busy[chaos_rng.uniformInt(
+                    busy.size())];
+                killSlot(victim);
+                ++poolStats.chaosKills;
+            }
+            next_chaos = now +
+                fromSeconds(poolConfig.chaosKillIntervalSeconds);
+        }
+
+        // Respawn slots whose backoff has elapsed.
+        for (Slot &slot : slots) {
+            if (slot.state != Slot::State::Dead)
+                continue;
+            if (poolStats.respawns >= poolConfig.maxRespawns) {
+                slot.state = Slot::State::Retired;
+                continue;
+            }
+            if (slot.respawnDue == Clock::time_point{}) {
+                double backoff = std::min(
+                    poolConfig.respawnBackoffBaseSeconds *
+                        static_cast<double>(1u << std::min(
+                            slot.deaths, 16u)),
+                    poolConfig.respawnBackoffCapSeconds);
+                slot.respawnDue = now + fromSeconds(backoff);
+            }
+            if (now >= slot.respawnDue) {
+                slot.respawnDue = Clock::time_point{};
+                spawnSlot(slot);
+                if (slot.state == Slot::State::Busy)
+                    ++poolStats.respawns;
+            }
+        }
+
+        // Dispatch to idle workers.
+        for (Slot &slot : slots) {
+            if (queue.empty())
+                break;
+            if (slot.state != Slot::State::Idle)
+                continue;
+            long task = queue.front();
+            WireWriter req;
+            req.u32(static_cast<std::uint32_t>(task));
+            req.u32(dispatches[task]);
+            req.str(tasks[task]);
+            if (!writeFrame(slot.toChild, FrameType::Task,
+                            req.data())) {
+                // Dead on arrival; EOF handling below recovers.
+                continue;
+            }
+            queue.pop_front();
+            ++dispatches[task];
+            slot.currentTask = task;
+            slot.dispatchedAt = now;
+            slot.lastHeard = now;
+            slot.state = Slot::State::Busy;
+        }
+
+        // Any live capacity left? (Idle/Busy now, or a pending
+        // respawn.) If not, the pool is exhausted: degrade.
+        bool capacity = false;
+        for (Slot &slot : slots) {
+            if (slot.state == Slot::State::Idle ||
+                slot.state == Slot::State::Busy ||
+                slot.state == Slot::State::Dead) {
+                capacity = true;
+                break;
+            }
+        }
+        if (!capacity) {
+            poolStats.poolExhausted = true;
+            break;
+        }
+
+        // Wait for frames (or timers).
+        std::vector<struct pollfd> fds;
+        std::vector<Slot *> fd_slots;
+        for (Slot &slot : slots) {
+            if ((slot.state == Slot::State::Idle ||
+                 slot.state == Slot::State::Busy) &&
+                slot.fromChild >= 0) {
+                fds.push_back({slot.fromChild, POLLIN, 0});
+                fd_slots.push_back(&slot);
+            }
+        }
+        if (!fds.empty()) {
+            ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 10);
+        } else {
+            // All hands dead, waiting out a respawn backoff.
+            struct timespec nap{0, 2'000'000};
+            ::nanosleep(&nap, nullptr);
+        }
+
+        for (std::size_t f = 0; f < fds.size(); ++f) {
+            Slot &slot = *fd_slots[f];
+            if ((fds[f].revents & (POLLIN | POLLHUP | POLLERR)) == 0)
+                continue;
+            bool eof = false;
+            char buf[4096];
+            for (;;) {
+                ssize_t n = ::read(slot.fromChild, buf, sizeof buf);
+                if (n > 0) {
+                    slot.decoder.feed(buf,
+                                      static_cast<std::size_t>(n));
+                    continue;
+                }
+                if (n == 0) {
+                    eof = true;
+                } else if (errno == EINTR) {
+                    continue;
+                } else if (errno != EAGAIN &&
+                           errno != EWOULDBLOCK) {
+                    eof = true;  // unexpected error: treat as death
+                }
+                break;
+            }
+            Frame frame;
+            while (slot.decoder.next(frame)) {
+                slot.lastHeard = Clock::now();
+                switch (frame.type) {
+                  case FrameType::Hello:
+                    if (slot.currentTask < 0)
+                        slot.state = Slot::State::Idle;
+                    break;
+                  case FrameType::Heartbeat:
+                    break;
+                  case FrameType::Result:
+                  case FrameType::TaskFailed: {
+                    WireReader reader(frame.payload);
+                    std::uint32_t task_id = reader.u32();
+                    std::string body = reader.str();
+                    if (!reader.done() ||
+                        task_id >= results.size()) {
+                        break;  // protocol noise; ignore
+                    }
+                    TaskResult &result = results[task_id];
+                    if (result.completed)
+                        break;  // duplicate (already settled)
+                    if (frame.type == FrameType::Result) {
+                        result.completed = true;
+                        result.payload = std::move(body);
+                        ++poolStats.tasksCompleted;
+                    } else {
+                        result.error = std::move(body);
+                        ++poolStats.taskFailures;
+                    }
+                    ++settled;
+                    if (slot.currentTask ==
+                        static_cast<long>(task_id)) {
+                        slot.currentTask = -1;
+                        slot.state = Slot::State::Idle;
+                    }
+                    break;
+                  }
+                  default:
+                    break;
+                }
+            }
+            if (eof || slot.decoder.corrupt()) {
+                killSlot(slot);  // no-op if already dead
+                long orphan = slot.currentTask;
+                slot.currentTask = -1;
+                reapSlot(slot);
+                route_task_off_corpse(orphan);
+            }
+        }
+
+        // Health checks on the survivors. A Busy slot with no task
+        // is a fresh spawn that has not said Hello yet; silence past
+        // the heartbeat timeout condemns it just the same.
+        const Clock::time_point checked = Clock::now();
+        for (Slot &slot : slots) {
+            if (slot.state != Slot::State::Busy)
+                continue;
+            bool kill = false;
+            if (checked - slot.lastHeard > hb_timeout) {
+                ++poolStats.heartbeatKills;
+                kill = true;
+            } else if (has_deadline && slot.currentTask >= 0 &&
+                       checked - slot.dispatchedAt > task_deadline) {
+                ++poolStats.deadlineKills;
+                kill = true;
+            }
+            if (kill) {
+                killSlot(slot);
+                long orphan = slot.currentTask;
+                slot.currentTask = -1;
+                reapSlot(slot);
+                route_task_off_corpse(orphan);
+            }
+        }
+    }
+
+    // Anything still queued or in flight when the loop broke out
+    // (exhaustion) joins the fallback list; on cancellation it is
+    // simply left incomplete.
+    if (!cancelled) {
+        for (Slot &slot : slots) {
+            if (slot.currentTask >= 0) {
+                fallback.push_back(slot.currentTask);
+                slot.currentTask = -1;
+            }
+        }
+        for (long task : queue)
+            fallback.push_back(task);
+    }
+
+    shutdownPool();
+
+    if (!cancelled && poolConfig.inProcessFallback) {
+        std::sort(fallback.begin(), fallback.end());
+        fallback.erase(std::unique(fallback.begin(), fallback.end()),
+                       fallback.end());
+        for (long task : fallback) {
+            if (poolConfig.cancel.cancelled() ||
+                poolConfig.deadline.expired()) {
+                break;
+            }
+            TaskResult &result = results[task];
+            if (result.completed || !result.error.empty())
+                continue;
+            try {
+                result.payload =
+                    workerFn(tasks[task], kInProcessDispatch);
+                result.completed = true;
+                result.inProcess = true;
+                ++poolStats.tasksFallback;
+            } catch (const std::exception &e) {
+                result.error = e.what();
+                ++poolStats.taskFailures;
+            }
+        }
+    }
+#endif
+    return results;
+}
+
+std::string
+encodeStoreEntries(
+    const std::vector<std::pair<std::string, ResultStore::Fields>>
+        &entries)
+{
+    WireWriter out;
+    out.u32(static_cast<std::uint32_t>(entries.size()));
+    for (const auto &[key, fields] : entries) {
+        out.str(key);
+        out.u32(static_cast<std::uint32_t>(fields.size()));
+        for (const auto &[name, value] : fields) {
+            out.str(name);
+            out.f64(value);
+        }
+    }
+    return out.take();
+}
+
+bool
+decodeStoreEntries(
+    const std::string &payload,
+    std::vector<std::pair<std::string, ResultStore::Fields>> &out)
+{
+    out.clear();
+    WireReader reader(payload);
+    std::uint32_t count = reader.u32();
+    for (std::uint32_t i = 0; i < count && reader.ok(); ++i) {
+        std::string key = reader.str();
+        std::uint32_t nfields = reader.u32();
+        ResultStore::Fields fields;
+        fields.reserve(nfields);
+        for (std::uint32_t j = 0; j < nfields && reader.ok(); ++j) {
+            std::string name = reader.str();
+            double value = reader.f64();
+            fields.emplace_back(std::move(name), value);
+        }
+        out.emplace_back(std::move(key), std::move(fields));
+    }
+    if (!reader.done()) {
+        out.clear();
+        return false;
+    }
+    return true;
+}
+
+} // namespace gemstone::exec

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Crash-isolated multi-process task execution.
+ *
+ * A ProcPool forks a pool of worker processes and shards a list of
+ * string-payload tasks across them over anonymous pipes, speaking
+ * the length-prefixed binary protocol of exec/wireproto.hh. Workers
+ * execute a caller-supplied function; the coordinator supervises:
+ *
+ *  - per-worker heartbeats: workers emit Heartbeat frames from the
+ *    cooperative poll sites inside long runs (util/cancellation's
+ *    poll hook), so a wedged worker — one that stopped making
+ *    progress — goes silent and is SIGKILLed after the configured
+ *    timeout;
+ *  - per-task deadlines: a dispatch that overruns its wall-clock
+ *    budget is killed the same way;
+ *  - worker death (crash, OOM-kill, SIGKILL, clean exit) is detected
+ *    via pipe EOF and reaped; the in-flight task is re-dispatched to
+ *    another worker, up to a bounded dispatch budget per task;
+ *  - dead slots are respawned with exponential backoff, up to a
+ *    pool-wide respawn budget;
+ *  - when every worker is dead and the respawn budget is exhausted,
+ *    the pool degrades gracefully: remaining tasks run in-process in
+ *    the coordinator (unless fallback is disabled), so losing every
+ *    worker never loses the campaign.
+ *
+ * The pool carries *no* correctness burden in the campaign stack: a
+ * worker's only observable effect is the result payload it returns
+ * (content-addressed store entries), and any task the pool fails to
+ * finish is recomputed in-process. Output is therefore byte-identical
+ * at any worker count, including under randomly SIGKILLed workers —
+ * see DESIGN.md §14 for the full argument.
+ *
+ * Workers are forked, not exec'd: the child inherits the
+ * coordinator's address space copy-on-write, so the worker function
+ * can close over arbitrary campaign state. Fork safety rules: create
+ * the pool while the process is single-threaded (before any
+ * ThreadPool spins up), and keep workers single-threaded — the
+ * heartbeat rides the coop poll hook precisely so no worker thread is
+ * needed. Workers never return from runAll's child branch; they
+ * _exit(0) without unwinding.
+ *
+ * Chaos testing: chaosKillIntervalSeconds > 0 makes the coordinator
+ * itself SIGKILL a deterministically chosen busy worker at that
+ * period, which is how the determinism tests prove kill-recovery
+ * without racing an external killer.
+ */
+
+#ifndef GEMSTONE_EXEC_PROCPOOL_HH
+#define GEMSTONE_EXEC_PROCPOOL_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/resultstore.hh"
+#include "util/cancellation.hh"
+
+namespace gemstone::exec {
+
+class ProcPool
+{
+  public:
+    /** Dispatch index passed for in-process fallback execution. */
+    static constexpr unsigned kInProcessDispatch = ~0u;
+
+    struct Config
+    {
+        /** Worker processes to fork (clamped to >= 1). */
+        unsigned workers = 2;
+
+        /** Worker heartbeat period while executing a task. */
+        double heartbeatIntervalSeconds = 0.05;
+
+        /** Silence longer than this marks a worker wedged. */
+        double heartbeatTimeoutSeconds = 5.0;
+
+        /** Wall-clock budget per dispatch; 0 = unlimited. */
+        double taskDeadlineSeconds = 0.0;
+
+        /** Dispatch budget per task before it goes to fallback. */
+        unsigned maxDispatchesPerTask = 3;
+
+        /** Pool-wide respawn budget for dead workers. */
+        unsigned maxRespawns = 8;
+
+        /** Respawn backoff: base * 2^deaths per slot, capped. */
+        double respawnBackoffBaseSeconds = 0.01;
+        double respawnBackoffCapSeconds = 1.0;
+
+        /** Run tasks the pool could not finish in the coordinator. */
+        bool inProcessFallback = true;
+
+        /**
+         * Chaos harness: every interval the coordinator SIGKILLs one
+         * deterministically chosen busy worker. 0 disables. Purely a
+         * test knob; output stays byte-identical regardless.
+         */
+        double chaosKillIntervalSeconds = 0.0;
+        std::uint64_t chaosSeed = 0xc4a05ULL;
+
+        /**
+         * Cooperative cancellation: once cancelled, the coordinator
+         * stops dispatching, kills the pool and returns with the
+         * remaining tasks incomplete (no fallback pass).
+         */
+        CancellationToken cancel;
+
+        /**
+         * Overall wall-clock bound on the pool run, checked like
+         * cancellation: on expiry the coordinator stops and returns
+         * with the remaining tasks incomplete — the caller's own
+         * deadline machinery then raises the structured error. A
+         * default-constructed deadline is unlimited.
+         */
+        Deadline deadline;
+    };
+
+    /** Supervision accounting for reports and tests. */
+    struct Stats
+    {
+        std::size_t tasksTotal = 0;
+        std::size_t tasksCompleted = 0;   //!< finished in a worker
+        std::size_t tasksFallback = 0;    //!< finished in-process
+        std::size_t taskFailures = 0;     //!< worker fn threw
+        unsigned workerDeaths = 0;        //!< exits/crashes observed
+        unsigned heartbeatKills = 0;      //!< silent workers killed
+        unsigned deadlineKills = 0;       //!< overrunning dispatches
+        unsigned chaosKills = 0;          //!< chaos-harness kills
+        unsigned respawns = 0;
+        unsigned redispatches = 0;        //!< tasks moved off a corpse
+        bool poolExhausted = false;       //!< degraded to in-process
+    };
+
+    /** Outcome of one task. */
+    struct TaskResult
+    {
+        bool completed = false;   //!< payload is valid
+        bool inProcess = false;   //!< finished via fallback
+        std::string payload;      //!< worker function's return value
+        std::string error;        //!< set when the function threw
+    };
+
+    /**
+     * The task body. Runs inside a forked worker with @p dispatch =
+     * 0, 1, ... for first and re-dispatched executions, or in the
+     * coordinator with kInProcessDispatch during fallback. Must be a
+     * pure function of its payload (plus state inherited at fork) —
+     * re-dispatch and fallback assume executing twice is harmless.
+     * Exceptions become TaskResult::error.
+     */
+    using WorkerFn =
+        std::function<std::string(const std::string &payload,
+                                  unsigned dispatch)>;
+
+    ProcPool(Config config, WorkerFn fn);
+    ~ProcPool();
+
+    ProcPool(const ProcPool &) = delete;
+    ProcPool &operator=(const ProcPool &) = delete;
+
+    /**
+     * Execute every task, supervising the pool until all tasks are
+     * completed, failed or fallen back — or cancellation stops the
+     * run. Single use: a pool runs one task list, then only its
+     * stats remain meaningful.
+     */
+    std::vector<TaskResult> runAll(
+        const std::vector<std::string> &tasks);
+
+    const Stats &stats() const { return poolStats; }
+
+    /** True when called inside a forked worker process. */
+    static bool insideWorker();
+
+  private:
+    struct Slot;
+
+    void spawnSlot(Slot &slot);
+    [[noreturn]] void workerMain(int read_fd, int write_fd);
+    void killSlot(Slot &slot);
+    void reapSlot(Slot &slot);
+    void shutdownPool();
+
+    Config poolConfig;
+    WorkerFn workerFn;
+    Stats poolStats;
+    std::vector<Slot> slots;
+    bool ran = false;
+};
+
+/**
+ * Encode (key, fields) result-store entries as a Result payload —
+ * the worker->coordinator currency of the campaign prewarm phase.
+ * Doubles travel as raw bits; the round trip is bit-exact.
+ */
+std::string encodeStoreEntries(
+    const std::vector<std::pair<std::string, ResultStore::Fields>>
+        &entries);
+
+/** Decode encodeStoreEntries(); false on a malformed payload. */
+bool decodeStoreEntries(
+    const std::string &payload,
+    std::vector<std::pair<std::string, ResultStore::Fields>> &out);
+
+} // namespace gemstone::exec
+
+#endif // GEMSTONE_EXEC_PROCPOOL_HH

@@ -5,10 +5,13 @@
 
 #include "exec/resultstore.hh"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cmath>
 #include <filesystem>
 
+#include "exec/sharedtier.hh"
 #include "util/csv.hh"
 #include "util/logging.hh"
 #include "util/strutil.hh"
@@ -28,6 +31,8 @@ ResultStore::ResultStore(std::size_t capacity)
 {
 }
 
+ResultStore::~ResultStore() = default;
+
 std::uint64_t
 ResultStore::fnv1a(const std::string &text)
 {
@@ -45,6 +50,16 @@ ResultStore::lookup(const std::string &key, Fields &out)
     std::uint64_t hash = fnv1a(key);
     std::lock_guard<std::mutex> lock(storeMutex);
     auto it = entries.find(hash);
+    if (it == entries.end() && tier != nullptr && tier->maybeGrown()) {
+        // Miss in the memory tier: absorb whatever other processes
+        // have published, then look again.
+        tier->refresh([this](const std::string &k, Fields f) {
+            absorbLocked(k, std::move(f));
+        });
+        it = entries.find(hash);
+        if (it != entries.end() && it->second.key == key)
+            ++counters.sharedHits;
+    }
     if (it == entries.end()) {
         ++counters.misses;
         return false;
@@ -92,9 +107,29 @@ ResultStore::insertLocked(const std::string &key, Fields fields)
 }
 
 void
+ResultStore::absorbLocked(const std::string &key, Fields fields)
+{
+    // Absorbed entries are other processes' finished work, not ours:
+    // keep the insertions counter meaning "results computed by this
+    // process" and keep them out of the journal.
+    const std::uint64_t insertions_before = counters.insertions;
+    insertLocked(key, std::move(fields));
+    counters.insertions = insertions_before;
+}
+
+void
 ResultStore::insert(const std::string &key, Fields fields)
 {
     std::lock_guard<std::mutex> lock(storeMutex);
+    if (journalEnabled)
+        journal.emplace_back(key, fields);
+    if (tier != nullptr &&
+        tierOwnerPid == static_cast<int>(::getpid())) {
+        tier->publish(key, fields,
+                      [this](const std::string &k, Fields f) {
+                          absorbLocked(k, std::move(f));
+                      });
+    }
     insertLocked(key, std::move(fields));
 }
 
@@ -209,6 +244,47 @@ ResultStore::saveCsv(const std::string &path) const
             csv.addRow({entry->key, name, formatExactDouble(value)});
     }
     return csv.writeFileAtomic(path);
+}
+
+Status
+ResultStore::attachSharedTier(const std::string &path)
+{
+    auto opened = SharedTierFile::open(path);
+    if (!opened.ok())
+        return opened.status();
+    std::lock_guard<std::mutex> lock(storeMutex);
+    tier = opened.takeValue();
+    tierOwnerPid = static_cast<int>(::getpid());
+    // Start warm: absorb everything already in the file.
+    tier->refresh([this](const std::string &k, Fields f) {
+        absorbLocked(k, std::move(f));
+    });
+    return Status::okStatus();
+}
+
+bool
+ResultStore::hasSharedTier() const
+{
+    std::lock_guard<std::mutex> lock(storeMutex);
+    return tier != nullptr;
+}
+
+void
+ResultStore::enableJournal()
+{
+    std::lock_guard<std::mutex> lock(storeMutex);
+    journalEnabled = true;
+    journal.clear();
+}
+
+std::vector<std::pair<std::string, ResultStore::Fields>>
+ResultStore::takeJournal()
+{
+    std::lock_guard<std::mutex> lock(storeMutex);
+    journalEnabled = false;
+    auto drained = std::move(journal);
+    journal.clear();
+    return drained;
 }
 
 } // namespace gemstone::exec

@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -37,6 +38,8 @@
 #include "util/status.hh"
 
 namespace gemstone::exec {
+
+class SharedTierFile;
 
 class ResultStore
 {
@@ -53,10 +56,14 @@ class ResultStore
         std::uint64_t evictions = 0;
         /** Distinct keys whose hash collided with a resident entry. */
         std::uint64_t collisions = 0;
+        /** Misses converted to hits by the shared persistent tier. */
+        std::uint64_t sharedHits = 0;
     };
 
     /** @param capacity resident entry bound (0 is clamped to 1) */
     explicit ResultStore(std::size_t capacity = 65536);
+
+    ~ResultStore();
 
     /** FNV-1a 64-bit hash — the content address of a key string. */
     static std::uint64_t fnv1a(const std::string &text);
@@ -65,7 +72,10 @@ class ResultStore
      * Look up a key; on a hit the entry becomes most-recently-used
      * and @p out receives the payload. Counts a hit or miss either
      * way. A hash collision with a different resident key counts as
-     * a miss (and a collision).
+     * a miss (and a collision). With a shared tier attached, a miss
+     * falls through to the tier: entries other processes published
+     * since the last look are absorbed, and a key found that way
+     * counts as a hit (and a sharedHit).
      */
     bool lookup(const std::string &key, Fields &out);
 
@@ -97,6 +107,39 @@ class ResultStore
      */
     Status saveCsv(const std::string &path) const;
 
+    /**
+     * Attach a shared persistent tier (exec/sharedtier.hh) at
+     * @p path, making this a two-tier store: the in-memory LRU in
+     * front, a flock-guarded append-only CSV shared across processes
+     * behind. Entries already in the file are absorbed immediately;
+     * later misses absorb whatever other processes have published
+     * (see lookup()); inserts are published to the file.
+     *
+     * Only the attaching process publishes. A forked child inherits
+     * the attachment and keeps reading the tier (with its own lock
+     * identity), but its inserts stay local — results flow back to
+     * the attaching coordinator, which publishes them. That keeps
+     * crash-prone worker processes out of the writer set, so a
+     * SIGKILLed worker can never tear the shared file.
+     */
+    Status attachSharedTier(const std::string &path);
+
+    bool hasSharedTier() const;
+
+    /** The attached tier (for its stats), or nullptr. */
+    const SharedTierFile *sharedTier() const { return tier.get(); }
+
+    /**
+     * Start recording keys inserted by *this process* (absorbed and
+     * loaded entries excluded). A forked worker journals what it
+     * computed so exactly those entries travel back over the pipe.
+     */
+    void enableJournal();
+
+    /** Drain the journal recorded since enableJournal() and stop
+     *  recording until the next enableJournal(). */
+    std::vector<std::pair<std::string, Fields>> takeJournal();
+
   private:
     struct Entry
     {
@@ -107,12 +150,22 @@ class ResultStore
 
     void insertLocked(const std::string &key, Fields fields);
 
+    /** Tier-absorb sink: insert without counting or journalling. */
+    void absorbLocked(const std::string &key, Fields fields);
+
     mutable std::mutex storeMutex;
     std::size_t maxEntries;
     std::unordered_map<std::uint64_t, Entry> entries;
     /** Most recent at the front; evict from the back. */
     std::list<std::uint64_t> lruOrder;
     Stats counters;
+
+    std::unique_ptr<SharedTierFile> tier;
+    /** Pid that attached the tier — the only publisher. */
+    int tierOwnerPid = -1;
+
+    bool journalEnabled = false;
+    std::vector<std::pair<std::string, Fields>> journal;
 };
 
 } // namespace gemstone::exec

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Length-prefixed binary framing for coordinator <-> worker pipes.
+ *
+ * The process pool (exec/procpool.hh) speaks a small binary protocol
+ * over anonymous pipes: every message is one frame — a 32-bit
+ * little-endian payload length, a one-byte frame type, then the
+ * payload. Frames are self-delimiting, so the coordinator can feed
+ * arbitrary read() chunks into a FrameDecoder and pull out complete
+ * frames as they form; a worker, which owns its pipe end exclusively
+ * and blocks anyway, reads frames with the simpler readFrame().
+ *
+ * Payloads are built and parsed with WireWriter/WireReader:
+ * fixed-width little-endian integers, length-prefixed strings, and
+ * doubles shipped as their raw IEEE-754 bits — the transfer is
+ * bit-exact by construction, which is what lets worker-computed
+ * results feed the repo's byte-identity contract.
+ *
+ * A length prefix larger than kMaxFramePayload marks the stream as
+ * corrupt (a desynchronised or hostile peer); the decoder latches the
+ * error instead of allocating an absurd buffer.
+ */
+
+#ifndef GEMSTONE_EXEC_WIREPROTO_HH
+#define GEMSTONE_EXEC_WIREPROTO_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gemstone::exec {
+
+/** Frame types of the procpool protocol. */
+enum class FrameType : std::uint8_t
+{
+    Hello = 1,      //!< worker -> coordinator: alive and idle
+    Task = 2,       //!< coordinator -> worker: execute a task
+    Result = 3,     //!< worker -> coordinator: task finished
+    TaskFailed = 4, //!< worker -> coordinator: task threw
+    Heartbeat = 5,  //!< worker -> coordinator: still making progress
+    Shutdown = 6,   //!< coordinator -> worker: drain and exit
+};
+
+/** One decoded frame. */
+struct Frame
+{
+    FrameType type = FrameType::Hello;
+    std::string payload;
+};
+
+/** Refuse frames above this payload size (stream desync guard). */
+inline constexpr std::size_t kMaxFramePayload = 64u << 20;
+
+/** Serialise a frame (length prefix + type byte + payload). */
+std::string encodeFrame(FrameType type, const std::string &payload);
+
+/**
+ * Incremental frame decoder. feed() appends raw bytes; next() pops
+ * the oldest complete frame. Once corrupt() the decoder stays
+ * corrupt and next() never yields again.
+ */
+class FrameDecoder
+{
+  public:
+    void feed(const char *data, std::size_t size);
+
+    /** Pop the next complete frame; false when none (or corrupt). */
+    bool next(Frame &out);
+
+    bool corrupt() const { return isCorrupt; }
+
+    /** Bytes buffered but not yet consumed by next(). */
+    std::size_t buffered() const { return buffer.size() - consumed; }
+
+  private:
+    std::string buffer;
+    std::size_t consumed = 0;
+    bool isCorrupt = false;
+};
+
+/**
+ * Append-only payload builder. All integers little-endian; strings
+ * are u32-length-prefixed; doubles are raw IEEE bits (bit-exact).
+ */
+class WireWriter
+{
+  public:
+    void u8(std::uint8_t value);
+    void u32(std::uint32_t value);
+    void u64(std::uint64_t value);
+    void f64(double value);
+    void str(const std::string &value);
+
+    const std::string &data() const { return out; }
+    std::string take() { return std::move(out); }
+
+  private:
+    std::string out;
+};
+
+/**
+ * Payload parser matching WireWriter. Reads return zero values once
+ * the payload is exhausted or malformed; check ok() after parsing —
+ * a truncated payload is a protocol error, not a crash.
+ */
+class WireReader
+{
+  public:
+    explicit WireReader(const std::string &payload)
+        : data(payload)
+    {
+    }
+
+    std::uint8_t u8();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    double f64();
+    std::string str();
+
+    /** True while every read so far was in bounds. */
+    bool ok() const { return isOk; }
+
+    /** True when the whole payload was consumed exactly. */
+    bool done() const { return isOk && pos == data.size(); }
+
+  private:
+    bool take(void *into, std::size_t count);
+
+    const std::string &data;
+    std::size_t pos = 0;
+    bool isOk = true;
+};
+
+/**
+ * Write all of @p data to @p fd, retrying on EINTR and partial
+ * writes. Returns false on any unrecoverable error (EPIPE included —
+ * the caller treats the peer as dead).
+ */
+bool writeAll(int fd, const std::string &data);
+
+/** writeAll() of one encoded frame. */
+bool writeFrame(int fd, FrameType type, const std::string &payload);
+
+/**
+ * Blocking read of one complete frame (worker side, which owns the
+ * read end exclusively). Returns false on EOF, error or corruption.
+ */
+bool readFrame(int fd, Frame &out);
+
+} // namespace gemstone::exec
+
+#endif // GEMSTONE_EXEC_WIREPROTO_HH

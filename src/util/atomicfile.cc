@@ -40,6 +40,23 @@ syncPath(const std::string &path)
 } // namespace
 
 Status
+fsyncDirectoryOf(const std::string &path)
+{
+#ifdef GEMSTONE_HAVE_FSYNC
+    std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    const std::string dir = parent.empty() ? "." : parent.string();
+    if (!syncPath(dir)) {
+        return Status::error(StatusCode::IoError,
+                             "cannot fsync directory " + dir);
+    }
+#else
+    (void)path;
+#endif
+    return Status::okStatus();
+}
+
+Status
 atomicWriteFile(const std::string &path, const std::string &content,
                 const std::string &marker_line)
 {
@@ -75,11 +92,12 @@ atomicWriteFile(const std::string &path, const std::string &content,
                              "cannot rename " + tmp + " over " + path +
                                  ": " + ec.message());
     }
-    // Make the rename itself durable.
-    std::filesystem::path parent =
-        std::filesystem::path(path).parent_path();
-    syncPath(parent.empty() ? "." : parent.string());
-    return Status::okStatus();
+    // Make the rename itself durable: until the directory entry is
+    // flushed, power loss can roll the rename back — or worse, leave
+    // the entry pointing at unflushed metadata. A failure here is a
+    // hard error like every other step; callers relying on "either
+    // the old file or the new one" need the rename to actually stick.
+    return fsyncDirectoryOf(path);
 }
 
 Result<TailRecovery>
@@ -136,6 +154,16 @@ recoverCsvTail(const std::string &path)
                                      recovery.corruptPath);
         }
     }
+    // The quarantine must be durable before the truncate destroys
+    // the only other copy of the tail: fsync the sidecar's bytes and
+    // its directory entry (the file may be freshly created).
+    if (!syncPath(recovery.corruptPath)) {
+        return Status::error(StatusCode::IoError,
+                             "cannot fsync " + recovery.corruptPath);
+    }
+    Status dir_synced = fsyncDirectoryOf(recovery.corruptPath);
+    if (!dir_synced.ok())
+        return dir_synced;
     // Truncate back to the last good row only after the tail is
     // safely in the sidecar.
     std::filesystem::resize_file(path, last_boundary, ec);
@@ -143,6 +171,10 @@ recoverCsvTail(const std::string &path)
         return Status::error(StatusCode::IoError,
                              "cannot truncate " + path + ": " +
                                  ec.message());
+    }
+    if (!syncPath(path)) {
+        return Status::error(StatusCode::IoError,
+                             "cannot fsync " + path);
     }
     return recovery;
 }

@@ -37,6 +37,14 @@ Status atomicWriteFile(const std::string &path,
                        const std::string &content,
                        const std::string &marker_line = std::string());
 
+/**
+ * fsync the directory containing @p path, making a completed rename,
+ * create or truncate of that file durable across power loss — on
+ * POSIX the rename itself only becomes persistent once the directory
+ * entry is flushed. No-op Ok on platforms without fsync.
+ */
+Status fsyncDirectoryOf(const std::string &path);
+
 /** Outcome of a tail-recovery pass over an append-style CSV. */
 struct TailRecovery
 {

@@ -1,0 +1,406 @@
+/**
+ * @file
+ * The crash-isolated process pool and its wire protocol: framing and
+ * payload round trips, worker crash/hang/overrun recovery, graceful
+ * degradation to in-process execution, and cancellation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <signal.h>
+#include <unistd.h>
+#endif
+
+#include "exec/procpool.hh"
+#include "exec/wireproto.hh"
+#include "util/cancellation.hh"
+
+using namespace gemstone;
+using exec::Frame;
+using exec::FrameDecoder;
+using exec::FrameType;
+using exec::ProcPool;
+using exec::WireReader;
+using exec::WireWriter;
+
+namespace {
+
+/** Sleep without burning a core; EINTR-tolerant enough for tests. */
+void
+napMs(long ms)
+{
+    struct timespec nap{ms / 1000, (ms % 1000) * 1'000'000};
+    ::nanosleep(&nap, nullptr);
+}
+
+/** Busy-wait while feeding the coop checkpoint (heartbeats flow). */
+void
+spinWithCheckpoints(long ms)
+{
+    for (long elapsed = 0; elapsed < ms; ++elapsed) {
+        // Well past the hook's clock-check stride per millisecond.
+        for (int i = 0; i < 5000; ++i)
+            coopCheckpoint();
+        napMs(1);
+    }
+}
+
+} // namespace
+
+TEST(WireProto, WriterReaderRoundTrip)
+{
+    WireWriter w;
+    w.u8(0xfe);
+    w.u32(0xdeadbeefu);
+    w.u64(0x0123456789abcdefULL);
+    w.f64(-0.0);
+    w.f64(1e-308);  // denormal territory: bits must survive
+    w.str(std::string("with\0nul and \nnewline", 21));
+    w.str("");
+
+    WireReader r(w.data());
+    EXPECT_EQ(r.u8(), 0xfe);
+    EXPECT_EQ(r.u32(), 0xdeadbeefu);
+    EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+    double negzero = r.f64();
+    EXPECT_EQ(std::memcmp(&negzero, "\0\0\0\0\0\0\0\x80", 8), 0);
+    EXPECT_EQ(r.f64(), 1e-308);
+    EXPECT_EQ(r.str(), std::string("with\0nul and \nnewline", 21));
+    EXPECT_EQ(r.str(), "");
+    EXPECT_TRUE(r.done());
+}
+
+TEST(WireProto, TruncatedPayloadIsAnErrorNotACrash)
+{
+    WireWriter w;
+    w.u32(7);
+    w.str("hello");
+    std::string cut = w.data().substr(0, w.data().size() - 2);
+
+    WireReader r(cut);
+    EXPECT_EQ(r.u32(), 7u);
+    r.str();  // runs off the end
+    EXPECT_FALSE(r.ok());
+    EXPECT_FALSE(r.done());
+    // Subsequent reads stay zero-valued, never UB.
+    EXPECT_EQ(r.u64(), 0u);
+}
+
+TEST(WireProto, DecoderReassemblesArbitraryChunks)
+{
+    std::string stream;
+    stream += exec::encodeFrame(FrameType::Hello, {});
+    stream += exec::encodeFrame(FrameType::Task, "payload one");
+    stream += exec::encodeFrame(FrameType::Result,
+                                std::string("\0\x01\x02", 3));
+
+    // Worst case: one byte at a time.
+    FrameDecoder decoder;
+    std::vector<Frame> frames;
+    Frame frame;
+    for (char c : stream) {
+        decoder.feed(&c, 1);
+        while (decoder.next(frame))
+            frames.push_back(frame);
+    }
+    ASSERT_EQ(frames.size(), 3u);
+    EXPECT_EQ(frames[0].type, FrameType::Hello);
+    EXPECT_EQ(frames[1].type, FrameType::Task);
+    EXPECT_EQ(frames[1].payload, "payload one");
+    EXPECT_EQ(frames[2].type, FrameType::Result);
+    EXPECT_EQ(frames[2].payload, std::string("\0\x01\x02", 3));
+    EXPECT_FALSE(decoder.corrupt());
+    EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(WireProto, AbsurdLengthPrefixLatchesCorrupt)
+{
+    // 0xffffffff bytes claimed: way past kMaxFramePayload.
+    const char bogus[5] = {'\xff', '\xff', '\xff', '\xff', 1};
+    FrameDecoder decoder;
+    decoder.feed(bogus, sizeof bogus);
+    Frame frame;
+    EXPECT_FALSE(decoder.next(frame));
+    EXPECT_TRUE(decoder.corrupt());
+    // Feeding a valid frame afterwards must not resurrect it.
+    std::string good = exec::encodeFrame(FrameType::Hello, {});
+    decoder.feed(good.data(), good.size());
+    EXPECT_FALSE(decoder.next(frame));
+    EXPECT_TRUE(decoder.corrupt());
+}
+
+TEST(WireProto, StoreEntriesRoundTripBitExact)
+{
+    std::vector<std::pair<std::string, exec::ResultStore::Fields>>
+        entries = {
+            {"hw|dhrystone|1000",
+             {{"exec_seconds", 0.1},           // not exactly
+              {"power_watts", 1.0 / 3.0},     //   representable
+              {"energy_joules", -0.0}}},
+            {"g5|whets|600", {{"sim_seconds", 1e-308}}},
+            {"empty|fields", {}},
+        };
+    std::string payload = exec::encodeStoreEntries(entries);
+
+    std::vector<std::pair<std::string, exec::ResultStore::Fields>>
+        decoded;
+    ASSERT_TRUE(exec::decodeStoreEntries(payload, decoded));
+    ASSERT_EQ(decoded.size(), entries.size());
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        EXPECT_EQ(decoded[i].first, entries[i].first);
+        ASSERT_EQ(decoded[i].second.size(), entries[i].second.size());
+        for (std::size_t j = 0; j < entries[i].second.size(); ++j) {
+            EXPECT_EQ(decoded[i].second[j].first,
+                      entries[i].second[j].first);
+            // Bit equality, not value equality: -0.0 must stay -0.0.
+            EXPECT_EQ(std::memcmp(&decoded[i].second[j].second,
+                                  &entries[i].second[j].second, 8),
+                      0);
+        }
+    }
+
+    // A truncated payload decodes to false, not to partial entries.
+    std::string cut = payload.substr(0, payload.size() - 3);
+    EXPECT_FALSE(exec::decodeStoreEntries(cut, decoded));
+    EXPECT_TRUE(decoded.empty());
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+TEST(ProcPoolTest, EchoRoundTrip)
+{
+    ProcPool::Config config;
+    config.workers = 2;
+    ProcPool pool(config, [](const std::string &payload, unsigned) {
+        return "echo:" + payload;
+    });
+
+    std::vector<std::string> tasks;
+    for (int i = 0; i < 8; ++i)
+        tasks.push_back("task" + std::to_string(i));
+    std::vector<ProcPool::TaskResult> results = pool.runAll(tasks);
+
+    ASSERT_EQ(results.size(), tasks.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        EXPECT_TRUE(results[i].completed);
+        EXPECT_FALSE(results[i].inProcess);
+        EXPECT_EQ(results[i].payload, "echo:" + tasks[i]);
+        EXPECT_TRUE(results[i].error.empty());
+    }
+    EXPECT_EQ(pool.stats().tasksTotal, tasks.size());
+    EXPECT_EQ(pool.stats().tasksCompleted, tasks.size());
+    EXPECT_EQ(pool.stats().tasksFallback, 0u);
+    EXPECT_EQ(pool.stats().workerDeaths, 0u);
+}
+
+TEST(ProcPoolTest, WorkerExceptionBecomesTaskError)
+{
+    ProcPool::Config config;
+    config.workers = 2;
+    ProcPool pool(config, [](const std::string &payload, unsigned) {
+        if (payload == "boom")
+            throw std::runtime_error("task exploded");
+        return std::string("ok");
+    });
+
+    std::vector<ProcPool::TaskResult> results =
+        pool.runAll({"fine", "boom", "fine"});
+    EXPECT_TRUE(results[0].completed);
+    EXPECT_FALSE(results[1].completed);
+    EXPECT_EQ(results[1].error, "task exploded");
+    EXPECT_TRUE(results[2].completed);
+    // A throwing task costs no worker: the process survives.
+    EXPECT_EQ(pool.stats().workerDeaths, 0u);
+    EXPECT_EQ(pool.stats().taskFailures, 1u);
+}
+
+TEST(ProcPoolTest, KilledWorkerIsReapedAndTaskRedispatched)
+{
+    // One worker, so recovering the orphaned task forces a respawn
+    // rather than merely borrowing a surviving sibling.
+    ProcPool::Config config;
+    config.workers = 1;
+    ProcPool pool(config, [](const std::string &payload,
+                             unsigned dispatch) {
+        if (payload == "die" && dispatch == 0 &&
+            ProcPool::insideWorker()) {
+            ::kill(::getpid(), SIGKILL);
+        }
+        return "survived:" + std::to_string(dispatch);
+    });
+
+    std::vector<ProcPool::TaskResult> results =
+        pool.runAll({"die", "live"});
+    ASSERT_TRUE(results[0].completed);
+    EXPECT_EQ(results[0].payload, "survived:1");
+    EXPECT_FALSE(results[0].inProcess);
+    EXPECT_TRUE(results[1].completed);
+    EXPECT_GE(pool.stats().workerDeaths, 1u);
+    EXPECT_GE(pool.stats().redispatches, 1u);
+    EXPECT_GE(pool.stats().respawns, 1u);
+}
+
+TEST(ProcPoolTest, SilentWorkerIsKilledByHeartbeatTimeout)
+{
+    ProcPool::Config config;
+    config.workers = 2;
+    config.heartbeatTimeoutSeconds = 0.25;
+    ProcPool pool(config, [](const std::string &payload,
+                             unsigned dispatch) {
+        if (payload == "hang" && dispatch == 0 &&
+            ProcPool::insideWorker()) {
+            // Wedged: no coopCheckpoint calls, so no heartbeats.
+            for (;;)
+                napMs(50);
+        }
+        return std::string("done");
+    });
+
+    std::vector<ProcPool::TaskResult> results =
+        pool.runAll({"hang", "other"});
+    EXPECT_TRUE(results[0].completed);
+    EXPECT_TRUE(results[1].completed);
+    EXPECT_GE(pool.stats().heartbeatKills, 1u);
+    EXPECT_GE(pool.stats().redispatches, 1u);
+}
+
+TEST(ProcPoolTest, HeartbeatsKeepASlowWorkerAlive)
+{
+    // The inverse of the hang test: a run that takes several times
+    // the heartbeat timeout but polls its checkpoints is never
+    // condemned.
+    ProcPool::Config config;
+    config.workers = 1;
+    config.heartbeatIntervalSeconds = 0.02;
+    config.heartbeatTimeoutSeconds = 0.2;
+    ProcPool pool(config, [](const std::string &, unsigned) {
+        spinWithCheckpoints(600);
+        return std::string("slow but alive");
+    });
+
+    std::vector<ProcPool::TaskResult> results = pool.runAll({"t"});
+    ASSERT_TRUE(results[0].completed);
+    EXPECT_EQ(results[0].payload, "slow but alive");
+    EXPECT_EQ(pool.stats().heartbeatKills, 0u);
+    EXPECT_EQ(pool.stats().workerDeaths, 0u);
+}
+
+TEST(ProcPoolTest, DeadlineKillsOverrunningDispatch)
+{
+    ProcPool::Config config;
+    config.workers = 1;
+    config.heartbeatIntervalSeconds = 0.02;
+    config.heartbeatTimeoutSeconds = 10.0;  // heartbeats keep flowing
+    config.taskDeadlineSeconds = 0.25;
+    ProcPool pool(config, [](const std::string &,
+                             unsigned dispatch) {
+        if (dispatch == 0 && ProcPool::insideWorker())
+            spinWithCheckpoints(30'000);  // heartbeating overrun
+        return "attempt:" + std::to_string(dispatch);
+    });
+
+    std::vector<ProcPool::TaskResult> results = pool.runAll({"t"});
+    ASSERT_TRUE(results[0].completed);
+    EXPECT_EQ(results[0].payload, "attempt:1");
+    EXPECT_GE(pool.stats().deadlineKills, 1u);
+    EXPECT_EQ(pool.stats().heartbeatKills, 0u);
+}
+
+TEST(ProcPoolTest, ExhaustedPoolDegradesToInProcessFallback)
+{
+    // Every worker dispatch dies instantly; with the respawn budget
+    // spent the pool must finish everything in the coordinator and
+    // still report success. This is the "campaign that loses every
+    // worker" contract.
+    ProcPool::Config config;
+    config.workers = 2;
+    config.maxRespawns = 2;
+    config.maxDispatchesPerTask = 2;
+    ProcPool pool(config, [](const std::string &payload, unsigned) {
+        if (ProcPool::insideWorker())
+            ::kill(::getpid(), SIGKILL);
+        return "inproc:" + payload;
+    });
+
+    std::vector<std::string> tasks = {"a", "b", "c", "d", "e"};
+    std::vector<ProcPool::TaskResult> results = pool.runAll(tasks);
+    ASSERT_EQ(results.size(), tasks.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        EXPECT_TRUE(results[i].completed);
+        EXPECT_TRUE(results[i].inProcess);
+        EXPECT_EQ(results[i].payload, "inproc:" + tasks[i]);
+    }
+    EXPECT_EQ(pool.stats().tasksFallback, tasks.size());
+    EXPECT_GE(pool.stats().workerDeaths, 2u);
+}
+
+TEST(ProcPoolTest, FallbackDisabledLeavesTasksIncomplete)
+{
+    // A generous dispatch budget but no respawns: the single worker
+    // dies once and the pool is exhausted with the task still
+    // pending — which, with fallback disabled, leaves it incomplete.
+    ProcPool::Config config;
+    config.workers = 1;
+    config.maxRespawns = 0;
+    config.maxDispatchesPerTask = 3;
+    config.inProcessFallback = false;
+    ProcPool pool(config, [](const std::string &, unsigned) {
+        if (ProcPool::insideWorker())
+            ::kill(::getpid(), SIGKILL);
+        return std::string("unreachable");
+    });
+
+    std::vector<ProcPool::TaskResult> results = pool.runAll({"t"});
+    EXPECT_FALSE(results[0].completed);
+    EXPECT_TRUE(pool.stats().poolExhausted);
+    EXPECT_EQ(pool.stats().tasksFallback, 0u);
+}
+
+TEST(ProcPoolTest, CancellationStopsDispatchWithoutFallback)
+{
+    ProcPool::Config config;
+    config.workers = 2;
+    config.cancel.requestCancel();
+    ProcPool pool(config, [](const std::string &, unsigned) {
+        return std::string("never runs");
+    });
+
+    std::vector<ProcPool::TaskResult> results =
+        pool.runAll({"a", "b", "c"});
+    for (const ProcPool::TaskResult &result : results) {
+        EXPECT_FALSE(result.completed);
+        EXPECT_TRUE(result.payload.empty());
+    }
+    EXPECT_EQ(pool.stats().tasksCompleted, 0u);
+    EXPECT_EQ(pool.stats().tasksFallback, 0u);
+}
+
+TEST(ProcPoolTest, ExpiredPoolDeadlineStopsLikeCancellation)
+{
+    ProcPool::Config config;
+    config.workers = 2;
+    config.deadline = Deadline::after(0);  // expired immediately
+    ProcPool pool(config, [](const std::string &, unsigned) {
+        return std::string("never runs");
+    });
+
+    std::vector<ProcPool::TaskResult> results =
+        pool.runAll({"a", "b"});
+    for (const ProcPool::TaskResult &result : results)
+        EXPECT_FALSE(result.completed);
+    EXPECT_EQ(pool.stats().tasksCompleted, 0u);
+    EXPECT_EQ(pool.stats().tasksFallback, 0u);
+}
+
+TEST(ProcPoolTest, CoordinatorIsNotInsideWorker)
+{
+    EXPECT_FALSE(ProcPool::insideWorker());
+}
+
+#endif // unix

@@ -6,9 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <sstream>
 
+#include "util/atomicfile.hh"
 #include "util/csv.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
@@ -467,4 +470,79 @@ TEST(Logging, WarnLimitedSuppressesAfterLimit)
     resetLimitedWarns();
     EXPECT_EQ(limitedWarnCount("util-test-key"), 0u);
     setQuiet(false);
+}
+
+// ---------------------------------------------------------------------
+// Atomic file durability
+// ---------------------------------------------------------------------
+
+TEST(AtomicFile, FsyncDirectoryOfExistingPaths)
+{
+    namespace fs = std::filesystem;
+    // A file in a real directory: the parent can be synced.
+    const std::string path =
+        (fs::temp_directory_path() / "gs_util_fsync_dir.txt")
+            .string();
+    EXPECT_TRUE(fsyncDirectoryOf(path).ok());
+    // A bare filename: the parent is the working directory.
+    EXPECT_TRUE(fsyncDirectoryOf("bare_filename.csv").ok());
+}
+
+TEST(AtomicFile, FsyncDirectoryOfMissingDirectoryIsAnError)
+{
+    Status status = fsyncDirectoryOf(
+        "/nonexistent_gs_dir_498213/file.csv");
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::IoError);
+}
+
+TEST(AtomicFile, WriteSurvivesTheDirectoryFsyncHardening)
+{
+    // atomicWriteFile now refuses to report success until the rename
+    // is durable (parent directory fsynced); the happy path must be
+    // unchanged: content lands, no .tmp remains.
+    namespace fs = std::filesystem;
+    const std::string path =
+        (fs::temp_directory_path() / "gs_util_atomic_fsync.txt")
+            .string();
+    fs::remove(path);
+    ASSERT_TRUE(atomicWriteFile(path, "payload\n").ok());
+    std::ifstream in(path);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(content, "payload\n");
+    EXPECT_FALSE(fs::exists(path + ".tmp"));
+    fs::remove(path);
+}
+
+TEST(AtomicFile, TailRecoveryStillQuarantinesAfterHardening)
+{
+    // recoverCsvTail gained sidecar + directory fsyncs before the
+    // destructive truncate; the recovery semantics must not move.
+    namespace fs = std::filesystem;
+    const std::string path =
+        (fs::temp_directory_path() / "gs_util_torn_tail.csv")
+            .string();
+    fs::remove(path);
+    fs::remove(path + ".corrupt");
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "key,field,value\nk1,f,1.5\nk2,f,2.5\nk3,f,torn-no-newl";
+    }
+    Result<TailRecovery> recovered = recoverCsvTail(path);
+    ASSERT_TRUE(recovered.ok());
+    EXPECT_TRUE(recovered.value().recovered);
+    EXPECT_EQ(recovered.value().quarantinedBytes,
+              std::string("k3,f,torn-no-newl").size());
+
+    std::ifstream in(path);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(content, "key,field,value\nk1,f,1.5\nk2,f,2.5\n");
+    std::ifstream sidecar(path + ".corrupt");
+    std::string tail((std::istreambuf_iterator<char>(sidecar)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_EQ(tail, "k3,f,torn-no-newl\n");
+    fs::remove(path);
+    fs::remove(path + ".corrupt");
 }
