@@ -1,0 +1,179 @@
+/**
+ * @file
+ * P4 — campaign service overhead (src/serve/).
+ *
+ * Two questions about the daemon path:
+ *
+ *  1. Framing throughput: how fast do the wire layer's encode /
+ *     FrameDecoder reassembly run on PointResult-sized frames? This
+ *     bounds how much result streaming costs per point.
+ *  2. Service overhead: wall-clock of a campaign served end-to-end
+ *     through gemstoned over a Unix socket (daemon boot, submit,
+ *     stream, summary) versus the same campaign run in-process —
+ *     cold store, then warm (the repeated-request case admission
+ *     control and the shared store are there to make cheap).
+ *
+ * Not CI-gated: numbers are host-dependent. The invariant checks
+ * (byte-identical datasets) do abort on failure.
+ */
+
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/wireproto.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+#include "serve/service.hh"
+#include "util/cancellation.hh"
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+#include <unistd.h>
+
+#include <thread>
+
+using namespace gemstone;
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+serve::CampaignSpec
+benchSpec()
+{
+    serve::CampaignSpec spec;
+    spec.cluster = hwsim::CpuCluster::LittleA7;
+    spec.repeats = 2;
+    spec.quorum = 1;
+    return spec;
+}
+
+void
+framingThroughput()
+{
+    serve::PointUpdate update;
+    update.requestId = 1;
+    update.total = 180;
+    update.workload = "dhrystone";
+    update.freqMhz = 1000.0;
+    update.statusTag = "clean";
+    update.execSeconds = 1.25;
+    update.powerWatts = 0.9;
+
+    constexpr int kFrames = 200000;
+    auto start = std::chrono::steady_clock::now();
+    std::string stream;
+    for (int i = 0; i < kFrames; ++i) {
+        update.index = static_cast<std::uint32_t>(i);
+        stream += exec::encodeFrame(exec::FrameType::PointResult,
+                                    serve::encodePointUpdate(update));
+    }
+    double encode_s = secondsSince(start);
+
+    start = std::chrono::steady_clock::now();
+    exec::FrameDecoder decoder;
+    // Feed in socket-read-sized chunks, as the daemon loop sees them.
+    constexpr std::size_t kChunk = 16384;
+    std::size_t frames = 0;
+    exec::Frame frame;
+    for (std::size_t off = 0; off < stream.size(); off += kChunk) {
+        decoder.feed(stream.data() + off,
+                     std::min(kChunk, stream.size() - off));
+        while (decoder.next(frame))
+            ++frames;
+    }
+    double decode_s = secondsSince(start);
+    panic_if(frames != kFrames, "decoder lost frames");
+
+    double mib = stream.size() / (1024.0 * 1024.0);
+    std::cout << "framing: " << kFrames << " PointResult frames ("
+              << formatDouble(mib, 1) << " MiB)\n"
+              << "  encode " << formatDouble(kFrames / encode_s / 1e6, 2)
+              << " Mframes/s (" << formatDouble(mib / encode_s, 0)
+              << " MiB/s)\n"
+              << "  decode " << formatDouble(kFrames / decode_s / 1e6, 2)
+              << " Mframes/s (" << formatDouble(mib / decode_s, 0)
+              << " MiB/s)\n";
+}
+
+void
+serviceOverhead()
+{
+    serve::CampaignSpec spec = benchSpec();
+
+    auto start = std::chrono::steady_clock::now();
+    auto store = std::make_shared<exec::ResultStore>();
+    serve::CampaignOutcome direct = serve::runCampaign(
+        spec, store, core::CampaignConfig::PointSink(),
+        CancellationToken());
+    double direct_s = secondsSince(start);
+    panic_if(direct.outcome != serve::RequestOutcome::Ok,
+             "in-process campaign failed");
+
+    serve::Server::Config config;
+    config.socketPath =
+        "/tmp/gs_perf_serve_" + std::to_string(::getpid()) + ".sock";
+    serve::Server server(config);
+    Status started = server.start();
+    panic_if(!started.ok(), "server start failed");
+    Status run_status = Status::okStatus();
+    std::thread loop([&] { run_status = server.run(); });
+
+    auto servedOnce = [&]() -> double {
+        serve::Client client;
+        Status connected = client.connectUnix(config.socketPath);
+        panic_if(!connected.ok(), "connect failed");
+        serve::Client::SubmitResult result;
+        auto t0 = std::chrono::steady_clock::now();
+        Status submitted = client.submit(spec, result);
+        double elapsed = secondsSince(t0);
+        panic_if(!submitted.ok() || !result.accepted ||
+                     result.summary.outcome !=
+                         serve::RequestOutcome::Ok,
+                 "served campaign failed");
+        panic_if(result.summary.datasetCsv != direct.datasetCsv,
+                 "served dataset differs from in-process run");
+        return elapsed;
+    };
+
+    double cold_s = servedOnce();  // daemon store cold: simulates
+    double warm_s = servedOnce();  // repeat: replayed from the store
+
+    server.requestDrain();
+    loop.join();
+    panic_if(!run_status.ok(), "daemon loop failed");
+
+    std::cout << "service: full A7 campaign (" << direct.measuredPoints
+              << " points), daemon vs in-process\n"
+              << "  in-process      " << formatDouble(direct_s, 3)
+              << " s\n"
+              << "  daemon, cold    " << formatDouble(cold_s, 3)
+              << " s  (overhead "
+              << formatDouble((cold_s / direct_s - 1.0) * 100.0, 1)
+              << "%)\n"
+              << "  daemon, repeat  " << formatDouble(warm_s, 3)
+              << " s  (" << formatDouble(direct_s / warm_s, 1)
+              << "x vs in-process: shared-store replay)\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "P4: campaign service overhead (src/serve/)\n\n";
+    framingThroughput();
+    std::cout << "\n";
+    serviceOverhead();
+    return 0;
+}

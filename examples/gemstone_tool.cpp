@@ -11,7 +11,17 @@
  *   gemstone_tool [--cluster a15|a7] [--g5-version 1|2]
  *                 [--freq MHZ] [--no-power] [--out DIR]
  *                 [--jobs N] [--workers N] [--cache PATH]
- *                 [--deadline SECONDS]
+ *                 [--cache-capacity N] [--deadline SECONDS]
+ *
+ * Two subcommands front the campaign service (src/serve/):
+ *
+ *   gemstone_tool campaign ...   one-shot campaign, collated dataset
+ *                                CSV to --out/stdout — the reference
+ *                                bytes a daemon-served request must
+ *                                reproduce exactly
+ *   gemstone_tool ctl ...        gemstonectl: submit/stats/status
+ *                                against a running gemstoned over
+ *                                its socket, streaming results
  *
  * SIGINT/SIGTERM request a graceful stop: the run unwinds at the
  * next cooperative poll site, the result store is still saved, and
@@ -20,15 +30,20 @@
  */
 
 #include <cstring>
+#include <fstream>
+#include <functional>
 #include <iostream>
 #include <memory>
 
 #include "exec/resultstore.hh"
 #include "exec/threadpool.hh"
 #include "gemstone/report.hh"
+#include "serve/client.hh"
+#include "serve/service.hh"
 #include "util/cancellation.hh"
 #include "util/logging.hh"
 #include "util/signals.hh"
+#include "util/strutil.hh"
 
 using namespace gemstone;
 
@@ -67,13 +82,23 @@ usage()
         "live under\n"
         "                     file locking instead of load/save "
         "snapshots\n"
+        "  --cache-capacity N in-memory LRU bound of the result "
+        "store\n"
+        "                     (default 65536 entries)\n"
         "  --deadline SECONDS wall-clock budget for the whole run; "
         "overrun\n"
         "                     exits with code 124 (default: "
         "unlimited)\n"
         "\n"
         "SIGINT/SIGTERM stop the run gracefully (exit code 130); a\n"
-        "second signal forces immediate exit.\n";
+        "second signal forces immediate exit.\n"
+        "\n"
+        "Subcommands (see --help of each):\n"
+        "  gemstone_tool campaign ...   one-shot campaign -> dataset "
+        "CSV\n"
+        "  gemstone_tool ctl ...        gemstonectl: talk to a "
+        "running\n"
+        "                               gemstoned daemon\n";
 }
 
 /** Save the result store and print its statistics. */
@@ -92,7 +117,8 @@ saveStore(const std::shared_ptr<exec::ResultStore> &store,
                   << store->size() << " entries (" << stats.hits
                   << " hits, " << stats.sharedHits
                   << " from other processes, " << stats.misses
-                  << " misses, " << stats.insertions << " new)\n";
+                  << " misses, " << stats.insertions << " new, "
+                  << stats.evictions << " evicted)\n";
         return;
     }
     Status saved = store->saveCsv(cache_path);
@@ -102,7 +128,390 @@ saveStore(const std::shared_ptr<exec::ResultStore> &store,
     std::cout << "result store " << cache_path << ": "
               << store->size() << " entries (" << stats.hits
               << " hits, " << stats.misses << " misses, "
-              << stats.insertions << " new)\n";
+              << stats.insertions << " new, " << stats.evictions
+              << " evicted)\n";
+}
+
+/** Write text to a file, or stdout when the path is "-" or empty. */
+int
+writeOutput(const std::string &path, const std::string &text)
+{
+    if (path.empty() || path == "-") {
+        std::cout << text;
+        return 0;
+    }
+    std::ofstream out(path, std::ios::binary);
+    out << text;
+    out.flush();
+    if (!out) {
+        std::cerr << "cannot write " << path << "\n";
+        return 1;
+    }
+    return 0;
+}
+
+/**
+ * Shared campaign-spec flags of `campaign` and `ctl submit`; true
+ * when the flag was consumed. @p next pulls the flag's value.
+ */
+bool
+parseSpecFlag(const std::string &arg,
+              const std::function<std::string()> &next,
+              serve::CampaignSpec &spec)
+{
+    if (arg == "--cluster") {
+        std::string value = next();
+        if (value == "a15") {
+            spec.cluster = hwsim::CpuCluster::BigA15;
+        } else if (value == "a7") {
+            spec.cluster = hwsim::CpuCluster::LittleA7;
+        } else {
+            fatal("unknown cluster '", value, "'");
+        }
+    } else if (arg == "--g5-version") {
+        spec.g5Version = std::stoi(next());
+    } else if (arg == "--freq") {
+        spec.freqsMhz.push_back(std::stod(next()));
+    } else if (arg == "--repeats") {
+        spec.repeats = static_cast<unsigned>(std::stoul(next()));
+    } else if (arg == "--seed") {
+        spec.seed = std::stoull(next());
+    } else if (arg == "--board-variation") {
+        spec.boardVariation = std::stod(next());
+    } else if (arg == "--quorum") {
+        spec.quorum = static_cast<unsigned>(std::stoul(next()));
+    } else if (arg == "--max-attempts") {
+        spec.maxAttempts = static_cast<unsigned>(std::stoul(next()));
+    } else if (arg == "--jobs") {
+        int jobs = std::stoi(next());
+        if (jobs < 0)
+            fatal("--jobs must be >= 0");
+        spec.jobs = jobs == 0 ? exec::ThreadPool::defaultThreadCount()
+                              : static_cast<unsigned>(jobs);
+    } else if (arg == "--max-points") {
+        spec.maxPoints = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--deadline") {
+        spec.deadlineSeconds = std::stod(next());
+        if (spec.deadlineSeconds < 0.0)
+            fatal("--deadline must be >= 0");
+    } else if (arg == "--tag") {
+        spec.tag = next();
+    } else {
+        return false;
+    }
+    return true;
+}
+
+const char kSpecFlagsHelp[] =
+    "  --cluster a15|a7     cluster to validate (default a15)\n"
+    "  --g5-version 1|2     simulator release under test (default 1)\n"
+    "  --freq MHZ           add a DVFS point (repeatable; default: "
+    "the\n"
+    "                       cluster's paper frequencies)\n"
+    "  --repeats N          timing repeats per measurement "
+    "(default 5)\n"
+    "  --seed N             master noise seed\n"
+    "  --board-variation X  board-to-board coefficient spread\n"
+    "  --quorum N           non-outlier repeats per point "
+    "(default 3)\n"
+    "  --max-attempts N     attempt budget per point (default 8)\n"
+    "  --jobs N             campaign worker threads; 0 = all cores\n"
+    "  --max-points N       truncate the campaign (0 = all points)\n"
+    "  --deadline SECONDS   wall-clock budget (0 = unlimited)\n"
+    "  --tag STR            label echoed in daemon logs\n";
+
+/** `gemstone_tool campaign`: one-shot run -> dataset CSV. */
+int
+campaignMain(int argc, char **argv)
+{
+    serve::CampaignSpec spec;
+    std::string out_path;
+    std::string cache_path;
+    std::size_t cache_capacity = 65536;
+    bool quiet = false;
+
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        if (parseSpecFlag(arg, next, spec)) {
+            continue;
+        } else if (arg == "--out") {
+            out_path = next();
+        } else if (arg == "--cache") {
+            cache_path = next();
+        } else if (arg == "--cache-capacity") {
+            long value = std::stol(next());
+            if (value < 1)
+                fatal("--cache-capacity must be >= 1");
+            cache_capacity = static_cast<std::size_t>(value);
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout
+                << "usage: gemstone_tool campaign [options]\n"
+                << kSpecFlagsHelp
+                << "  --out FILE           dataset CSV destination "
+                   "(default stdout)\n"
+                   "  --cache PATH         result-store CSV "
+                   "(load/save)\n"
+                   "  --cache-capacity N   in-memory LRU bound\n"
+                   "  --quiet              no per-point progress on "
+                   "stderr\n";
+            return 0;
+        } else {
+            fatal("unknown option '", arg,
+                  "' (see gemstone_tool campaign --help)");
+        }
+    }
+
+    std::string invalid = serve::validateCampaignSpec(spec);
+    if (!invalid.empty())
+        fatal("invalid campaign: ", invalid);
+
+    CancellationToken cancel;
+    installSignalCancellation(cancel);
+
+    auto store = std::make_shared<exec::ResultStore>(cache_capacity);
+    if (!cache_path.empty()) {
+        std::size_t loaded = store->loadCsv(cache_path);
+        if (loaded > 0 && !quiet)
+            std::cerr << "loaded " << loaded
+                      << " cached results from " << cache_path
+                      << "\n";
+    }
+
+    serve::CampaignOutcome outcome = serve::runCampaign(
+        spec, store,
+        quiet ? core::CampaignConfig::PointSink()
+              : [](const core::CampaignPoint &point, std::size_t index,
+                   std::size_t total) {
+                    std::cerr << "point " << (index + 1) << "/"
+                              << total << " " << point.workload << "@"
+                              << formatDouble(point.freqMhz, 0) << " "
+                              << core::pointStatusTag(point.status)
+                              << "\n";
+                },
+        cancel);
+
+    if (!cache_path.empty())
+        saveStore(store, cache_path);
+    for (const std::string &warning : outcome.warnings)
+        std::cerr << "warning: " << warning << "\n";
+
+    switch (outcome.outcome) {
+      case serve::RequestOutcome::Ok: {
+        return writeOutput(out_path, outcome.datasetCsv);
+      }
+      case serve::RequestOutcome::Cancelled:
+        std::cerr << "campaign interrupted\n";
+        return kExitCancelled;
+      case serve::RequestOutcome::Deadline:
+        std::cerr << "campaign deadline exceeded\n";
+        return kExitDeadline;
+      case serve::RequestOutcome::Error:
+        std::cerr << "campaign failed: " << outcome.error << "\n";
+        return 1;
+    }
+    return 1;
+}
+
+/** `gemstone_tool ctl` (gemstonectl): talk to a gemstoned daemon. */
+int
+ctlMain(int argc, char **argv)
+{
+    std::string socket_path;
+    std::string host = "127.0.0.1";
+    int tcp_port = -1;
+    std::string command;
+    serve::CampaignSpec spec;
+    std::string out_path;
+    bool quiet = false;
+    std::uint64_t cancel_id = 0;
+
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            socket_path = next();
+        } else if (arg == "--tcp") {
+            tcp_port = std::stoi(next());
+        } else if (arg == "--host") {
+            host = next();
+        } else if (arg == "--out") {
+            out_path = next();
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--request") {
+            cancel_id = std::stoull(next());
+        } else if (parseSpecFlag(arg, next, spec)) {
+            continue;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout
+                << "usage: gemstone_tool ctl [--socket PATH | --tcp "
+                   "PORT [--host IP]]\n"
+                   "                         submit|stats|status|"
+                   "cancel [options]\n"
+                   "\n"
+                   "submit streams a campaign and writes the "
+                   "collated dataset CSV\n"
+                   "to --out (default stdout); its options:\n"
+                << kSpecFlagsHelp
+                << "  --out FILE           dataset CSV destination\n"
+                   "  --quiet              no progress on stderr\n"
+                   "\n"
+                   "cancel needs --request ID.\n"
+                   "\n"
+                   "exit codes: 0 ok, 2 rejected by admission "
+                   "control,\n"
+                   "124 deadline, 130 cancelled, 1 transport/protocol "
+                   "error\n";
+            return 0;
+        } else if (!arg.empty() && arg[0] != '-' && command.empty()) {
+            command = arg;
+        } else {
+            fatal("unknown option '", arg,
+                  "' (see gemstone_tool ctl --help)");
+        }
+    }
+    if (command.empty())
+        fatal("ctl needs a command: submit, stats, status or cancel");
+    if (socket_path.empty() && tcp_port < 0)
+        fatal("ctl needs --socket or --tcp");
+
+    serve::Client client;
+    Status connected = socket_path.empty()
+        ? client.connectTcp(host, tcp_port)
+        : client.connectUnix(socket_path);
+    if (!connected.ok()) {
+        std::cerr << "gemstonectl: " << connected.toString() << "\n";
+        return 1;
+    }
+
+    if (command == "stats") {
+        serve::DaemonStats stats;
+        Status status = client.queryStats(stats);
+        if (!status.ok()) {
+            std::cerr << "gemstonectl: " << status.toString() << "\n";
+            return 1;
+        }
+        std::cout << "connections: " << stats.connectionsOpen
+                  << " open / " << stats.connectionsTotal
+                  << " total\n"
+                  << "requests: " << stats.requestsAccepted
+                  << " accepted, " << stats.requestsServed
+                  << " served, " << stats.requestsCancelled
+                  << " cancelled, " << stats.requestsFailed
+                  << " failed, " << stats.requestsRejected
+                  << " rejected\n"
+                  << "load: " << stats.requestsActive << " active, "
+                  << stats.requestsQueued << " queued"
+                  << (stats.draining ? ", draining" : "") << "\n"
+                  << "store: " << stats.storeSize << "/"
+                  << stats.storeCapacity << " entries, "
+                  << stats.storeHits << " hits, " << stats.storeMisses
+                  << " misses, " << stats.storeInsertions
+                  << " insertions, " << stats.storeEvictions
+                  << " evictions, " << stats.storeSharedHits
+                  << " shared-tier hits\n";
+        return 0;
+    }
+    if (command == "status") {
+        std::string text;
+        Status status = client.queryStatus(text);
+        if (!status.ok()) {
+            std::cerr << "gemstonectl: " << status.toString() << "\n";
+            return 1;
+        }
+        std::cout << text << "\n";
+        return 0;
+    }
+    if (command == "cancel") {
+        if (cancel_id == 0)
+            fatal("cancel needs --request ID");
+        Status status = client.sendCancel(cancel_id);
+        if (!status.ok()) {
+            std::cerr << "gemstonectl: " << status.toString() << "\n";
+            return 1;
+        }
+        return 0;
+    }
+    if (command != "submit")
+        fatal("unknown ctl command '", command, "'");
+
+    std::string invalid = serve::validateCampaignSpec(spec);
+    if (!invalid.empty())
+        fatal("invalid campaign: ", invalid);
+
+    // Ctrl-C while streaming: ask the daemon to cancel the request,
+    // then keep reading — the daemon answers with a cancelled
+    // summary once the campaign drains at a point boundary.
+    CancellationToken interrupt;
+    installSignalCancellation(interrupt);
+
+    std::uint64_t request_id = 0;
+    serve::Client::Callbacks callbacks;
+    callbacks.onAccepted = [&](std::uint64_t id) {
+        request_id = id;
+        if (!quiet)
+            std::cerr << "accepted as request " << id << "\n";
+    };
+    bool cancel_sent = false;
+    callbacks.onPoint = [&](const serve::PointUpdate &update) {
+        if (!quiet) {
+            std::cerr << "point " << (update.index + 1) << "/"
+                      << update.total << " " << update.workload << "@"
+                      << formatDouble(update.freqMhz, 0) << " "
+                      << update.statusTag << "\n";
+        }
+        if (interrupt.cancelled() && !cancel_sent && request_id != 0) {
+            cancel_sent = true;
+            client.sendCancel(request_id);
+        }
+    };
+    callbacks.onProgress = [&](const serve::ProgressUpdate &update) {
+        if (interrupt.cancelled() && !cancel_sent && request_id != 0) {
+            cancel_sent = true;
+            client.sendCancel(request_id);
+        }
+    };
+
+    serve::Client::SubmitResult result;
+    Status status = client.submit(spec, result, callbacks);
+    if (!status.ok()) {
+        std::cerr << "gemstonectl: " << status.toString() << "\n";
+        return 1;
+    }
+    if (!result.accepted) {
+        std::cerr << "gemstonectl: rejected ("
+                  << serve::rejectReasonTag(result.rejection.reason)
+                  << "): " << result.rejection.message << "\n";
+        return 2;
+    }
+    for (const std::string &warning : result.summary.warnings)
+        std::cerr << "warning: " << warning << "\n";
+    switch (result.summary.outcome) {
+      case serve::RequestOutcome::Ok:
+        return writeOutput(out_path, result.summary.datasetCsv);
+      case serve::RequestOutcome::Cancelled:
+        std::cerr << "gemstonectl: request cancelled\n";
+        return kExitCancelled;
+      case serve::RequestOutcome::Deadline:
+        std::cerr << "gemstonectl: request deadline exceeded\n";
+        return kExitDeadline;
+      case serve::RequestOutcome::Error:
+        std::cerr << "gemstonectl: campaign failed: "
+                  << result.summary.error << "\n";
+        return 1;
+    }
+    return 1;
 }
 
 } // namespace
@@ -110,10 +519,19 @@ saveStore(const std::shared_ptr<exec::ResultStore> &store,
 int
 main(int argc, char **argv)
 {
+    if (argc > 1) {
+        std::string sub = argv[1];
+        if (sub == "campaign")
+            return campaignMain(argc - 2, argv + 2);
+        if (sub == "ctl" || sub == "gemstonectl")
+            return ctlMain(argc - 2, argv + 2);
+    }
+
     core::RunnerConfig runner_config;
     core::ReportConfig report_config;
     std::string out_dir = "gemstone-report";
     std::string cache_path;
+    std::size_t cache_capacity = 65536;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -157,6 +575,11 @@ main(int argc, char **argv)
                 : static_cast<unsigned>(workers);
         } else if (arg == "--cache") {
             cache_path = next();
+        } else if (arg == "--cache-capacity") {
+            long value = std::stol(next());
+            if (value < 1)
+                fatal("--cache-capacity must be >= 1");
+            cache_capacity = static_cast<std::size_t>(value);
         } else if (arg == "--deadline") {
             runner_config.runDeadlineSeconds = std::stod(next());
             if (runner_config.runDeadlineSeconds < 0.0)
@@ -176,7 +599,7 @@ main(int argc, char **argv)
 
     std::shared_ptr<exec::ResultStore> store;
     if (!cache_path.empty()) {
-        store = std::make_shared<exec::ResultStore>();
+        store = std::make_shared<exec::ResultStore>(cache_capacity);
         if (runner_config.workers > 1) {
             // Multi-process runs share the cache file live: each
             // insert is published under the file lock, and misses

@@ -30,7 +30,13 @@
 
 namespace gemstone::exec {
 
-/** Frame types of the procpool protocol. */
+/**
+ * Frame types of the procpool protocol (1-6) and the gemstoned
+ * campaign-service protocol (16+, see src/serve/). Both speak the
+ * same framing; the decoder never validates the type byte, so a
+ * receiver must treat an unexpected value as a protocol error, not
+ * trust it (serve does — daemon input is untrusted).
+ */
 enum class FrameType : std::uint8_t
 {
     Hello = 1,      //!< worker -> coordinator: alive and idle
@@ -39,6 +45,22 @@ enum class FrameType : std::uint8_t
     TaskFailed = 4, //!< worker -> coordinator: task threw
     Heartbeat = 5,  //!< worker -> coordinator: still making progress
     Shutdown = 6,   //!< coordinator -> worker: drain and exit
+
+    // serve/: client -> daemon requests.
+    SubmitCampaign = 16, //!< submit a campaign spec
+    CancelRequest = 17,  //!< cancel a previously submitted request
+    QueryStatus = 18,    //!< ask for daemon status
+    QueryStats = 19,     //!< ask for daemon + result-store counters
+
+    // serve/: daemon -> client responses.
+    Accepted = 24,      //!< submit admitted; carries the request id
+    Rejected = 25,      //!< submit refused (queue full, drain, bad)
+    PointResult = 26,   //!< one settled campaign point (streamed)
+    Progress = 27,      //!< periodic heartbeat: completed/total
+    Summary = 28,       //!< final outcome + collated dataset CSV
+    StatusReport = 29,  //!< reply to QueryStatus
+    StatsReport = 30,   //!< reply to QueryStats
+    ProtocolError = 31, //!< unparseable input; the daemon closes
 };
 
 /** One decoded frame. */

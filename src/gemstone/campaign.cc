@@ -785,7 +785,7 @@ CampaignEngine::runValidation(hwsim::CpuCluster cluster,
             // a converged point needs its g5 twin re-simulated.
             finalNode[i] = graph.add(
                 "resume:" + label,
-                [this, &task, &points, &records, cluster, i] {
+                [this, &task, &points, &records, cluster, i, count] {
                     CampaignPoint point = *task.resumed;
                     bool was_converged = point.converged();
                     point.status = PointStatus::Resumed;
@@ -820,6 +820,8 @@ CampaignEngine::runValidation(hwsim::CpuCluster cluster,
                             *task.work, cluster, task.freq);
                     }
                     points[i] = std::move(point);
+                    if (campaignConfig.pointSink)
+                        campaignConfig.pointSink(points[i], i, count);
                 });
             continue;
         }
@@ -843,11 +845,14 @@ CampaignEngine::runValidation(hwsim::CpuCluster cluster,
                 records[i].g5 = experimentRunner.runG5(
                     *task.work, cluster, task.freq);
             });
-        finalNode[i] = graph.add("collate:" + label,
-                                 [&points, &checkpoint, i] {
-                                     checkpoint.append(points[i]);
-                                 },
-                                 {hw_node, g5_node});
+        finalNode[i] = graph.add(
+            "collate:" + label,
+            [this, &points, &checkpoint, i, count] {
+                checkpoint.append(points[i]);
+                if (campaignConfig.pointSink)
+                    campaignConfig.pointSink(points[i], i, count);
+            },
+            {hw_node, g5_node});
     }
 
     try {

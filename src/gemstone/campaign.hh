@@ -48,6 +48,7 @@
 #define GEMSTONE_GEMSTONE_CAMPAIGN_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -59,6 +60,8 @@
 #include "util/status.hh"
 
 namespace gemstone::core {
+
+struct CampaignPoint;
 
 /** Campaign resilience policy. */
 struct CampaignConfig
@@ -141,6 +144,24 @@ struct CampaignConfig
      * same quorum accounting as an injected run fault.
      */
     double attemptDeadlineSeconds = 0.0;
+
+    /** Per-point progress sink type: the settled point, its index in
+     *  campaign order and the campaign's point count. */
+    using PointSink = std::function<void(
+        const CampaignPoint &point, std::size_t index,
+        std::size_t total)>;
+
+    /**
+     * Invoked once per point as its pipeline settles (measured or
+     * restored from the checkpoint; cancelled points are skipped —
+     * they are gathered only in the final result). Called from
+     * whichever worker thread finishes the point, so the sink must be
+     * thread-safe; points arrive in completion order, not campaign
+     * order — consumers needing campaign order key on the index.
+     * This is what lets a long-lived server (src/serve/) stream
+     * incremental results while the campaign is still running.
+     */
+    PointSink pointSink;
 
     /**
      * The naive lab flow for comparison: accept the first returned

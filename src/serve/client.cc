@@ -1,0 +1,269 @@
+/**
+ * @file
+ * gemstonectl client implementation.
+ */
+
+#include "serve/client.hh"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace gemstone::serve {
+
+namespace {
+
+void
+closeFd(int &fd)
+{
+    if (fd >= 0) {
+        while (::close(fd) < 0 && errno == EINTR) {
+        }
+        fd = -1;
+    }
+}
+
+} // namespace
+
+Client::~Client()
+{
+    close();
+}
+
+void
+Client::close()
+{
+    closeFd(sock);
+}
+
+Status
+Client::connectUnix(const std::string &path)
+{
+    close();
+    struct sockaddr_un addr;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        return Status(StatusCode::IoError,
+                      "socket path too long: " + path);
+    }
+    sock = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (sock < 0) {
+        return Status(StatusCode::IoError,
+                      std::string("socket: ") + std::strerror(errno));
+    }
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(sock, reinterpret_cast<struct sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        Status status(StatusCode::IoError,
+                      "connect " + path + ": " +
+                          std::strerror(errno));
+        closeFd(sock);
+        return status;
+    }
+    return Status::okStatus();
+}
+
+Status
+Client::connectTcp(const std::string &host, int port)
+{
+    close();
+    sock = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (sock < 0) {
+        return Status(StatusCode::IoError,
+                      std::string("socket: ") + std::strerror(errno));
+    }
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        closeFd(sock);
+        return Status(StatusCode::IoError,
+                      "not an IPv4 address: " + host);
+    }
+    if (::connect(sock, reinterpret_cast<struct sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        Status status(StatusCode::IoError,
+                      "connect " + host + ":" + std::to_string(port) +
+                          ": " + std::strerror(errno));
+        closeFd(sock);
+        return status;
+    }
+    return Status::okStatus();
+}
+
+Status
+Client::sendFrame(exec::FrameType type, const std::string &payload)
+{
+    if (sock < 0)
+        return Status(StatusCode::IoError, "not connected");
+    if (!exec::writeFrame(sock, type, payload)) {
+        return Status(StatusCode::IoError,
+                      "daemon connection lost while writing");
+    }
+    return Status::okStatus();
+}
+
+Status
+Client::readFrame(exec::Frame &out)
+{
+    for (;;) {
+        if (decoder.corrupt()) {
+            return Status(StatusCode::CorruptData,
+                          "corrupt frame stream from daemon");
+        }
+        if (decoder.next(out))
+            return Status::okStatus();
+        char buffer[16384];
+        ssize_t n = ::read(sock, buffer, sizeof(buffer));
+        if (n > 0) {
+            decoder.feed(buffer, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n == 0) {
+            return Status(StatusCode::IoError,
+                          "daemon closed the connection");
+        }
+        return Status(StatusCode::IoError,
+                      std::string("read: ") + std::strerror(errno));
+    }
+}
+
+Status
+Client::submit(const CampaignSpec &spec, SubmitResult &result,
+               const Callbacks &callbacks)
+{
+    Status sent = sendFrame(exec::FrameType::SubmitCampaign,
+                            encodeCampaignSpec(spec));
+    if (!sent.ok())
+        return sent;
+
+    bool accepted = false;
+    for (;;) {
+        exec::Frame frame;
+        Status status = readFrame(frame);
+        if (!status.ok())
+            return status;
+        switch (frame.type) {
+          case exec::FrameType::Accepted: {
+            exec::WireReader reader(frame.payload);
+            std::uint64_t request_id = reader.u64();
+            if (!reader.done()) {
+                return Status(StatusCode::CorruptData,
+                              "undecodable Accepted frame");
+            }
+            accepted = true;
+            if (callbacks.onAccepted)
+                callbacks.onAccepted(request_id);
+            break;
+          }
+          case exec::FrameType::Rejected:
+            if (!decodeRejection(frame.payload, result.rejection)) {
+                return Status(StatusCode::CorruptData,
+                              "undecodable Rejected frame");
+            }
+            result.accepted = false;
+            return Status::okStatus();
+          case exec::FrameType::PointResult: {
+            PointUpdate update;
+            if (!decodePointUpdate(frame.payload, update)) {
+                return Status(StatusCode::CorruptData,
+                              "undecodable PointResult frame");
+            }
+            if (callbacks.onPoint)
+                callbacks.onPoint(update);
+            break;
+          }
+          case exec::FrameType::Progress: {
+            ProgressUpdate update;
+            if (!decodeProgress(frame.payload, update)) {
+                return Status(StatusCode::CorruptData,
+                              "undecodable Progress frame");
+            }
+            if (callbacks.onProgress)
+                callbacks.onProgress(update);
+            break;
+          }
+          case exec::FrameType::Summary:
+            if (!decodeSummary(frame.payload, result.summary)) {
+                return Status(StatusCode::CorruptData,
+                              "undecodable Summary frame");
+            }
+            if (!accepted) {
+                return Status(StatusCode::CorruptData,
+                              "Summary before Accepted");
+            }
+            result.accepted = true;
+            return Status::okStatus();
+          case exec::FrameType::ProtocolError:
+            return Status(StatusCode::CorruptData,
+                          "daemon reported a protocol error: " +
+                              frame.payload);
+          default:
+            return Status(StatusCode::CorruptData,
+                          "unexpected frame type " +
+                              std::to_string(static_cast<int>(
+                                  frame.type)));
+        }
+    }
+}
+
+Status
+Client::sendCancel(std::uint64_t request_id)
+{
+    exec::WireWriter writer;
+    writer.u64(request_id);
+    return sendFrame(exec::FrameType::CancelRequest, writer.take());
+}
+
+Status
+Client::queryStats(DaemonStats &out)
+{
+    Status sent = sendFrame(exec::FrameType::QueryStats, "");
+    if (!sent.ok())
+        return sent;
+    exec::Frame frame;
+    Status status = readFrame(frame);
+    if (!status.ok())
+        return status;
+    if (frame.type != exec::FrameType::StatsReport ||
+        !decodeDaemonStats(frame.payload, out)) {
+        return Status(StatusCode::CorruptData,
+                      "undecodable StatsReport reply");
+    }
+    return Status::okStatus();
+}
+
+Status
+Client::queryStatus(std::string &text)
+{
+    Status sent = sendFrame(exec::FrameType::QueryStatus, "");
+    if (!sent.ok())
+        return sent;
+    exec::Frame frame;
+    Status status = readFrame(frame);
+    if (!status.ok())
+        return status;
+    if (frame.type != exec::FrameType::StatusReport) {
+        return Status(StatusCode::CorruptData,
+                      "unexpected reply to QueryStatus");
+    }
+    exec::WireReader reader(frame.payload);
+    text = reader.str();
+    if (!reader.done()) {
+        return Status(StatusCode::CorruptData,
+                      "undecodable StatusReport reply");
+    }
+    return Status::okStatus();
+}
+
+} // namespace gemstone::serve

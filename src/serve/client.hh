@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Blocking client for the gemstoned campaign service.
+ *
+ * gemstonectl (the `ctl` subcommand of gemstone_tool) and the serve
+ * tests speak to the daemon through this class: connect over the
+ * Unix-domain socket or loopback TCP, submit a campaign spec, then
+ * consume the streamed reply — Accepted, interleaved PointResult /
+ * Progress frames, and a final Summary (or an immediate Rejected).
+ * The class is deliberately synchronous: one request at a time per
+ * connection from the client's point of view, which is all the CLI
+ * needs; concurrency lives in the daemon.
+ */
+
+#ifndef GEMSTONE_SERVE_CLIENT_HH
+#define GEMSTONE_SERVE_CLIENT_HH
+
+#include <functional>
+#include <string>
+
+#include "exec/wireproto.hh"
+#include "serve/protocol.hh"
+#include "util/status.hh"
+
+namespace gemstone::serve {
+
+class Client
+{
+  public:
+    Client() = default;
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    Status connectUnix(const std::string &path);
+    Status connectTcp(const std::string &host, int port);
+
+    bool connected() const { return sock >= 0; }
+    void close();
+
+    /** Streaming callbacks (all optional). */
+    struct Callbacks
+    {
+        std::function<void(std::uint64_t request_id)> onAccepted;
+        std::function<void(const PointUpdate &)> onPoint;
+        std::function<void(const ProgressUpdate &)> onProgress;
+    };
+
+    /** Outcome of one submit. */
+    struct SubmitResult
+    {
+        /** False when the daemon rejected the request. */
+        bool accepted = false;
+        Rejection rejection;  //!< valid when !accepted
+        Summary summary;      //!< valid when accepted
+    };
+
+    /**
+     * Submit a campaign and block until the final Summary (streaming
+     * intermediate frames through @p callbacks). A non-Ok return is
+     * a transport or protocol failure; an admission rejection is a
+     * successful exchange with result.accepted == false.
+     */
+    Status submit(const CampaignSpec &spec, SubmitResult &result,
+                  const Callbacks &callbacks = {});
+
+    /** Ask a running/queued request to stop (fire and forget). */
+    Status sendCancel(std::uint64_t request_id);
+
+    Status queryStats(DaemonStats &out);
+    Status queryStatus(std::string &text);
+
+  private:
+    Status sendFrame(exec::FrameType type, const std::string &payload);
+    /** Blocking read of the next complete frame. */
+    Status readFrame(exec::Frame &out);
+
+    int sock = -1;
+    exec::FrameDecoder decoder;
+};
+
+} // namespace gemstone::serve
+
+#endif // GEMSTONE_SERVE_CLIENT_HH

@@ -1,0 +1,840 @@
+/**
+ * @file
+ * The gemstoned event loop.
+ */
+
+#include "serve/server.hh"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "serve/service.hh"
+#include "util/logging.hh"
+
+namespace gemstone::serve {
+
+namespace {
+
+/** Best-effort close that survives EINTR. */
+void
+closeFd(int &fd)
+{
+    if (fd >= 0) {
+        while (::close(fd) < 0 && errno == EINTR) {
+        }
+        fd = -1;
+    }
+}
+
+bool
+setNonBlocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    return flags >= 0 &&
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+std::string
+connPrefix(std::uint64_t conn_id)
+{
+    return "[conn " + std::to_string(conn_id) + "]";
+}
+
+std::string
+requestPrefix(std::uint64_t conn_id, std::uint64_t request_id)
+{
+    return "[conn " + std::to_string(conn_id) + " req " +
+        std::to_string(request_id) + "]";
+}
+
+} // namespace
+
+Server::Server(Config config)
+    : serverConfig(std::move(config)),
+      sharedStore(std::make_shared<exec::ResultStore>(
+          serverConfig.storeCapacity))
+{
+    if (!serverConfig.sharedTierPath.empty()) {
+        Status attached =
+            sharedStore->attachSharedTier(serverConfig.sharedTierPath);
+        if (!attached.ok()) {
+            warn("gemstoned: cannot attach shared tier ",
+                 serverConfig.sharedTierPath, ": ",
+                 attached.toString(), "; serving memory-only");
+        }
+    }
+}
+
+Server::~Server()
+{
+    // Abnormal teardown (a test tearing down a still-running server):
+    // cancel everything and wait, then release the sockets.
+    for (Running &request : running) {
+        request.cancel.requestCancel();
+        if (request.thread.joinable())
+            request.thread.join();
+    }
+    running.clear();
+    for (auto &[id, conn] : connections)
+        closeFd(conn.fd);
+    connections.clear();
+    closeFd(unixFd);
+    closeFd(tcpFd);
+    closeFd(wakePipe[0]);
+    closeFd(wakePipe[1]);
+    if (!serverConfig.socketPath.empty())
+        ::unlink(serverConfig.socketPath.c_str());
+}
+
+Status
+Server::bindUnix()
+{
+    struct sockaddr_un addr;
+    if (serverConfig.socketPath.size() >= sizeof(addr.sun_path)) {
+        return Status(StatusCode::IoError,
+                      "socket path too long: " +
+                          serverConfig.socketPath);
+    }
+    unixFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (unixFd < 0) {
+        return Status(StatusCode::IoError,
+                      std::string("socket: ") + std::strerror(errno));
+    }
+    // A previous daemon that crashed leaves a stale socket inode
+    // behind; binding over it needs the unlink first. A *live*
+    // daemon also loses its inode this way — running two daemons on
+    // one path is operator error the filesystem cannot referee.
+    struct stat st;
+    if (::lstat(serverConfig.socketPath.c_str(), &st) == 0 &&
+        S_ISSOCK(st.st_mode)) {
+        ::unlink(serverConfig.socketPath.c_str());
+    }
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, serverConfig.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::bind(unixFd, reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof(addr)) < 0 ||
+        ::listen(unixFd, 64) < 0 || !setNonBlocking(unixFd)) {
+        Status status(StatusCode::IoError,
+                      "bind " + serverConfig.socketPath + ": " +
+                          std::strerror(errno));
+        closeFd(unixFd);
+        return status;
+    }
+    return Status::okStatus();
+}
+
+Status
+Server::bindTcp()
+{
+    tcpFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (tcpFd < 0) {
+        return Status(StatusCode::IoError,
+                      std::string("socket: ") + std::strerror(errno));
+    }
+    int one = 1;
+    ::setsockopt(tcpFd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port =
+        htons(static_cast<std::uint16_t>(serverConfig.tcpPort));
+    if (::bind(tcpFd, reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof(addr)) < 0 ||
+        ::listen(tcpFd, 64) < 0 || !setNonBlocking(tcpFd)) {
+        Status status(StatusCode::IoError,
+                      "bind 127.0.0.1:" +
+                          std::to_string(serverConfig.tcpPort) + ": " +
+                          std::strerror(errno));
+        closeFd(tcpFd);
+        return status;
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(tcpFd,
+                      reinterpret_cast<struct sockaddr *>(&addr),
+                      &len) == 0) {
+        tcpPortBound = ntohs(addr.sin_port);
+    }
+    return Status::okStatus();
+}
+
+Status
+Server::start()
+{
+    if (serverConfig.socketPath.empty() && serverConfig.tcpPort < 0) {
+        return Status(StatusCode::Internal,
+                      "gemstoned needs a socket path or a TCP port");
+    }
+    if (::pipe(wakePipe) < 0 || !setNonBlocking(wakePipe[0]) ||
+        !setNonBlocking(wakePipe[1])) {
+        return Status(StatusCode::IoError,
+                      std::string("pipe: ") + std::strerror(errno));
+    }
+    if (!serverConfig.socketPath.empty()) {
+        Status status = bindUnix();
+        if (!status.ok())
+            return status;
+    }
+    if (serverConfig.tcpPort >= 0) {
+        Status status = bindTcp();
+        if (!status.ok())
+            return status;
+    }
+    lastHeartbeat = std::chrono::steady_clock::now();
+    started = true;
+    return Status::okStatus();
+}
+
+std::size_t
+Server::queuedTotal() const
+{
+    std::size_t total = 0;
+    for (const auto &[id, conn] : connections)
+        total += conn.pending.size();
+    return total;
+}
+
+DaemonStats
+Server::statsSnapshot() const
+{
+    DaemonStats snapshot;
+    {
+        std::lock_guard<std::mutex> lock(statsMutex);
+        snapshot = counters;
+    }
+    exec::ResultStore::Stats store_stats = sharedStore->stats();
+    snapshot.storeSize = sharedStore->size();
+    snapshot.storeCapacity = sharedStore->capacity();
+    snapshot.storeHits = store_stats.hits;
+    snapshot.storeMisses = store_stats.misses;
+    snapshot.storeInsertions = store_stats.insertions;
+    snapshot.storeEvictions = store_stats.evictions;
+    snapshot.storeSharedHits = store_stats.sharedHits;
+    return snapshot;
+}
+
+void
+Server::postEvent(OutEvent event)
+{
+    {
+        std::lock_guard<std::mutex> lock(eventMutex);
+        events.push_back(std::move(event));
+    }
+    // A full pipe already guarantees a pending wakeup; EAGAIN is
+    // success here, and any other failure only delays the event
+    // until the next poll timeout.
+    char byte = 1;
+    [[maybe_unused]] ssize_t n = ::write(wakePipe[1], &byte, 1);
+}
+
+void
+Server::enqueueFrame(Connection &conn, exec::FrameType type,
+                     const std::string &payload)
+{
+    conn.outbuf += exec::encodeFrame(type, payload);
+}
+
+void
+Server::acceptPending(int listen_fd)
+{
+    for (;;) {
+        int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            break;  // EAGAIN or a transient accept error
+        }
+        if (!setNonBlocking(fd)) {
+            closeFd(fd);
+            continue;
+        }
+        Connection conn;
+        conn.fd = fd;
+        conn.id = nextConnId++;
+        connections.emplace(conn.id, std::move(conn));
+        {
+            std::lock_guard<std::mutex> lock(statsMutex);
+            ++counters.connectionsTotal;
+            counters.connectionsOpen = connections.size();
+        }
+        inform("gemstoned: ", connPrefix(connections.rbegin()->first),
+               " connected");
+    }
+}
+
+void
+Server::handleSubmit(Connection &conn, const std::string &payload)
+{
+    auto reject = [&](RejectReason reason, const std::string &message) {
+        Rejection rejection;
+        rejection.reason = reason;
+        rejection.message = message;
+        enqueueFrame(conn, exec::FrameType::Rejected,
+                     encodeRejection(rejection));
+        std::lock_guard<std::mutex> lock(statsMutex);
+        ++counters.requestsRejected;
+    };
+
+    if (draining) {
+        reject(RejectReason::Draining,
+               "daemon is draining; resubmit elsewhere");
+        return;
+    }
+    CampaignSpec spec;
+    if (!decodeCampaignSpec(payload, spec)) {
+        reject(RejectReason::BadRequest, "undecodable campaign spec");
+        return;
+    }
+    std::string invalid = validateCampaignSpec(spec);
+    if (!invalid.empty()) {
+        reject(RejectReason::BadRequest, invalid);
+        return;
+    }
+    if (running.size() >= serverConfig.maxActive &&
+        queuedTotal() >= serverConfig.queueDepth) {
+        reject(RejectReason::QueueFull,
+               "admission queue full (" +
+                   std::to_string(serverConfig.queueDepth) +
+                   " waiting); retry later");
+        return;
+    }
+
+    Pending pending;
+    pending.requestId = nextRequestId++;
+    pending.spec = std::move(spec);
+
+    exec::WireWriter accepted;
+    accepted.u64(pending.requestId);
+    enqueueFrame(conn, exec::FrameType::Accepted, accepted.take());
+    {
+        std::lock_guard<std::mutex> lock(statsMutex);
+        ++counters.requestsAccepted;
+    }
+    inform("gemstoned: ",
+           requestPrefix(conn.id, pending.requestId), " accepted ",
+           hwsim::clusterTag(pending.spec.cluster), " campaign",
+           pending.spec.tag.empty() ? "" : " '" + pending.spec.tag +
+               "'");
+    conn.pending.push_back(std::move(pending));
+    schedule();
+}
+
+void
+Server::handleCancel(Connection &conn, const std::string &payload)
+{
+    exec::WireReader reader(payload);
+    std::uint64_t request_id = reader.u64();
+    if (!reader.done()) {
+        enqueueFrame(conn, exec::FrameType::ProtocolError,
+                     "undecodable cancel");
+        conn.closeAfterFlush = true;
+        return;
+    }
+    // Running request of this connection: cooperative cancel; the
+    // request thread will deliver the cancelled summary.
+    for (Running &request : running) {
+        if (request.requestId == request_id &&
+            request.connId == conn.id) {
+            request.cancel.requestCancel();
+            return;
+        }
+    }
+    // Still queued: settle it immediately.
+    for (auto it = conn.pending.begin(); it != conn.pending.end();
+         ++it) {
+        if (it->requestId == request_id) {
+            conn.pending.erase(it);
+            Summary summary;
+            summary.requestId = request_id;
+            summary.outcome = RequestOutcome::Cancelled;
+            enqueueFrame(conn, exec::FrameType::Summary,
+                         encodeSummary(summary));
+            std::lock_guard<std::mutex> lock(statsMutex);
+            ++counters.requestsCancelled;
+            return;
+        }
+    }
+    // Unknown id: already finished (or never ours) — ignore.
+}
+
+void
+Server::handleFrame(Connection &conn, const exec::Frame &frame)
+{
+    switch (frame.type) {
+      case exec::FrameType::SubmitCampaign:
+        handleSubmit(conn, frame.payload);
+        return;
+      case exec::FrameType::CancelRequest:
+        handleCancel(conn, frame.payload);
+        return;
+      case exec::FrameType::QueryStatus: {
+        DaemonStats stats = statsSnapshot();
+        std::string text = detail::concatToString(
+            "gemstoned: ", running.size(), " active, ",
+            queuedTotal(), " queued, ", connections.size(),
+            " connections", draining ? ", draining" : "");
+        exec::WireWriter writer;
+        writer.str(text);
+        enqueueFrame(conn, exec::FrameType::StatusReport,
+                     writer.take());
+        return;
+      }
+      case exec::FrameType::QueryStats:
+        enqueueFrame(conn, exec::FrameType::StatsReport,
+                     encodeDaemonStats(statsSnapshot()));
+        return;
+      default:
+        // Anything else is not a client->daemon request. The stream
+        // is suspect from here on: answer and hang up.
+        warn("gemstoned: ", connPrefix(conn.id),
+             " sent unexpected frame type ",
+             static_cast<int>(frame.type), "; closing");
+        enqueueFrame(conn, exec::FrameType::ProtocolError,
+                     "unexpected frame type");
+        conn.closeAfterFlush = true;
+        return;
+    }
+}
+
+void
+Server::handleReadable(Connection &conn)
+{
+    char buffer[16384];
+    for (;;) {
+        ssize_t n = ::read(conn.fd, buffer, sizeof(buffer));
+        if (n > 0) {
+            conn.decoder.feed(buffer, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            break;
+        // EOF or a hard error: the client is gone.
+        closeConnection(conn.id);
+        return;
+    }
+    exec::Frame frame;
+    while (!conn.closeAfterFlush && conn.decoder.next(frame))
+        handleFrame(conn, frame);
+    if (conn.decoder.corrupt() && !conn.closeAfterFlush) {
+        warn("gemstoned: ", connPrefix(conn.id),
+             " sent a corrupt stream; closing");
+        enqueueFrame(conn, exec::FrameType::ProtocolError,
+                     "corrupt frame stream");
+        conn.closeAfterFlush = true;
+    }
+}
+
+void
+Server::flushWritable(Connection &conn)
+{
+    while (conn.outPos < conn.outbuf.size()) {
+        ssize_t n = ::write(conn.fd, conn.outbuf.data() + conn.outPos,
+                            conn.outbuf.size() - conn.outPos);
+        if (n > 0) {
+            conn.outPos += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return;
+        closeConnection(conn.id);  // EPIPE etc.
+        return;
+    }
+    conn.outbuf.clear();
+    conn.outPos = 0;
+    if (conn.closeAfterFlush)
+        closeConnection(conn.id);
+}
+
+void
+Server::closeConnection(std::uint64_t conn_id)
+{
+    auto it = connections.find(conn_id);
+    if (it == connections.end())
+        return;
+    // Cancel exactly this connection's in-flight work; queued
+    // requests die with the connection. Other clients are untouched.
+    std::size_t cancelled = it->second.pending.size();
+    for (Running &request : running) {
+        if (request.connId == conn_id)
+            request.cancel.requestCancel();
+    }
+    closeFd(it->second.fd);
+    connections.erase(it);
+    {
+        std::lock_guard<std::mutex> lock(statsMutex);
+        counters.connectionsOpen = connections.size();
+        counters.requestsCancelled += cancelled;
+        counters.requestsQueued = queuedTotal();
+    }
+    inform("gemstoned: ", connPrefix(conn_id), " closed");
+    schedule();
+}
+
+void
+Server::schedule()
+{
+    while (running.size() < serverConfig.maxActive) {
+        // Round-robin: the connection after the last one served gets
+        // the slot, so a client pipelining many requests shares with
+        // late arrivals instead of starving them.
+        Connection *next = nullptr;
+        auto it = connections.upper_bound(rrCursor);
+        for (std::size_t step = 0; step < connections.size();
+             ++step, ++it) {
+            if (it == connections.end())
+                it = connections.begin();
+            if (!it->second.pending.empty()) {
+                next = &it->second;
+                break;
+            }
+        }
+        if (next == nullptr)
+            break;
+        rrCursor = next->id;
+        Pending pending = std::move(next->pending.front());
+        next->pending.pop_front();
+        startRequest(*next, std::move(pending));
+    }
+    std::lock_guard<std::mutex> lock(statsMutex);
+    counters.requestsActive = running.size();
+    counters.requestsQueued = queuedTotal();
+}
+
+void
+Server::startRequest(Connection &conn, Pending pending)
+{
+    Running request;
+    request.requestId = pending.requestId;
+    request.connId = conn.id;
+    request.deadline = pending.spec.deadlineSeconds > 0.0
+        ? Deadline::after(pending.spec.deadlineSeconds)
+        : Deadline();
+    request.deadlineExpired = std::make_shared<std::atomic<bool>>(false);
+    request.completed =
+        std::make_shared<std::atomic<std::uint32_t>>(0);
+    request.total = std::make_shared<std::atomic<std::uint32_t>>(0);
+
+    CampaignSpec spec = std::move(pending.spec);
+    std::uint64_t conn_id = conn.id;
+    std::uint64_t request_id = pending.requestId;
+    CancellationToken token = request.cancel;
+    auto deadline_expired = request.deadlineExpired;
+    auto completed = request.completed;
+    auto total = request.total;
+    std::shared_ptr<exec::ResultStore> store = sharedStore;
+
+    request.thread = std::thread([this, spec = std::move(spec),
+                                  conn_id, request_id, token,
+                                  deadline_expired, completed,
+                                  total, store] {
+        LogContext context(requestPrefix(conn_id, request_id));
+        auto sink = [this, conn_id, request_id, completed, total](
+                        const core::CampaignPoint &point,
+                        std::size_t index, std::size_t point_count) {
+            total->store(static_cast<std::uint32_t>(point_count),
+                         std::memory_order_relaxed);
+            completed->fetch_add(1, std::memory_order_relaxed);
+            PointUpdate update;
+            update.requestId = request_id;
+            update.index = static_cast<std::uint32_t>(index);
+            update.total = static_cast<std::uint32_t>(point_count);
+            update.workload = point.workload;
+            update.freqMhz = point.freqMhz;
+            update.statusTag = core::pointStatusTag(point.status);
+            update.execSeconds = point.execSeconds;
+            update.powerWatts = point.powerWatts;
+            OutEvent event;
+            event.connId = conn_id;
+            event.requestId = request_id;
+            event.type = exec::FrameType::PointResult;
+            event.payload = encodePointUpdate(update);
+            postEvent(std::move(event));
+        };
+
+        CampaignOutcome outcome =
+            runCampaign(spec, store, sink, token);
+        if (outcome.outcome == RequestOutcome::Cancelled &&
+            deadline_expired->load(std::memory_order_relaxed)) {
+            // The loop cancelled us because the request's own
+            // deadline expired; report that, not a client cancel.
+            outcome.outcome = RequestOutcome::Deadline;
+        }
+
+        Summary summary;
+        summary.requestId = request_id;
+        summary.outcome = outcome.outcome;
+        summary.measuredPoints = outcome.measuredPoints;
+        summary.resumedPoints = outcome.resumedPoints;
+        summary.excludedPoints = outcome.excludedPoints;
+        summary.cancelledPoints = outcome.cancelledPoints;
+        summary.datasetCsv = std::move(outcome.datasetCsv);
+        summary.warnings = std::move(outcome.warnings);
+        summary.error = std::move(outcome.error);
+
+        OutEvent reply;
+        reply.connId = conn_id;
+        reply.requestId = request_id;
+        reply.type = exec::FrameType::Summary;
+        reply.payload = encodeSummary(summary);
+        postEvent(std::move(reply));
+
+        OutEvent finished;
+        finished.kind = OutEvent::Kind::Finished;
+        finished.connId = conn_id;
+        finished.requestId = request_id;
+        finished.outcome = summary.outcome;
+        postEvent(std::move(finished));
+    });
+
+    running.push_back(std::move(request));
+}
+
+void
+Server::finishRequest(const OutEvent &event)
+{
+    auto it = std::find_if(running.begin(), running.end(),
+                           [&](const Running &request) {
+                               return request.requestId ==
+                                   event.requestId;
+                           });
+    if (it == running.end())
+        return;
+    if (it->thread.joinable())
+        it->thread.join();
+    running.erase(it);
+    {
+        std::lock_guard<std::mutex> lock(statsMutex);
+        switch (event.outcome) {
+          case RequestOutcome::Ok:
+            ++counters.requestsServed;
+            break;
+          case RequestOutcome::Cancelled:
+          case RequestOutcome::Deadline:
+            ++counters.requestsCancelled;
+            break;
+          case RequestOutcome::Error:
+            ++counters.requestsFailed;
+            break;
+        }
+    }
+    inform("gemstoned: ",
+           requestPrefix(event.connId, event.requestId), " finished (",
+           requestOutcomeTag(event.outcome), ")");
+    schedule();
+}
+
+void
+Server::drainEvents()
+{
+    char sink[256];
+    while (::read(wakePipe[0], sink, sizeof(sink)) > 0) {
+    }
+    std::vector<OutEvent> batch;
+    {
+        std::lock_guard<std::mutex> lock(eventMutex);
+        batch.swap(events);
+    }
+    for (OutEvent &event : batch) {
+        if (event.kind == OutEvent::Kind::Finished) {
+            finishRequest(event);
+            continue;
+        }
+        auto it = connections.find(event.connId);
+        if (it == connections.end())
+            continue;  // client left; its stream dies with it
+        enqueueFrame(it->second, event.type, event.payload);
+    }
+}
+
+void
+Server::tickHeartbeats()
+{
+    auto now = std::chrono::steady_clock::now();
+    double elapsed =
+        std::chrono::duration<double>(now - lastHeartbeat).count();
+    if (elapsed < serverConfig.heartbeatSeconds)
+        return;
+    lastHeartbeat = now;
+    for (const Running &request : running) {
+        auto it = connections.find(request.connId);
+        if (it == connections.end())
+            continue;
+        ProgressUpdate update;
+        update.requestId = request.requestId;
+        update.completed =
+            request.completed->load(std::memory_order_relaxed);
+        update.total = request.total->load(std::memory_order_relaxed);
+        enqueueFrame(it->second, exec::FrameType::Progress,
+                     encodeProgress(update));
+    }
+}
+
+void
+Server::tickDeadlines()
+{
+    for (Running &request : running) {
+        if (request.deadline.limited() && request.deadline.expired() &&
+            !request.deadlineExpired->load(
+                std::memory_order_relaxed)) {
+            request.deadlineExpired->store(true,
+                                           std::memory_order_relaxed);
+            request.cancel.requestCancel();
+            warn("gemstoned: ",
+                 requestPrefix(request.connId, request.requestId),
+                 " exceeded its deadline; cancelling");
+        }
+    }
+}
+
+void
+Server::enterDrain()
+{
+    draining = true;
+    {
+        std::lock_guard<std::mutex> lock(statsMutex);
+        counters.draining = true;
+    }
+    // Stop accepting: close the listening sockets now so the
+    // operator can immediately rebind a replacement daemon, and
+    // remove the socket inode so no client connects into the void.
+    closeFd(unixFd);
+    closeFd(tcpFd);
+    if (!serverConfig.socketPath.empty())
+        ::unlink(serverConfig.socketPath.c_str());
+    inform("gemstoned: draining — ", running.size(), " active and ",
+           queuedTotal(), " queued requests will finish");
+}
+
+bool
+Server::drainComplete() const
+{
+    if (!running.empty())
+        return false;
+    for (const auto &[id, conn] : connections) {
+        if (!conn.pending.empty() || conn.outPos < conn.outbuf.size())
+            return false;
+    }
+    return true;
+}
+
+Status
+Server::run()
+{
+    if (!started) {
+        return Status(StatusCode::Internal,
+                      "Server::run() before start()");
+    }
+    for (;;) {
+        if (!draining && serverConfig.drain.cancelled())
+            enterDrain();
+        if (draining && drainComplete())
+            break;
+
+        std::vector<struct pollfd> fds;
+        std::vector<std::uint64_t> owner;  // conn id per pollfd, 0 = not a conn
+        auto add = [&](int fd, short events, std::uint64_t conn_id) {
+            struct pollfd p;
+            p.fd = fd;
+            p.events = events;
+            p.revents = 0;
+            fds.push_back(p);
+            owner.push_back(conn_id);
+        };
+        add(wakePipe[0], POLLIN, 0);
+        if (!draining) {
+            if (unixFd >= 0)
+                add(unixFd, POLLIN, 0);
+            if (tcpFd >= 0)
+                add(tcpFd, POLLIN, 0);
+        }
+        for (auto &[id, conn] : connections) {
+            short events = POLLIN;
+            if (conn.outPos < conn.outbuf.size())
+                events |= POLLOUT;
+            add(conn.fd, events, id);
+        }
+
+        int timeout_ms = std::clamp(
+            static_cast<int>(serverConfig.heartbeatSeconds * 500.0),
+            10, 200);
+        int ready = ::poll(fds.data(),
+                           static_cast<nfds_t>(fds.size()),
+                           timeout_ms);
+        if (ready < 0 && errno != EINTR) {
+            return Status(StatusCode::IoError,
+                          std::string("poll: ") +
+                              std::strerror(errno));
+        }
+
+        drainEvents();
+        tickDeadlines();
+        tickHeartbeats();
+
+        if (ready <= 0)
+            continue;
+        for (std::size_t i = 0; i < fds.size(); ++i) {
+            if (fds[i].revents == 0)
+                continue;
+            if (fds[i].fd == wakePipe[0]) {
+                continue;  // already drained above
+            }
+            if (owner[i] == 0) {
+                acceptPending(fds[i].fd);
+                continue;
+            }
+            auto it = connections.find(owner[i]);
+            if (it == connections.end())
+                continue;  // closed earlier this iteration
+            if (fds[i].revents & (POLLERR | POLLNVAL)) {
+                closeConnection(owner[i]);
+                continue;
+            }
+            if (fds[i].revents & (POLLIN | POLLHUP)) {
+                handleReadable(it->second);
+                it = connections.find(owner[i]);
+                if (it == connections.end())
+                    continue;
+            }
+            if (fds[i].revents & POLLOUT)
+                flushWritable(it->second);
+        }
+        // Frames queued by this iteration's reads are flushed on the
+        // next poll round (the fd will report writable).
+    }
+
+    // Graceful exit: every admitted request finished and was
+    // flushed. Close what is left and report the tally.
+    for (auto &[id, conn] : connections)
+        closeFd(conn.fd);
+    connections.clear();
+    {
+        std::lock_guard<std::mutex> lock(statsMutex);
+        counters.connectionsOpen = 0;
+    }
+    DaemonStats stats = statsSnapshot();
+    inform("gemstoned: drained — served ", stats.requestsServed,
+           ", cancelled ", stats.requestsCancelled, ", failed ",
+           stats.requestsFailed, ", rejected ",
+           stats.requestsRejected, "; store ", stats.storeSize, "/",
+           stats.storeCapacity, " entries (", stats.storeHits,
+           " hits, ", stats.storeMisses, " misses, ",
+           stats.storeEvictions, " evictions)");
+    return Status::okStatus();
+}
+
+} // namespace gemstone::serve

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The one campaign entry point behind both front-ends.
+ *
+ * A daemon-served request and a one-shot `gemstone_tool campaign` run
+ * must produce byte-identical artefacts. The way to guarantee that is
+ * to have exactly one mapping from a CampaignSpec to runner/campaign
+ * configuration and exactly one execution routine — this file. The
+ * daemon calls runCampaign() from a request thread with the shared
+ * store and a streaming sink; the CLI calls it with a private store
+ * and a printing sink; tests call it to compute expected bytes.
+ */
+
+#ifndef GEMSTONE_SERVE_SERVICE_HH
+#define GEMSTONE_SERVE_SERVICE_HH
+
+#include <memory>
+
+#include "exec/resultstore.hh"
+#include "gemstone/campaign.hh"
+#include "gemstone/runner.hh"
+#include "serve/protocol.hh"
+#include "util/cancellation.hh"
+
+namespace gemstone::serve {
+
+/** RunnerConfig a spec maps to (store keys depend on these). */
+core::RunnerConfig runnerConfigFor(const CampaignSpec &spec);
+
+/** CampaignConfig a spec maps to (no checkpointing: the daemon's
+ *  persistence tier is the shared result store, not per-request
+ *  checkpoint files). */
+core::CampaignConfig campaignConfigFor(const CampaignSpec &spec);
+
+/** Everything a front-end needs to report one finished campaign. */
+struct CampaignOutcome
+{
+    RequestOutcome outcome = RequestOutcome::Ok;
+    /** ValidationDataset::toCsv() — the byte-comparison surface. */
+    std::string datasetCsv;
+    std::uint32_t measuredPoints = 0;
+    std::uint32_t resumedPoints = 0;
+    std::uint32_t excludedPoints = 0;
+    std::uint32_t cancelledPoints = 0;
+    std::vector<std::string> warnings;
+    std::string error;  //!< outcome == Error only
+};
+
+/**
+ * Run the campaign a spec describes. @p store may be shared across
+ * concurrent calls (the daemon's case) or private; nullptr runs
+ * uncached. @p sink, if set, streams settled points (called from
+ * campaign worker threads — must be thread-safe). @p cancel stops
+ * the run cooperatively at the next poll site; the caller decides
+ * whether that was a client cancel or an expired deadline and maps
+ * the outcome accordingly (a cancelled run reports Cancelled here).
+ * Exceptions are absorbed into RequestOutcome::Error.
+ */
+CampaignOutcome runCampaign(
+    const CampaignSpec &spec,
+    const std::shared_ptr<exec::ResultStore> &store,
+    core::CampaignConfig::PointSink sink, CancellationToken cancel);
+
+} // namespace gemstone::serve
+
+#endif // GEMSTONE_SERVE_SERVICE_HH

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <map>
 #include <mutex>
+#include <vector>
 
 namespace gemstone {
 
@@ -15,6 +16,19 @@ namespace {
 
 std::atomic<std::size_t> warnCounter{0};
 std::atomic<bool> quietMode{false};
+
+/**
+ * The calling thread's stack of active log-context prefixes. A
+ * function-local thread_local keeps construction lazy and destruction
+ * ordered per thread; no lock is ever needed because no other thread
+ * can reach it.
+ */
+std::vector<std::string> &
+logContextStack()
+{
+    thread_local std::vector<std::string> stack;
+    return stack;
+}
 
 std::function<void(const std::string &)> &
 fatalHandler()
@@ -62,7 +76,8 @@ emitLog(LogLevel level, const std::string &message, const char *file,
     if (quietMode.load(std::memory_order_relaxed) && !is_error)
         return;
 
-    std::cerr << levelName(level) << ": " << message;
+    std::cerr << levelName(level) << ": " << currentLogPrefix()
+              << message;
     if (is_error)
         std::cerr << " @ " << file << ":" << line;
     std::cerr << "\n";
@@ -90,6 +105,30 @@ emitLimitedWarn(const std::string &key, std::size_t limit,
 }
 
 } // namespace detail
+
+LogContext::LogContext(std::string prefix)
+{
+    logContextStack().push_back(std::move(prefix));
+}
+
+LogContext::~LogContext()
+{
+    logContextStack().pop_back();
+}
+
+std::string
+currentLogPrefix()
+{
+    const std::vector<std::string> &stack = logContextStack();
+    if (stack.empty())
+        return "";
+    std::string prefix;
+    for (const std::string &item : stack) {
+        prefix += item;
+        prefix += ' ';
+    }
+    return prefix;
+}
 
 void
 panicImpl(const std::string &message, const char *file, int line)

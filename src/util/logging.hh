@@ -94,6 +94,31 @@ void setFatalHandler(std::function<void(const std::string &)> handler);
  */
 void setFatalThrows(bool throws);
 
+/**
+ * Scoped per-thread log prefix, e.g. "[conn 7 req 3]". Every record
+ * a thread emits (inform/warn/fatal/panic) while a LogContext is
+ * alive is prefixed with the active contexts, outermost first, so
+ * interleaved daemon logs stay attributable to their connection and
+ * request. Contexts nest and are strictly thread-local — two threads
+ * never see each other's prefixes, which is what makes the mechanism
+ * thread-safe without a lock.
+ */
+class LogContext
+{
+  public:
+    explicit LogContext(std::string prefix);
+    ~LogContext();
+
+    LogContext(const LogContext &) = delete;
+    LogContext &operator=(const LogContext &) = delete;
+};
+
+/**
+ * The calling thread's active log prefix: the space-joined contexts
+ * plus a trailing space, or "" when none are installed.
+ */
+std::string currentLogPrefix();
+
 /** Count of warnings emitted so far (useful in tests). */
 std::size_t warnCount();
 

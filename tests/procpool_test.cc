@@ -135,6 +135,91 @@ TEST(WireProto, AbsurdLengthPrefixLatchesCorrupt)
     EXPECT_TRUE(decoder.corrupt());
 }
 
+TEST(WireProto, TornFrameFuzzEveryTruncationPoint)
+{
+    // A realistic multi-frame stream, including an empty payload and
+    // an embedded-NUL payload.
+    std::string stream;
+    stream += exec::encodeFrame(FrameType::Hello, {});
+    stream += exec::encodeFrame(FrameType::Task, "payload one");
+    stream += exec::encodeFrame(FrameType::Result,
+                                std::string("\0\x01\x02", 3));
+    std::vector<std::size_t> boundaries = {
+        exec::encodeFrame(FrameType::Hello, {}).size()};
+    boundaries.push_back(
+        boundaries[0] +
+        exec::encodeFrame(FrameType::Task, "payload one").size());
+    boundaries.push_back(stream.size());
+
+    // Tear the stream at every byte offset: the decoder must emit
+    // exactly the frames whose bytes are fully present, buffer the
+    // rest, and never latch corrupt — a torn frame is incomplete
+    // input, not hostile input.
+    for (std::size_t cut = 0; cut <= stream.size(); ++cut) {
+        FrameDecoder decoder;
+        decoder.feed(stream.data(), cut);
+        std::size_t complete = 0;
+        Frame frame;
+        while (decoder.next(frame))
+            ++complete;
+        std::size_t expected = 0;
+        for (std::size_t boundary : boundaries)
+            expected += cut >= boundary ? 1 : 0;
+        EXPECT_EQ(complete, expected) << "cut at " << cut;
+        EXPECT_FALSE(decoder.corrupt()) << "cut at " << cut;
+        EXPECT_EQ(decoder.buffered(),
+                  cut - (complete == 0
+                             ? 0
+                             : boundaries[complete - 1]))
+            << "cut at " << cut;
+
+        // Feeding the remainder always completes the stream: a torn
+        // read followed by the rest of the bytes loses nothing.
+        decoder.feed(stream.data() + cut, stream.size() - cut);
+        while (decoder.next(frame))
+            ++complete;
+        EXPECT_EQ(complete, boundaries.size()) << "cut at " << cut;
+        EXPECT_FALSE(decoder.corrupt());
+        EXPECT_EQ(decoder.buffered(), 0u);
+    }
+}
+
+TEST(WireProto, OversizedLengthFedByteAtATimeLatchesCleanly)
+{
+    // Length prefix one past the cap (the length field counts the
+    // type byte, so the largest legal value is kMaxFramePayload + 1),
+    // dribbled in a byte at a time: the decoder must latch corrupt as
+    // soon as the length field convicts and stay latched — no
+    // allocation of the claimed size, no partial frame, no
+    // resurrection from later valid bytes.
+    const std::uint64_t claimed = exec::kMaxFramePayload + 2;
+    char header[5];
+    header[0] = static_cast<char>(claimed & 0xff);
+    header[1] = static_cast<char>((claimed >> 8) & 0xff);
+    header[2] = static_cast<char>((claimed >> 16) & 0xff);
+    header[3] = static_cast<char>((claimed >> 24) & 0xff);
+    header[4] = 1;
+
+    FrameDecoder decoder;
+    Frame frame;
+    for (std::size_t i = 0; i < sizeof header; ++i) {
+        decoder.feed(header + i, 1);
+        EXPECT_FALSE(decoder.next(frame));
+        // The length field alone is enough to convict; the decoder
+        // may latch as soon as all four length bytes are in.
+        if (i < 3)
+            EXPECT_FALSE(decoder.corrupt()) << "byte " << i;
+    }
+    EXPECT_TRUE(decoder.corrupt());
+
+    std::string good = exec::encodeFrame(FrameType::Hello, {});
+    for (char c : good) {
+        decoder.feed(&c, 1);
+        EXPECT_FALSE(decoder.next(frame));
+    }
+    EXPECT_TRUE(decoder.corrupt());
+}
+
 TEST(WireProto, StoreEntriesRoundTripBitExact)
 {
     std::vector<std::pair<std::string, exec::ResultStore::Fields>>

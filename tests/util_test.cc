@@ -10,6 +10,7 @@
 #include <fstream>
 #include <set>
 #include <sstream>
+#include <thread>
 
 #include "util/atomicfile.hh"
 #include "util/csv.hh"
@@ -53,6 +54,40 @@ TEST(Logging, FatalExitsWithCode1)
 {
     EXPECT_EXIT(fatal("bad config"),
                 ::testing::ExitedWithCode(1), "bad config");
+}
+
+TEST(Logging, LogContextPrefixesNestAndUnwind)
+{
+    EXPECT_EQ(currentLogPrefix(), "");
+    {
+        LogContext conn("[conn 7]");
+        EXPECT_EQ(currentLogPrefix(), "[conn 7] ");
+        {
+            LogContext req("[req 3]");
+            EXPECT_EQ(currentLogPrefix(), "[conn 7] [req 3] ");
+        }
+        EXPECT_EQ(currentLogPrefix(), "[conn 7] ");
+    }
+    EXPECT_EQ(currentLogPrefix(), "");
+}
+
+TEST(Logging, LogContextIsThreadLocal)
+{
+    // Two threads' contexts never bleed into each other — that
+    // isolation is what makes the mechanism lock-free.
+    LogContext mine("[main]");
+    std::string seen_inside, seen_after;
+    std::thread other([&] {
+        {
+            LogContext theirs("[worker]");
+            seen_inside = currentLogPrefix();
+        }
+        seen_after = currentLogPrefix();
+    });
+    other.join();
+    EXPECT_EQ(seen_inside, "[worker] ");
+    EXPECT_EQ(seen_after, "");
+    EXPECT_EQ(currentLogPrefix(), "[main] ");
 }
 
 // ---------------------------------------------------------------------
