@@ -12,6 +12,10 @@
  *     stream, summary) versus the same campaign run in-process —
  *     cold store, then warm (the repeated-request case admission
  *     control and the shared store are there to make cheap).
+ *  3. Attach replay: wall-clock of re-binding to a finished durable
+ *     request and replaying its full retained stream (every settled
+ *     PointResult plus the Summary) — the reconnect path a
+ *     self-healing client rides after an outage.
  *
  * Not CI-gated: numbers are host-dependent. The invariant checks
  * (byte-identical datasets) do abort on failure.
@@ -32,6 +36,9 @@
 #include "util/logging.hh"
 #include "util/strutil.hh"
 
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <thread>
@@ -166,6 +173,112 @@ serviceOverhead()
               << "x vs in-process: shared-store replay)\n";
 }
 
+/** Minimal raw submit: Accepted's token, then hang up (detach). */
+std::string
+rawDurableSubmit(const std::string &socket_path,
+                 const serve::CampaignSpec &spec)
+{
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    panic_if(fd < 0, "socket failed");
+    struct sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    panic_if(::connect(fd,
+                       reinterpret_cast<struct sockaddr *>(&addr),
+                       sizeof(addr)) != 0,
+             "connect failed");
+    panic_if(!exec::writeFrame(fd, exec::FrameType::SubmitCampaign,
+                               serve::encodeCampaignSpec(spec)),
+             "submit write failed");
+    exec::FrameDecoder decoder;
+    exec::Frame frame;
+    serve::Accepted accepted;
+    for (;;) {
+        if (decoder.next(frame)) {
+            if (frame.type != exec::FrameType::Accepted)
+                continue;
+            panic_if(!serve::decodeAccepted(frame.payload, accepted),
+                     "bad Accepted payload");
+            break;
+        }
+        char buffer[4096];
+        ssize_t n = ::read(fd, buffer, sizeof(buffer));
+        panic_if(n <= 0, "daemon hung up before Accepted");
+        decoder.feed(buffer, static_cast<std::size_t>(n));
+    }
+    ::close(fd);  // durable: the daemon detaches, not cancels
+    return accepted.token;
+}
+
+void
+attachReplay()
+{
+    serve::CampaignSpec spec = benchSpec();
+    spec.durable = true;
+
+    serve::Server::Config config;
+    config.socketPath =
+        "/tmp/gs_perf_attach_" + std::to_string(::getpid()) + ".sock";
+    serve::Server server(config);
+    Status started = server.start();
+    panic_if(!started.ok(), "server start failed");
+    Status run_status = Status::okStatus();
+    std::thread loop([&] { run_status = server.run(); });
+
+    // Each round: detach a durable campaign, let it finish unclaimed
+    // (warm store after round one, so rounds mostly measure replay),
+    // then time the attach that replays the whole retained stream.
+    constexpr int kRounds = 3;
+    double total_s = 0.0;
+    std::uint32_t points = 0;
+    std::size_t replay_bytes = 0;
+    for (int round = 0; round < kRounds; ++round) {
+        std::string token =
+            rawDurableSubmit(config.socketPath, spec);
+        while (server.statsSnapshot().requestsServed !=
+               static_cast<std::uint64_t>(round + 1)) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(2));
+        }
+
+        serve::Client client;
+        Status connected = client.connectUnix(config.socketPath);
+        panic_if(!connected.ok(), "connect failed");
+        std::size_t bytes = 0;
+        serve::Client::Callbacks callbacks;
+        callbacks.onPoint = [&](const serve::PointUpdate &update) {
+            bytes += serve::encodePointUpdate(update).size();
+        };
+        serve::Client::SubmitResult result;
+        auto t0 = std::chrono::steady_clock::now();
+        Status attached = client.attach(token, result, callbacks);
+        total_s += secondsSince(t0);
+        panic_if(!attached.ok() || !result.accepted ||
+                     result.summary.outcome !=
+                         serve::RequestOutcome::Ok,
+                 "attach replay failed");
+        points = result.summary.measuredPoints;
+        replay_bytes = bytes;
+    }
+
+    server.requestDrain();
+    loop.join();
+    panic_if(!run_status.ok(), "daemon loop failed");
+
+    double mean_s = total_s / kRounds;
+    std::cout << "attach replay: " << points
+              << " settled points + summary re-streamed per attach\n"
+              << "  mean over " << kRounds << " attaches  "
+              << formatDouble(mean_s * 1e3, 1) << " ms  ("
+              << formatDouble(points / mean_s / 1e3, 1)
+              << " kpoints/s, "
+              << formatDouble(replay_bytes / mean_s / (1024.0 * 1024.0),
+                              1)
+              << " MiB/s of point payload)\n";
+}
+
 } // namespace
 
 int
@@ -175,5 +288,7 @@ main()
     framingThroughput();
     std::cout << "\n";
     serviceOverhead();
+    std::cout << "\n";
+    attachReplay();
     return 0;
 }

@@ -331,6 +331,10 @@ ctlMain(int argc, char **argv)
     std::string out_path;
     bool quiet = false;
     std::uint64_t cancel_id = 0;
+    std::string attach_token;
+    std::string token_file;
+    double io_timeout = 30.0;
+    int retries = -1;  // -1 = default: 8 for durable streams
 
     for (int i = 0; i < argc; ++i) {
         std::string arg = argv[i];
@@ -351,14 +355,28 @@ ctlMain(int argc, char **argv)
             quiet = true;
         } else if (arg == "--request") {
             cancel_id = std::stoull(next());
+        } else if (arg == "--durable") {
+            spec.durable = true;
+        } else if (arg == "--token") {
+            attach_token = next();
+        } else if (arg == "--token-file") {
+            token_file = next();
+        } else if (arg == "--timeout") {
+            io_timeout = std::stod(next());
+            if (io_timeout < 0.0)
+                fatal("--timeout must be >= 0");
+        } else if (arg == "--retries") {
+            retries = std::stoi(next());
+            if (retries < 0)
+                fatal("--retries must be >= 0");
         } else if (parseSpecFlag(arg, next, spec)) {
             continue;
         } else if (arg == "--help" || arg == "-h") {
             std::cout
                 << "usage: gemstone_tool ctl [--socket PATH | --tcp "
                    "PORT [--host IP]]\n"
-                   "                         submit|stats|status|"
-                   "cancel [options]\n"
+                   "                         submit|attach|stats|"
+                   "status|cancel [options]\n"
                    "\n"
                    "submit streams a campaign and writes the "
                    "collated dataset CSV\n"
@@ -366,8 +384,32 @@ ctlMain(int argc, char **argv)
                 << kSpecFlagsHelp
                 << "  --out FILE           dataset CSV destination\n"
                    "  --quiet              no progress on stderr\n"
+                   "  --durable            survive disconnects and "
+                   "daemon restarts:\n"
+                   "                       the daemon detaches (not "
+                   "cancels) on\n"
+                   "                       disconnect and journals "
+                   "the request;\n"
+                   "                       the client auto-reconnects "
+                   "and re-attaches\n"
+                   "  --token-file FILE    write the resume token "
+                   "here once accepted\n"
+                   "  --retries N          reconnect attempts per "
+                   "outage (default 8\n"
+                   "                       for durable streams, 0 "
+                   "otherwise)\n"
+                   "\n"
+                   "attach re-binds to a request by resume token "
+                   "(--token STR or\n"
+                   "--token-file FILE), replays its settled points "
+                   "and streams to\n"
+                   "the summary; same output options as submit.\n"
                    "\n"
                    "cancel needs --request ID.\n"
+                   "\n"
+                   "stats/status wait at most --timeout SECONDS "
+                   "(default 30,\n"
+                   "0 = forever) for the reply.\n"
                    "\n"
                    "exit codes: 0 ok, 2 rejected by admission "
                    "control,\n"
@@ -381,12 +423,15 @@ ctlMain(int argc, char **argv)
                   "' (see gemstone_tool ctl --help)");
         }
     }
-    if (command.empty())
-        fatal("ctl needs a command: submit, stats, status or cancel");
+    if (command.empty()) {
+        fatal("ctl needs a command: submit, attach, stats, status or "
+              "cancel");
+    }
     if (socket_path.empty() && tcp_port < 0)
         fatal("ctl needs --socket or --tcp");
 
     serve::Client client;
+    client.setIoTimeout(io_timeout);
     Status connected = socket_path.empty()
         ? client.connectTcp(host, tcp_port)
         : client.connectUnix(socket_path);
@@ -394,13 +439,21 @@ ctlMain(int argc, char **argv)
         std::cerr << "gemstonectl: " << connected.toString() << "\n";
         return 1;
     }
+    // A transport failure that was a timeout maps to the repo-wide
+    // deadline exit code, so scripts can tell "daemon wedged" from
+    // "protocol broke".
+    auto transportExit = [](const Status &status) {
+        return status.code() == StatusCode::DeadlineExceeded
+            ? kExitDeadline
+            : 1;
+    };
 
     if (command == "stats") {
         serve::DaemonStats stats;
         Status status = client.queryStats(stats);
         if (!status.ok()) {
             std::cerr << "gemstonectl: " << status.toString() << "\n";
-            return 1;
+            return transportExit(status);
         }
         std::cout << "connections: " << stats.connectionsOpen
                   << " open / " << stats.connectionsTotal
@@ -411,6 +464,9 @@ ctlMain(int argc, char **argv)
                   << " cancelled, " << stats.requestsFailed
                   << " failed, " << stats.requestsRejected
                   << " rejected\n"
+                  << "durability: " << stats.requestsRecovered
+                  << " recovered at boot, "
+                  << stats.requestsReattached << " re-attached\n"
                   << "load: " << stats.requestsActive << " active, "
                   << stats.requestsQueued << " queued"
                   << (stats.draining ? ", draining" : "") << "\n"
@@ -428,7 +484,7 @@ ctlMain(int argc, char **argv)
         Status status = client.queryStatus(text);
         if (!status.ok()) {
             std::cerr << "gemstonectl: " << status.toString() << "\n";
-            return 1;
+            return transportExit(status);
         }
         std::cout << text << "\n";
         return 0;
@@ -443,12 +499,33 @@ ctlMain(int argc, char **argv)
         }
         return 0;
     }
-    if (command != "submit")
+    if (command != "submit" && command != "attach")
         fatal("unknown ctl command '", command, "'");
 
-    std::string invalid = serve::validateCampaignSpec(spec);
-    if (!invalid.empty())
-        fatal("invalid campaign: ", invalid);
+    if (command == "attach") {
+        if (attach_token.empty() && !token_file.empty()) {
+            std::ifstream in(token_file);
+            std::getline(in, attach_token);
+            if (!in.good() && attach_token.empty())
+                fatal("cannot read token from ", token_file);
+        }
+        if (attach_token.empty())
+            fatal("attach needs --token STR or --token-file FILE");
+    } else {
+        std::string invalid = serve::validateCampaignSpec(spec);
+        if (!invalid.empty())
+            fatal("invalid campaign: ", invalid);
+    }
+
+    // Self-healing: durable submits and attaches reconnect with
+    // backoff, re-attach by token, and fall back to an idempotent
+    // re-submit; a plain submit keeps single-shot semantics.
+    serve::Client::ReconnectPolicy policy;
+    bool durable_stream = spec.durable || command == "attach";
+    policy.maxAttempts = retries >= 0
+        ? static_cast<unsigned>(retries)
+        : (durable_stream ? 8 : 0);
+    client.setReconnectPolicy(policy);
 
     // Ctrl-C while streaming: ask the daemon to cancel the request,
     // then keep reading — the daemon answers with a cancelled
@@ -457,11 +534,33 @@ ctlMain(int argc, char **argv)
     installSignalCancellation(interrupt);
 
     std::uint64_t request_id = 0;
+    auto saveToken = [&](const std::string &token) {
+        if (token_file.empty() || token.empty())
+            return;
+        std::ofstream out(token_file, std::ios::trunc);
+        out << token << "\n";
+        out.flush();
+        if (!out)
+            std::cerr << "warning: cannot write " << token_file
+                      << "\n";
+    };
     serve::Client::Callbacks callbacks;
-    callbacks.onAccepted = [&](std::uint64_t id) {
-        request_id = id;
-        if (!quiet)
-            std::cerr << "accepted as request " << id << "\n";
+    callbacks.onAccepted = [&](const serve::Accepted &accepted) {
+        request_id = accepted.requestId;
+        saveToken(accepted.token);
+        if (!quiet) {
+            std::cerr << "accepted as request " << accepted.requestId
+                      << " (token " << accepted.token << ")\n";
+        }
+    };
+    callbacks.onResumed = [&](const serve::ResumeInfo &info) {
+        request_id = info.requestId;
+        saveToken(info.token);
+        if (!quiet) {
+            std::cerr << "attached to request " << info.requestId
+                      << "; replaying " << info.replayPoints
+                      << " settled points\n";
+        }
     };
     bool cancel_sent = false;
     callbacks.onPoint = [&](const serve::PointUpdate &update) {
@@ -476,7 +575,7 @@ ctlMain(int argc, char **argv)
             client.sendCancel(request_id);
         }
     };
-    callbacks.onProgress = [&](const serve::ProgressUpdate &update) {
+    callbacks.onProgress = [&](const serve::ProgressUpdate &) {
         if (interrupt.cancelled() && !cancel_sent && request_id != 0) {
             cancel_sent = true;
             client.sendCancel(request_id);
@@ -484,16 +583,22 @@ ctlMain(int argc, char **argv)
     };
 
     serve::Client::SubmitResult result;
-    Status status = client.submit(spec, result, callbacks);
+    Status status = command == "attach"
+        ? client.attach(attach_token, result, callbacks)
+        : client.submit(spec, result, callbacks);
     if (!status.ok()) {
         std::cerr << "gemstonectl: " << status.toString() << "\n";
-        return 1;
+        return transportExit(status);
     }
     if (!result.accepted) {
         std::cerr << "gemstonectl: rejected ("
                   << serve::rejectReasonTag(result.rejection.reason)
                   << "): " << result.rejection.message << "\n";
         return 2;
+    }
+    if (!quiet && result.reconnects > 0) {
+        std::cerr << "gemstonectl: stream self-healed "
+                  << result.reconnects << " time(s)\n";
     }
     for (const std::string &warning : result.summary.warnings)
         std::cerr << "warning: " << warning << "\n";

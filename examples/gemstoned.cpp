@@ -11,7 +11,8 @@
  * Usage:
  *   gemstoned --socket PATH [--tcp PORT] [--max-active N]
  *             [--queue-depth N] [--store-capacity N] [--cache PATH]
- *             [--heartbeat SECONDS]
+ *             [--heartbeat SECONDS] [--journal DIR]
+ *             [--retain SECONDS]
  *
  * SIGTERM/SIGINT drain gracefully: the daemon stops accepting,
  * finishes and flushes every admitted request, and exits 0. A second
@@ -54,6 +55,16 @@ usage()
         "runs\n"
         "  --heartbeat SECONDS  progress heartbeat period "
         "(default 1.0)\n"
+        "  --journal DIR        durable-request journal directory: "
+        "durable\n"
+        "                       campaigns survive a daemon crash and "
+        "restart\n"
+        "                       (resumed from per-request "
+        "checkpoints)\n"
+        "  --retain SECONDS     keep finished unclaimed durable "
+        "results\n"
+        "                       this long for a late attach "
+        "(default 3600)\n"
         "\n"
         "SIGTERM/SIGINT drain gracefully (exit 0); a second signal\n"
         "forces immediate exit.\n";
@@ -100,6 +111,12 @@ main(int argc, char **argv)
             config.heartbeatSeconds = std::stod(next());
             if (config.heartbeatSeconds <= 0.0)
                 fatal("--heartbeat must be > 0");
+        } else if (arg == "--journal") {
+            config.journalDir = next();
+        } else if (arg == "--retain") {
+            config.retainFinishedSeconds = std::stod(next());
+            if (config.retainFinishedSeconds < 0.0)
+                fatal("--retain must be >= 0");
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -129,6 +146,9 @@ main(int argc, char **argv)
     if (!started.ok())
         fatal("gemstoned: ", started.toString());
 
+    if (!config.journalDir.empty())
+        inform("gemstoned: journaling durable requests under ",
+               config.journalDir);
     if (!config.socketPath.empty())
         inform("gemstoned: listening on ", config.socketPath);
     if (server.boundTcpPort() >= 0)

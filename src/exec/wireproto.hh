@@ -51,9 +51,10 @@ enum class FrameType : std::uint8_t
     CancelRequest = 17,  //!< cancel a previously submitted request
     QueryStatus = 18,    //!< ask for daemon status
     QueryStats = 19,     //!< ask for daemon + result-store counters
+    Attach = 20,         //!< re-bind to a request by resume token
 
     // serve/: daemon -> client responses.
-    Accepted = 24,      //!< submit admitted; carries the request id
+    Accepted = 24,      //!< submit admitted; request id + resume token
     Rejected = 25,      //!< submit refused (queue full, drain, bad)
     PointResult = 26,   //!< one settled campaign point (streamed)
     Progress = 27,      //!< periodic heartbeat: completed/total
@@ -61,6 +62,7 @@ enum class FrameType : std::uint8_t
     StatusReport = 29,  //!< reply to QueryStatus
     StatsReport = 30,   //!< reply to QueryStats
     ProtocolError = 31, //!< unparseable input; the daemon closes
+    Resumed = 32,       //!< Attach succeeded; journal replay follows
 };
 
 /** One decoded frame. */

@@ -8,11 +8,18 @@
 #include <arpa/inet.h>
 #include <errno.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
+
+#include "util/logging.hh"
+#include "util/random.hh"
 
 namespace gemstone::serve {
 
@@ -44,59 +51,84 @@ Client::close()
 Status
 Client::connectUnix(const std::string &path)
 {
-    close();
-    struct sockaddr_un addr;
-    if (path.size() >= sizeof(addr.sun_path)) {
-        return Status(StatusCode::IoError,
-                      "socket path too long: " + path);
-    }
-    sock = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (sock < 0) {
-        return Status(StatusCode::IoError,
-                      std::string("socket: ") + std::strerror(errno));
-    }
-    std::memset(&addr, 0, sizeof(addr));
-    addr.sun_family = AF_UNIX;
-    std::strncpy(addr.sun_path, path.c_str(),
-                 sizeof(addr.sun_path) - 1);
-    if (::connect(sock, reinterpret_cast<struct sockaddr *>(&addr),
-                  sizeof(addr)) < 0) {
-        Status status(StatusCode::IoError,
-                      "connect " + path + ": " +
-                          std::strerror(errno));
-        closeFd(sock);
-        return status;
-    }
-    return Status::okStatus();
+    endpoint = Endpoint::Unix;
+    endpointPath = path;
+    return redial();
 }
 
 Status
 Client::connectTcp(const std::string &host, int port)
 {
+    endpoint = Endpoint::Tcp;
+    endpointHost = host;
+    endpointPort = port;
+    return redial();
+}
+
+Status
+Client::redial()
+{
     close();
-    sock = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (sock < 0) {
-        return Status(StatusCode::IoError,
-                      std::string("socket: ") + std::strerror(errno));
+    // A reconnect must not replay stale bytes of the dead stream.
+    decoder = exec::FrameDecoder();
+    if (endpoint == Endpoint::Unix) {
+        struct sockaddr_un addr;
+        if (endpointPath.size() >= sizeof(addr.sun_path)) {
+            return Status(StatusCode::IoError,
+                          "socket path too long: " + endpointPath);
+        }
+        sock = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (sock < 0) {
+            return Status(StatusCode::IoError,
+                          std::string("socket: ") +
+                              std::strerror(errno));
+        }
+        std::memset(&addr, 0, sizeof(addr));
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, endpointPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        if (::connect(sock,
+                      reinterpret_cast<struct sockaddr *>(&addr),
+                      sizeof(addr)) < 0) {
+            Status status(StatusCode::IoError,
+                          "connect " + endpointPath + ": " +
+                              std::strerror(errno));
+            closeFd(sock);
+            return status;
+        }
+        return Status::okStatus();
     }
-    struct sockaddr_in addr;
-    std::memset(&addr, 0, sizeof(addr));
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(static_cast<std::uint16_t>(port));
-    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-        closeFd(sock);
-        return Status(StatusCode::IoError,
-                      "not an IPv4 address: " + host);
+    if (endpoint == Endpoint::Tcp) {
+        sock = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (sock < 0) {
+            return Status(StatusCode::IoError,
+                          std::string("socket: ") +
+                              std::strerror(errno));
+        }
+        struct sockaddr_in addr;
+        std::memset(&addr, 0, sizeof(addr));
+        addr.sin_family = AF_INET;
+        addr.sin_port =
+            htons(static_cast<std::uint16_t>(endpointPort));
+        if (::inet_pton(AF_INET, endpointHost.c_str(),
+                        &addr.sin_addr) != 1) {
+            closeFd(sock);
+            return Status(StatusCode::IoError,
+                          "not an IPv4 address: " + endpointHost);
+        }
+        if (::connect(sock,
+                      reinterpret_cast<struct sockaddr *>(&addr),
+                      sizeof(addr)) < 0) {
+            Status status(StatusCode::IoError,
+                          "connect " + endpointHost + ":" +
+                              std::to_string(endpointPort) + ": " +
+                              std::strerror(errno));
+            closeFd(sock);
+            return status;
+        }
+        return Status::okStatus();
     }
-    if (::connect(sock, reinterpret_cast<struct sockaddr *>(&addr),
-                  sizeof(addr)) < 0) {
-        Status status(StatusCode::IoError,
-                      "connect " + host + ":" + std::to_string(port) +
-                          ": " + std::strerror(errno));
-        closeFd(sock);
-        return status;
-    }
-    return Status::okStatus();
+    return Status(StatusCode::Internal, "no endpoint configured");
 }
 
 Status
@@ -112,8 +144,11 @@ Client::sendFrame(exec::FrameType type, const std::string &payload)
 }
 
 Status
-Client::readFrame(exec::Frame &out)
+Client::readFrame(exec::Frame &out, double timeout_seconds)
 {
+    auto giveUpAt = std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(timeout_seconds));
     for (;;) {
         if (decoder.corrupt()) {
             return Status(StatusCode::CorruptData,
@@ -121,6 +156,31 @@ Client::readFrame(exec::Frame &out)
         }
         if (decoder.next(out))
             return Status::okStatus();
+        if (timeout_seconds > 0.0) {
+            auto now = std::chrono::steady_clock::now();
+            if (now >= giveUpAt) {
+                return Status(StatusCode::DeadlineExceeded,
+                              "no frame from daemon within " +
+                                  std::to_string(timeout_seconds) +
+                                  "s");
+            }
+            struct pollfd p;
+            p.fd = sock;
+            p.events = POLLIN;
+            p.revents = 0;
+            int wait_ms = static_cast<int>(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    giveUpAt - now)
+                    .count());
+            int ready = ::poll(&p, 1, std::max(wait_ms, 1));
+            if (ready < 0 && errno != EINTR) {
+                return Status(StatusCode::IoError,
+                              std::string("poll: ") +
+                                  std::strerror(errno));
+            }
+            if (ready <= 0)
+                continue;  // timeout re-checked above, EINTR retried
+        }
         char buffer[16384];
         ssize_t n = ::read(sock, buffer, sizeof(buffer));
         if (n > 0) {
@@ -129,6 +189,8 @@ Client::readFrame(exec::Frame &out)
         }
         if (n < 0 && errno == EINTR)
             continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            continue;  // spurious poll wakeup
         if (n == 0) {
             return Status(StatusCode::IoError,
                           "daemon closed the connection");
@@ -142,45 +204,184 @@ Status
 Client::submit(const CampaignSpec &spec, SubmitResult &result,
                const Callbacks &callbacks)
 {
-    Status sent = sendFrame(exec::FrameType::SubmitCampaign,
-                            encodeCampaignSpec(spec));
+    std::string payload = encodeCampaignSpec(spec);
+    Status sent = sendFrame(exec::FrameType::SubmitCampaign, payload);
     if (!sent.ok())
         return sent;
+    StreamContext context;
+    context.durable = spec.durable;
+    if (spec.durable)
+        context.specBytes = std::move(payload);
+    return consumeStream(context, result, callbacks);
+}
 
-    bool accepted = false;
+Status
+Client::attach(const std::string &token, SubmitResult &result,
+               const Callbacks &callbacks)
+{
+    AttachRequest request;
+    request.token = token;
+    Status sent = sendFrame(exec::FrameType::Attach,
+                            encodeAttachRequest(request));
+    if (!sent.ok())
+        return sent;
+    StreamContext context;
+    context.durable = true;
+    context.token = token;
+    return consumeStream(context, result, callbacks);
+}
+
+bool
+Client::canRecover(const StreamContext &context) const
+{
+    return context.durable && reconnectPolicy.maxAttempts > 0 &&
+        (!context.token.empty() || !context.specBytes.empty());
+}
+
+Status
+Client::recover(StreamContext &context, SubmitResult &result)
+{
+    close();
+    // Deterministic jitter: keyed by what identifies the request, so
+    // retries are reproducible in tests yet two clients recovering
+    // from one daemon crash do not stampede in lockstep.
+    Rng rng(hashString(context.token.empty() ? context.specBytes
+                                             : context.token));
+    Status failure(StatusCode::IoError, "reconnect never attempted");
+    for (unsigned attempt = 1;
+         attempt <= reconnectPolicy.maxAttempts; ++attempt) {
+        double backoff =
+            reconnectPolicy.backoffBaseSeconds *
+            static_cast<double>(1u << std::min(attempt - 1, 16u));
+        backoff = std::min(backoff,
+                           reconnectPolicy.backoffCapSeconds);
+        double sleep_s = backoff * (0.5 + 0.5 * rng.uniform());
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(sleep_s));
+
+        Status dialled = redial();
+        if (!dialled.ok()) {
+            failure = dialled;
+            continue;
+        }
+        ++result.reconnects;
+        Status sent = context.token.empty()
+            ? sendFrame(exec::FrameType::SubmitCampaign,
+                        context.specBytes)
+            : sendFrame(exec::FrameType::Attach,
+                        encodeAttachRequest({context.token}));
+        if (!sent.ok()) {
+            failure = sent;
+            continue;
+        }
+        inform("gemstonectl: reconnected (attempt ", attempt, "), ",
+               context.token.empty() ? "re-submitted spec"
+                                     : "attached by token");
+        return Status::okStatus();
+    }
+    return Status(StatusCode::IoError,
+                  "daemon unreachable after " +
+                      std::to_string(reconnectPolicy.maxAttempts) +
+                      " reconnect attempts: " + failure.message());
+}
+
+Status
+Client::consumeStream(StreamContext &context, SubmitResult &result,
+                      const Callbacks &callbacks)
+{
     for (;;) {
         exec::Frame frame;
-        Status status = readFrame(frame);
-        if (!status.ok())
-            return status;
+        double timeout = canRecover(context)
+            ? reconnectPolicy.heartbeatTimeoutSeconds
+            : 0.0;
+        Status status = readFrame(frame, timeout);
+        if (!status.ok()) {
+            // Transport failure (or heartbeat silence): self-heal
+            // when the request is durable and identifiable, else
+            // surface the break to the caller.
+            if (status.code() == StatusCode::DeadlineExceeded)
+                warn("gemstonectl: stream went silent; reconnecting");
+            if (!canRecover(context))
+                return status;
+            Status recovered = recover(context, result);
+            if (!recovered.ok())
+                return recovered;
+            continue;
+        }
         switch (frame.type) {
           case exec::FrameType::Accepted: {
-            exec::WireReader reader(frame.payload);
-            std::uint64_t request_id = reader.u64();
-            if (!reader.done()) {
+            Accepted accepted;
+            if (!decodeAccepted(frame.payload, accepted)) {
                 return Status(StatusCode::CorruptData,
                               "undecodable Accepted frame");
             }
-            accepted = true;
+            context.accepted = true;
+            context.requestId = accepted.requestId;
+            context.token = accepted.token;
+            result.requestId = accepted.requestId;
+            result.token = accepted.token;
             if (callbacks.onAccepted)
-                callbacks.onAccepted(request_id);
+                callbacks.onAccepted(accepted);
             break;
           }
-          case exec::FrameType::Rejected:
-            if (!decodeRejection(frame.payload, result.rejection)) {
+          case exec::FrameType::Resumed: {
+            ResumeInfo info;
+            if (!decodeResumeInfo(frame.payload, info)) {
+                return Status(StatusCode::CorruptData,
+                              "undecodable Resumed frame");
+            }
+            context.accepted = true;
+            context.requestId = info.requestId;
+            context.token = info.token;
+            result.requestId = info.requestId;
+            result.token = info.token;
+            if (callbacks.onResumed)
+                callbacks.onResumed(info);
+            break;
+          }
+          case exec::FrameType::Rejected: {
+            Rejection rejection;
+            if (!decodeRejection(frame.payload, rejection)) {
                 return Status(StatusCode::CorruptData,
                               "undecodable Rejected frame");
             }
+            if (rejection.reason == RejectReason::UnknownToken &&
+                !context.specBytes.empty()) {
+                // The daemon retired (or never knew) our token —
+                // fall back to the idempotent re-submit of the very
+                // same spec bytes.
+                warn("gemstonectl: token unknown to daemon; "
+                     "re-submitting spec");
+                context.token.clear();
+                Status sent =
+                    sendFrame(exec::FrameType::SubmitCampaign,
+                              context.specBytes);
+                if (!sent.ok()) {
+                    if (!canRecover(context))
+                        return sent;
+                    Status recovered = recover(context, result);
+                    if (!recovered.ok())
+                        return recovered;
+                }
+                break;
+            }
             result.accepted = false;
+            result.rejection = rejection;
+            result.token.clear();
             return Status::okStatus();
+          }
           case exec::FrameType::PointResult: {
             PointUpdate update;
             if (!decodePointUpdate(frame.payload, update)) {
                 return Status(StatusCode::CorruptData,
                               "undecodable PointResult frame");
             }
-            if (callbacks.onPoint)
+            // Replays after a re-attach resend every settled point;
+            // deliver each campaign index exactly once.
+            if (context.seen.insert(update.index).second &&
+                callbacks.onPoint) {
                 callbacks.onPoint(update);
+            }
             break;
           }
           case exec::FrameType::Progress: {
@@ -198,13 +399,17 @@ Client::submit(const CampaignSpec &spec, SubmitResult &result,
                 return Status(StatusCode::CorruptData,
                               "undecodable Summary frame");
             }
-            if (!accepted) {
+            if (!context.accepted) {
                 return Status(StatusCode::CorruptData,
                               "Summary before Accepted");
             }
             result.accepted = true;
+            result.requestId = context.requestId;
+            result.token = context.token;
             return Status::okStatus();
           case exec::FrameType::ProtocolError:
+            // The daemon judged *our* input malformed — retrying
+            // the same bytes would only loop; fail loudly instead.
             return Status(StatusCode::CorruptData,
                           "daemon reported a protocol error: " +
                               frame.payload);
@@ -232,7 +437,7 @@ Client::queryStats(DaemonStats &out)
     if (!sent.ok())
         return sent;
     exec::Frame frame;
-    Status status = readFrame(frame);
+    Status status = readFrame(frame, ioTimeoutSeconds);
     if (!status.ok())
         return status;
     if (frame.type != exec::FrameType::StatsReport ||
@@ -250,7 +455,7 @@ Client::queryStatus(std::string &text)
     if (!sent.ok())
         return sent;
     exec::Frame frame;
-    Status status = readFrame(frame);
+    Status status = readFrame(frame, ioTimeoutSeconds);
     if (!status.ok())
         return status;
     if (frame.type != exec::FrameType::StatusReport) {

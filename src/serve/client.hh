@@ -1,6 +1,6 @@
 /**
  * @file
- * Blocking client for the gemstoned campaign service.
+ * Self-healing blocking client for the gemstoned campaign service.
  *
  * gemstonectl (the `ctl` subcommand of gemstone_tool) and the serve
  * tests speak to the daemon through this class: connect over the
@@ -10,12 +10,22 @@
  * The class is deliberately synchronous: one request at a time per
  * connection from the client's point of view, which is all the CLI
  * needs; concurrency lives in the daemon.
+ *
+ * For durable requests the client additionally self-heals: a broken
+ * transport (connection reset, daemon restart, heartbeat silence)
+ * triggers a bounded reconnect with exponential backoff and jitter,
+ * an Attach by resume token on the new connection, and — when the
+ * daemon no longer knows the token — an idempotent re-submit of the
+ * exact spec bytes. Replayed points are deduplicated by campaign
+ * index, so the callbacks observe every settled point exactly once
+ * no matter how many times the stream broke underneath.
  */
 
 #ifndef GEMSTONE_SERVE_CLIENT_HH
 #define GEMSTONE_SERVE_CLIENT_HH
 
 #include <functional>
+#include <set>
 #include <string>
 
 #include "exec/wireproto.hh"
@@ -39,30 +49,82 @@ class Client
     bool connected() const { return sock >= 0; }
     void close();
 
+    /**
+     * Self-healing knobs. Recovery engages only for durable streams
+     * (a durable submit, or any attach) — a non-durable request dies
+     * with its connection on the daemon side, so reconnecting could
+     * never resume it.
+     */
+    struct ReconnectPolicy
+    {
+        /** Reconnect attempts per outage; 0 disables self-healing. */
+        unsigned maxAttempts = 0;
+        /** First backoff; doubles per attempt (plus jitter). */
+        double backoffBaseSeconds = 0.25;
+        /** Backoff ceiling. */
+        double backoffCapSeconds = 5.0;
+        /**
+         * Declare the stream dead after this long without any frame.
+         * The daemon heartbeats queued and running requests at its
+         * heartbeat period, so sustained silence means a dead or
+         * wedged daemon, not a slow campaign. 0 waits forever.
+         */
+        double heartbeatTimeoutSeconds = 30.0;
+    };
+
+    void setReconnectPolicy(const ReconnectPolicy &policy)
+    {
+        reconnectPolicy = policy;
+    }
+
+    /** Per-reply wait for one-frame exchanges (queryStats /
+     *  queryStatus); exceeded waits map to DeadlineExceeded.
+     *  0 blocks forever (the default, and the old behaviour). */
+    void setIoTimeout(double seconds) { ioTimeoutSeconds = seconds; }
+
     /** Streaming callbacks (all optional). */
     struct Callbacks
     {
-        std::function<void(std::uint64_t request_id)> onAccepted;
+        std::function<void(const Accepted &)> onAccepted;
         std::function<void(const PointUpdate &)> onPoint;
         std::function<void(const ProgressUpdate &)> onProgress;
+        /** Fired on every successful re-bind (reconnect or attach)
+         *  before the replayed frames arrive. */
+        std::function<void(const ResumeInfo &)> onResumed;
     };
 
-    /** Outcome of one submit. */
+    /** Outcome of one submit or attach. */
     struct SubmitResult
     {
         /** False when the daemon rejected the request. */
         bool accepted = false;
         Rejection rejection;  //!< valid when !accepted
         Summary summary;      //!< valid when accepted
+        std::uint64_t requestId = 0;
+        /** Resume token from Accepted/Resumed ("" when rejected). */
+        std::string token;
+        /** Times the stream self-healed along the way. */
+        unsigned reconnects = 0;
     };
 
     /**
      * Submit a campaign and block until the final Summary (streaming
      * intermediate frames through @p callbacks). A non-Ok return is
      * a transport or protocol failure; an admission rejection is a
-     * successful exchange with result.accepted == false.
+     * successful exchange with result.accepted == false. Durable
+     * specs self-heal per the reconnect policy.
      */
     Status submit(const CampaignSpec &spec, SubmitResult &result,
+                  const Callbacks &callbacks = {});
+
+    /**
+     * Re-bind to an existing request by resume token and consume its
+     * stream to the Summary. The daemon replays every settled point
+     * first (deduplicated against nothing here — a fresh attach has
+     * seen nothing). An unknown token comes back as a rejection with
+     * RejectReason::UnknownToken, not an error.
+     */
+    Status attach(const std::string &token, SubmitResult &result,
                   const Callbacks &callbacks = {});
 
     /** Ask a running/queued request to stop (fire and forget). */
@@ -72,12 +134,52 @@ class Client
     Status queryStatus(std::string &text);
 
   private:
+    /** How the current socket was dialled (for reconnects). */
+    enum class Endpoint
+    {
+        None,
+        Unix,
+        Tcp,
+    };
+
+    /** Stream consumption state that survives reconnects. */
+    struct StreamContext
+    {
+        bool durable = false;
+        /** Exact submitted spec bytes; "" when re-submit is not
+         *  possible (attach without the original spec). */
+        std::string specBytes;
+        std::string token;
+        std::uint64_t requestId = 0;
+        bool accepted = false;
+        /** Campaign indices already delivered to onPoint. */
+        std::set<std::uint32_t> seen;
+    };
+
     Status sendFrame(exec::FrameType type, const std::string &payload);
-    /** Blocking read of the next complete frame. */
-    Status readFrame(exec::Frame &out);
+    /** Blocking read of the next complete frame; waits at most
+     *  @p timeout_seconds when positive (DeadlineExceeded on
+     *  expiry). */
+    Status readFrame(exec::Frame &out, double timeout_seconds = 0.0);
+    /** Shared consume loop behind submit() and attach(). */
+    Status consumeStream(StreamContext &context, SubmitResult &result,
+                         const Callbacks &callbacks);
+    /** True when a broken transport is worth recovering. */
+    bool canRecover(const StreamContext &context) const;
+    /** Backoff + redial + Attach / re-submit; Ok means the stream
+     *  is live again and the consume loop should continue. */
+    Status recover(StreamContext &context, SubmitResult &result);
+    Status redial();
 
     int sock = -1;
     exec::FrameDecoder decoder;
+    ReconnectPolicy reconnectPolicy;
+    double ioTimeoutSeconds = 0.0;
+
+    Endpoint endpoint = Endpoint::None;
+    std::string endpointPath;  //!< Unix socket path
+    std::string endpointHost;  //!< TCP host
+    int endpointPort = 0;      //!< TCP port
 };
 
 } // namespace gemstone::serve

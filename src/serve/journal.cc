@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Request journal serialisation and directory recovery.
+ */
+
+#include "serve/journal.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <random>
+
+#include "util/atomicfile.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "util/strutil.hh"
+
+namespace gemstone::serve {
+
+namespace {
+
+constexpr char kJournalHeader[] = "gemstone-journal v1";
+constexpr char kTokenPrefix[] = "gst1-";
+constexpr std::size_t kTokenHexChars = 32;
+
+int
+hexDigit(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    return -1;
+}
+
+/** "key value" split; false when the line has no space. */
+bool
+splitField(const std::string &line, std::string &key,
+           std::string &value)
+{
+    std::size_t space = line.find(' ');
+    if (space == std::string::npos)
+        return false;
+    key = line.substr(0, space);
+    value = line.substr(space + 1);
+    return true;
+}
+
+} // namespace
+
+std::string
+hexEncode(const std::string &bytes)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (unsigned char c : bytes) {
+        out.push_back(digits[c >> 4]);
+        out.push_back(digits[c & 0x0f]);
+    }
+    return out;
+}
+
+bool
+hexDecode(const std::string &hex, std::string &out)
+{
+    if (hex.size() % 2 != 0)
+        return false;
+    out.clear();
+    out.reserve(hex.size() / 2);
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+        int hi = hexDigit(hex[i]);
+        int lo = hexDigit(hex[i + 1]);
+        if (hi < 0 || lo < 0)
+            return false;
+        out.push_back(static_cast<char>((hi << 4) | lo));
+    }
+    return true;
+}
+
+std::string
+makeResumeToken(std::uint64_t request_id)
+{
+    // Tokens must stay unguessable-enough and unique across daemon
+    // restarts, so the deterministic Rng seeds used everywhere else
+    // are exactly wrong here: mix real entropy with the clock and
+    // the request id.
+    std::uint64_t state = request_id;
+    try {
+        std::random_device entropy;
+        state ^= (static_cast<std::uint64_t>(entropy()) << 32) ^
+            entropy();
+    } catch (const std::exception &) {
+        // A throwing random_device (exotic platforms) degrades to
+        // clock-only mixing below.
+    }
+    state ^= static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    state ^= static_cast<std::uint64_t>(
+                 std::chrono::system_clock::now()
+                     .time_since_epoch()
+                     .count())
+        << 17;
+    std::uint64_t a = splitmix64(state);
+    std::uint64_t b = splitmix64(state);
+    static const char digits[] = "0123456789abcdef";
+    std::string token = kTokenPrefix;
+    for (int shift = 60; shift >= 0; shift -= 4)
+        token.push_back(digits[(a >> shift) & 0xf]);
+    for (int shift = 60; shift >= 0; shift -= 4)
+        token.push_back(digits[(b >> shift) & 0xf]);
+    return token;
+}
+
+bool
+validResumeToken(const std::string &token)
+{
+    if (!startsWith(token, kTokenPrefix))
+        return false;
+    const std::string hex = token.substr(sizeof(kTokenPrefix) - 1);
+    if (hex.size() != kTokenHexChars)
+        return false;
+    for (char c : hex) {
+        if (hexDigit(c) < 0)
+            return false;
+    }
+    return true;
+}
+
+std::string
+journalPath(const std::string &dir, const std::string &token)
+{
+    return dir + "/req_" + token + ".journal";
+}
+
+std::string
+journalCheckpointPath(const std::string &dir, const std::string &token)
+{
+    return dir + "/req_" + token + ".ckpt.csv";
+}
+
+std::string
+encodeRequestJournal(const RequestJournal &journal)
+{
+    std::string out = kJournalHeader;
+    out += '\n';
+    out += "request " + std::to_string(journal.requestId) + '\n';
+    out += "token " + journal.token + '\n';
+    out += std::string("status ") +
+        (journal.finished ? "finished" : "running") + '\n';
+    out += "spec " + hexEncode(journal.specBytes) + '\n';
+    for (const std::string &point : journal.points)
+        out += "point " + hexEncode(point) + '\n';
+    if (journal.finished)
+        out += "summary " + hexEncode(journal.summary) + '\n';
+    return out;
+}
+
+bool
+decodeRequestJournal(const std::string &content, RequestJournal &out)
+{
+    out = RequestJournal();
+    std::vector<std::string> lines = split(content, '\n');
+    // A complete journal ends "#end\n" — split() then yields exactly
+    // one trailing empty field. A missing final newline means a
+    // truncated tail, so it fails closed like any other tear.
+    if (lines.size() < 7 || !lines.back().empty())
+        return false;
+    lines.pop_back();
+    if (lines.front() != kJournalHeader ||
+        lines.back() != kJournalMarker) {
+        return false;
+    }
+    bool saw_request = false, saw_token = false, saw_status = false;
+    bool saw_spec = false;
+    for (std::size_t i = 1; i + 1 < lines.size(); ++i) {
+        std::string key, value;
+        if (!splitField(lines[i], key, value))
+            return false;
+        if (key == "request") {
+            try {
+                out.requestId = std::stoull(value);
+            } catch (const std::exception &) {
+                return false;
+            }
+            saw_request = true;
+        } else if (key == "token") {
+            if (!validResumeToken(value))
+                return false;
+            out.token = value;
+            saw_token = true;
+        } else if (key == "status") {
+            if (value == "finished")
+                out.finished = true;
+            else if (value != "running")
+                return false;
+            saw_status = true;
+        } else if (key == "spec") {
+            if (!hexDecode(value, out.specBytes))
+                return false;
+            saw_spec = true;
+        } else if (key == "point") {
+            std::string payload;
+            if (!hexDecode(value, payload))
+                return false;
+            out.points.push_back(std::move(payload));
+        } else if (key == "summary") {
+            if (!hexDecode(value, out.summary))
+                return false;
+        } else {
+            return false;  // unknown field: fail closed
+        }
+    }
+    if (!saw_request || !saw_token || !saw_status || !saw_spec)
+        return false;
+    if (out.finished && out.summary.empty())
+        return false;
+    return true;
+}
+
+Status
+saveRequestJournal(const std::string &dir,
+                   const RequestJournal &journal)
+{
+    return atomicWriteFile(journalPath(dir, journal.token),
+                           encodeRequestJournal(journal),
+                           kJournalMarker);
+}
+
+Status
+removeRequestJournal(const std::string &dir, const std::string &token)
+{
+    Status failure = Status::okStatus();
+    const std::string checkpoint = journalCheckpointPath(dir, token);
+    for (const std::string &path :
+         {journalPath(dir, token), checkpoint,
+          checkpoint + ".corrupt", checkpoint + ".tmp"}) {
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
+        if (ec) {
+            failure = Status::error(StatusCode::IoError,
+                                    "cannot remove " + path + ": " +
+                                        ec.message());
+        }
+    }
+    return failure;
+}
+
+Result<std::vector<RequestJournal>>
+loadJournalDir(const std::string &dir,
+               std::vector<std::string> &warnings)
+{
+    std::vector<RequestJournal> journals;
+    std::error_code ec;
+    if (!std::filesystem::exists(dir, ec) || ec)
+        return journals;
+    std::filesystem::directory_iterator it(dir, ec);
+    if (ec) {
+        return Status::error(StatusCode::IoError,
+                             "cannot scan journal dir " + dir + ": " +
+                                 ec.message());
+    }
+    for (const auto &entry : it) {
+        const std::string name = entry.path().filename().string();
+        if (!startsWith(name, "req_") ||
+            !endsWith(name, ".journal")) {
+            continue;
+        }
+        std::string content;
+        {
+            std::ifstream in(entry.path(), std::ios::binary);
+            if (!in) {
+                warnings.push_back("journal " + name +
+                                   ": cannot open; skipped");
+                continue;
+            }
+            content.assign(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+        }
+        RequestJournal journal;
+        if (!decodeRequestJournal(content, journal)) {
+            warnings.push_back("journal " + name +
+                               ": undecodable; skipped");
+            continue;
+        }
+        if (journalPath(dir, journal.token) != entry.path().string())
+            warnings.push_back("journal " + name +
+                               ": token does not match filename");
+        journals.push_back(std::move(journal));
+    }
+    std::sort(journals.begin(), journals.end(),
+              [](const RequestJournal &a, const RequestJournal &b) {
+                  return a.requestId < b.requestId;
+              });
+    return journals;
+}
+
+} // namespace gemstone::serve

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Per-request durability journal for the campaign service.
+ *
+ * A durable request's admitted state — spec bytes, resume token,
+ * settled PointResult payloads in stream order, and the final Summary
+ * payload — is persisted as one journal file per request. Every save
+ * rewrites the whole journal through util/atomicfile (tmp + fsync +
+ * rename + integrity marker), so a SIGKILL at any byte offset leaves
+ * either the previous complete journal or the new one, never a torn
+ * record a recovery would then trust.
+ *
+ * The journal is the replay source for Attach: the stored payloads
+ * are the exact bytes the daemon streamed, so a re-attached stream is
+ * byte-identical to an uninterrupted one. It is also the recovery
+ * source after a daemon crash: a restarted daemon scans the journal
+ * directory, re-admits every unfinished request under its original id
+ * and token, and resumes its campaign from the per-request checkpoint
+ * file that lives alongside the journal.
+ *
+ * Format (text lines; binary payloads hex-encoded):
+ *
+ *   gemstone-journal v1
+ *   request <decimal id>
+ *   token <token string>
+ *   status running|finished
+ *   spec <hex of encodeCampaignSpec bytes>
+ *   point <hex of encodePointUpdate payload>      (0..n, stream order)
+ *   summary <hex of encodeSummary payload>        (finished only)
+ *   #end                                          (integrity marker)
+ *
+ * DESIGN.md §16 is the normative description.
+ */
+
+#ifndef GEMSTONE_SERVE_JOURNAL_HH
+#define GEMSTONE_SERVE_JOURNAL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.hh"
+
+namespace gemstone::serve {
+
+/** Journal file integrity marker (atomicWriteFile marker line). */
+inline constexpr char kJournalMarker[] = "#end";
+
+/** Durable state of one admitted request. */
+struct RequestJournal
+{
+    std::uint64_t requestId = 0;
+    /** Opaque resume token ("gst1-" + 32 hex chars). */
+    std::string token;
+    /** encodeCampaignSpec() bytes — the idempotency key. */
+    std::string specBytes;
+    /** True once the Summary settled. */
+    bool finished = false;
+    /** Settled encodePointUpdate() payloads, in stream order — the
+     *  byte-exact Attach replay source. */
+    std::vector<std::string> points;
+    /** encodeSummary() payload; set when finished. */
+    std::string summary;
+};
+
+/** Lowercase hex of arbitrary bytes (journal payload encoding). */
+std::string hexEncode(const std::string &bytes);
+
+/** Inverse of hexEncode(); false on odd length or a non-hex digit. */
+bool hexDecode(const std::string &hex, std::string &out);
+
+/**
+ * Generate a fresh opaque resume token: "gst1-" + 32 hex chars mixing
+ * entropy from std::random_device, the clock and @p request_id.
+ * Collision-safe across daemon restarts for practical purposes; the
+ * daemon additionally refuses to issue a token it still holds.
+ */
+std::string makeResumeToken(std::uint64_t request_id);
+
+/** True when @p token is filesystem-safe ("gst1-" + hex). Journals
+ *  with hostile names are never created or opened. */
+bool validResumeToken(const std::string &token);
+
+/** `<dir>/req_<token>.journal` */
+std::string journalPath(const std::string &dir,
+                        const std::string &token);
+
+/** `<dir>/req_<token>.ckpt.csv` — the request's campaign checkpoint,
+ *  living next to its journal so recovery finds both. */
+std::string journalCheckpointPath(const std::string &dir,
+                                  const std::string &token);
+
+/** Serialise a journal to its file format (without the marker). */
+std::string encodeRequestJournal(const RequestJournal &journal);
+
+/**
+ * Parse journal file content (marker line included). False on any
+ * malformed line, missing field, bad hex or absent integrity marker —
+ * recovery skips such a file instead of trusting it.
+ */
+bool decodeRequestJournal(const std::string &content,
+                          RequestJournal &out);
+
+/** Atomic save of @p journal under @p dir (creates the file's final
+ *  bytes in one rename; see util/atomicfile). */
+Status saveRequestJournal(const std::string &dir,
+                          const RequestJournal &journal);
+
+/** Delete a request's journal, checkpoint and checkpoint sidecar.
+ *  Missing files are fine; only real unlink failures are reported. */
+Status removeRequestJournal(const std::string &dir,
+                            const std::string &token);
+
+/**
+ * Scan @p dir for `req_*.journal` files and decode each. Undecodable
+ * files (torn by external corruption, or a foreign format) are
+ * skipped with a warning appended to @p warnings — recovery never
+ * aborts on one bad journal. Returned in token order (scan order is
+ * filesystem-dependent; sorting keeps recovery deterministic).
+ */
+Result<std::vector<RequestJournal>> loadJournalDir(
+    const std::string &dir, std::vector<std::string> &warnings);
+
+} // namespace gemstone::serve
+
+#endif // GEMSTONE_SERVE_JOURNAL_HH

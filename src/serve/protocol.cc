@@ -24,6 +24,8 @@ rejectReasonTag(RejectReason reason)
         return "draining";
       case RejectReason::BadRequest:
         return "bad_request";
+      case RejectReason::UnknownToken:
+        return "unknown_token";
     }
     return "?";
 }
@@ -63,6 +65,7 @@ encodeCampaignSpec(const CampaignSpec &spec)
     for (double freq : spec.freqsMhz)
         w.f64(freq);
     w.str(spec.tag);
+    w.u8(spec.durable ? 1 : 0);
     return w.take();
 }
 
@@ -91,7 +94,65 @@ decodeCampaignSpec(const std::string &payload, CampaignSpec &out)
     for (std::uint32_t i = 0; i < freqs; ++i)
         out.freqsMhz.push_back(r.f64());
     out.tag = r.str();
+    out.durable = r.u8() != 0;
     return r.done();
+}
+
+std::string
+encodeAccepted(const Accepted &accepted)
+{
+    WireWriter w;
+    w.u64(accepted.requestId);
+    w.str(accepted.token);
+    return w.take();
+}
+
+bool
+decodeAccepted(const std::string &payload, Accepted &out)
+{
+    WireReader r(payload);
+    out.requestId = r.u64();
+    out.token = r.str();
+    return r.done() && out.token.size() <= kMaxTokenLength;
+}
+
+std::string
+encodeAttachRequest(const AttachRequest &request)
+{
+    WireWriter w;
+    w.str(request.token);
+    return w.take();
+}
+
+bool
+decodeAttachRequest(const std::string &payload, AttachRequest &out)
+{
+    WireReader r(payload);
+    out.token = r.str();
+    return r.done() && !out.token.empty() &&
+        out.token.size() <= kMaxTokenLength;
+}
+
+std::string
+encodeResumeInfo(const ResumeInfo &info)
+{
+    WireWriter w;
+    w.u64(info.requestId);
+    w.str(info.token);
+    w.u8(info.finished ? 1 : 0);
+    w.u32(info.replayPoints);
+    return w.take();
+}
+
+bool
+decodeResumeInfo(const std::string &payload, ResumeInfo &out)
+{
+    WireReader r(payload);
+    out.requestId = r.u64();
+    out.token = r.str();
+    out.finished = r.u8() != 0;
+    out.replayPoints = r.u32();
+    return r.done() && out.token.size() <= kMaxTokenLength;
 }
 
 std::string
@@ -230,6 +291,8 @@ encodeDaemonStats(const DaemonStats &stats)
     w.u64(stats.requestsFailed);
     w.u64(stats.requestsActive);
     w.u64(stats.requestsQueued);
+    w.u64(stats.requestsRecovered);
+    w.u64(stats.requestsReattached);
     w.u8(stats.draining ? 1 : 0);
     w.u64(stats.storeSize);
     w.u64(stats.storeCapacity);
@@ -254,6 +317,8 @@ decodeDaemonStats(const std::string &payload, DaemonStats &out)
     out.requestsFailed = r.u64();
     out.requestsActive = r.u64();
     out.requestsQueued = r.u64();
+    out.requestsRecovered = r.u64();
+    out.requestsReattached = r.u64();
     out.draining = r.u8() != 0;
     out.storeSize = r.u64();
     out.storeCapacity = r.u64();
@@ -282,7 +347,8 @@ decodeRejection(const std::string &payload, Rejection &out)
     out.requestId = r.u64();
     std::uint8_t reason = r.u8();
     if (reason < static_cast<std::uint8_t>(RejectReason::QueueFull) ||
-        reason > static_cast<std::uint8_t>(RejectReason::BadRequest)) {
+        reason >
+            static_cast<std::uint8_t>(RejectReason::UnknownToken)) {
         return false;
     }
     out.reason = static_cast<RejectReason>(reason);

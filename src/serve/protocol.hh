@@ -25,15 +25,19 @@
 
 namespace gemstone::serve {
 
-/** Protocol revision; bumped on any incompatible payload change. */
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/** Protocol revision; bumped on any incompatible payload change.
+ *  v2: CampaignSpec::durable, resume tokens in Accepted,
+ *  Attach/Resumed frames. */
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
-/** Why a submit was refused. */
+/** Why a submit or attach was refused. */
 enum class RejectReason : std::uint8_t
 {
-    QueueFull = 1,   //!< admission control: try again later
-    Draining = 2,    //!< daemon is shutting down gracefully
-    BadRequest = 3,  //!< unparseable or invalid campaign spec
+    QueueFull = 1,    //!< admission control: try again later
+    Draining = 2,     //!< daemon is shutting down gracefully
+    BadRequest = 3,   //!< unparseable or invalid campaign spec
+    UnknownToken = 4, //!< Attach named a token the daemon never
+                      //!< issued (or already retired) — re-submit
 };
 
 std::string rejectReasonTag(RejectReason reason);
@@ -74,10 +78,57 @@ struct CampaignSpec
     std::vector<double> freqsMhz;
     /** Free-form label echoed in daemon logs. */
     std::string tag;
+    /**
+     * Durable request: the daemon detaches (instead of cancelling) on
+     * client disconnect, journals the request so a restarted daemon
+     * re-admits it, and retains settled frames for Attach replay.
+     * Identical durable specs coalesce onto one request (idempotent
+     * re-submit).
+     */
+    bool durable = false;
 };
 
 std::string encodeCampaignSpec(const CampaignSpec &spec);
 bool decodeCampaignSpec(const std::string &payload, CampaignSpec &out);
+
+/** Accepted payload: the request id plus its opaque resume token. */
+struct Accepted
+{
+    std::uint64_t requestId = 0;
+    /** "gst1-" + 32 hex chars; the Attach key. Empty never issued. */
+    std::string token;
+};
+
+std::string encodeAccepted(const Accepted &accepted);
+bool decodeAccepted(const std::string &payload, Accepted &out);
+
+/** Attach payload: re-bind this connection to a live/retained
+ *  request by its resume token. */
+struct AttachRequest
+{
+    std::string token;
+};
+
+std::string encodeAttachRequest(const AttachRequest &request);
+bool decodeAttachRequest(const std::string &payload,
+                         AttachRequest &out);
+
+/**
+ * Resumed payload: the daemon found the token and re-bound the
+ * stream. Exactly @c replayPoints settled PointResult frames follow
+ * (byte-identical to the originals), then — when @c finished — the
+ * request's Summary; otherwise the live stream continues.
+ */
+struct ResumeInfo
+{
+    std::uint64_t requestId = 0;
+    std::string token;
+    bool finished = false;
+    std::uint32_t replayPoints = 0;
+};
+
+std::string encodeResumeInfo(const ResumeInfo &info);
+bool decodeResumeInfo(const std::string &payload, ResumeInfo &out);
 
 /** One streamed per-point result. */
 struct PointUpdate
@@ -137,6 +188,10 @@ struct DaemonStats
     std::uint64_t requestsFailed = 0;
     std::uint64_t requestsActive = 0;
     std::uint64_t requestsQueued = 0;
+    /** In-flight requests re-admitted from the journal at boot. */
+    std::uint64_t requestsRecovered = 0;
+    /** Successful Attach re-binds (reconnects served by replay). */
+    std::uint64_t requestsReattached = 0;
     bool draining = false;
     /** Shared ResultStore counters (exec/resultstore.hh). */
     std::uint64_t storeSize = 0;
@@ -165,6 +220,8 @@ bool decodeRejection(const std::string &payload, Rejection &out);
 /** Bounds enforced on decoded specs (hostile-input guards). */
 inline constexpr std::size_t kMaxSpecFreqs = 64;
 inline constexpr std::size_t kMaxSpecTag = 256;
+/** Longest resume token a peer may send (ours are 37 chars). */
+inline constexpr std::size_t kMaxTokenLength = 128;
 
 /**
  * Validate a decoded spec against the campaign engine's own

@@ -16,7 +16,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <filesystem>
+#include <set>
 
+#include "serve/journal.hh"
 #include "serve/service.hh"
 #include "util/logging.hh"
 
@@ -52,6 +55,8 @@ connPrefix(std::uint64_t conn_id)
 std::string
 requestPrefix(std::uint64_t conn_id, std::uint64_t request_id)
 {
+    if (conn_id == 0)
+        return "[detached req " + std::to_string(request_id) + "]";
     return "[conn " + std::to_string(conn_id) + " req " +
         std::to_string(request_id) + "]";
 }
@@ -191,8 +196,86 @@ Server::start()
         if (!status.ok())
             return status;
     }
+    Status recovered = recoverJournals();
+    if (!recovered.ok())
+        return recovered;
     lastHeartbeat = std::chrono::steady_clock::now();
     started = true;
+    return Status::okStatus();
+}
+
+Status
+Server::recoverJournals()
+{
+    if (serverConfig.journalDir.empty())
+        return Status::okStatus();
+    std::error_code ec;
+    std::filesystem::create_directories(serverConfig.journalDir, ec);
+    if (ec) {
+        return Status(StatusCode::IoError,
+                      "cannot create journal dir " +
+                          serverConfig.journalDir + ": " +
+                          ec.message());
+    }
+    std::vector<std::string> warnings;
+    Result<std::vector<RequestJournal>> loaded =
+        loadJournalDir(serverConfig.journalDir, warnings);
+    if (!loaded.ok())
+        return loaded.status();
+    for (const std::string &warning : warnings)
+        warn("gemstoned: ", warning);
+    for (RequestJournal &journal : loaded.takeValue()) {
+        if (tokenIndex.count(journal.token) ||
+            requests.count(journal.requestId)) {
+            warn("gemstoned: journal for request ", journal.requestId,
+                 " duplicates an already-loaded one; skipped");
+            continue;
+        }
+        RequestRecord record;
+        record.requestId = journal.requestId;
+        record.token = std::move(journal.token);
+        record.specBytes = std::move(journal.specBytes);
+        record.durable = true;
+        record.recovered = true;
+        record.pointPayloads = std::move(journal.points);
+        nextRequestId = std::max(nextRequestId,
+                                 journal.requestId + 1);
+        if (journal.finished) {
+            // Already settled: retain for a late Attach; the
+            // retention clock restarts at boot.
+            record.phase = RequestPhase::Finished;
+            record.summaryPayload = std::move(journal.summary);
+            record.finishedAt = std::chrono::steady_clock::now();
+            inform("gemstoned: retaining finished request ",
+                   record.requestId, " for attach");
+        } else {
+            CampaignSpec spec;
+            if (!decodeCampaignSpec(record.specBytes, spec)) {
+                // A journal from an incompatible protocol revision;
+                // drop it so it does not reload forever.
+                warn("gemstoned: journal for request ",
+                     record.requestId,
+                     " holds an undecodable spec; dropping");
+                removeRequestJournal(serverConfig.journalDir,
+                                     record.token);
+                continue;
+            }
+            Pending pending;
+            pending.requestId = record.requestId;
+            pending.spec = std::move(spec);
+            detachedPending.push_back(std::move(pending));
+            {
+                std::lock_guard<std::mutex> lock(statsMutex);
+                ++counters.requestsRecovered;
+            }
+            inform("gemstoned: recovered in-flight request ",
+                   record.requestId,
+                   " from its journal; campaign will resume (",
+                   record.pointPayloads.size(), " points settled)");
+        }
+        tokenIndex[record.token] = record.requestId;
+        requests.emplace(record.requestId, std::move(record));
+    }
     return Status::okStatus();
 }
 
@@ -202,7 +285,64 @@ Server::queuedTotal() const
     std::size_t total = 0;
     for (const auto &[id, conn] : connections)
         total += conn.pending.size();
-    return total;
+    return total + detachedPending.size();
+}
+
+Server::RequestRecord *
+Server::findRecord(std::uint64_t request_id)
+{
+    auto it = requests.find(request_id);
+    return it == requests.end() ? nullptr : &it->second;
+}
+
+Server::Running *
+Server::findRunning(std::uint64_t request_id)
+{
+    for (Running &request : running) {
+        if (request.requestId == request_id)
+            return &request;
+    }
+    return nullptr;
+}
+
+void
+Server::journalRecord(const RequestRecord &record)
+{
+    if (!record.durable || serverConfig.journalDir.empty())
+        return;
+    RequestJournal journal;
+    journal.requestId = record.requestId;
+    journal.token = record.token;
+    journal.specBytes = record.specBytes;
+    journal.finished = !record.summaryPayload.empty();
+    journal.points = record.pointPayloads;
+    journal.summary = record.summaryPayload;
+    Status saved = saveRequestJournal(serverConfig.journalDir,
+                                      journal);
+    if (!saved.ok()) {
+        // Durability degrades; serving continues. The client still
+        // gets its stream — it just cannot survive a daemon crash.
+        warn("gemstoned: cannot journal request ", record.requestId,
+             ": ", saved.toString());
+    }
+}
+
+void
+Server::retireRequest(std::uint64_t request_id)
+{
+    auto it = requests.find(request_id);
+    if (it == requests.end())
+        return;
+    if (it->second.durable && !serverConfig.journalDir.empty()) {
+        Status removed = removeRequestJournal(serverConfig.journalDir,
+                                              it->second.token);
+        if (!removed.ok()) {
+            warn("gemstoned: retiring request ", request_id, ": ",
+                 removed.toString());
+        }
+    }
+    tokenIndex.erase(it->second.token);
+    requests.erase(it);
 }
 
 DaemonStats
@@ -301,6 +441,28 @@ Server::handleSubmit(Connection &conn, const std::string &payload)
         reject(RejectReason::BadRequest, invalid);
         return;
     }
+
+    // Idempotent durable re-submit: a client that lost its resume
+    // token retries with the same spec bytes; identical durable
+    // specs coalesce onto the existing request instead of running
+    // the campaign twice.
+    if (spec.durable) {
+        for (auto &[id, record] : requests) {
+            if (!record.durable || record.specBytes != payload)
+                continue;
+            Accepted accepted;
+            accepted.requestId = record.requestId;
+            accepted.token = record.token;
+            enqueueFrame(conn, exec::FrameType::Accepted,
+                         encodeAccepted(accepted));
+            inform("gemstoned: ",
+                   requestPrefix(conn.id, record.requestId),
+                   " re-submit coalesced onto existing request");
+            bindRequest(record, conn);
+            return;
+        }
+    }
+
     if (running.size() >= serverConfig.maxActive &&
         queuedTotal() >= serverConfig.queueDepth) {
         reject(RejectReason::QueueFull,
@@ -312,22 +474,109 @@ Server::handleSubmit(Connection &conn, const std::string &payload)
 
     Pending pending;
     pending.requestId = nextRequestId++;
-    pending.spec = std::move(spec);
 
-    exec::WireWriter accepted;
-    accepted.u64(pending.requestId);
-    enqueueFrame(conn, exec::FrameType::Accepted, accepted.take());
+    RequestRecord record;
+    record.requestId = pending.requestId;
+    do {
+        record.token = makeResumeToken(record.requestId);
+    } while (tokenIndex.count(record.token) != 0);
+    record.specBytes = payload;
+    record.durable = spec.durable;
+    record.connId = conn.id;
+
+    Accepted accepted;
+    accepted.requestId = record.requestId;
+    accepted.token = record.token;
+    enqueueFrame(conn, exec::FrameType::Accepted,
+                 encodeAccepted(accepted));
+    // Journal before the campaign starts: from here on a daemon
+    // crash re-admits the request instead of losing it.
+    journalRecord(record);
+    tokenIndex[record.token] = record.requestId;
     {
         std::lock_guard<std::mutex> lock(statsMutex);
         ++counters.requestsAccepted;
     }
     inform("gemstoned: ",
            requestPrefix(conn.id, pending.requestId), " accepted ",
-           hwsim::clusterTag(pending.spec.cluster), " campaign",
-           pending.spec.tag.empty() ? "" : " '" + pending.spec.tag +
-               "'");
+           spec.durable ? "durable " : "",
+           hwsim::clusterTag(spec.cluster), " campaign",
+           spec.tag.empty() ? "" : " '" + spec.tag + "'");
+    requests.emplace(record.requestId, std::move(record));
+    pending.spec = std::move(spec);
     conn.pending.push_back(std::move(pending));
     schedule();
+}
+
+void
+Server::bindRequest(RequestRecord &record, Connection &conn)
+{
+    if (record.connId != 0 && record.connId != conn.id) {
+        // Latest wins: a half-open previous connection may not have
+        // died visibly yet; the reconnecting client is the live one.
+        inform("gemstoned: ",
+               requestPrefix(conn.id, record.requestId),
+               " re-bound (was conn ", record.connId, ")");
+    }
+    record.connId = conn.id;
+
+    ResumeInfo info;
+    info.requestId = record.requestId;
+    info.token = record.token;
+    info.finished = record.phase == RequestPhase::Finished;
+    info.replayPoints =
+        static_cast<std::uint32_t>(record.pointPayloads.size());
+    enqueueFrame(conn, exec::FrameType::Resumed,
+                 encodeResumeInfo(info));
+    // Byte-exact replay: these are the very payloads the original
+    // stream carried (journal-backed for durable requests), so a
+    // re-attached stream is indistinguishable from an uninterrupted
+    // one.
+    for (const std::string &payload : record.pointPayloads)
+        enqueueFrame(conn, exec::FrameType::PointResult, payload);
+    if (record.phase == RequestPhase::Finished) {
+        enqueueFrame(conn, exec::FrameType::Summary,
+                     record.summaryPayload);
+        conn.retireOnFlush.push_back(record.requestId);
+    }
+    {
+        std::lock_guard<std::mutex> lock(statsMutex);
+        ++counters.requestsReattached;
+    }
+}
+
+void
+Server::handleAttach(Connection &conn, const std::string &payload)
+{
+    AttachRequest request;
+    if (!decodeAttachRequest(payload, request)) {
+        enqueueFrame(conn, exec::FrameType::ProtocolError,
+                     "undecodable attach");
+        conn.closeAfterFlush = true;
+        return;
+    }
+    auto it = tokenIndex.find(request.token);
+    if (it == tokenIndex.end()) {
+        // Never issued, or already retired (summary delivered and
+        // artifacts swept). The client's move is an idempotent
+        // re-submit of the same spec.
+        Rejection rejection;
+        rejection.reason = RejectReason::UnknownToken;
+        rejection.message =
+            "unknown or retired resume token; re-submit the spec";
+        enqueueFrame(conn, exec::FrameType::Rejected,
+                     encodeRejection(rejection));
+        std::lock_guard<std::mutex> lock(statsMutex);
+        ++counters.requestsRejected;
+        return;
+    }
+    RequestRecord *record = findRecord(it->second);
+    inform("gemstoned: ", requestPrefix(conn.id, record->requestId),
+           " attach: replaying ", record->pointPayloads.size(),
+           " settled points",
+           record->phase == RequestPhase::Finished
+               ? " and the summary" : "");
+    bindRequest(*record, conn);
 }
 
 void
@@ -341,12 +590,17 @@ Server::handleCancel(Connection &conn, const std::string &payload)
         conn.closeAfterFlush = true;
         return;
     }
-    // Running request of this connection: cooperative cancel; the
-    // request thread will deliver the cancelled summary.
-    for (Running &request : running) {
-        if (request.requestId == request_id &&
-            request.connId == conn.id) {
-            request.cancel.requestCancel();
+    // Cancel is explicit and overrides durability — but only the
+    // bound connection may cancel (a detached request is cancelled
+    // by attaching first).
+    RequestRecord *record = findRecord(request_id);
+    if (record != nullptr && record->connId == conn.id &&
+        record->phase == RequestPhase::Active) {
+        // Cooperative cancel; the request thread will deliver the
+        // cancelled summary.
+        Running *request = findRunning(request_id);
+        if (request != nullptr) {
+            request->cancel.requestCancel();
             return;
         }
     }
@@ -360,6 +614,7 @@ Server::handleCancel(Connection &conn, const std::string &payload)
             summary.outcome = RequestOutcome::Cancelled;
             enqueueFrame(conn, exec::FrameType::Summary,
                          encodeSummary(summary));
+            retireRequest(request_id);
             std::lock_guard<std::mutex> lock(statsMutex);
             ++counters.requestsCancelled;
             return;
@@ -378,8 +633,12 @@ Server::handleFrame(Connection &conn, const exec::Frame &frame)
       case exec::FrameType::CancelRequest:
         handleCancel(conn, frame.payload);
         return;
+      case exec::FrameType::Attach:
+        // Allowed even while draining: the request was admitted
+        // before the drain and its client deserves its results.
+        handleAttach(conn, frame.payload);
+        return;
       case exec::FrameType::QueryStatus: {
-        DaemonStats stats = statsSnapshot();
         std::string text = detail::concatToString(
             "gemstoned: ", running.size(), " active, ",
             queuedTotal(), " queued, ", connections.size(),
@@ -456,6 +715,14 @@ Server::flushWritable(Connection &conn)
     }
     conn.outbuf.clear();
     conn.outPos = 0;
+    if (!conn.retireOnFlush.empty()) {
+        // The final Summary reached the kernel: the request is
+        // delivered, its journal artifacts can go.
+        std::vector<std::uint64_t> retired;
+        retired.swap(conn.retireOnFlush);
+        for (std::uint64_t request_id : retired)
+            retireRequest(request_id);
+    }
     if (conn.closeAfterFlush)
         closeConnection(conn.id);
 }
@@ -466,13 +733,45 @@ Server::closeConnection(std::uint64_t conn_id)
     auto it = connections.find(conn_id);
     if (it == connections.end())
         return;
-    // Cancel exactly this connection's in-flight work; queued
-    // requests die with the connection. Other clients are untouched.
-    std::size_t cancelled = it->second.pending.size();
-    for (Running &request : running) {
-        if (request.connId == conn_id)
-            request.cancel.requestCancel();
+    // This connection's work: durable requests detach — they keep
+    // running (or their queue slot) and wait for an Attach; every
+    // other request is cancelled exactly as before. Other clients
+    // are untouched either way.
+    std::size_t cancelled = 0;
+    for (Pending &pending : it->second.pending) {
+        RequestRecord *record = findRecord(pending.requestId);
+        if (record != nullptr && record->durable) {
+            record->connId = 0;
+            detachedPending.push_back(std::move(pending));
+        } else {
+            ++cancelled;
+            retireRequest(pending.requestId);
+        }
     }
+    it->second.pending.clear();
+    std::vector<std::uint64_t> orphaned;
+    for (auto &[id, record] : requests) {
+        if (record.connId != conn_id)
+            continue;
+        record.connId = 0;
+        if (record.durable) {
+            if (record.phase == RequestPhase::Active) {
+                inform("gemstoned: ", requestPrefix(0, id),
+                       " detached by disconnect; attach with its "
+                       "token to resume the stream");
+            }
+            continue;
+        }
+        if (record.phase == RequestPhase::Active) {
+            Running *request = findRunning(id);
+            if (request != nullptr)
+                request->cancel.requestCancel();
+        } else if (record.phase == RequestPhase::Finished) {
+            orphaned.push_back(id);
+        }
+    }
+    for (std::uint64_t id : orphaned)
+        retireRequest(id);
     closeFd(it->second.fd);
     connections.erase(it);
     {
@@ -489,6 +788,15 @@ void
 Server::schedule()
 {
     while (running.size() < serverConfig.maxActive) {
+        // Detached work first: requests recovered at boot or
+        // orphaned by a durable client's disconnect have no
+        // connection to queue on and have already waited longest.
+        if (!detachedPending.empty()) {
+            Pending pending = std::move(detachedPending.front());
+            detachedPending.pop_front();
+            startRequest(std::move(pending));
+            continue;
+        }
         // Round-robin: the connection after the last one served gets
         // the slot, so a client pipelining many requests shares with
         // late arrivals instead of starving them.
@@ -508,7 +816,7 @@ Server::schedule()
         rrCursor = next->id;
         Pending pending = std::move(next->pending.front());
         next->pending.pop_front();
-        startRequest(*next, std::move(pending));
+        startRequest(std::move(pending));
     }
     std::lock_guard<std::mutex> lock(statsMutex);
     counters.requestsActive = running.size();
@@ -516,11 +824,15 @@ Server::schedule()
 }
 
 void
-Server::startRequest(Connection &conn, Pending pending)
+Server::startRequest(Pending pending)
 {
+    RequestRecord *record = findRecord(pending.requestId);
+    std::uint64_t conn_id = record != nullptr ? record->connId : 0;
+    if (record != nullptr)
+        record->phase = RequestPhase::Active;
+
     Running request;
     request.requestId = pending.requestId;
-    request.connId = conn.id;
     request.deadline = pending.spec.deadlineSeconds > 0.0
         ? Deadline::after(pending.spec.deadlineSeconds)
         : Deadline();
@@ -529,8 +841,29 @@ Server::startRequest(Connection &conn, Pending pending)
         std::make_shared<std::atomic<std::uint32_t>>(0);
     request.total = std::make_shared<std::atomic<std::uint32_t>>(0);
 
+    // Durable requests checkpoint next to their journal so a
+    // restarted daemon resumes the campaign; a recovered request
+    // additionally skips re-streaming the points its journal already
+    // holds (their original bytes replay instead — re-emitting would
+    // duplicate them with a different status tag).
+    RunOptions options;
+    std::shared_ptr<const std::set<std::uint32_t>> replayed;
+    if (record != nullptr && record->durable &&
+        !serverConfig.journalDir.empty()) {
+        options.checkpointPath = journalCheckpointPath(
+            serverConfig.journalDir, record->token);
+        if (record->recovered && !record->pointPayloads.empty()) {
+            auto skip = std::make_shared<std::set<std::uint32_t>>();
+            for (const std::string &payload : record->pointPayloads) {
+                PointUpdate update;
+                if (decodePointUpdate(payload, update))
+                    skip->insert(update.index);
+            }
+            replayed = skip;
+        }
+    }
+
     CampaignSpec spec = std::move(pending.spec);
-    std::uint64_t conn_id = conn.id;
     std::uint64_t request_id = pending.requestId;
     CancellationToken token = request.cancel;
     auto deadline_expired = request.deadlineExpired;
@@ -541,14 +874,22 @@ Server::startRequest(Connection &conn, Pending pending)
     request.thread = std::thread([this, spec = std::move(spec),
                                   conn_id, request_id, token,
                                   deadline_expired, completed,
-                                  total, store] {
+                                  total, store, replayed,
+                                  options = std::move(options)] {
         LogContext context(requestPrefix(conn_id, request_id));
-        auto sink = [this, conn_id, request_id, completed, total](
+        auto sink = [this, conn_id, request_id, completed, total,
+                     replayed](
                         const core::CampaignPoint &point,
                         std::size_t index, std::size_t point_count) {
             total->store(static_cast<std::uint32_t>(point_count),
                          std::memory_order_relaxed);
             completed->fetch_add(1, std::memory_order_relaxed);
+            if (replayed &&
+                replayed->count(static_cast<std::uint32_t>(index))) {
+                // Settled and journaled before the restart; its
+                // original frame replays from the journal.
+                return;
+            }
             PointUpdate update;
             update.requestId = request_id;
             update.index = static_cast<std::uint32_t>(index);
@@ -567,7 +908,7 @@ Server::startRequest(Connection &conn, Pending pending)
         };
 
         CampaignOutcome outcome =
-            runCampaign(spec, store, sink, token);
+            runCampaign(spec, store, sink, token, options);
         if (outcome.outcome == RequestOutcome::Cancelled &&
             deadline_expired->load(std::memory_order_relaxed)) {
             // The loop cancelled us because the request's own
@@ -617,6 +958,19 @@ Server::finishRequest(const OutEvent &event)
     if (it->thread.joinable())
         it->thread.join();
     running.erase(it);
+    RequestRecord *record = findRecord(event.requestId);
+    std::uint64_t bound_conn = event.connId;
+    if (record != nullptr) {
+        record->phase = RequestPhase::Finished;
+        record->outcome = event.outcome;
+        record->finishedAt = std::chrono::steady_clock::now();
+        bound_conn = record->connId;
+        if (!record->durable && record->connId == 0) {
+            // Nobody left to stream to and nothing to retain.
+            retireRequest(event.requestId);
+            record = nullptr;
+        }
+    }
     {
         std::lock_guard<std::mutex> lock(statsMutex);
         switch (event.outcome) {
@@ -633,7 +987,7 @@ Server::finishRequest(const OutEvent &event)
         }
     }
     inform("gemstoned: ",
-           requestPrefix(event.connId, event.requestId), " finished (",
+           requestPrefix(bound_conn, event.requestId), " finished (",
            requestOutcomeTag(event.outcome), ")");
     schedule();
 }
@@ -654,10 +1008,30 @@ Server::drainEvents()
             finishRequest(event);
             continue;
         }
-        auto it = connections.find(event.connId);
+        // Record the frame before routing it: a settled point (or
+        // the summary) must reach the replay buffer and the journal
+        // whether or not a client is currently attached — that is
+        // the whole durability contract.
+        RequestRecord *record = findRecord(event.requestId);
+        std::uint64_t target = event.connId;
+        if (record != nullptr) {
+            target = record->connId;
+            if (event.type == exec::FrameType::PointResult) {
+                record->pointPayloads.push_back(event.payload);
+                journalRecord(*record);
+            } else if (event.type == exec::FrameType::Summary) {
+                record->summaryPayload = event.payload;
+                journalRecord(*record);
+            }
+        }
+        auto it = connections.find(target);
         if (it == connections.end())
-            continue;  // client left; its stream dies with it
+            continue;  // stream detached (durable) or died with conn
         enqueueFrame(it->second, event.type, event.payload);
+        if (event.type == exec::FrameType::Summary &&
+            record != nullptr) {
+            it->second.retireOnFlush.push_back(event.requestId);
+        }
     }
 }
 
@@ -671,7 +1045,10 @@ Server::tickHeartbeats()
         return;
     lastHeartbeat = now;
     for (const Running &request : running) {
-        auto it = connections.find(request.connId);
+        RequestRecord *record = findRecord(request.requestId);
+        if (record == nullptr || record->connId == 0)
+            continue;
+        auto it = connections.find(record->connId);
         if (it == connections.end())
             continue;
         ProgressUpdate update;
@@ -681,6 +1058,43 @@ Server::tickHeartbeats()
         update.total = request.total->load(std::memory_order_relaxed);
         enqueueFrame(it->second, exec::FrameType::Progress,
                      encodeProgress(update));
+    }
+    // Queued requests heartbeat too (completed == total == 0): a
+    // client with a heartbeat timeout must not declare a healthy
+    // daemon dead just because every slot is busy.
+    for (auto &[id, conn] : connections) {
+        for (const Pending &pending : conn.pending) {
+            ProgressUpdate update;
+            update.requestId = pending.requestId;
+            enqueueFrame(conn, exec::FrameType::Progress,
+                         encodeProgress(update));
+        }
+    }
+    tickRetention();
+}
+
+void
+Server::tickRetention()
+{
+    auto now = std::chrono::steady_clock::now();
+    std::vector<std::uint64_t> expired;
+    for (const auto &[id, record] : requests) {
+        if (record.phase != RequestPhase::Finished ||
+            record.connId != 0) {
+            continue;
+        }
+        double age =
+            std::chrono::duration<double>(now - record.finishedAt)
+                .count();
+        if (!record.durable ||
+            age >= serverConfig.retainFinishedSeconds) {
+            expired.push_back(id);
+        }
+    }
+    for (std::uint64_t id : expired) {
+        inform("gemstoned: ", requestPrefix(0, id),
+               " retention expired; retiring unclaimed results");
+        retireRequest(id);
     }
 }
 
@@ -694,8 +1108,10 @@ Server::tickDeadlines()
             request.deadlineExpired->store(true,
                                            std::memory_order_relaxed);
             request.cancel.requestCancel();
+            RequestRecord *record = findRecord(request.requestId);
             warn("gemstoned: ",
-                 requestPrefix(request.connId, request.requestId),
+                 requestPrefix(record != nullptr ? record->connId : 0,
+                               request.requestId),
                  " exceeded its deadline; cancelling");
         }
     }
@@ -723,7 +1139,7 @@ Server::enterDrain()
 bool
 Server::drainComplete() const
 {
-    if (!running.empty())
+    if (!running.empty() || !detachedPending.empty())
         return false;
     for (const auto &[id, conn] : connections) {
         if (!conn.pending.empty() || conn.outPos < conn.outbuf.size())
@@ -739,6 +1155,10 @@ Server::run()
         return Status(StatusCode::Internal,
                       "Server::run() before start()");
     }
+    // Requests recovered from journals at boot are waiting in
+    // detachedPending with no connection activity to kick the
+    // scheduler — hand them slots before the first poll.
+    schedule();
     for (;;) {
         if (!draining && serverConfig.drain.cancelled())
             enterDrain();

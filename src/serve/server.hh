@@ -29,11 +29,22 @@
  *    disconnect or CancelRequest cancels exactly that work at its
  *    next cooperative poll site, and a per-request deadline is
  *    enforced by the loop cancelling the token when it expires;
+ *  - durability: a request submitted with CampaignSpec::durable set
+ *    is *detached* — not cancelled — when its client disconnects.
+ *    Every request gets an opaque resume token in Accepted; Attach
+ *    re-binds a new connection to the request and replays its
+ *    settled PointResult frames byte-identically before the live
+ *    stream continues. Durable requests are journaled (serve/journal)
+ *    through util/atomicfile, so a SIGKILLed-and-restarted daemon
+ *    re-admits them and resumes their campaigns from per-request
+ *    checkpoints; finished unbound durable requests are retained
+ *    for Config::retainFinishedSeconds awaiting a late Attach;
  *  - drain: when Config::drain fires (SIGTERM via util/signals) the
- *    daemon stops accepting, finishes everything already admitted,
- *    flushes the streams and returns from run() — exit 0.
+ *    daemon stops accepting, finishes everything already admitted
+ *    (detached durable work included), flushes the streams and
+ *    returns from run() — exit 0.
  *
- * DESIGN.md §15 documents the protocol and these semantics.
+ * DESIGN.md §15 documents the protocol; §16 the durability layer.
  */
 
 #ifndef GEMSTONE_SERVE_SERVER_HH
@@ -80,6 +91,14 @@ class Server
         std::string sharedTierPath;
         /** Progress heartbeat period for running requests. */
         double heartbeatSeconds = 1.0;
+        /** Directory for durable-request journals and their campaign
+         *  checkpoints; empty disables crash-restart persistence
+         *  (detach/Attach replay still works in memory). */
+        std::string journalDir;
+        /** How long a finished durable request with no bound
+         *  connection is retained for a late Attach before its
+         *  journal artifacts are swept. */
+        double retainFinishedSeconds = 3600.0;
         /** Drain trigger; route SIGTERM here (util/signals.hh). */
         CancellationToken drain;
     };
@@ -133,12 +152,14 @@ class Server
         std::deque<Pending> pending;
         /** Flush the outbuf, then close (protocol error path). */
         bool closeAfterFlush = false;
+        /** Requests whose final Summary sits in the outbuf; their
+         *  journal artifacts are retired once it drains to the fd. */
+        std::vector<std::uint64_t> retireOnFlush;
     };
 
     struct Running
     {
         std::uint64_t requestId = 0;
-        std::uint64_t connId = 0;
         CancellationToken cancel;
         Deadline deadline;
         /** Set by the loop before a deadline cancel, read by the
@@ -147,6 +168,46 @@ class Server
         std::shared_ptr<std::atomic<std::uint32_t>> completed;
         std::shared_ptr<std::atomic<std::uint32_t>> total;
         std::thread thread;
+    };
+
+    enum class RequestPhase
+    {
+        Queued,
+        Active,
+        Finished,
+    };
+
+    /**
+     * Loop-thread registry entry for every admitted request: the
+     * resume-token binding, the settled frames retained for Attach
+     * replay, and the durable state mirrored to the journal. The
+     * connection binding lives here — Running deliberately has no
+     * conn id — so re-binding a reconnecting client is one field
+     * write, not a hunt through per-connection state.
+     */
+    struct RequestRecord
+    {
+        std::uint64_t requestId = 0;
+        /** Resume token issued in Accepted (Attach key). */
+        std::string token;
+        /** Exact encoded spec bytes as received — the idempotency
+         *  key for durable re-submits and the journaled spec. */
+        std::string specBytes;
+        bool durable = false;
+        /** Re-admitted from a journal at boot (its campaign resumes
+         *  from the request checkpoint; already-journaled points are
+         *  not re-streamed). */
+        bool recovered = false;
+        RequestPhase phase = RequestPhase::Queued;
+        /** Bound connection; 0 while detached. */
+        std::uint64_t connId = 0;
+        /** Settled PointResult payloads in stream order — the
+         *  byte-exact Attach replay source. */
+        std::vector<std::string> pointPayloads;
+        /** Final Summary payload once settled. */
+        std::string summaryPayload;
+        RequestOutcome outcome = RequestOutcome::Ok;
+        std::chrono::steady_clock::time_point finishedAt{};
     };
 
     /** Request thread -> loop message. */
@@ -168,19 +229,37 @@ class Server
     void handleFrame(Connection &conn, const exec::Frame &frame);
     void handleSubmit(Connection &conn, const std::string &payload);
     void handleCancel(Connection &conn, const std::string &payload);
+    void handleAttach(Connection &conn, const std::string &payload);
     void flushWritable(Connection &conn);
     void closeConnection(std::uint64_t conn_id);
     void enqueueFrame(Connection &conn, exec::FrameType type,
                       const std::string &payload);
-    /** Hand free slots to queued requests, round-robin by conn. */
+    /** Hand free slots to queued requests: recovered/detached work
+     *  first, then round-robin by connection. */
     void schedule();
-    void startRequest(Connection &conn, Pending pending);
+    void startRequest(Pending pending);
     void finishRequest(const OutEvent &event);
     void drainEvents();
     void tickHeartbeats();
+    void tickRetention();
     void tickDeadlines();
     void enterDrain();
     bool drainComplete() const;
+
+    RequestRecord *findRecord(std::uint64_t request_id);
+    Running *findRunning(std::uint64_t request_id);
+    /** Re-bind @p record's stream to @p conn: Resumed header, then
+     *  the byte-exact replay of every settled PointResult, then the
+     *  Summary when the request already finished. */
+    void bindRequest(RequestRecord &record, Connection &conn);
+    /** Mirror a durable record to its journal file (atomic rewrite);
+     *  no-op for non-durable records or without Config::journalDir. */
+    void journalRecord(const RequestRecord &record);
+    /** Forget a request: token unbound, journal artifacts removed. */
+    void retireRequest(std::uint64_t request_id);
+    /** Boot-time scan of Config::journalDir: finished journals are
+     *  retained for Attach, unfinished ones re-admitted. */
+    Status recoverJournals();
 
     /** Request-thread side: post an event and wake the loop. */
     void postEvent(OutEvent event);
@@ -201,6 +280,14 @@ class Server
     std::uint64_t nextRequestId = 1;
     std::map<std::uint64_t, Connection> connections;
     std::vector<Running> running;
+    /** Every admitted request, by id (loop thread only). */
+    std::map<std::uint64_t, RequestRecord> requests;
+    /** Resume token -> request id. */
+    std::map<std::string, std::uint64_t> tokenIndex;
+    /** Queued requests with no bound connection: recovered at boot
+     *  or detached by a durable client's disconnect. Served before
+     *  any per-connection queue. */
+    std::deque<Pending> detachedPending;
     /** Round-robin cursor: the conn id served last. */
     std::uint64_t rrCursor = 0;
 

@@ -36,7 +36,7 @@ CampaignOutcome
 runCampaign(const CampaignSpec &spec,
             const std::shared_ptr<exec::ResultStore> &store,
             core::CampaignConfig::PointSink sink,
-            CancellationToken cancel)
+            CancellationToken cancel, const RunOptions &options)
 {
     CampaignOutcome outcome;
     try {
@@ -47,6 +47,7 @@ runCampaign(const CampaignSpec &spec,
         core::CampaignConfig config = campaignConfigFor(spec);
         config.cancel = cancel;
         config.pointSink = std::move(sink);
+        config.checkpointPath = options.checkpointPath;
 
         core::CampaignEngine engine(runner, config);
         core::CampaignResult result = spec.freqsMhz.empty()

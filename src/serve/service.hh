@@ -27,10 +27,24 @@ namespace gemstone::serve {
 /** RunnerConfig a spec maps to (store keys depend on these). */
 core::RunnerConfig runnerConfigFor(const CampaignSpec &spec);
 
-/** CampaignConfig a spec maps to (no checkpointing: the daemon's
- *  persistence tier is the shared result store, not per-request
- *  checkpoint files). */
+/** CampaignConfig a spec maps to. Checkpointing is off at this
+ *  layer; the daemon layers a per-request checkpoint path on top of
+ *  the mapping through RunOptions for durable requests. */
 core::CampaignConfig campaignConfigFor(const CampaignSpec &spec);
+
+/**
+ * Per-call knobs a front-end layers on top of the spec mapping.
+ * These deliberately live outside CampaignSpec: they are host-side
+ * policy (where this daemon persists), not part of the request
+ * identity, so they never affect store keys or spec hashing.
+ */
+struct RunOptions
+{
+    /** Campaign checkpoint file; empty disables checkpointing. The
+     *  daemon points a durable request here (next to its journal) so
+     *  a restarted daemon resumes instead of re-measuring. */
+    std::string checkpointPath;
+};
 
 /** Everything a front-end needs to report one finished campaign. */
 struct CampaignOutcome
@@ -59,7 +73,8 @@ struct CampaignOutcome
 CampaignOutcome runCampaign(
     const CampaignSpec &spec,
     const std::shared_ptr<exec::ResultStore> &store,
-    core::CampaignConfig::PointSink sink, CancellationToken cancel);
+    core::CampaignConfig::PointSink sink, CancellationToken cancel,
+    const RunOptions &options = RunOptions());
 
 } // namespace gemstone::serve
 

@@ -1,0 +1,154 @@
+#!/usr/bin/env bash
+# Crash-restart chaos test of the campaign service daemon, with the
+# shipped binaries: submit a durable campaign, SIGKILL gemstoned
+# mid-campaign, restart it on the same socket and journal directory,
+# and require (a) the daemon to re-admit the request from its journal
+# and resume from the campaign checkpoint, (b) the self-healing client
+# to reconnect and re-attach by resume token on its own, and (c) the
+# final dataset CSV to be byte-identical to an uninterrupted one-shot
+# run. A second phase kills the *client* instead, lets the detached
+# campaign finish, and late-attaches with `ctl attach`.
+#
+# Usage: tests/serve_chaos.sh [BUILD_DIR]   (default: build)
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+TOOL="$BUILD_DIR/examples/gemstone_tool"
+DAEMON="$BUILD_DIR/examples/gemstoned"
+WORK="$(mktemp -d)"
+SOCK="$WORK/gemstoned.sock"
+JOURNAL="$WORK/journal"
+
+# The full A7 campaign (~1s of simulation): long enough that SIGKILL
+# reliably lands mid-campaign with points already settled.
+SPEC=(--cluster a7 --repeats 2 --quorum 1 --seed 5)
+
+fail() { echo "serve_chaos: FAIL: $*" >&2; exit 1; }
+
+cleanup() {
+    [[ -n "${DAEMON_PID:-}" ]] && kill -9 "$DAEMON_PID" 2>/dev/null
+    [[ -n "${CLIENT_PID:-}" ]] && kill -9 "$CLIENT_PID" 2>/dev/null
+    rm -rf "$WORK"
+    return 0
+}
+trap cleanup EXIT
+
+[[ -x "$TOOL" && -x "$DAEMON" ]] || fail "build $TOOL and $DAEMON first"
+
+wait_for_sock() {
+    for _ in $(seq 100); do [[ -S "$SOCK" ]] && return 0; sleep 0.1; done
+    fail "daemon never bound $SOCK"
+}
+
+# Reference bytes: the one-shot CLI, never interrupted.
+"$TOOL" campaign "${SPEC[@]}" --quiet --out "$WORK/ref.csv"
+
+# ---- Phase 1: SIGKILL the daemon mid-campaign --------------------
+
+"$DAEMON" --socket "$SOCK" --journal "$JOURNAL" --max-active 2 \
+    >"$WORK/daemon1.log" 2>&1 &
+DAEMON_PID=$!
+wait_for_sock
+
+# Durable submit in the background; the client owns reconnection.
+"$TOOL" ctl --socket "$SOCK" submit "${SPEC[@]}" --durable \
+    --token-file "$WORK/token" --retries 40 --timeout 30 \
+    --out "$WORK/served.csv" 2>"$WORK/client.log" &
+CLIENT_PID=$!
+
+# Let the campaign settle a few points first, so the kill is genuinely
+# mid-flight and the restart genuinely resumes (not restarts).
+for _ in $(seq 300); do
+    points=$(grep -c '^point ' "$WORK/client.log" 2>/dev/null || true)
+    [[ "${points:-0}" -ge 3 ]] && break
+    kill -0 "$CLIENT_PID" 2>/dev/null || fail "client died early:
+$(cat "$WORK/client.log")"
+    sleep 0.1
+done
+[[ "${points:-0}" -ge 3 ]] || fail "no points settled before the kill"
+[[ -s "$WORK/token" ]] || fail "no resume token written"
+
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+echo "serve_chaos: daemon SIGKILLed after $points settled points"
+
+# Restart on the same socket and journal dir. The client is still
+# alive, backing off and redialling.
+"$DAEMON" --socket "$SOCK" --journal "$JOURNAL" --max-active 2 \
+    >"$WORK/daemon2.log" 2>&1 &
+DAEMON_PID=$!
+wait_for_sock
+grep -q "recovered in-flight request" "$WORK/daemon2.log" ||
+    { sleep 1; grep -q "recovered in-flight request" "$WORK/daemon2.log"; } ||
+    fail "restarted daemon did not recover the journaled request:
+$(cat "$WORK/daemon2.log")"
+
+client_rc=0
+wait "$CLIENT_PID" || client_rc=$?
+CLIENT_PID=""
+[[ "$client_rc" -eq 0 ]] ||
+    { cat "$WORK/client.log" >&2; fail "client exit code $client_rc"; }
+grep -q "self-healed" "$WORK/client.log" ||
+    fail "client never reconnected — the kill missed the stream"
+cmp "$WORK/ref.csv" "$WORK/served.csv" ||
+    fail "dataset after crash+restart differs from one-shot run"
+echo "serve_chaos: client self-healed across the restart," \
+     "dataset byte-identical to one-shot"
+
+stats=$("$TOOL" ctl --socket "$SOCK" --timeout 10 stats)
+grep -q "1 recovered at boot" <<<"$stats" ||
+    fail "stats do not report the boot recovery: $stats"
+
+# ---- Phase 2: SIGKILL the client, late-attach when done ----------
+
+"$TOOL" ctl --socket "$SOCK" submit "${SPEC[@]}" --seed 6 --durable \
+    --token-file "$WORK/token2" --retries 0 --timeout 30 \
+    --out "$WORK/served2.csv" 2>"$WORK/client2.log" &
+CLIENT_PID=$!
+for _ in $(seq 300); do
+    points=$(grep -c '^point ' "$WORK/client2.log" 2>/dev/null || true)
+    [[ "${points:-0}" -ge 3 ]] && break
+    sleep 0.1
+done
+[[ "${points:-0}" -ge 3 ]] || fail "phase-2 campaign streamed no points"
+{ kill -9 "$CLIENT_PID" && wait "$CLIENT_PID"; } 2>/dev/null || true
+CLIENT_PID=""
+
+# The daemon detaches (not cancels) and finishes the campaign alone.
+for _ in $(seq 300); do
+    grep -q "detached req.*finished (ok)" "$WORK/daemon2.log" && break
+    sleep 0.1
+done
+grep -q "detached req.*finished (ok)" "$WORK/daemon2.log" ||
+    fail "detached campaign never finished:
+$(tail -20 "$WORK/daemon2.log")"
+
+"$TOOL" ctl --socket "$SOCK" attach --token-file "$WORK/token2" \
+    --timeout 30 --out "$WORK/attached.csv" 2>>"$WORK/client2.log" ||
+    fail "late attach failed:
+$(tail -5 "$WORK/client2.log")"
+"$TOOL" campaign "${SPEC[@]}" --seed 6 --quiet --out "$WORK/ref2.csv"
+cmp "$WORK/ref2.csv" "$WORK/attached.csv" ||
+    fail "late-attach dataset differs from one-shot run"
+echo "serve_chaos: killed client's campaign finished detached," \
+     "late attach replayed byte-identical bytes"
+
+# A delivered durable request retires its journal artifacts.
+token2=$(head -1 "$WORK/token2")
+for _ in $(seq 100); do
+    [[ ! -e "$JOURNAL/req_$token2.journal" ]] && break
+    sleep 0.1
+done
+[[ ! -e "$JOURNAL/req_$token2.journal" ]] ||
+    fail "delivered request left its journal behind"
+
+# Graceful goodbye: SIGTERM -> exit 0.
+kill -TERM "$DAEMON_PID"
+drain_rc=0
+wait "$DAEMON_PID" || drain_rc=$?
+[[ "$drain_rc" -eq 0 ]] ||
+    { cat "$WORK/daemon2.log" >&2; fail "drain exit code $drain_rc"; }
+DAEMON_PID=""
+echo "serve_chaos: PASS"

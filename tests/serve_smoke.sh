@@ -58,13 +58,13 @@ echo "serve_smoke: 4 concurrent campaigns byte-identical to one-shot"
 
 # Repeat a request: the shared store must serve it without any new
 # insertions, and the bytes must not change.
-insertions_before=$("$TOOL" ctl --socket "$SOCK" stats |
+insertions_before=$("$TOOL" ctl --socket "$SOCK" --timeout 10 stats |
     sed -n 's/.* \([0-9]*\) insertions.*/\1/p')
 "$TOOL" ctl --socket "$SOCK" submit "${SPEC_COMMON[@]}" --seed 1 \
     --out "$WORK/served_repeat.csv"
 cmp "$WORK/ref_1.csv" "$WORK/served_repeat.csv" ||
     fail "repeated request changed bytes"
-stats_after=$("$TOOL" ctl --socket "$SOCK" stats)
+stats_after=$("$TOOL" ctl --socket "$SOCK" --timeout 10 stats)
 insertions_after=$(sed -n 's/.* \([0-9]*\) insertions.*/\1/p' \
     <<<"$stats_after")
 hits_after=$(sed -n 's/.* \([0-9]*\) hits.*/\1/p' <<<"$stats_after")

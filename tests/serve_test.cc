@@ -674,4 +674,97 @@ TEST(ServeTest, ProtocolRoundTripsSurviveEncoding)
     }
 }
 
+TEST(ServeTest, DurabilityPayloadsFailClosedOnTruncation)
+{
+    // The v2 payloads (resume tokens, Attach, Resumed) obey the same
+    // contract as the v1 ones: round-trip exactly, reject every
+    // strict prefix, and bound hostile string lengths.
+    serve::Accepted accepted;
+    accepted.requestId = 77;
+    accepted.token = "gst1-" + std::string(32, 'a');
+    serve::Accepted accepted_rt;
+    ASSERT_TRUE(serve::decodeAccepted(serve::encodeAccepted(accepted),
+                                      accepted_rt));
+    EXPECT_EQ(accepted_rt.requestId, accepted.requestId);
+    EXPECT_EQ(accepted_rt.token, accepted.token);
+    std::string bytes = serve::encodeAccepted(accepted);
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+        serve::Accepted partial;
+        EXPECT_FALSE(
+            serve::decodeAccepted(bytes.substr(0, cut), partial))
+            << "Accepted prefix of " << cut << " bytes decoded";
+    }
+
+    serve::AttachRequest attach;
+    attach.token = accepted.token;
+    serve::AttachRequest attach_rt;
+    ASSERT_TRUE(serve::decodeAttachRequest(
+        serve::encodeAttachRequest(attach), attach_rt));
+    EXPECT_EQ(attach_rt.token, attach.token);
+    bytes = serve::encodeAttachRequest(attach);
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+        serve::AttachRequest partial;
+        EXPECT_FALSE(
+            serve::decodeAttachRequest(bytes.substr(0, cut), partial))
+            << "Attach prefix of " << cut << " bytes decoded";
+    }
+    // An empty or oversized token never decodes, however framed.
+    serve::AttachRequest hostile;
+    EXPECT_FALSE(serve::decodeAttachRequest(
+        serve::encodeAttachRequest({""}), hostile));
+    EXPECT_FALSE(serve::decodeAttachRequest(
+        serve::encodeAttachRequest(
+            {std::string(serve::kMaxTokenLength + 1, 'x')}),
+        hostile));
+
+    serve::ResumeInfo info;
+    info.requestId = 88;
+    info.token = accepted.token;
+    info.finished = true;
+    info.replayPoints = 1234;
+    serve::ResumeInfo info_rt;
+    ASSERT_TRUE(serve::decodeResumeInfo(serve::encodeResumeInfo(info),
+                                        info_rt));
+    EXPECT_EQ(info_rt.requestId, info.requestId);
+    EXPECT_EQ(info_rt.token, info.token);
+    EXPECT_EQ(info_rt.finished, info.finished);
+    EXPECT_EQ(info_rt.replayPoints, info.replayPoints);
+    bytes = serve::encodeResumeInfo(info);
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+        serve::ResumeInfo partial;
+        EXPECT_FALSE(
+            serve::decodeResumeInfo(bytes.substr(0, cut), partial))
+            << "Resumed prefix of " << cut << " bytes decoded";
+    }
+}
+
+TEST(ServeTest, TruncatedAttachGetsProtocolErrorThenClose)
+{
+    DaemonFixture daemon;
+    daemon.start();
+
+    // A torn Attach payload (valid frame, half a token inside) is a
+    // protocol error and a hangup — never a crash, never a bind.
+    std::string payload = serve::encodeAttachRequest(
+        {"gst1-" + std::string(32, 'b')});
+    RawConn torn;
+    torn.connectUnix(daemon.socketPath);
+    ASSERT_TRUE(torn.send(exec::FrameType::Attach,
+                          payload.substr(0, payload.size() / 2)));
+    exec::Frame frame;
+    ASSERT_TRUE(torn.read(frame));
+    EXPECT_EQ(frame.type, exec::FrameType::ProtocolError);
+    EXPECT_FALSE(torn.read(frame));  // daemon hangs up
+    torn.close();
+
+    // The daemon is unharmed and still serves.
+    serve::Client client;
+    ASSERT_TRUE(client.connectUnix(daemon.socketPath).ok());
+    serve::Client::SubmitResult result;
+    ASSERT_TRUE(client.submit(smallSpec(), result).ok());
+    ASSERT_TRUE(result.accepted);
+    EXPECT_EQ(result.summary.outcome, serve::RequestOutcome::Ok);
+    daemon.stop();
+}
+
 } // namespace
