@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Shared BENCH_*.json writer and baseline reader for the perf
+ * benches.
+ *
+ * Every perf bench emits the same shape so the regression gate and
+ * ad-hoc tooling can parse any of them with the same ten lines of
+ * code, without a JSON library:
+ *
+ *   {
+ *     "bench": "<name>",
+ *     "unit": "<what the numbers mean>",
+ *     <optional top-level scalars>,
+ *     "results": [
+ *       {"kernel": "crc32", ..., "speedup": 3.120},   // one per line
+ *       ...
+ *     ],
+ *     "group_geomean_speedup": { "compute": 3.4, ... }
+ *   }
+ *
+ * The one-object-per-line contract inside "results" is load-bearing:
+ * loadBaseline() (and the CI gate built on it) greps line by line
+ * rather than parsing the document. Writers must therefore never
+ * pretty-print a result object across lines, and readers must
+ * tolerate unknown fields.
+ *
+ * Header-only: the bench binaries are standalone executables and
+ * this is the only code they share.
+ */
+
+#ifndef GEMSTONE_BENCH_BENCHJSON_HH
+#define GEMSTONE_BENCH_BENCHJSON_HH
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace gemstone::benchjson {
+
+/** Fixed-point rendering used for every JSON number we emit. */
+inline std::string
+formatJsonDouble(double value, int digits)
+{
+    std::ostringstream out;
+    out.precision(digits);
+    out << std::fixed << value;
+    return out.str();
+}
+
+/**
+ * One "results" row: an ordered field list rendered as a single-line
+ * JSON object. Field order is insertion order, so rows written by
+ * the same code render byte-identically run to run.
+ */
+class JsonRow
+{
+  public:
+    JsonRow &
+    str(const std::string &key, const std::string &value)
+    {
+        fields.emplace_back(key, "\"" + value + "\"");
+        return *this;
+    }
+
+    JsonRow &
+    num(const std::string &key, double value, int digits)
+    {
+        fields.emplace_back(key, formatJsonDouble(value, digits));
+        return *this;
+    }
+
+    JsonRow &
+    integer(const std::string &key, std::uint64_t value)
+    {
+        fields.emplace_back(key, std::to_string(value));
+        return *this;
+    }
+
+    JsonRow &
+    boolean(const std::string &key, bool value)
+    {
+        fields.emplace_back(key, value ? "true" : "false");
+        return *this;
+    }
+
+    std::string
+    render() const
+    {
+        std::string out = "{";
+        for (std::size_t i = 0; i < fields.size(); ++i) {
+            if (i)
+                out += ", ";
+            out += "\"" + fields[i].first + "\": " + fields[i].second;
+        }
+        return out + "}";
+    }
+
+  private:
+    std::vector<std::pair<std::string, std::string>> fields;
+};
+
+/** Accumulates one bench's output and writes the shared shape. */
+class BenchJson
+{
+  public:
+    BenchJson(std::string bench, std::string unit)
+        : benchName(std::move(bench)), unitName(std::move(unit))
+    {
+    }
+
+    /** Extra top-level scalar, rendered verbatim (pre-quoted). */
+    void
+    setScalar(const std::string &key, const std::string &rendered)
+    {
+        scalars.emplace_back(key, rendered);
+    }
+
+    void
+    setScalar(const std::string &key, bool value)
+    {
+        setScalar(key, std::string(value ? "true" : "false"));
+    }
+
+    /** Append a result row; fill it via the returned reference. */
+    JsonRow &
+    addResult()
+    {
+        results.emplace_back();
+        return results.back();
+    }
+
+    /** One entry of the trailing per-group geomean map. */
+    void
+    setGroup(const std::string &group, double geomean)
+    {
+        groups[group] = geomean;
+    }
+
+    void
+    write(const std::string &path) const
+    {
+        std::ofstream out(path);
+        fatal_if(!out, "cannot write ", path);
+        out << "{\n"
+            << "  \"bench\": \"" << benchName << "\",\n"
+            << "  \"unit\": \"" << unitName << "\",\n";
+        for (const auto &[key, rendered] : scalars)
+            out << "  \"" << key << "\": " << rendered << ",\n";
+        out << "  \"results\": [\n";
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            out << "    " << results[i].render()
+                << (i + 1 < results.size() ? "," : "") << "\n";
+        }
+        out << "  ]";
+        if (!groups.empty()) {
+            out << ",\n  \"group_geomean_speedup\": {\n";
+            std::size_t i = 0;
+            for (const auto &[group, geomean] : groups) {
+                out << "    \"" << group
+                    << "\": " << formatJsonDouble(geomean, 3)
+                    << (++i < groups.size() ? "," : "") << "\n";
+            }
+            out << "  }";
+        }
+        out << "\n}\n";
+    }
+
+  private:
+    std::string benchName;
+    std::string unitName;
+    std::vector<std::pair<std::string, std::string>> scalars;
+    std::vector<JsonRow> results;
+    std::map<std::string, double> groups;
+};
+
+/** Extract "key": value from one line; empty when absent. */
+inline std::string
+jsonField(const std::string &line, const std::string &key)
+{
+    std::string needle = "\"" + key + "\": ";
+    std::size_t pos = line.find(needle);
+    if (pos == std::string::npos)
+        return {};
+    pos += needle.size();
+    bool quoted = line[pos] == '"';
+    if (quoted)
+        ++pos;
+    std::size_t end = quoted
+        ? line.find('"', pos)
+        : line.find_first_of(",}", pos);
+    return line.substr(pos, end - pos);
+}
+
+/**
+ * Load one numeric field of every result row of a committed
+ * BENCH_*.json: rows are keyed by the "@"-joined values of
+ * @p key_fields (e.g. {"kernel", "config"} -> "crc32@a15"). Rows
+ * missing any key or the value field are skipped, so old baselines
+ * without a newly added field simply yield no entry for it.
+ */
+inline std::map<std::string, double>
+loadBaseline(const std::string &path,
+             const std::vector<std::string> &key_fields,
+             const std::string &value_field)
+{
+    std::ifstream in(path);
+    fatal_if(!in, "cannot read baseline ", path);
+    std::map<std::string, double> values;
+    std::string line;
+    while (std::getline(in, line)) {
+        std::string key;
+        bool complete = true;
+        for (const std::string &field : key_fields) {
+            std::string part = jsonField(line, field);
+            if (part.empty()) {
+                complete = false;
+                break;
+            }
+            if (!key.empty())
+                key += "@";
+            key += part;
+        }
+        if (!complete)
+            continue;
+        std::string value = jsonField(line, value_field);
+        if (!value.empty())
+            values[key] = std::stod(value);
+    }
+    return values;
+}
+
+} // namespace gemstone::benchjson
+
+#endif // GEMSTONE_BENCH_BENCHJSON_HH

@@ -38,13 +38,12 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
-#include <fstream>
 #include <iostream>
 #include <map>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "benchjson.hh"
 #include "linalg/matrix.hh"
 #include "mlstat/hca.hh"
 #include "mlstat/stepwise.hh"
@@ -228,81 +227,35 @@ checkMatrixIdentical(const linalg::Matrix &a, const linalg::Matrix &b,
 }
 
 // -------------------------------------------------------------------
-// JSON output / regression gate (format of BENCH_sim_throughput)
+// JSON output / regression gate: the shared benchjson.hh shape
 // -------------------------------------------------------------------
-
-std::string
-formatJsonDouble(double value, int digits)
-{
-    std::ostringstream out;
-    out.precision(digits);
-    out << std::fixed << value;
-    return out.str();
-}
 
 void
 writeJson(const std::string &path,
           const std::vector<CaseResult> &results,
           const std::map<std::string, double> &group_geomean)
 {
-    std::ofstream out(path);
-    fatal_if(!out, "cannot write ", path);
-    out << "{\n"
-        << "  \"bench\": \"analysis\",\n"
-        << "  \"unit\": \"speedup vs reference path\",\n"
-        << "  \"results\": [\n";
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        const CaseResult &r = results[i];
-        out << "    {\"case\": \"" << r.name << "\", \"group\": \""
-            << r.group << "\", \"reference_ms\": "
-            << formatJsonDouble(r.referenceMs, 3)
-            << ", \"fast_ms\": " << formatJsonDouble(r.fastMs, 3)
-            << ", \"speedup\": " << formatJsonDouble(r.speedup(), 3)
-            << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+    benchjson::BenchJson json("analysis",
+                              "speedup vs reference path");
+    for (const CaseResult &r : results) {
+        json.addResult()
+            .str("case", r.name)
+            .str("group", r.group)
+            .num("reference_ms", r.referenceMs, 3)
+            .num("fast_ms", r.fastMs, 3)
+            .num("speedup", r.speedup(), 3);
     }
-    out << "  ],\n"
-        << "  \"group_geomean_speedup\": {\n";
-    std::size_t i = 0;
-    for (const auto &[group, geomean] : group_geomean) {
-        out << "    \"" << group
-            << "\": " << formatJsonDouble(geomean, 3)
-            << (++i < group_geomean.size() ? "," : "") << "\n";
-    }
-    out << "  }\n}\n";
-}
-
-/** Extract "key": value from one line; empty when absent. */
-std::string
-jsonField(const std::string &line, const std::string &key)
-{
-    std::string needle = "\"" + key + "\": ";
-    std::size_t pos = line.find(needle);
-    if (pos == std::string::npos)
-        return {};
-    pos += needle.size();
-    bool quoted = line[pos] == '"';
-    if (quoted)
-        ++pos;
-    std::size_t end = quoted
-        ? line.find('"', pos)
-        : line.find_first_of(",}", pos);
-    return line.substr(pos, end - pos);
+    for (const auto &[group, geomean] : group_geomean)
+        json.setGroup(group, geomean);
+    json.write(path);
 }
 
 /** case -> baseline speedup from a committed JSON. */
 std::map<std::string, double>
 loadBaseline(const std::string &path)
 {
-    std::ifstream in(path);
-    fatal_if(!in, "cannot read baseline ", path);
-    std::map<std::string, double> speedups;
-    std::string line;
-    while (std::getline(in, line)) {
-        std::string name = jsonField(line, "case");
-        std::string speedup = jsonField(line, "speedup");
-        if (!name.empty() && !speedup.empty())
-            speedups[name] = std::stod(speedup);
-    }
+    std::map<std::string, double> speedups =
+        benchjson::loadBaseline(path, {"case"}, "speedup");
     fatal_if(speedups.empty(), "no results found in ", path);
     return speedups;
 }

@@ -13,6 +13,12 @@
  * Expectations: near-linear cold-run scaling up to the physical core
  * count (>=3x at 8 threads on a >=4-core host), and a >=10x warm-store
  * speedup since a hit replays a measurement without simulating.
+ *
+ * Emits BENCH_campaign_scaling.json in the shared benchjson.hh shape
+ * (host-dependent, so not CI-gated).
+ *
+ * Usage:
+ *   perf_campaign_scaling [--out FILE]
  */
 
 #include <chrono>
@@ -21,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "benchjson.hh"
 #include "exec/resultstore.hh"
 #include "exec/threadpool.hh"
 #include "gemstone/runner.hh"
@@ -73,8 +80,29 @@ pointsPerSec(const Timed &t)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string out_path = "BENCH_campaign_scaling.json";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--out" && i + 1 < argc)
+            out_path = argv[++i];
+        else
+            fatal("unknown argument ", arg);
+    }
+
+    benchjson::BenchJson json("campaign_scaling", "points per second");
+    auto addRow = [&](const std::string &group, const std::string &tag,
+                      const Timed &run, double speedup) {
+        json.addResult()
+            .str("case", group + "-" + tag)
+            .str("group", group)
+            .integer("points", run.points)
+            .num("seconds", run.seconds, 3)
+            .num("points_per_sec", run.points / run.seconds, 1)
+            .num("speedup", speedup, 2);
+    };
+
     unsigned hw_threads = exec::ThreadPool::defaultThreadCount();
     std::cout << "P1: campaign scaling through the exec engine "
                  "(Cortex-A15, " << kFreqs.size()
@@ -88,6 +116,7 @@ main()
                     "identical"});
     cold.addRow({"1", formatDouble(serial_cold.seconds, 3),
                  pointsPerSec(serial_cold), "1.00x", "-"});
+    addRow("cold", "1", serial_cold, 1.0);
     for (unsigned jobs : {2u, 4u, 8u}) {
         Timed run = timedCampaign(jobs, nullptr);
         if (run.csv != serial_cold.csv)
@@ -96,6 +125,8 @@ main()
                      formatDouble(run.seconds, 3), pointsPerSec(run),
                      formatRatio(serial_cold.seconds / run.seconds),
                      "yes"});
+        addRow("cold", std::to_string(jobs), run,
+               serial_cold.seconds / run.seconds);
     }
     cold.print(std::cout);
 
@@ -118,6 +149,8 @@ main()
                      formatDouble(run.seconds, 3), pointsPerSec(run),
                      formatRatio(serial_cold.seconds / run.seconds),
                      "yes"});
+        addRow("warm", std::to_string(jobs), run,
+               serial_cold.seconds / run.seconds);
     }
     warm.print(std::cout);
 
@@ -157,7 +190,12 @@ main()
                      formatDouble(run.seconds, 3), pointsPerSec(run),
                      formatRatio(serial_cold.seconds / run.seconds),
                      "yes"});
+        addRow("procpool", std::to_string(workers), run,
+               serial_cold.seconds / run.seconds);
     }
     pool.print(std::cout);
+
+    json.write(out_path);
+    std::cout << "wrote " << out_path << "\n";
     return 0;
 }

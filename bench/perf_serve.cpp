@@ -18,7 +18,12 @@
  *     self-healing client rides after an outage.
  *
  * Not CI-gated: numbers are host-dependent. The invariant checks
- * (byte-identical datasets) do abort on failure.
+ * (byte-identical datasets) do abort on failure. Emits
+ * BENCH_serve.json in the shared benchjson.hh shape so the numbers
+ * can be tracked alongside the gated benches.
+ *
+ * Usage:
+ *   perf_serve [--out FILE]
  */
 
 #include <chrono>
@@ -27,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "benchjson.hh"
 #include "exec/wireproto.hh"
 #include "serve/client.hh"
 #include "serve/protocol.hh"
@@ -66,7 +72,7 @@ benchSpec()
 }
 
 void
-framingThroughput()
+framingThroughput(benchjson::BenchJson &json)
 {
     serve::PointUpdate update;
     update.requestId = 1;
@@ -111,10 +117,20 @@ framingThroughput()
               << "  decode " << formatDouble(kFrames / decode_s / 1e6, 2)
               << " Mframes/s (" << formatDouble(mib / decode_s, 0)
               << " MiB/s)\n";
+    json.addResult()
+        .str("case", "framing-encode")
+        .str("group", "framing")
+        .num("mframes_per_sec", kFrames / encode_s / 1e6, 3)
+        .num("mib_per_sec", mib / encode_s, 1);
+    json.addResult()
+        .str("case", "framing-decode")
+        .str("group", "framing")
+        .num("mframes_per_sec", kFrames / decode_s / 1e6, 3)
+        .num("mib_per_sec", mib / decode_s, 1);
 }
 
 void
-serviceOverhead()
+serviceOverhead(benchjson::BenchJson &json)
 {
     serve::CampaignSpec spec = benchSpec();
 
@@ -171,6 +187,21 @@ serviceOverhead()
               << "  daemon, repeat  " << formatDouble(warm_s, 3)
               << " s  (" << formatDouble(direct_s / warm_s, 1)
               << "x vs in-process: shared-store replay)\n";
+    json.addResult()
+        .str("case", "in-process")
+        .str("group", "service")
+        .integer("points", direct.measuredPoints)
+        .num("seconds", direct_s, 3);
+    json.addResult()
+        .str("case", "daemon-cold")
+        .str("group", "service")
+        .num("seconds", cold_s, 3)
+        .num("overhead_pct", (cold_s / direct_s - 1.0) * 100.0, 1);
+    json.addResult()
+        .str("case", "daemon-repeat")
+        .str("group", "service")
+        .num("seconds", warm_s, 3)
+        .num("speedup_vs_inprocess", direct_s / warm_s, 2);
 }
 
 /** Minimal raw submit: Accepted's token, then hang up (detach). */
@@ -213,7 +244,7 @@ rawDurableSubmit(const std::string &socket_path,
 }
 
 void
-attachReplay()
+attachReplay(benchjson::BenchJson &json)
 {
     serve::CampaignSpec spec = benchSpec();
     spec.durable = true;
@@ -277,18 +308,38 @@ attachReplay()
               << formatDouble(replay_bytes / mean_s / (1024.0 * 1024.0),
                               1)
               << " MiB/s of point payload)\n";
+    json.addResult()
+        .str("case", "attach-replay")
+        .str("group", "attach")
+        .integer("points", points)
+        .num("mean_ms", mean_s * 1e3, 2)
+        .num("kpoints_per_sec", points / mean_s / 1e3, 2)
+        .num("mib_per_sec",
+             replay_bytes / mean_s / (1024.0 * 1024.0), 2);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string out_path = "BENCH_serve.json";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--out" && i + 1 < argc)
+            out_path = argv[++i];
+        else
+            fatal("unknown argument ", arg);
+    }
+
     std::cout << "P4: campaign service overhead (src/serve/)\n\n";
-    framingThroughput();
+    benchjson::BenchJson json("serve", "host-dependent seconds");
+    framingThroughput(json);
     std::cout << "\n";
-    serviceOverhead();
+    serviceOverhead(json);
     std::cout << "\n";
-    attachReplay();
+    attachReplay(json);
+    json.write(out_path);
+    std::cout << "\nwrote " << out_path << "\n";
     return 0;
 }

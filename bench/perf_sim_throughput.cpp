@@ -10,16 +10,26 @@
  * and committed instructions — the fast engine trades wall-clock
  * only, never results.
  *
+ * Each (kernel, config, engine) cell constructs ONE arena-backed
+ * model and re-runs it via reset() + runInto() — the steady-state
+ * shape every campaign-scale caller uses. The first (untimed) rep
+ * warms the predecode cache and result capacity; the operator-new
+ * tally then measures the warm reps, and the per-run allocation
+ * counts are reported per kernel (allocs_per_run / bytes_per_run)
+ * with the expectation of ZERO in the quantum loop.
+ *
  * Emits BENCH_sim_throughput.json (one result object per line inside
- * the "results" array, so the regression gate can parse it without a
- * JSON library). With --check <baseline.json>, per-kernel speedups
- * are compared against the committed baseline and the bench fails if
- * any kernel regressed by more than --max-regress (default 0.20).
- * Speedup ratios are host-speed independent, which is what makes a
- * committed baseline meaningful across machines.
+ * the "results" array — see benchjson.hh). With --check
+ * <baseline.json>, per-kernel speedups are compared against the
+ * committed baseline and the bench fails if any kernel regressed by
+ * more than --max-regress (default 0.20); when the allocation tally
+ * is active, steady-state allocation counts are gated too — any
+ * kernel allocating MORE than its committed count fails. Speedup
+ * ratios and allocation counts are host-speed independent, which is
+ * what makes a committed baseline meaningful across machines.
  *
  * Usage:
- *   perf_sim_throughput [--out FILE] [--repeats N]
+ *   perf_sim_throughput [--out FILE] [--repeats N] [--kernel NAME]
  *                       [--check BASELINE [--max-regress F]]
  */
 
@@ -27,16 +37,16 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
-#include <fstream>
 #include <iostream>
 #include <map>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "benchjson.hh"
 #include "hwsim/platform.hh"
 #include "uarch/core.hh"
 #include "uarch/system.hh"
+#include "util/arena.hh"
 #include "util/logging.hh"
 #include "util/strutil.hh"
 #include "util/table.hh"
@@ -57,8 +67,8 @@ struct BenchKernel
 /**
  * The kernel set: the compute and control groups carry the >=3x
  * acceptance target (dispatch-bound code is where predecode pays);
- * the memory group is informational — those kernels spend their time
- * in the cache/TLB model, where only the micro-caches help.
+ * the memory group is where the SoA cache planes and the
+ * devirtualised L1 -> L2 -> DRAM chain show up.
  */
 std::vector<BenchKernel>
 benchKernels()
@@ -87,9 +97,12 @@ benchKernels()
 
 struct EngineTiming
 {
-    double seconds = 0.0;        //!< best-of-N wall clock
+    double seconds = 0.0;        //!< best-of-N wall clock, warm model
     double cycles = 0.0;         //!< simulated cycles (bit-identity)
     std::uint64_t instructions = 0;
+    /** Heap allocations inside one warm reset() + runInto() cycle. */
+    std::uint64_t allocsPerRun = 0;
+    std::uint64_t bytesPerRun = 0;
 
     double mips() const
     {
@@ -116,113 +129,47 @@ struct KernelResult
     }
 };
 
-/** Time one kernel on one config with one engine (best of N). */
+/**
+ * Time one kernel on one config with one engine (best of N) on a
+ * single warm model. Rep 0 is the untimed warm-up: it populates the
+ * predecode cache and the result record's capacity; every timed rep
+ * after it is the steady-state reset() + runInto() cycle, and the
+ * allocation tally of the last one is reported.
+ */
 EngineTiming
 timeKernel(const Workload &work, const uarch::ClusterConfig &base,
            uarch::ExecEngine engine, unsigned repeats)
 {
+    uarch::ClusterConfig config = base;
+    config.memBytes =
+        std::max<std::uint64_t>(work.memBytes, 64 * 1024);
+    uarch::ClusterModel cluster(config);
+    cluster.setExecEngine(engine);
+
     EngineTiming timing;
     timing.seconds = 1e300;
-    for (unsigned rep = 0; rep < repeats; ++rep) {
-        uarch::ClusterConfig config = base;
-        config.memBytes =
-            std::max<std::uint64_t>(work.memBytes, 64 * 1024);
-        uarch::ClusterModel cluster(config);
-        cluster.setExecEngine(engine);
+    uarch::RunResult run;
+    for (unsigned rep = 0; rep < repeats + 1; ++rep) {
+        cluster.reset();
         work.prepareMemory(cluster.memory());
 
+        MallocTallySnapshot before = mallocTally();
         auto start = std::chrono::steady_clock::now();
-        uarch::RunResult run =
-            cluster.run(work.program, work.numThreads, 1.0);
+        cluster.runInto(work.program, work.numThreads, 1.0, run);
         auto stop = std::chrono::steady_clock::now();
+        MallocTallySnapshot after = mallocTally();
 
+        if (rep == 0)
+            continue;  // warm-up
         timing.seconds = std::min(
             timing.seconds,
             std::chrono::duration<double>(stop - start).count());
         timing.cycles = run.cycles;
         timing.instructions = run.instructions;
+        timing.allocsPerRun = after.allocs - before.allocs;
+        timing.bytesPerRun = after.bytes - before.bytes;
     }
     return timing;
-}
-
-std::string
-formatJsonDouble(double value, int digits)
-{
-    std::ostringstream out;
-    out.precision(digits);
-    out << std::fixed << value;
-    return out.str();
-}
-
-void
-writeJson(const std::string &path,
-          const std::vector<KernelResult> &results,
-          const std::map<std::string, double> &group_geomean)
-{
-    std::ofstream out(path);
-    fatal_if(!out, "cannot write ", path);
-    out << "{\n"
-        << "  \"bench\": \"sim_throughput\",\n"
-        << "  \"unit\": \"simulated MIPS\",\n"
-        << "  \"results\": [\n";
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        const KernelResult &r = results[i];
-        out << "    {\"kernel\": \"" << r.kernel << "\", \"config\": \""
-            << r.config << "\", \"group\": \"" << r.group
-            << "\", \"instructions\": " << r.instructions()
-            << ", \"reference_mips\": "
-            << formatJsonDouble(r.reference.mips(), 3)
-            << ", \"fast_mips\": "
-            << formatJsonDouble(r.fast.mips(), 3)
-            << ", \"speedup\": " << formatJsonDouble(r.speedup(), 3)
-            << "}" << (i + 1 < results.size() ? "," : "") << "\n";
-    }
-    out << "  ],\n"
-        << "  \"group_geomean_speedup\": {\n";
-    std::size_t i = 0;
-    for (const auto &[group, geomean] : group_geomean) {
-        out << "    \"" << group
-            << "\": " << formatJsonDouble(geomean, 3)
-            << (++i < group_geomean.size() ? "," : "") << "\n";
-    }
-    out << "  }\n}\n";
-}
-
-/** Extract "key": value from one line; empty when absent. */
-std::string
-jsonField(const std::string &line, const std::string &key)
-{
-    std::string needle = "\"" + key + "\": ";
-    std::size_t pos = line.find(needle);
-    if (pos == std::string::npos)
-        return {};
-    pos += needle.size();
-    bool quoted = line[pos] == '"';
-    if (quoted)
-        ++pos;
-    std::size_t end = quoted
-        ? line.find('"', pos)
-        : line.find_first_of(",}", pos);
-    return line.substr(pos, end - pos);
-}
-
-/** (kernel, config) -> baseline speedup from a committed JSON. */
-std::map<std::string, double>
-loadBaseline(const std::string &path)
-{
-    std::ifstream in(path);
-    fatal_if(!in, "cannot read baseline ", path);
-    std::map<std::string, double> speedups;
-    std::string line;
-    while (std::getline(in, line)) {
-        std::string kernel = jsonField(line, "kernel");
-        std::string config = jsonField(line, "config");
-        std::string speedup = jsonField(line, "speedup");
-        if (!kernel.empty() && !config.empty() && !speedup.empty())
-            speedups[kernel + "@" + config] = std::stod(speedup);
-    }
-    fatal_if(speedups.empty(), "no results found in ", path);
-    return speedups;
 }
 
 } // namespace
@@ -232,6 +179,7 @@ main(int argc, char **argv)
 {
     std::string out_path = "BENCH_sim_throughput.json";
     std::string baseline_path;
+    std::string kernel_filter;
     double max_regress = 0.20;
     unsigned repeats = 3;
     for (int i = 1; i < argc; ++i) {
@@ -248,12 +196,27 @@ main(int argc, char **argv)
             max_regress = std::stod(next());
         else if (arg == "--repeats")
             repeats = static_cast<unsigned>(std::stoul(next()));
+        else if (arg == "--kernel")
+            kernel_filter = next();
         else
             fatal("unknown argument ", arg);
     }
 
+    const bool tally_active = mallocTallyActive();
     std::cout << "P2: simulation throughput, reference interpreter "
                  "vs predecoded fast engine\n";
+    if (!tally_active)
+        std::cout << "(allocation tally inactive in this build; "
+                     "alloc counts report 0 and are not gated)\n";
+
+    std::vector<BenchKernel> kernel_set = benchKernels();
+    if (!kernel_filter.empty()) {
+        std::erase_if(kernel_set, [&](const BenchKernel &bench) {
+            return bench.work.name != kernel_filter;
+        });
+        fatal_if(kernel_set.empty(), "--kernel ", kernel_filter,
+                 " matches no bench kernel");
+    }
 
     struct ConfigEntry
     {
@@ -268,9 +231,10 @@ main(int argc, char **argv)
     std::vector<KernelResult> results;
     std::map<std::string, std::vector<double>> group_speedups;
     TextTable table({"kernel", "config", "insts", "ref MIPS",
-                     "fast MIPS", "speedup", "identical"});
+                     "fast MIPS", "speedup", "allocs/run",
+                     "identical"});
     for (const ConfigEntry &entry : configs) {
-        for (const BenchKernel &bench : benchKernels()) {
+        for (const BenchKernel &bench : kernel_set) {
             KernelResult r;
             r.kernel = bench.work.name;
             r.group = bench.group;
@@ -292,7 +256,9 @@ main(int argc, char **argv)
                           std::to_string(r.instructions()),
                           formatDouble(r.reference.mips(), 1),
                           formatDouble(r.fast.mips(), 1),
-                          formatRatio(r.speedup()), "yes"});
+                          formatRatio(r.speedup()),
+                          std::to_string(r.fast.allocsPerRun),
+                          "yes"});
         }
     }
     table.print(std::cout);
@@ -309,15 +275,39 @@ main(int argc, char **argv)
         std::cout << "geomean speedup, " << group << ": "
                   << formatRatio(geomean) << "\n";
 
-    writeJson(out_path, results, group_geomean);
+    benchjson::BenchJson json("sim_throughput", "simulated MIPS");
+    json.setScalar("alloc_tally_active", tally_active);
+    for (const KernelResult &r : results) {
+        json.addResult()
+            .str("kernel", r.kernel)
+            .str("config", r.config)
+            .str("group", r.group)
+            .integer("instructions", r.instructions())
+            .num("reference_mips", r.reference.mips(), 3)
+            .num("fast_mips", r.fast.mips(), 3)
+            .num("speedup", r.speedup(), 3)
+            .integer("allocs_per_run", r.fast.allocsPerRun)
+            .integer("bytes_per_run", r.fast.bytesPerRun);
+    }
+    for (const auto &[group, geomean] : group_geomean)
+        json.setGroup(group, geomean);
+    json.write(out_path);
     std::cout << "wrote " << out_path << "\n";
 
     if (!baseline_path.empty()) {
         std::map<std::string, double> baseline =
-            loadBaseline(baseline_path);
+            benchjson::loadBaseline(baseline_path,
+                                    {"kernel", "config"}, "speedup");
+        fatal_if(baseline.empty(), "no results found in ",
+                 baseline_path);
+        std::map<std::string, double> baseline_allocs =
+            benchjson::loadBaseline(baseline_path,
+                                    {"kernel", "config"},
+                                    "allocs_per_run");
         bool regressed = false;
         for (const KernelResult &r : results) {
-            auto it = baseline.find(r.kernel + "@" + r.config);
+            std::string key = r.kernel + "@" + r.config;
+            auto it = baseline.find(key);
             if (it == baseline.end())
                 continue;  // new kernel: no baseline yet
             double floor = it->second * (1.0 - max_regress);
@@ -331,12 +321,30 @@ main(int argc, char **argv)
                           << "%\n";
                 regressed = true;
             }
+            // The allocation gate is exact, not percentage-based:
+            // the committed counts are zero, and any new steady-state
+            // allocation is a structural regression, not noise.
+            auto alloc_it = baseline_allocs.find(key);
+            if (tally_active && alloc_it != baseline_allocs.end() &&
+                static_cast<double>(r.fast.allocsPerRun) >
+                    alloc_it->second) {
+                std::cerr << "REGRESSION: " << r.kernel << "@"
+                          << r.config << " performs "
+                          << r.fast.allocsPerRun
+                          << " steady-state allocations per run, "
+                             "baseline "
+                          << alloc_it->second << "\n";
+                regressed = true;
+            }
         }
         if (regressed)
             return 1;
         std::cout << "regression gate passed against "
                   << baseline_path << " (max regress "
-                  << formatDouble(max_regress * 100.0, 0) << "%)\n";
+                  << formatDouble(max_regress * 100.0, 0)
+                  << "%, steady-state allocs gated: "
+                  << (tally_active ? "yes" : "no (tally inactive)")
+                  << ")\n";
     }
     return 0;
 }

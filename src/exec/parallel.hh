@@ -27,8 +27,26 @@
 #include <vector>
 
 #include "exec/threadpool.hh"
+#include "util/arena.hh"
 
 namespace gemstone::exec {
+
+/**
+ * Per-worker scratch arena for task bodies. A thin alias over
+ * gemstone::threadArena(): each ThreadPool worker (and the caller,
+ * in inline serial mode) owns one arena for the lifetime of its
+ * thread. Task bodies that need warm reusable state — pooled
+ * simulation models, per-index scratch tables — carve it from here
+ * instead of the heap, so a steady-state parallelFor sweep performs
+ * no allocations and no cross-worker allocator contention. The arena
+ * is never reset by the pool; owners of carved state reset that
+ * state in place (e.g. ClusterModel::reset()).
+ */
+inline Arena &
+workerArena()
+{
+    return threadArena();
+}
 
 /**
  * Run fn(i) for every i in [0, count) on the given pool and block

@@ -6,8 +6,10 @@
 #include "hwsim/platform.hh"
 
 #include <algorithm>
+#include <vector>
 
 #include "mlstat/descriptive.hh"
+#include "util/arena.hh"
 #include "util/cancellation.hh"
 #include "util/logging.hh"
 #include "util/strutil.hh"
@@ -257,6 +259,45 @@ boardCoefficients(PowerCoefficients base, std::uint64_t seed,
     return perturbCoefficients(base, rng, variation);
 }
 
+/**
+ * Thread-local pool of warm cluster models, keyed by cluster shape
+ * and workload memory size. Each model carves its tables from the
+ * thread's arena (threadArena()), so a campaign thread builds a
+ * given (cluster, memBytes) model exactly once; every later base run
+ * reuses it through reset() + memory().clear(), which restores
+ * bit-identical fresh-model state without touching the heap
+ * (enforced by tests/exec_fastpath_test.cc). The engine selection is
+ * re-applied on reuse because a freshly constructed model reads the
+ * process-wide default at construction time.
+ */
+uarch::ClusterModel &
+pooledModel(CpuCluster cluster, std::uint64_t mem_bytes)
+{
+    struct PoolEntry
+    {
+        CpuCluster cluster;
+        std::uint64_t memBytes;
+        std::unique_ptr<uarch::ClusterModel> model;
+    };
+    thread_local std::vector<PoolEntry> pool;
+    for (PoolEntry &entry : pool) {
+        if (entry.cluster == cluster && entry.memBytes == mem_bytes) {
+            entry.model->reset();
+            entry.model->memory().clear();
+            entry.model->setExecEngine(uarch::defaultExecEngine());
+            return *entry.model;
+        }
+    }
+    uarch::ClusterConfig config = cluster == CpuCluster::LittleA7
+        ? trueLittleConfig()
+        : trueBigConfig();
+    config.memBytes = mem_bytes;
+    pool.push_back({cluster, mem_bytes,
+                    std::make_unique<uarch::ClusterModel>(
+                        config, &threadArena())});
+    return *pool.back().model;
+}
+
 } // namespace
 
 OdroidXu3Platform::OdroidXu3Platform(std::uint64_t seed,
@@ -317,15 +358,11 @@ OdroidXu3Platform::baseRun(const workload::Workload &work,
     // seconds); the once-flag makes concurrent first callers agree
     // on a single run.
     std::call_once(slot->once, [&] {
-        uarch::ClusterConfig config = cluster == CpuCluster::LittleA7
-            ? trueLittleConfig()
-            : trueBigConfig();
-        config.memBytes =
+        std::uint64_t mem_bytes =
             std::max<std::uint64_t>(work.memBytes, 64 * 1024);
-
-        uarch::ClusterModel model(config);
+        uarch::ClusterModel &model = pooledModel(cluster, mem_bytes);
         work.prepareMemory(model.memory());
-        slot->run = model.run(work.program, work.numThreads, 1.0);
+        model.runInto(work.program, work.numThreads, 1.0, slot->run);
     });
     return slot;
 }

@@ -10,11 +10,12 @@
  * instruction. Because the switch and the table share one definition
  * per opcode, the two dispatch mechanisms cannot drift semantically.
  *
- * Only handlers that touch nothing but CpuState/DecodedOp/OpOutcome
- * (plus progSize for indirect-target wrapping) live here; the
- * memory, exclusive and halt handlers stay private to predecode.cc —
- * inlining them buys nothing because their cost is in the Memory and
- * monitor calls.
+ * The register-only handlers live here, and so do the plain memory
+ * handlers: Memory::read/write and the monitor's observeStore have
+ * inline fast paths of their own, so expanding Ldr/Str inside the
+ * engine loop collapses a simulated load into a masked memcpy with no
+ * calls at all. Only the exclusive and halt handlers stay private to
+ * predecode.cc — they are rare and their cost is in the monitor.
  */
 
 #ifndef GEMSTONE_ISA_HANDLERS_HH
@@ -263,6 +264,87 @@ execVmul(const DecodedOp &d, CpuState &s, const ExecEnv &, OpOutcome &)
     s.fpRegs[(d.rd + 1) % numFpRegs] =
         s.fpRegs[(d.rn + 1) % numFpRegs] *
         s.fpRegs[(d.rm + 1) % numFpRegs];
+}
+
+// ---------------------------------------------------------------------
+// Memory.
+// ---------------------------------------------------------------------
+
+inline std::uint64_t
+effectiveAddress(std::int64_t base, std::int64_t offset)
+{
+    return static_cast<std::uint64_t>(base) +
+           static_cast<std::uint64_t>(offset);
+}
+
+inline void
+execLdr(const DecodedOp &d, CpuState &s, const ExecEnv &env,
+        OpOutcome &out)
+{
+    std::uint64_t addr =
+        env.mem->mask(effectiveAddress(s.intRegs[d.rn], d.imm));
+    s.intRegs[d.rd] = static_cast<std::int64_t>(env.mem->read(addr, 8));
+    out.memAddr = addr;
+    out.unaligned = (addr & 7) != 0;
+}
+
+inline void
+execStr(const DecodedOp &d, CpuState &s, const ExecEnv &env,
+        OpOutcome &out)
+{
+    std::uint64_t addr =
+        env.mem->mask(effectiveAddress(s.intRegs[d.rn], d.imm));
+    env.mem->write(addr, static_cast<std::uint64_t>(s.intRegs[d.rd]), 8);
+    env.monitor->observeStore(env.threadId, addr);
+    out.memAddr = addr;
+    out.unaligned = (addr & 7) != 0;
+}
+
+inline void
+execLdrb(const DecodedOp &d, CpuState &s, const ExecEnv &env,
+         OpOutcome &out)
+{
+    std::uint64_t addr =
+        env.mem->mask(effectiveAddress(s.intRegs[d.rn], d.imm));
+    s.intRegs[d.rd] = static_cast<std::int64_t>(env.mem->read(addr, 1));
+    out.memAddr = addr;
+}
+
+inline void
+execStrb(const DecodedOp &d, CpuState &s, const ExecEnv &env,
+         OpOutcome &out)
+{
+    std::uint64_t addr =
+        env.mem->mask(effectiveAddress(s.intRegs[d.rn], d.imm));
+    env.mem->write(addr, static_cast<std::uint64_t>(s.intRegs[d.rd]), 1);
+    env.monitor->observeStore(env.threadId, addr);
+    out.memAddr = addr;
+}
+
+inline void
+execFldr(const DecodedOp &d, CpuState &s, const ExecEnv &env,
+         OpOutcome &out)
+{
+    std::uint64_t addr =
+        env.mem->mask(effectiveAddress(s.intRegs[d.rn], d.imm));
+    std::uint64_t bits = env.mem->read(addr, 8);
+    std::memcpy(&s.fpRegs[d.rd], &bits, sizeof(double));
+    out.memAddr = addr;
+    out.unaligned = (addr & 7) != 0;
+}
+
+inline void
+execFstr(const DecodedOp &d, CpuState &s, const ExecEnv &env,
+         OpOutcome &out)
+{
+    std::uint64_t addr =
+        env.mem->mask(effectiveAddress(s.intRegs[d.rn], d.imm));
+    std::uint64_t bits;
+    std::memcpy(&bits, &s.fpRegs[d.rd], sizeof(double));
+    env.mem->write(addr, bits, 8);
+    env.monitor->observeStore(env.threadId, addr);
+    out.memAddr = addr;
+    out.unaligned = (addr & 7) != 0;
 }
 
 // ---------------------------------------------------------------------

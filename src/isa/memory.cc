@@ -21,7 +21,7 @@ Memory::Memory(std::uint64_t size_bytes)
 }
 
 std::uint64_t
-Memory::read(std::uint64_t addr, unsigned size)
+Memory::readSlow(std::uint64_t addr, unsigned size)
 {
     panic_if(size != 1 && size != 8, "unsupported access size ", size);
     std::uint64_t value = 0;
@@ -32,7 +32,8 @@ Memory::read(std::uint64_t addr, unsigned size)
 }
 
 void
-Memory::write(std::uint64_t addr, std::uint64_t value, unsigned size)
+Memory::writeSlow(std::uint64_t addr, std::uint64_t value,
+                  unsigned size)
 {
     panic_if(size != 1 && size != 8, "unsupported access size ", size);
     for (unsigned i = 0; i < size; ++i)
@@ -51,12 +52,15 @@ ExclusiveMonitor::reset()
 {
     for (auto &slot : slots)
         slot.valid = false;
+    validCount = 0;
 }
 
 void
 ExclusiveMonitor::setReservation(unsigned thread_id, std::uint64_t addr)
 {
     panic_if(thread_id >= maxThreads, "thread id out of range");
+    if (!slots[thread_id].valid)
+        ++validCount;
     slots[thread_id] = {true, addr};
 }
 
@@ -68,6 +72,7 @@ ExclusiveMonitor::tryStore(unsigned thread_id, std::uint64_t addr)
     if (!slot.valid || slot.addr != addr)
         return false;
     slot.valid = false;
+    --validCount;
     // A successful exclusive store also invalidates everyone else's
     // reservation on the same address.
     observeStore(thread_id, addr);
@@ -75,15 +80,16 @@ ExclusiveMonitor::tryStore(unsigned thread_id, std::uint64_t addr)
 }
 
 void
-ExclusiveMonitor::observeStore(unsigned thread_id, std::uint64_t addr)
+ExclusiveMonitor::observeStoreSlow(std::uint64_t addr)
 {
     // A plain store clears every reservation on that address,
     // including the storing thread's own (matching the common ARM
     // implementation choice).
-    (void)thread_id;
     for (auto &slot : slots) {
-        if (slot.valid && slot.addr == addr)
+        if (slot.valid && slot.addr == addr) {
             slot.valid = false;
+            --validCount;
+        }
     }
 }
 

@@ -6,7 +6,9 @@
 #ifndef GEMSTONE_ISA_MEMORY_HH
 #define GEMSTONE_ISA_MEMORY_HH
 
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 namespace gemstone::isa {
@@ -32,11 +34,47 @@ class Memory
         return addr & addrMask;
     }
 
-    /** Read an unsigned little-endian value of 1 or 8 bytes. */
-    std::uint64_t read(std::uint64_t addr, unsigned size);
+    /**
+     * Read an unsigned little-endian value of 1 or 8 bytes.
+     *
+     * Inline fast path: on a little-endian host a non-wrapping 8-byte
+     * access is a single (unaligned) memcpy — byte-for-byte the same
+     * value the generic per-byte loop assembles, which stays in
+     * readSlow() for the wrap-around case and other hosts. Every
+     * simulated load funnels through here, so the loop was one of the
+     * hottest scalar paths in both execution engines.
+     */
+    std::uint64_t read(std::uint64_t addr, unsigned size)
+    {
+        if constexpr (std::endian::native == std::endian::little) {
+            std::uint64_t a = mask(addr);
+            if (size == 8 && a + 8 <= bytes.size()) [[likely]] {
+                std::uint64_t value;
+                std::memcpy(&value, bytes.data() + a, 8);
+                return value;
+            }
+            if (size == 1)
+                return bytes[a];
+        }
+        return readSlow(addr, size);
+    }
 
     /** Write a little-endian value of 1 or 8 bytes. */
-    void write(std::uint64_t addr, std::uint64_t value, unsigned size);
+    void write(std::uint64_t addr, std::uint64_t value, unsigned size)
+    {
+        if constexpr (std::endian::native == std::endian::little) {
+            std::uint64_t a = mask(addr);
+            if (size == 8 && a + 8 <= bytes.size()) [[likely]] {
+                std::memcpy(bytes.data() + a, &value, 8);
+                return;
+            }
+            if (size == 1) {
+                bytes[a] = static_cast<std::uint8_t>(value);
+                return;
+            }
+        }
+        writeSlow(addr, value, size);
+    }
 
     /** Convenience 64-bit accessors. */
     std::uint64_t read64(std::uint64_t addr) { return read(addr, 8); }
@@ -49,6 +87,11 @@ class Memory
     void clear();
 
   private:
+    /** Generic byte loop: wrap-around accesses, size checks. */
+    std::uint64_t readSlow(std::uint64_t addr, unsigned size);
+    void writeSlow(std::uint64_t addr, std::uint64_t value,
+                   unsigned size);
+
     std::vector<std::uint8_t> bytes;
     std::uint64_t addrMask = 0;
 };
@@ -74,8 +117,22 @@ class ExclusiveMonitor
      */
     bool tryStore(unsigned thread_id, std::uint64_t addr);
 
-    /** Invalidate other threads' reservations on a plain store. */
-    void observeStore(unsigned thread_id, std::uint64_t addr);
+    /**
+     * Invalidate other threads' reservations on a plain store.
+     *
+     * Inline early-out: with no live reservation (the common case —
+     * every plain store of every thread calls this) the slot scan is
+     * skipped entirely. validCount tracks the live reservations, so
+     * skipping the scan when it is zero clears exactly the same
+     * (empty) set of slots the scan would.
+     */
+    void observeStore(unsigned thread_id, std::uint64_t addr)
+    {
+        (void)thread_id;
+        if (validCount == 0)
+            return;
+        observeStoreSlow(addr);
+    }
 
     /** True if the thread currently holds a valid reservation. */
     bool holds(unsigned thread_id) const;
@@ -87,7 +144,12 @@ class ExclusiveMonitor
         bool valid = false;
         std::uint64_t addr = 0;
     };
+
+    void observeStoreSlow(std::uint64_t addr);
+
     Reservation slots[maxThreads];
+    /** Number of slots with valid == true. */
+    unsigned validCount = 0;
 };
 
 } // namespace gemstone::isa

@@ -9,10 +9,11 @@
  * defined-wrap integer arithmetic, the divide-by-zero and FP edge
  * rules, and the indirect-branch target wrap.
  *
- * The register-only handlers live in isa/handlers.hh (inline) so the
- * fast engine can expand them inside its loop; the table below takes
- * their addresses, so both dispatch mechanisms share one definition.
- * Only the memory, exclusive and halt handlers are defined here.
+ * The register-only and plain memory handlers live in isa/handlers.hh
+ * (inline) so the fast engine can expand them inside its loop; the
+ * table below takes their addresses, so both dispatch mechanisms share
+ * one definition. Only the exclusive and halt handlers are defined
+ * here.
  */
 
 #include "isa/predecode.hh"
@@ -20,6 +21,9 @@
 #include "isa/handlers.hh"
 
 #include <cstring>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
 
 #include "isa/program.hh"
 #include "util/logging.hh"
@@ -29,87 +33,6 @@ namespace gemstone::isa {
 using namespace handlers;
 
 namespace {
-
-std::uint64_t
-effectiveAddress(std::int64_t base, std::int64_t offset)
-{
-    return static_cast<std::uint64_t>(base) +
-           static_cast<std::uint64_t>(offset);
-}
-
-// ---------------------------------------------------------------------
-// Memory.
-// ---------------------------------------------------------------------
-
-void
-execLdr(const DecodedOp &d, CpuState &s, const ExecEnv &env,
-        OpOutcome &out)
-{
-    std::uint64_t addr =
-        env.mem->mask(effectiveAddress(s.intRegs[d.rn], d.imm));
-    s.intRegs[d.rd] = static_cast<std::int64_t>(env.mem->read(addr, 8));
-    out.memAddr = addr;
-    out.unaligned = (addr & 7) != 0;
-}
-
-void
-execStr(const DecodedOp &d, CpuState &s, const ExecEnv &env,
-        OpOutcome &out)
-{
-    std::uint64_t addr =
-        env.mem->mask(effectiveAddress(s.intRegs[d.rn], d.imm));
-    env.mem->write(addr, static_cast<std::uint64_t>(s.intRegs[d.rd]), 8);
-    env.monitor->observeStore(env.threadId, addr);
-    out.memAddr = addr;
-    out.unaligned = (addr & 7) != 0;
-}
-
-void
-execLdrb(const DecodedOp &d, CpuState &s, const ExecEnv &env,
-         OpOutcome &out)
-{
-    std::uint64_t addr =
-        env.mem->mask(effectiveAddress(s.intRegs[d.rn], d.imm));
-    s.intRegs[d.rd] = static_cast<std::int64_t>(env.mem->read(addr, 1));
-    out.memAddr = addr;
-}
-
-void
-execStrb(const DecodedOp &d, CpuState &s, const ExecEnv &env,
-         OpOutcome &out)
-{
-    std::uint64_t addr =
-        env.mem->mask(effectiveAddress(s.intRegs[d.rn], d.imm));
-    env.mem->write(addr, static_cast<std::uint64_t>(s.intRegs[d.rd]), 1);
-    env.monitor->observeStore(env.threadId, addr);
-    out.memAddr = addr;
-}
-
-void
-execFldr(const DecodedOp &d, CpuState &s, const ExecEnv &env,
-         OpOutcome &out)
-{
-    std::uint64_t addr =
-        env.mem->mask(effectiveAddress(s.intRegs[d.rn], d.imm));
-    std::uint64_t bits = env.mem->read(addr, 8);
-    std::memcpy(&s.fpRegs[d.rd], &bits, sizeof(double));
-    out.memAddr = addr;
-    out.unaligned = (addr & 7) != 0;
-}
-
-void
-execFstr(const DecodedOp &d, CpuState &s, const ExecEnv &env,
-         OpOutcome &out)
-{
-    std::uint64_t addr =
-        env.mem->mask(effectiveAddress(s.intRegs[d.rn], d.imm));
-    std::uint64_t bits;
-    std::memcpy(&bits, &s.fpRegs[d.rd], sizeof(double));
-    env.mem->write(addr, bits, 8);
-    env.monitor->observeStore(env.threadId, addr);
-    out.memAddr = addr;
-    out.unaligned = (addr & 7) != 0;
-}
 
 // ---------------------------------------------------------------------
 // Synchronisation.
@@ -289,6 +212,123 @@ PredecodedProgram::PredecodedProgram(const Program &program)
         }
         blockList.push_back({i, end - i});
     }
+}
+
+namespace {
+
+/**
+ * FNV-1a over the semantic fields of every instruction. Hashing the
+ * fields (not the struct bytes) keeps padding out of the key.
+ */
+std::uint64_t
+hashProgramCode(const Program &program)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ULL;
+    };
+    mix(program.code.size());
+    for (const Inst &inst : program.code) {
+        mix(static_cast<std::uint64_t>(inst.op));
+        mix(inst.rd);
+        mix(inst.rn);
+        mix(inst.rm);
+        mix(static_cast<std::uint64_t>(inst.imm));
+        mix(inst.target);
+    }
+    return h;
+}
+
+/**
+ * Exact verification that @p pre is the predecode of @p program:
+ * every cached micro-op must equal a fresh decode of the matching
+ * instruction. DecodedOp preserves the full Inst content plus
+ * opcode-table constants, so field equality here implies the block
+ * structure (derived purely from the uops) matches too.
+ */
+bool
+matchesProgram(const PredecodedProgram &pre, const Program &program)
+{
+    if (pre.size() != program.code.size())
+        return false;
+    const DecodedOp *cached = pre.uopData();
+    for (std::uint32_t i = 0; i < pre.size(); ++i) {
+        DecodedOp d = decodeInst(program.code[i]);
+        const DecodedOp &c = cached[i];
+        if (d.fn != c.fn || d.imm != c.imm || d.target != c.target ||
+            d.flags != c.flags || d.op != c.op || d.cls != c.cls ||
+            d.rd != c.rd || d.rn != c.rn || d.rm != c.rm ||
+            d.memSize != c.memSize) {
+            return false;
+        }
+    }
+    return true;
+}
+
+struct PredecodeCache
+{
+    std::mutex mutex;
+    std::unordered_map<std::uint64_t,
+                       std::shared_ptr<const PredecodedProgram>>
+        byHash;
+    std::deque<std::uint64_t> insertionOrder;  //!< for eviction
+};
+
+/**
+ * Leaked singleton: serving daemons predecode from many threads up
+ * to process exit, so the cache must outlive every static-destructor
+ * ordering.
+ */
+PredecodeCache &
+predecodeCache()
+{
+    static PredecodeCache *cache = new PredecodeCache();
+    return *cache;
+}
+
+/** Distinct workloads alive per process stay far below this. */
+constexpr std::size_t predecodeCacheCap = 256;
+
+} // namespace
+
+std::shared_ptr<const PredecodedProgram>
+predecodeCached(const Program &program)
+{
+    std::uint64_t key = hashProgramCode(program);
+    PredecodeCache &cache = predecodeCache();
+
+    {
+        std::lock_guard<std::mutex> lock(cache.mutex);
+        auto it = cache.byHash.find(key);
+        if (it != cache.byHash.end() &&
+            matchesProgram(*it->second, program)) {
+            return it->second;
+        }
+    }
+
+    // Build outside the lock: predecode is linear but not free, and
+    // concurrent misses on *different* programs shouldn't serialise.
+    auto built =
+        std::make_shared<const PredecodedProgram>(program);
+
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    auto [it, inserted] = cache.byHash.try_emplace(key, built);
+    if (!inserted) {
+        // Either a concurrent build won the race (same content —
+        // either copy is fine) or the rare hash collision: replace,
+        // so the latest program wins and verification stays correct.
+        if (matchesProgram(*it->second, program))
+            return it->second;
+        it->second = built;
+        return built;
+    }
+    cache.insertionOrder.push_back(key);
+    if (cache.insertionOrder.size() > predecodeCacheCap) {
+        cache.byHash.erase(cache.insertionOrder.front());
+        cache.insertionOrder.pop_front();
+    }
+    return built;
 }
 
 } // namespace gemstone::isa

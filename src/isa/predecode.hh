@@ -23,6 +23,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "isa/executor.hh"
@@ -195,6 +196,29 @@ class PredecodedProgram
     std::vector<std::uint32_t> stretchEnd;
     std::vector<BasicBlock> blockList;
 };
+
+/**
+ * Content-addressed predecode cache.
+ *
+ * Returns a shared, immutable PredecodedProgram for @p program,
+ * keyed by the program's *content* (an FNV-1a hash over the semantic
+ * fields of every instruction — never the struct bytes, which contain
+ * padding). Repeated runs of the same workload — across configs,
+ * OPPs, engines and models — share one flattening instead of
+ * re-deriving it per run: a steady-state hit is a map lookup plus a
+ * shared_ptr copy, with zero heap allocations.
+ *
+ * Hash collisions cannot corrupt results: on a hit the cached entry
+ * is verified field-by-field against a fresh decode of @p program
+ * (O(n) compares, far cheaper than rebuilding the block structure),
+ * and a mismatch falls back to building a fresh entry.
+ *
+ * Thread-safe; the cache is process-wide and capped (oldest entries
+ * evicted), so long-lived serving daemons cannot grow it without
+ * bound.
+ */
+std::shared_ptr<const PredecodedProgram>
+predecodeCached(const Program &program);
 
 } // namespace gemstone::isa
 

@@ -8,6 +8,8 @@
 
 #include "uarch/branch.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace gemstone::uarch {
@@ -25,7 +27,8 @@ BranchStats::accuracy() const
 // TournamentBp
 // ---------------------------------------------------------------------
 
-TournamentBp::TournamentBp(const TournamentBpConfig &config)
+TournamentBp::TournamentBp(const TournamentBpConfig &config,
+                           Arena *arena)
     : cfg(config)
 {
     localIdx.init(cfg.localEntries);
@@ -34,19 +37,28 @@ TournamentBp::TournamentBp(const TournamentBpConfig &config)
     btbIdx.init(cfg.btbEntries);
     rasIdx.init(cfg.rasEntries);
     indirectIdx.init(cfg.indirectEntries);
+    if (!arena)
+        arena = &ownArena.emplace();
+    localTable = arena->allocArray<std::uint8_t>(cfg.localEntries);
+    globalTable = arena->allocArray<std::uint8_t>(cfg.globalEntries);
+    chooserTable = arena->allocArray<std::uint8_t>(cfg.chooserEntries);
+    localHistory = arena->allocArray<std::uint16_t>(cfg.localEntries);
+    btb = arena->allocArray<BtbEntry>(cfg.btbEntries);
+    ras = arena->allocArray<std::uint32_t>(cfg.rasEntries);
+    indirectTable = arena->allocArray<BtbEntry>(cfg.indirectEntries);
     reset();
 }
 
 void
 TournamentBp::reset()
 {
-    localTable.assign(cfg.localEntries, 1);
-    globalTable.assign(cfg.globalEntries, 1);
-    chooserTable.assign(cfg.chooserEntries, 1);
-    localHistory.assign(cfg.localEntries, 0);
-    btb.assign(cfg.btbEntries, BtbEntry());
-    ras.assign(cfg.rasEntries, 0);
-    indirectTable.assign(cfg.indirectEntries, BtbEntry());
+    std::fill_n(localTable, cfg.localEntries, std::uint8_t(1));
+    std::fill_n(globalTable, cfg.globalEntries, std::uint8_t(1));
+    std::fill_n(chooserTable, cfg.chooserEntries, std::uint8_t(1));
+    std::fill_n(localHistory, cfg.localEntries, std::uint16_t(0));
+    std::fill_n(btb, cfg.btbEntries, BtbEntry());
+    std::fill_n(ras, cfg.rasEntries, std::uint32_t(0));
+    std::fill_n(indirectTable, cfg.indirectEntries, BtbEntry());
     rasTop = 0;
     rasDepth = 0;
     globalHistory = 0;
@@ -57,13 +69,19 @@ TournamentBp::reset()
 // GshareBp
 // ---------------------------------------------------------------------
 
-GshareBp::GshareBp(const GshareBpConfig &config) : cfg(config)
+GshareBp::GshareBp(const GshareBpConfig &config, Arena *arena)
+    : cfg(config)
 {
     fatal_if(cfg.version != 1 && cfg.version != 2,
              "GshareBp version must be 1 or 2, got ", cfg.version);
     tableIdx.init(cfg.tableEntries);
     btbIdx.init(cfg.btbEntries);
     rasIdx.init(cfg.rasEntries);
+    if (!arena)
+        arena = &ownArena.emplace();
+    table = arena->allocArray<std::uint8_t>(cfg.tableEntries);
+    btb = arena->allocArray<BtbEntry>(cfg.btbEntries);
+    ras = arena->allocArray<std::uint32_t>(cfg.rasEntries);
     reset();
 }
 
@@ -76,7 +94,7 @@ GshareBp::reset()
     // executing branch never trains, so this fraction controls how
     // often a storm lookup is wrong on taken-dominated code — and
     // therefore how long storms sustain themselves.
-    table.assign(cfg.tableEntries, 2);
+    std::fill_n(table, cfg.tableEntries, std::uint8_t(2));
     for (std::uint32_t i = 0; i < cfg.tableEntries; ++i) {
         std::uint32_t h = (i * 2654435761u) >> 13;
         if (h % 100 < static_cast<std::uint32_t>(
@@ -84,8 +102,8 @@ GshareBp::reset()
             table[i] = 1;
         }
     }
-    btb.assign(cfg.btbEntries, BtbEntry());
-    ras.assign(cfg.rasEntries, 0);
+    std::fill_n(btb, cfg.btbEntries, BtbEntry());
+    std::fill_n(ras, cfg.rasEntries, std::uint32_t(0));
     rasTop = 0;
     rasDepth = 0;
     specHistory = 0;

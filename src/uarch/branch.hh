@@ -25,8 +25,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
-#include <vector>
+
+#include "util/arena.hh"
 
 namespace gemstone::uarch {
 
@@ -214,7 +216,12 @@ struct TournamentBpConfig
 class TournamentBp final : public BranchPredictor
 {
   public:
-    explicit TournamentBp(const TournamentBpConfig &config = {});
+    /**
+     * @param arena arena for the prediction tables; nullptr means the
+     *        predictor owns a private arena
+     */
+    explicit TournamentBp(const TournamentBpConfig &config = {},
+                          Arena *arena = nullptr);
 
     BranchPrediction predict(std::uint32_t pc,
                              const BranchInfo &info) override;
@@ -234,13 +241,14 @@ class TournamentBp final : public BranchPredictor
     TournamentBpConfig cfg;
     TableIndex localIdx, globalIdx, chooserIdx, btbIdx, rasIdx,
         indirectIdx;
-    std::vector<std::uint8_t> localTable;    //!< 2-bit counters
-    std::vector<std::uint8_t> globalTable;   //!< 2-bit counters
-    std::vector<std::uint8_t> chooserTable;  //!< 2-bit counters
-    std::vector<std::uint16_t> localHistory;
-    std::vector<BtbEntry> btb;
-    std::vector<std::uint32_t> ras;
-    std::vector<BtbEntry> indirectTable;
+    std::optional<Arena> ownArena;        //!< used when arena == nullptr
+    std::uint8_t *localTable = nullptr;   //!< 2-bit counters
+    std::uint8_t *globalTable = nullptr;  //!< 2-bit counters
+    std::uint8_t *chooserTable = nullptr; //!< 2-bit counters
+    std::uint16_t *localHistory = nullptr;
+    BtbEntry *btb = nullptr;
+    std::uint32_t *ras = nullptr;
+    BtbEntry *indirectTable = nullptr;
     std::uint32_t rasTop = 0;
     std::uint32_t rasDepth = 0;
     std::uint64_t globalHistory = 0;
@@ -285,7 +293,12 @@ struct GshareBpConfig
 class GshareBp final : public BranchPredictor
 {
   public:
-    explicit GshareBp(const GshareBpConfig &config = {});
+    /**
+     * @param arena arena for the prediction tables; nullptr means the
+     *        predictor owns a private arena
+     */
+    explicit GshareBp(const GshareBpConfig &config = {},
+                      Arena *arena = nullptr);
 
     BranchPrediction predict(std::uint32_t pc,
                              const BranchInfo &info) override;
@@ -306,9 +319,10 @@ class GshareBp final : public BranchPredictor
 
     GshareBpConfig cfg;
     TableIndex tableIdx, btbIdx, rasIdx;
-    std::vector<std::uint8_t> table;  //!< 2-bit counters
-    std::vector<BtbEntry> btb;
-    std::vector<std::uint32_t> ras;
+    std::optional<Arena> ownArena;  //!< used when arena == nullptr
+    std::uint8_t *table = nullptr;  //!< 2-bit counters
+    BtbEntry *btb = nullptr;
+    std::uint32_t *ras = nullptr;
     std::uint32_t rasTop = 0;
     std::uint32_t rasDepth = 0;
     /** Speculative history, advanced at predict time. */

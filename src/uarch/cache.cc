@@ -5,14 +5,18 @@
 
 #include "uarch/cache.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "util/logging.hh"
 
 namespace gemstone::uarch {
 
-Cache::Cache(const CacheConfig &config, MemLevel *parent)
-    : cacheConfig(config), parentLevel(parent)
+Cache::Cache(const CacheConfig &config, MemLevel *parent,
+             Arena *arena)
+    : cacheConfig(config), parentLevel(parent),
+      parentCache(dynamic_cast<Cache *>(parent)),
+      parentDram(dynamic_cast<Dram *>(parent))
 {
     fatal_if(config.lineBytes == 0 ||
                  (config.lineBytes & (config.lineBytes - 1)) != 0,
@@ -28,96 +32,47 @@ Cache::Cache(const CacheConfig &config, MemLevel *parent)
     lineShift = static_cast<std::uint32_t>(
         std::countr_zero(config.lineBytes));
     setShift = static_cast<std::uint32_t>(std::countr_zero(setCount));
-    lines.assign(static_cast<std::size_t>(setCount) * config.assoc,
-                 Line());
-    mruWay.assign(setCount, 0);
-}
 
-Cache::Line *
-Cache::findLine(std::uint64_t line_address)
-{
-    std::uint32_t set =
-        static_cast<std::uint32_t>(line_address) & (setCount - 1);
-    std::uint64_t tag = line_address >> setShift;
-    Line *base = &lines[static_cast<std::size_t>(set) *
-                        cacheConfig.assoc];
-    Line &hinted = base[mruWay[set]];
-    if (hinted.valid && hinted.tag == tag)
-        return &hinted;
-    for (std::uint32_t way = 0; way < cacheConfig.assoc; ++way) {
-        if (base[way].valid && base[way].tag == tag) {
-            mruWay[set] = way;
-            return &base[way];
-        }
+    if (!arena)
+        arena = &ownArena.emplace();
+    std::size_t slots = static_cast<std::size_t>(line_count);
+    tagPlane = arena->allocArray<std::uint64_t>(slots);
+    stampPlane = arena->allocArray<std::uint64_t>(slots);
+    flagPlane = arena->allocArray<std::uint8_t>(slots);
+    mruWay = arena->allocArray<std::uint32_t>(setCount);
+    std::fill_n(tagPlane, slots, kInvalidTag);
+
+    // Probe-hint table (see the member comment): 2x the line count
+    // keeps collisions between resident lines rare. Needs a
+    // power-of-two associativity so a shift recovers the set from a
+    // hinted slot index; otherwise the cache just runs without it.
+    if ((config.assoc & (config.assoc - 1)) == 0) {
+        assocShift = static_cast<std::uint32_t>(
+            std::countr_zero(config.assoc));
+        std::uint32_t probe_slots = std::bit_ceil(line_count * 2u);
+        probeMask = probe_slots - 1;
+        probeHint = arena->allocArray<std::uint32_t>(probe_slots);
+        std::fill_n(probeHint, probe_slots, kNoHint);
     }
-    return nullptr;
-}
-
-const Cache::Line *
-Cache::findLine(std::uint64_t line_address) const
-{
-    return const_cast<Cache *>(this)->findLine(line_address);
-}
-
-bool
-Cache::fill(std::uint64_t line_address, bool dirty, bool prefetched)
-{
-    std::uint32_t set =
-        static_cast<std::uint32_t>(line_address) & (setCount - 1);
-    std::uint64_t tag = line_address >> setShift;
-    Line *base = &lines[static_cast<std::size_t>(set) *
-                        cacheConfig.assoc];
-
-    Line *victim = nullptr;
-    for (std::uint32_t way = 0; way < cacheConfig.assoc; ++way) {
-        if (!base[way].valid) {
-            victim = &base[way];
-            break;
-        }
-        if (!victim || base[way].lruStamp < victim->lruStamp)
-            victim = &base[way];
-    }
-
-    bool dirty_evict = victim->valid && victim->dirty;
-    if (victim->valid)
-        ++cacheStats.evictions;
-    if (dirty_evict) {
-        ++cacheStats.writebacks;
-        if (parentLevel) {
-            // Write the victim back to the next level; the latency of
-            // writebacks is off the critical path and not charged.
-            std::uint64_t victim_addr =
-                ((victim->tag << setShift) + set) << lineShift;
-            parentLevel->access(victim_addr, true, false);
-        }
-    }
-
-    victim->valid = true;
-    victim->dirty = dirty;
-    victim->wasPrefetched = prefetched;
-    victim->tag = tag;
-    victim->lruStamp = ++lruCounter;
-    mruWay[set] = static_cast<std::uint32_t>(victim - base);
-    filledOnce = true;
-    return dirty_evict;
 }
 
 bool
 Cache::probe(std::uint64_t addr) const
 {
-    return findLine(lineAddr(addr)) != nullptr;
+    return const_cast<Cache *>(this)->findSlot(lineAddr(addr)) !=
+           kNoSlot;
 }
 
 bool
 Cache::invalidate(std::uint64_t addr)
 {
-    Line *line = findLine(lineAddr(addr));
-    if (!line)
+    std::size_t slot = findSlot(lineAddr(addr));
+    if (slot == kNoSlot)
         return false;
-    if (line->dirty)
+    if (flagPlane[slot] & kFlagDirty)
         ++cacheStats.writebacks;
-    line->valid = false;
-    line->dirty = false;
+    tagPlane[slot] = kInvalidTag;
+    flagPlane[slot] = 0;
     ++cacheStats.invalidations;
     return true;
 }
@@ -125,13 +80,30 @@ Cache::invalidate(std::uint64_t addr)
 void
 Cache::flush()
 {
-    for (Line &line : lines) {
-        line.valid = false;
-        line.dirty = false;
-        line.wasPrefetched = false;
-    }
+    std::size_t slots =
+        static_cast<std::size_t>(setCount) * cacheConfig.assoc;
+    std::fill_n(tagPlane, slots, kInvalidTag);
+    std::fill_n(flagPlane, slots, std::uint8_t(0));
+    if (probeHint)
+        std::fill_n(probeHint, probeMask + 1, kNoHint);
     lruCounter = 0;
     filledOnce = false;
+}
+
+void
+Cache::reset()
+{
+    flush();
+    // Stale stamps are never consulted (the victim scan reads a
+    // stamp only for valid ways), but zeroing them keeps a reset
+    // cache byte-identical to a fresh one.
+    std::fill_n(stampPlane,
+                static_cast<std::size_t>(setCount) * cacheConfig.assoc,
+                std::uint64_t(0));
+    std::fill_n(mruWay, setCount, std::uint32_t(0));
+    cacheStats.reset();
+    lastStoreMissLine = ~0ULL;
+    storeStreak = 0;
 }
 
 } // namespace gemstone::uarch

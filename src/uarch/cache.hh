@@ -7,14 +7,28 @@
  * correctness is the executor's job); the cache tracks presence,
  * dirtiness and recency to produce hit/miss/writeback *events* and
  * latencies, which is all the methodology needs.
+ *
+ * Hot state is structure-of-arrays in an arena: the tag plane, the
+ * LRU-stamp plane and the dirty/prefetched flag plane are separate
+ * parallel arrays instead of an array of Line structs. A lookup
+ * touches only the tag plane (8 bytes/way instead of a 24-byte
+ * struct), validity is encoded as a tag sentinel so the hit check is
+ * one load + one compare, and the stamp plane is read only by the
+ * victim scan on a miss. The planes live in the owning model's arena
+ * and are rewound in place by reset(), so steady-state reuse performs
+ * zero heap allocations.
  */
 
 #ifndef GEMSTONE_UARCH_CACHE_HH
 #define GEMSTONE_UARCH_CACHE_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
-#include <vector>
+
+#include "uarch/dram.hh"
+#include "uarch/memlevel.hh"
+#include "util/arena.hh"
 
 namespace gemstone::uarch {
 
@@ -63,53 +77,16 @@ struct CacheStats
     void reset() { *this = CacheStats(); }
 };
 
-/** Result of a single cache lookup. */
-struct CacheAccessResult
-{
-    bool hit = false;
-    /**
-     * Latency contribution of this level and below, in *core cycles*
-     * (cache latencies scale with the core clock).
-     */
-    double latency = 0.0;
-    /**
-     * DRAM latency contribution in *nanoseconds* (wall-clock fixed).
-     * The core model converts this to cycles at the current
-     * frequency; keeping the units separate is what makes DVFS
-     * scaling workload-dependent.
-     */
-    double dramNs = 0.0;
-    /** A dirty line was evicted by the fill. */
-    bool causedWriteback = false;
-};
-
-/**
- * Interface for anything that can service a cache fill (next level
- * cache or DRAM).
- */
-class MemLevel
-{
-  public:
-    virtual ~MemLevel() = default;
-
-    /**
-     * Access this level.
-     * @param addr physical byte address
-     * @param write true for stores / writebacks
-     * @param prefetch true when issued by a prefetcher
-     */
-    virtual CacheAccessResult access(std::uint64_t addr, bool write,
-                                     bool prefetch) = 0;
-};
-
 /**
  * One cache level. Chains to a parent MemLevel for misses.
  *
  * final, with access() defined inline below: the L1 instances are
  * concrete members of CoreModel, so its hot paths devirtualise and
  * inline the access, constant-folding the write/prefetch flags at
- * each call site. Misses still reach the next level through the
- * virtual MemLevel interface.
+ * each call site. Misses reach the next level through typed Cache* /
+ * Dram* parent pointers (detected once at construction), so the
+ * whole L1 → L2 → DRAM chain is direct calls too; only unknown
+ * MemLevel subclasses (test doubles) pay the virtual dispatch.
  */
 class Cache final : public MemLevel
 {
@@ -118,8 +95,11 @@ class Cache final : public MemLevel
      * @param config geometry and latency
      * @param parent next level (not owned; may be nullptr for tests,
      *        in which case misses cost only the hit latency)
+     * @param arena arena for the tag/stamp/flag planes; nullptr means
+     *        the cache owns a private arena (standalone/test use)
      */
-    Cache(const CacheConfig &config, MemLevel *parent);
+    Cache(const CacheConfig &config, MemLevel *parent,
+          Arena *arena = nullptr);
 
     CacheAccessResult access(std::uint64_t addr, bool write,
                              bool prefetch) override;
@@ -142,25 +122,44 @@ class Cache final : public MemLevel
         std::uint64_t line_address = addr >> lineShift;
         std::uint32_t set =
             static_cast<std::uint32_t>(line_address) & (setCount - 1);
-        Line &hinted = lines[static_cast<std::size_t>(set) *
-                                 cacheConfig.assoc +
-                             mruWay[set]];
-        if (!hinted.valid || hinted.tag != line_address >> setShift)
+        std::size_t slot = static_cast<std::size_t>(set) *
+                               cacheConfig.assoc +
+                           mruWay[set];
+        // kInvalidTag never equals a real tag, so one compare covers
+        // both the validity and the tag check.
+        if (tagPlane[slot] != line_address >> setShift)
             return false;
         ++cacheStats.accesses;
         ++cacheStats.hits;
         if (write) {
             ++cacheStats.writeAccesses;
-            hinted.dirty = true;
+            flagPlane[slot] |= kFlagDirty;
         } else {
             ++cacheStats.readAccesses;
         }
-        if (hinted.wasPrefetched) {
+        if (flagPlane[slot] & kFlagPrefetched) {
             ++cacheStats.prefetchHits;
-            hinted.wasPrefetched = false;
+            flagPlane[slot] &= ~kFlagPrefetched;
         }
-        hinted.lruStamp = ++lruCounter;
+        stampPlane[slot] = ++lruCounter;
         return true;
+    }
+
+    /**
+     * Pure would-tryHit() check: true iff the MRU-hinted way holds
+     * the line, with no counter/LRU/state change whatsoever. Callers
+     * use it to commit to a composite fast path (e.g. TLB hit + cache
+     * hit) before performing any bookkeeping.
+     */
+    bool peekHit(std::uint64_t addr) const
+    {
+        std::uint64_t line_address = addr >> lineShift;
+        std::uint32_t set =
+            static_cast<std::uint32_t>(line_address) & (setCount - 1);
+        std::size_t slot = static_cast<std::size_t>(set) *
+                               cacheConfig.assoc +
+                           mruWay[set];
+        return tagPlane[slot] == line_address >> setShift;
     }
 
     /** Probe without updating LRU or filling (used by snooping). */
@@ -175,6 +174,14 @@ class Cache final : public MemLevel
 
     /** Drop all lines (between workload runs). */
     void flush();
+
+    /**
+     * Restore freshly-constructed state in place — flush plus stats,
+     * MRU hints and the write-streaming detector — without touching
+     * the heap. A reset cache is indistinguishable from a newly
+     * constructed one.
+     */
+    void reset();
 
     const CacheStats &stats() const { return cacheStats; }
     CacheStats &stats() { return cacheStats; }
@@ -191,14 +198,15 @@ class Cache final : public MemLevel
     std::uint32_t numSets() const { return setCount; }
 
   private:
-    struct Line
-    {
-        bool valid = false;
-        bool dirty = false;
-        bool wasPrefetched = false;
-        std::uint64_t tag = 0;
-        std::uint64_t lruStamp = 0;
-    };
+    /**
+     * Tag sentinel for an invalid way. Simulated addresses are below
+     * 2^31 (data segment ≪ code base 2^30 + image size), so no real
+     * tag can reach ~0.
+     */
+    static constexpr std::uint64_t kInvalidTag = ~0ULL;
+    static constexpr std::size_t kNoSlot = ~static_cast<std::size_t>(0);
+    static constexpr std::uint8_t kFlagDirty = 1 << 0;
+    static constexpr std::uint8_t kFlagPrefetched = 1 << 1;
 
     std::uint64_t lineAddr(std::uint64_t addr) const
     {
@@ -208,17 +216,40 @@ class Cache final : public MemLevel
     /** Fill a line, possibly evicting; returns true on dirty evict. */
     bool fill(std::uint64_t line_address, bool dirty, bool prefetched);
 
-    Line *findLine(std::uint64_t line_address);
-    const Line *findLine(std::uint64_t line_address) const;
+    /**
+     * Locate the slot (set * assoc + way) holding @p line_address, or
+     * kNoSlot. Updates the MRU hint on a non-hinted hit.
+     */
+    std::size_t findSlot(std::uint64_t line_address);
+
+    /** Forward a miss to the parent level through the typed pointer. */
+    CacheAccessResult
+    parentAccess(std::uint64_t addr, bool write, bool prefetch)
+    {
+        if (parentCache)
+            return parentCache->access(addr, write, prefetch);
+        if (parentDram)
+            return parentDram->access(addr, write, prefetch);
+        return parentLevel->access(addr, write, prefetch);
+    }
 
     CacheConfig cacheConfig;
     MemLevel *parentLevel;
+    Cache *parentCache = nullptr; //!< parentLevel, when it is a Cache
+    Dram *parentDram = nullptr;   //!< parentLevel, when it is a Dram
     CacheStats cacheStats;
     std::uint32_t setCount;
     /** log2(lineBytes) / log2(setCount); both are enforced pow2. */
     std::uint32_t lineShift = 0;
     std::uint32_t setShift = 0;
-    std::vector<Line> lines;   //!< setCount x assoc, row-major
+    std::optional<Arena> ownArena;  //!< used when arena == nullptr
+    /**
+     * SoA planes, setCount x assoc row-major. The tag plane doubles
+     * as the validity map (kInvalidTag = invalid way).
+     */
+    std::uint64_t *tagPlane = nullptr;
+    std::uint64_t *stampPlane = nullptr; //!< LRU stamps, valid ways only
+    std::uint8_t *flagPlane = nullptr;   //!< dirty / prefetched bits
     /**
      * Per-set MRU way hint. Pure search accelerator: a lookup probes
      * the hinted way before scanning, which hits almost always on the
@@ -226,7 +257,23 @@ class Cache final : public MemLevel
      * which line is found, so stats, LRU order and hence every event
      * count are identical with or without it.
      */
-    std::vector<std::uint32_t> mruWay;
+    std::uint32_t *mruWay = nullptr;
+    /**
+     * Direct-mapped probe cache: line_address & probeMask -> candidate
+     * slot, verified against the set and tag planes before use (stale
+     * or colliding slots just fall back to the MRU hint / full scan,
+     * and invalidated slots fail the tag check). Like the MRU hint it
+     * is a pure search accelerator. It matters most for the large
+     * associative L2: a pointer-chasing workload revisits lines long
+     * after the per-set MRU hint went stale, turning every lookup
+     * into a full way sweep. Only built when the associativity is a
+     * power of two (the set check needs a shift); all modelled
+     * hardware qualifies.
+     */
+    std::uint32_t *probeHint = nullptr;
+    std::uint32_t probeMask = 0;
+    std::uint32_t assocShift = 0;
+    static constexpr std::uint32_t kNoHint = ~0u;
     std::uint64_t lruCounter = 0;
     bool filledOnce = false;
     /** Write-streaming detector state. */
@@ -259,6 +306,102 @@ class FixedLatencyMemory : public MemLevel
     std::uint64_t accessCount = 0;
 };
 
+inline std::size_t
+Cache::findSlot(std::uint64_t line_address)
+{
+    std::uint32_t set =
+        static_cast<std::uint32_t>(line_address) & (setCount - 1);
+    std::uint64_t tag = line_address >> setShift;
+    std::size_t base =
+        static_cast<std::size_t>(set) * cacheConfig.assoc;
+    if (probeHint) {
+        std::uint32_t probe_slot =
+            static_cast<std::uint32_t>(line_address) & probeMask;
+        std::uint32_t hint = probeHint[probe_slot];
+        // The slot index encodes the set, so set + tag checks fully
+        // identify the line; kNoHint fails the set compare.
+        if ((hint >> assocShift) == set && tagPlane[hint] == tag) {
+            mruWay[set] = hint - static_cast<std::uint32_t>(base);
+            return hint;
+        }
+    }
+    std::size_t hinted = base + mruWay[set];
+    if (tagPlane[hinted] == tag)
+        return hinted;
+    // Branchless sweep, written so the compiler can vectorise it (no
+    // early exit, plain sum/or reductions). A line occupies at most
+    // one way of its set — fill() only runs after findSlot() missed —
+    // so the sum of (eq ? way : 0) is exactly the matching way
+    // whenever any compare hit.
+    std::uint32_t match = 0;
+    bool any = false;
+    for (std::uint32_t way = 0; way < cacheConfig.assoc; ++way) {
+        bool eq = tagPlane[base + way] == tag;
+        any |= eq;
+        match += eq ? way : 0u;
+    }
+    if (!any)
+        return kNoSlot;
+    mruWay[set] = match;
+    std::size_t slot = base + match;
+    if (probeHint) {
+        probeHint[static_cast<std::uint32_t>(line_address) & probeMask] =
+            static_cast<std::uint32_t>(slot);
+    }
+    return slot;
+}
+
+inline bool
+Cache::fill(std::uint64_t line_address, bool dirty, bool prefetched)
+{
+    std::uint32_t set =
+        static_cast<std::uint32_t>(line_address) & (setCount - 1);
+    std::uint64_t tag = line_address >> setShift;
+    std::size_t base =
+        static_cast<std::size_t>(set) * cacheConfig.assoc;
+
+    // Victim: the first invalid way, else the first way with the
+    // minimal LRU stamp (scan order is the tie-break, exactly as the
+    // AoS layout's pointer walk behaved).
+    std::size_t victim = base;
+    for (std::uint32_t way = 0; way < cacheConfig.assoc; ++way) {
+        std::size_t slot = base + way;
+        if (tagPlane[slot] == kInvalidTag) {
+            victim = slot;
+            break;
+        }
+        if (way != 0 && stampPlane[slot] < stampPlane[victim])
+            victim = slot;
+    }
+
+    bool victim_valid = tagPlane[victim] != kInvalidTag;
+    bool dirty_evict = victim_valid && (flagPlane[victim] & kFlagDirty);
+    if (victim_valid)
+        ++cacheStats.evictions;
+    if (dirty_evict) {
+        ++cacheStats.writebacks;
+        if (parentLevel) {
+            // Write the victim back to the next level; the latency of
+            // writebacks is off the critical path and not charged.
+            std::uint64_t victim_addr =
+                ((tagPlane[victim] << setShift) + set) << lineShift;
+            parentAccess(victim_addr, true, false);
+        }
+    }
+
+    tagPlane[victim] = tag;
+    flagPlane[victim] =
+        (dirty ? kFlagDirty : 0) | (prefetched ? kFlagPrefetched : 0);
+    stampPlane[victim] = ++lruCounter;
+    mruWay[set] = static_cast<std::uint32_t>(victim - base);
+    if (probeHint) {
+        probeHint[static_cast<std::uint32_t>(line_address) & probeMask] =
+            static_cast<std::uint32_t>(victim);
+    }
+    filledOnce = true;
+    return dirty_evict;
+}
+
 inline CacheAccessResult
 Cache::access(std::uint64_t addr, bool write, bool prefetch)
 {
@@ -273,18 +416,18 @@ Cache::access(std::uint64_t addr, bool write, bool prefetch)
             ++cacheStats.readAccesses;
     }
 
-    Line *line = findLine(line_address);
-    if (line) {
+    std::size_t slot = findSlot(line_address);
+    if (slot != kNoSlot) {
         if (!prefetch) {
             ++cacheStats.hits;
-            if (line->wasPrefetched) {
+            if (flagPlane[slot] & kFlagPrefetched) {
                 ++cacheStats.prefetchHits;
-                line->wasPrefetched = false;
+                flagPlane[slot] &= ~kFlagPrefetched;
             }
         }
-        line->lruStamp = ++lruCounter;
+        stampPlane[slot] = ++lruCounter;
         if (write)
-            line->dirty = true;
+            flagPlane[slot] |= kFlagDirty;
         result.hit = true;
         result.latency = cacheConfig.hitLatency;
         return result;
@@ -334,7 +477,7 @@ Cache::access(std::uint64_t addr, bool write, bool prefetch)
             --cacheStats.writeMisses;
             CacheAccessResult around;
             if (parentLevel)
-                around = parentLevel->access(addr, true, false);
+                around = parentAccess(addr, true, false);
             around.hit = false;
             // Write-around stores are buffered: neither the next-level
             // cycles nor the DRAM time stall the core.
@@ -350,7 +493,7 @@ Cache::access(std::uint64_t addr, bool write, bool prefetch)
     double below_dram_ns = 0.0;
     if (parentLevel) {
         CacheAccessResult parent_result =
-            parentLevel->access(addr, false, prefetch);
+            parentAccess(addr, false, prefetch);
         below = parent_result.latency;
         below_dram_ns = parent_result.dramNs;
     }
@@ -365,11 +508,11 @@ Cache::access(std::uint64_t addr, bool write, bool prefetch)
         for (std::uint32_t i = 1; i <= cacheConfig.prefetchDegree;
              ++i) {
             std::uint64_t next_line = line_address + i;
-            if (!findLine(next_line)) {
+            if (findSlot(next_line) == kNoSlot) {
                 ++cacheStats.prefetchesIssued;
                 if (parentLevel) {
-                    parentLevel->access(
-                        next_line * cacheConfig.lineBytes, false, true);
+                    parentAccess(next_line * cacheConfig.lineBytes,
+                                 false, true);
                 }
                 fill(next_line, false, true);
             }

@@ -48,20 +48,19 @@ setExecEngineOverride(ExecEngine engine, bool reset)
 }
 
 CoreModel::CoreModel(const CoreConfig &config, ClusterModel &cluster,
-                     unsigned core_id)
+                     unsigned core_id, Arena *arena)
     : coreConfig(config), cluster(cluster), coreId(core_id),
       engine(defaultExecEngine()),
-      l1i(config.l1i, &cluster.l2()), l1d(config.l1d, &cluster.l2())
+      l1i(config.l1i, &cluster.l2(), arena),
+      l1d(config.l1d, &cluster.l2(), arena)
 {
     if (config.bpKind == BpKind::Tournament) {
-        auto tour =
-            std::make_unique<TournamentBp>(config.tournamentConfig);
-        tournamentBp = tour.get();
-        bp = std::move(tour);
+        tournamentBp =
+            &ownTournamentBp.emplace(config.tournamentConfig, arena);
+        bp = tournamentBp;
     } else {
-        auto gshare = std::make_unique<GshareBp>(config.gshareConfig);
-        gshareBp = gshare.get();
-        bp = std::move(gshare);
+        gshareBp = &ownGshareBp.emplace(config.gshareConfig, arena);
+        bp = gshareBp;
     }
 
     // Hoist the per-instruction constants the hot loops would
@@ -89,18 +88,18 @@ CoreModel::CoreModel(const CoreConfig &config, ClusterModel &cluster,
     extra(isa::OpClass::Load, config.latLoadToUse);
 
     if (config.unifiedL2Tlb) {
-        ownL2Tlb = std::make_unique<Tlb>(config.l2TlbUnified);
-        itlb = std::make_unique<TlbHierarchy>(
-            config.itlb, ownL2Tlb.get(), config.pageWalkLatency);
-        dtlb = std::make_unique<TlbHierarchy>(
-            config.dtlb, ownL2Tlb.get(), config.pageWalkLatency);
+        ownL2Tlb.emplace(config.l2TlbUnified, arena);
+        itlb.emplace(config.itlb, &*ownL2Tlb,
+                     config.pageWalkLatency, arena);
+        dtlb.emplace(config.dtlb, &*ownL2Tlb,
+                     config.pageWalkLatency, arena);
     } else {
-        ownL2TlbInstr = std::make_unique<Tlb>(config.l2TlbInstr);
-        ownL2TlbData = std::make_unique<Tlb>(config.l2TlbData);
-        itlb = std::make_unique<TlbHierarchy>(
-            config.itlb, ownL2TlbInstr.get(), config.pageWalkLatency);
-        dtlb = std::make_unique<TlbHierarchy>(
-            config.dtlb, ownL2TlbData.get(), config.pageWalkLatency);
+        ownL2TlbInstr.emplace(config.l2TlbInstr, arena);
+        ownL2TlbData.emplace(config.l2TlbData, arena);
+        itlb.emplace(config.itlb, &*ownL2TlbInstr,
+                     config.pageWalkLatency, arena);
+        dtlb.emplace(config.dtlb, &*ownL2TlbData,
+                     config.pageWalkLatency, arena);
     }
 }
 
@@ -117,14 +116,38 @@ CoreModel::beginProgram(const isa::Program *prog)
     lastDataAddr = 0;
     fetchSlotsLeft = 0;
     ev = EventCounts();
-    // Predecode is cheap relative to a run (linear in the static
-    // program); rebuilding unconditionally avoids any staleness
-    // question when a different Program lands at a reused address.
+    // The shared cache verifies content on every lookup, so a
+    // different Program landing at a reused address can never serve
+    // a stale flattening; a repeated workload costs a hash + compare
+    // instead of a rebuild.
     if (engine == ExecEngine::Fast)
-        predecoded =
-            std::make_unique<isa::PredecodedProgram>(*prog);
+        predecoded = isa::predecodeCached(*prog);
     else
         predecoded.reset();
+}
+
+void
+CoreModel::reset()
+{
+    program = nullptr;
+    cpuState.reset(coreId);
+    predecoded.reset();
+    bp->reset();
+    l1i.reset();
+    l1d.reset();
+    if (ownL2Tlb)
+        ownL2Tlb->reset();
+    if (ownL2TlbInstr)
+        ownL2TlbInstr->reset();
+    if (ownL2TlbData)
+        ownL2TlbData->reset();
+    itlb->reset();
+    dtlb->reset();
+    coreCycles = 0.0;
+    lastFetchLine = ~0ULL;
+    lastDataAddr = 0;
+    fetchSlotsLeft = 0;
+    ev = EventCounts();
 }
 
 double
@@ -240,8 +263,7 @@ CoreModel::runQuantum(std::uint64_t max_insts)
     panic_if(!program, "runQuantum without a program");
     if (engine == ExecEngine::Fast) {
         if (!predecoded)
-            predecoded =
-                std::make_unique<isa::PredecodedProgram>(*program);
+            predecoded = isa::predecodeCached(*program);
         return runQuantumFast(max_insts);
     }
     std::uint64_t executed = 0;
@@ -350,6 +372,25 @@ CoreModel::runQuantumFast(std::uint64_t max_insts)
             if ((fetch_addr >> fetch_line_shift) == last_line &&
                 slots != 0) {
                 --slots;
+            } else if (itlb->peekTranslate(fetch_addr) &&
+                       l1i.peekHit(fetch_addr)) {
+                // Inline I-access hit path. The peeks are pure, so
+                // committing to it performs exactly chargeFetch's
+                // bookkeeping for an ITLB-hit + I-cache-hit access:
+                // the same counters via the same tryTranslate/tryHit
+                // calls (guaranteed to hit after the peeks), and the
+                // lat == dram_ns == 0 additions it would make to
+                // coreCycles and the frontend stall counter are
+                // skipped — adding 0.0 to a non-negative accumulator
+                // is a bit-exact no-op. Hot for every taken branch in
+                // a resident loop: the redirect empties the fetch
+                // group, so each iteration re-accesses the I-side.
+                ++ev.itlbAccesses;
+                (void)itlb->tryTranslate(fetch_addr);
+                (void)l1i.tryHit(fetch_addr, false);
+                last_line = fetch_addr >> fetch_line_shift;
+                std::uint32_t group = coreConfig.fetchGroupInsts;
+                slots = group > 0 ? group - 1 : 0;
             } else {
                 sync_out();
                 chargeFetch(fetch_addr, false);
@@ -372,10 +413,10 @@ CoreModel::runQuantumFast(std::uint64_t max_insts)
 
             // Functional execution. The switch expands the inline
             // definitions from isa/handlers.hh for the register-only
-            // opcodes — the very same functions d.fn points at, so
-            // the two dispatch routes cannot disagree — and falls
-            // back to the table for everything touching memory or
-            // the monitor, where the indirect call is noise anyway.
+            // and plain memory opcodes — the very same functions d.fn
+            // points at, so the two dispatch routes cannot disagree —
+            // and falls back to the table for the rare exclusive /
+            // halt cases, where the indirect call is noise anyway.
             isa::OpOutcome out;
             out.nextPc = pc + 1;
             {
@@ -425,6 +466,16 @@ CoreModel::runQuantumFast(std::uint64_t max_insts)
                     h::execVadd(d, cpuState, env, out); break;
                 case Opcode::Vmul:
                     h::execVmul(d, cpuState, env, out); break;
+                case Opcode::Ldr: h::execLdr(d, cpuState, env, out); break;
+                case Opcode::Str: h::execStr(d, cpuState, env, out); break;
+                case Opcode::Ldrb:
+                    h::execLdrb(d, cpuState, env, out); break;
+                case Opcode::Strb:
+                    h::execStrb(d, cpuState, env, out); break;
+                case Opcode::Fldr:
+                    h::execFldr(d, cpuState, env, out); break;
+                case Opcode::Fstr:
+                    h::execFstr(d, cpuState, env, out); break;
                 case Opcode::B: h::execB(d, cpuState, env, out); break;
                 case Opcode::Beq: h::execBeq(d, cpuState, env, out); break;
                 case Opcode::Bne: h::execBne(d, cpuState, env, out); break;

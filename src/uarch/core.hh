@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "isa/executor.hh"
@@ -182,13 +183,24 @@ class CoreModel
      * @param config timing configuration
      * @param cluster owning cluster (shared L2, DRAM, monitor)
      * @param core_id index within the cluster
+     * @param arena arena for all cache/TLB/predictor tables; nullptr
+     *        means each component owns a private arena
      */
     CoreModel(const CoreConfig &config, ClusterModel &cluster,
-              unsigned core_id);
+              unsigned core_id, Arena *arena = nullptr);
     ~CoreModel();
 
     /** Prepare to run a program from its entry point. */
     void beginProgram(const isa::Program *program);
+
+    /**
+     * Restore freshly-constructed state in place — caches, TLBs,
+     * predictor tables, cycle and event counters — without touching
+     * the heap. A reset core produces bit-identical runs to a newly
+     * constructed one. The engine selection survives (it is runtime
+     * configuration, not run state).
+     */
+    void reset();
 
     /**
      * Execute up to @p max_insts instructions (a scheduling quantum).
@@ -258,8 +270,12 @@ class CoreModel
     const isa::Program *program = nullptr;
     isa::CpuState cpuState;
     ExecEngine engine = ExecEngine::Fast;
-    /** Flattened program for the fast engine (rebuilt per program). */
-    std::unique_ptr<isa::PredecodedProgram> predecoded;
+    /**
+     * Flattened program for the fast engine, shared through the
+     * content-addressed predecode cache (isa::predecodeCached):
+     * repeated runs of the same workload reuse one flattening.
+     */
+    std::shared_ptr<const isa::PredecodedProgram> predecoded;
 
     // Per-config constants hoisted out of the per-instruction path.
     std::uint32_t fetchLineShift = 6;  //!< log2(l1i.lineBytes)
@@ -271,22 +287,25 @@ class CoreModel
     /** extraByClass scaled by depStallFactor (the charged stall). */
     double stallByClass[isa::numOpClasses] = {};
 
-    std::unique_ptr<BranchPredictor> bp;
     /**
-     * Concrete-type views of bp (exactly one is non-null). The hot
-     * paths call predict/update through these so the compiler can
-     * devirtualise and inline (both classes are final with inline
-     * hot methods); same objects, same results.
+     * In-place predictor storage (exactly one is engaged, per
+     * bpKind) with an abstract view for stats consumers. The hot
+     * paths call predict/update through the concrete-type views so
+     * the compiler can devirtualise and inline (both classes are
+     * final with inline hot methods); same objects, same results.
      */
+    std::optional<TournamentBp> ownTournamentBp;
+    std::optional<GshareBp> ownGshareBp;
+    BranchPredictor *bp = nullptr;
     TournamentBp *tournamentBp = nullptr;
     GshareBp *gshareBp = nullptr;
     Cache l1i;
     Cache l1d;
-    std::unique_ptr<Tlb> ownL2Tlb;       //!< unified (hardware shape)
-    std::unique_ptr<Tlb> ownL2TlbInstr;  //!< split (g5 shape)
-    std::unique_ptr<Tlb> ownL2TlbData;
-    std::unique_ptr<TlbHierarchy> itlb;
-    std::unique_ptr<TlbHierarchy> dtlb;
+    std::optional<Tlb> ownL2Tlb;       //!< unified (hardware shape)
+    std::optional<Tlb> ownL2TlbInstr;  //!< split (g5 shape)
+    std::optional<Tlb> ownL2TlbData;
+    std::optional<TlbHierarchy> itlb;
+    std::optional<TlbHierarchy> dtlb;
 
     double coreCycles = 0.0;
     std::uint64_t lastFetchLine = ~0ULL;

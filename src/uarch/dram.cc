@@ -5,54 +5,36 @@
 
 #include "uarch/dram.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace gemstone::uarch {
 
-Dram::Dram(const DramConfig &config) : dramConfig(config)
+Dram::Dram(const DramConfig &config, Arena *arena)
+    : dramConfig(config)
 {
     fatal_if(config.banks == 0 ||
                  (config.banks & (config.banks - 1)) != 0,
              "dram bank count must be a power of two");
     fatal_if(config.rowBytes == 0, "dram row size must be non-zero");
-    openRows.assign(config.banks, -1);
-}
-
-CacheAccessResult
-Dram::access(std::uint64_t addr, bool write, bool prefetch)
-{
-    (void)prefetch;
-    if (write)
-        ++dramStats.writes;
-    else
-        ++dramStats.reads;
-
-    std::uint64_t row = addr / dramConfig.rowBytes;
-    std::uint32_t bank =
-        static_cast<std::uint32_t>(row) & (dramConfig.banks - 1);
-
-    double ns;
-    if (openRows[bank] == static_cast<std::int64_t>(row)) {
-        ++dramStats.rowHits;
-        ns = dramConfig.rowHitNs;
-    } else {
-        ++dramStats.rowMisses;
-        openRows[bank] = static_cast<std::int64_t>(row);
-        ns = dramConfig.rowMissNs;
-    }
-
-    CacheAccessResult result;
-    result.hit = true;
-    result.latency = 0.0;  // all DRAM cost is wall-clock time
-    result.dramNs = ns;
-    return result;
+    if (!arena)
+        arena = &ownArena.emplace(1024);
+    openRows = arena->allocArray<std::int64_t>(config.banks);
+    flush();
 }
 
 void
 Dram::flush()
 {
-    for (auto &row : openRows)
-        row = -1;
+    std::fill_n(openRows, dramConfig.banks, std::int64_t(-1));
+}
+
+void
+Dram::reset()
+{
+    flush();
+    dramStats.reset();
 }
 
 } // namespace gemstone::uarch

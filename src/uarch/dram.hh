@@ -13,9 +13,10 @@
 #define GEMSTONE_UARCH_DRAM_HH
 
 #include <cstdint>
-#include <vector>
+#include <optional>
 
-#include "uarch/cache.hh"
+#include "uarch/memlevel.hh"
+#include "util/arena.hh"
 
 namespace gemstone::uarch {
 
@@ -45,17 +46,58 @@ struct DramStats
 
 /**
  * DRAM channel; terminal MemLevel of every cache hierarchy.
+ *
+ * final, with access() inline: Cache calls it through a typed Dram*
+ * parent pointer, so the whole L2-miss → DRAM path is direct,
+ * inlinable code. The row-buffer table lives in the owner's arena
+ * (or a private one when constructed standalone) and is rewound in
+ * place by reset() between runs.
  */
-class Dram : public MemLevel
+class Dram final : public MemLevel
 {
   public:
-    explicit Dram(const DramConfig &config);
+    /**
+     * @param config geometry and timing
+     * @param arena arena for the open-row table; nullptr means the
+     *        model owns a private arena
+     */
+    explicit Dram(const DramConfig &config, Arena *arena = nullptr);
 
-    CacheAccessResult access(std::uint64_t addr, bool write,
-                             bool prefetch) override;
+    CacheAccessResult
+    access(std::uint64_t addr, bool write, bool prefetch) override
+    {
+        (void)prefetch;
+        if (write)
+            ++dramStats.writes;
+        else
+            ++dramStats.reads;
+
+        std::uint64_t row = addr / dramConfig.rowBytes;
+        std::uint32_t bank =
+            static_cast<std::uint32_t>(row) & (dramConfig.banks - 1);
+
+        double ns;
+        if (openRows[bank] == static_cast<std::int64_t>(row)) {
+            ++dramStats.rowHits;
+            ns = dramConfig.rowHitNs;
+        } else {
+            ++dramStats.rowMisses;
+            openRows[bank] = static_cast<std::int64_t>(row);
+            ns = dramConfig.rowMissNs;
+        }
+
+        CacheAccessResult result;
+        result.hit = true;
+        result.latency = 0.0;  // all DRAM cost is wall-clock time
+        result.dramNs = ns;
+        return result;
+    }
 
     /** Close all row buffers (between runs). */
     void flush();
+
+    /** Restore freshly-constructed state in place: flush + stats. */
+    void reset();
 
     const DramStats &stats() const { return dramStats; }
     const DramConfig &config() const { return dramConfig; }
@@ -63,7 +105,8 @@ class Dram : public MemLevel
   private:
     DramConfig dramConfig;
     DramStats dramStats;
-    std::vector<std::int64_t> openRows;  //!< -1 = closed
+    std::optional<Arena> ownArena;       //!< used when arena == nullptr
+    std::int64_t *openRows = nullptr;    //!< banks entries, -1 = closed
 };
 
 } // namespace gemstone::uarch

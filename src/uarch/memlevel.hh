@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The memory-hierarchy access interface shared by caches and DRAM.
+ *
+ * Split out of cache.hh so that dram.hh can define its (inline)
+ * access path against MemLevel while cache.hh includes dram.hh —
+ * Cache dispatches misses through typed Cache / Dram parent pointers
+ * (detected once at construction) so the L1 -> L2 -> DRAM chain is
+ * direct calls the compiler can inline, with the virtual interface
+ * kept only as the fallback for test doubles.
+ */
+
+#ifndef GEMSTONE_UARCH_MEMLEVEL_HH
+#define GEMSTONE_UARCH_MEMLEVEL_HH
+
+#include <cstdint>
+
+namespace gemstone::uarch {
+
+/** Result of a single cache lookup. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    /**
+     * Latency contribution of this level and below, in *core cycles*
+     * (cache latencies scale with the core clock).
+     */
+    double latency = 0.0;
+    /**
+     * DRAM latency contribution in *nanoseconds* (wall-clock fixed).
+     * The core model converts this to cycles at the current
+     * frequency; keeping the units separate is what makes DVFS
+     * scaling workload-dependent.
+     */
+    double dramNs = 0.0;
+    /** A dirty line was evicted by the fill. */
+    bool causedWriteback = false;
+};
+
+/**
+ * Interface for anything that can service a cache fill (next level
+ * cache or DRAM).
+ */
+class MemLevel
+{
+  public:
+    virtual ~MemLevel() = default;
+
+    /**
+     * Access this level.
+     * @param addr physical byte address
+     * @param write true for stores / writebacks
+     * @param prefetch true when issued by a prefetcher
+     */
+    virtual CacheAccessResult access(std::uint64_t addr, bool write,
+                                     bool prefetch) = 0;
+};
+
+} // namespace gemstone::uarch
+
+#endif // GEMSTONE_UARCH_MEMLEVEL_HH

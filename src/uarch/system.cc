@@ -10,15 +10,17 @@
 
 namespace gemstone::uarch {
 
-ClusterModel::ClusterModel(const ClusterConfig &config)
+ClusterModel::ClusterModel(const ClusterConfig &config, Arena *arena)
     : clusterConfig(config), dataMemory(config.memBytes),
-      dramModel(config.dram), sharedL2(config.l2, &dramModel)
+      modelArena(arena ? arena : &ownArena.emplace(1 << 20)),
+      dramModel(config.dram, modelArena),
+      sharedL2(config.l2, &dramModel, modelArena)
 {
     fatal_if(config.numCores == 0, "cluster needs at least one core");
     snoopCostCycles = config.core.snoopCost;
     for (unsigned i = 0; i < config.numCores; ++i) {
-        coreModels.push_back(
-            std::make_unique<CoreModel>(config.core, *this, i));
+        coreModels.push_back(std::make_unique<CoreModel>(
+            config.core, *this, i, modelArena));
     }
 }
 
@@ -52,9 +54,33 @@ ClusterModel::busAccesses() const
     return l2_stats.misses + l2_stats.writebacks;
 }
 
+void
+ClusterModel::reset()
+{
+    for (auto &core : coreModels)
+        core->reset();
+    sharedL2.reset();
+    dramModel.reset();
+    exclusiveMonitor.reset();
+    snoopCount = 0;
+    currentFreqGhz = 1.0;
+    // dataMemory is intentionally untouched: a fresh model's memory
+    // is also uninitialised until the caller prepares the workload.
+}
+
 RunResult
 ClusterModel::run(const isa::Program &program, unsigned num_threads,
                   double freq_ghz)
+{
+    RunResult result;
+    runInto(program, num_threads, freq_ghz, result);
+    return result;
+}
+
+void
+ClusterModel::runInto(const isa::Program &program,
+                      unsigned num_threads, double freq_ghz,
+                      RunResult &out)
 {
     fatal_if(num_threads == 0 || num_threads > coreModels.size(),
              "thread count ", num_threads, " out of range for ",
@@ -95,33 +121,38 @@ ClusterModel::run(const isa::Program &program, unsigned num_threads,
         }
     }
 
-    RunResult result;
-    result.frequencyGhz = freq_ghz;
+    // Overwrite every field of the (possibly reused) result record;
+    // clear() keeps perCore's capacity so warm callers do not touch
+    // the heap.
+    out.aggregate = EventCounts();
+    out.perCore.clear();
+    out.cycles = 0.0;
+    out.instructions = 0;
+    out.frequencyGhz = freq_ghz;
     for (unsigned t = 0; t < num_threads; ++t) {
         EventCounts core_events = coreModels[t]->collectEvents();
-        result.perCore.push_back(core_events);
-        result.aggregate.merge(core_events);
-        result.instructions += core_events.instructions;
-        result.cycles = std::max(result.cycles, core_events.cycles);
+        out.perCore.push_back(core_events);
+        out.aggregate.merge(core_events);
+        out.instructions += core_events.instructions;
+        out.cycles = std::max(out.cycles, core_events.cycles);
     }
 
     // Attach shared-resource events to the aggregate record.
     const CacheStats &l2_stats = sharedL2.stats();
-    result.aggregate.l2Accesses = l2_stats.accesses;
-    result.aggregate.l2Misses = l2_stats.misses;
-    result.aggregate.l2Writebacks = l2_stats.writebacks;
-    result.aggregate.l2Prefetches = l2_stats.prefetchesIssued;
-    result.aggregate.l2PrefetchHits = l2_stats.prefetchHits;
-    result.aggregate.snoops = snoopCount;
-    result.aggregate.busAccesses = busAccesses();
+    out.aggregate.l2Accesses = l2_stats.accesses;
+    out.aggregate.l2Misses = l2_stats.misses;
+    out.aggregate.l2Writebacks = l2_stats.writebacks;
+    out.aggregate.l2Prefetches = l2_stats.prefetchesIssued;
+    out.aggregate.l2PrefetchHits = l2_stats.prefetchHits;
+    out.aggregate.snoops = snoopCount;
+    out.aggregate.busAccesses = busAccesses();
     const DramStats &dram_stats = dramModel.stats();
-    result.aggregate.dramReads = dram_stats.reads;
-    result.aggregate.dramWrites = dram_stats.writes;
+    out.aggregate.dramReads = dram_stats.reads;
+    out.aggregate.dramWrites = dram_stats.writes;
 
-    result.aggregate.cycles = result.cycles;
-    result.seconds = result.cycles / (freq_ghz * 1e9);
-    result.aggregate.seconds = result.seconds;
-    return result;
+    out.aggregate.cycles = out.cycles;
+    out.seconds = out.cycles / (freq_ghz * 1e9);
+    out.aggregate.seconds = out.seconds;
 }
 
 double

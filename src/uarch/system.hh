@@ -15,6 +15,7 @@
 #define GEMSTONE_UARCH_SYSTEM_HH
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "isa/memory.hh"
@@ -57,7 +58,16 @@ struct RunResult
 class ClusterModel
 {
   public:
-    explicit ClusterModel(const ClusterConfig &config);
+    /**
+     * @param config cluster geometry
+     * @param arena arena for every cache/TLB/predictor table of the
+     *        whole cluster; nullptr means the model owns one. All
+     *        hot tables are carved from it contiguously and rewound
+     *        in place by reset(), so model reuse performs zero heap
+     *        allocations.
+     */
+    explicit ClusterModel(const ClusterConfig &config,
+                          Arena *arena = nullptr);
     ~ClusterModel();
 
     ClusterModel(const ClusterModel &) = delete;
@@ -69,6 +79,26 @@ class ClusterModel
      */
     RunResult run(const isa::Program &program, unsigned num_threads,
                   double freq_ghz);
+
+    /**
+     * run() into a caller-owned result record: @p out is fully
+     * overwritten (perCore is cleared, keeping its capacity), so a
+     * warm caller that reuses one RunResult across runs keeps the
+     * steady-state loop free of heap allocations. run() above is a
+     * thin wrapper over this.
+     */
+    void runInto(const isa::Program &program, unsigned num_threads,
+                 double freq_ghz, RunResult &out);
+
+    /**
+     * Restore freshly-constructed model state in place: every core
+     * (caches, TLBs, predictor tables, counters), the shared L2,
+     * DRAM, the coherence state and the exclusive monitor. Workload
+     * memory is NOT cleared — initialise it per run, exactly as for
+     * a newly constructed model. A reset model produces bit-identical
+     * runs to a fresh one, without re-allocating anything.
+     */
+    void reset();
 
     /** Workload data memory (initialise before run()). */
     isa::Memory &memory() { return dataMemory; }
@@ -122,6 +152,12 @@ class ClusterModel
     ClusterConfig clusterConfig;
     isa::Memory dataMemory;
     isa::ExclusiveMonitor exclusiveMonitor;
+    /**
+     * Declared before the components so it is constructed first:
+     * dramModel/sharedL2/the cores all carve their tables from it.
+     */
+    std::optional<Arena> ownArena;  //!< used when arena == nullptr
+    Arena *modelArena;
     Dram dramModel;
     Cache sharedL2;
     std::vector<std::unique_ptr<CoreModel>> coreModels;

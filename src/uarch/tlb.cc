@@ -12,7 +12,7 @@
 
 namespace gemstone::uarch {
 
-Tlb::Tlb(const TlbConfig &config) : tlbConfig(config)
+Tlb::Tlb(const TlbConfig &config, Arena *arena) : tlbConfig(config)
 {
     fatal_if(config.entries == 0, "tlb ", config.name,
              ": entry count must be non-zero");
@@ -29,79 +29,70 @@ Tlb::Tlb(const TlbConfig &config) : tlbConfig(config)
              ": set count must be a power of 2");
     pageShift = static_cast<std::uint32_t>(
         std::countr_zero(config.pageBytes));
-    entries.assign(config.entries, Entry());
-    mruWay.assign(setCount, 0);
-    listHead.assign(setCount, listEnd);
-    listTail.assign(setCount, listEnd);
-    validCount.assign(setCount, 0);
-}
 
-Tlb::Entry *
-Tlb::find(std::uint64_t vpn)
-{
-    std::uint32_t set = static_cast<std::uint32_t>(vpn) & (setCount - 1);
-    Entry *base = &entries[static_cast<std::size_t>(set) * ways];
-    Entry &hinted = base[mruWay[set]];
-    if (hinted.valid && hinted.vpn == vpn)
-        return &hinted;
-    for (std::uint32_t way = 0; way < ways; ++way) {
-        if (base[way].valid && base[way].vpn == vpn) {
-            mruWay[set] = way;
-            return &base[way];
-        }
-    }
-    return nullptr;
-}
+    // 16x the entry count keeps the direct-mapped probe table sparse
+    // enough that a hot page set a few times larger than the TLB
+    // (the interesting thrashing regime) rarely collides. Still tiny:
+    // a 32-entry L1 TLB gets a 1 KiB table.
+    std::uint32_t probe_slots = std::bit_ceil(config.entries * 16u);
+    probeMask = probe_slots - 1;
 
-void
-Tlb::fill(std::uint64_t vpn)
-{
-    std::uint32_t set = static_cast<std::uint32_t>(vpn) & (setCount - 1);
-    std::size_t base = static_cast<std::size_t>(set) * ways;
-
-    // Entries are only invalidated wholesale by flush(), so the
-    // valid ways of a set always form the prefix [0, validCount):
-    // the next free way is validCount itself, and once the set is
-    // full the least recently used entry is the recency-list tail.
-    std::uint16_t victim_idx;
-    if (validCount[set] < ways) {
-        victim_idx = static_cast<std::uint16_t>(base + validCount[set]);
-        ++validCount[set];
-        listPushFront(set, victim_idx);
-    } else {
-        victim_idx = listTail[set];
-        ++tlbStats.evictions;
-        touch(set, victim_idx);
-    }
-
-    Entry &victim = entries[victim_idx];
-    victim.valid = true;
-    victim.vpn = vpn;
-    mruWay[set] =
-        static_cast<std::uint32_t>(victim_idx - base);
-    lastEntry = &victim;
+    if (!arena)
+        arena = &ownArena.emplace(4096);
+    vpnPlane = arena->allocArray<std::uint64_t>(config.entries);
+    prevLink = arena->allocArray<std::uint16_t>(config.entries);
+    nextLink = arena->allocArray<std::uint16_t>(config.entries);
+    mruWay = arena->allocArray<std::uint32_t>(setCount);
+    listHead = arena->allocArray<std::uint16_t>(setCount);
+    listTail = arena->allocArray<std::uint16_t>(setCount);
+    validCount = arena->allocArray<std::uint16_t>(setCount);
+    probeHint = arena->allocArray<std::uint16_t>(probe_slots);
+    std::fill_n(vpnPlane, config.entries, kInvalidVpn);
+    std::fill_n(prevLink, config.entries, listEnd);
+    std::fill_n(nextLink, config.entries, listEnd);
+    std::fill_n(listHead, setCount, listEnd);
+    std::fill_n(listTail, setCount, listEnd);
+    std::fill_n(probeHint, probe_slots, listEnd);
 }
 
 bool
 Tlb::probe(std::uint64_t addr) const
 {
-    return const_cast<Tlb *>(this)->find(pageOf(addr)) != nullptr;
+    // find() may update the MRU/probe hints, which are pure search
+    // accelerators — no observable state changes.
+    return const_cast<Tlb *>(this)->find(pageOf(addr)) != listEnd;
 }
 
 void
 Tlb::flush()
 {
-    for (Entry &entry : entries)
-        entry.valid = false;
-    std::fill(listHead.begin(), listHead.end(), listEnd);
-    std::fill(listTail.begin(), listTail.end(), listEnd);
-    std::fill(validCount.begin(), validCount.end(), 0);
-    lastEntry = nullptr;
+    std::fill_n(vpnPlane, tlbConfig.entries, kInvalidVpn);
+    std::fill_n(listHead, setCount, listEnd);
+    std::fill_n(listTail, setCount, listEnd);
+    std::fill_n(validCount, setCount, std::uint16_t(0));
+    std::fill_n(probeHint, probeMask + 1, listEnd);
+    lastVpn = kInvalidVpn;
+    lastIdx = listEnd;
+    prevVpn = kInvalidVpn;
+    prevIdx = listEnd;
+}
+
+void
+Tlb::reset()
+{
+    flush();
+    // Recency links of invalid entries are never consulted (flush
+    // emptied every list), but re-zeroing the planes keeps a reset
+    // TLB byte-identical to a fresh one.
+    std::fill_n(prevLink, tlbConfig.entries, listEnd);
+    std::fill_n(nextLink, tlbConfig.entries, listEnd);
+    std::fill_n(mruWay, setCount, std::uint32_t(0));
+    tlbStats.reset();
 }
 
 TlbHierarchy::TlbHierarchy(const TlbConfig &l1_config, Tlb *l2,
-                           double walk_latency)
-    : l1Tlb(l1_config), l2Tlb(l2), walkLatency(walk_latency)
+                           double walk_latency, Arena *arena)
+    : l1Tlb(l1_config, arena), l2Tlb(l2), walkLatency(walk_latency)
 {
 }
 
@@ -110,6 +101,14 @@ TlbHierarchy::flush()
 {
     l1Tlb.flush();
     // The shared L2 is flushed by its owner.
+}
+
+void
+TlbHierarchy::reset()
+{
+    l1Tlb.reset();
+    walkCount = 0;
+    // The shared L2 is reset by its owner.
 }
 
 } // namespace gemstone::uarch

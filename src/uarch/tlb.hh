@@ -7,14 +7,25 @@
  * L2 TLB with a short access latency, while the gem5 ex5_big model had
  * a 64-entry L1 ITLB and two *split* 8-way L2 TLB caches with a
  * 4-cycle latency. Both shapes are expressible with this component.
+ *
+ * Hot state is structure-of-arrays in an arena, like the cache: the
+ * VPN plane (validity folded in as a sentinel, so the associative
+ * search is one contiguous compare sweep), the recency-list link
+ * planes and the per-set cursors are separate parallel arrays. A
+ * direct-mapped probe-hint table short-circuits the search for
+ * repeat translations; like the MRU way hint it is a pure search
+ * accelerator — hit/miss outcomes, stats and LRU order are identical
+ * with or without it.
  */
 
 #ifndef GEMSTONE_UARCH_TLB_HH
 #define GEMSTONE_UARCH_TLB_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
-#include <vector>
+
+#include "util/arena.hh"
 
 namespace gemstone::uarch {
 
@@ -47,7 +58,12 @@ struct TlbStats
 class Tlb
 {
   public:
-    explicit Tlb(const TlbConfig &config);
+    /**
+     * @param config geometry and latency
+     * @param arena arena for the VPN/link/cursor planes; nullptr
+     *        means the TLB owns a private arena
+     */
+    explicit Tlb(const TlbConfig &config, Arena *arena = nullptr);
 
     /**
      * Look up a virtual address.
@@ -61,7 +77,8 @@ class Tlb
      * Inline fast path for the overwhelmingly common case: the
      * lookup repeats the last translated page. On success it does
      * exactly the hit bookkeeping of lookup() (access/hit counters,
-     * LRU stamp; lastEntry is trivially unchanged), so
+     * LRU stamp; the last entry is trivially already at the front of
+     * its recency list), so
      *
      *     t.tryHit(a) || t.lookup(a)
      *
@@ -71,15 +88,42 @@ class Tlb
     bool tryHit(std::uint64_t addr)
     {
         std::uint64_t vpn = addr >> pageShift;
-        if (!lastEntry || !lastEntry->valid || lastEntry->vpn != vpn)
-            return false;
-        // lastEntry is by construction the entry most recently
-        // touched by lookup()/fill(), which moved it to the front of
-        // its set's recency list — so re-touching it is a no-op and
-        // only the counters need updating.
-        ++tlbStats.accesses;
-        ++tlbStats.hits;
-        return true;
+        if (vpn == lastVpn) {
+            // lastVpn is only ever set by a lookup()/fill() that moved
+            // its entry to the front of the set's recency list — so
+            // re-touching it is a no-op and only the counters update.
+            ++tlbStats.accesses;
+            ++tlbStats.hits;
+            return true;
+        }
+        if (vpn == prevVpn) {
+            // Second-most-recent translation (streams alternating
+            // between two buffers ping-pong between two pages, so a
+            // 1-deep cache would never hit). The entry may no longer
+            // be at the front of its recency list, so do the full
+            // hit bookkeeping of lookup(): counters plus touch.
+            ++tlbStats.accesses;
+            ++tlbStats.hits;
+            std::uint16_t idx = prevIdx;
+            touch(static_cast<std::uint32_t>(vpn) & (setCount - 1),
+                  idx);
+            prevVpn = lastVpn;
+            prevIdx = lastIdx;
+            lastVpn = vpn;
+            lastIdx = idx;
+            return true;
+        }
+        return false;
+    }
+
+    /**
+     * Pure would-hit check of the first last-translation slot: when
+     * true, tryHit() is guaranteed to take its cheapest (counters
+     * only) branch. No state change whatsoever.
+     */
+    bool peekLastHit(std::uint64_t addr) const
+    {
+        return (addr >> pageShift) == lastVpn;
     }
 
     /** Probe without filling or touching LRU. */
@@ -88,49 +132,54 @@ class Tlb
     /** Drop all entries. */
     void flush();
 
+    /** Restore freshly-constructed state in place: flush + stats. */
+    void reset();
+
     const TlbStats &stats() const { return tlbStats; }
     const TlbConfig &config() const { return tlbConfig; }
 
   private:
-    struct Entry
-    {
-        bool valid = false;
-        std::uint64_t vpn = 0;
-        /** Recency-list links (indices into entries; 0xffff = end). */
-        std::uint16_t prev = 0xffff;
-        std::uint16_t next = 0xffff;
-    };
+    /**
+     * VPN sentinel for an invalid entry. Simulated addresses are
+     * below 2^31, so no reachable VPN can equal ~0 and one compare
+     * covers both the validity and the VPN check.
+     */
+    static constexpr std::uint64_t kInvalidVpn = ~0ULL;
+    /** List terminator / "no entry" index (entries <= 0x8000). */
+    static constexpr std::uint16_t listEnd = 0xffff;
 
     std::uint64_t pageOf(std::uint64_t addr) const
     {
         return addr >> pageShift;
     }
 
-    Entry *find(std::uint64_t vpn);
+    /** Entry index holding @p vpn, or listEnd. */
+    std::uint16_t find(std::uint64_t vpn);
     void fill(std::uint64_t vpn);
 
     /** Unlink @p idx from its set's recency list (it must be on it). */
     void listUnlink(std::uint32_t set, std::uint16_t idx)
     {
-        Entry &e = entries[idx];
-        if (e.prev != listEnd)
-            entries[e.prev].next = e.next;
+        std::uint16_t prev = prevLink[idx];
+        std::uint16_t next = nextLink[idx];
+        if (prev != listEnd)
+            nextLink[prev] = next;
         else
-            listHead[set] = e.next;
-        if (e.next != listEnd)
-            entries[e.next].prev = e.prev;
+            listHead[set] = next;
+        if (next != listEnd)
+            prevLink[next] = prev;
         else
-            listTail[set] = e.prev;
+            listTail[set] = prev;
     }
 
     /** Make @p idx the most recent entry of @p set. */
     void listPushFront(std::uint32_t set, std::uint16_t idx)
     {
-        Entry &e = entries[idx];
-        e.prev = listEnd;
-        e.next = listHead[set];
-        if (e.next != listEnd)
-            entries[e.next].prev = idx;
+        std::uint16_t old_head = listHead[set];
+        prevLink[idx] = listEnd;
+        nextLink[idx] = old_head;
+        if (old_head != listEnd)
+            prevLink[old_head] = idx;
         else
             listTail[set] = idx;
         listHead[set] = idx;
@@ -145,25 +194,24 @@ class Tlb
         listPushFront(set, idx);
     }
 
-    static constexpr std::uint16_t listEnd = 0xffff;
-
     TlbConfig tlbConfig;
     TlbStats tlbStats;
     std::uint32_t setCount;
     std::uint32_t ways;
     /** log2(pageBytes); enforced power of 2. */
     std::uint32_t pageShift = 12;
-    std::vector<Entry> entries;
+    std::optional<Arena> ownArena;  //!< used when arena == nullptr
     /**
-     * Last-translation cache: nearly every lookup repeats the
-     * previous page, so remember the entry that satisfied it and
-     * check it before the associative search. A pure search
-     * accelerator — hit/miss outcomes, stats and LRU stamping are
-     * identical with or without it.
+     * SoA planes, setCount x ways row-major. The VPN plane doubles
+     * as the validity map (kInvalidVpn = invalid entry); the
+     * recency-list links live in their own planes so the search
+     * sweep touches nothing but VPNs.
      */
-    Entry *lastEntry = nullptr;
-    /** Per-set MRU way hint for the associative search itself. */
-    std::vector<std::uint32_t> mruWay;
+    std::uint64_t *vpnPlane = nullptr;
+    std::uint16_t *prevLink = nullptr;
+    std::uint16_t *nextLink = nullptr;
+    /** Per-set MRU way hint for the associative search. */
+    std::uint32_t *mruWay = nullptr;
     /**
      * Per-set recency list + valid-prefix fill cursor, replacing the
      * old "scan every way for the smallest lruStamp" victim search
@@ -177,9 +225,28 @@ class Tlb
      * Victim selection — the only observable consumer of the stamps —
      * is therefore identical, and the stamps themselves are gone.
      */
-    std::vector<std::uint16_t> listHead;
-    std::vector<std::uint16_t> listTail;
-    std::vector<std::uint16_t> validCount;
+    std::uint16_t *listHead = nullptr;
+    std::uint16_t *listTail = nullptr;
+    std::uint16_t *validCount = nullptr;
+    /**
+     * Direct-mapped probe cache: vpn & probeMask -> candidate entry
+     * index, verified against the VPN plane before use (stale slots
+     * and collisions just fall back to the full search). Makes the
+     * hot repeat-translation case O(1) even for the fully
+     * associative L1 TLBs.
+     */
+    std::uint16_t *probeHint = nullptr;
+    std::uint32_t probeMask = 0;
+    /**
+     * 2-deep last-translation cache: nearly every lookup repeats one
+     * of the two previous pages (two-buffer streams alternate). The
+     * idx fields are only meaningful while the matching vpn is not
+     * kInvalidVpn; fill() invalidates a slot whose entry it evicts.
+     */
+    std::uint64_t lastVpn = kInvalidVpn;
+    std::uint16_t lastIdx = listEnd;
+    std::uint64_t prevVpn = kInvalidVpn;
+    std::uint16_t prevIdx = listEnd;
 };
 
 /**
@@ -195,9 +262,10 @@ class TlbHierarchy
      * @param l2 second-level TLB (not owned; shared when unified;
      *        nullptr for a single-level hierarchy)
      * @param walk_latency page-table walk cost on an L2 miss
+     * @param arena arena for the L1 tables (see Tlb)
      */
     TlbHierarchy(const TlbConfig &l1_config, Tlb *l2,
-                 double walk_latency);
+                 double walk_latency, Arena *arena = nullptr);
 
     /**
      * Translate an address.
@@ -219,6 +287,12 @@ class TlbHierarchy
         return l1Tlb.tryHit(addr);
     }
 
+    /** Pure would-hit check; see Tlb::peekLastHit. */
+    bool peekTranslate(std::uint64_t addr) const
+    {
+        return l1Tlb.peekLastHit(addr);
+    }
+
     Tlb &l1() { return l1Tlb; }
     const Tlb &l1() const { return l1Tlb; }
     Tlb *l2() { return l2Tlb; }
@@ -227,6 +301,9 @@ class TlbHierarchy
 
     void flush();
 
+    /** Restore freshly-constructed state (L1 only, like flush()). */
+    void reset();
+
   private:
     Tlb l1Tlb;
     Tlb *l2Tlb;
@@ -234,22 +311,94 @@ class TlbHierarchy
     std::uint64_t walkCount = 0;
 };
 
+inline std::uint16_t
+Tlb::find(std::uint64_t vpn)
+{
+    std::uint32_t probe_slot =
+        static_cast<std::uint32_t>(vpn) & probeMask;
+    std::uint16_t hint = probeHint[probe_slot];
+    if (hint != listEnd && vpnPlane[hint] == vpn)
+        return hint;
+    std::uint32_t set = static_cast<std::uint32_t>(vpn) & (setCount - 1);
+    std::size_t base = static_cast<std::size_t>(set) * ways;
+    std::size_t hinted = base + mruWay[set];
+    if (vpnPlane[hinted] == vpn) {
+        probeHint[probe_slot] = static_cast<std::uint16_t>(hinted);
+        return static_cast<std::uint16_t>(hinted);
+    }
+    // Branchless sweep, written so the compiler can vectorise it (no
+    // early exit, plain sum/or reductions). A VPN occupies at most
+    // one way of its set, so the sum of (eq ? way : 0) is exactly the
+    // matching way whenever any compare hit. The L1 TLBs are 32-way
+    // fully associative and a thrashing workload misses half the
+    // time, so the sweep cost is visible end-to-end.
+    std::uint32_t match = 0;
+    bool any = false;
+    for (std::uint32_t way = 0; way < ways; ++way) {
+        bool eq = vpnPlane[base + way] == vpn;
+        any |= eq;
+        match += eq ? way : 0u;
+    }
+    if (!any)
+        return listEnd;
+    mruWay[set] = match;
+    std::uint16_t idx = static_cast<std::uint16_t>(base + match);
+    probeHint[probe_slot] = idx;
+    return idx;
+}
+
+inline void
+Tlb::fill(std::uint64_t vpn)
+{
+    std::uint32_t set = static_cast<std::uint32_t>(vpn) & (setCount - 1);
+    std::size_t base = static_cast<std::size_t>(set) * ways;
+
+    // Entries are only invalidated wholesale by flush(), so the
+    // valid ways of a set always form the prefix [0, validCount):
+    // the next free way is validCount itself, and once the set is
+    // full the least recently used entry is the recency-list tail.
+    std::uint16_t victim_idx;
+    if (validCount[set] < ways) {
+        victim_idx = static_cast<std::uint16_t>(base + validCount[set]);
+        ++validCount[set];
+        listPushFront(set, victim_idx);
+    } else {
+        victim_idx = listTail[set];
+        ++tlbStats.evictions;
+        touch(set, victim_idx);
+    }
+
+    vpnPlane[victim_idx] = vpn;
+    probeHint[static_cast<std::uint32_t>(vpn) & probeMask] = victim_idx;
+    mruWay[set] = static_cast<std::uint32_t>(victim_idx - base);
+    prevVpn = lastVpn;
+    prevIdx = lastIdx;
+    lastVpn = vpn;
+    lastIdx = victim_idx;
+    if (prevIdx == victim_idx) {
+        // The entry the old last-translation slot pointed at was just
+        // evicted (possible in low-associativity sets where the list
+        // head and tail coincide); a stale slot must never hit.
+        prevVpn = kInvalidVpn;
+        prevIdx = listEnd;
+    }
+}
+
 inline bool
 Tlb::lookup(std::uint64_t addr)
 {
     ++tlbStats.accesses;
     std::uint64_t vpn = pageOf(addr);
-    Entry *entry;
-    if (lastEntry && lastEntry->valid && lastEntry->vpn == vpn)
-        entry = lastEntry;
-    else
-        entry = find(vpn);
-    if (entry) {
+    std::uint16_t idx = vpn == lastVpn ? lastIdx : find(vpn);
+    if (idx != listEnd) {
         ++tlbStats.hits;
-        std::uint16_t idx = static_cast<std::uint16_t>(
-            entry - entries.data());
         touch(static_cast<std::uint32_t>(vpn) & (setCount - 1), idx);
-        lastEntry = entry;
+        if (vpn != lastVpn) {
+            prevVpn = lastVpn;
+            prevIdx = lastIdx;
+            lastVpn = vpn;
+            lastIdx = idx;
+        }
         return true;
     }
     ++tlbStats.misses;

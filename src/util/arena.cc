@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Arena allocator, the per-thread arena, and the counting global
+ * operator new / delete behind MallocTally.
+ */
+
+#include "util/arena.hh"
+
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace gemstone {
+
+/**
+ * Chunk header, carved from the front of each heap block. The
+ * bumpable region is [data(), data() + capacity).
+ */
+struct Arena::Chunk
+{
+    Chunk *next = nullptr;
+    std::size_t capacity = 0;
+    std::size_t used = 0;
+
+    std::byte *data() { return reinterpret_cast<std::byte *>(this + 1); }
+};
+
+Arena::Arena(std::size_t first_chunk_bytes)
+    : nextChunkBytes(first_chunk_bytes < 1024 ? 1024
+                                              : first_chunk_bytes)
+{
+}
+
+Arena::~Arena()
+{
+    Chunk *chunk = firstChunk;
+    while (chunk) {
+        Chunk *next = chunk->next;
+        std::free(chunk);
+        chunk = next;
+    }
+}
+
+void *
+Arena::allocate(std::size_t bytes, std::size_t align)
+{
+    panic_if(align == 0 || (align & (align - 1)) != 0,
+             "arena alignment must be a power of two, got ", align);
+    if (head) {
+        // Align the *absolute* address, not the chunk-relative
+        // cursor: the data region starts right after the header,
+        // whose size is no multiple of the larger alignments.
+        std::uintptr_t base =
+            reinterpret_cast<std::uintptr_t>(head->data());
+        std::size_t cursor =
+            ((base + head->used + align - 1) & ~(align - 1)) - base;
+        if (cursor + bytes <= head->capacity) {
+            void *out = head->data() + cursor;
+            head->used = cursor + bytes;
+            allocatedBytes += bytes;
+            return out;
+        }
+    }
+    return allocateSlow(bytes, align);
+}
+
+void *
+Arena::allocateSlow(std::size_t bytes, std::size_t align)
+{
+    // Chain a fresh chunk sized for the request (geometric growth
+    // keeps the chunk count logarithmic in the total footprint).
+    // Padding by one alignment unit always leaves room to align the
+    // absolute start address inside the chunk.
+    std::size_t need = bytes + align;
+    std::size_t capacity = nextChunkBytes;
+    while (capacity < need)
+        capacity *= 2;
+    nextChunkBytes = capacity * 2;
+
+    void *raw = std::calloc(1, sizeof(Chunk) + capacity);
+    panic_if(!raw, "arena chunk allocation of ", capacity,
+             " bytes failed");
+    Chunk *chunk = new (raw) Chunk();
+    chunk->capacity = capacity;
+
+    // Chain order is oldest-first so reset() can walk it; the head
+    // (bump target) is always the newest chunk. Older, now-full
+    // chunks keep their contents — pointers into them stay valid.
+    if (!firstChunk) {
+        firstChunk = chunk;
+    } else {
+        Chunk *tail = firstChunk;
+        while (tail->next)
+            tail = tail->next;
+        tail->next = chunk;
+    }
+    head = chunk;
+    reservedBytes += capacity;
+    ++chunks;
+
+    std::uintptr_t base =
+        reinterpret_cast<std::uintptr_t>(chunk->data());
+    std::size_t cursor = ((base + align - 1) & ~(align - 1)) - base;
+    void *out = chunk->data() + cursor;
+    chunk->used = cursor + bytes;
+    allocatedBytes += bytes;
+    return out;
+}
+
+void
+Arena::reset()
+{
+    for (Chunk *chunk = firstChunk; chunk; chunk = chunk->next) {
+        std::memset(chunk->data(), 0, chunk->used);
+        chunk->used = 0;
+    }
+    head = firstChunk;
+    allocatedBytes = 0;
+}
+
+Arena &
+threadArena()
+{
+    thread_local Arena arena(256 * 1024);
+    return arena;
+}
+
+// ---------------------------------------------------------------------
+// MallocTally: counting global operator new / delete.
+//
+// Sanitizer builds (GEMSTONE_SANITIZE_BUILD, set by the build system
+// for every -fsanitize flavour) must not replace the operators —
+// ASan/TSan interpose their own — so the whole replacement compiles
+// out and mallocTallyActive()'s live probe reports false.
+// ---------------------------------------------------------------------
+
+namespace detail {
+
+struct TallyCounters
+{
+    std::uint64_t allocs = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t frees = 0;
+};
+
+/**
+ * Plain thread_local (not function-local static) so the hot path is
+ * a TLS load + add with no guard-variable check.
+ */
+thread_local TallyCounters tallyCounters;
+
+} // namespace detail
+
+MallocTallySnapshot
+mallocTally()
+{
+    const detail::TallyCounters &c = detail::tallyCounters;
+    return {c.allocs, c.bytes, c.frees};
+}
+
+bool
+mallocTallyActive()
+{
+    std::uint64_t before = detail::tallyCounters.allocs;
+    delete[] new char[8];
+    return detail::tallyCounters.allocs != before;
+}
+
+} // namespace gemstone
+
+#ifndef GEMSTONE_SANITIZE_BUILD
+
+namespace {
+
+inline void *
+tallyAlloc(std::size_t size)
+{
+    gemstone::detail::TallyCounters &c =
+        gemstone::detail::tallyCounters;
+    ++c.allocs;
+    c.bytes += size;
+    return std::malloc(size ? size : 1);
+}
+
+inline void *
+tallyAllocAligned(std::size_t size, std::size_t align)
+{
+    gemstone::detail::TallyCounters &c =
+        gemstone::detail::tallyCounters;
+    ++c.allocs;
+    c.bytes += size;
+    // aligned_alloc requires the size to be a multiple of the
+    // alignment; round up (callers never see the slack).
+    std::size_t rounded = (size + align - 1) & ~(align - 1);
+    return std::aligned_alloc(align, rounded ? rounded : align);
+}
+
+inline void
+tallyFree(void *p)
+{
+    if (p) {
+        ++gemstone::detail::tallyCounters.frees;
+        std::free(p);
+    }
+}
+
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    void *p = tallyAlloc(size);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return operator new(size);
+}
+
+void *
+operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    return tallyAlloc(size);
+}
+
+void *
+operator new[](std::size_t size, const std::nothrow_t &) noexcept
+{
+    return tallyAlloc(size);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    void *p = tallyAllocAligned(size,
+                                static_cast<std::size_t>(align));
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    return operator new(size, align);
+}
+
+void operator delete(void *p) noexcept { tallyFree(p); }
+void operator delete[](void *p) noexcept { tallyFree(p); }
+void operator delete(void *p, std::size_t) noexcept { tallyFree(p); }
+void operator delete[](void *p, std::size_t) noexcept { tallyFree(p); }
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    tallyFree(p);
+}
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    tallyFree(p);
+}
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    tallyFree(p);
+}
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    tallyFree(p);
+}
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    tallyFree(p);
+}
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    tallyFree(p);
+}
+
+#endif // !GEMSTONE_SANITIZE_BUILD

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Per-run arena allocation and heap-allocation accounting.
+ *
+ * Arena is a bump-pointer allocator with chunked growth: allocations
+ * are pointer increments inside the current chunk, a full chunk
+ * chains a new (geometrically larger) one, and reset() rewinds every
+ * chunk cursor without returning memory to the heap — the
+ * steady-state contract the simulation hot path is built on. One
+ * model run allocates its cache/TLB/predictor tables out of its
+ * arena exactly once; every later run reuses the same memory via the
+ * components' in-place reset() methods, so repeated runs perform
+ * zero heap allocations (beng-proxy's SlicePool/dpool and the OSv
+ * allocator are the exemplars for this shape).
+ *
+ * Arenas hand out raw, trivially-destructible storage only: nothing
+ * runs destructors for arena objects, so allocArray<T> requires a
+ * trivially destructible T. Arenas are not thread-safe; each model
+ * (or worker thread, see threadArena()) owns its own.
+ *
+ * MallocTally is the enforcement hook: the global operator new /
+ * delete are replaced with counting versions (thread-local counters,
+ * a few ns per allocation) so tests and benches can assert that a
+ * warmed-up quantum loop allocates nothing. Sanitizer builds replace
+ * operator new themselves, so the tally is compiled out there and
+ * mallocTallyActive() reports false — callers skip the assertion
+ * instead of fighting the interceptors.
+ */
+
+#ifndef GEMSTONE_UTIL_ARENA_HH
+#define GEMSTONE_UTIL_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+
+namespace gemstone {
+
+/** Bump-pointer arena with chunked growth and reset-between-runs. */
+class Arena
+{
+  public:
+    /** @param first_chunk_bytes size of the first chunk allocated */
+    explicit Arena(std::size_t first_chunk_bytes = 64 * 1024);
+    ~Arena();
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /**
+     * Allocate @p bytes with the given power-of-two alignment.
+     * Returns zero-initialised storage (chunks are zeroed when they
+     * are carved from the heap and reset() re-zeroes the used
+     * prefix, so recycled storage is indistinguishable from fresh).
+     */
+    void *allocate(std::size_t bytes, std::size_t align);
+
+    /**
+     * Allocate a zero-initialised array of @p count Ts. T must be
+     * trivially destructible (the arena never runs destructors) and
+     * trivially copyable (reset() re-zeroes raw storage).
+     */
+    template <typename T>
+    T *
+    allocArray(std::size_t count)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena storage never runs destructors");
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "arena reset re-zeroes raw bytes");
+        return static_cast<T *>(
+            allocate(count * sizeof(T), alignof(T)));
+    }
+
+    /**
+     * Rewind every chunk's cursor to empty and re-zero the used
+     * bytes. All outstanding pointers become dangling; no memory is
+     * returned to the heap, so the next fill pattern of the same
+     * shape performs zero heap allocations.
+     */
+    void reset();
+
+    /** Bytes handed out since construction / the last reset(). */
+    std::size_t bytesAllocated() const { return allocatedBytes; }
+
+    /** Bytes of chunk capacity currently held from the heap. */
+    std::size_t bytesReserved() const { return reservedBytes; }
+
+    /** Number of chunks held from the heap. */
+    std::size_t chunkCount() const { return chunks; }
+
+  private:
+    struct Chunk;
+
+    /** Grow: chain a chunk big enough for @p bytes and retry. */
+    void *allocateSlow(std::size_t bytes, std::size_t align);
+
+    Chunk *head = nullptr;       //!< chunk currently bumped into
+    Chunk *firstChunk = nullptr; //!< chain start, for reset()
+    std::size_t nextChunkBytes;  //!< size of the next chunk to carve
+    std::size_t allocatedBytes = 0;
+    std::size_t reservedBytes = 0;
+    std::size_t chunks = 0;
+};
+
+/**
+ * The calling thread's long-lived arena (one per thread, constructed
+ * on first use, freed at thread exit). Worker threads — the exec
+ * ThreadPool's, the serve daemon's request threads — back their
+ * pooled simulation models with it so parallel campaign runs carve
+ * their tables from thread-private chunks instead of contending on
+ * the global heap. Never reset it while any object allocated from it
+ * is alive; pooled models live exactly as long as the thread, which
+ * is what makes this pairing safe.
+ */
+Arena &threadArena();
+
+/**
+ * Snapshot of the calling thread's heap-allocation counters.
+ * Counts every operator new (scalar, array, nothrow, aligned) made
+ * by this thread since it started; frees are counted separately so
+ * a net-zero loop that still churns the heap is visible.
+ */
+struct MallocTallySnapshot
+{
+    std::uint64_t allocs = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t frees = 0;
+};
+
+/** Current counters for the calling thread. */
+MallocTallySnapshot mallocTally();
+
+/**
+ * True when the counting operator new is linked in (false in
+ * sanitizer builds, where ASan/TSan own the allocator). Implemented
+ * as a live probe — allocate, check the counter moved — so it cannot
+ * drift from the link-time truth.
+ */
+bool mallocTallyActive();
+
+} // namespace gemstone
+
+#endif // GEMSTONE_UTIL_ARENA_HH

@@ -21,6 +21,7 @@
 #include "isa/program.hh"
 #include "uarch/core.hh"
 #include "uarch/system.hh"
+#include "util/arena.hh"
 #include "util/cancellation.hh"
 #include "workload/kernels.hh"
 #include "workload/workload.hh"
@@ -438,4 +439,65 @@ TEST(ExecFastpathCancel, CancelStillLandsPromptly)
     CoopScope scope(token, Deadline(), "fastpath-cancel");
     EXPECT_THROW(cluster.run(work.program, work.numThreads, 1.0),
                  CancelledError);
+}
+
+// ---------------------------------------------------------------------
+// Arena-backed reuse: reset() identity and the zero-alloc contract
+// ---------------------------------------------------------------------
+
+TEST(ExecFastpathReuse, ResetModelMatchesFreshModelBitIdentically)
+{
+    Workload work = workload::kernels::makeStreamCopy(
+        "t-reuse-stream", "test", 512, 3);
+    uarch::ClusterConfig config = hwsim::trueBigConfig();
+    config.memBytes = std::max<std::uint64_t>(work.memBytes, 64 * 1024);
+
+    uarch::ClusterModel fresh(config);
+    work.prepareMemory(fresh.memory());
+    uarch::RunResult baseline =
+        fresh.run(work.program, work.numThreads, 1.0);
+
+    // One model, three consecutive runs through reset(): every rerun
+    // must reproduce the fresh-model result exactly, or reset() is
+    // leaking state between runs.
+    uarch::ClusterModel reused(config);
+    for (int round = 0; round < 3; ++round) {
+        reused.reset();
+        reused.memory().clear();
+        work.prepareMemory(reused.memory());
+        uarch::RunResult again;
+        reused.runInto(work.program, work.numThreads, 1.0, again);
+        expectRunsIdentical(baseline, again, "reset-vs-fresh round");
+    }
+}
+
+TEST(ExecFastpathReuse, WarmQuantumLoopMakesZeroHeapAllocations)
+{
+    if (!mallocTallyActive())
+        GTEST_SKIP() << "counting operator new not linked "
+                        "(sanitizer build)";
+
+    Workload work = workload::kernels::makeStreamCopy(
+        "t-zeroalloc-stream", "test", 512, 3);
+    uarch::ClusterConfig config = hwsim::trueBigConfig();
+    config.memBytes = std::max<std::uint64_t>(work.memBytes, 64 * 1024);
+
+    uarch::ClusterModel cluster(config);
+    // Warm-up run: predecode cache fill, RunResult vector growth.
+    cluster.reset();
+    work.prepareMemory(cluster.memory());
+    uarch::RunResult result;
+    cluster.runInto(work.program, work.numThreads, 1.0, result);
+
+    // Steady state: the whole simulated run — quantum loop, cache/TLB
+    // machinery, result aggregation — must not touch the heap.
+    cluster.reset();
+    work.prepareMemory(cluster.memory());
+    MallocTallySnapshot before = mallocTally();
+    cluster.runInto(work.program, work.numThreads, 1.0, result);
+    MallocTallySnapshot after = mallocTally();
+    EXPECT_EQ(after.allocs - before.allocs, 0u)
+        << "steady-state runInto must perform zero heap allocations";
+    EXPECT_EQ(after.bytes - before.bytes, 0u);
+    EXPECT_GT(result.instructions, 0u);
 }

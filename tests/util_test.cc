@@ -12,6 +12,7 @@
 #include <sstream>
 #include <thread>
 
+#include "util/arena.hh"
 #include "util/atomicfile.hh"
 #include "util/csv.hh"
 #include "util/logging.hh"
@@ -580,4 +581,121 @@ TEST(AtomicFile, TailRecoveryStillQuarantinesAfterHardening)
     EXPECT_EQ(tail, "k3,f,torn-no-newl\n");
     fs::remove(path);
     fs::remove(path + ".corrupt");
+}
+
+// ---------------------------------------------------------------------
+// Arena
+// ---------------------------------------------------------------------
+
+TEST(Arena, ChunkGrowthChainsGeometricallyLargerChunks)
+{
+    Arena arena(256);
+    // Construction is lazy: no chunk exists until the first request.
+    EXPECT_EQ(arena.chunkCount(), 0u);
+    EXPECT_EQ(arena.bytesReserved(), 0u);
+    (void)arena.allocate(8, 8);
+    EXPECT_EQ(arena.chunkCount(), 1u);
+    std::size_t first_reserved = arena.bytesReserved();
+    EXPECT_GE(first_reserved, 256u);
+
+    // Overflow the first chunk: a new, larger chunk must be chained
+    // and the allocation served from it, untruncated.
+    auto *big = arena.allocArray<std::uint8_t>(first_reserved + 1);
+    ASSERT_NE(big, nullptr);
+    EXPECT_EQ(arena.chunkCount(), 2u);
+    EXPECT_GT(arena.bytesReserved(), first_reserved);
+    big[first_reserved] = 0xab;  // last byte is writable
+
+    // Keep overflowing: every growth step adds capacity monotonically.
+    std::size_t prev_reserved = arena.bytesReserved();
+    std::size_t prev_chunks = arena.chunkCount();
+    (void)arena.allocArray<std::uint8_t>(arena.bytesReserved());
+    EXPECT_GT(arena.chunkCount(), prev_chunks);
+    EXPECT_GT(arena.bytesReserved(), prev_reserved);
+}
+
+TEST(Arena, ResetReusesChunksAndRezeroes)
+{
+    Arena arena(128);
+    auto *a = arena.allocArray<std::uint64_t>(64);  // forces growth
+    a[0] = 0xdeadbeef;
+    a[63] = 0xfeedface;
+    std::size_t chunks = arena.chunkCount();
+    std::size_t reserved = arena.bytesReserved();
+    EXPECT_GT(arena.bytesAllocated(), 0u);
+
+    arena.reset();
+    EXPECT_EQ(arena.bytesAllocated(), 0u);
+    // reset() keeps the chunks — that is the whole point.
+    EXPECT_EQ(arena.chunkCount(), chunks);
+    EXPECT_EQ(arena.bytesReserved(), reserved);
+
+    // The same fill pattern reuses the same storage, zeroed: recycled
+    // memory must be indistinguishable from fresh memory.
+    auto *b = arena.allocArray<std::uint64_t>(64);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(b[i], 0u) << "stale byte at " << i;
+    EXPECT_EQ(arena.chunkCount(), chunks);
+    EXPECT_EQ(arena.bytesReserved(), reserved);
+}
+
+TEST(Arena, AllocationsAreAligned)
+{
+    Arena arena(256);
+    // Deliberately misalign the cursor with a 1-byte allocation
+    // between every aligned request.
+    for (std::size_t align : {2u, 4u, 8u, 16u, 32u, 64u}) {
+        (void)arena.allocate(1, 1);
+        void *p = arena.allocate(align, align);
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+            << "align " << align;
+    }
+    struct alignas(32) Wide
+    {
+        double lanes[4];
+    };
+    Wide *w = arena.allocArray<Wide>(3);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(w) % alignof(Wide), 0u);
+}
+
+TEST(Arena, MallocTallyCountsNewAndDelete)
+{
+    if (!mallocTallyActive())
+        GTEST_SKIP() << "counting operator new not linked "
+                        "(sanitizer build)";
+
+    MallocTallySnapshot before = mallocTally();
+    constexpr std::size_t kBytes = 4096;
+    // Call the operators directly: a new-expression / delete-expression
+    // pair may legally be elided by the compiler, a direct operator
+    // call may not.
+    for (int i = 0; i < 10; ++i)
+        ::operator delete(::operator new(kBytes));
+    MallocTallySnapshot after = mallocTally();
+
+    EXPECT_GE(after.allocs - before.allocs, 10u);
+    EXPECT_GE(after.bytes - before.bytes, 10 * kBytes);
+    EXPECT_GE(after.frees - before.frees, 10u);
+}
+
+TEST(Arena, SteadyStateArenaReuseMakesNoHeapAllocations)
+{
+    if (!mallocTallyActive())
+        GTEST_SKIP() << "counting operator new not linked "
+                        "(sanitizer build)";
+
+    Arena arena(512);
+    // Warm the arena to its steady-state chunk chain.
+    (void)arena.allocArray<std::uint64_t>(400);
+    arena.reset();
+
+    MallocTallySnapshot before = mallocTally();
+    for (int run = 0; run < 5; ++run) {
+        auto *p = arena.allocArray<std::uint64_t>(400);
+        p[0] = static_cast<std::uint64_t>(run);
+        arena.reset();
+    }
+    MallocTallySnapshot after = mallocTally();
+    EXPECT_EQ(after.allocs - before.allocs, 0u)
+        << "arena reuse must not touch operator new";
 }
