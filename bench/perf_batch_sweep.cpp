@@ -1,0 +1,395 @@
+/**
+ * @file
+ * P5: batched multi-config execution vs per-config fast-engine runs.
+ *
+ * An OPP sweep asks one question of many timing configurations: here
+ * the paper's 8-point grid (the little cluster at 200/600/1000/1400
+ * MHz and the big cluster at 600/1000/1400/1800 MHz) over the same
+ * kernel set as perf_sim_throughput. The per-config flow pays one
+ * full fast-engine execution per point; the batched engine
+ * (uarch::BatchedSystemModel) executes the architectural instruction
+ * stream once and replays its correct-path trace through every
+ * config's timing state in lockstep, so the sweep costs one driver
+ * pass plus one cheap replay per distinct config.
+ *
+ * Before anything is timed, every per-config result of the batched
+ * run is asserted bit-identical to its standalone fast-engine run —
+ * cycles, instructions and the full event map. The timing below is
+ * therefore a pure like-for-like comparison; a batched engine that
+ * bought speed by drifting would abort here.
+ *
+ * Emits BENCH_batch_sweep.json (see benchjson.hh). With --check
+ * <baseline.json>, per-kernel sweep speedups are gated against the
+ * committed baseline (default tolerance 20%), steady-state batched
+ * allocations are gated exactly, and the geomean sweep speedup must
+ * stay above --min-geomean (default 3.0).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "benchjson.hh"
+#include "hwsim/platform.hh"
+#include "uarch/batch.hh"
+#include "uarch/core.hh"
+#include "uarch/system.hh"
+#include "util/arena.hh"
+#include "util/logging.hh"
+#include "util/strutil.hh"
+#include "util/table.hh"
+#include "workload/kernels.hh"
+
+using namespace gemstone;
+using workload::Workload;
+namespace kernels = workload::kernels;
+
+namespace {
+
+struct BenchKernel
+{
+    std::string group;  //!< "compute", "control" or "memory"
+    Workload work;
+};
+
+/** Same kernel set as perf_sim_throughput (P2). */
+std::vector<BenchKernel>
+benchKernels()
+{
+    std::vector<BenchKernel> set;
+    set.push_back({"compute", kernels::makeWhetstone(
+        "whetstone", "bench", 60000)});
+    set.push_back({"compute", kernels::makeIntArith(
+        "int-arith", "bench", 250000, true)});
+    set.push_back({"compute", kernels::makeCrc(
+        "crc32", "bench", 4096, 40)});
+    set.push_back({"compute", kernels::makeMatMul(
+        "matmul", "bench", 28, 6)});
+    set.push_back({"control", kernels::makeSwitchDispatch(
+        "switch-dispatch", "bench", 24, 120000)});
+    set.push_back({"control", kernels::makeBranchPattern(
+        "branch-pattern", "bench", 7, 300000, 0)});
+    set.push_back({"control", kernels::makeCallTree(
+        "call-tree", "bench", 6, 12000)});
+    set.push_back({"memory", kernels::makeStreamCopy(
+        "stream-copy", "bench", 16384, 60)});
+    set.push_back({"memory", kernels::makePointerChase(
+        "pointer-chase", "bench", 4096, 64, 400000)});
+    return set;
+}
+
+/** The 8-OPP grid of the paper's two clusters, at @p mem_bytes. */
+std::vector<uarch::BatchPoint>
+oppGrid(std::uint64_t mem_bytes)
+{
+    uarch::ClusterConfig little = hwsim::trueLittleConfig();
+    little.memBytes = mem_bytes;
+    uarch::ClusterConfig big = hwsim::trueBigConfig();
+    big.memBytes = mem_bytes;
+
+    std::vector<uarch::BatchPoint> points;
+    for (double mhz : {200.0, 600.0, 1000.0, 1400.0})
+        points.push_back({little, mhz / 1000.0});
+    for (double mhz : {600.0, 1000.0, 1400.0, 1800.0})
+        points.push_back({big, mhz / 1000.0});
+    return points;
+}
+
+/** Exact (bit-level) equality of two runs; dies with context. */
+void
+requireIdentical(const uarch::RunResult &standalone,
+                 const uarch::RunResult &batched,
+                 const std::string &context)
+{
+    fatal_if(standalone.cycles != batched.cycles, context,
+             ": cycles diverged (", standalone.cycles, " vs ",
+             batched.cycles, ")");
+    fatal_if(standalone.seconds != batched.seconds, context,
+             ": seconds diverged");
+    fatal_if(standalone.instructions != batched.instructions,
+             context, ": instructions diverged (",
+             standalone.instructions, " vs ", batched.instructions,
+             ")");
+    fatal_if(standalone.aggregate.toMap() != batched.aggregate.toMap(),
+             context, ": aggregate events diverged");
+    fatal_if(standalone.perCore.size() != batched.perCore.size(),
+             context, ": per-core count diverged");
+    for (std::size_t i = 0; i < standalone.perCore.size(); ++i) {
+        fatal_if(standalone.perCore[i].toMap() !=
+                     batched.perCore[i].toMap(),
+                 context, ": core ", i, " events diverged");
+    }
+}
+
+struct SweepResult
+{
+    std::string kernel;
+    std::string group;
+    std::uint64_t instructions = 0;  //!< architectural, one run
+    double standaloneSeconds = 0.0;  //!< best-of-N, whole 8-point sweep
+    double batchedSeconds = 0.0;     //!< best-of-N, whole 8-point sweep
+    std::uint64_t allocsPerRun = 0;  //!< warm batched reset+run cycle
+    std::uint64_t bytesPerRun = 0;
+
+    double speedup() const
+    {
+        return standaloneSeconds / batchedSeconds;
+    }
+};
+
+/**
+ * One kernel through the whole comparison: identity first, then
+ * best-of-N timing of the standalone 8-run sweep against one batched
+ * run. Both sides run warm models through the production reuse
+ * protocol (reset + prepareMemory + runInto), so neither pays
+ * construction costs inside the timed region.
+ */
+SweepResult
+sweepKernel(const BenchKernel &bench, unsigned repeats)
+{
+    const Workload &work = bench.work;
+    std::uint64_t mem_bytes =
+        std::max<std::uint64_t>(work.memBytes, 64 * 1024);
+    std::vector<uarch::BatchPoint> points = oppGrid(mem_bytes);
+
+    // Two warm standalone models carry the per-config sweep: one per
+    // distinct cluster shape, re-run per frequency — exactly what a
+    // sweep without the batched engine costs.
+    uarch::ClusterConfig little = hwsim::trueLittleConfig();
+    little.memBytes = mem_bytes;
+    uarch::ClusterConfig big = hwsim::trueBigConfig();
+    big.memBytes = mem_bytes;
+    uarch::ClusterModel little_model(little);
+    little_model.setExecEngine(uarch::ExecEngine::Fast);
+    uarch::ClusterModel big_model(big);
+    big_model.setExecEngine(uarch::ExecEngine::Fast);
+    auto modelFor = [&](std::size_t point) -> uarch::ClusterModel & {
+        return point < 4 ? little_model : big_model;
+    };
+
+    uarch::BatchedSystemModel batched(points);
+
+    // Identity gate (and warm-up): every per-config output of the
+    // batched run must match its standalone run bit for bit.
+    std::vector<uarch::RunResult> batch_runs;
+    batched.reset();
+    work.prepareMemory(batched.memory());
+    batched.runInto(work.program, work.numThreads, batch_runs);
+    uarch::RunResult standalone_run;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        uarch::ClusterModel &model = modelFor(i);
+        model.reset();
+        work.prepareMemory(model.memory());
+        model.runInto(work.program, work.numThreads,
+                      points[i].freqGhz, standalone_run);
+        requireIdentical(standalone_run, batch_runs[i],
+                         work.name + " point " + std::to_string(i));
+    }
+
+    SweepResult result;
+    result.kernel = work.name;
+    result.group = bench.group;
+    result.instructions = standalone_run.instructions;
+    result.standaloneSeconds = 1e300;
+    result.batchedSeconds = 1e300;
+
+    for (unsigned rep = 0; rep < repeats; ++rep) {
+        auto start = std::chrono::steady_clock::now();
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            uarch::ClusterModel &model = modelFor(i);
+            model.reset();
+            work.prepareMemory(model.memory());
+            model.runInto(work.program, work.numThreads,
+                          points[i].freqGhz, standalone_run);
+        }
+        auto stop = std::chrono::steady_clock::now();
+        result.standaloneSeconds = std::min(
+            result.standaloneSeconds,
+            std::chrono::duration<double>(stop - start).count());
+
+        start = std::chrono::steady_clock::now();
+        batched.reset();
+        work.prepareMemory(batched.memory());
+        // Tally the engine only: prepareMemory is the workload's own
+        // setup and allocates for some kernels (same bracket as P2).
+        MallocTallySnapshot before = mallocTally();
+        batched.runInto(work.program, work.numThreads, batch_runs);
+        MallocTallySnapshot after = mallocTally();
+        stop = std::chrono::steady_clock::now();
+        result.batchedSeconds = std::min(
+            result.batchedSeconds,
+            std::chrono::duration<double>(stop - start).count());
+        result.allocsPerRun = after.allocs - before.allocs;
+        result.bytesPerRun = after.bytes - before.bytes;
+    }
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_batch_sweep.json";
+    std::string baseline_path;
+    std::string kernel_filter;
+    double max_regress = 0.20;
+    double min_geomean = 3.0;
+    unsigned repeats = 3;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            fatal_if(i + 1 >= argc, arg, " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--out")
+            out_path = next();
+        else if (arg == "--check")
+            baseline_path = next();
+        else if (arg == "--max-regress")
+            max_regress = std::stod(next());
+        else if (arg == "--min-geomean")
+            min_geomean = std::stod(next());
+        else if (arg == "--repeats")
+            repeats = static_cast<unsigned>(std::stoul(next()));
+        else if (arg == "--kernel")
+            kernel_filter = next();
+        else
+            fatal("unknown argument ", arg);
+    }
+
+    const bool tally_active = mallocTallyActive();
+    std::cout << "P5: 8-OPP sweep, batched lockstep engine vs "
+                 "per-config fast-engine runs\n";
+    if (!tally_active)
+        std::cout << "(allocation tally inactive in this build; "
+                     "alloc counts report 0 and are not gated)\n";
+
+    std::vector<BenchKernel> kernel_set = benchKernels();
+    if (!kernel_filter.empty()) {
+        std::erase_if(kernel_set, [&](const BenchKernel &bench) {
+            return bench.work.name != kernel_filter;
+        });
+        fatal_if(kernel_set.empty(), "--kernel ", kernel_filter,
+                 " matches no bench kernel");
+    }
+
+    std::vector<SweepResult> results;
+    std::map<std::string, std::vector<double>> group_speedups;
+    double log_sum = 0.0;
+    TextTable table({"kernel", "group", "insts", "8-run ms",
+                     "batched ms", "speedup", "allocs/run",
+                     "identical"});
+    for (const BenchKernel &bench : kernel_set) {
+        SweepResult r = sweepKernel(bench, repeats);
+        results.push_back(r);
+        group_speedups[r.group].push_back(r.speedup());
+        log_sum += std::log(r.speedup());
+        table.addRow({r.kernel, r.group,
+                      std::to_string(r.instructions),
+                      formatDouble(r.standaloneSeconds * 1e3, 2),
+                      formatDouble(r.batchedSeconds * 1e3, 2),
+                      formatRatio(r.speedup()),
+                      std::to_string(r.allocsPerRun), "yes"});
+    }
+    table.print(std::cout);
+
+    double geomean =
+        std::exp(log_sum / static_cast<double>(results.size()));
+    std::map<std::string, double> group_geomean;
+    for (const auto &[group, speedups] : group_speedups) {
+        double group_log = 0.0;
+        for (double s : speedups)
+            group_log += std::log(s);
+        group_geomean[group] = std::exp(
+            group_log / static_cast<double>(speedups.size()));
+    }
+    for (const auto &[group, value] : group_geomean)
+        std::cout << "geomean sweep speedup, " << group << ": "
+                  << formatRatio(value) << "\n";
+    std::cout << "geomean sweep speedup, overall: "
+              << formatRatio(geomean) << "\n";
+
+    benchjson::BenchJson json("batch_sweep", "sweep speedup");
+    json.setScalar("alloc_tally_active", tally_active);
+    json.setScalar("opp_points", "8");
+    for (const SweepResult &r : results) {
+        json.addResult()
+            .str("kernel", r.kernel)
+            .str("group", r.group)
+            .integer("instructions", r.instructions)
+            .num("standalone_ms", r.standaloneSeconds * 1e3, 3)
+            .num("batched_ms", r.batchedSeconds * 1e3, 3)
+            .num("speedup", r.speedup(), 3)
+            .integer("allocs_per_run", r.allocsPerRun)
+            .integer("bytes_per_run", r.bytesPerRun);
+    }
+    for (const auto &[group, value] : group_geomean)
+        json.setGroup(group, value);
+    json.setGroup("overall", geomean);
+    json.write(out_path);
+    std::cout << "wrote " << out_path << "\n";
+
+    if (!baseline_path.empty()) {
+        std::map<std::string, double> baseline =
+            benchjson::loadBaseline(baseline_path, {"kernel"},
+                                    "speedup");
+        fatal_if(baseline.empty(), "no results found in ",
+                 baseline_path);
+        std::map<std::string, double> baseline_allocs =
+            benchjson::loadBaseline(baseline_path, {"kernel"},
+                                    "allocs_per_run");
+        bool regressed = false;
+        for (const SweepResult &r : results) {
+            auto it = baseline.find(r.kernel);
+            if (it == baseline.end())
+                continue;  // new kernel: no baseline yet
+            double floor = it->second * (1.0 - max_regress);
+            if (r.speedup() < floor) {
+                std::cerr << "REGRESSION: " << r.kernel
+                          << " sweep speedup "
+                          << formatRatio(r.speedup())
+                          << " below baseline "
+                          << formatRatio(it->second) << " - "
+                          << formatDouble(max_regress * 100.0, 0)
+                          << "%\n";
+                regressed = true;
+            }
+            // Zero steady-state allocations is structural; any new
+            // one is a regression, not noise.
+            auto alloc_it = baseline_allocs.find(r.kernel);
+            if (tally_active && alloc_it != baseline_allocs.end() &&
+                static_cast<double>(r.allocsPerRun) >
+                    alloc_it->second) {
+                std::cerr << "REGRESSION: " << r.kernel
+                          << " performs " << r.allocsPerRun
+                          << " steady-state allocations per batched "
+                             "run, baseline "
+                          << alloc_it->second << "\n";
+                regressed = true;
+            }
+        }
+        if (geomean < min_geomean) {
+            std::cerr << "REGRESSION: geomean sweep speedup "
+                      << formatRatio(geomean) << " below the "
+                      << formatRatio(min_geomean)
+                      << " acceptance floor\n";
+            regressed = true;
+        }
+        if (regressed)
+            return 1;
+        std::cout << "regression gate passed against "
+                  << baseline_path << " (max regress "
+                  << formatDouble(max_regress * 100.0, 0)
+                  << "%, geomean floor " << formatRatio(min_geomean)
+                  << ", steady-state allocs gated: "
+                  << (tally_active ? "yes" : "no (tally inactive)")
+                  << ")\n";
+    }
+    return 0;
+}

@@ -44,6 +44,7 @@
 
 #include "benchjson.hh"
 #include "hwsim/platform.hh"
+#include "isa/predecode.hh"
 #include "uarch/core.hh"
 #include "uarch/system.hh"
 #include "util/arena.hh"
@@ -277,6 +278,13 @@ main(int argc, char **argv)
 
     benchjson::BenchJson json("sim_throughput", "simulated MIPS");
     json.setScalar("alloc_tally_active", tally_active);
+    isa::PredecodeCacheStats predecode = isa::predecodeCacheStats();
+    json.setScalar("predecode_hits",
+                   std::to_string(predecode.hits));
+    json.setScalar("predecode_misses",
+                   std::to_string(predecode.misses));
+    json.setScalar("predecode_inserts",
+                   std::to_string(predecode.inserts));
     for (const KernelResult &r : results) {
         json.addResult()
             .str("kernel", r.kernel)

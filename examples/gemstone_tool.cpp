@@ -34,6 +34,8 @@
 #include <functional>
 #include <iostream>
 #include <memory>
+#include <sstream>
+#include <vector>
 
 #include "exec/resultstore.hh"
 #include "exec/threadpool.hh"
@@ -196,6 +198,8 @@ parseSpecFlag(const std::string &arg,
             fatal("--deadline must be >= 0");
     } else if (arg == "--tag") {
         spec.tag = next();
+    } else if (arg == "--opp-grid") {
+        spec.oppGrid = true;
     } else {
         return false;
     }
@@ -218,7 +222,10 @@ const char kSpecFlagsHelp[] =
     "  --jobs N             campaign worker threads; 0 = all cores\n"
     "  --max-points N       truncate the campaign (0 = all points)\n"
     "  --deadline SECONDS   wall-clock budget (0 = unlimited)\n"
-    "  --tag STR            label echoed in daemon logs\n";
+    "  --tag STR            label echoed in daemon logs\n"
+    "  --opp-grid           batched base runs for OPP sweeps (one\n"
+    "                       instruction stream feeds every config;\n"
+    "                       byte-identical results, faster)\n";
 
 /** `gemstone_tool campaign`: one-shot run -> dataset CSV. */
 int
@@ -319,6 +326,57 @@ campaignMain(int argc, char **argv)
     return 1;
 }
 
+/**
+ * Parse a spec-list file for `ctl submit-batch`: one campaign per
+ * line, written with the same flags `submit` takes (plus --durable),
+ * applied over the command line's shared spec as defaults. Blank
+ * lines and lines starting with '#' are skipped.
+ */
+std::vector<serve::CampaignSpec>
+loadSpecList(const std::string &path, const serve::CampaignSpec &base)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot read spec list ", path);
+    std::vector<serve::CampaignSpec> specs;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        std::istringstream tokens(line);
+        std::vector<std::string> words;
+        std::string word;
+        while (tokens >> word)
+            words.push_back(word);
+        if (words.empty() || words[0][0] == '#')
+            continue;
+        serve::CampaignSpec spec = base;
+        for (std::size_t i = 0; i < words.size(); ++i) {
+            const std::string &arg = words[i];
+            auto next = [&]() -> std::string {
+                if (i + 1 >= words.size()) {
+                    fatal(path, ":", line_no, ": missing value for ",
+                          arg);
+                }
+                return words[++i];
+            };
+            if (arg == "--durable") {
+                spec.durable = true;
+            } else if (!parseSpecFlag(arg, next, spec)) {
+                fatal(path, ":", line_no, ": unknown spec flag '",
+                      arg, "'");
+            }
+        }
+        std::string invalid = serve::validateCampaignSpec(spec);
+        if (!invalid.empty())
+            fatal(path, ":", line_no, ": invalid campaign: ", invalid);
+        specs.push_back(std::move(spec));
+    }
+    if (specs.empty())
+        fatal("spec list ", path, " has no campaigns");
+    return specs;
+}
+
 /** `gemstone_tool ctl` (gemstonectl): talk to a gemstoned daemon. */
 int
 ctlMain(int argc, char **argv)
@@ -333,6 +391,8 @@ ctlMain(int argc, char **argv)
     std::uint64_t cancel_id = 0;
     std::string attach_token;
     std::string token_file;
+    std::string spec_file;
+    std::string out_dir;
     double io_timeout = 30.0;
     int retries = -1;  // -1 = default: 8 for durable streams
 
@@ -361,6 +421,10 @@ ctlMain(int argc, char **argv)
             attach_token = next();
         } else if (arg == "--token-file") {
             token_file = next();
+        } else if (arg == "--spec-file") {
+            spec_file = next();
+        } else if (arg == "--out-dir") {
+            out_dir = next();
         } else if (arg == "--timeout") {
             io_timeout = std::stod(next());
             if (io_timeout < 0.0)
@@ -375,8 +439,9 @@ ctlMain(int argc, char **argv)
             std::cout
                 << "usage: gemstone_tool ctl [--socket PATH | --tcp "
                    "PORT [--host IP]]\n"
-                   "                         submit|attach|stats|"
-                   "status|cancel [options]\n"
+                   "                         submit|submit-batch|"
+                   "attach|stats|status|cancel\n"
+                   "                         [options]\n"
                    "\n"
                    "submit streams a campaign and writes the "
                    "collated dataset CSV\n"
@@ -398,6 +463,18 @@ ctlMain(int argc, char **argv)
                    "outage (default 8\n"
                    "                       for durable streams, 0 "
                    "otherwise)\n"
+                   "\n"
+                   "submit-batch pipelines every campaign of "
+                   "--spec-file FILE (one\n"
+                   "spec per line, same flags as submit plus "
+                   "--durable; command-line\n"
+                   "spec flags are shared defaults) over this one "
+                   "connection and\n"
+                   "demultiplexes the streams; each dataset CSV goes "
+                   "to\n"
+                   "--out-dir DIR/batch-<i>.csv (default stdout, "
+                   "concatenated in\n"
+                   "spec order).\n"
                    "\n"
                    "attach re-binds to a request by resume token "
                    "(--token STR or\n"
@@ -424,8 +501,8 @@ ctlMain(int argc, char **argv)
         }
     }
     if (command.empty()) {
-        fatal("ctl needs a command: submit, attach, stats, status or "
-              "cancel");
+        fatal("ctl needs a command: submit, submit-batch, attach, "
+              "stats, status or cancel");
     }
     if (socket_path.empty() && tcp_port < 0)
         fatal("ctl needs --socket or --tcp");
@@ -476,7 +553,11 @@ ctlMain(int argc, char **argv)
                   << " misses, " << stats.storeInsertions
                   << " insertions, " << stats.storeEvictions
                   << " evictions, " << stats.storeSharedHits
-                  << " shared-tier hits\n";
+                  << " shared-tier hits\n"
+                  << "predecode: " << stats.predecodeHits
+                  << " hits, " << stats.predecodeMisses
+                  << " misses, " << stats.predecodeInserts
+                  << " inserts\n";
         return 0;
     }
     if (command == "status") {
@@ -499,6 +580,95 @@ ctlMain(int argc, char **argv)
         }
         return 0;
     }
+    if (command == "submit-batch") {
+        if (spec_file.empty())
+            fatal("submit-batch needs --spec-file FILE");
+        std::vector<serve::CampaignSpec> specs =
+            loadSpecList(spec_file, spec);
+
+        serve::Client::ReconnectPolicy policy;
+        policy.maxAttempts = retries >= 0
+            ? static_cast<unsigned>(retries)
+            : 8;  // engages only when every pending spec is durable
+        client.setReconnectPolicy(policy);
+
+        serve::Client::BatchCallbacks callbacks;
+        if (!quiet) {
+            callbacks.onAccepted = [&](std::size_t idx,
+                                       const serve::Accepted &a) {
+                std::cerr << "spec " << idx << ": accepted as request "
+                          << a.requestId << " (token " << a.token
+                          << ")\n";
+            };
+            callbacks.onResumed = [&](std::size_t idx,
+                                      const serve::ResumeInfo &info) {
+                std::cerr << "spec " << idx << ": re-attached to "
+                          << "request " << info.requestId << "\n";
+            };
+            callbacks.onPoint = [&](std::size_t idx,
+                                    const serve::PointUpdate &u) {
+                std::cerr << "spec " << idx << ": point "
+                          << (u.index + 1) << "/" << u.total << " "
+                          << u.workload << "@"
+                          << formatDouble(u.freqMhz, 0) << " "
+                          << u.statusTag << "\n";
+            };
+        }
+
+        std::vector<serve::Client::SubmitResult> results;
+        Status status = client.submitMany(specs, results, callbacks);
+        if (!status.ok()) {
+            std::cerr << "gemstonectl: " << status.toString() << "\n";
+            return transportExit(status);
+        }
+
+        int exit_code = 0;
+        auto worsen = [&](int code) {
+            exit_code = std::max(exit_code, code);
+        };
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const serve::Client::SubmitResult &result = results[i];
+            if (!result.accepted) {
+                std::cerr << "spec " << i << ": rejected ("
+                          << serve::rejectReasonTag(
+                                 result.rejection.reason)
+                          << "): " << result.rejection.message
+                          << "\n";
+                worsen(2);
+                continue;
+            }
+            for (const std::string &warning : result.summary.warnings)
+                std::cerr << "spec " << i << ": warning: " << warning
+                          << "\n";
+            switch (result.summary.outcome) {
+              case serve::RequestOutcome::Ok: {
+                std::string path = out_dir.empty()
+                    ? ""
+                    : out_dir + "/batch-" + std::to_string(i) +
+                        ".csv";
+                worsen(writeOutput(path,
+                                   result.summary.datasetCsv));
+                break;
+              }
+              case serve::RequestOutcome::Cancelled:
+                std::cerr << "spec " << i << ": cancelled\n";
+                worsen(kExitCancelled);
+                break;
+              case serve::RequestOutcome::Deadline:
+                std::cerr << "spec " << i
+                          << ": deadline exceeded\n";
+                worsen(kExitDeadline);
+                break;
+              case serve::RequestOutcome::Error:
+                std::cerr << "spec " << i << ": campaign failed: "
+                          << result.summary.error << "\n";
+                worsen(1);
+                break;
+            }
+        }
+        return exit_code;
+    }
+
     if (command != "submit" && command != "attach")
         fatal("unknown ctl command '", command, "'");
 

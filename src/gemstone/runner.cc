@@ -169,6 +169,42 @@ ExperimentRunner::modelFor(hwsim::CpuCluster cluster)
 }
 
 void
+ExperimentRunner::prewarmBatchedBaseRuns(
+    const workload::Workload &work, hwsim::CpuCluster cluster)
+{
+    // Both 1.0 GHz base runs a validation point ever needs — the
+    // hardware cluster shape and its g5 twin — computed from ONE
+    // architectural execution of the workload: the two configs share
+    // the functional surface (same memBytes/quantum/numCores), so
+    // they batch into one driver pass with two timing lanes. The
+    // results are bit-identical to the lazy per-cache fills, which
+    // is why installing them is invisible to every consumer.
+    std::uint64_t mem_bytes =
+        std::max<std::uint64_t>(work.memBytes, 64 * 1024);
+    g5::G5Model model = modelFor(cluster);
+
+    uarch::ClusterConfig hw_config =
+        cluster == hwsim::CpuCluster::LittleA7
+        ? hwsim::trueLittleConfig()
+        : hwsim::trueBigConfig();
+    hw_config.memBytes = mem_bytes;
+    uarch::ClusterConfig g5_config =
+        g5::ex5Config(model, runnerConfig.g5Version);
+    g5_config.memBytes = mem_bytes;
+
+    std::vector<uarch::BatchPoint> points = {{hw_config, 1.0},
+                                             {g5_config, 1.0}};
+    uarch::BatchedSystemModel &batched =
+        hwsim::pooledBatchedModel(points);
+    work.prepareMemory(batched.memory());
+    thread_local std::vector<uarch::RunResult> results;
+    batched.runInto(work.program, work.numThreads, results);
+
+    board->installBaseRun(work, cluster, results[0]);
+    sim->installBaseRun(work, model, results[1]);
+}
+
+void
 ExperimentRunner::attachResultStore(
     std::shared_ptr<exec::ResultStore> new_store)
 {

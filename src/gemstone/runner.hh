@@ -128,6 +128,18 @@ class ExperimentRunner
     g5::G5Stats runG5(const workload::Workload &work,
                       hwsim::CpuCluster cluster, double freq_mhz);
 
+    /**
+     * Fill both 1.0 GHz base-run caches for (workload, cluster) —
+     * the hardware platform's and the g5 simulator's — from one
+     * batched execution of the workload's instruction stream
+     * (uarch::BatchedSystemModel with two timing lanes), instead of
+     * two independent full runs. Results are bit-identical to the
+     * lazy fills; racing with them is safe (the caches install under
+     * once-flags). Used by campaigns with batched base runs enabled.
+     */
+    void prewarmBatchedBaseRuns(const workload::Workload &work,
+                                hwsim::CpuCluster cluster);
+
     hwsim::OdroidXu3Platform &platform() { return *board; }
     g5::G5Simulation &simulator() { return *sim; }
     const RunnerConfig &config() const { return runnerConfig; }

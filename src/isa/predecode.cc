@@ -20,6 +20,7 @@
 
 #include "isa/handlers.hh"
 
+#include <atomic>
 #include <cstring>
 #include <deque>
 #include <mutex>
@@ -290,6 +291,12 @@ predecodeCache()
 /** Distinct workloads alive per process stay far below this. */
 constexpr std::size_t predecodeCacheCap = 256;
 
+/** Monotonic lifetime counters; relaxed — they are observability,
+ *  never synchronisation. */
+std::atomic<std::uint64_t> statHits{0};
+std::atomic<std::uint64_t> statMisses{0};
+std::atomic<std::uint64_t> statInserts{0};
+
 } // namespace
 
 std::shared_ptr<const PredecodedProgram>
@@ -303,9 +310,11 @@ predecodeCached(const Program &program)
         auto it = cache.byHash.find(key);
         if (it != cache.byHash.end() &&
             matchesProgram(*it->second, program)) {
+            statHits.fetch_add(1, std::memory_order_relaxed);
             return it->second;
         }
     }
+    statMisses.fetch_add(1, std::memory_order_relaxed);
 
     // Build outside the lock: predecode is linear but not free, and
     // concurrent misses on *different* programs shouldn't serialise.
@@ -321,14 +330,26 @@ predecodeCached(const Program &program)
         if (matchesProgram(*it->second, program))
             return it->second;
         it->second = built;
+        statInserts.fetch_add(1, std::memory_order_relaxed);
         return built;
     }
+    statInserts.fetch_add(1, std::memory_order_relaxed);
     cache.insertionOrder.push_back(key);
     if (cache.insertionOrder.size() > predecodeCacheCap) {
         cache.byHash.erase(cache.insertionOrder.front());
         cache.insertionOrder.pop_front();
     }
     return built;
+}
+
+PredecodeCacheStats
+predecodeCacheStats()
+{
+    PredecodeCacheStats out;
+    out.hits = statHits.load(std::memory_order_relaxed);
+    out.misses = statMisses.load(std::memory_order_relaxed);
+    out.inserts = statInserts.load(std::memory_order_relaxed);
+    return out;
 }
 
 } // namespace gemstone::isa

@@ -220,6 +220,26 @@ class PredecodedProgram
 std::shared_ptr<const PredecodedProgram>
 predecodeCached(const Program &program);
 
+/**
+ * Lifetime counters of the process-wide predecode cache. A lookup
+ * that returns an existing entry is a hit; anything that builds a
+ * fresh flattening is a miss, and the subset of misses that lands in
+ * the cache (not discarded after losing an insert race) is an
+ * insert. Counters are monotonic, relaxed-atomic (exact under a
+ * quiesced cache, approximate while racing) and cheap enough to
+ * leave enabled everywhere — they feed QueryStats in the serving
+ * daemon and the throughput benchmark's JSON.
+ */
+struct PredecodeCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t inserts = 0;
+};
+
+/** Snapshot of the predecode-cache counters. */
+PredecodeCacheStats predecodeCacheStats();
+
 } // namespace gemstone::isa
 
 #endif // GEMSTONE_ISA_PREDECODE_HH

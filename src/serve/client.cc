@@ -16,7 +16,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <deque>
+#include <map>
 #include <thread>
+#include <vector>
 
 #include "util/logging.hh"
 #include "util/random.hh"
@@ -420,6 +423,298 @@ Client::consumeStream(StreamContext &context, SubmitResult &result,
                                   frame.type)));
         }
     }
+}
+
+Status
+Client::submitMany(const std::vector<CampaignSpec> &specs,
+                   std::vector<SubmitResult> &results,
+                   const BatchCallbacks &callbacks)
+{
+    results.assign(specs.size(), SubmitResult());
+    if (specs.empty())
+        return Status::okStatus();
+
+    struct PerSpec
+    {
+        std::string specBytes;
+        std::string token;
+        bool durable = false;
+        bool finished = false;
+        /** Campaign indices already delivered to onPoint. */
+        std::set<std::uint32_t> seen;
+    };
+    std::vector<PerSpec> state(specs.size());
+
+    // Pipeline every submit before consuming a single reply: the
+    // daemon processes frames in arrival order, so the i-th
+    // admission reply (Accepted or Rejected) answers the i-th
+    // outstanding submit on this connection.
+    std::deque<std::size_t> awaitingAdmission;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        PerSpec &per = state[i];
+        per.durable = specs[i].durable;
+        per.specBytes = encodeCampaignSpec(specs[i]);
+        Status sent =
+            sendFrame(exec::FrameType::SubmitCampaign, per.specBytes);
+        if (!sent.ok())
+            return sent;
+        awaitingAdmission.push_back(i);
+    }
+
+    // Request id -> spec indices. A vector, not a single index:
+    // identical durable specs coalesce onto one daemon request.
+    std::map<std::uint64_t, std::vector<std::size_t>> byRequest;
+    std::size_t unfinished = specs.size();
+
+    auto recoverable = [&] {
+        if (reconnectPolicy.maxAttempts == 0)
+            return false;
+        for (const PerSpec &per : state) {
+            if (!per.finished && !per.durable)
+                return false;
+        }
+        return true;
+    };
+
+    // Batch flavour of recover(): redial once per outage, then
+    // re-bind every unfinished spec in index order — Attach when its
+    // token is known, idempotent re-submit of the exact spec bytes
+    // otherwise. Admission replies again arrive in send order.
+    auto recoverBatch = [&]() -> Status {
+        close();
+        std::string salt;
+        for (const PerSpec &per : state) {
+            if (!per.finished) {
+                salt = per.token.empty() ? per.specBytes : per.token;
+                break;
+            }
+        }
+        Rng rng(hashString(salt));
+        Status failure(StatusCode::IoError,
+                       "reconnect never attempted");
+        for (unsigned attempt = 1;
+             attempt <= reconnectPolicy.maxAttempts; ++attempt) {
+            double backoff =
+                reconnectPolicy.backoffBaseSeconds *
+                static_cast<double>(1u << std::min(attempt - 1, 16u));
+            backoff =
+                std::min(backoff, reconnectPolicy.backoffCapSeconds);
+            double sleep_s = backoff * (0.5 + 0.5 * rng.uniform());
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(sleep_s));
+
+            Status dialled = redial();
+            if (!dialled.ok()) {
+                failure = dialled;
+                continue;
+            }
+            awaitingAdmission.clear();
+            byRequest.clear();
+            bool sent_all = true;
+            unsigned rebound = 0;
+            for (std::size_t i = 0; i < state.size(); ++i) {
+                PerSpec &per = state[i];
+                if (per.finished)
+                    continue;
+                Status sent = per.token.empty()
+                    ? sendFrame(exec::FrameType::SubmitCampaign,
+                                per.specBytes)
+                    : sendFrame(exec::FrameType::Attach,
+                                encodeAttachRequest({per.token}));
+                if (!sent.ok()) {
+                    failure = sent;
+                    sent_all = false;
+                    break;
+                }
+                ++results[i].reconnects;
+                awaitingAdmission.push_back(i);
+                ++rebound;
+            }
+            if (!sent_all)
+                continue;
+            inform("gemstonectl: reconnected (attempt ", attempt,
+                   "), re-bound ", rebound, " request",
+                   rebound == 1 ? "" : "s");
+            return Status::okStatus();
+        }
+        return Status(
+            StatusCode::IoError,
+            "daemon unreachable after " +
+                std::to_string(reconnectPolicy.maxAttempts) +
+                " reconnect attempts: " + failure.message());
+    };
+
+    auto indicesOf =
+        [&](std::uint64_t request_id) -> std::vector<std::size_t> * {
+        auto it = byRequest.find(request_id);
+        return it == byRequest.end() ? nullptr : &it->second;
+    };
+
+    while (unfinished > 0) {
+        exec::Frame frame;
+        double timeout = recoverable()
+            ? reconnectPolicy.heartbeatTimeoutSeconds
+            : 0.0;
+        Status status = readFrame(frame, timeout);
+        if (!status.ok()) {
+            if (status.code() == StatusCode::DeadlineExceeded)
+                warn("gemstonectl: stream went silent; reconnecting");
+            if (!recoverable())
+                return status;
+            Status recovered = recoverBatch();
+            if (!recovered.ok())
+                return recovered;
+            continue;
+        }
+        switch (frame.type) {
+          case exec::FrameType::Accepted: {
+            Accepted accepted;
+            if (!decodeAccepted(frame.payload, accepted)) {
+                return Status(StatusCode::CorruptData,
+                              "undecodable Accepted frame");
+            }
+            if (awaitingAdmission.empty()) {
+                return Status(StatusCode::CorruptData,
+                              "Accepted with no submit outstanding");
+            }
+            std::size_t idx = awaitingAdmission.front();
+            awaitingAdmission.pop_front();
+            state[idx].token = accepted.token;
+            results[idx].requestId = accepted.requestId;
+            results[idx].token = accepted.token;
+            byRequest[accepted.requestId].push_back(idx);
+            if (callbacks.onAccepted)
+                callbacks.onAccepted(idx, accepted);
+            break;
+          }
+          case exec::FrameType::Resumed: {
+            ResumeInfo info;
+            if (!decodeResumeInfo(frame.payload, info)) {
+                return Status(StatusCode::CorruptData,
+                              "undecodable Resumed frame");
+            }
+            if (awaitingAdmission.empty()) {
+                return Status(StatusCode::CorruptData,
+                              "Resumed with no attach outstanding");
+            }
+            std::size_t idx = awaitingAdmission.front();
+            awaitingAdmission.pop_front();
+            state[idx].token = info.token;
+            results[idx].requestId = info.requestId;
+            results[idx].token = info.token;
+            byRequest[info.requestId].push_back(idx);
+            if (callbacks.onResumed)
+                callbacks.onResumed(idx, info);
+            break;
+          }
+          case exec::FrameType::Rejected: {
+            Rejection rejection;
+            if (!decodeRejection(frame.payload, rejection)) {
+                return Status(StatusCode::CorruptData,
+                              "undecodable Rejected frame");
+            }
+            if (awaitingAdmission.empty()) {
+                return Status(StatusCode::CorruptData,
+                              "Rejected with no submit outstanding");
+            }
+            std::size_t idx = awaitingAdmission.front();
+            awaitingAdmission.pop_front();
+            if (rejection.reason == RejectReason::UnknownToken &&
+                !state[idx].specBytes.empty()) {
+                warn("gemstonectl: token unknown to daemon; "
+                     "re-submitting spec ", idx);
+                state[idx].token.clear();
+                Status sent =
+                    sendFrame(exec::FrameType::SubmitCampaign,
+                              state[idx].specBytes);
+                if (sent.ok()) {
+                    // The re-submit is now the newest outstanding
+                    // admission on this connection.
+                    awaitingAdmission.push_back(idx);
+                    break;
+                }
+                if (!recoverable())
+                    return sent;
+                Status recovered = recoverBatch();
+                if (!recovered.ok())
+                    return recovered;
+                break;
+            }
+            results[idx].accepted = false;
+            results[idx].rejection = rejection;
+            results[idx].token.clear();
+            state[idx].finished = true;
+            --unfinished;
+            break;
+          }
+          case exec::FrameType::PointResult: {
+            PointUpdate update;
+            if (!decodePointUpdate(frame.payload, update)) {
+                return Status(StatusCode::CorruptData,
+                              "undecodable PointResult frame");
+            }
+            std::vector<std::size_t> *owners =
+                indicesOf(update.requestId);
+            if (owners == nullptr)
+                break;  // late frame of a spec settled pre-recovery
+            for (std::size_t idx : *owners) {
+                if (state[idx].seen.insert(update.index).second &&
+                    callbacks.onPoint) {
+                    callbacks.onPoint(idx, update);
+                }
+            }
+            break;
+          }
+          case exec::FrameType::Progress: {
+            ProgressUpdate update;
+            if (!decodeProgress(frame.payload, update)) {
+                return Status(StatusCode::CorruptData,
+                              "undecodable Progress frame");
+            }
+            std::vector<std::size_t> *owners =
+                indicesOf(update.requestId);
+            if (owners != nullptr && callbacks.onProgress) {
+                for (std::size_t idx : *owners)
+                    callbacks.onProgress(idx, update);
+            }
+            break;
+          }
+          case exec::FrameType::Summary: {
+            Summary summary;
+            if (!decodeSummary(frame.payload, summary)) {
+                return Status(StatusCode::CorruptData,
+                              "undecodable Summary frame");
+            }
+            std::vector<std::size_t> *owners =
+                indicesOf(summary.requestId);
+            if (owners == nullptr) {
+                return Status(StatusCode::CorruptData,
+                              "Summary for an unknown request id");
+            }
+            for (std::size_t idx : *owners) {
+                if (state[idx].finished)
+                    continue;
+                results[idx].accepted = true;
+                results[idx].summary = summary;
+                results[idx].requestId = summary.requestId;
+                results[idx].token = state[idx].token;
+                state[idx].finished = true;
+                --unfinished;
+            }
+            break;
+          }
+          case exec::FrameType::ProtocolError:
+            return Status(StatusCode::CorruptData,
+                          "daemon reported a protocol error: " +
+                              frame.payload);
+          default:
+            return Status(StatusCode::CorruptData,
+                          "unexpected frame type " +
+                              std::to_string(
+                                  static_cast<int>(frame.type)));
+        }
+    }
+    return Status::okStatus();
 }
 
 Status

@@ -117,6 +117,37 @@ class Client
     Status submit(const CampaignSpec &spec, SubmitResult &result,
                   const Callbacks &callbacks = {});
 
+    /** Per-spec callbacks for submitMany (all optional). The first
+     *  argument is the index into the submitted spec list. */
+    struct BatchCallbacks
+    {
+        std::function<void(std::size_t, const Accepted &)> onAccepted;
+        std::function<void(std::size_t, const PointUpdate &)> onPoint;
+        std::function<void(std::size_t, const ProgressUpdate &)>
+            onProgress;
+        std::function<void(std::size_t, const ResumeInfo &)> onResumed;
+    };
+
+    /**
+     * Submit every spec over this one connection (pipelined — all
+     * submits go out before any reply is consumed) and block until
+     * each has settled with a Rejection or a Summary. The daemon
+     * answers admission in arrival order, so the i-th Accepted /
+     * Rejected is bound to the i-th outstanding submit; after that,
+     * streamed frames are demultiplexed to their spec by request id.
+     * results[i] is the outcome of specs[i].
+     *
+     * Self-healing engages only when *every* unfinished spec is
+     * durable: the batch redials once per outage and re-binds each
+     * pending spec (Attach by token, or idempotent re-submit of the
+     * exact spec bytes), deduplicating replayed points per spec.
+     * Identical durable specs coalesce onto one daemon request; each
+     * copy still settles with the shared summary.
+     */
+    Status submitMany(const std::vector<CampaignSpec> &specs,
+                      std::vector<SubmitResult> &results,
+                      const BatchCallbacks &callbacks = {});
+
     /**
      * Re-bind to an existing request by resume token and consume its
      * stream to the Summary. The daemon replays every settled point

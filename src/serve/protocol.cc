@@ -66,6 +66,7 @@ encodeCampaignSpec(const CampaignSpec &spec)
         w.f64(freq);
     w.str(spec.tag);
     w.u8(spec.durable ? 1 : 0);
+    w.u8(spec.oppGrid ? 1 : 0);
     return w.take();
 }
 
@@ -95,6 +96,7 @@ decodeCampaignSpec(const std::string &payload, CampaignSpec &out)
         out.freqsMhz.push_back(r.f64());
     out.tag = r.str();
     out.durable = r.u8() != 0;
+    out.oppGrid = r.u8() != 0;
     return r.done();
 }
 
@@ -301,6 +303,9 @@ encodeDaemonStats(const DaemonStats &stats)
     w.u64(stats.storeInsertions);
     w.u64(stats.storeEvictions);
     w.u64(stats.storeSharedHits);
+    w.u64(stats.predecodeHits);
+    w.u64(stats.predecodeMisses);
+    w.u64(stats.predecodeInserts);
     return w.take();
 }
 
@@ -327,6 +332,9 @@ decodeDaemonStats(const std::string &payload, DaemonStats &out)
     out.storeInsertions = r.u64();
     out.storeEvictions = r.u64();
     out.storeSharedHits = r.u64();
+    out.predecodeHits = r.u64();
+    out.predecodeMisses = r.u64();
+    out.predecodeInserts = r.u64();
     return r.done();
 }
 

@@ -27,8 +27,10 @@ namespace gemstone::serve {
 
 /** Protocol revision; bumped on any incompatible payload change.
  *  v2: CampaignSpec::durable, resume tokens in Accepted,
- *  Attach/Resumed frames. */
-inline constexpr std::uint32_t kProtocolVersion = 2;
+ *  Attach/Resumed frames.
+ *  v3: CampaignSpec::oppGrid (batched base runs), predecode-cache
+ *  counters in DaemonStats. */
+inline constexpr std::uint32_t kProtocolVersion = 3;
 
 /** Why a submit or attach was refused. */
 enum class RejectReason : std::uint8_t
@@ -86,6 +88,13 @@ struct CampaignSpec
      * re-submit).
      */
     bool durable = false;
+    /**
+     * OPP-grid request: the campaign computes each workload's base
+     * runs with the batched multi-config engine
+     * (CampaignConfig::batchedBaseRuns). Results are byte-identical
+     * either way; this is a speed knob for frequency sweeps.
+     */
+    bool oppGrid = false;
 };
 
 std::string encodeCampaignSpec(const CampaignSpec &spec);
@@ -201,6 +210,10 @@ struct DaemonStats
     std::uint64_t storeInsertions = 0;
     std::uint64_t storeEvictions = 0;
     std::uint64_t storeSharedHits = 0;
+    /** Content-addressed predecode cache (isa/predecode.hh). */
+    std::uint64_t predecodeHits = 0;
+    std::uint64_t predecodeMisses = 0;
+    std::uint64_t predecodeInserts = 0;
 };
 
 std::string encodeDaemonStats(const DaemonStats &stats);

@@ -19,6 +19,7 @@
 #include <filesystem>
 #include <set>
 
+#include "isa/predecode.hh"
 #include "serve/journal.hh"
 #include "serve/service.hh"
 #include "util/logging.hh"
@@ -361,6 +362,10 @@ Server::statsSnapshot() const
     snapshot.storeInsertions = store_stats.insertions;
     snapshot.storeEvictions = store_stats.evictions;
     snapshot.storeSharedHits = store_stats.sharedHits;
+    isa::PredecodeCacheStats predecode = isa::predecodeCacheStats();
+    snapshot.predecodeHits = predecode.hits;
+    snapshot.predecodeMisses = predecode.misses;
+    snapshot.predecodeInserts = predecode.inserts;
     return snapshot;
 }
 

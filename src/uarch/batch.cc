@@ -1,0 +1,779 @@
+/**
+ * @file
+ * BatchedSystemModel implementation.
+ *
+ * The replay methods below mirror the accumulation order of
+ * CoreModel::runQuantumFast / chargeFetch / dataAccess /
+ * resolveBranch *statement for statement* — any reordering of a
+ * double addition, cache access or predictor update is observable
+ * through the bit-identity contract. When editing core.cc's hot
+ * paths, update the mirrors here (tests/uarch_batch_test and the
+ * batched cases in exec_determinism_test enforce the identity).
+ */
+
+#include "uarch/batch.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "isa/dispatch.hh"
+#include "isa/predecode.hh"
+#include "util/cancellation.hh"
+#include "util/logging.hh"
+
+namespace gemstone::uarch {
+
+namespace {
+
+/** Instruction-side address space offset (matches core.cc). */
+constexpr std::uint64_t codeBase = 1ULL << 30;
+
+void
+sigInt(std::string &out, std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu|",
+                  static_cast<unsigned long long>(v));
+    out += buf;
+}
+
+void
+sigDouble(std::string &out, double v)
+{
+    // Hex float: lossless, so two configs differing in any double by
+    // one ulp land in different lanes.
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%a|", v);
+    out += buf;
+}
+
+void
+sigStr(std::string &out, const std::string &s)
+{
+    out += s;
+    out += '|';
+}
+
+void
+sigCache(std::string &out, const CacheConfig &c)
+{
+    sigStr(out, c.name);
+    sigInt(out, c.sizeBytes);
+    sigInt(out, c.assoc);
+    sigInt(out, c.lineBytes);
+    sigDouble(out, c.hitLatency);
+    sigInt(out, c.prefetchDegree);
+    sigInt(out, c.mshrs);
+    sigInt(out, c.writeStreaming ? 1 : 0);
+    sigInt(out, c.streamingThreshold);
+}
+
+void
+sigTlb(std::string &out, const TlbConfig &t)
+{
+    sigStr(out, t.name);
+    sigInt(out, t.entries);
+    sigInt(out, t.assoc);
+    sigInt(out, t.pageBytes);
+    sigDouble(out, t.latency);
+}
+
+void
+sigCore(std::string &out, const CoreConfig &c)
+{
+    sigStr(out, c.name);
+    sigDouble(out, c.issueWidth);
+    sigDouble(out, c.frontendDepth);
+    sigDouble(out, c.depStallFactor);
+    sigDouble(out, c.memStallFactor);
+    sigDouble(out, c.latIntAlu);
+    sigDouble(out, c.latIntMul);
+    sigDouble(out, c.latIntDiv);
+    sigDouble(out, c.latFpAlu);
+    sigDouble(out, c.latFpDiv);
+    sigDouble(out, c.latSimd);
+    sigDouble(out, c.latLoadToUse);
+    sigInt(out, static_cast<std::uint64_t>(c.bpKind));
+    sigInt(out, c.tournamentConfig.localEntries);
+    sigInt(out, c.tournamentConfig.globalEntries);
+    sigInt(out, c.tournamentConfig.chooserEntries);
+    sigInt(out, c.tournamentConfig.historyBits);
+    sigInt(out, c.tournamentConfig.btbEntries);
+    sigInt(out, c.tournamentConfig.rasEntries);
+    sigInt(out, c.tournamentConfig.indirectEntries);
+    sigInt(out, c.gshareConfig.tableEntries);
+    sigInt(out, c.gshareConfig.historyBits);
+    sigInt(out, c.gshareConfig.btbEntries);
+    sigInt(out, c.gshareConfig.rasEntries);
+    sigInt(out, c.gshareConfig.version);
+    sigDouble(out, c.gshareConfig.noisyInitFraction);
+    sigInt(out, c.gshareConfig.drainResyncPeriod);
+    sigInt(out, c.wrongPathFetchLines);
+    sigInt(out, c.wrongPathLoads);
+    sigInt(out, c.wrongPathCodePages);
+    sigDouble(out, c.wrongPathTlbPenalty);
+    sigCache(out, c.l1i);
+    sigInt(out, c.fetchGroupInsts);
+    sigTlb(out, c.itlb);
+    sigTlb(out, c.dtlb);
+    sigInt(out, c.unifiedL2Tlb ? 1 : 0);
+    sigTlb(out, c.l2TlbUnified);
+    sigTlb(out, c.l2TlbInstr);
+    sigTlb(out, c.l2TlbData);
+    sigDouble(out, c.pageWalkLatency);
+    sigCache(out, c.l1d);
+    sigDouble(out, c.barrierCost);
+    sigDouble(out, c.isbCost);
+    sigDouble(out, c.exclusiveCost);
+    sigDouble(out, c.strexFailCost);
+    sigDouble(out, c.snoopCost);
+    sigInt(out, c.instBytes);
+    sigInt(out, c.osItlbFlushPeriod);
+}
+
+} // namespace
+
+std::string
+clusterConfigSignature(const ClusterConfig &config)
+{
+    std::string out;
+    out.reserve(512);
+    sigStr(out, config.name);
+    sigInt(out, config.numCores);
+    sigCore(out, config.core);
+    sigCache(out, config.l2);
+    sigDouble(out, config.dram.rowHitNs);
+    sigDouble(out, config.dram.rowMissNs);
+    sigInt(out, config.dram.rowBytes);
+    sigInt(out, config.dram.banks);
+    sigInt(out, config.quantum);
+    sigInt(out, config.memBytes);
+    return out;
+}
+
+BatchedSystemModel::BatchedSystemModel(
+    std::vector<BatchPoint> batch_points, Arena *arena)
+    : points(std::move(batch_points)),
+      quantum(points.empty() ? 128 : points.front().config.quantum),
+      numCores(points.empty() ? 0 : points.front().config.numCores),
+      dataMemory(points.empty() ? 64
+                                : points.front().config.memBytes)
+{
+    fatal_if(points.empty(), "batched model needs at least one point");
+    const ClusterConfig &first = points.front().config;
+    for (const BatchPoint &p : points) {
+        fatal_if(p.config.memBytes != first.memBytes,
+                 "batch points must share memBytes (workload address "
+                 "wrapping is functional): ",
+                 p.config.memBytes, " vs ", first.memBytes);
+        fatal_if(p.config.quantum != first.quantum,
+                 "batch points must share the scheduling quantum: ",
+                 p.config.quantum, " vs ", first.quantum);
+        fatal_if(p.config.numCores != first.numCores,
+                 "batch points must share the core count: ",
+                 p.config.numCores, " vs ", first.numCores);
+        fatal_if(p.freqGhz <= 0.0, "frequency must be positive");
+    }
+
+    // Group points into lanes by exact config signature; point order
+    // within a lane becomes slot order.
+    std::vector<std::string> signatures;
+    pointSlot.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        std::string sig = clusterConfigSignature(points[i].config);
+        std::size_t lane_idx = lanes.size();
+        for (std::size_t l = 0; l < signatures.size(); ++l) {
+            if (signatures[l] == sig) {
+                lane_idx = l;
+                break;
+            }
+        }
+        if (lane_idx == lanes.size()) {
+            signatures.push_back(std::move(sig));
+            Lane lane;
+            // The lane cluster is a pure timing instrument: replay
+            // touches its caches/TLBs/predictors/L2/DRAM but never
+            // its data memory (the driver owns the single functional
+            // memory), so the lane's pool is shrunk to nothing.
+            ClusterConfig lane_config = points[i].config;
+            lane_config.memBytes = 64;
+            lane.cluster =
+                std::make_unique<ClusterModel>(lane_config, arena);
+            lanes.push_back(std::move(lane));
+        }
+        Lane &lane = lanes[lane_idx];
+        pointSlot.emplace_back(lane_idx, lane.freqs.size());
+        lane.freqs.push_back(points[i].freqGhz);
+        lane.pointIdx.push_back(i);
+    }
+
+    for (Lane &lane : lanes) {
+        std::size_t plane = std::size_t(numCores) * lane.freqs.size();
+        lane.cycles.assign(plane, 0.0);
+        lane.stallFrontend.assign(plane, 0.0);
+        lane.stallMem.assign(plane, 0.0);
+    }
+
+    cpuStates.resize(numCores);
+    trace.reserve(quantum);
+}
+
+BatchedSystemModel::~BatchedSystemModel() = default;
+
+void
+BatchedSystemModel::reset()
+{
+    for (Lane &lane : lanes)
+        lane.cluster->reset();
+    exclusiveMonitor.reset();
+    predecoded.reset();
+    program = nullptr;
+    // dataMemory is intentionally untouched, like ClusterModel::reset.
+}
+
+std::vector<RunResult>
+BatchedSystemModel::run(const isa::Program &prog,
+                        unsigned num_threads)
+{
+    std::vector<RunResult> out;
+    runInto(prog, num_threads, out);
+    return out;
+}
+
+std::uint64_t
+BatchedSystemModel::runDriverQuantum(unsigned thread,
+                                     std::uint64_t max_insts)
+{
+    // The functional half of runQuantumFast, with the identical
+    // instruction sequence: the stretch/budget batching over there is
+    // a pure loop-shaping optimisation, so a flat loop commits the
+    // same instructions in the same order.
+    isa::CpuState &st = cpuStates[thread];
+    const isa::DecodedOp *const uops = predecoded->uopData();
+    const std::uint32_t pre_size = predecoded->size();
+    isa::ExecEnv env{&dataMemory, &exclusiveMonitor, program->size(),
+                     thread};
+
+    trace.clear();
+    for (unsigned c = 0; c < isa::numOpClasses; ++c)
+        classCounts[c] = 0;
+
+    std::uint64_t executed = 0;
+    std::uint32_t pc = st.pc;
+    while (executed < max_insts && !st.halted) {
+        panic_if(pc >= pre_size, "pc ", pc, " out of range in ",
+                 program->name);
+        const isa::DecodedOp &d = uops[pc];
+
+        isa::OpOutcome out;
+        out.nextPc = pc + 1;
+        isa::dispatchUop(d, st, env, out);
+
+        ReplayEntry e;
+        e.pc = pc;
+        e.nextPc = out.nextPc;
+        e.memAddr = out.memAddr;
+        e.bits = static_cast<std::uint8_t>(
+            (out.taken ? kTaken : 0) |
+            (out.unaligned ? kUnaligned : 0) |
+            (out.storeOk ? kStoreOk : 0));
+        trace.push_back(e);
+
+        ++executed;
+        ++classCounts[static_cast<unsigned>(d.cls)];
+
+        if (st.halted)
+            break;  // pc stays at the Halt instruction
+        pc = out.nextPc;
+    }
+    st.pc = pc;
+    return executed;
+}
+
+void
+BatchedSystemModel::replayChargeFetch(
+    CoreModel &core, std::uint64_t fetch_addr,
+    std::uint64_t &last_line, std::uint32_t &slots, double *cyc,
+    double *sfe, const double *freqs, std::size_t nslots)
+{
+    // Mirror of CoreModel::chargeFetch(fetch_addr, false): the shared
+    // (frequency-invariant) work happens once, then the two
+    // frequency-dependent accumulations replicate per slot with the
+    // exact expression shapes of the original.
+    std::uint64_t line = fetch_addr >> core.fetchLineShift;
+    bool new_line = line != last_line;
+    bool access_icache = new_line || slots == 0;
+    last_line = line;
+    if (access_icache)
+        slots = core.coreConfig.fetchGroupInsts;
+    if (slots > 0)
+        --slots;
+    if (!access_icache)
+        return;
+
+    double lat = 0.0;
+    ++core.ev.itlbAccesses;
+    bool itlb_hit = core.itlb->tryTranslate(fetch_addr) ||
+        core.itlb->translate(fetch_addr, lat);
+    if (!itlb_hit) {
+        ++core.ev.itlbMisses;
+        ++core.ev.l2ItlbAccesses;
+    }
+
+    double dram_ns = 0.0;
+    if (!core.l1i.tryHit(fetch_addr, false)) {
+        CacheAccessResult icache =
+            core.l1i.access(fetch_addr, false, false);
+        if (!icache.hit) {
+            lat += icache.latency;
+            dram_ns = icache.dramNs;
+        }
+    }
+
+    core.ev.dramStallNs += dram_ns;
+    for (std::size_t s = 0; s < nslots; ++s) {
+        double dram_cycles = dram_ns * freqs[s];
+        sfe[s] += lat + dram_cycles;
+        cyc[s] += lat + dram_cycles;
+    }
+}
+
+void
+BatchedSystemModel::replayDataAccess(
+    CoreModel &core, ClusterModel &cl, std::uint64_t addr, bool write,
+    bool unaligned, double *cyc, double *smem, const double *freqs,
+    std::size_t nslots)
+{
+    // Mirror of CoreModel::dataAccess plus its caller's
+    // cycles/stall_mem accumulation. All state evolution (TLB fills,
+    // cache fills, DRAM rows, snoops) is frequency-invariant and runs
+    // once; the returned latency chain is then rebuilt per slot from
+    // the captured intermediate values, through the same sequence of
+    // additions as the original single-frequency chain.
+    double tlb_lat = 0.0;
+    ++core.ev.dtlbAccesses;
+    bool dtlb_hit = core.dtlb->tryTranslate(addr) ||
+        core.dtlb->translate(addr, tlb_lat);
+    if (!dtlb_hit) {
+        ++core.ev.dtlbMisses;
+        ++core.ev.l2DtlbAccesses;
+    }
+
+    bool miss1 = false;
+    double m1_latency = 0.0;
+    double m1_charged = 0.0;
+    if (!core.l1d.tryHit(addr, write)) {
+        CacheAccessResult result = core.l1d.access(addr, write, false);
+        if (!result.hit) {
+            miss1 = true;
+            m1_latency = result.latency;
+            m1_charged =
+                result.dramNs * core.coreConfig.memStallFactor;
+            core.ev.dramStallNs += m1_charged;
+        }
+    }
+
+    bool miss2 = false;
+    double m2_latency = 0.0;
+    double m2_charged = 0.0;
+    if (unaligned &&
+        (addr % core.coreConfig.l1d.lineBytes) + 8 >
+            core.coreConfig.l1d.lineBytes) {
+        CacheAccessResult cross =
+            core.l1d.access(addr + 8, write, false);
+        if (!cross.hit) {
+            miss2 = true;
+            m2_latency = cross.latency;
+            m2_charged = cross.dramNs * core.coreConfig.memStallFactor;
+            core.ev.dramStallNs += m2_charged;
+        }
+    }
+
+    double snoop_extra = 0.0;
+    if (write)
+        snoop_extra = cl.storeSnoop(addr, core.coreId);
+
+    core.lastDataAddr = addr;
+
+    const double hit_latency = core.coreConfig.l1d.hitLatency;
+    const double mem_stall_factor = core.coreConfig.memStallFactor;
+    for (std::size_t s = 0; s < nslots; ++s) {
+        double lat = tlb_lat;
+        if (miss1) {
+            lat += (m1_latency - hit_latency) * mem_stall_factor;
+            lat += m1_charged * freqs[s];
+        }
+        if (miss2) {
+            lat += (m2_latency - hit_latency) * mem_stall_factor;
+            lat += m2_charged * freqs[s];
+        }
+        if (write)
+            lat += snoop_extra;
+        cyc[s] += lat;
+        smem[s] += lat;
+    }
+}
+
+void
+BatchedSystemModel::replayResolveBranch(
+    CoreModel &core, std::uint32_t pc, const BranchInfo &binfo,
+    bool taken, std::uint32_t target,
+    const BranchPrediction &prediction, std::uint32_t &slots,
+    double *cyc, const double *freqs, std::size_t nslots)
+{
+    (void)freqs;
+    // Mirror of CoreModel::resolveBranch + mispredictPenalty. The
+    // whole penalty path is frequency-invariant (the wrong-path
+    // chargeFetch returns before the DRAM-to-cycles scaling), so only
+    // the shared double accumulations replicate across slots.
+    EventCounts &ev = core.ev;
+    ++ev.branches;
+    if (binfo.isCond)
+        ++ev.condBranches;
+    else if (binfo.isCall)
+        ++ev.callBranches;
+    else if (binfo.isReturn)
+        ++ev.returnBranches;
+    else if (binfo.isIndirect)
+        ++ev.indirectBranches;
+    else
+        ++ev.immedBranches;
+
+    if (core.tournamentBp) {
+        core.tournamentBp->update(pc, binfo, taken, target,
+                                  prediction);
+        core.tournamentBp->recordOutcome(binfo, taken, target,
+                                         prediction);
+    } else {
+        core.gshareBp->update(pc, binfo, taken, target, prediction);
+        core.gshareBp->recordOutcome(binfo, taken, target, prediction);
+    }
+
+    if (taken)
+        slots = 0;
+
+    bool direction_wrong = binfo.isCond && prediction.taken != taken;
+    bool target_wrong = taken &&
+        (!prediction.taken || prediction.target != target);
+    if (!(direction_wrong || target_wrong))
+        return;
+
+    ++ev.branchMispredicts;
+    for (std::size_t s = 0; s < nslots; ++s)
+        cyc[s] += core.coreConfig.frontendDepth;
+    ev.stallCyclesBranch += core.coreConfig.frontendDepth;
+
+    std::uint64_t image_bytes =
+        std::uint64_t(core.coreConfig.wrongPathCodePages) * 4096;
+    std::uint64_t wrong_base = codeBase +
+        ((std::uint64_t(pc) * 2654435761u +
+          std::uint64_t(prediction.target) * 40503u +
+          ev.branchMispredicts * 2246822519u) %
+         image_bytes);
+    double redirect_delay = 0.0;
+    for (std::uint32_t i = 0;
+         i < core.coreConfig.wrongPathFetchLines; ++i) {
+        std::uint64_t wp = wrong_base +
+            std::uint64_t(i) * core.coreConfig.l1i.lineBytes;
+        // Safe member reuse: in wrong-path mode chargeFetch touches
+        // only lane-shared state (ev counters, ITLB, L1I) and reads
+        // none of the fields cached in replay locals.
+        redirect_delay += core.chargeFetch(wp, true);
+    }
+    for (std::size_t s = 0; s < nslots; ++s)
+        cyc[s] += redirect_delay;
+    ev.stallCyclesBranch += redirect_delay;
+    for (std::uint32_t i = 0; i < core.coreConfig.wrongPathLoads;
+         ++i) {
+        std::uint64_t wp_addr = core.lastDataAddr +
+            (i + 1) * (4096 + core.coreConfig.l1d.lineBytes);
+        double ignored = 0.0;
+        ++ev.dtlbAccesses;
+        if (!core.dtlb->translate(wp_addr, ignored)) {
+            ++ev.dtlbMisses;
+            ++ev.l2DtlbAccesses;
+        }
+        core.l1d.access(wp_addr, false, false);
+        ++ev.wrongPathLoads;
+    }
+}
+
+void
+BatchedSystemModel::replayQuantum(Lane &lane, unsigned thread,
+                                  std::uint64_t executed)
+{
+    CoreModel &core = lane.cluster->core(thread);
+    ClusterModel &cl = *lane.cluster;
+    const std::size_t nslots = lane.freqs.size();
+    const double *const freqs = lane.freqs.data();
+    double *const cyc = lane.cycles.data() + thread * nslots;
+    double *const sfe = lane.stallFrontend.data() + thread * nslots;
+    double *const smem = lane.stallMem.data() + thread * nslots;
+
+    const isa::DecodedOp *const uops = predecoded->uopData();
+    const std::uint64_t inst_bytes = core.coreConfig.instBytes;
+    const std::uint64_t flush_period =
+        core.coreConfig.osItlbFlushPeriod;
+    const std::uint32_t fetch_line_shift = core.fetchLineShift;
+    const double issue_cost = core.issueCost;
+    TournamentBp *const tbp = core.tournamentBp;
+    GshareBp *const gbp = core.gshareBp;
+    EventCounts &ev = core.ev;
+
+    // Replay-local caches of the per-core hot state, synced to the
+    // member fields at quantum boundaries — the exact counterpart of
+    // runQuantumFast's register cache. coreCycles and the frontend/
+    // mem stall counters live in the per-slot planes instead (their
+    // member fields stay 0 and are overridden at collection).
+    double stall_exec = ev.stallCyclesExec;
+    std::uint64_t last_line = core.lastFetchLine;
+    std::uint32_t slots = core.fetchSlotsLeft;
+    std::uint64_t until_flush = flush_period > 0
+        ? flush_period - ev.instructions % flush_period
+        : ~0ULL;
+
+    const ReplayEntry *const entries = trace.data();
+    const std::size_t n = trace.size();
+    for (std::size_t k = 0; k < n; ++k) {
+        const ReplayEntry &e = entries[k];
+        const isa::DecodedOp &d = uops[e.pc];
+
+        std::uint64_t fetch_addr =
+            codeBase + std::uint64_t(e.pc) * inst_bytes;
+        if ((fetch_addr >> fetch_line_shift) == last_line &&
+            slots != 0) {
+            --slots;
+        } else if (core.itlb->peekTranslate(fetch_addr) &&
+                   core.l1i.peekHit(fetch_addr)) {
+            // Inline I-access hit path, as in runQuantumFast: the
+            // skipped lat == dram_ns == 0 additions are bit-exact
+            // no-ops on every slot.
+            ++ev.itlbAccesses;
+            (void)core.itlb->tryTranslate(fetch_addr);
+            (void)core.l1i.tryHit(fetch_addr, false);
+            last_line = fetch_addr >> fetch_line_shift;
+            std::uint32_t group = core.coreConfig.fetchGroupInsts;
+            slots = group > 0 ? group - 1 : 0;
+        } else {
+            replayChargeFetch(core, fetch_addr, last_line, slots, cyc,
+                              sfe, freqs, nslots);
+        }
+
+        const std::uint16_t flags = d.flags;
+
+        BranchInfo binfo;
+        BranchPrediction prediction;
+        if (flags & isa::UopBranch) {
+            binfo.isCond = (flags & isa::UopCond) != 0;
+            binfo.isCall = (flags & isa::UopCall) != 0;
+            binfo.isReturn = (flags & isa::UopReturn) != 0;
+            binfo.isIndirect = (flags & isa::UopIndirect) != 0;
+            prediction = tbp ? tbp->predict(e.pc, binfo)
+                             : gbp->predict(e.pc, binfo);
+        }
+
+        // (Functional execution already happened in the driver.)
+
+        if (--until_flush == 0) {
+            core.itlb->l1().flush();
+            until_flush = flush_period;
+        }
+
+        for (std::size_t s = 0; s < nslots; ++s)
+            cyc[s] += issue_cost;
+        const unsigned ci = static_cast<unsigned>(d.cls);
+        if (core.extraByClass[ci] > 0.0) {
+            double stall = core.stallByClass[ci];
+            for (std::size_t s = 0; s < nslots; ++s)
+                cyc[s] += stall;
+            stall_exec += stall;
+        }
+
+        if (flags & isa::UopMem) {
+            if (e.bits & kUnaligned)
+                ++ev.unalignedAccesses;
+            bool is_store = (flags & isa::UopStore) != 0 ||
+                (e.bits & kStoreOk) != 0;
+            replayDataAccess(core, cl, e.memAddr, is_store,
+                             (e.bits & kUnaligned) != 0, cyc, smem,
+                             freqs, nslots);
+        }
+
+        if (flags & (isa::UopExclusive | isa::UopBarrier)) {
+            double sync;
+            if (flags & isa::UopExclusive) {
+                sync = core.coreConfig.exclusiveCost;
+                if (d.op == isa::Opcode::Ldrex) {
+                    ++ev.ldrexOps;
+                } else {
+                    ++ev.strexOps;
+                    if (!(e.bits & kStoreOk)) {
+                        ++ev.strexFails;
+                        sync += core.coreConfig.strexFailCost;
+                    }
+                }
+            } else {
+                sync = d.op == isa::Opcode::Dmb
+                    ? core.coreConfig.barrierCost
+                    : core.coreConfig.isbCost;
+                if (d.op == isa::Opcode::Dmb)
+                    ++ev.barriers;
+                else
+                    ++ev.isbs;
+            }
+            for (std::size_t s = 0; s < nslots; ++s)
+                cyc[s] += sync;
+            ev.stallCyclesSync += sync;
+        }
+
+        if (flags & isa::UopBranch) {
+            replayResolveBranch(core, e.pc, binfo,
+                                (e.bits & kTaken) != 0, e.nextPc,
+                                prediction, slots, cyc, freqs,
+                                nslots);
+        }
+    }
+
+    core.lastFetchLine = last_line;
+    core.fetchSlotsLeft = slots;
+    ev.stallCyclesExec = stall_exec;
+
+    // Flush the batched class counters exactly as runQuantumFast does.
+    ev.instructions += executed;
+    ev.instSpec += executed;
+    ev.intAluOps +=
+        classCounts[static_cast<unsigned>(isa::OpClass::IntAlu)];
+    ev.intMulOps +=
+        classCounts[static_cast<unsigned>(isa::OpClass::IntMul)];
+    ev.intDivOps +=
+        classCounts[static_cast<unsigned>(isa::OpClass::IntDiv)];
+    ev.fpOps +=
+        classCounts[static_cast<unsigned>(isa::OpClass::FpAlu)] +
+        classCounts[static_cast<unsigned>(isa::OpClass::FpDiv)];
+    ev.simdOps +=
+        classCounts[static_cast<unsigned>(isa::OpClass::SimdAlu)];
+    ev.loadOps +=
+        classCounts[static_cast<unsigned>(isa::OpClass::Load)];
+    ev.storeOps +=
+        classCounts[static_cast<unsigned>(isa::OpClass::Store)];
+    ev.nopOps +=
+        classCounts[static_cast<unsigned>(isa::OpClass::Nop)];
+}
+
+void
+BatchedSystemModel::assemblePoint(const Lane &lane, std::size_t slot,
+                                  unsigned num_threads,
+                                  RunResult &out) const
+{
+    // The runInto() result tail, per frequency slot. Each per-core
+    // record is the lane's shared event state with the three
+    // frequency-dependent accumulators overridden from the planes.
+    const std::size_t nslots = lane.freqs.size();
+    const double freq_ghz = lane.freqs[slot];
+
+    out.aggregate = EventCounts();
+    out.perCore.clear();
+    out.cycles = 0.0;
+    out.instructions = 0;
+    out.frequencyGhz = freq_ghz;
+    for (unsigned t = 0; t < num_threads; ++t) {
+        EventCounts core_events = lane.cluster->core(t).collectEvents();
+        core_events.cycles = lane.cycles[t * nslots + slot];
+        core_events.stallCyclesFrontend =
+            lane.stallFrontend[t * nslots + slot];
+        core_events.stallCyclesMem = lane.stallMem[t * nslots + slot];
+        out.perCore.push_back(core_events);
+        out.aggregate.merge(core_events);
+        out.instructions += core_events.instructions;
+        out.cycles = std::max(out.cycles, core_events.cycles);
+    }
+
+    const CacheStats &l2_stats = lane.cluster->l2().stats();
+    out.aggregate.l2Accesses = l2_stats.accesses;
+    out.aggregate.l2Misses = l2_stats.misses;
+    out.aggregate.l2Writebacks = l2_stats.writebacks;
+    out.aggregate.l2Prefetches = l2_stats.prefetchesIssued;
+    out.aggregate.l2PrefetchHits = l2_stats.prefetchHits;
+    out.aggregate.snoops = lane.cluster->snoops();
+    out.aggregate.busAccesses = lane.cluster->busAccesses();
+    const DramStats &dram_stats = lane.cluster->dram().stats();
+    out.aggregate.dramReads = dram_stats.reads;
+    out.aggregate.dramWrites = dram_stats.writes;
+
+    out.aggregate.cycles = out.cycles;
+    out.seconds = out.cycles / (freq_ghz * 1e9);
+    out.aggregate.seconds = out.seconds;
+}
+
+void
+BatchedSystemModel::runInto(const isa::Program &prog,
+                            unsigned num_threads,
+                            std::vector<RunResult> &out)
+{
+    fatal_if(num_threads == 0 || num_threads > numCores,
+             "thread count ", num_threads, " out of range for ",
+             numCores, " cores");
+
+    program = &prog;
+    exclusiveMonitor.reset();
+    predecoded = isa::predecodeCached(prog);
+    for (unsigned t = 0; t < num_threads; ++t)
+        cpuStates[t].reset(t);
+
+    // Per-run lane core state, mirroring beginProgram() minus the
+    // functional half (the driver owns that). The micro-architectural
+    // tables are deliberately NOT reset — exactly like a standalone
+    // model, whose runInto() also starts from whatever cache/TLB/
+    // predictor state the instance carries (fresh, reset, or warm).
+    for (Lane &lane : lanes) {
+        for (unsigned t = 0; t < num_threads; ++t) {
+            CoreModel &core = lane.cluster->core(t);
+            core.coreCycles = 0.0;
+            core.lastFetchLine = ~0ULL;
+            core.lastDataAddr = 0;
+            core.fetchSlotsLeft = 0;
+            core.ev = EventCounts();
+        }
+        std::fill(lane.cycles.begin(), lane.cycles.end(), 0.0);
+        std::fill(lane.stallFrontend.begin(),
+                  lane.stallFrontend.end(), 0.0);
+        std::fill(lane.stallMem.begin(), lane.stallMem.end(), 0.0);
+    }
+
+    // The driver replicates ClusterModel::runInto's round-robin
+    // instruction-quantum schedule; each thread-quantum's trace is
+    // replayed through every lane immediately (lockstep), so the
+    // trace buffer never exceeds one quantum.
+    constexpr std::uint64_t max_total_insts = 4ULL << 30;
+    constexpr std::uint64_t poll_interval = 64;
+    std::uint64_t total = 0;
+    std::uint64_t rounds = 0;
+    bool any_running = true;
+    while (any_running) {
+        if (++rounds % poll_interval == 0)
+            coopCheckpoint();
+        any_running = false;
+        for (unsigned t = 0; t < num_threads; ++t) {
+            if (cpuStates[t].halted)
+                continue;
+            std::uint64_t executed = runDriverQuantum(t, quantum);
+            total += executed;
+            for (Lane &lane : lanes)
+                replayQuantum(lane, t, executed);
+            if (!cpuStates[t].halted)
+                any_running = true;
+            panic_if(total > max_total_insts,
+                     "workload ", prog.name,
+                     " exceeded the instruction budget (deadlock?)");
+        }
+    }
+
+    out.resize(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const auto &[lane_idx, slot] = pointSlot[i];
+        assemblePoint(lanes[lane_idx], slot, num_threads, out[i]);
+    }
+    program = nullptr;
+}
+
+} // namespace gemstone::uarch

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Batched multi-config execution: one architectural instruction
+ * stream, N lockstep micro-architectural timing lanes.
+ *
+ * A validation campaign is sweep-shaped: the same workload measured
+ * under many (cluster config, frequency) points. Running each point
+ * through ClusterModel re-executes the identical fetch/decode/
+ * register/memory stream N times — the quantum schedule is in
+ * *instructions*, so the functional interleaving (and therefore the
+ * correct-path op/access trace) is byte-for-byte the same at every
+ * point. BatchedSystemModel exploits that: a single functional
+ * driver executes each scheduling quantum once (through the shared
+ * content-addressed predecode cache and the same isa::dispatchUop
+ * switch as the fast engine) and records a compact per-instruction
+ * trace, which every *uarch lane* — one per distinct ClusterConfig —
+ * then replays through its own private caches/TLBs/predictors in
+ * lockstep. Points that share a config but differ only in frequency
+ * collapse further: frequency enters the timing model in exactly two
+ * expressions (DRAM nanoseconds scaled to core cycles on I-side and
+ * D-side misses), so frequency sub-lanes share *all* micro-
+ * architectural state and carry only per-slot accumulator planes
+ * (cycles / frontend-stall / memory-stall, SoA across the config
+ * axis).
+ *
+ * Bit-identity is the hard contract, not an approximation: every
+ * per-point RunResult is byte-identical to running that point's
+ * config standalone through ClusterModel::run (which is itself
+ * parity-gated against the reference interpreter). The replay
+ * mirrors runQuantumFast's accumulation order exactly — IEEE
+ * addition is not associative, so per-slot accumulators receive the
+ * same value sequence through the same expression shapes, never a
+ * pre-summed batch. Wrong-path state stays strictly per-lane: each
+ * lane's branch predictor makes its own predictions and injects its
+ * own wrong-path fetch bursts and loads into its own I/D structures
+ * (DESIGN.md §18).
+ *
+ * A batch must share the functional surface: equal memBytes (the
+ * workload address space wraps modulo the pow2-rounded size, so it
+ * is workload semantics), equal quantum and equal core count.
+ * Everything micro-architectural may differ per point.
+ */
+
+#ifndef GEMSTONE_UARCH_BATCH_HH
+#define GEMSTONE_UARCH_BATCH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "isa/executor.hh"
+#include "isa/memory.hh"
+#include "isa/program.hh"
+#include "uarch/system.hh"
+
+namespace gemstone::isa {
+class PredecodedProgram;
+} // namespace gemstone::isa
+
+namespace gemstone::uarch {
+
+/** One sweep point of a batched run. */
+struct BatchPoint
+{
+    ClusterConfig config;
+    double freqGhz = 1.0;
+};
+
+/**
+ * Exhaustive textual serialisation of a cluster configuration, used
+ * to group batch points into timing lanes: two points share a lane
+ * exactly when their signatures match (equal configs produce equal
+ * timing state evolution; a lane split on a behaviour-neutral field
+ * like a name only costs speed, never correctness).
+ */
+std::string clusterConfigSignature(const ClusterConfig &config);
+
+/**
+ * N-point batched cluster model. Construct once per batch shape,
+ * initialise memory() with the workload, then runInto() fills one
+ * RunResult per point (in point order). reset() + memory()-refill
+ * reuses the instance with zero steady-state heap allocations,
+ * mirroring the ClusterModel pooling contract.
+ */
+class BatchedSystemModel
+{
+  public:
+    /**
+     * @param batch_points the sweep points; all must agree on
+     *        memBytes, quantum and numCores (fatal otherwise)
+     * @param arena arena for every lane's cache/TLB/predictor
+     *        tables; nullptr means the model owns one
+     */
+    explicit BatchedSystemModel(std::vector<BatchPoint> batch_points,
+                                Arena *arena = nullptr);
+    ~BatchedSystemModel();
+
+    BatchedSystemModel(const BatchedSystemModel &) = delete;
+    BatchedSystemModel &operator=(const BatchedSystemModel &) = delete;
+
+    /** Workload data memory (initialise before run, as for ClusterModel). */
+    isa::Memory &memory() { return dataMemory; }
+
+    /**
+     * Run @p program on @p num_threads cores, filling @p out with one
+     * RunResult per batch point, each byte-identical to the same
+     * point run standalone through ClusterModel::runInto on a fresh
+     * (or reset) model. @p out is fully overwritten; capacity is
+     * reused, so warm callers allocate nothing.
+     */
+    void runInto(const isa::Program &program, unsigned num_threads,
+                 std::vector<RunResult> &out);
+
+    /** runInto() into a fresh vector. */
+    std::vector<RunResult> run(const isa::Program &program,
+                               unsigned num_threads);
+
+    /**
+     * Restore freshly-constructed state in place (every lane's
+     * ClusterModel plus the driver's monitor). Workload memory is NOT
+     * cleared, exactly like ClusterModel::reset().
+     */
+    void reset();
+
+    std::size_t numPoints() const { return points.size(); }
+    /** Distinct micro-architectural configs (timing lanes). */
+    std::size_t numLanes() const { return lanes.size(); }
+    const std::vector<BatchPoint> &batchPoints() const { return points; }
+
+  private:
+    /**
+     * One correct-path instruction as recorded by the functional
+     * driver: the static micro-op is re-read from the shared
+     * predecoded program via pc, so only the dynamic outcome fields
+     * travel through the trace.
+     */
+    struct ReplayEntry
+    {
+        std::uint32_t pc = 0;
+        std::uint32_t nextPc = 0;
+        std::uint64_t memAddr = 0;
+        std::uint8_t bits = 0;  //!< kTaken | kUnaligned | kStoreOk
+    };
+
+    static constexpr std::uint8_t kTaken = 1u << 0;
+    static constexpr std::uint8_t kUnaligned = 1u << 1;
+    static constexpr std::uint8_t kStoreOk = 1u << 2;
+
+    /** One distinct uarch config with its frequency sub-lanes. */
+    struct Lane
+    {
+        std::unique_ptr<ClusterModel> cluster;
+        /** Per-slot frequency (one slot per batch point on this lane). */
+        std::vector<double> freqs;
+        /** Slot -> index into points. */
+        std::vector<std::size_t> pointIdx;
+        /**
+         * Frequency-dependent accumulator planes, SoA across the
+         * config/frequency axis: [core * freqs.size() + slot]. These
+         * are the ONLY three per-core accumulators that depend on
+         * frequency; all other state is shared by the whole lane.
+         */
+        std::vector<double> cycles;
+        std::vector<double> stallFrontend;
+        std::vector<double> stallMem;
+    };
+
+    /** Execute one functional quantum for @p thread, filling trace. */
+    std::uint64_t runDriverQuantum(unsigned thread,
+                                   std::uint64_t max_insts);
+    /** Replay the recorded quantum through one lane's core @p thread. */
+    void replayQuantum(Lane &lane, unsigned thread,
+                       std::uint64_t executed);
+    void replayChargeFetch(CoreModel &core, std::uint64_t fetch_addr,
+                           std::uint64_t &last_line,
+                           std::uint32_t &slots, double *cyc,
+                           double *sfe, const double *freqs,
+                           std::size_t nslots);
+    void replayDataAccess(CoreModel &core, ClusterModel &cl,
+                          std::uint64_t addr, bool write,
+                          bool unaligned, double *cyc, double *smem,
+                          const double *freqs, std::size_t nslots);
+    void replayResolveBranch(CoreModel &core, std::uint32_t pc,
+                             const BranchInfo &binfo, bool taken,
+                             std::uint32_t target,
+                             const BranchPrediction &prediction,
+                             std::uint32_t &slots, double *cyc,
+                             const double *freqs, std::size_t nslots);
+    /** Assemble one point's RunResult (the runInto tail, per slot). */
+    void assemblePoint(const Lane &lane, std::size_t slot,
+                       unsigned num_threads, RunResult &out) const;
+
+    std::vector<BatchPoint> points;
+    /** Point index -> (lane index, slot index). */
+    std::vector<std::pair<std::size_t, std::size_t>> pointSlot;
+    std::uint64_t quantum = 128;
+    unsigned numCores = 0;
+
+    // Functional driver state (the single architectural machine).
+    isa::Memory dataMemory;
+    isa::ExclusiveMonitor exclusiveMonitor;
+    std::vector<isa::CpuState> cpuStates;
+    std::shared_ptr<const isa::PredecodedProgram> predecoded;
+    const isa::Program *program = nullptr;
+    /** One quantum of correct-path trace (capacity reserved once). */
+    std::vector<ReplayEntry> trace;
+    /** Per-quantum class tallies, flushed identically per lane. */
+    std::uint64_t classCounts[isa::numOpClasses] = {};
+
+    std::vector<Lane> lanes;
+};
+
+} // namespace gemstone::uarch
+
+#endif // GEMSTONE_UARCH_BATCH_HH

@@ -11,7 +11,7 @@
 #include <cstdlib>
 #include <cstring>
 
-#include "isa/handlers.hh"
+#include "isa/dispatch.hh"
 #include "isa/predecode.hh"
 #include "uarch/system.hh"
 #include "util/logging.hh"
@@ -411,85 +411,13 @@ CoreModel::runQuantumFast(std::uint64_t max_insts)
                                  : gbp->predict(pc, binfo);
             }
 
-            // Functional execution. The switch expands the inline
-            // definitions from isa/handlers.hh for the register-only
-            // and plain memory opcodes — the very same functions d.fn
-            // points at, so the two dispatch routes cannot disagree —
-            // and falls back to the table for the rare exclusive /
-            // halt cases, where the indirect call is noise anyway.
+            // Functional execution through the shared dispatch switch
+            // (isa/dispatch.hh) — the identical route the batched
+            // multi-config driver takes, so the two engines' functional
+            // streams cannot disagree.
             isa::OpOutcome out;
             out.nextPc = pc + 1;
-            {
-                namespace h = isa::handlers;
-                using isa::Opcode;
-                switch (d.op) {
-                case Opcode::Add: h::execAdd(d, cpuState, env, out); break;
-                case Opcode::Sub: h::execSub(d, cpuState, env, out); break;
-                case Opcode::And: h::execAnd(d, cpuState, env, out); break;
-                case Opcode::Orr: h::execOrr(d, cpuState, env, out); break;
-                case Opcode::Eor: h::execEor(d, cpuState, env, out); break;
-                case Opcode::Lsl: h::execLsl(d, cpuState, env, out); break;
-                case Opcode::Lsr: h::execLsr(d, cpuState, env, out); break;
-                case Opcode::Asr: h::execAsr(d, cpuState, env, out); break;
-                case Opcode::Mov: h::execMov(d, cpuState, env, out); break;
-                case Opcode::Movi:
-                    h::execMovi(d, cpuState, env, out); break;
-                case Opcode::Addi:
-                    h::execAddi(d, cpuState, env, out); break;
-                case Opcode::Subi:
-                    h::execSubi(d, cpuState, env, out); break;
-                case Opcode::Cmplt:
-                    h::execCmplt(d, cpuState, env, out); break;
-                case Opcode::Cmpeq:
-                    h::execCmpeq(d, cpuState, env, out); break;
-                case Opcode::Mul: h::execMul(d, cpuState, env, out); break;
-                case Opcode::Div: h::execDiv(d, cpuState, env, out); break;
-                case Opcode::Fadd:
-                    h::execFadd(d, cpuState, env, out); break;
-                case Opcode::Fsub:
-                    h::execFsub(d, cpuState, env, out); break;
-                case Opcode::Fmul:
-                    h::execFmul(d, cpuState, env, out); break;
-                case Opcode::Fdiv:
-                    h::execFdiv(d, cpuState, env, out); break;
-                case Opcode::Fsqrt:
-                    h::execFsqrt(d, cpuState, env, out); break;
-                case Opcode::Fmov:
-                    h::execFmov(d, cpuState, env, out); break;
-                case Opcode::Fmovi:
-                    h::execFmovi(d, cpuState, env, out); break;
-                case Opcode::Fcvt:
-                    h::execFcvt(d, cpuState, env, out); break;
-                case Opcode::Ficvt:
-                    h::execFicvt(d, cpuState, env, out); break;
-                case Opcode::Vadd:
-                    h::execVadd(d, cpuState, env, out); break;
-                case Opcode::Vmul:
-                    h::execVmul(d, cpuState, env, out); break;
-                case Opcode::Ldr: h::execLdr(d, cpuState, env, out); break;
-                case Opcode::Str: h::execStr(d, cpuState, env, out); break;
-                case Opcode::Ldrb:
-                    h::execLdrb(d, cpuState, env, out); break;
-                case Opcode::Strb:
-                    h::execStrb(d, cpuState, env, out); break;
-                case Opcode::Fldr:
-                    h::execFldr(d, cpuState, env, out); break;
-                case Opcode::Fstr:
-                    h::execFstr(d, cpuState, env, out); break;
-                case Opcode::B: h::execB(d, cpuState, env, out); break;
-                case Opcode::Beq: h::execBeq(d, cpuState, env, out); break;
-                case Opcode::Bne: h::execBne(d, cpuState, env, out); break;
-                case Opcode::Blt: h::execBlt(d, cpuState, env, out); break;
-                case Opcode::Bge: h::execBge(d, cpuState, env, out); break;
-                case Opcode::Bl: h::execBl(d, cpuState, env, out); break;
-                case Opcode::Ret:
-                case Opcode::Bidx:
-                    h::execRetBidx(d, cpuState, env, out); break;
-                case Opcode::Nop:
-                    h::execNothing(d, cpuState, env, out); break;
-                default: d.fn(d, cpuState, env, out); break;
-                }
-            }
+            isa::dispatchUop(d, cpuState, env, out);
 
             ++executed;
             ++class_counts[static_cast<unsigned>(d.cls)];

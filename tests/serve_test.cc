@@ -290,6 +290,71 @@ TEST(ServeTest, ConcurrentClientsByteIdenticalToOneShot)
     daemon.stop();
 }
 
+TEST(ServeTest, BatchedSubmitDemuxesPerSpecByteIdentically)
+{
+    // Three OPP-grid specs pipelined over ONE connection, plus one
+    // invalid spec wedged into the middle: the in-order admission
+    // mapping must bind the rejection to the right slot, and every
+    // accepted spec's daemon-served bytes must equal a plain (non
+    // OPP-grid) one-shot run of the same campaign — the batched
+    // engine's bit-identity contract, end to end through the wire.
+    std::vector<serve::CampaignSpec> specs;
+    std::vector<std::string> expected;
+    for (int i = 0; i < 3; ++i) {
+        serve::CampaignSpec plain = smallSpec(300 + i);
+        expected.push_back(referenceCsv(plain));
+        ASSERT_FALSE(expected.back().empty());
+        serve::CampaignSpec submitted = plain;
+        submitted.oppGrid = true;
+        specs.push_back(submitted);
+    }
+    serve::CampaignSpec bad = smallSpec(999);
+    bad.quorum = 0;
+    specs.insert(specs.begin() + 1, bad);
+    expected.insert(expected.begin() + 1, "");
+
+    DaemonFixture daemon;
+    daemon.start();
+
+    serve::Client client;
+    ASSERT_TRUE(client.connectUnix(daemon.socketPath).ok());
+
+    std::vector<int> points(specs.size(), 0);
+    serve::Client::BatchCallbacks callbacks;
+    callbacks.onPoint = [&](std::size_t idx,
+                            const serve::PointUpdate &) {
+        ++points[idx];
+    };
+    std::vector<serve::Client::SubmitResult> results;
+    Status status = client.submitMany(specs, results, callbacks);
+    ASSERT_TRUE(status.ok()) << status.toString();
+    ASSERT_EQ(results.size(), specs.size());
+
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (i == 1) {
+            EXPECT_FALSE(results[i].accepted);
+            EXPECT_EQ(results[i].rejection.reason,
+                      serve::RejectReason::BadRequest);
+            EXPECT_EQ(points[i], 0);
+            continue;
+        }
+        ASSERT_TRUE(results[i].accepted) << "spec " << i;
+        EXPECT_EQ(results[i].summary.outcome,
+                  serve::RequestOutcome::Ok);
+        EXPECT_EQ(results[i].summary.datasetCsv, expected[i]);
+        EXPECT_EQ(points[i],
+                  static_cast<int>(results[i].summary.measuredPoints));
+    }
+
+    // The campaigns predecoded programs in this process, so the
+    // daemon's predecode-cache counters must have moved.
+    serve::DaemonStats stats;
+    ASSERT_TRUE(client.queryStats(stats).ok());
+    EXPECT_GT(stats.predecodeHits + stats.predecodeMisses, 0u);
+    EXPECT_GE(stats.predecodeInserts, 1u);
+    daemon.stop();
+}
+
 TEST(ServeTest, RepeatedRequestServedFromSharedStore)
 {
     DaemonFixture daemon;

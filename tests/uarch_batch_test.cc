@@ -1,0 +1,378 @@
+/**
+ * @file
+ * Bit-identity of the batched multi-config engine against the
+ * standalone fast engine: every per-point RunResult of a
+ * BatchedSystemModel — cycles, full EventCounts, per-core records —
+ * must be byte-identical to running that point's config alone on a
+ * fresh ClusterModel, at every batch width and thread count. Also
+ * covers the arena-reuse identity across *different* configs (a
+ * reset arena re-carves every probe-hint and last-translation table
+ * bit-identically to fresh construction) and the zero-steady-state-
+ * allocation contract of the batched model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "hwsim/platform.hh"
+#include "g5/config.hh"
+#include "uarch/batch.hh"
+#include "uarch/core.hh"
+#include "uarch/system.hh"
+#include "util/arena.hh"
+#include "workload/kernels.hh"
+#include "workload/workload.hh"
+
+using namespace gemstone;
+using workload::Workload;
+
+namespace {
+
+/** Full bit-identity of two runs: cycles and every event count. */
+void
+expectRunsIdentical(const uarch::RunResult &expected,
+                    const uarch::RunResult &actual,
+                    const std::string &context)
+{
+    SCOPED_TRACE(context);
+    // Exact double equality is intentional: the contract is
+    // bit-identical, not approximately equal.
+    EXPECT_EQ(expected.cycles, actual.cycles);
+    EXPECT_EQ(expected.seconds, actual.seconds);
+    EXPECT_EQ(expected.frequencyGhz, actual.frequencyGhz);
+    EXPECT_EQ(expected.instructions, actual.instructions);
+    EXPECT_EQ(expected.aggregate.toMap(), actual.aggregate.toMap());
+    ASSERT_EQ(expected.perCore.size(), actual.perCore.size());
+    for (std::size_t i = 0; i < expected.perCore.size(); ++i)
+        EXPECT_EQ(expected.perCore[i].toMap(),
+                  actual.perCore[i].toMap())
+            << "core " << i;
+}
+
+/** Run one point standalone on a fresh fast-engine cluster. */
+uarch::RunResult
+runStandalone(const uarch::BatchPoint &point, const Workload &work)
+{
+    uarch::ClusterModel cluster(point.config);
+    cluster.setExecEngine(uarch::ExecEngine::Fast);
+    work.prepareMemory(cluster.memory());
+    return cluster.run(work.program, work.numThreads, point.freqGhz);
+}
+
+/**
+ * The core identity check: a batched run over @p points must equal
+ * the per-point standalone runs, point for point.
+ */
+void
+expectBatchIdentical(const std::vector<uarch::BatchPoint> &points,
+                     const Workload &work, const std::string &context)
+{
+    SCOPED_TRACE(context);
+    uarch::BatchedSystemModel batched(points);
+    work.prepareMemory(batched.memory());
+    std::vector<uarch::RunResult> results =
+        batched.run(work.program, work.numThreads);
+    ASSERT_EQ(results.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        expectRunsIdentical(runStandalone(points[i], work),
+                            results[i],
+                            "point " + std::to_string(i) + " ("
+                                + points[i].config.name + " @ "
+                                + std::to_string(points[i].freqGhz)
+                                + " GHz)");
+    }
+}
+
+/** The two hardware cluster shapes with a shared functional surface. */
+uarch::ClusterConfig
+bigConfig(std::uint64_t mem_bytes)
+{
+    uarch::ClusterConfig config = hwsim::trueBigConfig();
+    config.memBytes = mem_bytes;
+    return config;
+}
+
+uarch::ClusterConfig
+littleConfig(std::uint64_t mem_bytes)
+{
+    uarch::ClusterConfig config = hwsim::trueLittleConfig();
+    config.memBytes = mem_bytes;
+    return config;
+}
+
+std::uint64_t
+memBytesFor(const Workload &work)
+{
+    return std::max<std::uint64_t>(work.memBytes, 64 * 1024);
+}
+
+/** An 8-point OPP grid: both shapes x four frequencies each. */
+std::vector<uarch::BatchPoint>
+oppGrid8(std::uint64_t mem_bytes)
+{
+    std::vector<uarch::BatchPoint> points;
+    for (double mhz : {200.0, 600.0, 1000.0, 1400.0})
+        points.push_back({littleConfig(mem_bytes), mhz / 1000.0});
+    for (double mhz : {600.0, 1000.0, 1400.0, 1800.0})
+        points.push_back({bigConfig(mem_bytes), mhz / 1000.0});
+    return points;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Lane grouping
+// ---------------------------------------------------------------------
+
+TEST(BatchGrouping, IdenticalConfigsShareALane)
+{
+    std::vector<uarch::BatchPoint> points = oppGrid8(64 * 1024);
+    uarch::BatchedSystemModel batched(points);
+    EXPECT_EQ(batched.numPoints(), 8u);
+    EXPECT_EQ(batched.numLanes(), 2u);  // A7 + A15 shapes
+}
+
+TEST(BatchGrouping, ConfigSignatureSeparatesDifferingConfigs)
+{
+    uarch::ClusterConfig a = bigConfig(64 * 1024);
+    uarch::ClusterConfig b = a;
+    EXPECT_EQ(uarch::clusterConfigSignature(a),
+              uarch::clusterConfigSignature(b));
+    b.core.latIntMul += 1.0;
+    EXPECT_NE(uarch::clusterConfigSignature(a),
+              uarch::clusterConfigSignature(b));
+    b = a;
+    b.core.l1d.assoc *= 2;
+    EXPECT_NE(uarch::clusterConfigSignature(a),
+              uarch::clusterConfigSignature(b));
+}
+
+// ---------------------------------------------------------------------
+// Bit-identity vs the standalone engine, across batch widths
+// ---------------------------------------------------------------------
+
+TEST(BatchIdentity, Width1SingleThreaded)
+{
+    Workload work = workload::kernels::makeCrc("b-crc", "test", 1024,
+                                               12);
+    std::vector<uarch::BatchPoint> points = {
+        {bigConfig(memBytesFor(work)), 1.0}};
+    expectBatchIdentical(points, work, "width 1");
+}
+
+TEST(BatchIdentity, Width2TwoConfigsOneFrequency)
+{
+    // The campaign prewarm shape: the hardware config and the g5
+    // config of the same cluster, both at the 1.0 GHz base frequency.
+    Workload work = workload::kernels::makeMatMul("b-matmul", "test",
+                                                  20, 3);
+    std::uint64_t mem = memBytesFor(work);
+    uarch::ClusterConfig g5cfg =
+        g5::ex5Config(g5::G5Model::Ex5Big, 1);
+    g5cfg.memBytes = mem;
+    std::vector<uarch::BatchPoint> points = {{bigConfig(mem), 1.0},
+                                             {g5cfg, 1.0}};
+    expectBatchIdentical(points, work, "width 2, hw+g5");
+}
+
+TEST(BatchIdentity, Width8OppGridControlHeavy)
+{
+    // Branch-heavy: exercises per-lane predictors and the wrong-path
+    // fetch/load injection staying strictly per-lane.
+    Workload work = workload::kernels::makeBranchPattern(
+        "b-branches", "test", 7, 60000, 0);
+    expectBatchIdentical(oppGrid8(memBytesFor(work)), work,
+                         "width 8, branch-pattern");
+}
+
+TEST(BatchIdentity, Width8OppGridMemoryHeavy)
+{
+    // Memory-heavy: exercises the frequency-dependent DRAM-to-cycles
+    // scaling (the only place frequency enters the timing model) and
+    // the unaligned cross-line second beat.
+    Workload work = workload::kernels::makePointerChase(
+        "b-chase", "test", 2048, 64, 80000);
+    expectBatchIdentical(oppGrid8(memBytesFor(work)), work,
+                         "width 8, pointer-chase");
+}
+
+TEST(BatchIdentity, Width8OppGridMultiThreaded)
+{
+    // Multi-threaded with LDREX/STREX contention: the driver must
+    // reproduce the exact round-robin interleaving (STREX outcomes
+    // depend on it) and the per-lane snoop traffic.
+    Workload work = workload::kernels::makeSpinLock("b-spin", "test",
+                                                    300, 4);
+    expectBatchIdentical(oppGrid8(memBytesFor(work)), work,
+                         "width 8, spinlock x4");
+}
+
+TEST(BatchIdentity, FrequencySublanesMatchPerFrequencyRuns)
+{
+    // One config, many frequencies: all sub-lanes share every
+    // micro-architectural structure, yet each must reproduce its own
+    // standalone run exactly.
+    Workload work = workload::kernels::makeStreamCopy(
+        "b-stream", "test", 8192, 20);
+    std::uint64_t mem = memBytesFor(work);
+    std::vector<uarch::BatchPoint> points;
+    for (double f : {0.2, 0.6, 1.0, 1.4, 1.8})
+        points.push_back({littleConfig(mem), f});
+    uarch::BatchedSystemModel batched(points);
+    EXPECT_EQ(batched.numLanes(), 1u);
+    work.prepareMemory(batched.memory());
+    std::vector<uarch::RunResult> results =
+        batched.run(work.program, work.numThreads);
+    for (std::size_t i = 0; i < points.size(); ++i)
+        expectRunsIdentical(runStandalone(points[i], work),
+                            results[i],
+                            "sub-lane " + std::to_string(i));
+}
+
+// ---------------------------------------------------------------------
+// Reuse: reset() identity and the zero-alloc steady state
+// ---------------------------------------------------------------------
+
+TEST(BatchReuse, ResetBatchedModelMatchesFreshBitIdentically)
+{
+    Workload work = workload::kernels::makeIntArith("b-int", "test",
+                                                    30000, true);
+    std::vector<uarch::BatchPoint> points =
+        oppGrid8(memBytesFor(work));
+
+    uarch::BatchedSystemModel fresh(points);
+    work.prepareMemory(fresh.memory());
+    std::vector<uarch::RunResult> baseline =
+        fresh.run(work.program, work.numThreads);
+
+    uarch::BatchedSystemModel reused(points);
+    std::vector<uarch::RunResult> again;
+    for (int round = 0; round < 3; ++round) {
+        reused.reset();
+        reused.memory().clear();
+        work.prepareMemory(reused.memory());
+        reused.runInto(work.program, work.numThreads, again);
+        ASSERT_EQ(again.size(), baseline.size());
+        for (std::size_t i = 0; i < baseline.size(); ++i)
+            expectRunsIdentical(baseline[i], again[i],
+                                "round " + std::to_string(round)
+                                    + " point " + std::to_string(i));
+    }
+}
+
+TEST(BatchReuse, WarmBatchedRunMakesZeroHeapAllocations)
+{
+    if (!mallocTallyActive())
+        GTEST_SKIP() << "counting operator new not linked "
+                        "(sanitizer build)";
+
+    Workload work = workload::kernels::makeStreamCopy(
+        "b-zeroalloc", "test", 512, 3);
+    uarch::BatchedSystemModel batched(oppGrid8(memBytesFor(work)));
+
+    // Warm-up: predecode fill, result-vector growth.
+    std::vector<uarch::RunResult> results;
+    work.prepareMemory(batched.memory());
+    batched.runInto(work.program, work.numThreads, results);
+
+    batched.reset();
+    batched.memory().clear();
+    work.prepareMemory(batched.memory());
+    MallocTallySnapshot before = mallocTally();
+    batched.runInto(work.program, work.numThreads, results);
+    MallocTallySnapshot after = mallocTally();
+    EXPECT_EQ(after.allocs - before.allocs, 0u)
+        << "steady-state batched runInto must not touch the heap";
+    EXPECT_EQ(after.bytes - before.bytes, 0u);
+    EXPECT_GT(results.front().instructions, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Arena reuse across different configs: a reset arena must re-carve
+// every table (including the cache probe hints and the TLB
+// last-translation entries) bit-identically to fresh construction,
+// even when the next tenant has a different shape.
+// ---------------------------------------------------------------------
+
+TEST(BatchArena, ArenaResetAcrossDifferentConfigsIsBitIdentical)
+{
+    Workload work = workload::kernels::makeDhrystone("b-dhry", "test",
+                                                     4000);
+    std::uint64_t mem = memBytesFor(work);
+    uarch::ClusterConfig config_a = bigConfig(mem);
+    uarch::ClusterConfig config_b = littleConfig(mem);
+
+    std::vector<uarch::RunResult> expected;
+    for (const uarch::ClusterConfig *config :
+         {&config_a, &config_b}) {
+        uarch::ClusterModel standalone(*config);
+        work.prepareMemory(standalone.memory());
+        expected.push_back(
+            standalone.run(work.program, work.numThreads, 1.0));
+    }
+
+    // One arena, alternating tenants of different shapes: dirty the
+    // arena with config A, rewind, hand it to config B (and back).
+    // Any table whose initial bytes depend on what the previous
+    // tenant left behind breaks the identity.
+    Arena arena(1 << 20);
+    for (int round = 0; round < 2; ++round) {
+        {
+            uarch::ClusterModel model_a(config_a, &arena);
+            work.prepareMemory(model_a.memory());
+            expectRunsIdentical(
+                expected[0],
+                model_a.run(work.program, work.numThreads, 1.0),
+                "config A, arena round " + std::to_string(round));
+        }
+        arena.reset();
+        {
+            uarch::ClusterModel model_b(config_b, &arena);
+            work.prepareMemory(model_b.memory());
+            expectRunsIdentical(
+                expected[1],
+                model_b.run(work.program, work.numThreads, 1.0),
+                "config B, arena round " + std::to_string(round));
+        }
+        arena.reset();
+    }
+}
+
+TEST(BatchArena, BatchedModelOnRewoundArenaMatchesFresh)
+{
+    Workload work = workload::kernels::makeCallTree("b-calls", "test",
+                                                    5, 4000);
+    std::vector<uarch::BatchPoint> points =
+        oppGrid8(memBytesFor(work));
+
+    uarch::BatchedSystemModel fresh(points);
+    work.prepareMemory(fresh.memory());
+    std::vector<uarch::RunResult> baseline =
+        fresh.run(work.program, work.numThreads);
+
+    // Dirty the arena with a different batch shape first, then rewind
+    // and rebuild the real batch on it.
+    Arena arena(1 << 20);
+    {
+        std::vector<uarch::BatchPoint> other = {
+            {littleConfig(points.front().config.memBytes), 1.0}};
+        uarch::BatchedSystemModel scratch(other, &arena);
+        work.prepareMemory(scratch.memory());
+        scratch.run(work.program, work.numThreads);
+    }
+    arena.reset();
+    {
+        uarch::BatchedSystemModel rebuilt(points, &arena);
+        work.prepareMemory(rebuilt.memory());
+        std::vector<uarch::RunResult> results =
+            rebuilt.run(work.program, work.numThreads);
+        ASSERT_EQ(results.size(), baseline.size());
+        for (std::size_t i = 0; i < baseline.size(); ++i)
+            expectRunsIdentical(baseline[i], results[i],
+                                "rewound-arena point "
+                                    + std::to_string(i));
+    }
+}
